@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure), prints
+the regenerated rows in the paper's layout, and archives them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference the exact output.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Print a regenerated artifact and archive it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(artifact_id: str, text: str) -> None:
+        banner = f"\n=== {artifact_id} " + "=" * max(0, 60 - len(artifact_id))
+        print(banner)
+        print(text)
+        (RESULTS_DIR / f"{artifact_id}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a (possibly slow) kernel exactly once under the benchmark clock."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

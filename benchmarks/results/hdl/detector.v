@@ -1,0 +1,93 @@
+module detect_1011 (
+  input  wire [0:0] din,
+  input  wire clk,
+  input  wire rst,
+  output reg  [0:0] dout
+);
+
+  localparam [1:0] P0 = 2'd0;
+  localparam [1:0] P1 = 2'd1;
+  localparam [1:0] P2 = 2'd2;
+  localparam [1:0] P3 = 2'd3;
+
+  reg [1:0] state;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= P0;
+      dout  <= 0;
+    end else begin
+      case (state)
+        P0: begin
+          case (din)
+            1'd0: begin
+              state <= P0;
+              dout  <= 1'd0;
+            end
+            1'd1: begin
+              state <= P1;
+              dout  <= 1'd0;
+            end
+            default: begin
+              state <= P0;
+              dout  <= 0;
+            end
+          endcase
+        end
+        P1: begin
+          case (din)
+            1'd0: begin
+              state <= P2;
+              dout  <= 1'd0;
+            end
+            1'd1: begin
+              state <= P1;
+              dout  <= 1'd0;
+            end
+            default: begin
+              state <= P0;
+              dout  <= 0;
+            end
+          endcase
+        end
+        P2: begin
+          case (din)
+            1'd0: begin
+              state <= P0;
+              dout  <= 1'd0;
+            end
+            1'd1: begin
+              state <= P3;
+              dout  <= 1'd0;
+            end
+            default: begin
+              state <= P0;
+              dout  <= 0;
+            end
+          endcase
+        end
+        P3: begin
+          case (din)
+            1'd0: begin
+              state <= P2;
+              dout  <= 1'd0;
+            end
+            1'd1: begin
+              state <= P1;
+              dout  <= 1'd1;
+            end
+            default: begin
+              state <= P0;
+              dout  <= 0;
+            end
+          endcase
+        end
+        default: begin
+          state <= P0;
+          dout  <= 0;
+        end
+      endcase
+    end
+  end
+
+endmodule

@@ -1,0 +1,77 @@
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity detect_1011 is
+  port (
+    din  : in  std_logic_vector(0 downto 0);
+    clk  : in  std_logic;
+    rst  : in  std_logic;
+    dout : out std_logic_vector(0 downto 0)
+  );
+end detect_1011;
+
+architecture behavior of detect_1011 is
+  type state_type is (P0, P1, P2, P3);
+  signal state : state_type := P0;
+begin
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        state <= P0;
+        dout  <= (others => '0');
+      else
+        case state is
+          when P0 =>
+            case din is
+              when "0" =>
+                state <= P0;
+                dout  <= "0";
+              when "1" =>
+                state <= P1;
+                dout  <= "0";
+              when others =>
+                state <= P0;
+                dout  <= (others => '0');
+            end case;
+          when P1 =>
+            case din is
+              when "0" =>
+                state <= P2;
+                dout  <= "0";
+              when "1" =>
+                state <= P1;
+                dout  <= "0";
+              when others =>
+                state <= P0;
+                dout  <= (others => '0');
+            end case;
+          when P2 =>
+            case din is
+              when "0" =>
+                state <= P0;
+                dout  <= "0";
+              when "1" =>
+                state <= P3;
+                dout  <= "0";
+              when others =>
+                state <= P0;
+                dout  <= (others => '0');
+            end case;
+          when P3 =>
+            case din is
+              when "0" =>
+                state <= P2;
+                dout  <= "0";
+              when "1" =>
+                state <= P1;
+                dout  <= "1";
+              when others =>
+                state <= P0;
+                dout  <= (others => '0');
+            end case;
+        end case;
+      end if;
+    end if;
+  end process;
+end behavior;

@@ -1,0 +1,52 @@
+module detect_1011_reconf (
+  input  wire [0:0] din,
+  input  wire clk,
+  input  wire rst,
+  input  wire mode,  // 0 = normal, 1 = reconfiguration
+  input  wire [0:0] ir,
+  input  wire [2:0] hf,
+  input  wire [0:0] hg,
+  input  wire we,
+  output wire [0:0] dout
+);
+
+  reg [2:0] f_ram [0:15];
+  reg [0:0] g_ram [0:15];
+  reg [2:0] state;
+
+  // IN-MUX: external input in normal mode, ir while reconfiguring
+  wire [0:0] i_int = mode ? ir : din;
+  wire [3:0] addr = {i_int, state};
+
+  // write-first forwarding: the written transition is taken
+  // in the same cycle it is written
+  wire [2:0] f_out = (we && mode) ? hf : f_ram[addr];
+  assign dout = (we && mode) ? hg : g_ram[addr];
+
+  integer k;
+  initial begin
+    state = 3'd0;
+    for (k = 0; k < 16; k = k + 1) begin
+      f_ram[k] = 0;
+      g_ram[k] = 0;
+    end
+    f_ram[0] = 3'd0; g_ram[0] = 1'd0;
+    f_ram[1] = 3'd2; g_ram[1] = 1'd0;
+    f_ram[2] = 3'd0; g_ram[2] = 1'd0;
+    f_ram[3] = 3'd2; g_ram[3] = 1'd0;
+    f_ram[8] = 3'd1; g_ram[8] = 1'd0;
+    f_ram[9] = 3'd1; g_ram[9] = 1'd0;
+    f_ram[10] = 3'd3; g_ram[10] = 1'd0;
+    f_ram[11] = 3'd1; g_ram[11] = 1'd1;
+  end
+
+  always @(posedge clk) begin
+    if (we && mode) begin
+      f_ram[addr] <= hf;
+      g_ram[addr] <= hg;
+    end
+    // RST-MUX: reset wins over the F-RAM next state
+    state <= rst ? 3'd0 : f_out;
+  end
+
+endmodule

@@ -1,0 +1,88 @@
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity detect_1011_reconf is
+  port (
+    din  : in  std_logic_vector(0 downto 0);
+    clk  : in  std_logic;
+    rst  : in  std_logic;
+    mode : in  std_logic;  -- 0 = normal, 1 = reconfiguration
+    ir   : in  std_logic_vector(0 downto 0);
+    hf   : in  std_logic_vector(2 downto 0);
+    hg   : in  std_logic_vector(0 downto 0);
+    we   : in  std_logic;
+    dout : out std_logic_vector(0 downto 0)
+  );
+end detect_1011_reconf;
+
+architecture structure of detect_1011_reconf is
+  type f_ram_type is array (0 to 15) of std_logic_vector(2 downto 0);
+  type g_ram_type is array (0 to 15) of std_logic_vector(0 downto 0);
+  signal f_ram : f_ram_type := (
+    "000",
+    "010",
+    "000",
+    "010",
+    (others => '0'),
+    (others => '0'),
+    (others => '0'),
+    (others => '0'),
+    "001",
+    "001",
+    "011",
+    "001",
+    (others => '0'),
+    (others => '0'),
+    (others => '0'),
+    (others => '0')
+  );
+  signal g_ram : g_ram_type := (
+    "0",
+    "0",
+    "0",
+    "0",
+    (others => '0'),
+    (others => '0'),
+    (others => '0'),
+    (others => '0'),
+    "0",
+    "0",
+    "0",
+    "1",
+    (others => '0'),
+    (others => '0'),
+    (others => '0'),
+    (others => '0')
+  );
+  signal state : std_logic_vector(2 downto 0) := "000";
+  signal i_int : std_logic_vector(0 downto 0);
+  signal addr  : unsigned(3 downto 0);
+  signal f_out : std_logic_vector(2 downto 0);
+begin
+  -- IN-MUX: external input in normal mode, ir while reconfiguring
+  i_int <= din when mode = '0' else ir;
+  addr  <= unsigned(i_int) & unsigned(state);
+
+  -- F-RAM / G-RAM: asynchronous read, one synchronous write port
+  f_out <= hf when (we = '1' and mode = '1') else
+           f_ram(to_integer(addr));
+  dout  <= hg when (we = '1' and mode = '1') else
+           g_ram(to_integer(addr));
+
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if we = '1' and mode = '1' then
+        f_ram(to_integer(addr)) <= hf;
+        g_ram(to_integer(addr)) <= hg;
+      end if;
+      -- RST-MUX: reset state wins over the F-RAM next state
+      if rst = '1' then
+        state <= "000";
+      else
+        state <= f_out;
+      end if;
+    end if;
+  end process;
+end structure;

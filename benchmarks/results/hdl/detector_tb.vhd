@@ -1,0 +1,82 @@
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity detect_1011_tb is
+end detect_1011_tb;
+
+architecture sim of detect_1011_tb is
+  signal din  : std_logic_vector(0 downto 0);
+  signal clk  : std_logic := '0';
+  signal rst  : std_logic := '0';
+  signal dout : std_logic_vector(0 downto 0);
+  constant PERIOD : time := 20 ns;
+begin
+  dut: entity work.detect_1011
+    port map (din => din, clk => clk, rst => rst, dout => dout);
+
+  stimulus: process
+  begin
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 1: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 1: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "0";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 0: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 1: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "1"
+      report "mismatch on input 1: expected 1" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "0";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 0: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 1: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "1"
+      report "mismatch on input 1: expected 1" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 1: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "0";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 0: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "0"
+      report "mismatch on input 1: expected 0" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    din <= "1";
+    clk <= '1'; wait for PERIOD / 2;
+    assert dout = "1"
+      report "mismatch on input 1: expected 1" severity failure;
+    clk <= '0'; wait for PERIOD / 2;
+    report "testbench passed: 12 cycles" severity note;
+    wait;
+  end process;
+end sim;

@@ -1,0 +1,77 @@
+"""A1 — Ablation: the value of temporary transitions (Sec. 4.3).
+
+Design choice under test: the decoder may rewrite an already-correct
+entry to create a shortcut ("temporary transition"), at the cost of one
+repair write.  The paper argues this shortens programs (Example 4.2).
+We quantify it: decode identical delta orderings with temporary
+transitions enabled, disabled, and with the smart-connect refinement,
+over seeded workloads, and verify the enabled variant never loses.
+"""
+
+import statistics
+
+from repro.analysis.tables import format_table
+from repro.core.decode import DecodeError, decode_order
+from repro.core.delta import delta_transitions
+from repro.workloads.mutate import workload_pair
+
+SEEDS = range(10)
+N_STATES = 10
+N_DELTAS = 6
+
+
+def run_ablation():
+    rows = []
+    for seed in SEEDS:
+        src, tgt = workload_pair(N_STATES, N_DELTAS, seed=3000 + seed)
+        deltas = delta_transitions(src, tgt)
+        with_temp = decode_order(src, tgt, deltas)
+        assert with_temp.is_valid()
+        try:
+            without = decode_order(src, tgt, deltas, use_temporary=False)
+            assert without.is_valid()
+            without_len = len(without)
+        except DecodeError:
+            without_len = None  # unreachable without temporaries
+        smart = decode_order(src, tgt, deltas, smart_connect=True)
+        assert smart.is_valid()
+        rows.append(
+            {
+                "seed": seed,
+                "with temporaries": len(with_temp),
+                "without": without_len,
+                "smart connect": len(smart),
+            }
+        )
+    return rows
+
+
+def test_ablation_temporary_transitions(once, record_table):
+    rows = once(run_ablation)
+
+    wins = 0
+    for row in rows:
+        if row["without"] is not None:
+            # Temporary transitions never hurt, usually help.
+            assert row["with temporaries"] <= row["without"]
+            wins += row["with temporaries"] < row["without"]
+        assert row["smart connect"] <= row["with temporaries"] + 1
+
+    solved_without = [r for r in rows if r["without"] is not None]
+    assert wins >= len(solved_without) // 3 or not solved_without
+
+    mean_with = statistics.fmean(r["with temporaries"] for r in rows)
+    summary = (
+        f"\nmean |Z| with temporaries: {mean_with:.1f}; "
+        f"strict wins vs without: {wins}/{len(solved_without)}"
+        f" (None = delta source unreachable without temporaries)"
+    )
+    record_table(
+        "ablation_temporary",
+        format_table(
+            rows,
+            title="Ablation A1 — temporary transitions on/off "
+                  f"({N_STATES}-state machines, |Td| = {N_DELTAS})",
+        )
+        + summary,
+    )

@@ -1,0 +1,78 @@
+"""A3 — Gradual reconfiguration vs context swapping (Sec. 1 motivation).
+
+Paper claim: full-bitstream reconfiguration costs milliseconds, so
+swapping complete configurations is expensive; gradual in-circuit
+reconfiguration takes |Z| machine cycles instead.  We quantify the
+crossover on the XCV300 model: how large would a reconfiguration program
+have to be before a context swap wins?
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.ea import EAConfig, ea_program
+from repro.core.jsr import jsr_program
+from repro.hw.fpga import ReconfigurationCostModel
+from repro.protocols.packet import revision
+from repro.protocols.parser import build_parser
+from repro.workloads.library import fig6_m, fig6_m_prime
+
+MODEL = ReconfigurationCostModel()  # XCV300, 50 MHz machine clock
+
+
+def build_rows():
+    rows = []
+    cases = {
+        "fig6 (JSR)": jsr_program(fig6_m(), fig6_m_prime()),
+        "fig6 (EA)": ea_program(
+            fig6_m(), fig6_m_prime(),
+            config=EAConfig(population_size=24, generations=25, seed=0),
+        ),
+    }
+    old = revision("old", 4, {0x8, 0x6})
+    new = revision("new", 4, {0x8, 0x6, 0xD})
+    cases["parser upgrade (JSR)"] = jsr_program(
+        build_parser(old), build_parser(new)
+    )
+    for name, program in cases.items():
+        gradual = MODEL.gradual_seconds(program)
+        rows.append(
+            {
+                "migration": name,
+                "|Z| cycles": len(program),
+                "gradual (us)": gradual * 1e6,
+                "full swap (ms)": MODEL.full_swap_seconds() * 1e3,
+                "partial swap (us)": MODEL.partial_swap_seconds(
+                    program.target
+                ) * 1e6,
+                "speedup vs full": MODEL.speedup_vs_full_swap(program),
+            }
+        )
+    return rows
+
+
+def test_context_swap_comparison(once, record_table):
+    rows = once(build_rows)
+
+    for row in rows:
+        # Sec. 1: swaps are milliseconds, gradual is sub-microsecond here.
+        assert row["full swap (ms)"] > 1.0
+        assert row["gradual (us)"] < 1.0
+        assert row["speedup vs full"] > 1_000
+        # even an optimistic partial swap loses on these programs
+        assert row["partial swap (us)"] > row["gradual (us)"]
+
+    crossover = MODEL.crossover_cycles_full()
+    assert crossover > 100_000  # gradual wins until ~2*10^5 cycles
+    footer = (
+        f"\ncrossover: a context swap only wins once |Z| exceeds "
+        f"{crossover} cycles at 50 MHz"
+    )
+    record_table(
+        "context_swap",
+        format_table(
+            rows,
+            title="A3 — gradual reconfiguration vs bitstream context swap "
+                  "(XCV300 model)",
+            float_digits=2,
+        )
+        + footer,
+    )

@@ -1,0 +1,76 @@
+"""A14 — Energy cost of gradual reconfiguration (trace-driven).
+
+RAM writes are the most expensive events in the datapath's energy model,
+so shorter programs with fewer writes do not just save time — they save
+energy.  This benchmark measures, from actual switching activity, the
+energy of JSR vs EA migrations and puts both in context against the
+traffic surrounding them.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.ea import EAConfig, ea_program
+from repro.core.jsr import jsr_program
+from repro.hw.machine import HardwareFSM
+from repro.hw.power import estimate_power, reconfiguration_energy_pj
+from repro.workloads.mutate import workload_pair
+
+TRAFFIC_CYCLES = 200
+
+
+def run_cases():
+    rows = []
+    for n_deltas in (4, 8, 16):
+        src, tgt = workload_pair(12, n_deltas, seed=7700 + n_deltas)
+        programs = {
+            "JSR": jsr_program(src, tgt),
+            "EA": ea_program(
+                src, tgt,
+                config=EAConfig(population_size=24, generations=25, seed=0),
+            ),
+        }
+        for name, program in programs.items():
+            hw = HardwareFSM.for_migration(src, tgt)
+            import random
+
+            rng = random.Random(0)
+            hw.run([rng.choice(src.inputs) for _ in range(TRAFFIC_CYCLES)])
+            start = hw.cycles
+            hw.run_program(program)
+            end = hw.cycles
+            hw.run([rng.choice(tgt.inputs) for _ in range(TRAFFIC_CYCLES)])
+            reconf_pj = reconfiguration_energy_pj(hw, start, end)
+            total_pj = estimate_power(hw).energy_pj
+            rows.append(
+                {
+                    "|Td|": n_deltas,
+                    "method": name,
+                    "|Z|": len(program),
+                    "writes": program.write_count,
+                    "reconf energy (pJ)": reconf_pj,
+                    "share of run": reconf_pj / total_pj,
+                }
+            )
+    return rows
+
+
+def test_reconfiguration_energy(once, record_table):
+    rows = once(run_cases)
+
+    by_key = {(row["|Td|"], row["method"]): row for row in rows}
+    for n_deltas in (4, 8, 16):
+        jsr = by_key[(n_deltas, "JSR")]
+        ea = by_key[(n_deltas, "EA")]
+        # Shorter programs with fewer writes cost less energy.
+        assert ea["reconf energy (pJ)"] < jsr["reconf energy (pJ)"]
+        # Migration is a small share of a modest traffic window.
+        assert jsr["share of run"] < 0.5
+
+    record_table(
+        "energy",
+        format_table(
+            rows,
+            title="A14 — trace-driven energy of gradual reconfiguration "
+                  f"(embedded in 2x{TRAFFIC_CYCLES} cycles of traffic)",
+            float_digits=3,
+        ),
+    )

@@ -1,0 +1,69 @@
+"""F6 — Fig. 6: the migration pair M → M' and its delta transitions.
+
+Paper artifact: Fig. 6 shows a 3-state machine M and a 4-state target M'
+with the four delta transitions highlighted bold:
+``T_d = {(0,S1,S0,0), (1,S2,S3,0), (1,S3,S3,1), (0,S3,S0,0)}``
+(Example 4.1).  We recompute the delta set per Def. 4.2 and verify it
+matches the paper exactly, then benchmark delta computation at scale.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.delta import delta_count, delta_transitions
+from repro.workloads.library import fig6_m, fig6_m_prime
+from repro.workloads.mutate import mutate_target
+from repro.workloads.random_fsm import random_fsm
+
+PAPER_DELTAS = {
+    "(0, S1, S0, 0)",
+    "(1, S2, S3, 0)",
+    "(1, S3, S3, 1)",
+    "(0, S3, S0, 0)",
+}
+
+
+def compute_many_delta_sets():
+    total = 0
+    for seed in range(50):
+        source = random_fsm(n_states=32, n_inputs=4, seed=seed)
+        target = mutate_target(source, 40, seed=seed)
+        total += delta_count(source, target)
+    return total
+
+
+def test_fig6_delta_transitions(benchmark, record_table):
+    m, mp = fig6_m(), fig6_m_prime()
+    deltas = delta_transitions(m, mp)
+
+    # Exactly the paper's highlighted set.
+    assert {str(t) for t in deltas} == PAPER_DELTAS
+    assert len(deltas) == 4
+
+    # The reasons each is a delta (Def. 4.2's conditions).
+    reasons = {}
+    for t in deltas:
+        if t.source not in set(m.states):
+            reasons[str(t)] = "s_x is a new state"
+        elif t.target not in set(m.states):
+            reasons[str(t)] = "s_y is a new state"
+        elif m.next_state(t.input, t.source) != t.target:
+            reasons[str(t)] = "F disagrees"
+        else:
+            reasons[str(t)] = "G disagrees"
+    assert reasons["(0, S1, S0, 0)"] == "F disagrees"
+    assert reasons["(1, S2, S3, 0)"] == "s_y is a new state"
+    assert reasons["(1, S3, S3, 1)"] == "s_x is a new state"
+    assert reasons["(0, S3, S0, 0)"] == "s_x is a new state"
+
+    # Throughput benchmark: delta sets on 50 32-state machines.
+    total = benchmark(compute_many_delta_sets)
+    assert total == 50 * 40  # exact |Td| control at scale
+
+    rows = [
+        {"delta transition": text, "Def. 4.2 condition": reason}
+        for text, reason in sorted(reasons.items())
+    ]
+    record_table(
+        "fig6_delta",
+        format_table(rows, title="Fig. 6 — delta transitions of M -> M' "
+                                 "(matches Example 4.1 exactly)"),
+    )

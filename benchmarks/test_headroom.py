@@ -1,0 +1,60 @@
+"""A15 — The price of migration headroom (Def. 4.1 supersets).
+
+Sizing the datapath for the superset ``S_super ⊇ S ∪ S'`` is what makes
+in-place migration possible — but headroom is not free: every extra RAM
+address bit doubles the table memory and slows the registered loop.
+This benchmark sweeps the headroom of an 8-state machine and reports the
+area (RAM bits) and clock (f_max) cost per added state capacity,
+locating the stepwise cliffs at the power-of-two boundaries.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.alphabet import bits_for
+from repro.hw.fpga import estimate_resources
+from repro.hw.timing import estimate_timing
+from repro.workloads.random_fsm import random_fsm
+
+BASE_STATES = 8
+
+
+def run_sweep():
+    machine = random_fsm(n_states=BASE_STATES, seed=55)
+    base_timing = estimate_timing(machine)
+    rows = []
+    for extra in (0, 8, 24, 56, 120):
+        resources = estimate_resources(machine, extra_states=extra)
+        timing = estimate_timing(machine, extra_states=extra)
+        rows.append(
+            {
+                "state capacity": BASE_STATES + extra,
+                "state bits": bits_for(BASE_STATES + extra),
+                "RAM bits (F+G)": resources.total_ram_bits,
+                "f_max (MHz)": timing.f_max_hz / 1e6,
+                "clock loss": 1 - timing.f_max_hz / base_timing.f_max_hz,
+            }
+        )
+    return rows
+
+
+def test_headroom_cost(once, record_table):
+    rows = once(run_sweep)
+
+    # Area doubles (at least) with every extra state bit.
+    for a, b in zip(rows, rows[1:]):
+        if b["state bits"] > a["state bits"]:
+            assert b["RAM bits (F+G)"] > a["RAM bits (F+G)"]
+            assert b["f_max (MHz)"] < a["f_max (MHz)"]
+    # The clock penalty stays modest: headroom is cheap in speed,
+    # expensive in memory.
+    assert rows[-1]["clock loss"] < 0.35
+    assert rows[-1]["RAM bits (F+G)"] >= 16 * rows[0]["RAM bits (F+G)"]
+
+    record_table(
+        "headroom",
+        format_table(
+            rows,
+            title="A15 — Def. 4.1 superset headroom: area and clock cost "
+                  f"(base machine: {BASE_STATES} states)",
+            float_digits=2,
+        ),
+    )

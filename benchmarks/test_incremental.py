@@ -1,0 +1,78 @@
+"""A12 — Incremental migration: bounded stalls vs total cost.
+
+A monolithic program minimises total reconfiguration cycles but
+concentrates them in one stall; the safe-chunked incremental migration
+bounds every individual stall to one chunk (≤ 6 cycles) at roughly twice
+the total cost.  This benchmark measures both shapes on parser upgrades
+and random migrations, and verifies the blend invariant (every packet is
+classified by exactly the old or the new policy — no garbage verdicts).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.incremental import chunks_to_program, incremental_chunks
+from repro.core.jsr import jsr_program
+from repro.protocols.packet import packet_stream, revision
+from repro.protocols.rolling import RollingUpgradeScenario
+from repro.protocols.scenario import LiveUpgradeScenario
+from repro.workloads.mutate import workload_pair
+
+
+def run_cases():
+    rows = []
+    # parser upgrade under traffic
+    old = revision("v1", 4, {0x8, 0x6})
+    new = revision("v2", 4, {0x8, 0x6, 0xD, 0xE})
+    packets = packet_stream(60, seed=9, hot_codes=[0x8, 0xD])
+    rolling = RollingUpgradeScenario(old, new, stall_budget=6).run(
+        packets, upgrade_after=20
+    )
+    monolithic = LiveUpgradeScenario(old, new, optimiser="jsr").run(
+        packets, upgrade_after=20
+    )
+    assert rolling.clean and monolithic.zero_misclassification
+    rows.append(
+        {
+            "workload": "parser v1->v2 under traffic",
+            "max stall (rolling)": rolling.max_single_stall,
+            "total (rolling)": rolling.total_stall_cycles,
+            "max stall (monolithic)": monolithic.stall_cycles,
+            "total (monolithic)": monolithic.stall_cycles,
+        }
+    )
+    # random migrations, program shapes only
+    for n_deltas in (4, 10):
+        src, tgt = workload_pair(10, n_deltas, seed=8800 + n_deltas)
+        chunks = incremental_chunks(src, tgt)
+        total_inc = sum(len(c) for c in chunks)
+        assert chunks_to_program(chunks, src, tgt).is_valid()
+        jsr_len = len(jsr_program(src, tgt))
+        rows.append(
+            {
+                "workload": f"random |Td|={n_deltas}",
+                "max stall (rolling)": max(len(c) for c in chunks),
+                "total (rolling)": total_inc,
+                "max stall (monolithic)": jsr_len,
+                "total (monolithic)": jsr_len,
+            }
+        )
+    return rows
+
+
+def test_incremental_migration(once, record_table):
+    rows = once(run_cases)
+
+    for row in rows:
+        # bounded stalls: each pause is at most one chunk
+        assert row["max stall (rolling)"] <= 6
+        assert row["max stall (rolling)"] < row["max stall (monolithic)"]
+        # the price: about twice the total cycles
+        assert row["total (rolling)"] <= 2.5 * row["total (monolithic)"]
+
+    record_table(
+        "incremental",
+        format_table(
+            rows,
+            title="A12 — bounded-stall incremental migration vs monolithic "
+                  "(cycles)",
+        ),
+    )

@@ -1,0 +1,68 @@
+"""A7 — Gradual reconfiguration vs multi-context FPGAs (refs [8, 13]).
+
+The paper's related work reconfigures by switching between complete
+on-chip configuration planes (Trimberger's time-multiplexed FPGA, NEC's
+DRAM-FPGA).  This benchmark quantifies the trade-off triangle on a
+migration workload:
+
+* a *resident* target switches in ~1 cycle — multi-context wins cycles;
+* a *non-resident* target pays a plane download first — gradual wins;
+* memory cost is ``N×`` the single-plane footprint — gradual always
+  wins memory, which is the niche the paper claims (arbitrary targets,
+  one plane).
+"""
+
+import statistics
+
+from repro.analysis.tables import format_table
+from repro.core.ea import EAConfig, ea_program
+from repro.hw.multicontext import MultiContextFSM, compare_migration
+from repro.workloads.mutate import workload_pair
+
+EA_CONFIG = EAConfig(population_size=24, generations=25, seed=0)
+N_CONTEXTS = 8
+
+
+def run_cases():
+    rows = []
+    for n_deltas in (2, 6, 12):
+        src, tgt = workload_pair(10, n_deltas, seed=8000 + n_deltas)
+        program = ea_program(src, tgt, config=EA_CONFIG)
+        resident = MultiContextFSM([src, tgt], n_contexts=N_CONTEXTS)
+        missing = MultiContextFSM([src], n_contexts=N_CONTEXTS)
+        hit = compare_migration(program, resident)
+        miss = compare_migration(program, missing)
+        rows.append(
+            {
+                "|Td|": n_deltas,
+                "gradual cycles": hit.gradual_cycles,
+                "ctx switch (hit)": hit.context_cycles,
+                "ctx switch (miss)": miss.context_cycles,
+                "gradual memory (bits)": hit.gradual_memory_bits,
+                f"ctx memory x{N_CONTEXTS} (bits)": hit.context_memory_bits,
+            }
+        )
+    return rows
+
+
+def test_multicontext_tradeoff(once, record_table):
+    rows = once(run_cases)
+
+    for row in rows:
+        # Resident hit: the multi-context switch is faster.
+        assert row["ctx switch (hit)"] < row["gradual cycles"]
+        # Miss: the plane download dwarfs the gradual program.
+        assert row["ctx switch (miss)"] > row["gradual cycles"]
+        # Memory: N contexts cost N single-plane footprints.
+        assert row[f"ctx memory x{N_CONTEXTS} (bits)"] == (
+            N_CONTEXTS * row["gradual memory (bits)"]
+        )
+
+    record_table(
+        "multicontext_tradeoff",
+        format_table(
+            rows,
+            title=f"A7 — gradual vs {N_CONTEXTS}-context FPGA "
+                  "(cycle and memory costs per migration)",
+        ),
+    )

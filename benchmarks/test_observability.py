@@ -1,0 +1,70 @@
+"""A11 — Observability latency of configuration upsets.
+
+How long does a silent SEU lurk before live traffic exposes it at the
+ports?  The answer calibrates the scrubbing policy (A8): if most upsets
+surface within tens of cycles under realistic traffic, lock-step
+checking suffices; the tail that stays silent motivates periodic
+W-method sweeps.  We measure the latency distribution across machine
+shapes (uniform traffic vs self-loop-heavy machines whose entries are
+addressed unevenly).
+"""
+
+import statistics
+
+from repro.analysis.tables import format_table
+from repro.hw.checker import latency_distribution
+from repro.workloads.random_fsm import random_fsm
+
+MAX_CYCLES = 3000
+N_UPSETS = 15
+
+
+def run_sweep():
+    rows = []
+    shapes = {
+        "uniform 8-state": dict(n_states=8, seed=70),
+        "uniform 16-state": dict(n_states=16, seed=71),
+        "loopy 8-state": dict(n_states=8, seed=72, self_loop_bias=0.7,
+                              connect=False),
+    }
+    for name, spec in shapes.items():
+        machine = random_fsm(**spec)
+        latencies, silent = latency_distribution(
+            machine, n_upsets=N_UPSETS, max_cycles=MAX_CYCLES
+        )
+        rows.append(
+            {
+                "machine": name,
+                "observed": len(latencies),
+                "silent": silent,
+                "median latency": (
+                    statistics.median(latencies) if latencies else None
+                ),
+                "max latency": max(latencies) if latencies else None,
+            }
+        )
+    return rows
+
+
+def test_observability_latency(once, record_table):
+    rows = once(run_sweep)
+
+    for row in rows:
+        assert row["observed"] + row["silent"] == N_UPSETS
+        if row["observed"]:
+            assert row["median latency"] < MAX_CYCLES
+
+    # Most upsets surface quickly on uniformly exercised machines.
+    uniform = rows[0]
+    assert uniform["observed"] >= N_UPSETS // 2
+    assert uniform["median latency"] < 200
+
+    record_table(
+        "observability",
+        format_table(
+            rows,
+            title=f"A11 — SEU observability latency under random traffic "
+                  f"({N_UPSETS} upsets per machine, cap {MAX_CYCLES} cycles)",
+            float_digits=1,
+        ),
+    )

@@ -1,0 +1,90 @@
+"""S1 — Scaling: program length and synthesis cost vs machine size.
+
+Not a single paper artifact but the sweep DESIGN.md commissions: how the
+heuristics behave as the state space and the delta count grow.  Checks
+the structural trends the theory predicts — JSR grows linearly in |Td|
+and is independent of |S|, the EA's advantage persists at scale — and
+benchmarks synthesis throughput.
+"""
+
+import statistics
+
+from repro.analysis.tables import format_table
+from repro.core.ea import EAConfig, evolve_program
+from repro.core.greedy import greedy_program
+from repro.core.jsr import jsr_program
+from repro.workloads.mutate import workload_pair
+
+EA_CONFIG = EAConfig(population_size=24, generations=25, seed=0)
+
+
+def sweep_delta_sizes():
+    rows = []
+    for n_deltas in (2, 6, 10, 14, 18):
+        jsr_lens, ea_lens, greedy_lens = [], [], []
+        for seed in range(2):
+            src, tgt = workload_pair(14, n_deltas, seed=9000 + n_deltas + seed)
+            jsr_lens.append(len(jsr_program(src, tgt)))
+            ea_lens.append(
+                len(evolve_program(src, tgt, config=EA_CONFIG).program)
+            )
+            greedy_lens.append(len(greedy_program(src, tgt, improve=False)))
+        rows.append(
+            {
+                "|Td|": n_deltas,
+                "JSR": statistics.fmean(jsr_lens),
+                "greedy": statistics.fmean(greedy_lens),
+                "EA": statistics.fmean(ea_lens),
+            }
+        )
+    return rows
+
+
+def sweep_state_sizes():
+    rows = []
+    for n_states in (6, 12, 24, 48):
+        src, tgt = workload_pair(n_states, 8, seed=9500 + n_states)
+        rows.append(
+            {
+                "|S|": n_states,
+                "JSR": len(jsr_program(src, tgt)),
+                "EA": len(evolve_program(src, tgt, config=EA_CONFIG).program),
+            }
+        )
+    return rows
+
+
+def test_scaling_sweeps(once, record_table):
+    delta_rows, state_rows = once(
+        lambda: (sweep_delta_sizes(), sweep_state_sizes())
+    )
+
+    # JSR is linear in |Td| (slope 3) and all heuristics stay ordered.
+    for row in delta_rows:
+        assert row["JSR"] in (3 * row["|Td|"], 3 * (row["|Td|"] + 1))
+        assert row["EA"] <= row["greedy"] + 1
+        assert row["EA"] < row["JSR"]
+    # The EA's advantage grows with |Td| in absolute cycles.
+    assert (delta_rows[-1]["JSR"] - delta_rows[-1]["EA"]) > (
+        delta_rows[0]["JSR"] - delta_rows[0]["EA"]
+    )
+
+    # JSR length is independent of the state-space size at fixed |Td|.
+    jsr_lengths = {row["JSR"] for row in state_rows}
+    assert jsr_lengths <= {3 * 8, 3 * 9}
+    for row in state_rows:
+        assert row["EA"] < row["JSR"]
+
+    record_table(
+        "scaling",
+        format_table(
+            delta_rows,
+            title="S1a — |Z| vs |Td| (14-state machines, mean of 2 seeds)",
+            float_digits=1,
+        )
+        + "\n\n"
+        + format_table(
+            state_rows,
+            title="S1b — |Z| vs |S| at fixed |Td| = 8",
+        ),
+    )

@@ -1,0 +1,74 @@
+"""A8 — SEU scrubbing through gradual reconfiguration.
+
+SRAM configuration upsets corrupt the running FSM's table.  The repair
+loop built on this library — detect by W-method conformance testing,
+locate as delta transitions, repair with a decoded program — runs
+entirely through the paper's own mechanism.  The benchmark sweeps the
+number of simultaneous upsets and reports detection rate and repair
+cost, asserting every corruption is repaired and the cost stays within
+the Thm. 4.2 band for the corruption's delta count.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.verify import verify_hardware
+from repro.hw.faults import corrupted_entries, inject_upset, scrub_program, scrub
+from repro.hw.machine import HardwareFSM
+from repro.hw.memory import UninitialisedRead
+from repro.workloads.random_fsm import random_fsm
+
+
+def run_sweep():
+    machine = random_fsm(n_states=8, n_inputs=2, n_outputs=2, seed=77)
+    rows = []
+    for n_upsets in (1, 2, 4, 8):
+        detected = 0
+        repaired = 0
+        costs = []
+        trials = 5
+        for trial in range(trials):
+            hw = HardwareFSM(machine)
+            seed = 0
+            while len(corrupted_entries(hw, machine)) < n_upsets:
+                inject_upset(hw, seed=100 * n_upsets + trial * 37 + seed)
+                seed += 1
+            try:
+                detected += not verify_hardware(hw, machine).passed
+            except (UninitialisedRead, ValueError):
+                detected += 1  # garbage read/decode is also a detection
+            n_wrong = len(corrupted_entries(hw, machine))
+            program = scrub(hw, machine)
+            costs.append(len(program))
+            repaired += hw.realises(machine)
+            assert len(program) <= 3 * (n_wrong + 1)
+        rows.append(
+            {
+                "upsets": n_upsets,
+                "detected": f"{detected}/{trials}",
+                "repaired": f"{repaired}/{trials}",
+                "mean scrub |Z|": sum(costs) / len(costs),
+            }
+        )
+    return rows
+
+
+def test_scrubbing(once, record_table):
+    rows = once(run_sweep)
+
+    for row in rows:
+        trials = int(row["repaired"].split("/")[1])
+        assert row["repaired"] == f"{trials}/{trials}"
+        assert row["detected"] == f"{trials}/{trials}"
+        # repair cost grows with corruption but stays in the JSR band
+        assert row["mean scrub |Z|"] >= 1
+
+    assert rows[-1]["mean scrub |Z|"] > rows[0]["mean scrub |Z|"]
+
+    record_table(
+        "scrubbing",
+        format_table(
+            rows,
+            title="A8 — SEU scrubbing: detect (W-method) / locate (deltas) "
+                  "/ repair (gradual program)",
+            float_digits=1,
+        ),
+    )

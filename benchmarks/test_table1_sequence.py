@@ -1,0 +1,68 @@
+"""T1 — Table 1: the reconfiguration sequence of the Example 2.1 machine.
+
+Paper artifact: Table 1 lists, for the four reconfiguration states
+r1..r4, the values of H_i, H_f and H_g that gradually turn the Fig. 3
+ones-detector into the reconfigured machine of Fig. 4:
+
+    r  | Hi | Hf | Hg
+    r1 | 1  | S1 | 0
+    r2 | 1  | S1 | 0
+    r3 | 0  | S0 | 0
+    r4 | 0  | S0 | 1
+
+We replay exactly these rows through the Def. 2.2 model *and* the
+cycle-accurate Fig. 5 datapath and verify both reach the Table-1 target
+machine in four cycles.  The benchmark times the hardware replay.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.reconfigurable import ReconfigurableFSM, ReconfiguratorEntry
+from repro.hw.machine import HardwareFSM, ReconCommand
+from repro.workloads.library import ones_detector, table1_target
+
+TABLE1_ROWS = [
+    ("r1", "1", "S1", "0"),
+    ("r2", "1", "S1", "0"),
+    ("r3", "0", "S0", "0"),
+    ("r4", "0", "S0", "1"),
+]
+
+
+def replay_on_hardware():
+    hw = HardwareFSM(ones_detector())
+    outputs = [
+        hw.cycle(recon=ReconCommand(ir=hi, hf=hf, hg=hg))
+        for _name, hi, hf, hg in TABLE1_ROWS
+    ]
+    return hw, outputs
+
+
+def test_table1_reconfiguration_sequence(benchmark, record_table):
+    hw, outputs = benchmark(replay_on_hardware)
+
+    # Shape checks: 4 cycles, machine fully reconfigured, ends in S0.
+    assert hw.realises(table1_target())
+    assert hw.state == "S0"
+    assert hw.cycles == 4
+
+    # The model-level Def. 2.2 machine agrees with the datapath.
+    model = ReconfigurableFSM(
+        ones_detector(),
+        {
+            name: ReconfiguratorEntry(hi=hi, hf=hf, hg=hg)
+            for name, hi, hf, hg in TABLE1_ROWS
+        },
+    )
+    model_outputs = [model.step("0", name) for name, *_ in TABLE1_ROWS]
+    assert model.realises(table1_target())
+    assert model_outputs == outputs
+
+    rows = [
+        {"r": name, "Hi": hi, "Hf": hf, "Hg": hg, "output": out}
+        for (name, hi, hf, hg), out in zip(TABLE1_ROWS, outputs)
+    ]
+    record_table(
+        "table1_sequence",
+        format_table(rows, title="Table 1 — reconfiguration sequence "
+                                 "(4 cycles, paper rows replayed verbatim)"),
+    )

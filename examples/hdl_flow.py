@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The HDL flow: model → VHDL/Verilog → testbench → parse-back → VCD.
+
+Shows the complete hardware-engineering surface around one machine:
+
+1. generate the behavioural VHDL (paper Example 2.1 style) and the
+   Fig. 5 structural architecture in both VHDL and Verilog,
+2. generate a self-checking VHDL testbench whose expected outputs come
+   from the library's own simulation,
+3. parse the generated VHDL *back* into a machine and prove behavioural
+   equivalence (the round-trip closes without any external simulator),
+4. run the datapath and export a standard VCD waveform.
+
+Run: ``python examples/hdl_flow.py``
+"""
+
+import os
+
+from repro.core.alphabet import Alphabet
+from repro.hw import (
+    HardwareFSM,
+    generate_fsm_verilog,
+    generate_fsm_vhdl,
+    generate_reconfigurable_verilog,
+    generate_reconfigurable_vhdl,
+    generate_testbench_vhdl,
+    parse_fsm_vhdl,
+    write_vcd,
+)
+from repro.workloads import sequence_detector
+
+OUT_DIR = "benchmarks/results/hdl"
+
+
+def main():
+    machine = sequence_detector("1011")
+    os.makedirs(OUT_DIR, exist_ok=True)
+    print(f"machine: {machine.name} ({len(machine.states)} states)\n")
+
+    artifacts = {
+        "detector.vhd": generate_fsm_vhdl(machine),
+        "detector_fig5.vhd": generate_reconfigurable_vhdl(
+            machine, extra_states=4
+        ),
+        "detector.v": generate_fsm_verilog(machine),
+        "detector_fig5.v": generate_reconfigurable_verilog(
+            machine, extra_states=4
+        ),
+        "detector_tb.vhd": generate_testbench_vhdl(
+            machine, list("110110111011")
+        ),
+    }
+    for name, text in artifacts.items():
+        path = os.path.join(OUT_DIR, name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"wrote {path} ({len(text.splitlines())} lines)")
+
+    # Round-trip: parse the behavioural VHDL back and compare behaviour.
+    parsed = parse_fsm_vhdl(artifacts["detector.vhd"])
+    in_alpha = Alphabet(machine.inputs)
+    out_alpha = Alphabet(machine.outputs)
+    word = list("11011011101011")
+    expected = [
+        "".join(str(b) for b in out_alpha.encode(o))
+        for o in machine.run(word)
+    ]
+    encoded = ["".join(str(b) for b in in_alpha.encode(i)) for i in word]
+    assert parsed.run(encoded) == expected
+    print(
+        f"\nround-trip: parse(generate(machine)) reproduces "
+        f"{len(word)} cycles of behaviour exactly."
+    )
+
+    # Simulate and dump a waveform.
+    hw = HardwareFSM(machine)
+    hw.run(word)
+    vcd_path = os.path.join(OUT_DIR, "detector.vcd")
+    write_vcd(hw.trace, vcd_path)
+    print(f"waveform written to {vcd_path} (open with GTKWave)")
+
+
+if __name__ == "__main__":
+    main()

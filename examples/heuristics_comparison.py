@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Heuristics shoot-out: JSR vs greedy vs EA vs the exact optimum.
+
+Regenerates a Table-2-style comparison on seeded random migrations and,
+for small instances, calibrates every heuristic against the true optimum
+found by A* search.  Prints the paper's headline shape: the EA is
+considerably shorter than JSR, sometimes by more than 50 %.
+
+Run: ``python examples/heuristics_comparison.py``
+"""
+
+import statistics
+
+from repro.analysis.stats import reduction_percent
+from repro.analysis.tables import format_table
+from repro.core import (
+    EAConfig,
+    delta_count,
+    ea_program,
+    greedy_program,
+    jsr_program,
+    optimal_program,
+)
+from repro.core.optimal import SearchLimitExceeded
+from repro.workloads import workload_pair
+
+EA_CONFIG = EAConfig(population_size=40, generations=60, seed=0)
+
+
+def main():
+    print("== sweep: |Z| vs |Td| on 12-state machines ==\n")
+    rows = []
+    for n_deltas in (2, 4, 8, 12, 16, 20):
+        jsr_lens, greedy_lens, ea_lens = [], [], []
+        for seed in range(3):
+            src, tgt = workload_pair(12, n_deltas, seed=100 * n_deltas + seed)
+            jsr_lens.append(len(jsr_program(src, tgt)))
+            greedy_lens.append(len(greedy_program(src, tgt)))
+            ea_lens.append(len(ea_program(src, tgt, config=EA_CONFIG)))
+        jsr_mean = statistics.fmean(jsr_lens)
+        ea_mean = statistics.fmean(ea_lens)
+        rows.append(
+            {
+                "|Td|": n_deltas,
+                "JSR": jsr_mean,
+                "greedy+2opt": statistics.fmean(greedy_lens),
+                "EA": ea_mean,
+                "EA vs JSR": f"-{reduction_percent(ea_mean, jsr_mean):.0f}%",
+            }
+        )
+    print(format_table(rows, title="mean |Z| over 3 seeds", float_digits=1))
+
+    print("\n== calibration against the exact optimum (small instances) ==\n")
+    rows = []
+    for seed in range(5):
+        src, tgt = workload_pair(6, 3, seed=seed)
+        try:
+            opt = len(optimal_program(src, tgt))
+        except SearchLimitExceeded:
+            opt = None
+        rows.append(
+            {
+                "seed": seed,
+                "|Td|": delta_count(src, tgt),
+                "optimal": opt,
+                "EA": len(ea_program(src, tgt, config=EA_CONFIG)),
+                "greedy+2opt": len(greedy_program(src, tgt)),
+                "JSR": len(jsr_program(src, tgt)),
+            }
+        )
+    print(format_table(rows, title="per-instance |Z| (lower is better)"))
+    print(
+        "\nThe EA tracks the optimum closely; JSR pays its fixed "
+        "3 cycles per delta — the price of provable feasibility "
+        "(Thm. 4.1) with a calculable program length (Thm. 4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Live protocol upgrade: the application domain the paper motivates.
+
+"Real application domains that may profit from the concept of
+(self-)reconfigurable FSMs are areas of time-varying control, e.g.,
+network protocol applications that require packet-dependent processing."
+(paper, Sec. 1)
+
+This example runs a header-parser FSM in the cycle-accurate Fig. 5
+hardware, classifying a packet stream against policy revision v1.  Mid
+stream, revision v2 arrives (one more accepted packet class); the parser
+is *gradually* reconfigured between two packets — a handful of clock
+cycles instead of a milliseconds-long bitstream swap — and traffic
+resumes with zero misclassification.
+
+Run: ``python examples/network_protocol.py``
+"""
+
+from repro.analysis.tables import format_table
+from repro.protocols import (
+    LiveUpgradeScenario,
+    build_parser,
+    packet_stream,
+    revision,
+    upgrade_deltas,
+)
+
+
+def main():
+    old = revision("v1", 4, accepted={0x8, 0x6})
+    new = revision("v2", 4, accepted={0x8, 0x6, 0xD})
+    print(f"revision v1 accepts: {sorted(hex(c) for c in old.accepted)}")
+    print(f"revision v2 accepts: {sorted(hex(c) for c in new.accepted)}")
+
+    parser = build_parser(old)
+    print(f"\nparser FSM: {len(parser.states)} states "
+          f"({old.header_bits}-bit headers, binary trie)")
+
+    deltas = upgrade_deltas(old, new)
+    print(f"policy upgrade needs {len(deltas)} delta transition(s):")
+    for t in deltas:
+        print(f"  {t}")
+
+    scenario = LiveUpgradeScenario(old, new, optimiser="ea")
+    print(f"\nreconfiguration program ({scenario.program.method}): "
+          f"|Z| = {len(scenario.program)} cycles")
+
+    packets = packet_stream(60, seed=7, hot_codes=[0x8, 0xD], hot_fraction=0.5)
+    report = scenario.run(packets, upgrade_after=30)
+
+    rows = [
+        {"metric": "packets processed", "value": report.packets_total},
+        {"metric": "  before upgrade", "value": report.packets_before_upgrade},
+        {"metric": "  after upgrade", "value": report.packets_after_upgrade},
+        {"metric": "misclassified", "value": report.misclassified},
+        {"metric": "stall cycles (gradual)", "value": report.stall_cycles},
+        {"metric": "gradual upgrade time", "value": f"{report.gradual_seconds * 1e9:.0f} ns"},
+        {"metric": "full context swap", "value": f"{report.full_swap_seconds * 1e3:.2f} ms"},
+        {"metric": "speedup vs swap", "value": f"{report.speedup_vs_full_swap:,.0f}x"},
+    ]
+    print("\n" + format_table(rows, title="live-upgrade report"))
+
+    assert report.zero_misclassification
+    print("\nevery packet got the verdict of its era's policy — "
+          "zero-downtime upgrade.")
+
+    sample = [(str(p), "accept" if acc else "reject")
+              for p, acc in report.verdicts[28:34]]
+    print("\nverdicts around the upgrade boundary (packets 28-33):")
+    for name, verdict in sample:
+        print(f"  {name}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Self-reconfiguring string matching (the application of refs [9, 10]).
+
+A KMP-style pattern detector runs in the Fig. 5 datapath and scans a
+random bitstream.  Mid-scan the pattern of interest changes twice; each
+change is a *gradual* migration of the live machine — a handful of clock
+cycles — instead of swapping a precompiled context.  Match counts are
+checked against a software oracle throughout.
+
+Run: ``python examples/string_matching.py``
+"""
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.apps.string_match import PatternMatcher, count_matches
+
+
+def main():
+    rng = random.Random(2002)
+    matcher = PatternMatcher("1011", max_pattern_length=6)
+    print(f"initial pattern: {matcher.pattern} "
+          f"({len(matcher.machine.states)}-state detector, superset sized "
+          f"for patterns up to {matcher.max_pattern_length} bits)")
+
+    rows = []
+    for pattern in ("1011", "111", "010010"):
+        if pattern != matcher.pattern:
+            record = matcher.swap_pattern(pattern)
+            print(
+                f"\nswapped {record.old_pattern} -> {record.new_pattern}: "
+                f"{record.delta_count} delta transitions, "
+                f"|Z| = {record.program_length} cycles ({record.method})"
+            )
+        text = "".join(rng.choice("01") for _ in range(2000))
+        matcher.matches = 0
+        matcher.feed(text)
+        oracle = count_matches(pattern, text)
+        rows.append(
+            {
+                "pattern": pattern,
+                "bits scanned": len(text),
+                "matches (hardware)": matcher.matches,
+                "matches (oracle)": oracle,
+                "agree": matcher.matches == oracle,
+            }
+        )
+        assert matcher.matches == oracle
+
+    print("\n" + format_table(rows, title="scan results across live pattern swaps"))
+    total_swap_cycles = sum(r.program_length for r in matcher.swaps)
+    print(
+        f"\ntotal reconfiguration cost across {len(matcher.swaps)} swaps: "
+        f"{total_swap_cycles} clock cycles "
+        f"({total_swap_cycles * 20} ns at 50 MHz) — the scanner never "
+        "lost its clock."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — reproduction of "(Self-)reconfigurable Finite State Machines:
+Theory and Implementation" (Markus Köster & Jürgen Teich, DATE 2002).
+
+The package implements the paper end to end:
+
+* :mod:`repro.core` — the formal models (Defs. 2.1/2.2), delta
+  transitions (Def. 4.2), reconfiguration programs, the JSR heuristic,
+  the evolutionary heuristic, greedy and exact baselines, and the
+  feasibility/bound theorems (Thms. 4.1-4.3);
+* :mod:`repro.hw` — the cycle-accurate Fig. 5 datapath (F-RAM/G-RAM,
+  ST-REG, muxes, Reconfigurator), a Virtex-XCV300-style resource/timing
+  model, and a VHDL backend;
+* :mod:`repro.workloads` — every machine from the paper's figures plus
+  seeded random machines and controlled migration pairs;
+* :mod:`repro.protocols` — the packet-dependent-processing application
+  domain the paper motivates, with a live policy-upgrade scenario;
+* :mod:`repro.analysis` — statistics and paper-style table rendering for
+  the benchmark harness.
+
+Quickstart::
+
+    from repro import FSM, delta_transitions, jsr_program, ea_program
+    from repro.workloads import fig6_m, fig6_m_prime
+
+    m, m_prime = fig6_m(), fig6_m_prime()
+    print(len(delta_transitions(m, m_prime)))   # |Td| = 4
+    print(len(jsr_program(m, m_prime)))         # 3*(|Td|+1) = 15
+    print(len(ea_program(m, m_prime)))          # considerably shorter
+"""
+
+from .core import (
+    EAConfig,
+    FSM,
+    FSMError,
+    MooreFSM,
+    NondeterministicFSM,
+    Program,
+    ReconfigurableFSM,
+    SelfReconfigurableFSM,
+    Transition,
+    Trigger,
+    check_program,
+    delta_count,
+    delta_transitions,
+    ea_program,
+    evolve_program,
+    feasibility_witness,
+    greedy_program,
+    is_feasible,
+    jsr_length,
+    jsr_program,
+    lower_bound,
+    optimal_program,
+    upper_bound,
+)
+from .hw import HardwareFSM, SelfReconfigurableHardware
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EAConfig",
+    "FSM",
+    "FSMError",
+    "HardwareFSM",
+    "MooreFSM",
+    "NondeterministicFSM",
+    "Program",
+    "ReconfigurableFSM",
+    "SelfReconfigurableFSM",
+    "SelfReconfigurableHardware",
+    "Transition",
+    "Trigger",
+    "__version__",
+    "check_program",
+    "delta_count",
+    "delta_transitions",
+    "ea_program",
+    "evolve_program",
+    "feasibility_witness",
+    "greedy_program",
+    "is_feasible",
+    "jsr_length",
+    "jsr_program",
+    "lower_bound",
+    "optimal_program",
+    "upper_bound",
+]

@@ -1,0 +1,39 @@
+"""Statistics and table rendering for the benchmark harness."""
+
+from .campaign import Campaign, Factor, Results
+from .stats import (
+    OverheadReport,
+    Summary,
+    geometric_mean,
+    length_by_method,
+    overhead_report,
+    reduction_percent,
+)
+from .tables import format_series, format_table, paper_comparison
+from .tsp import (
+    TSPSizeError,
+    delta_distance_matrix,
+    held_karp_path,
+    tsp_order,
+    tsp_program,
+)
+
+__all__ = [
+    "Campaign",
+    "Factor",
+    "OverheadReport",
+    "Results",
+    "Summary",
+    "TSPSizeError",
+    "delta_distance_matrix",
+    "held_karp_path",
+    "tsp_order",
+    "tsp_program",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "length_by_method",
+    "overhead_report",
+    "paper_comparison",
+    "reduction_percent",
+]

@@ -1,0 +1,103 @@
+"""Program-length statistics and overhead metrics for the benchmarks."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..core.bounds import lower_bound, upper_bound
+from ..core.program import Program
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample of program lengths."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: int
+    maximum: int
+    stdev: float
+
+    @classmethod
+    def of(cls, values: Sequence[int]) -> "Summary":
+        values = list(values)
+        if not values:
+            raise ValueError("cannot summarise an empty sample")
+        return cls(
+            count=len(values),
+            mean=statistics.fmean(values),
+            median=statistics.median(values),
+            minimum=min(values),
+            maximum=max(values),
+            stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f} median={self.median:.1f} "
+            f"min={self.minimum} max={self.maximum} sd={self.stdev:.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """One program judged against the analytic bounds and a baseline."""
+
+    length: int
+    lower: int
+    upper: int
+    baseline_length: Optional[int] = None
+
+    @property
+    def overhead_vs_lower(self) -> float:
+        """``|Z| / |T_d|`` — 1.0 means the strict lower bound was met."""
+        return self.length / max(1, self.lower)
+
+    @property
+    def reduction_vs_baseline(self) -> Optional[float]:
+        """Fractional saving against the baseline (e.g. JSR); None if unset."""
+        if self.baseline_length is None:
+            return None
+        return 1.0 - self.length / max(1, self.baseline_length)
+
+
+def overhead_report(
+    program: Program, baseline: Optional[Program] = None
+) -> OverheadReport:
+    """Build an :class:`OverheadReport` for one synthesised program."""
+    return OverheadReport(
+        length=len(program),
+        lower=lower_bound(program.source, program.target),
+        upper=upper_bound(program.source, program.target),
+        baseline_length=None if baseline is None else len(baseline),
+    )
+
+
+def reduction_percent(short: int, long: int) -> float:
+    """Percentage reduction of ``short`` relative to ``long``.
+
+    The paper's Table 2 claim is phrased this way ("sometimes more than
+    50 %" shorter programs from the EA versus JSR).
+    """
+    if long <= 0:
+        raise ValueError("baseline length must be positive")
+    return 100.0 * (1.0 - short / long)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    values = [v for v in values]
+    if not values:
+        raise ValueError("cannot average an empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def length_by_method(programs: Dict[str, Program]) -> Dict[str, int]:
+    """Map method name → program length for a comparison row."""
+    return {name: len(program) for name, program in programs.items()}

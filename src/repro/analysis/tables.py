@@ -1,0 +1,84 @@
+"""Paper-style text tables for the benchmark harness output.
+
+The benchmarks print the regenerated tables/figure series in the same
+row/column layout the paper uses, so a reader can hold the two side by
+side.  This module is plain text formatting — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Column order follows ``columns`` when given, else the key order of
+    the first row.  Floats are rounded to ``float_digits``; missing cells
+    render as ``-``.
+
+    >>> print(format_table([{"|Td|": 4, "|Z|": 15}], title="demo"))
+    demo
+    |Td| | |Z|
+    ---- | ---
+    4    | 15
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    grid = [[cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(columns[idx]), *(len(line[idx]) for line in grid))
+        for idx in range(len(columns))
+    ]
+    header = " | ".join(col.ljust(widths[idx]) for idx, col in enumerate(columns))
+    rule = " | ".join("-" * widths[idx] for idx in range(len(columns)))
+    body = [
+        " | ".join(line[idx].ljust(widths[idx]) for idx in range(len(columns)))
+        for line in grid
+    ]
+    lines = ([title] if title else []) + [header, rule] + body
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def format_series(
+    xs: Sequence[Any],
+    series: Dict[str, Sequence[Any]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Render several aligned y-series over a shared x-axis as a table."""
+    rows: List[Dict[str, Any]] = []
+    for idx, x in enumerate(xs):
+        row: Dict[str, Any] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[idx] if idx < len(values) else None
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def paper_comparison(
+    rows: Sequence[Dict[str, Any]],
+    measured_key: str,
+    paper_key: str,
+    label: str = "artifact",
+) -> str:
+    """Side-by-side paper-vs-measured table used by EXPERIMENTS.md."""
+    return format_table(
+        rows,
+        columns=[label, paper_key, measured_key],
+        title=f"paper vs measured ({measured_key})",
+    )

@@ -1,0 +1,5 @@
+"""Application-level systems built on the reconfigurable-FSM stack."""
+
+from .string_match import PatternMatcher, SwapRecord, count_matches
+
+__all__ = ["PatternMatcher", "SwapRecord", "count_matches"]

@@ -1,0 +1,146 @@
+"""Self-reconfiguring string matching — the application of the paper's
+references [9, 10] (Sidhu/Mei/Prasanna, "String matching on multicontext
+FPGAs using self-reconfiguration").
+
+A KMP-style pattern-detector FSM runs in the Fig. 5 datapath and scans a
+bitstream.  When the pattern of interest changes, the matcher *migrates*
+the running detector into the new pattern's detector by gradual
+reconfiguration — a few clock cycles in which the scanner keeps its
+clock, instead of a multi-context swap or a bitstream download.
+
+The detector machines come from
+:func:`repro.workloads.library.sequence_detector`; patterns of different
+lengths have different state counts, so the datapath is sized once for
+``max_pattern_length`` (the Def. 4.1 superset) and patterns may then be
+swapped freely at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.delta import delta_count
+from ..core.ea import EAConfig, ea_program
+from ..core.jsr import jsr_program
+from ..core.program import Program
+from ..hw.machine import HardwareFSM
+from ..workloads.library import sequence_detector
+
+
+@dataclass
+class SwapRecord:
+    """Bookkeeping for one pattern swap."""
+
+    old_pattern: str
+    new_pattern: str
+    delta_count: int
+    program_length: int
+    method: str
+
+
+class PatternMatcher:
+    """A hardware pattern scanner whose pattern is hot-swappable.
+
+    Parameters
+    ----------
+    pattern:
+        The initial binary pattern (e.g. ``"1011"``).
+    max_pattern_length:
+        Superset sizing: the longest pattern this matcher will ever be
+        reconfigured to (defaults to the initial pattern's length).
+    optimiser:
+        ``"ea"`` or ``"jsr"`` — the program synthesiser used for swaps.
+    """
+
+    def __init__(
+        self,
+        pattern: str,
+        max_pattern_length: Optional[int] = None,
+        optimiser: str = "ea",
+        ea_config: Optional[EAConfig] = None,
+    ):
+        limit = max_pattern_length or len(pattern)
+        if len(pattern) > limit:
+            raise ValueError("initial pattern exceeds max_pattern_length")
+        if optimiser not in ("ea", "jsr"):
+            raise ValueError(f"unknown optimiser {optimiser!r}")
+        self.optimiser = optimiser
+        self.ea_config = ea_config or EAConfig(
+            population_size=24, generations=25, seed=0
+        )
+        self.max_pattern_length = limit
+        self.pattern = pattern
+        self.machine = sequence_detector(pattern)
+        # Superset states: the longest pattern's prefix automaton.
+        widest = sequence_detector("1" * limit)
+        self.hardware = HardwareFSM(
+            self.machine,
+            extra_states=widest.states,
+            name=f"matcher_{pattern}",
+        )
+        self.swaps: List[SwapRecord] = []
+        self.matches = 0
+        self.scanned = 0
+
+    def _synthesise(self, target) -> Program:
+        if self.optimiser == "jsr":
+            return jsr_program(self.machine, target)
+        return ea_program(self.machine, target, config=self.ea_config)
+
+    def feed(self, bits: str) -> List[bool]:
+        """Scan bits through the live datapath; True marks a match end."""
+        flags = []
+        for bit in bits:
+            if bit not in "01":
+                raise ValueError(f"non-binary scan symbol {bit!r}")
+            out = self.hardware.step(bit)
+            hit = out == "1"
+            flags.append(hit)
+            self.matches += hit
+            self.scanned += 1
+        return flags
+
+    def swap_pattern(self, new_pattern: str) -> SwapRecord:
+        """Gradually reconfigure the scanner to detect ``new_pattern``.
+
+        The migration runs on the live datapath (one table write per
+        cycle); afterwards the scanner is in the new detector's reset
+        state, ready for fresh input.  Returns the swap bookkeeping.
+        """
+        if len(new_pattern) > self.max_pattern_length:
+            raise ValueError(
+                f"pattern {new_pattern!r} exceeds the superset sizing "
+                f"({self.max_pattern_length})"
+            )
+        target = sequence_detector(new_pattern)
+        program = self._synthesise(target)
+        self.hardware.run_program(program)
+        record = SwapRecord(
+            old_pattern=self.pattern,
+            new_pattern=new_pattern,
+            delta_count=delta_count(self.machine, target),
+            program_length=len(program),
+            method=program.method,
+        )
+        self.swaps.append(record)
+        self.pattern = new_pattern
+        self.machine = target
+        return record
+
+    def scan_report(self) -> Tuple[int, int]:
+        """``(bits scanned, matches found)`` so far."""
+        return self.scanned, self.matches
+
+
+def count_matches(pattern: str, text: str) -> int:
+    """Reference matcher (software oracle) for overlapping occurrences.
+
+    >>> count_matches("11", "1111")
+    3
+    """
+    count = 0
+    for idx in range(len(pattern), len(text) + 1):
+        if text[idx - len(pattern) : idx] == pattern:
+            count += 1
+    return count

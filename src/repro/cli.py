@@ -1,0 +1,349 @@
+"""Command-line interface: migrate KISS2 machines from the shell.
+
+The CLI covers the library's main flows on files in the KISS2 benchmark
+format::
+
+    python -m repro info machine.kiss
+    python -m repro minimize machine.kiss
+    python -m repro vhdl machine.kiss --reconfigurable
+    python -m repro dot source.kiss --target target.kiss
+    python -m repro deltas source.kiss target.kiss
+    python -m repro synth source.kiss target.kiss --method ea --sequence
+    python -m repro migrate source.kiss target.kiss --method jsr
+
+``synth`` prints the reconfiguration program (optionally as a Table-1
+style H-sequence); ``migrate`` additionally replays it on the
+cycle-accurate datapath and verifies the migration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_table
+from .analysis.tsp import tsp_program
+from .core.bounds import lower_bound, upper_bound
+from .core.delta import delta_transitions
+from .core.ea import EAConfig, ea_program
+from .core.greedy import greedy_program
+from .core.jsr import jsr_program
+from .core.minimize import equivalence_classes, is_minimal, minimize
+from .core.optimal import optimal_program
+from .core.program import Program
+from .core.verify import verify_hardware, w_method_suite
+from .hw.machine import HardwareFSM
+from .hw.vcd import to_vcd
+from .hw.verilog import generate_fsm_verilog, generate_reconfigurable_verilog
+from .hw.vhdl import generate_fsm_vhdl, generate_reconfigurable_vhdl
+from .io.dot import migration_to_dot, to_dot
+from .io.kiss import dumps as kiss_dumps
+from .io.kiss import load as kiss_load
+
+METHODS = ("jsr", "ea", "greedy", "tsp", "optimal")
+
+
+def _load(path: str, fill: Optional[str]):
+    complete_with = ("self", fill) if fill is not None else None
+    return kiss_load(path, name=path, complete_with=complete_with)
+
+
+def _synthesise(method: str, source, target, seed: int) -> Program:
+    if method == "jsr":
+        return jsr_program(source, target)
+    if method == "ea":
+        return ea_program(source, target, config=EAConfig(seed=seed))
+    if method == "greedy":
+        return greedy_program(source, target)
+    if method == "tsp":
+        return tsp_program(source, target)
+    if method == "optimal":
+        return optimal_program(source, target)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def cmd_info(args) -> int:
+    machine = _load(args.machine, args.fill)
+    rows = [
+        {"property": "states", "value": len(machine.states)},
+        {"property": "inputs", "value": len(machine.inputs)},
+        {"property": "outputs", "value": len(machine.outputs)},
+        {"property": "reset state", "value": machine.reset_state},
+        {"property": "transitions", "value": len(machine.table)},
+        {"property": "strongly connected",
+         "value": machine.is_strongly_connected()},
+        {"property": "Moore-style", "value": machine.is_moore()},
+        {"property": "minimal", "value": is_minimal(machine)},
+        {"property": "equivalence classes",
+         "value": len(equivalence_classes(machine))},
+    ]
+    print(format_table(rows, title=f"machine {args.machine}"))
+    return 0
+
+
+def cmd_minimize(args) -> int:
+    machine = _load(args.machine, args.fill)
+    minimal = minimize(machine)
+    print(kiss_dumps(minimal))
+    print(
+        f"# {len(machine.states)} -> {len(minimal.states)} states",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_vhdl(args) -> int:
+    machine = _load(args.machine, args.fill)
+    if args.reconfigurable:
+        print(generate_reconfigurable_vhdl(
+            machine, extra_states=args.extra_states
+        ))
+    else:
+        print(generate_fsm_vhdl(machine))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from .core.delta import delta_count
+    from .workloads.suite import migration_suite
+
+    rows = []
+    for name, factory in sorted(migration_suite().items()):
+        source, target = factory()
+        program = _synthesise(args.method, source, target, args.seed)
+        ok = program.is_valid()
+        rows.append(
+            {
+                "workload": name,
+                "|Td|": delta_count(source, target),
+                "|Z|": len(program),
+                "valid": ok,
+            }
+        )
+        if not ok:
+            print(f"INVALID: {name}", file=sys.stderr)
+    print(format_table(rows, title=f"suite x {args.method}"))
+    return 0 if all(row["valid"] for row in rows) else 1
+
+
+def cmd_report(args) -> int:
+    from .core.explain import migration_report
+
+    source = _load(args.source, args.fill)
+    target = _load(args.target, args.fill)
+    print(migration_report(source, target))
+    return 0
+
+
+def cmd_verilog(args) -> int:
+    machine = _load(args.machine, args.fill)
+    if args.reconfigurable:
+        print(generate_reconfigurable_verilog(
+            machine, extra_states=args.extra_states
+        ))
+    else:
+        print(generate_fsm_verilog(machine))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    machine = _load(args.machine, args.fill)
+    word = args.word.split(",") if "," in args.word else list(args.word)
+    hw = HardwareFSM(machine)
+    outputs = hw.run(word)
+    print("inputs : " + " ".join(str(i) for i in word))
+    print("outputs: " + " ".join(str(o) for o in outputs))
+    print(f"final state: {hw.state}")
+    if args.vcd:
+        with open(args.vcd, "w") as handle:
+            handle.write(to_vcd(hw.trace))
+        print(f"waveform written to {args.vcd}", file=sys.stderr)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    source = _load(args.source, args.fill)
+    target = _load(args.target, args.fill)
+    program = _synthesise(args.method, source, target, args.seed)
+    hw = HardwareFSM.for_migration(source, target)
+    hw.run_program(program)
+    result = verify_hardware(hw, target, extra_states=args.extra_states)
+    suite = w_method_suite(target, extra_states=args.extra_states)
+    print(
+        f"conformance: {'PASS' if result.passed else 'FAIL'} "
+        f"({result.words_run} words, {result.symbols_run} symbols, "
+        f"suite of {len(suite)})"
+    )
+    for word, expected, actual in result.failures[:5]:
+        print(f"  word {''.join(map(str, word))}: expected "
+              f"{expected}, got {actual}", file=sys.stderr)
+    return 0 if result.passed else 1
+
+
+def cmd_dot(args) -> int:
+    machine = _load(args.machine, args.fill)
+    if args.target:
+        target = _load(args.target, args.fill)
+        print(migration_to_dot(machine, target))
+    else:
+        print(to_dot(machine))
+    return 0
+
+
+def cmd_deltas(args) -> int:
+    source = _load(args.source, args.fill)
+    target = _load(args.target, args.fill)
+    deltas = delta_transitions(source, target)
+    rows = [
+        {"input": t.input, "from": t.source, "to": t.target,
+         "output": t.output}
+        for t in deltas
+    ]
+    print(format_table(rows, title=f"delta transitions (|Td| = {len(deltas)})")
+          if rows else "no delta transitions (migration is trivial)")
+    print(
+        f"\nbounds: {lower_bound(source, target)} <= |Z| <= "
+        f"{upper_bound(source, target)}"
+    )
+    return 0
+
+
+def cmd_synth(args) -> int:
+    source = _load(args.source, args.fill)
+    target = _load(args.target, args.fill)
+    program = _synthesise(args.method, source, target, args.seed)
+    print(program.render())
+    if args.sequence:
+        rows = [
+            {"r": row.name, "Hi": row.hi, "Hf": row.hf, "Hg": row.hg,
+             "write": row.write, "reset": row.reset}
+            for row in program.to_sequence()
+        ]
+        print("\n" + format_table(rows, title="reconfiguration sequence"))
+    return 0
+
+
+def cmd_migrate(args) -> int:
+    source = _load(args.source, args.fill)
+    target = _load(args.target, args.fill)
+    program = _synthesise(args.method, source, target, args.seed)
+    hw = HardwareFSM.for_migration(source, target)
+    hw.run_program(program)
+    ok = hw.realises(target)
+    print(
+        f"method={args.method} |Z|={len(program)} writes="
+        f"{program.write_count} hardware-verified={ok}"
+    )
+    if not ok:
+        print("MIGRATION FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="(Self-)reconfigurable FSM toolkit (Köster & Teich, "
+                    "DATE 2002 reproduction)",
+    )
+    parser.add_argument(
+        "--fill",
+        metavar="BITS",
+        help="complete unspecified KISS entries with self-loops emitting "
+             "BITS",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="machine statistics")
+    p.add_argument("machine")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("minimize", help="emit the minimal equivalent machine")
+    p.add_argument("machine")
+    p.set_defaults(func=cmd_minimize)
+
+    p = sub.add_parser("vhdl", help="emit VHDL")
+    p.add_argument("machine")
+    p.add_argument("--reconfigurable", action="store_true",
+                   help="Fig. 5 structural architecture instead of "
+                        "behavioural")
+    p.add_argument("--extra-states", type=int, default=0,
+                   help="superset headroom for future migrations")
+    p.set_defaults(func=cmd_vhdl)
+
+    p = sub.add_parser(
+        "suite", help="run the named workload suite with one method"
+    )
+    p.add_argument("--method", choices=METHODS, default="jsr")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "report", help="full markdown migration report (all synthesisers)"
+    )
+    p.add_argument("source")
+    p.add_argument("target")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("verilog", help="emit Verilog")
+    p.add_argument("machine")
+    p.add_argument("--reconfigurable", action="store_true",
+                   help="Fig. 5 structural architecture instead of "
+                        "behavioural")
+    p.add_argument("--extra-states", type=int, default=0)
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("simulate", help="run an input word on the datapath")
+    p.add_argument("machine")
+    p.add_argument("word", help="input symbols, concatenated or "
+                                "comma-separated")
+    p.add_argument("--vcd", help="also write a VCD waveform to this path")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "verify",
+        help="synthesise a migration and certify it by conformance testing",
+    )
+    p.add_argument("source")
+    p.add_argument("target")
+    p.add_argument("--method", choices=METHODS, default="ea")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--extra-states", type=int, default=0,
+                   help="W-method bound on implementation state growth")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT")
+    p.add_argument("machine")
+    p.add_argument("--target", help="render the migration view instead")
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("deltas", help="delta transitions of a migration")
+    p.add_argument("source")
+    p.add_argument("target")
+    p.set_defaults(func=cmd_deltas)
+
+    for name, handler, extra_help in (
+        ("synth", cmd_synth, "synthesise a reconfiguration program"),
+        ("migrate", cmd_migrate, "synthesise + hardware-verify a migration"),
+    ):
+        p = sub.add_parser(name, help=extra_help)
+        p.add_argument("source")
+        p.add_argument("target")
+        p.add_argument("--method", choices=METHODS, default="ea")
+        p.add_argument("--seed", type=int, default=0)
+        if name == "synth":
+            p.add_argument("--sequence", action="store_true",
+                           help="also print the Table-1 style H-sequence")
+        p.set_defaults(func=handler)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Core model and algorithms of the paper.
+
+Re-exports the public API of the submodules: the FSM models (Def. 2.1),
+reconfigurable machines (Def. 2.2), delta transitions (Def. 4.2),
+reconfiguration programs (Sec. 4.2), the JSR heuristic (Sec. 4.4), the
+evolutionary heuristic (Sec. 4.6), greedy/exact baselines and the
+analytic bounds (Thms. 4.1-4.3).
+"""
+
+from .alphabet import Alphabet, Symbol, binary_alphabet, bits_for
+from .bounds import (
+    BoundsReport,
+    check_program,
+    feasibility_witness,
+    is_feasible,
+    lower_bound,
+    upper_bound,
+)
+from .decode import DecodeError, decode_order, decoded_length
+from .delta import (
+    Supersets,
+    delta_count,
+    delta_transitions,
+    is_migration_trivial,
+    table_realises,
+)
+from .ea import EAConfig, EAResult, ea_program, evolve_program
+from .fsm import (
+    FSM,
+    FSMError,
+    MooreFSM,
+    NondeterministicFSM,
+    Transition,
+)
+from .explain import migration_report, synthesise_all
+from .greedy import (
+    connection_cost,
+    greedy_program,
+    nearest_neighbour_order,
+    two_opt_order,
+)
+from .incremental import (
+    Chunk,
+    IncrementalMigrator,
+    MigrationProgress,
+    chunks_to_program,
+    incremental_chunks,
+    is_blend,
+)
+from .jsr import jsr_length, jsr_program, jsr_trace
+from .minimize import equivalence_classes, is_minimal, minimize, redundancy
+from .optimal import SearchLimitExceeded, optimal_length, optimal_program
+from .partial import (
+    PartialMachine,
+    best_completion,
+    dont_care_savings,
+    naive_completion,
+)
+from .paths import all_pairs_distances, distance, reachable, shortest_path, table_of
+from .plan import MigrationGraph, Route, SupersetPlan, plan_supersets
+from .program import (
+    Program,
+    ReplayError,
+    ReplayMachine,
+    ReplayResult,
+    SequenceRow,
+    Step,
+    StepKind,
+    concatenate,
+    reset_step,
+    traverse_step,
+    write_step,
+)
+from .transform import (
+    cascade_compose,
+    mealy_to_moore,
+    moore_to_mealy,
+    parallel_compose,
+    relabel_outputs,
+)
+from .verify import (
+    VerificationResult,
+    access_sequences,
+    characterization_set,
+    distinguishing_word,
+    find_counterexample,
+    run_suite,
+    transition_cover,
+    verify_hardware,
+    w_method_suite,
+)
+from .reconfigurable import (
+    NORMAL,
+    ReconfigurableFSM,
+    ReconfiguratorEntry,
+    SelfReconfigurableFSM,
+    Trigger,
+)
+
+__all__ = [
+    "Alphabet",
+    "BoundsReport",
+    "DecodeError",
+    "EAConfig",
+    "EAResult",
+    "FSM",
+    "FSMError",
+    "MooreFSM",
+    "NORMAL",
+    "NondeterministicFSM",
+    "Program",
+    "ReconfigurableFSM",
+    "ReconfiguratorEntry",
+    "ReplayError",
+    "ReplayMachine",
+    "ReplayResult",
+    "SearchLimitExceeded",
+    "SelfReconfigurableFSM",
+    "SequenceRow",
+    "Step",
+    "StepKind",
+    "Supersets",
+    "Symbol",
+    "Transition",
+    "Trigger",
+    "all_pairs_distances",
+    "binary_alphabet",
+    "bits_for",
+    "check_program",
+    "concatenate",
+    "connection_cost",
+    "decode_order",
+    "decoded_length",
+    "delta_count",
+    "delta_transitions",
+    "distance",
+    "ea_program",
+    "equivalence_classes",
+    "is_minimal",
+    "minimize",
+    "redundancy",
+    "evolve_program",
+    "feasibility_witness",
+    "greedy_program",
+    "is_feasible",
+    "is_migration_trivial",
+    "jsr_length",
+    "jsr_program",
+    "jsr_trace",
+    "lower_bound",
+    "nearest_neighbour_order",
+    "optimal_length",
+    "optimal_program",
+    "reachable",
+    "reset_step",
+    "shortest_path",
+    "table_of",
+    "table_realises",
+    "traverse_step",
+    "two_opt_order",
+    "upper_bound",
+    "verify_hardware",
+    "w_method_suite",
+    "write_step",
+    "VerificationResult",
+    "access_sequences",
+    "characterization_set",
+    "distinguishing_word",
+    "find_counterexample",
+    "run_suite",
+    "transition_cover",
+    "Chunk",
+    "IncrementalMigrator",
+    "MigrationGraph",
+    "MigrationProgress",
+    "PartialMachine",
+    "chunks_to_program",
+    "incremental_chunks",
+    "is_blend",
+    "Route",
+    "SupersetPlan",
+    "best_completion",
+    "cascade_compose",
+    "dont_care_savings",
+    "mealy_to_moore",
+    "migration_report",
+    "moore_to_mealy",
+    "synthesise_all",
+    "naive_completion",
+    "parallel_compose",
+    "plan_supersets",
+    "relabel_outputs",
+]

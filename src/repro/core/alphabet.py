@@ -1,0 +1,154 @@
+"""Symbol alphabets and binary encodings for FSM input/output/state sets.
+
+The paper (Def. 2.1) allows input, output and state sets to "either be
+symbolic or be represented as a binary vector of values of its signals".
+This module provides the bridge between the two views: an :class:`Alphabet`
+is an ordered, immutable collection of hashable symbols together with a
+canonical fixed-width binary encoding, which the hardware layer
+(:mod:`repro.hw`) uses to address the F-RAM / G-RAM lookup memories.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Iterator, Sequence, Tuple
+
+Symbol = Hashable
+
+
+def bits_for(count: int) -> int:
+    """Number of bits needed to enumerate ``count`` distinct values.
+
+    A single-element alphabet still occupies one bit of address space so
+    that RAM address arithmetic never degenerates to zero-width fields.
+
+    >>> bits_for(1), bits_for(2), bits_for(3), bits_for(8), bits_for(9)
+    (1, 1, 2, 3, 4)
+    """
+    if count < 1:
+        raise ValueError("alphabet must contain at least one symbol")
+    return max(1, math.ceil(math.log2(count)))
+
+
+class Alphabet:
+    """An ordered set of symbols with a canonical binary encoding.
+
+    Symbols keep their insertion order; the index of a symbol in that
+    order is its binary code.  Instances are immutable and hashable so
+    they can be shared freely between machines.
+
+    >>> a = Alphabet(["red", "green", "yellow"])
+    >>> a.index("green")
+    1
+    >>> a.width
+    2
+    >>> a.encode("yellow")
+    (1, 0)
+    >>> a.decode((0, 1))
+    'green'
+    """
+
+    __slots__ = ("_symbols", "_index", "_width")
+
+    def __init__(self, symbols: Iterable[Symbol]):
+        ordered = []
+        index = {}
+        for sym in symbols:
+            if sym in index:
+                raise ValueError(f"duplicate symbol {sym!r} in alphabet")
+            index[sym] = len(ordered)
+            ordered.append(sym)
+        if not ordered:
+            raise ValueError("alphabet must contain at least one symbol")
+        self._symbols: Tuple[Symbol, ...] = tuple(ordered)
+        self._index = index
+        self._width = bits_for(len(ordered))
+
+    @property
+    def symbols(self) -> Tuple[Symbol, ...]:
+        """The symbols in canonical (insertion) order."""
+        return self._symbols
+
+    @property
+    def width(self) -> int:
+        """Width in bits of the canonical binary encoding."""
+        return self._width
+
+    def index(self, symbol: Symbol) -> int:
+        """Return the integer code of ``symbol``.
+
+        Raises ``KeyError`` for unknown symbols.
+        """
+        return self._index[symbol]
+
+    def symbol(self, code: int) -> Symbol:
+        """Return the symbol with integer code ``code``."""
+        return self._symbols[code]
+
+    def encode(self, symbol: Symbol) -> Tuple[int, ...]:
+        """Encode ``symbol`` as a most-significant-bit-first bit tuple."""
+        code = self._index[symbol]
+        return tuple((code >> shift) & 1 for shift in range(self._width - 1, -1, -1))
+
+    def decode(self, bits: Sequence[int]) -> Symbol:
+        """Decode an MSB-first bit sequence back into a symbol.
+
+        Raises ``ValueError`` when the width is wrong or the code does not
+        name a symbol (unconfigured RAM contents decode to nothing).
+        """
+        if len(bits) != self._width:
+            raise ValueError(
+                f"expected {self._width} bits, got {len(bits)}"
+            )
+        code = 0
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError(f"non-binary bit value {bit!r}")
+            code = (code << 1) | bit
+        if code >= len(self._symbols):
+            raise ValueError(f"code {code} does not name a symbol")
+        return self._symbols[code]
+
+    def union(self, other: "Alphabet") -> "Alphabet":
+        """Superset alphabet: self's symbols followed by other's new ones.
+
+        This realises the paper's ``I_super`` / ``O_super`` / ``S_super``
+        construction (Def. 4.1): the union keeps the original codes of
+        ``self`` stable, which lets a hardware machine be re-targeted
+        without re-encoding the states it already holds.
+        """
+        extra = [s for s in other._symbols if s not in self._index]
+        return Alphabet(self._symbols + tuple(extra))
+
+    def __contains__(self, symbol: Symbol) -> bool:
+        return symbol in self._index
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({list(self._symbols)!r})"
+
+
+def binary_alphabet(width: int = 1) -> Alphabet:
+    """Alphabet of all bit-strings of the given width, as '0'/'1' strings.
+
+    >>> binary_alphabet(1).symbols
+    ('0', '1')
+    >>> binary_alphabet(2).symbols
+    ('00', '01', '10', '11')
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    return Alphabet(format(v, f"0{width}b") for v in range(2 ** width))

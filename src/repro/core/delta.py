@@ -1,0 +1,145 @@
+"""Delta transitions and superset construction (paper Defs. 4.1 and 4.2).
+
+Migrating a machine ``M`` into a target ``M'`` by gradual reconfiguration
+requires knowing exactly *which* entries of the combined lookup table
+differ.  Def. 4.2 calls the target transitions that must be rewritten
+*delta transitions*: a target transition ``t = (i, s_x, s_y, o)`` of
+``M'`` is a delta transition if it uses a symbol/state unknown to ``M``
+or disagrees with ``M``'s transition or output function on the shared
+domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .alphabet import Alphabet
+from .fsm import FSM, Input, State, Transition
+
+
+@dataclass(frozen=True)
+class Supersets:
+    """The combined symbol universes of a migration pair (Def. 4.1).
+
+    ``I_super ⊇ I ∪ I'``, ``O_super ⊇ O ∪ O'`` and ``S_super ⊇ S ∪ S'``.
+    The hardware realisation sizes its RAM address space and state
+    register from these supersets, so they are what every reconfiguration
+    algorithm operates over.
+    """
+
+    inputs: Alphabet
+    outputs: Alphabet
+    states: Alphabet
+
+    @classmethod
+    def of(cls, source: FSM, target: FSM) -> "Supersets":
+        """Minimal supersets of a migration pair, source symbols first.
+
+        Keeping the source machine's symbol order as a prefix means the
+        binary codes of everything ``M`` already stores stay stable —
+        the physical precondition for in-place gradual reconfiguration.
+        """
+        return cls(
+            inputs=Alphabet(source.inputs).union(Alphabet(target.inputs)),
+            outputs=Alphabet(source.outputs).union(Alphabet(target.outputs)),
+            states=Alphabet(source.states).union(Alphabet(target.states)),
+        )
+
+    def admits(self, machine: FSM) -> bool:
+        """True when every symbol of ``machine`` lives in the supersets."""
+        return (
+            all(i in self.inputs for i in machine.inputs)
+            and all(o in self.outputs for o in machine.outputs)
+            and all(s in self.states for s in machine.states)
+        )
+
+
+def delta_transitions(source: FSM, target: FSM) -> List[Transition]:
+    """The set ``T_d`` of delta transitions for migrating source → target.
+
+    Implements Def. 4.2 literally.  For every transition
+    ``t = (i, s_x, s_y, o)`` of the *target* machine, ``t`` is a delta
+    transition iff at least one of:
+
+    * ``i ∉ I``  (new input symbol),
+    * ``s_x ∉ S`` or ``s_y ∉ S``  (new state),
+    * ``o ∉ O``  (new output symbol),
+    * ``s_y ≠ F(i, s_x)`` on the shared domain, or
+    * ``o ≠ G(i, s_x)`` on the shared domain.
+
+    The result preserves the target machine's canonical transition order.
+
+    >>> from repro.workloads.library import fig6_m, fig6_m_prime
+    >>> [str(t) for t in delta_transitions(fig6_m(), fig6_m_prime())]
+    ['(0, S1, S0, 0)', '(0, S3, S0, 0)', '(1, S2, S3, 0)', '(1, S3, S3, 1)']
+    """
+    src_inputs = set(source.inputs)
+    src_outputs = set(source.outputs)
+    src_states = set(source.states)
+
+    deltas: List[Transition] = []
+    for trans in target.transitions():
+        shared = trans.input in src_inputs and trans.source in src_states
+        if (
+            trans.input not in src_inputs
+            or trans.source not in src_states
+            or trans.target not in src_states
+            or trans.output not in src_outputs
+            or (shared and source.next_state(trans.input, trans.source) != trans.target)
+            or (shared and source.output(trans.input, trans.source) != trans.output)
+        ):
+            deltas.append(trans)
+    return deltas
+
+
+def delta_count(source: FSM, target: FSM) -> int:
+    """``|T_d|`` — the size of the delta set (lower bound of Thm. 4.3)."""
+    return len(delta_transitions(source, target))
+
+
+def is_migration_trivial(source: FSM, target: FSM) -> bool:
+    """True when no entry needs rewriting (``T_d`` is empty).
+
+    An empty delta set means the source machine's table already realises
+    the target everywhere the target is defined — e.g. when migrating a
+    machine to itself.
+    """
+    return not delta_transitions(source, target)
+
+
+def table_realises(
+    table, target: FSM
+) -> Tuple[bool, List[Tuple[Input, State, str]]]:
+    """Check whether a (possibly partial) table realises ``target``.
+
+    ``table`` maps total states ``(i, s)`` to ``(s', o)`` pairs — the
+    combined F-RAM/G-RAM contents.  Returns ``(ok, mismatches)`` where
+    each mismatch names the offending total state and a human-readable
+    reason.  Used by the replay validator to decide when a
+    reconfiguration program has actually finished the migration.
+    """
+    mismatches: List[Tuple[Input, State, str]] = []
+    for trans in target.transitions():
+        key = trans.entry
+        if key not in table or table[key] is None:
+            mismatches.append((trans.input, trans.source, "entry unconfigured"))
+            continue
+        got_target, got_output = table[key]
+        if got_target != trans.target:
+            mismatches.append(
+                (
+                    trans.input,
+                    trans.source,
+                    f"next state is {got_target!r}, want {trans.target!r}",
+                )
+            )
+        if got_output != trans.output:
+            mismatches.append(
+                (
+                    trans.input,
+                    trans.source,
+                    f"output is {got_output!r}, want {trans.output!r}",
+                )
+            )
+    return (not mismatches, mismatches)

@@ -1,0 +1,163 @@
+"""Human-readable migration reports.
+
+Pulls one migration's whole story — delta analysis, bounds, every
+synthesiser's program, hardware verification — into a single markdown
+document: what an engineer pastes into a design review before shipping
+the precompiled program.  Used by the CLI's ``report`` subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.tables import format_table
+from .bounds import lower_bound, upper_bound
+from .delta import delta_transitions
+from .ea import EAConfig, evolve_program
+from .fsm import FSM
+from .greedy import greedy_program
+from .jsr import jsr_program
+from .optimal import SearchLimitExceeded, optimal_program
+from .program import Program
+
+
+def synthesise_all(
+    source: FSM,
+    target: FSM,
+    ea_config: Optional[EAConfig] = None,
+    include_optimal: bool = True,
+    optimal_budget: int = 60_000,
+) -> Dict[str, Program]:
+    """Every available synthesiser's program for one migration.
+
+    The exact optimiser is skipped silently when the instance exceeds
+    its search budget (it is a calibration tool, not a requirement).
+    """
+    config = ea_config or EAConfig(population_size=24, generations=25, seed=0)
+    programs = {
+        "JSR": jsr_program(source, target),
+        "greedy+2opt": greedy_program(source, target),
+        "EA": evolve_program(source, target, config=config).program,
+    }
+    if include_optimal:
+        try:
+            programs["optimal"] = optimal_program(
+                source, target, max_expansions=optimal_budget
+            )
+        except SearchLimitExceeded:
+            pass
+    return programs
+
+
+def migration_report(
+    source: FSM,
+    target: FSM,
+    ea_config: Optional[EAConfig] = None,
+    verify_on_hardware: bool = True,
+) -> str:
+    """A markdown report of the migration ``source`` → ``target``.
+
+    >>> from repro.workloads.library import fig7_m, fig7_m_prime
+    >>> text = migration_report(fig7_m(), fig7_m_prime())
+    >>> "# Migration report" in text and "delta transition" in text
+    True
+    """
+    lines: List[str] = []
+    emit = lines.append
+    emit(f"# Migration report: {source.name} -> {target.name}")
+    emit("")
+    emit("## Machines")
+    emit("")
+    emit(
+        format_table(
+            [
+                {
+                    "machine": m.name,
+                    "|I|": len(m.inputs),
+                    "|O|": len(m.outputs),
+                    "|S|": len(m.states),
+                    "reset": m.reset_state,
+                }
+                for m in (source, target)
+            ]
+        )
+    )
+    emit("")
+
+    deltas = delta_transitions(source, target)
+    emit(f"## Delta analysis ({len(deltas)} delta transition"
+         f"{'s' if len(deltas) != 1 else ''})")
+    emit("")
+    if deltas:
+        emit(
+            format_table(
+                [
+                    {
+                        "input": t.input,
+                        "from": t.source,
+                        "to": t.target,
+                        "output": t.output,
+                        "new state involved": t.source not in set(source.states)
+                        or t.target not in set(source.states),
+                    }
+                    for t in deltas
+                ]
+            )
+        )
+    else:
+        emit("The migration is trivial: the source table already realises "
+             "the target.")
+    emit("")
+    emit(
+        f"Program length bounds (Thms. 4.2/4.3): "
+        f"{lower_bound(source, target)} <= |Z| <= "
+        f"{upper_bound(source, target)} cycles."
+    )
+    emit("")
+
+    programs = synthesise_all(source, target, ea_config=ea_config)
+    emit("## Synthesised programs")
+    emit("")
+    rows = []
+    for name, program in sorted(programs.items(), key=lambda kv: len(kv[1])):
+        row = {
+            "method": name,
+            "|Z|": len(program),
+            "writes": program.write_count,
+            "resets": program.reset_count,
+            "replay ok": program.is_valid(),
+        }
+        rows.append(row)
+    emit(format_table(rows))
+    emit("")
+
+    best_name = min(programs, key=lambda name: len(programs[name]))
+    best = programs[best_name]
+    emit(f"## Recommended program ({best_name})")
+    emit("")
+    emit("```")
+    emit(best.render())
+    emit("```")
+    emit("")
+
+    if verify_on_hardware:
+        from ..hw.machine import HardwareFSM
+
+        hw = HardwareFSM.for_migration(source, target)
+        hw.run_program(best)
+        realised = hw.realises(target)
+        from .verify import verify_hardware
+
+        conformance = verify_hardware(hw, target)
+        emit("## Hardware verification")
+        emit("")
+        emit(f"- RAM contents realise the target: **{realised}**")
+        emit(
+            f"- W-method conformance through the ports: "
+            f"**{'PASS' if conformance.passed else 'FAIL'}** "
+            f"({conformance.words_run} words, "
+            f"{conformance.symbols_run} symbols)"
+        )
+        emit("")
+
+    return "\n".join(lines)

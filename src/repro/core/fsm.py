@@ -1,0 +1,574 @@
+"""Finite state machine models (paper Definition 2.1).
+
+The paper's base object is the *incompletely specified non-deterministic
+Mealy FSM*, the 6-tuple ``(I, O, S, S0, F, G)`` where ``F ⊆ I×S×S`` and
+``G ⊆ I×S×O`` are relations.  Determinism makes ``F``/``G`` functions and
+``S0`` a singleton; complete specification makes them total.  The class of
+machines the paper (and therefore this library) works with everywhere else
+is the completely specified deterministic Mealy FSM, here simply
+:class:`FSM`.  :class:`MooreFSM` is provided as the special case whose
+output depends on the state only, and :class:`NondeterministicFSM` models
+the fully general relation form, with a determinisation check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+State = Hashable
+Input = Hashable
+Output = Hashable
+TotalState = Tuple[Input, State]
+
+
+@dataclass(frozen=True, order=True)
+class Transition:
+    """One labelled edge of the state transition graph.
+
+    Matches the paper's 4-tuple ``t = (i, s_x, s_y, o)`` (Def. 4.2): under
+    input ``i`` the machine moves from ``source`` (s_x) to ``target``
+    (s_y) and emits ``output`` (o).
+    """
+
+    input: Input
+    source: State
+    target: State
+    output: Output
+
+    @property
+    def entry(self) -> TotalState:
+        """The total state ``(i, s_x)`` addressing this table entry."""
+        return (self.input, self.source)
+
+    def __str__(self) -> str:
+        return f"({self.input}, {self.source}, {self.target}, {self.output})"
+
+
+class FSMError(ValueError):
+    """Raised for structurally invalid machine definitions."""
+
+
+class FSM:
+    """Completely specified deterministic Mealy FSM (Def. 2.1).
+
+    Parameters
+    ----------
+    inputs, outputs, states:
+        The finite sets ``I``, ``O``, ``S``.  Any iterable of hashable
+        symbols; order is preserved and used for canonical encodings.
+    reset_state:
+        The single initial (reset) state ``S0``.
+    transitions:
+        Either an iterable of :class:`Transition` / 4-tuples
+        ``(i, s_x, s_y, o)``, or a mapping ``(i, s) -> (s', o)``.
+
+    The constructor validates determinism (one entry per total state) and
+    complete specification (an entry for *every* total state), exactly the
+    machine class Section 4 of the paper assumes.
+    """
+
+    def __init__(
+        self,
+        inputs: Iterable[Input],
+        outputs: Iterable[Output],
+        states: Iterable[State],
+        reset_state: State,
+        transitions: Iterable,
+        name: str = "fsm",
+    ):
+        self._inputs: Tuple[Input, ...] = _unique(inputs, "input")
+        self._outputs: Tuple[Output, ...] = _unique(outputs, "output")
+        self._states: Tuple[State, ...] = _unique(states, "state")
+        self.name = name
+
+        if reset_state not in self._states:
+            raise FSMError(f"reset state {reset_state!r} not in state set")
+        self._reset_state = reset_state
+
+        table: Dict[TotalState, Tuple[State, Output]] = {}
+        for item in _iter_transitions(transitions):
+            trans = _as_transition(item)
+            self._check_transition(trans)
+            if trans.entry in table:
+                raise FSMError(
+                    f"non-deterministic: duplicate entry for total state {trans.entry!r}"
+                )
+            table[trans.entry] = (trans.target, trans.output)
+
+        missing = [
+            (i, s)
+            for i in self._inputs
+            for s in self._states
+            if (i, s) not in table
+        ]
+        if missing:
+            raise FSMError(
+                "incompletely specified: no transition for total states "
+                f"{missing[:5]!r}{'...' if len(missing) > 5 else ''}"
+            )
+        self._table = table
+
+    def _check_transition(self, trans: Transition) -> None:
+        if trans.input not in self._inputs:
+            raise FSMError(f"transition input {trans.input!r} not in I")
+        if trans.source not in self._states:
+            raise FSMError(f"transition source {trans.source!r} not in S")
+        if trans.target not in self._states:
+            raise FSMError(f"transition target {trans.target!r} not in S")
+        if trans.output not in self._outputs:
+            raise FSMError(f"transition output {trans.output!r} not in O")
+
+    # ------------------------------------------------------------------
+    # The 6-tuple accessors
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> Tuple[Input, ...]:
+        """The input set ``I`` (canonical order)."""
+        return self._inputs
+
+    @property
+    def outputs(self) -> Tuple[Output, ...]:
+        """The output set ``O`` (canonical order)."""
+        return self._outputs
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        """The internal state set ``S`` (canonical order)."""
+        return self._states
+
+    @property
+    def reset_state(self) -> State:
+        """The initial/reset state ``S0``."""
+        return self._reset_state
+
+    def next_state(self, i: Input, s: State) -> State:
+        """The transition function ``F(i, s)``."""
+        return self._table[(i, s)][0]
+
+    def output(self, i: Input, s: State) -> Output:
+        """The output function ``G(i, s)``."""
+        return self._table[(i, s)][1]
+
+    def entry(self, i: Input, s: State) -> Tuple[State, Output]:
+        """The pair ``(F(i, s), G(i, s))`` of one table entry."""
+        return self._table[(i, s)]
+
+    @property
+    def table(self) -> Mapping[TotalState, Tuple[State, Output]]:
+        """Read-only view of the full ``(i, s) -> (s', o)`` table."""
+        return dict(self._table)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def transitions(self) -> List[Transition]:
+        """All transitions, in canonical (input-major, state-minor) order.
+
+        This is the paper's total transition set
+        ``T = {(i, s_x, s_y, o) : s_y = F(i, s_x), o = G(i, s_x)}``.
+        """
+        result = []
+        for i in self._inputs:
+            for s in self._states:
+                target, out = self._table[(i, s)]
+                result.append(Transition(i, s, target, out))
+        return result
+
+    def transitions_from(self, s: State) -> List[Transition]:
+        """All transitions leaving state ``s``."""
+        return [
+            Transition(i, s, *self._table[(i, s)])
+            for i in self._inputs
+            if (i, s) in self._table
+        ]
+
+    def stable_total_states(self) -> List[TotalState]:
+        """Total states ``(i, s)`` with ``F(i, s) = s`` (self-loops)."""
+        return [
+            (i, s)
+            for (i, s), (target, _) in sorted(
+                self._table.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+            )
+            if target == s
+        ]
+
+    def successors(self, s: State) -> FrozenSet[State]:
+        """States reachable from ``s`` in exactly one transition."""
+        return frozenset(self._table[(i, s)][0] for i in self._inputs)
+
+    def reachable_states(self, start: Optional[State] = None) -> FrozenSet[State]:
+        """States reachable from ``start`` (default: the reset state)."""
+        frontier = [self._reset_state if start is None else start]
+        seen = set(frontier)
+        while frontier:
+            s = frontier.pop()
+            for nxt in self.successors(s):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def is_strongly_connected(self) -> bool:
+        """True when every state can reach every other state."""
+        states = set(self._states)
+        if any(self.reachable_states(s) != states for s in self._states):
+            return False
+        return True
+
+    def is_moore(self) -> bool:
+        """True when every edge into a state carries the same output.
+
+        This is the paper's characterisation of a Moore machine: "the
+        edges directed into a state s have a single output label".  States
+        with no incoming edge are unconstrained.
+        """
+        incoming: Dict[State, set] = {}
+        for trans in self.transitions():
+            incoming.setdefault(trans.target, set()).add(trans.output)
+        return all(len(outs) <= 1 for outs in incoming.values())
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(self, i: Input, s: State) -> Tuple[State, Output]:
+        """One synchronous step from state ``s`` under input ``i``."""
+        return self._table[(i, s)]
+
+    def run(
+        self, inputs: Sequence[Input], start: Optional[State] = None
+    ) -> List[Output]:
+        """Feed an input word and return the output word.
+
+        >>> from repro.workloads.library import ones_detector
+        >>> ones_detector().run(['1', '1', '1', '0'])
+        ['0', '1', '1', '0']
+        """
+        state = self._reset_state if start is None else start
+        out: List[Output] = []
+        for i in inputs:
+            state, o = self._table[(i, state)]
+            out.append(o)
+        return out
+
+    def trace(
+        self, inputs: Sequence[Input], start: Optional[State] = None
+    ) -> List[Transition]:
+        """Like :meth:`run` but returns the full transition sequence."""
+        state = self._reset_state if start is None else start
+        result: List[Transition] = []
+        for i in inputs:
+            target, o = self._table[(i, state)]
+            result.append(Transition(i, state, target, o))
+            state = target
+        return result
+
+    # ------------------------------------------------------------------
+    # Comparison / export
+    # ------------------------------------------------------------------
+    def equivalent_on(self, other: "FSM", words: Iterable[Sequence[Input]]) -> bool:
+        """True when both machines produce identical outputs on ``words``."""
+        return all(self.run(w) == other.run(w) for w in words)
+
+    def behaviourally_equivalent(self, other: "FSM") -> bool:
+        """Exact equivalence check by product-machine reachability.
+
+        Two completely specified deterministic Mealy machines are
+        equivalent iff no reachable pair of states disagrees on any
+        output.  Requires identical input alphabets.
+        """
+        if set(self._inputs) != set(other._inputs):
+            return False
+        frontier = [(self._reset_state, other._reset_state)]
+        seen = {frontier[0]}
+        while frontier:
+            a, b = frontier.pop()
+            for i in self._inputs:
+                ta, oa = self._table[(i, a)]
+                tb, ob = other._table[(i, b)]
+                if oa != ob:
+                    return False
+                if (ta, tb) not in seen:
+                    seen.add((ta, tb))
+                    frontier.append((ta, tb))
+        return True
+
+    def to_graph(self):
+        """Export the state transition graph as a ``networkx.MultiDiGraph``.
+
+        Each edge carries ``input`` and ``output`` attributes and an
+        ``i/o`` label, matching the paper's graph representation.
+        """
+        import networkx as nx
+
+        graph = nx.MultiDiGraph(name=self.name)
+        graph.add_nodes_from(self._states)
+        for trans in self.transitions():
+            graph.add_edge(
+                trans.source,
+                trans.target,
+                input=trans.input,
+                output=trans.output,
+                label=f"{trans.input}/{trans.output}",
+            )
+        return graph
+
+    def renamed(self, mapping: Mapping[State, State], name: Optional[str] = None) -> "FSM":
+        """A copy with states renamed through ``mapping`` (identity default)."""
+        def ren(s: State) -> State:
+            return mapping.get(s, s)
+
+        return FSM(
+            self._inputs,
+            self._outputs,
+            [ren(s) for s in self._states],
+            ren(self._reset_state),
+            [
+                Transition(t.input, ren(t.source), ren(t.target), t.output)
+                for t in self.transitions()
+            ],
+            name=name or self.name,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same sets, same reset state, same tables."""
+        if not isinstance(other, FSM):
+            return NotImplemented
+        return (
+            set(self._inputs) == set(other._inputs)
+            and set(self._outputs) == set(other._outputs)
+            and set(self._states) == set(other._states)
+            and self._reset_state == other._reset_state
+            and self._table == other._table
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                frozenset(self._inputs),
+                frozenset(self._states),
+                self._reset_state,
+                frozenset(self._table.items()),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FSM(name={self.name!r}, |I|={len(self._inputs)}, "
+            f"|O|={len(self._outputs)}, |S|={len(self._states)}, "
+            f"S0={self._reset_state!r})"
+        )
+
+
+class MooreFSM(FSM):
+    """Moore machine: output is a function of the internal state only.
+
+    Constructed from a per-state output map; every edge into state ``s``
+    carries ``state_output[s]``, which makes :meth:`FSM.is_moore` hold by
+    construction.
+    """
+
+    def __init__(
+        self,
+        inputs: Iterable[Input],
+        outputs: Iterable[Output],
+        states: Iterable[State],
+        reset_state: State,
+        next_state: Mapping[TotalState, State],
+        state_output: Mapping[State, Output],
+        name: str = "moore",
+    ):
+        states = tuple(states)
+        transitions = [
+            Transition(i, s, next_state[(i, s)], state_output[next_state[(i, s)]])
+            for (i, s) in next_state
+        ]
+        super().__init__(inputs, outputs, states, reset_state, transitions, name=name)
+        self._state_output = dict(state_output)
+
+    def state_output(self, s: State) -> Output:
+        """The Moore output label attached to state ``s``."""
+        return self._state_output[s]
+
+    def to_mealy(self, name: Optional[str] = None) -> FSM:
+        """The equivalent plain Mealy machine (forget the Moore structure)."""
+        return FSM(
+            self.inputs,
+            self.outputs,
+            self.states,
+            self.reset_state,
+            self.transitions(),
+            name=name or f"{self.name}_mealy",
+        )
+
+
+class NondeterministicFSM:
+    """Incompletely specified, non-deterministic Mealy FSM (Def. 2.1).
+
+    ``F`` and ``G`` are relations: each total state maps to a (possibly
+    empty) *set* of next states and a set of outputs, and several reset
+    states are allowed.  This is the fully general object of Def. 2.1;
+    :meth:`is_deterministic` / :meth:`is_completely_specified` recover the
+    paper's restricted classes and :meth:`to_deterministic` converts when
+    possible.
+    """
+
+    def __init__(
+        self,
+        inputs: Iterable[Input],
+        outputs: Iterable[Output],
+        states: Iterable[State],
+        reset_states: Iterable[State],
+        next_states: Mapping[TotalState, AbstractSet[State]],
+        output_states: Mapping[TotalState, AbstractSet[Output]],
+        name: str = "nfsm",
+    ):
+        self._inputs = _unique(inputs, "input")
+        self._outputs = _unique(outputs, "output")
+        self._states = _unique(states, "state")
+        self.name = name
+        self._reset_states = frozenset(reset_states)
+        if not self._reset_states <= set(self._states):
+            raise FSMError("reset states must be a subset of S")
+
+        self._next: Dict[TotalState, FrozenSet[State]] = {}
+        for (i, s), targets in next_states.items():
+            self._validate_total_state(i, s)
+            targets = frozenset(targets)
+            if not targets <= set(self._states):
+                raise FSMError(f"F({i!r}, {s!r}) leaves the state set")
+            self._next[(i, s)] = targets
+        self._out: Dict[TotalState, FrozenSet[Output]] = {}
+        for (i, s), outs in output_states.items():
+            self._validate_total_state(i, s)
+            outs = frozenset(outs)
+            if not outs <= set(self._outputs):
+                raise FSMError(f"G({i!r}, {s!r}) leaves the output set")
+            self._out[(i, s)] = outs
+
+    def _validate_total_state(self, i: Input, s: State) -> None:
+        if i not in self._inputs:
+            raise FSMError(f"input {i!r} not in I")
+        if s not in self._states:
+            raise FSMError(f"state {s!r} not in S")
+
+    @property
+    def inputs(self) -> Tuple[Input, ...]:
+        return self._inputs
+
+    @property
+    def outputs(self) -> Tuple[Output, ...]:
+        return self._outputs
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        return self._states
+
+    @property
+    def reset_states(self) -> FrozenSet[State]:
+        return self._reset_states
+
+    def next_states(self, i: Input, s: State) -> FrozenSet[State]:
+        """The relation ``F`` evaluated at total state ``(i, s)``."""
+        return self._next.get((i, s), frozenset())
+
+    def output_states(self, i: Input, s: State) -> FrozenSet[Output]:
+        """The relation ``G`` evaluated at total state ``(i, s)``."""
+        return self._out.get((i, s), frozenset())
+
+    def is_deterministic(self) -> bool:
+        """Single reset state and at most one F/G image everywhere."""
+        return (
+            len(self._reset_states) == 1
+            and all(len(v) <= 1 for v in self._next.values())
+            and all(len(v) <= 1 for v in self._out.values())
+        )
+
+    def is_completely_specified(self) -> bool:
+        """F and G defined (non-empty) on every total state."""
+        return all(
+            self._next.get((i, s)) and self._out.get((i, s))
+            for i in self._inputs
+            for s in self._states
+        )
+
+    def stable_total_states(self) -> List[TotalState]:
+        """Total states ``(i, s)`` with ``F(i, s) = {s}`` (paper Sec. 2.1)."""
+        return [
+            (i, s)
+            for (i, s), targets in self._next.items()
+            if targets == frozenset({s})
+        ]
+
+    def to_deterministic(self, name: Optional[str] = None) -> FSM:
+        """Convert to an :class:`FSM`.
+
+        Only valid when the machine is deterministic *and* completely
+        specified; raises :class:`FSMError` otherwise.
+        """
+        if not self.is_deterministic():
+            raise FSMError("machine is not deterministic")
+        if not self.is_completely_specified():
+            raise FSMError("machine is not completely specified")
+        (reset,) = self._reset_states
+        transitions = []
+        for i in self._inputs:
+            for s in self._states:
+                (target,) = self._next[(i, s)]
+                (out,) = self._out[(i, s)]
+                transitions.append(Transition(i, s, target, out))
+        return FSM(
+            self._inputs,
+            self._outputs,
+            self._states,
+            reset,
+            transitions,
+            name=name or self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NondeterministicFSM(name={self.name!r}, |I|={len(self._inputs)}, "
+            f"|O|={len(self._outputs)}, |S|={len(self._states)})"
+        )
+
+
+def _unique(items: Iterable, kind: str) -> Tuple:
+    seen = set()
+    ordered = []
+    for item in items:
+        if item in seen:
+            raise FSMError(f"duplicate {kind} symbol {item!r}")
+        seen.add(item)
+        ordered.append(item)
+    if not ordered:
+        raise FSMError(f"{kind} set must not be empty")
+    return tuple(ordered)
+
+
+def _iter_transitions(transitions) -> Iterator:
+    if isinstance(transitions, Mapping):
+        for (i, s), (target, out) in transitions.items():
+            yield Transition(i, s, target, out)
+    else:
+        yield from transitions
+
+
+def _as_transition(item) -> Transition:
+    if isinstance(item, Transition):
+        return item
+    if isinstance(item, (tuple, list)) and len(item) == 4:
+        return Transition(*item)
+    raise FSMError(f"cannot interpret {item!r} as a transition")

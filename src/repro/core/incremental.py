@@ -1,0 +1,225 @@
+"""Incremental migration: bounded-stall reconfiguration under live traffic.
+
+A monolithic reconfiguration program stalls the machine for its whole
+length.  Short for one migration — but a system that must bound *every*
+individual stall (a packet parser with shallow input buffers, a
+controller with a deadline) needs the migration split into chunks it can
+interleave with normal operation.
+
+Arbitrary splitting is unsafe: the JSR/EA programs route through
+*temporary transitions*, so between two arbitrary steps the table may
+contain an entry that belongs to neither machine, and traffic crossing
+it would be misrouted.  The **safe chunking** here guarantees a *blend
+invariant*: between chunks, every table entry equals either the source
+machine's value or the target machine's value.  Traffic between chunks
+therefore always sees well-defined behaviour — each entry is atomically
+either pre- or post-migration (an "eventually consistent" rollout, in
+networking terms).
+
+Each chunk handles one delta transition in six cycles::
+
+    reset ; temporary-jump ; delta-write ; reset ; home-write ; reset
+
+The home entry ``(i0, S0')`` is re-written to its *target* value at the
+end of every chunk, which restores the invariant the temporary jump
+broke.  The price of bounded stalls is therefore roughly ``6·|T_d|``
+cycles total versus JSR's ``3·(|T_d|+1)`` — quantified by the
+``benchmarks/test_incremental.py`` harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .delta import delta_transitions
+from .fsm import FSM, Input, State, Transition
+from .program import Program, Step, StepKind, reset_step, write_step
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One bounded unit of an incremental migration."""
+
+    steps: Tuple[Step, ...]
+    delta: Optional[Transition]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def incremental_chunks(
+    source: FSM, target: FSM, i0: Optional[Input] = None
+) -> List[Chunk]:
+    """Safe chunks whose concatenation migrates ``source`` → ``target``.
+
+    Every chunk starts with a reset (position independence: it can run
+    no matter where traffic left the machine) and ends having restored
+    the blend invariant.  The home entry ``(i0, S0')`` is written to its
+    *target* value, so if it is itself a delta transition it is simply
+    migrated early.
+    """
+    if i0 is None:
+        i0 = target.inputs[0]
+    elif i0 not in target.inputs:
+        raise ValueError(f"i0 = {i0!r} is not an input symbol of the target")
+    s0 = target.reset_state
+    home = Transition(
+        i0, s0, target.next_state(i0, s0), target.output(i0, s0)
+    )
+
+    chunks: List[Chunk] = []
+    for delta in delta_transitions(source, target):
+        if delta.entry == home.entry:
+            # Migrating the home entry is a 3-cycle chunk of its own.
+            chunks.append(
+                Chunk(
+                    steps=(
+                        reset_step(),
+                        write_step(home, StepKind.WRITE_DELTA),
+                        reset_step(),
+                    ),
+                    delta=delta,
+                )
+            )
+            continue
+        jump = Transition(i0, s0, delta.source, target.output(i0, s0))
+        chunks.append(
+            Chunk(
+                steps=(
+                    reset_step(),
+                    write_step(jump, StepKind.WRITE_TEMPORARY),
+                    write_step(delta, StepKind.WRITE_DELTA),
+                    reset_step(),
+                    write_step(home, StepKind.WRITE_REPAIR),
+                    reset_step(),
+                ),
+                delta=delta,
+            )
+        )
+    if not any(c.delta and c.delta.entry == home.entry for c in chunks):
+        # The home entry was not a delta, but the repair writes may have
+        # pre-dated any chunk; ensure at least one final chunk exists to
+        # leave the entry at its (identical) target value.  When there
+        # are no deltas at all the migration is a single trivial chunk.
+        if not chunks:
+            chunks.append(
+                Chunk(
+                    steps=(
+                        reset_step(),
+                        write_step(home, StepKind.WRITE_REPAIR),
+                        reset_step(),
+                    ),
+                    delta=None,
+                )
+            )
+    return chunks
+
+
+def chunks_to_program(
+    chunks: List[Chunk], source: FSM, target: FSM
+) -> Program:
+    """Concatenate chunks into one replayable program (for validation)."""
+    steps: List[Step] = []
+    for chunk in chunks:
+        steps.extend(chunk.steps)
+    return Program(steps, source, target, method="incremental")
+
+
+def is_blend(
+    table: Dict[Tuple[Input, State], Optional[Tuple[State, object]]],
+    source: FSM,
+    target: FSM,
+) -> bool:
+    """The blend invariant: every entry is a source or a target value.
+
+    Entries outside both machines' domains must be unconfigured.
+    """
+    src_table = source.table
+    tgt_table = target.table
+    for key, value in table.items():
+        allowed = {src_table.get(key), tgt_table.get(key)}
+        allowed.discard(None)
+        if value is None:
+            if allowed and key in tgt_table:
+                # an unconfigured target-domain entry is fine only while
+                # its row has not been migrated; both source and target
+                # values are acceptable, absence is too (pre-write).
+                continue
+            continue
+        if value not in allowed:
+            return False
+    return True
+
+
+@dataclass
+class MigrationProgress:
+    """Progress of an incremental migration on live hardware."""
+
+    chunks_total: int
+    chunks_done: int = 0
+    cycles_spent: int = 0
+    max_single_stall: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.chunks_done >= self.chunks_total
+
+
+class IncrementalMigrator:
+    """Drives an incremental migration on a live datapath.
+
+    Call :meth:`stall` whenever the surrounding system can afford a
+    bounded pause (an idle gap, a packet boundary); each call executes
+    whole chunks until the budget would be exceeded, then returns
+    control.  Between calls the datapath is fully operational under the
+    blend invariant.
+    """
+
+    def __init__(self, hardware, source: FSM, target: FSM,
+                 i0: Optional[Input] = None):
+        self.hardware = hardware
+        self.source = source
+        self.target = target
+        self.chunks = incremental_chunks(source, target, i0=i0)
+        self.progress = MigrationProgress(chunks_total=len(self.chunks))
+        self._validated = chunks_to_program(self.chunks, source, target)
+        if not self._validated.is_valid():
+            raise RuntimeError("chunk concatenation failed validation")
+        self.hardware.retarget_reset(target.reset_state)
+
+    @property
+    def done(self) -> bool:
+        return self.progress.done
+
+    def next_chunk_cost(self) -> Optional[int]:
+        """Cycles the next chunk needs, or None when finished."""
+        if self.done:
+            return None
+        return len(self.chunks[self.progress.chunks_done])
+
+    def stall(self, budget_cycles: int) -> int:
+        """Execute whole chunks within ``budget_cycles``; returns cycles used.
+
+        A chunk is never split; if the budget cannot fit even one chunk,
+        nothing happens and 0 is returned (the caller should offer a
+        larger window at least once).
+        """
+        used = 0
+        while not self.done:
+            cost = self.next_chunk_cost()
+            if cost is None or used + cost > budget_cycles:
+                break
+            chunk = self.chunks[self.progress.chunks_done]
+            sub = Program(
+                chunk.steps, self.source, self.target, method="chunk"
+            )
+            for row in sub.to_sequence():
+                self.hardware.apply_row(row)
+            used += cost
+            self.progress.chunks_done += 1
+            self.progress.cycles_spent += cost
+            self.progress.max_single_stall = max(
+                self.progress.max_single_stall, cost
+            )
+        return used

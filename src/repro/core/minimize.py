@@ -1,0 +1,118 @@
+"""State minimisation of completely specified Mealy machines.
+
+Classic Moore-style partition refinement: start from the partition
+induced by the output function and split blocks until every block is
+closed under the transition function.  Minimisation matters for the
+paper's problem in two ways:
+
+* smaller machines need smaller F-RAM/G-RAM footprints and shorter
+  encodings (the Def. 4.1 supersets shrink), and
+* migrating between the *minimised* forms of two machines can have a
+  much smaller delta set than migrating between redundant forms — the
+  `minimise-then-migrate` ablation benchmark quantifies this.
+
+The algorithm is O(|I|·|S|²) in this straightforward formulation, ample
+for the machine sizes of this domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .fsm import FSM, State, Transition
+
+
+def equivalence_classes(machine: FSM) -> List[FrozenSet[State]]:
+    """The coarsest partition of states into behavioural equivalence classes.
+
+    Two states are equivalent iff no input word distinguishes their
+    output words.
+
+    >>> from repro.workloads.library import ones_detector
+    >>> len(equivalence_classes(ones_detector()))
+    2
+    """
+    # Initial partition: by output row (the length-1 word signatures).
+    block_of: Dict[State, int] = {}
+    signatures: Dict[Tuple, int] = {}
+    for s in machine.states:
+        signature = tuple(machine.output(i, s) for i in machine.inputs)
+        block_of[s] = signatures.setdefault(signature, len(signatures))
+
+    while True:
+        refined: Dict[Tuple, int] = {}
+        new_block_of: Dict[State, int] = {}
+        for s in machine.states:
+            signature = (
+                block_of[s],
+                tuple(
+                    block_of[machine.next_state(i, s)] for i in machine.inputs
+                ),
+            )
+            new_block_of[s] = refined.setdefault(signature, len(refined))
+        if len(refined) == len(signatures):
+            break
+        signatures = refined
+        block_of = new_block_of
+
+    blocks: Dict[int, List[State]] = {}
+    for s in machine.states:
+        blocks.setdefault(block_of[s], []).append(s)
+    return [frozenset(states) for _idx, states in sorted(blocks.items())]
+
+
+def is_minimal(machine: FSM) -> bool:
+    """True when no two states are behaviourally equivalent."""
+    return len(equivalence_classes(machine)) == len(machine.states)
+
+
+def minimize(machine: FSM, name: str = None) -> FSM:
+    """The minimal machine equivalent to ``machine``.
+
+    Each equivalence class collapses to its first member (in the
+    machine's canonical state order), so minimising an already-minimal
+    machine returns a structurally identical copy — state names and the
+    reset state are preserved.
+
+    >>> from repro.core.fsm import FSM
+    >>> redundant = FSM(
+    ...     ["a"], ["x"], ["A", "B"], "A",
+    ...     [("a", "A", "B", "x"), ("a", "B", "A", "x")],
+    ... )
+    >>> minimize(redundant).states
+    ('A',)
+    """
+    classes = equivalence_classes(machine)
+    order = {s: idx for idx, s in enumerate(machine.states)}
+    representative: Dict[State, State] = {}
+    for block in classes:
+        rep = min(block, key=order.__getitem__)
+        for s in block:
+            representative[s] = rep
+
+    reps = [s for s in machine.states if representative[s] == s]
+    transitions = [
+        Transition(
+            i,
+            s,
+            representative[machine.next_state(i, s)],
+            machine.output(i, s),
+        )
+        for i in machine.inputs
+        for s in reps
+    ]
+    used_outputs = {t.output for t in transitions}
+    outputs = [o for o in machine.outputs if o in used_outputs]
+    return FSM(
+        machine.inputs,
+        outputs or list(machine.outputs),
+        reps,
+        representative[machine.reset_state],
+        transitions,
+        name=name or f"{machine.name}_min",
+    )
+
+
+def redundancy(machine: FSM) -> int:
+    """Number of states the machine carries beyond its minimal form."""
+    return len(machine.states) - len(equivalence_classes(machine))

@@ -1,0 +1,186 @@
+"""Don't-care exploitation: migrating into incompletely specified targets.
+
+Def. 2.1 explicitly includes *incompletely specified* machines, and real
+target specifications often leave total states unconstrained ("this
+input can't occur in that state").  For migration this is free money:
+an unspecified entry never needs rewriting, so the delta set — and with
+it every bound and program — shrinks if the completion is chosen to
+agree with whatever the source machine already holds.
+
+:class:`PartialMachine` is a target specification with holes;
+:func:`best_completion` fills the holes to minimise ``|T_d|`` against a
+given source machine (keep the source's entry where it exists, self-loop
+filler where it does not).  The result is an ordinary
+:class:`~repro.core.fsm.FSM`, so the whole synthesis/replay pipeline
+applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from .delta import delta_count
+from .fsm import FSM, FSMError, Input, Output, State, Transition
+
+
+@dataclass(frozen=True)
+class PartialMachine:
+    """An incompletely specified deterministic Mealy specification.
+
+    ``table`` maps only the *specified* total states; the rest are
+    don't-cares.  ``inputs``/``outputs``/``states`` fix the symbol
+    universe (outputs must contain at least one symbol to use as filler).
+    """
+
+    inputs: Tuple[Input, ...]
+    outputs: Tuple[Output, ...]
+    states: Tuple[State, ...]
+    reset_state: State
+    table: "Dict[Tuple[Input, State], Tuple[State, Output]]"
+    name: str = "partial"
+
+    def __post_init__(self) -> None:
+        if self.reset_state not in self.states:
+            raise FSMError("reset state outside the state set")
+        for (i, s), (target, output) in self.table.items():
+            if i not in self.inputs or s not in self.states:
+                raise FSMError(f"specified entry ({i!r}, {s!r}) outside sets")
+            if target not in self.states:
+                raise FSMError(f"next state {target!r} outside the state set")
+            if output not in self.outputs:
+                raise FSMError(f"output {output!r} outside the output set")
+
+    @classmethod
+    def from_transitions(
+        cls,
+        inputs: Iterable[Input],
+        outputs: Iterable[Output],
+        states: Iterable[State],
+        reset_state: State,
+        transitions: Iterable,
+        name: str = "partial",
+    ) -> "PartialMachine":
+        """Build from a (possibly incomplete) transition list."""
+        table = {}
+        for item in transitions:
+            trans = item if isinstance(item, Transition) else Transition(*item)
+            if trans.entry in table:
+                raise FSMError(f"duplicate entry {trans.entry!r}")
+            table[trans.entry] = (trans.target, trans.output)
+        return cls(
+            tuple(inputs),
+            tuple(outputs),
+            tuple(states),
+            reset_state,
+            table,
+            name=name,
+        )
+
+    @property
+    def specified_entries(self) -> List[Tuple[Input, State]]:
+        return sorted(self.table, key=str)
+
+    @property
+    def dont_care_entries(self) -> List[Tuple[Input, State]]:
+        return sorted(
+            (
+                (i, s)
+                for i in self.inputs
+                for s in self.states
+                if (i, s) not in self.table
+            ),
+            key=str,
+        )
+
+    def specification_coverage(self) -> float:
+        """Fraction of total states the specification constrains."""
+        total = len(self.inputs) * len(self.states)
+        return len(self.table) / total if total else 1.0
+
+    def is_satisfied_by(self, machine: FSM) -> bool:
+        """True when ``machine`` agrees with every specified entry."""
+        try:
+            return all(
+                machine.entry(i, s) == value
+                for (i, s), value in self.table.items()
+            )
+        except KeyError:
+            return False
+
+
+def naive_completion(partial: PartialMachine) -> FSM:
+    """Fill every hole with a reset-state transition and filler output.
+
+    This is what a specification-agnostic flow would synthesise — the
+    baseline the don't-care-aware completion is measured against.
+    """
+    table = dict(partial.table)
+    filler = partial.outputs[0]
+    for i in partial.inputs:
+        for s in partial.states:
+            table.setdefault((i, s), (partial.reset_state, filler))
+    return FSM(
+        partial.inputs,
+        partial.outputs,
+        partial.states,
+        partial.reset_state,
+        table,
+        name=f"{partial.name}_naive",
+    )
+
+
+def best_completion(source: FSM, partial: PartialMachine) -> FSM:
+    """The completion of ``partial`` with the fewest deltas against ``source``.
+
+    Every don't-care entry whose total state the source machine defines
+    (with values inside the partial machine's universe) simply keeps the
+    source's entry — zero reconfiguration cost; the remaining holes take
+    reset-state filler.  This is optimal entry-wise: a don't-care either
+    can keep the source value (cost 0) or cannot (cost 1 regardless of
+    the chosen value).
+
+    >>> from repro.workloads.library import ones_detector
+    >>> spec = PartialMachine.from_transitions(
+    ...     ("0", "1"), ("0", "1"), ("S0", "S1"), "S0",
+    ...     [("1", "S0", "S1", "1")],  # only this entry is constrained
+    ... )
+    >>> src = ones_detector()
+    >>> from repro.core.delta import delta_count
+    >>> delta_count(src, best_completion(src, spec))
+    1
+    """
+    src_inputs = set(source.inputs)
+    src_states = set(source.states)
+    table = dict(partial.table)
+    filler = partial.outputs[0]
+    states = set(partial.states)
+    outputs = set(partial.outputs)
+    for i in partial.inputs:
+        for s in partial.states:
+            if (i, s) in table:
+                continue
+            if i in src_inputs and s in src_states:
+                target, output = source.entry(i, s)
+                if target in states and output in outputs:
+                    table[(i, s)] = (target, output)
+                    continue
+            table[(i, s)] = (partial.reset_state, filler)
+    completed = FSM(
+        partial.inputs,
+        partial.outputs,
+        partial.states,
+        partial.reset_state,
+        table,
+        name=f"{partial.name}_completed",
+    )
+    assert partial.is_satisfied_by(completed)
+    return completed
+
+
+def dont_care_savings(source: FSM, partial: PartialMachine) -> Tuple[int, int]:
+    """``(|Td| naive, |Td| don't-care-aware)`` for one migration."""
+    return (
+        delta_count(source, naive_completion(partial)),
+        delta_count(source, best_completion(source, partial)),
+    )

@@ -1,0 +1,126 @@
+"""Shortest paths over (possibly partially configured) transition tables.
+
+Both the evolutionary heuristic's decoder (Sec. 4.6) and the exact
+optimiser need to answer "how do I travel from my current state to the
+source state of the next delta transition, using only transitions that
+currently exist in the table?".  The table changes while a reconfiguration
+program executes, so the functions here work on plain table mappings
+``(i, s) -> (s', o) | None`` rather than on immutable :class:`~repro.core.fsm.FSM`
+objects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .fsm import FSM, Input, State, Transition
+
+Table = Mapping[Tuple[Input, State], Optional[Tuple[State, object]]]
+
+
+def table_of(machine: FSM) -> Dict[Tuple[Input, State], Tuple[State, object]]:
+    """Mutable copy of a machine's complete transition/output table."""
+    return dict(machine.table)
+
+
+def shortest_path(
+    table: Table,
+    inputs: Iterable[Input],
+    start: State,
+    goal: State,
+) -> Optional[List[Transition]]:
+    """BFS shortest transition sequence from ``start`` to ``goal``.
+
+    Only configured entries (value not ``None``) are traversable.  Returns
+    the list of transitions along one shortest path, ``[]`` when start and
+    goal coincide, or ``None`` when the goal is unreachable.
+
+    Ties are broken by the canonical order of ``inputs``, which makes the
+    search fully deterministic — important for reproducible heuristics.
+    """
+    if start == goal:
+        return []
+    inputs = tuple(inputs)
+    parent: Dict[State, Transition] = {}
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        for i in inputs:
+            entry = table.get((i, state))
+            if entry is None:
+                continue
+            target, output = entry
+            if target in seen:
+                continue
+            seen.add(target)
+            parent[target] = Transition(i, state, target, output)
+            if target == goal:
+                path: List[Transition] = []
+                node = goal
+                while node != start:
+                    trans = parent[node]
+                    path.append(trans)
+                    node = trans.source
+                path.reverse()
+                return path
+            queue.append(target)
+    return None
+
+
+def distance(
+    table: Table, inputs: Iterable[Input], start: State, goal: State
+) -> Optional[int]:
+    """Length of the shortest path, or ``None`` when unreachable."""
+    path = shortest_path(table, inputs, start, goal)
+    return None if path is None else len(path)
+
+
+def all_pairs_distances(
+    table: Table, inputs: Iterable[Input], states: Iterable[State]
+) -> Dict[Tuple[State, State], int]:
+    """All-pairs shortest-path distances between the given states.
+
+    Runs one BFS per source state; unreachable pairs are omitted from the
+    result.  Used by the ordering heuristics to build the travelling-
+    salesman view of the delta-ordering problem (Sec. 4.6).
+    """
+    inputs = tuple(inputs)
+    states = tuple(states)
+    distances: Dict[Tuple[State, State], int] = {}
+    for start in states:
+        dist = {start: 0}
+        queue = deque([start])
+        while queue:
+            state = queue.popleft()
+            for i in inputs:
+                entry = table.get((i, state))
+                if entry is None:
+                    continue
+                target = entry[0]
+                if target not in dist:
+                    dist[target] = dist[state] + 1
+                    queue.append(target)
+        for goal in states:
+            if goal in dist:
+                distances[(start, goal)] = dist[goal]
+    return distances
+
+
+def reachable(table: Table, inputs: Iterable[Input], start: State) -> frozenset:
+    """All states reachable from ``start`` through configured entries."""
+    inputs = tuple(inputs)
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        for i in inputs:
+            entry = table.get((i, state))
+            if entry is None:
+                continue
+            target = entry[0]
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return frozenset(seen)

@@ -1,0 +1,205 @@
+"""Migration planning over families of machines.
+
+A self-reconfigurable system rarely migrates between just two machines:
+a protocol processor cycles through revisions, a matcher through
+patterns.  This module plans over a *family*:
+
+* :class:`MigrationGraph` — all pairwise reconfiguration programs,
+  synthesised once and cached;
+* :func:`route` — cheapest migration route, possibly *via* intermediate
+  machines.  Program length is not a metric (it is not even symmetric),
+  so routing through a structurally-between machine can genuinely beat
+  the direct program — Floyd-Warshall over the program-length matrix
+  finds those cases;
+* :func:`plan_supersets` — the encoding the shared hardware needs
+  (Def. 4.1 supersets over the whole family), with its resource cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .alphabet import Alphabet
+from .delta import delta_count
+from .ea import EAConfig, ea_program
+from .fsm import FSM
+from .jsr import jsr_program
+from .program import Program
+
+
+@dataclass
+class Route:
+    """A migration route through the family graph."""
+
+    hops: List[str]
+    total_cycles: int
+    programs: List[Program] = field(default_factory=list)
+
+    @property
+    def direct(self) -> bool:
+        return len(self.hops) == 2
+
+
+class MigrationGraph:
+    """Pairwise reconfiguration programs over a machine family.
+
+    Parameters
+    ----------
+    machines:
+        The family; names must be unique (they key the graph).
+    synthesiser:
+        ``"ea"`` (default) or ``"jsr"``, or any callable
+        ``(source, target) -> Program``.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[FSM],
+        synthesiser: "str | Callable[[FSM, FSM], Program]" = "ea",
+        ea_config: Optional[EAConfig] = None,
+    ):
+        if len({m.name for m in machines}) != len(machines):
+            raise ValueError("family machines must have unique names")
+        if len(machines) < 2:
+            raise ValueError("a family needs at least two machines")
+        self.machines: Dict[str, FSM] = {m.name: m for m in machines}
+        config = ea_config or EAConfig(
+            population_size=24, generations=25, seed=0
+        )
+        if synthesiser == "ea":
+            self._synth = lambda s, t: ea_program(s, t, config=config)
+        elif synthesiser == "jsr":
+            self._synth = jsr_program
+        elif callable(synthesiser):
+            self._synth = synthesiser
+        else:
+            raise ValueError(f"unknown synthesiser {synthesiser!r}")
+        self._programs: Dict[Tuple[str, str], Program] = {}
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self.machines)
+
+    def program(self, source: str, target: str) -> Program:
+        """The (cached) direct program for one ordered pair."""
+        key = (source, target)
+        if key not in self._programs:
+            self._programs[key] = self._synth(
+                self.machines[source], self.machines[target]
+            )
+        return self._programs[key]
+
+    def cost_matrix(self) -> Dict[Tuple[str, str], int]:
+        """Direct program length for every ordered pair (0 on diagonal)."""
+        matrix: Dict[Tuple[str, str], int] = {}
+        for a in self.names:
+            for b in self.names:
+                matrix[(a, b)] = 0 if a == b else len(self.program(a, b))
+        return matrix
+
+    def delta_matrix(self) -> Dict[Tuple[str, str], int]:
+        """``|T_d|`` for every ordered pair."""
+        return {
+            (a, b): delta_count(self.machines[a], self.machines[b])
+            for a in self.names
+            for b in self.names
+        }
+
+    def is_symmetric(self) -> bool:
+        """Program lengths are generally *not* symmetric; check this family."""
+        matrix = self.cost_matrix()
+        return all(
+            matrix[(a, b)] == matrix[(b, a)]
+            for a in self.names
+            for b in self.names
+        )
+
+    def route(self, source: str, target: str) -> Route:
+        """Cheapest migration route, allowing intermediate machines.
+
+        Floyd-Warshall over the direct-cost matrix.  Multi-hop routes
+        replay each hop's program in sequence (each hop ends in its
+        target's reset state, which is exactly where the next hop's
+        program begins — the programs compose soundly).
+        """
+        names = self.names
+        cost = {key: value for key, value in self.cost_matrix().items()}
+        via: Dict[Tuple[str, str], Optional[str]] = {
+            key: None for key in cost
+        }
+        for k in names:
+            for a in names:
+                for b in names:
+                    through = cost[(a, k)] + cost[(k, b)]
+                    if through < cost[(a, b)]:
+                        cost[(a, b)] = through
+                        via[(a, b)] = k
+
+        def unfold(a: str, b: str) -> List[str]:
+            middle = via[(a, b)]
+            if middle is None:
+                return [a, b]
+            return unfold(a, middle)[:-1] + unfold(middle, b)
+
+        hops = unfold(source, target) if source != target else [source]
+        programs = [
+            self.program(a, b) for a, b in zip(hops, hops[1:])
+        ]
+        return Route(
+            hops=hops,
+            total_cycles=sum(len(p) for p in programs),
+            programs=programs,
+        )
+
+    def routing_gains(self) -> List[Tuple[str, str, int, int]]:
+        """Pairs where an indirect route beats the direct program.
+
+        Returns ``(source, target, direct, routed)`` rows; empty when the
+        direct programs already dominate.
+        """
+        gains = []
+        for a in self.names:
+            for b in self.names:
+                if a == b:
+                    continue
+                direct = len(self.program(a, b))
+                routed = self.route(a, b).total_cycles
+                if routed < direct:
+                    gains.append((a, b, direct, routed))
+        return gains
+
+
+@dataclass(frozen=True)
+class SupersetPlan:
+    """The shared encoding a family needs on one datapath (Def. 4.1)."""
+
+    inputs: Alphabet
+    outputs: Alphabet
+    states: Alphabet
+
+    @property
+    def address_bits(self) -> int:
+        return self.inputs.width + self.states.width
+
+    @property
+    def f_ram_bits(self) -> int:
+        return (2 ** self.address_bits) * self.states.width
+
+    @property
+    def g_ram_bits(self) -> int:
+        return (2 ** self.address_bits) * self.outputs.width
+
+
+def plan_supersets(machines: Sequence[FSM]) -> SupersetPlan:
+    """Union alphabets over a whole family, first machine's codes stable."""
+    if not machines:
+        raise ValueError("empty family")
+    inputs = Alphabet(machines[0].inputs)
+    outputs = Alphabet(machines[0].outputs)
+    states = Alphabet(machines[0].states)
+    for machine in machines[1:]:
+        inputs = inputs.union(Alphabet(machine.inputs))
+        outputs = outputs.union(Alphabet(machine.outputs))
+        states = states.union(Alphabet(machine.states))
+    return SupersetPlan(inputs=inputs, outputs=outputs, states=states)

@@ -1,0 +1,370 @@
+"""Reconfiguration programs ``Z`` and their symbolic replay (paper Sec. 4.2-4.3).
+
+A *reconfiguration program* ``Z = (z_0, z_1, ..., z_n)`` is the sequence of
+state transitions a machine takes while it is gradually reconfigured.
+Each step is one clock cycle and is one of:
+
+* a **reset step** — the RST-MUX forces the next state to the reset state,
+* a **traverse step** — an existing, already-correct transition is taken
+  without modifying the table, and
+* a **write step** — a table entry ``(i', s)`` addressed by the internal
+  input ``i' = H_i(i, r)`` and the *current* state ``s`` is rewritten to
+  ``(H_f(r), H_g(r))`` and the newly written transition is taken in the
+  same cycle.  Write steps come in three flavours: ``delta`` (rewriting a
+  delta transition of Def. 4.2), ``temporary`` (the shortcut transitions
+  of Sec. 4.3) and ``repair`` (restoring an entry a temporary transition
+  dirtied).
+
+The physical constraint the paper's hardware imposes — at most one
+``(F, G)`` entry rewritten per rising clock edge, and only the entry
+addressed by the current state — is enforced by :class:`ReplayMachine`,
+which symbolically executes a program against a table and reports whether
+the migration actually succeeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .delta import table_realises
+from .fsm import FSM, Input, Output, State, Transition
+
+
+class StepKind(Enum):
+    """Discriminates the three step flavours of a reconfiguration program."""
+
+    RESET = "reset"
+    TRAVERSE = "traverse"
+    WRITE_DELTA = "delta"
+    WRITE_TEMPORARY = "temporary"
+    WRITE_REPAIR = "repair"
+
+    @property
+    def writes(self) -> bool:
+        """True for step kinds that rewrite a table entry."""
+        return self in (
+            StepKind.WRITE_DELTA,
+            StepKind.WRITE_TEMPORARY,
+            StepKind.WRITE_REPAIR,
+        )
+
+
+@dataclass(frozen=True)
+class Step:
+    """One cycle of a reconfiguration program.
+
+    For a reset step ``transition`` is ``None``; otherwise it is the
+    transition traversed this cycle (and, for write steps, simultaneously
+    written into the table at entry ``(transition.input, transition.source)``).
+    """
+
+    kind: StepKind
+    transition: Optional[Transition] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is StepKind.RESET:
+            if self.transition is not None:
+                raise ValueError("reset steps carry no transition")
+        elif self.transition is None:
+            raise ValueError(f"{self.kind.value} steps require a transition")
+
+    def __str__(self) -> str:
+        if self.kind is StepKind.RESET:
+            return "rst-transition"
+        tag = {
+            StepKind.TRAVERSE: "",
+            StepKind.WRITE_DELTA: " [delta]",
+            StepKind.WRITE_TEMPORARY: " [temp]",
+            StepKind.WRITE_REPAIR: " [repair]",
+        }[self.kind]
+        return f"{self.transition}{tag}"
+
+
+def reset_step() -> Step:
+    """Convenience constructor for a reset step."""
+    return Step(StepKind.RESET)
+
+
+def traverse_step(transition: Transition) -> Step:
+    """Convenience constructor for a traverse step."""
+    return Step(StepKind.TRAVERSE, transition)
+
+
+def write_step(transition: Transition, kind: StepKind = StepKind.WRITE_DELTA) -> Step:
+    """Convenience constructor for a write step of the given flavour."""
+    if not kind.writes:
+        raise ValueError(f"{kind} is not a write kind")
+    return Step(kind, transition)
+
+
+class ReplayError(RuntimeError):
+    """A program step was physically impossible at its point of execution."""
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of symbolically replaying a program against a table."""
+
+    ok: bool
+    final_state: State
+    table: Dict[Tuple[Input, State], Optional[Tuple[State, Output]]]
+    mismatches: List[Tuple[Input, State, str]] = field(default_factory=list)
+    writes: int = 0
+    cycles: int = 0
+
+
+class ReplayMachine:
+    """Symbolic executor of reconfiguration programs.
+
+    Mirrors the Fig. 5 datapath at the table level: a current state, a
+    reset target and a mutable ``(i, s) -> (s', o) | None`` table over the
+    superset domain.  ``None`` entries model unconfigured RAM locations
+    (new states/inputs whose rows were never written); they can be written
+    but not traversed.
+    """
+
+    def __init__(
+        self,
+        table: Mapping[Tuple[Input, State], Optional[Tuple[State, Output]]],
+        state: State,
+        reset_target: State,
+    ):
+        self.table: Dict[Tuple[Input, State], Optional[Tuple[State, Output]]] = dict(
+            table
+        )
+        self.state = state
+        self.reset_target = reset_target
+        self.writes = 0
+        self.cycles = 0
+        self.history: List[Tuple[State, Step, State]] = []
+
+    @classmethod
+    def for_migration(cls, source: FSM, target: FSM) -> "ReplayMachine":
+        """Replay machine initialised with ``source``'s table.
+
+        The table domain is extended to the full superset cross product
+        ``(I ∪ I') × (S ∪ S')`` with ``None`` for entries the source
+        machine never defined, and the reset target is the *target*
+        machine's reset state (the terminal state of every program,
+        Sec. 4.2); the hardware RST-MUX is wired to that encoding for the
+        whole migration.
+        """
+        inputs = list(source.inputs) + [
+            i for i in target.inputs if i not in set(source.inputs)
+        ]
+        states = list(source.states) + [
+            s for s in target.states if s not in set(source.states)
+        ]
+        table: Dict[Tuple[Input, State], Optional[Tuple[State, Output]]] = {
+            (i, s): None for i in inputs for s in states
+        }
+        table.update(source.table)
+        return cls(table, state=source.reset_state, reset_target=target.reset_state)
+
+    def apply(self, step: Step) -> None:
+        """Execute one step, enforcing the single-write-per-cycle physics."""
+        before = self.state
+        if step.kind is StepKind.RESET:
+            self.state = self.reset_target
+        else:
+            trans = step.transition
+            assert trans is not None
+            if trans.source != self.state:
+                raise ReplayError(
+                    f"step {step} fires from {trans.source!r} but machine "
+                    f"is in {self.state!r}"
+                )
+            key = (trans.input, trans.source)
+            if key not in self.table:
+                raise ReplayError(f"total state {key!r} outside table domain")
+            if step.kind is StepKind.TRAVERSE:
+                entry = self.table[key]
+                if entry is None:
+                    raise ReplayError(f"cannot traverse unconfigured entry {key!r}")
+                if entry != (trans.target, trans.output):
+                    raise ReplayError(
+                        f"traverse step {step} disagrees with current table "
+                        f"entry {entry!r}"
+                    )
+            else:
+                self.table[key] = (trans.target, trans.output)
+                self.writes += 1
+            self.state = trans.target
+        self.cycles += 1
+        self.history.append((before, step, self.state))
+
+
+class Program:
+    """A complete reconfiguration program with provenance metadata.
+
+    The program length (the paper's ``|Z|``, the quantity compared in
+    Table 2 and bounded by Thms. 4.2/4.3) is the number of steps, i.e.
+    the number of clock cycles the machine spends in reconfiguration mode.
+    """
+
+    def __init__(
+        self,
+        steps: Iterable[Step],
+        source: FSM,
+        target: FSM,
+        method: str = "manual",
+    ):
+        self.steps: Tuple[Step, ...] = tuple(steps)
+        self.source = source
+        self.target = target
+        self.method = method
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __getitem__(self, idx):
+        return self.steps[idx]
+
+    @property
+    def write_count(self) -> int:
+        """Number of table-writing cycles in the program."""
+        return sum(1 for step in self.steps if step.kind.writes)
+
+    @property
+    def reset_count(self) -> int:
+        """Number of reset cycles in the program."""
+        return sum(1 for step in self.steps if step.kind is StepKind.RESET)
+
+    def replay(self, start: Optional[State] = None) -> ReplayResult:
+        """Symbolically execute the program and judge the migration.
+
+        The machine starts in ``start`` (default: the source machine's
+        reset state — the paper lets a reset transition reach the initial
+        program state from *any* state, so this is without loss of
+        generality).  The result is ``ok`` iff every step was physically
+        legal, the final table realises the target machine on its entire
+        domain, and the machine halted in the target's reset state.
+        """
+        machine = ReplayMachine.for_migration(self.source, self.target)
+        if start is not None:
+            machine.state = start
+        try:
+            for step in self.steps:
+                machine.apply(step)
+        except ReplayError as exc:
+            return ReplayResult(
+                ok=False,
+                final_state=machine.state,
+                table=machine.table,
+                mismatches=[(None, machine.state, str(exc))],
+                writes=machine.writes,
+                cycles=machine.cycles,
+            )
+        realised, mismatches = table_realises(machine.table, self.target)
+        if machine.state != self.target.reset_state:
+            mismatches = list(mismatches) + [
+                (
+                    None,
+                    machine.state,
+                    f"terminal state is {machine.state!r}, want "
+                    f"{self.target.reset_state!r}",
+                )
+            ]
+            realised = False
+        return ReplayResult(
+            ok=realised,
+            final_state=machine.state,
+            table=machine.table,
+            mismatches=mismatches,
+            writes=machine.writes,
+            cycles=machine.cycles,
+        )
+
+    def is_valid(self, start: Optional[State] = None) -> bool:
+        """Shorthand: does :meth:`replay` succeed?"""
+        return self.replay(start=start).ok
+
+    def to_sequence(self) -> List["SequenceRow"]:
+        """Derive the reconfiguration sequence table (paper Table 1).
+
+        Per Sec. 4.2: "The input condition of each transition describes
+        the value of the function H_i.  The new target state of a
+        transition describes the value of the function H_f, and the new
+        output state describes the value of the function H_g."  Reset
+        steps assert the reset signal instead.
+        """
+        rows: List[SequenceRow] = []
+        for cycle, step in enumerate(self.steps):
+            name = f"r{cycle + 1}"
+            if step.kind is StepKind.RESET:
+                rows.append(SequenceRow(name, None, None, None, False, True))
+            else:
+                trans = step.transition
+                assert trans is not None
+                rows.append(
+                    SequenceRow(
+                        name,
+                        trans.input,
+                        trans.target,
+                        trans.output,
+                        step.kind.writes,
+                        False,
+                    )
+                )
+        return rows
+
+    def render(self) -> str:
+        """Human-readable multi-line listing of the program."""
+        lines = [
+            f"reconfiguration program ({self.method}), |Z| = {len(self)}, "
+            f"{self.write_count} writes, {self.reset_count} resets:"
+        ]
+        for idx, step in enumerate(self.steps):
+            lines.append(f"  z{idx}: {step}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Program(method={self.method!r}, |Z|={len(self)}, "
+            f"writes={self.write_count})"
+        )
+
+
+@dataclass(frozen=True)
+class SequenceRow:
+    """One row of a Table-1-style reconfiguration sequence.
+
+    ``hi`` is the internal input forced by ``H_i``, ``hf``/``hg`` the new
+    next-state/output values driven onto the F-RAM/G-RAM data ports,
+    ``write`` the RAM write-enable and ``reset`` the RST-MUX select.  For
+    reset rows the H values are ``None`` (don't care).
+    """
+
+    name: str
+    hi: Optional[Input]
+    hf: Optional[State]
+    hg: Optional[Output]
+    write: bool
+    reset: bool
+
+    def __str__(self) -> str:
+        if self.reset:
+            return f"{self.name}: <reset>"
+        wr = "w" if self.write else "-"
+        return f"{self.name}: Hi={self.hi} Hf={self.hf} Hg={self.hg} [{wr}]"
+
+
+def concatenate(first: Program, second: Program) -> Program:
+    """Concatenate two programs over the same migration pair.
+
+    Useful for composing hand-written prologues with heuristic output;
+    both programs must agree on source and target machine.
+    """
+    if first.source is not second.source or first.target is not second.target:
+        raise ValueError("programs must share source and target machines")
+    return Program(
+        tuple(first.steps) + tuple(second.steps),
+        first.source,
+        first.target,
+        method=f"{first.method}+{second.method}",
+    )

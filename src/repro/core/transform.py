@@ -1,0 +1,181 @@
+"""Machine transformations: Mealy ↔ Moore conversion and composition.
+
+The paper's Def. 2.1 treats Moore machines as the special case of Mealy
+machines whose output depends on the state only (footnote 2).  This
+module provides the standard constructions connecting the two views plus
+synchronous composition operators — the FSM-toolbox operations a
+downstream user needs to assemble controllers before migrating them:
+
+* :func:`mealy_to_moore` — state-splitting construction ``(s, o)``;
+* :func:`moore_to_mealy` — re-expression (already provided by
+  :meth:`~repro.core.fsm.MooreFSM.to_mealy`, re-exported for symmetry);
+* :func:`parallel_compose` — synchronous product, both machines step on
+  the shared input, outputs are paired;
+* :func:`cascade_compose` — series composition, the first machine's
+  output drives the second machine's input.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+from .fsm import FSM, FSMError, MooreFSM, Transition
+
+
+def mealy_to_moore(
+    machine: FSM,
+    initial_output: Optional[Hashable] = None,
+    name: Optional[str] = None,
+) -> MooreFSM:
+    """The Moore machine equivalent to a Mealy machine.
+
+    Standard state-splitting: Moore states are the reachable pairs
+    ``(s, o)`` of Mealy state and the output of the edge that entered it;
+    the pair's Moore output is ``o``.  The initial state pairs the Mealy
+    reset state with ``initial_output`` (default: the machine's first
+    output symbol), which is only visible before the first input.
+
+    With this library's edge-sampled run semantics, the conversion is
+    exactly behaviour-preserving:
+
+    >>> from repro.workloads.library import ones_detector
+    >>> m = ones_detector()
+    >>> mealy_to_moore(m).run(list("110")) == m.run(list("110"))
+    True
+    """
+    init_out = machine.outputs[0] if initial_output is None else initial_output
+    if init_out not in machine.outputs:
+        raise FSMError(f"initial output {init_out!r} not in O")
+
+    start = (machine.reset_state, init_out)
+    states = [start]
+    seen = {start}
+    next_state = {}
+    frontier = [start]
+    while frontier:
+        pair = frontier.pop()
+        s, _o = pair
+        for i in machine.inputs:
+            target, out = machine.entry(i, s)
+            nxt = (target, out)
+            next_state[(i, pair)] = nxt
+            if nxt not in seen:
+                seen.add(nxt)
+                states.append(nxt)
+                frontier.append(nxt)
+
+    state_output = {pair: pair[1] for pair in states}
+    used_outputs = sorted({o for o in state_output.values()}, key=str)
+    return MooreFSM(
+        machine.inputs,
+        [o for o in machine.outputs if o in set(used_outputs)],
+        states,
+        start,
+        next_state,
+        state_output,
+        name=name or f"{machine.name}_moore",
+    )
+
+
+def moore_to_mealy(machine: MooreFSM, name: Optional[str] = None) -> FSM:
+    """Forget the Moore structure (alias of :meth:`MooreFSM.to_mealy`)."""
+    return machine.to_mealy(name=name)
+
+
+def parallel_compose(
+    first: FSM,
+    second: FSM,
+    name: Optional[str] = None,
+) -> FSM:
+    """Synchronous product: both machines consume the shared input.
+
+    The composite state is the pair of component states; the composite
+    output is the pair of component outputs.  Input alphabets must agree.
+
+    >>> from repro.workloads.library import ones_detector, parity_checker
+    >>> both = parallel_compose(ones_detector(), parity_checker())
+    >>> both.run(list("11"))[-1]
+    ('1', '0')
+    """
+    if set(first.inputs) != set(second.inputs):
+        raise FSMError("parallel composition needs identical input sets")
+    states = [(a, b) for a in first.states for b in second.states]
+    outputs = sorted(
+        {(x, y) for x in first.outputs for y in second.outputs}, key=str
+    )
+    transitions = []
+    for i in first.inputs:
+        for a, b in states:
+            ta, oa = first.entry(i, a)
+            tb, ob = second.entry(i, b)
+            transitions.append(Transition(i, (a, b), (ta, tb), (oa, ob)))
+    return FSM(
+        first.inputs,
+        outputs,
+        states,
+        (first.reset_state, second.reset_state),
+        transitions,
+        name=name or f"{first.name}||{second.name}",
+    )
+
+
+def cascade_compose(
+    first: FSM,
+    second: FSM,
+    name: Optional[str] = None,
+) -> FSM:
+    """Series composition: the first machine's output feeds the second.
+
+    Requires the first machine's output set to be a subset of the second
+    machine's input set.  Both machines step in the same clock cycle
+    (combinational cascade, as when two Mealy stages share a clock).
+
+    >>> from repro.workloads.library import ones_detector, parity_checker
+    >>> chain = cascade_compose(ones_detector(), parity_checker())
+    >>> chain.run(list("1101"))  # parity of the detector's output stream
+    ['0', '1', '1', '1']
+    """
+    if not set(first.outputs) <= set(second.inputs):
+        raise FSMError(
+            "cascade composition needs O(first) to be a subset of I(second)"
+        )
+    states = [(a, b) for a in first.states for b in second.states]
+    transitions = []
+    for i in first.inputs:
+        for a, b in states:
+            ta, oa = first.entry(i, a)
+            tb, ob = second.entry(oa, b)
+            transitions.append(Transition(i, (a, b), (ta, tb), ob))
+    return FSM(
+        first.inputs,
+        second.outputs,
+        states,
+        (first.reset_state, second.reset_state),
+        transitions,
+        name=name or f"{first.name}>>{second.name}",
+    )
+
+
+def relabel_outputs(
+    machine: FSM,
+    mapping: Callable[[Hashable], Hashable],
+    name: Optional[str] = None,
+) -> FSM:
+    """Apply a function to every output symbol (e.g. inverting a flag)."""
+    outputs = []
+    for o in machine.outputs:
+        new = mapping(o)
+        if new not in outputs:
+            outputs.append(new)
+    transitions = [
+        Transition(t.input, t.source, t.target, mapping(t.output))
+        for t in machine.transitions()
+    ]
+    return FSM(
+        machine.inputs,
+        outputs,
+        machine.states,
+        machine.reset_state,
+        transitions,
+        name=name or f"{machine.name}_relabelled",
+    )

@@ -1,0 +1,142 @@
+"""Hardware substrate: the Fig. 5 datapath, FPGA model and VHDL backend."""
+
+from .bitstream import (
+    Bitstream,
+    DownloadPort,
+    SwapReport,
+    context_swap,
+    frame_diff,
+    snapshot,
+    target_bitstream,
+)
+from .checker import (
+    Divergence,
+    LockstepChecker,
+    latency_distribution,
+    observability_latency,
+)
+from .faults import (
+    Upset,
+    corrupted_entries,
+    inject_upset,
+    scrub,
+    scrub_program,
+)
+from .fpga import (
+    XCV300,
+    FPGADevice,
+    LutEstimate,
+    ReconfigurationCostModel,
+    ResourceEstimate,
+    estimate_lut_implementation,
+    estimate_resources,
+)
+from .machine import HardwareFSM, ReconCommand
+from .memory import SyncRAM, UninitialisedRead
+from .reconfigurator import (
+    Microinstruction,
+    Reconfigurator,
+    SelfReconfigurableHardware,
+)
+from .multicontext import (
+    ContextError,
+    MigrationComparison,
+    MultiContextFSM,
+    compare_migration,
+)
+from .power import (
+    PowerEstimate,
+    PowerParameters,
+    estimate_power,
+    reconfiguration_energy_pj,
+)
+from .register import Register, mux2
+from .signals import BitVector, SymbolEncoder, ram_address
+from .trace import TraceEntry, TraceRecorder, render_waveform
+from .tmr import TMRError, TripleModularFSM, VoteRecord
+from .timing import (
+    TimingEstimate,
+    TimingParameters,
+    estimate_timing,
+    headroom_cost,
+)
+from .vcd import to_vcd, write_vcd
+from .verilog import (
+    generate_fsm_verilog,
+    generate_reconfigurable_verilog,
+    verilog_identifier,
+)
+from .vhdl import (
+    generate_fsm_vhdl,
+    generate_reconfigurable_vhdl,
+    generate_testbench_vhdl,
+    vhdl_identifier,
+)
+from .vhdl_reader import VhdlParseError, parse_fsm_vhdl
+
+__all__ = [
+    "BitVector",
+    "Bitstream",
+    "DownloadPort",
+    "SwapReport",
+    "context_swap",
+    "frame_diff",
+    "snapshot",
+    "target_bitstream",
+    "FPGADevice",
+    "HardwareFSM",
+    "Microinstruction",
+    "ReconCommand",
+    "ReconfigurationCostModel",
+    "Reconfigurator",
+    "Register",
+    "ResourceEstimate",
+    "SelfReconfigurableHardware",
+    "SymbolEncoder",
+    "SyncRAM",
+    "ContextError",
+    "MigrationComparison",
+    "MultiContextFSM",
+    "TraceEntry",
+    "TraceRecorder",
+    "UninitialisedRead",
+    "Upset",
+    "VhdlParseError",
+    "parse_fsm_vhdl",
+    "compare_migration",
+    "corrupted_entries",
+    "inject_upset",
+    "scrub",
+    "scrub_program",
+    "XCV300",
+    "Divergence",
+    "LockstepChecker",
+    "estimate_lut_implementation",
+    "estimate_resources",
+    "generate_fsm_verilog",
+    "generate_fsm_vhdl",
+    "generate_reconfigurable_verilog",
+    "generate_testbench_vhdl",
+    "latency_distribution",
+    "observability_latency",
+    "verilog_identifier",
+    "PowerEstimate",
+    "PowerParameters",
+    "estimate_power",
+    "reconfiguration_energy_pj",
+    "LutEstimate",
+    "TMRError",
+    "TimingEstimate",
+    "TimingParameters",
+    "TripleModularFSM",
+    "VoteRecord",
+    "estimate_timing",
+    "headroom_cost",
+    "to_vcd",
+    "write_vcd",
+    "generate_reconfigurable_vhdl",
+    "mux2",
+    "ram_address",
+    "render_waveform",
+    "vhdl_identifier",
+]

@@ -1,0 +1,136 @@
+"""Lock-step duplication checking and fault-observability measurement.
+
+Classic fault detection for safety-critical FSMs: run the datapath in
+lock-step with a golden model and compare outputs every cycle.  On top
+of the SEU machinery (:mod:`repro.hw.faults`) this measures a quantity
+the scrubbing story needs: the **observability latency** of an upset —
+how many cycles of live traffic pass before the corrupted entry is
+addressed and the divergence becomes visible at the ports.
+
+Upsets in rarely-addressed entries can lurk for a long time (or forever,
+for unreachable entries); the latency distribution under realistic
+traffic tells how often a proactive conformance sweep
+(:mod:`repro.core.verify`) is worth its cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.fsm import FSM, Input, Output, State
+from .machine import HardwareFSM
+from .memory import UninitialisedRead
+
+
+@dataclass
+class Divergence:
+    """First observable disagreement between DUT and golden model."""
+
+    cycle: int
+    input: Input
+    expected: Optional[Output]
+    actual: Optional[Output]
+    kind: str  # "output", "garbage" (undecodable read)
+
+
+class LockstepChecker:
+    """Clock a datapath and a golden FSM model in lock-step.
+
+    :meth:`step` returns ``None`` while the two agree and a
+    :class:`Divergence` at the first cycle they do not.  Garbage reads
+    (an upset pushed a code outside the alphabet) count as immediately
+    observable divergences — real checkers flag them via parity.
+    """
+
+    def __init__(self, dut: HardwareFSM, golden: FSM):
+        self.dut = dut
+        self.golden = golden
+        self.golden_state: State = golden.reset_state
+        self.cycles = 0
+        self.divergence: Optional[Divergence] = None
+
+    def reset(self) -> None:
+        """Reset both sides (the golden side tracks the DUT's reset)."""
+        self.dut.cycle(reset=True)
+        self.golden_state = self.golden.reset_state
+        self.cycles += 1
+
+    def step(self, i: Input) -> Optional[Divergence]:
+        """One lock-step cycle; records and returns any first divergence."""
+        if self.divergence is not None:
+            return self.divergence
+        self.golden_state, expected = self.golden.step(i, self.golden_state)
+        try:
+            actual = self.dut.step(i)
+        except (UninitialisedRead, ValueError):
+            self.divergence = Divergence(
+                cycle=self.cycles, input=i, expected=expected, actual=None,
+                kind="garbage",
+            )
+            self.cycles += 1
+            return self.divergence
+        self.cycles += 1
+        if actual != expected:
+            self.divergence = Divergence(
+                cycle=self.cycles - 1, input=i, expected=expected,
+                actual=actual, kind="output",
+            )
+        return self.divergence
+
+    def run(self, word: Iterable[Input]) -> Optional[Divergence]:
+        """Clock through a word, stopping at the first divergence."""
+        for i in word:
+            if self.step(i) is not None:
+                break
+        return self.divergence
+
+
+def observability_latency(
+    machine: FSM,
+    upset_seed: int,
+    traffic_seed: int = 0,
+    max_cycles: int = 10_000,
+) -> Optional[int]:
+    """Cycles of random traffic until one injected upset becomes visible.
+
+    Returns ``None`` when the upset stayed silent for ``max_cycles``
+    (e.g. it corrupted an entry the traffic never addressed).  The upset
+    is injected at cycle 0 into a fresh datapath.
+    """
+    from .faults import inject_upset
+
+    dut = HardwareFSM(machine)
+    inject_upset(dut, seed=upset_seed)
+    checker = LockstepChecker(dut, machine)
+    rng = random.Random(f"traffic/{traffic_seed}")
+    for _ in range(max_cycles):
+        divergence = checker.step(rng.choice(machine.inputs))
+        if divergence is not None:
+            return divergence.cycle
+    return None
+
+
+def latency_distribution(
+    machine: FSM,
+    n_upsets: int = 20,
+    traffic_seed: int = 0,
+    max_cycles: int = 10_000,
+) -> Tuple[List[int], int]:
+    """Latencies of ``n_upsets`` independent upsets; silent ones counted.
+
+    Returns ``(observed_latencies, silent_count)``.
+    """
+    latencies: List[int] = []
+    silent = 0
+    for seed in range(n_upsets):
+        latency = observability_latency(
+            machine, upset_seed=seed, traffic_seed=traffic_seed + seed,
+            max_cycles=max_cycles,
+        )
+        if latency is None:
+            silent += 1
+        else:
+            latencies.append(latency)
+    return latencies, silent

@@ -1,0 +1,254 @@
+"""FPGA resource and reconfiguration-time model (paper Sec. 1 and Sec. 3).
+
+The paper's implementation targets a Xilinx Virtex XCV300: the
+Reconfigurator is built from logic blocks (CLBs/LUTs), F-RAM and G-RAM
+from embedded Block RAM.  The introduction motivates gradual
+reconfiguration against full-context swapping, whose "reconfiguration
+times are in the order of milliseconds".  This module quantifies both
+sides:
+
+* :func:`estimate_resources` sizes an FSM implementation (Block-RAM bits,
+  LUTs for the Reconfigurator, state-register flip-flops) against a
+  device budget;
+* :class:`ReconfigurationCostModel` compares the time of a gradual
+  reconfiguration (``|Z|`` clock cycles) with a full or partial
+  configuration-bitstream download, powering the context-swap benchmark.
+
+Device constants are taken from the Virtex data sheet family; they set
+realistic *scales* (the benchmark claims concern ratios, not absolute
+nanoseconds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.alphabet import bits_for
+from ..core.fsm import FSM
+from ..core.program import Program
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """A reconfigurable logic device's capacity and configuration port.
+
+    ``bitstream_bits`` is the full configuration bitstream length;
+    ``config_bus_bits`` × ``config_clock_hz`` gives the download
+    bandwidth (SelectMAP-style byte-parallel port).  ``frames`` is the
+    number of independently reloadable configuration columns, the
+    granularity of *partial* context swapping.
+    """
+
+    name: str
+    luts: int
+    flip_flops: int
+    block_rams: int
+    block_ram_bits: int
+    bitstream_bits: int
+    config_bus_bits: int = 8
+    config_clock_hz: float = 50e6
+    frames: int = 1
+
+    @property
+    def total_bram_bits(self) -> int:
+        """Total embedded memory capacity in bits."""
+        return self.block_rams * self.block_ram_bits
+
+    def full_swap_seconds(self) -> float:
+        """Time to download the complete configuration bitstream."""
+        return self.bitstream_bits / (self.config_bus_bits * self.config_clock_hz)
+
+    def partial_swap_seconds(self, fraction: float) -> float:
+        """Time to reload ``fraction`` of the bitstream, frame-quantised."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        frames_needed = max(1, math.ceil(fraction * self.frames))
+        return (frames_needed / self.frames) * self.full_swap_seconds()
+
+
+XCV300 = FPGADevice(
+    name="Xilinx Virtex XCV300",
+    luts=6144,
+    flip_flops=6144,
+    block_rams=16,
+    block_ram_bits=4096,
+    bitstream_bits=1_751_840,
+    config_bus_bits=8,
+    config_clock_hz=50e6,
+    frames=1536,
+)
+"""The device the paper's implementation used (footnote, Sec. 3)."""
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Resource footprint of one reconfigurable-FSM implementation."""
+
+    f_ram_bits: int
+    g_ram_bits: int
+    block_rams: int
+    reconfigurator_luts: int
+    flip_flops: int
+
+    @property
+    def total_ram_bits(self) -> int:
+        return self.f_ram_bits + self.g_ram_bits
+
+    def fits(self, device: FPGADevice) -> bool:
+        """True when the estimate fits the device budget."""
+        return (
+            self.block_rams <= device.block_rams
+            and self.reconfigurator_luts <= device.luts
+            and self.flip_flops <= device.flip_flops
+        )
+
+
+def estimate_resources(
+    machine: FSM,
+    rom_cycles: int = 0,
+    extra_inputs: int = 0,
+    extra_states: int = 0,
+    extra_outputs: int = 0,
+    device: FPGADevice = XCV300,
+) -> ResourceEstimate:
+    """Size the Fig. 5 implementation of ``machine`` on ``device``.
+
+    ``rom_cycles`` is the total length of the reconfiguration sequences
+    the Reconfigurator must store (its CLB cost grows with the ROM);
+    the ``extra_*`` parameters add superset headroom (Def. 4.1) to the
+    encodings before sizing.
+    """
+    i_bits = bits_for(len(machine.inputs) + extra_inputs)
+    s_bits = bits_for(len(machine.states) + extra_states)
+    o_bits = bits_for(len(machine.outputs) + extra_outputs)
+    depth = 2 ** (i_bits + s_bits)
+
+    f_bits = depth * s_bits
+    g_bits = depth * o_bits
+    brams = _brams_needed(f_bits, device) + _brams_needed(g_bits, device)
+
+    # Reconfigurator: one microinstruction drives ir (i_bits), hf (s_bits),
+    # hg (o_bits) plus write/reset; a LUT-based sequence ROM costs roughly
+    # one 4-LUT per 16 stored bits plus a program counter and the muxes.
+    micro_bits = i_bits + s_bits + o_bits + 2
+    rom_luts = math.ceil(rom_cycles * micro_bits / 16)
+    counter_bits = bits_for(max(2, rom_cycles + 1))
+    mux_luts = i_bits + s_bits  # IN-MUX and RST-MUX, one LUT per bit
+    reconfigurator_luts = rom_luts + counter_bits + mux_luts
+
+    flip_flops = s_bits + counter_bits
+
+    return ResourceEstimate(
+        f_ram_bits=f_bits,
+        g_ram_bits=g_bits,
+        block_rams=brams,
+        reconfigurator_luts=reconfigurator_luts,
+        flip_flops=flip_flops,
+    )
+
+
+def _brams_needed(bits: int, device: FPGADevice) -> int:
+    return max(1, math.ceil(bits / device.block_ram_bits))
+
+
+@dataclass(frozen=True)
+class LutEstimate:
+    """Footprint of a conventional (non-reconfigurable) LUT implementation."""
+
+    luts: int
+    flip_flops: int
+
+    def fits(self, device: FPGADevice) -> bool:
+        return self.luts <= device.luts and self.flip_flops <= device.flip_flops
+
+
+def estimate_lut_implementation(
+    machine: FSM, lut_inputs: int = 4
+) -> LutEstimate:
+    """Size a conventional synthesised (LUT-network) FSM implementation.
+
+    This is the alternative the paper's RAM-based architecture competes
+    with: next-state and output logic as LUT trees over the
+    ``i_bits + s_bits`` support.  The estimate uses the standard
+    tree-decomposition bound — a ``k``-input function needs
+    ``ceil((k - 1) / (lut_inputs - 1))`` LUTs per output bit — which is
+    pessimistic for structured machines and exact for dense ones.
+
+    The crucial *qualitative* difference: these LUTs encode ``F``/``G``
+    in routed logic, so changing one transition means re-running
+    synthesis/place/route and downloading a bitstream — exactly the
+    dependency the paper's design avoids ("the reconfiguration function
+    is independent of the placement and routing").
+    """
+    if lut_inputs < 2:
+        raise ValueError("LUTs need at least two inputs")
+    i_bits = bits_for(len(machine.inputs))
+    s_bits = bits_for(len(machine.states))
+    o_bits = bits_for(len(machine.outputs))
+    support = i_bits + s_bits
+    per_output = max(1, math.ceil((support - 1) / (lut_inputs - 1)))
+    return LutEstimate(
+        luts=per_output * (s_bits + o_bits),
+        flip_flops=s_bits,
+    )
+
+
+@dataclass(frozen=True)
+class ReconfigurationCostModel:
+    """Compares gradual reconfiguration against context swapping.
+
+    ``clock_hz`` is the FSM's operating clock.  Gradual reconfiguration
+    spends ``|Z|`` machine cycles; a context swap stalls the machine for
+    a (partial) bitstream download.  The paper's motivating observation
+    is that the former is orders of magnitude faster for small deltas —
+    and, crucially, technology-independent.
+    """
+
+    device: FPGADevice = XCV300
+    clock_hz: float = 50e6
+
+    def gradual_seconds(self, program: "Program | int") -> float:
+        """Wall-clock time of a gradual reconfiguration of ``|Z|`` cycles."""
+        cycles = program if isinstance(program, int) else len(program)
+        return cycles / self.clock_hz
+
+    def full_swap_seconds(self) -> float:
+        """Wall-clock time of a full-bitstream context swap."""
+        return self.device.full_swap_seconds()
+
+    def partial_swap_seconds(self, machine: FSM) -> float:
+        """Context swap reloading only the machine's own footprint.
+
+        The reloaded fraction is approximated by the machine's share of
+        the device's Block RAM plus a proportional share of logic — an
+        optimistic lower bound for real partial reconfiguration, which
+        is frame-quantised.
+        """
+        estimate = estimate_resources(machine, device=self.device)
+        fraction = min(
+            1.0,
+            max(
+                estimate.total_ram_bits / max(1, self.device.total_bram_bits),
+                1 / self.device.frames,
+            ),
+        )
+        return self.device.partial_swap_seconds(fraction)
+
+    def speedup_vs_full_swap(self, program: "Program | int") -> float:
+        """How many times faster gradual reconfiguration is."""
+        return self.full_swap_seconds() / self.gradual_seconds(program)
+
+    def speedup_vs_partial_swap(self, program: Program) -> float:
+        """Speedup against an optimistic partial context swap."""
+        return self.partial_swap_seconds(program.target) / self.gradual_seconds(
+            program
+        )
+
+    def crossover_cycles_full(self) -> int:
+        """Program length at which gradual loses to a full swap."""
+        return math.ceil(self.full_swap_seconds() * self.clock_hz)
+
+    def crossover_cycles_partial(self, machine: FSM) -> int:
+        """Program length at which gradual loses to a partial swap."""
+        return math.ceil(self.partial_swap_seconds(machine) * self.clock_hz)

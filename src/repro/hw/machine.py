@@ -1,0 +1,268 @@
+"""Cycle-accurate model of the Fig. 5 reconfigurable-FSM datapath.
+
+The netlist consists of (paper Sec. 3):
+
+* **F-RAM** / **G-RAM** — lookup memories holding the transition and
+  output functions, addressed by the concatenation of the internal input
+  ``i'`` and the current state ``s``;
+* **ST-REG** — the state register, loaded on every rising clock edge;
+* **RST-MUX** — forces the next state to the reset state when the reset
+  signal is asserted, "no matter what current state the machine is in";
+* **IN-MUX** — selects the external input ``i`` in normal mode and the
+  reconfigurator-generated ``ir`` in reconfiguration mode;
+* the **Reconfigurator** (see :mod:`repro.hw.reconfigurator`) — drives
+  ``ir``, the new values ``H_f`` / ``H_g``, the RAM write enable and the
+  mode select.
+
+:class:`HardwareFSM` wires the first four together and exposes one
+:meth:`cycle` per clock edge; the symbolic ↔ binary boundary is handled
+by the :class:`~repro.hw.signals.SymbolEncoder` instances built from the
+superset alphabets, so migrating into a machine with more states only
+requires having sized the register and RAMs for the superset up front
+(the paper's Def. 4.1 supersets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.alphabet import Alphabet
+from ..core.fsm import FSM, Input, Output, State
+from ..core.program import Program, SequenceRow
+from .memory import SyncRAM, UninitialisedRead
+from .register import Register, mux2
+from .signals import BitVector, SymbolEncoder, ram_address
+from .trace import TraceEntry, TraceRecorder
+
+
+@dataclass(frozen=True)
+class ReconCommand:
+    """The Reconfigurator's outputs for one reconfiguration cycle.
+
+    ``ir`` is the forced internal input, ``hf``/``hg`` the new next-state
+    and output values, ``write`` the RAM write enable.  Symbols, not
+    bits — the datapath encodes them.
+    """
+
+    ir: Input
+    hf: State
+    hg: Output
+    write: bool = True
+
+
+class HardwareFSM:
+    """Executable netlist of the Fig. 5 implementation.
+
+    Parameters
+    ----------
+    fsm:
+        The machine whose table is downloaded into F-RAM/G-RAM at build
+        time (the compile-time configuration).
+    extra_inputs, extra_outputs, extra_states:
+        Superset headroom for future migrations; the RAM geometry and
+        state-register width are derived from the supersets.
+    """
+
+    def __init__(
+        self,
+        fsm: FSM,
+        extra_inputs: Iterable[Input] = (),
+        extra_outputs: Iterable[Output] = (),
+        extra_states: Iterable[State] = (),
+        name: Optional[str] = None,
+    ):
+        self.name = name or f"hw_{fsm.name}"
+        self.input_enc = SymbolEncoder(
+            Alphabet(fsm.inputs).union(Alphabet(list(extra_inputs) or fsm.inputs))
+        )
+        self.output_enc = SymbolEncoder(
+            Alphabet(fsm.outputs).union(Alphabet(list(extra_outputs) or fsm.outputs))
+        )
+        self.state_enc = SymbolEncoder(
+            Alphabet(fsm.states).union(Alphabet(list(extra_states) or fsm.states))
+        )
+
+        addr_width = self.input_enc.width + self.state_enc.width
+        self.f_ram = SyncRAM(addr_width, self.state_enc.width, name="F-RAM")
+        self.g_ram = SyncRAM(addr_width, self.output_enc.width, name="G-RAM")
+        self.st_reg = Register(
+            self.state_enc.width, self.state_enc.encode(fsm.reset_state), name="ST-REG"
+        )
+        self._reset_code = self.state_enc.encode(fsm.reset_state)
+        self.trace = TraceRecorder()
+        self.cycles = 0
+        self._download(fsm)
+
+    @classmethod
+    def for_migration(cls, source: FSM, target: FSM) -> "HardwareFSM":
+        """A datapath holding ``source``, sized for migrating to ``target``."""
+        return cls(
+            source,
+            extra_inputs=target.inputs,
+            extra_outputs=target.outputs,
+            extra_states=target.states,
+            name=f"hw_{source.name}_to_{target.name}",
+        )
+
+    def _download(self, fsm: FSM) -> None:
+        f_words: Dict[int, int] = {}
+        g_words: Dict[int, int] = {}
+        for trans in fsm.transitions():
+            addr = self._address(trans.input, trans.source).value
+            f_words[addr] = self.state_enc.encode(trans.target).value
+            g_words[addr] = self.output_enc.encode(trans.output).value
+        self.f_ram.load(f_words)
+        self.g_ram.load(g_words)
+
+    def _address(self, i: Input, s: State) -> BitVector:
+        return ram_address(self.input_enc.encode(i), self.state_enc.encode(s))
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> State:
+        """The decoded current state (ST-REG contents)."""
+        return self.state_enc.decode(self.st_reg.q)
+
+    @property
+    def reset_state(self) -> State:
+        """The state the RST-MUX currently forces."""
+        return self.state_enc.decode(self._reset_code)
+
+    def retarget_reset(self, state: State) -> None:
+        """Re-wire the RST-MUX constant (needed when ``S0' ≠ S0``)."""
+        self._reset_code = self.state_enc.encode(state)
+
+    def table_entry(self, i: Input, s: State) -> Optional[Tuple[State, Output]]:
+        """Decode one (F-RAM, G-RAM) entry; ``None`` when unconfigured."""
+        addr = self._address(i, s).value
+        f_word = self.f_ram.peek(addr)
+        g_word = self.g_ram.peek(addr)
+        if f_word is None or g_word is None:
+            return None
+        return (
+            self.state_enc.decode(BitVector(f_word, self.state_enc.width)),
+            self.output_enc.decode(BitVector(g_word, self.output_enc.width)),
+        )
+
+    def realises(self, fsm: FSM) -> bool:
+        """True when the RAMs hold ``fsm``'s table on its whole domain."""
+        return all(
+            self.table_entry(t.input, t.source) == (t.target, t.output)
+            for t in fsm.transitions()
+        )
+
+    # ------------------------------------------------------------------
+    # Clocking
+    # ------------------------------------------------------------------
+    def cycle(
+        self,
+        i: Optional[Input] = None,
+        reset: bool = False,
+        recon: Optional[ReconCommand] = None,
+    ) -> Optional[Output]:
+        """One rising clock edge; returns the cycle's decoded output.
+
+        Exactly one of normal operation (``i`` given), reset (``reset``)
+        or reconfiguration (``recon`` given) drives the datapath; reset
+        composes with either (RST-MUX wins for the next state).
+        """
+        if recon is not None and i is not None:
+            raise ValueError("external input is ignored in reconfiguration mode")
+        if recon is None and i is None and not reset:
+            raise ValueError("cycle needs an input, a reset, or a recon command")
+
+        mode = "reconf" if recon is not None else ("reset" if reset else "normal")
+        state_before = self.state
+
+        if recon is not None:
+            internal = recon.ir
+            addr = self._address(internal, state_before)
+            if recon.write:
+                f_word = self.state_enc.encode(recon.hf)
+                g_word = self.output_enc.encode(recon.hg)
+                self.f_ram.write(addr, f_word)
+                self.g_ram.write(addr, g_word)
+        else:
+            internal = i
+            addr = self._address(internal, state_before) if i is not None else None
+
+        # Combinational RAM read (write-first during a write cycle).
+        output: Optional[Output] = None
+        next_code: Optional[BitVector] = None
+        if addr is not None:
+            f_read = self.f_ram.read(addr)
+            g_read = self.g_ram.read(addr)
+            if g_read is not None:
+                output = self.output_enc.decode(
+                    BitVector(g_read, self.output_enc.width)
+                )
+            if f_read is not None:
+                next_code = BitVector(f_read, self.state_enc.width)
+            elif not reset:
+                raise UninitialisedRead(
+                    f"{self.name}: F-RAM entry ({internal!r}, {state_before!r}) "
+                    "read while unconfigured"
+                )
+
+        # RST-MUX: reset overrides the F-RAM next state.
+        if reset or next_code is None:
+            self.st_reg.drive(self._reset_code)
+        else:
+            self.st_reg.drive(mux2(reset, self._reset_code, next_code))
+
+        self.f_ram.clock()
+        self.g_ram.clock()
+        self.st_reg.clock()
+        self.cycles += 1
+
+        self.trace.record(
+            TraceEntry(
+                cycle=self.cycles - 1,
+                mode=mode,
+                external_input=i,
+                internal_input=internal if recon is not None else i,
+                state_before=state_before,
+                state_after=self.state,
+                output=output if not reset else None,
+                write=bool(recon and recon.write),
+                address=None if addr is None else addr.value,
+            )
+        )
+        return None if reset else output
+
+    def step(self, i: Input) -> Output:
+        """Normal-mode cycle under external input ``i``."""
+        return self.cycle(i=i)
+
+    def run(self, inputs: Iterable[Input]) -> list:
+        """Normal-mode run over an input word."""
+        return [self.step(i) for i in inputs]
+
+    def apply_row(self, row: SequenceRow) -> Optional[Output]:
+        """Execute one Table-1-style reconfiguration sequence row."""
+        if row.reset:
+            return self.cycle(reset=True)
+        return self.cycle(
+            recon=ReconCommand(ir=row.hi, hf=row.hf, hg=row.hg, write=row.write)
+        )
+
+    def run_program(self, program: Program) -> None:
+        """Replay a reconfiguration program cycle-accurately.
+
+        Re-wires the RST-MUX to the target's reset state first, then
+        drives the derived reconfiguration sequence row by row.  After
+        the call the RAMs realise the program's target machine (verified
+        by the integration tests, not assumed).
+        """
+        self.retarget_reset(program.target.reset_state)
+        for row in program.to_sequence():
+            self.apply_row(row)
+
+    def __repr__(self) -> str:
+        return (
+            f"HardwareFSM(name={self.name!r}, state={self.state!r}, "
+            f"cycles={self.cycles})"
+        )

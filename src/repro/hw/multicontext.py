@@ -1,0 +1,193 @@
+"""Multi-context FPGA model: the related-work comparator of refs [8, 13].
+
+Time-multiplexed / multi-context FPGAs (Trimberger's TM-FPGA, NEC's
+DRAM-FPGA) hold ``N`` complete configuration planes on chip and switch
+between them in a cycle or two — the "context swapping" the paper's
+introduction positions itself against.  The trade-offs:
+
+* **switch latency** — a context switch is nearly free (1-2 cycles),
+  *much* faster than a gradual program;
+* **capacity** — only ``N`` precompiled machines fit; a target outside
+  the stored set needs a full plane download over the configuration
+  port first;
+* **memory** — every plane replicates the whole table storage.
+
+:class:`MultiContextFSM` implements the model on top of the datapath's
+RAM geometry, and :func:`compare_migration` works out, for a given
+migration, which mechanism is cheaper — reproducing the niche the paper
+claims for gradual self-reconfiguration: *unbounded* target sets at a
+small per-migration cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.fsm import FSM, Input, Output, State
+from ..core.program import Program
+from .fpga import FPGADevice, XCV300
+
+
+class ContextError(RuntimeError):
+    """Raised on capacity violations or unknown contexts."""
+
+
+class MultiContextFSM:
+    """An FSM engine with ``n_contexts`` resident configuration planes.
+
+    Each plane holds one complete machine; :meth:`switch` makes another
+    plane active in ``switch_cycles`` cycles.  Loading a *new* machine
+    into a plane models the configuration-port download and costs
+    :meth:`load_cycles` cycles, during which the engine is stalled.
+    """
+
+    def __init__(
+        self,
+        machines: List[FSM],
+        n_contexts: int = 8,
+        switch_cycles: int = 1,
+        load_overhead_cycles: int = 64,
+        device: FPGADevice = XCV300,
+    ):
+        if not machines:
+            raise ContextError("at least one resident machine is required")
+        if len(machines) > n_contexts:
+            raise ContextError(
+                f"{len(machines)} machines exceed {n_contexts} contexts"
+            )
+        self.n_contexts = n_contexts
+        self.switch_cycles = switch_cycles
+        # Configuration ports pay a fixed command sequence per download
+        # (sync words, frame addressing, CRC) before any payload moves.
+        self.load_overhead_cycles = load_overhead_cycles
+        self.device = device
+        self._planes: Dict[str, FSM] = {m.name: m for m in machines}
+        if len(self._planes) != len(machines):
+            raise ContextError("resident machines must have unique names")
+        self._active = machines[0].name
+        self.state: State = machines[0].reset_state
+        self.cycles = 0
+        self.stall_cycles = 0
+
+    @property
+    def active(self) -> FSM:
+        """The machine in the active plane."""
+        return self._planes[self._active]
+
+    @property
+    def resident(self) -> List[str]:
+        """Names of the machines currently stored on chip."""
+        return sorted(self._planes)
+
+    def step(self, i: Input) -> Output:
+        """One normal-mode cycle of the active machine."""
+        self.state, output = self.active.step(i, self.state)
+        self.cycles += 1
+        return output
+
+    def switch(self, name: str) -> int:
+        """Activate a resident plane; returns the cycles spent.
+
+        The machine restarts in the new plane's reset state — context
+        switching, like bitstream swapping, does not carry state across.
+        """
+        if name not in self._planes:
+            raise ContextError(f"{name!r} is not resident")
+        self._active = name
+        self.state = self._planes[name].reset_state
+        self.cycles += self.switch_cycles
+        self.stall_cycles += self.switch_cycles
+        return self.switch_cycles
+
+    def plane_bits(self, machine: FSM) -> int:
+        """Configuration bits one plane needs for ``machine``."""
+        from ..core.alphabet import bits_for
+
+        i_bits = bits_for(len(machine.inputs))
+        s_bits = bits_for(len(machine.states))
+        o_bits = bits_for(len(machine.outputs))
+        return (2 ** (i_bits + s_bits)) * (s_bits + o_bits)
+
+    def load_cycles(self, machine: FSM) -> int:
+        """Download cycles to (re)fill one plane with ``machine``.
+
+        Payload transfer over the configuration bus plus the fixed
+        per-download command overhead.
+        """
+        bits = self.plane_bits(machine)
+        return self.load_overhead_cycles + -(-bits // self.device.config_bus_bits)
+
+    def load(self, machine: FSM, evict: Optional[str] = None) -> int:
+        """Install a new machine, evicting ``evict`` if the chip is full.
+
+        Returns the stall cycles charged for the download.
+        """
+        if machine.name in self._planes:
+            return 0
+        if len(self._planes) >= self.n_contexts:
+            if evict is None:
+                raise ContextError("all contexts occupied; name a victim")
+            if evict not in self._planes:
+                raise ContextError(f"victim {evict!r} is not resident")
+            if evict == self._active:
+                raise ContextError("cannot evict the active context")
+            del self._planes[evict]
+        self._planes[machine.name] = machine
+        cycles = self.load_cycles(machine)
+        self.cycles += cycles
+        self.stall_cycles += cycles
+        return cycles
+
+    def total_memory_bits(self) -> int:
+        """On-chip configuration storage across all planes (worst plane × N)."""
+        if not self._planes:
+            return 0
+        widest = max(self.plane_bits(m) for m in self._planes.values())
+        return widest * self.n_contexts
+
+
+@dataclass(frozen=True)
+class MigrationComparison:
+    """Cycle/memory cost of one migration under both mechanisms."""
+
+    gradual_cycles: int
+    gradual_memory_bits: int
+    context_cycles: int
+    context_memory_bits: int
+    target_was_resident: bool
+
+    @property
+    def context_wins_cycles(self) -> bool:
+        return self.context_cycles < self.gradual_cycles
+
+    @property
+    def gradual_wins_memory(self) -> bool:
+        return self.gradual_memory_bits < self.context_memory_bits
+
+
+def compare_migration(
+    program: Program,
+    engine: MultiContextFSM,
+) -> MigrationComparison:
+    """Compare a gradual program against the multi-context alternative.
+
+    If the target machine is resident, the context switch is essentially
+    free (the multi-context design point); otherwise a plane download is
+    charged first — the capacity cliff that gradual reconfiguration,
+    with its single plane and arbitrary targets, does not have.
+    """
+    target = program.target
+    resident = target.name in engine.resident
+    context_cycles = engine.switch_cycles
+    if not resident:
+        context_cycles += engine.load_cycles(target)
+
+    single_plane = engine.plane_bits(target)
+    return MigrationComparison(
+        gradual_cycles=len(program),
+        gradual_memory_bits=single_plane,
+        context_cycles=context_cycles,
+        context_memory_bits=single_plane * engine.n_contexts,
+        target_was_resident=resident,
+    )

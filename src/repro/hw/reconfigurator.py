@@ -1,0 +1,190 @@
+"""The Reconfigurator block of Fig. 5 and its composition with the datapath.
+
+The Reconfigurator realises ``H_i``, ``H_f`` and ``H_g``: for every
+reconfiguration state ``r`` it drives the internal input ``ir``, the new
+table values and two extra signals — the RAM write enable and the mode
+select (called ``-state`` in the paper's figure).  In the paper the block
+is synthesised into CLBs from a ROM of reconfiguration sequences; here it
+is a microcode sequencer storing compiled programs, plus optional
+*trigger rules* that start a sequence autonomously — turning the
+reconfigurable machine into a **self**-reconfigurable one (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.fsm import FSM, Input, Output, State
+from ..core.program import Program, SequenceRow
+from .machine import HardwareFSM, ReconCommand
+
+
+@dataclass
+class Microinstruction:
+    """One word of the Reconfigurator's sequence ROM."""
+
+    reset: bool
+    ir: Optional[Input] = None
+    hf: Optional[State] = None
+    hg: Optional[Output] = None
+    write: bool = False
+
+    @classmethod
+    def from_row(cls, row: SequenceRow) -> "Microinstruction":
+        if row.reset:
+            return cls(reset=True)
+        return cls(reset=False, ir=row.hi, hf=row.hf, hg=row.hg, write=row.write)
+
+
+class Reconfigurator:
+    """Microcode sequencer holding compiled reconfiguration programs.
+
+    Programs are stored under a name together with the reset-state
+    retarget they require; :meth:`start` arms one, and :meth:`tick`
+    yields the signals for the current cycle and advances the program
+    counter.  ``busy`` is the paper's mode-select signal.
+    """
+
+    def __init__(self) -> None:
+        self._programs: Dict[str, Tuple[List[Microinstruction], State]] = {}
+        self._current: Optional[List[Microinstruction]] = None
+        self._pc = 0
+        self.started: List[str] = []
+
+    def store(self, name: str, program: Program) -> None:
+        """Compile ``program`` into the sequence ROM under ``name``."""
+        rom = [Microinstruction.from_row(row) for row in program.to_sequence()]
+        self._programs[name] = (rom, program.target.reset_state)
+
+    def stored(self) -> List[str]:
+        """Names of all stored programs."""
+        return sorted(self._programs)
+
+    def rom_size(self, name: str) -> int:
+        """Number of microinstructions of one stored program."""
+        return len(self._programs[name][0])
+
+    @property
+    def busy(self) -> bool:
+        """True while a sequence is replaying (the mode-select signal)."""
+        return self._current is not None
+
+    def start(self, name: str) -> State:
+        """Arm the named program; returns the reset retarget it needs."""
+        if self.busy:
+            raise RuntimeError("reconfigurator is already replaying a sequence")
+        rom, retarget = self._programs[name]
+        self._current = rom
+        self._pc = 0
+        self.started.append(name)
+        return retarget
+
+    def tick(self) -> Microinstruction:
+        """The microinstruction for this cycle; advances the counter."""
+        if self._current is None:
+            raise RuntimeError("reconfigurator idle: no sequence armed")
+        instr = self._current[self._pc]
+        self._pc += 1
+        if self._pc >= len(self._current):
+            self._current = None
+        return instr
+
+
+TriggerRule = Callable[[State, Input], Optional[str]]
+"""Maps (current state, external input) to a program name, or ``None``."""
+
+
+class SelfReconfigurableHardware:
+    """Fig. 5 datapath + Reconfigurator + autonomous trigger rules.
+
+    This is the complete *self*-reconfigurable machine: reconfiguration
+    is initiated by the system itself when a trigger rule fires, not by
+    external reconfiguration events.  External inputs are ignored during
+    a replay (``H_i`` depends on ``r`` only), exactly as in Def. 2.2.
+    """
+
+    def __init__(
+        self,
+        datapath: HardwareFSM,
+        reconfigurator: Optional[Reconfigurator] = None,
+        rules: Sequence[TriggerRule] = (),
+    ):
+        self.datapath = datapath
+        self.reconfigurator = reconfigurator or Reconfigurator()
+        self.rules: List[TriggerRule] = list(rules)
+
+    @classmethod
+    def build(
+        cls,
+        source: FSM,
+        programs: Dict[str, Program],
+        rules: Sequence[TriggerRule] = (),
+    ) -> "SelfReconfigurableHardware":
+        """Datapath sized for all stored programs' targets, ROM preloaded."""
+        extra_inputs: List[Input] = []
+        extra_outputs: List[Output] = []
+        extra_states: List[State] = []
+        for program in programs.values():
+            extra_inputs += list(program.target.inputs)
+            extra_outputs += list(program.target.outputs)
+            extra_states += list(program.target.states)
+        datapath = HardwareFSM(
+            source,
+            extra_inputs=_dedup(extra_inputs),
+            extra_outputs=_dedup(extra_outputs),
+            extra_states=_dedup(extra_states),
+        )
+        recon = Reconfigurator()
+        for name, program in programs.items():
+            recon.store(name, program)
+        return cls(datapath, recon, rules)
+
+    @property
+    def reconfiguring(self) -> bool:
+        """The mode-select signal."""
+        return self.reconfigurator.busy
+
+    def request(self, name: str) -> None:
+        """Externally request a stored reconfiguration (non-self mode).
+
+        Def. 2.2 covers both autonomous and externally triggered
+        reconfiguration; this is the external entry point.
+        """
+        retarget = self.reconfigurator.start(name)
+        self.datapath.retarget_reset(retarget)
+
+    def clock(self, i: Input) -> Tuple[Optional[Output], bool]:
+        """One clock edge; returns ``(output, was_reconfiguring)``."""
+        if not self.reconfigurator.busy:
+            for rule in self.rules:
+                name = rule(self.datapath.state, i)
+                if name is not None:
+                    self.request(name)
+                    break
+        if self.reconfigurator.busy:
+            instr = self.reconfigurator.tick()
+            if instr.reset:
+                self.datapath.cycle(reset=True)
+                return None, True
+            output = self.datapath.cycle(
+                recon=ReconCommand(
+                    ir=instr.ir, hf=instr.hf, hg=instr.hg, write=instr.write
+                )
+            )
+            return output, True
+        return self.datapath.step(i), False
+
+    def run(self, inputs: Sequence[Input]) -> List[Tuple[Optional[Output], bool]]:
+        """Clock through an input word, reconfiguring as triggers fire."""
+        return [self.clock(i) for i in inputs]
+
+
+def _dedup(items: List) -> List:
+    seen = set()
+    result = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result

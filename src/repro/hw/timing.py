@@ -1,0 +1,104 @@
+"""Critical-path timing model for the Fig. 5 datapath.
+
+The datapath's cycle time is set by the registered loop
+
+    ST-REG (clk→Q) → IN-MUX → F-RAM read → RST-MUX → ST-REG setup
+
+plus, in reconfiguration cycles, the RAM write path (which is parallel
+to the read in a write-first RAM and therefore does not lengthen the
+loop).  The constants are datasheet-scale values for a Virtex-era part;
+as everywhere in :mod:`repro.hw.fpga`, absolute nanoseconds matter only
+for ratio-style conclusions — the model's purpose is to turn "cycles"
+into comparable wall-clock numbers and to expose how machine size
+(through RAM depth) erodes the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.alphabet import bits_for
+from ..core.fsm import FSM
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Technology constants of the timing model (nanoseconds).
+
+    ``ram_access_base_ns`` covers the smallest Block-RAM configuration;
+    ``ram_access_per_addr_bit_ns`` adds the decoder/column-mux cost of
+    deeper memories.  Virtex-1 scale defaults.
+    """
+
+    clk_to_q_ns: float = 1.2
+    mux_ns: float = 0.6
+    ram_access_base_ns: float = 3.2
+    ram_access_per_addr_bit_ns: float = 0.25
+    setup_ns: float = 1.0
+    routing_overhead: float = 1.25  # net delays as a factor on logic
+
+
+@dataclass(frozen=True)
+class TimingEstimate:
+    """Critical path and resulting clock limits of one implementation."""
+
+    critical_path_ns: float
+    f_max_hz: float
+    address_bits: int
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Wall-clock time of ``cycles`` at the estimated maximum clock."""
+        return cycles / self.f_max_hz
+
+
+def estimate_timing(
+    machine: FSM,
+    params: TimingParameters = TimingParameters(),
+    extra_inputs: int = 0,
+    extra_states: int = 0,
+) -> TimingEstimate:
+    """Critical-path estimate of the Fig. 5 datapath for ``machine``.
+
+    ``extra_*`` add Def. 4.1 superset headroom before sizing (bigger
+    supersets mean deeper RAMs mean slower clocks — the price of
+    migration headroom, quantified).
+
+    >>> from repro.workloads.library import ones_detector
+    >>> est = estimate_timing(ones_detector())
+    >>> 10e6 < est.f_max_hz < 500e6
+    True
+    """
+    i_bits = bits_for(len(machine.inputs) + extra_inputs)
+    s_bits = bits_for(len(machine.states) + extra_states)
+    address_bits = i_bits + s_bits
+    ram_ns = (
+        params.ram_access_base_ns
+        + params.ram_access_per_addr_bit_ns * address_bits
+    )
+    path_ns = (
+        params.clk_to_q_ns
+        + params.mux_ns  # IN-MUX
+        + ram_ns
+        + params.mux_ns  # RST-MUX
+        + params.setup_ns
+    ) * params.routing_overhead
+    return TimingEstimate(
+        critical_path_ns=path_ns,
+        f_max_hz=1e9 / path_ns,
+        address_bits=address_bits,
+    )
+
+
+def headroom_cost(
+    machine: FSM,
+    extra_states: int,
+    params: TimingParameters = TimingParameters(),
+) -> float:
+    """Fractional clock-frequency loss caused by superset headroom.
+
+    0.0 when the headroom does not change the RAM depth; grows stepwise
+    with every extra address bit.
+    """
+    base = estimate_timing(machine, params=params)
+    grown = estimate_timing(machine, params=params, extra_states=extra_states)
+    return 1.0 - grown.f_max_hz / base.f_max_hz

@@ -1,0 +1,147 @@
+"""Triple modular redundancy: masking SEUs instead of repairing them.
+
+The scrubbing story (:mod:`repro.hw.faults`) *repairs* upsets after the
+fact; safety-critical designs often *mask* them instead by triplicating
+the FSM and voting on the outputs.  On the paper's architecture both
+options exist, with a clean trade-off this module makes measurable:
+
+* **TMR** — 3× area (three F-RAM/G-RAM pairs, three state registers),
+  zero detection latency, tolerates one faulty replica per voting
+  domain, but a corrupted replica *stays* corrupted and a second upset
+  in another replica defeats the voter;
+* **scrub-on-vote** — the voter's disagreement signal locates the faulty
+  replica, and gradual reconfiguration heals it in a handful of cycles,
+  restoring full redundancy (this is TMR + the paper's mechanism as the
+  repair path).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.fsm import FSM, Input, Output
+from .faults import corrupted_entries, scrub
+from .machine import HardwareFSM
+from .memory import UninitialisedRead
+
+
+@dataclass
+class VoteRecord:
+    """One cycle's voting outcome."""
+
+    cycle: int
+    outputs: Tuple[Optional[Output], ...]
+    voted: Optional[Output]
+    disagreeing: Tuple[int, ...]
+
+    @property
+    def unanimous(self) -> bool:
+        return not self.disagreeing
+
+
+class TMRError(RuntimeError):
+    """The voter could not form a majority."""
+
+
+class TripleModularFSM:
+    """Three lock-stepped datapaths with per-cycle output voting.
+
+    All replicas are built from the same machine; :meth:`step` clocks
+    the three and returns the majority output.  Disagreements are
+    recorded (and expose which replica is suspect), a replica that
+    raises on a garbage read is treated as a disagreeing replica for the
+    cycle.
+    """
+
+    def __init__(self, machine: FSM):
+        self.machine = machine
+        self.replicas: List[HardwareFSM] = [
+            HardwareFSM(machine, name=f"tmr{k}_{machine.name}")
+            for k in range(3)
+        ]
+        self.votes: List[VoteRecord] = []
+        self.cycles = 0
+
+    def reset(self) -> None:
+        """Reset all three replicas."""
+        for replica in self.replicas:
+            replica.cycle(reset=True)
+        self.cycles += 1
+
+    def step(self, i: Input) -> Output:
+        """One voted cycle; raises :class:`TMRError` without a majority."""
+        outputs: List[Optional[Output]] = []
+        for replica in self.replicas:
+            try:
+                outputs.append(replica.step(i))
+            except (UninitialisedRead, ValueError):
+                outputs.append(None)
+        counts = Counter(o for o in outputs if o is not None)
+        if not counts:
+            raise TMRError("all replicas produced garbage")
+        voted, support = counts.most_common(1)[0]
+        if support < 2:
+            raise TMRError(f"no majority among outputs {outputs!r}")
+        disagreeing = tuple(
+            idx for idx, o in enumerate(outputs) if o != voted
+        )
+        self.votes.append(
+            VoteRecord(
+                cycle=self.cycles,
+                outputs=tuple(outputs),
+                voted=voted,
+                disagreeing=disagreeing,
+            )
+        )
+        self.cycles += 1
+        # Re-align a diverged replica's state with the majority so one
+        # output fault does not cascade into permanent state divergence.
+        healthy = [r for idx, r in enumerate(self.replicas)
+                   if idx not in disagreeing]
+        if disagreeing and healthy:
+            majority_state = healthy[0].state
+            for idx in disagreeing:
+                replica = self.replicas[idx]
+                replica.st_reg.drive(replica.state_enc.encode(majority_state))
+                replica.st_reg.clock()
+        return voted
+
+    def run(self, word: Iterable[Input]) -> List[Output]:
+        """Clock a word through the voter."""
+        return [self.step(i) for i in word]
+
+    def suspect_replica(self) -> Optional[int]:
+        """The replica that disagreed most recently, if any."""
+        for record in reversed(self.votes):
+            if record.disagreeing:
+                return record.disagreeing[0]
+        return None
+
+    def disagreement_count(self) -> int:
+        """Total cycles with at least one disagreeing replica."""
+        return sum(1 for record in self.votes if record.disagreeing)
+
+    def heal(self) -> Optional[int]:
+        """Scrub every corrupted replica back to the intended machine.
+
+        Returns the total reconfiguration cycles spent, or ``None`` when
+        all replicas were already clean.  This is the TMR + gradual
+        reconfiguration combination: masking keeps the system correct
+        while the repair path restores full redundancy.
+        """
+        spent = 0
+        for replica in self.replicas:
+            if corrupted_entries(replica, self.machine):
+                program = scrub(replica, self.machine)
+                spent += len(program)
+        if spent:
+            self.reset()
+            return spent
+        return None
+
+    @property
+    def area_factor(self) -> int:
+        """Replication cost relative to a single datapath."""
+        return 3

@@ -1,0 +1,112 @@
+"""Cycle-by-cycle trace recording and ASCII waveform rendering.
+
+The hardware simulation records one :class:`TraceEntry` per clock cycle;
+:func:`render_waveform` turns a trace into a compact textual waveform
+(one row per signal, one column per cycle) for the examples and for
+eyeballing reconfiguration sequences the way Fig. 4 draws them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One clock cycle of the Fig. 5 datapath.
+
+    ``mode`` is ``"normal"``, ``"reconf"`` or ``"reset"``; the symbol
+    fields hold *decoded* values (``None`` when a signal was garbage or
+    don't-care that cycle).
+    """
+
+    cycle: int
+    mode: str
+    external_input: Optional[Any]
+    internal_input: Optional[Any]
+    state_before: Any
+    state_after: Any
+    output: Optional[Any]
+    write: bool
+    address: Optional[int] = None
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEntry` rows during simulation."""
+
+    def __init__(self) -> None:
+        self.entries: List[TraceEntry] = []
+
+    def record(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def column(self, signal: str) -> List[Any]:
+        """All values of one signal, in cycle order."""
+        return [getattr(entry, signal) for entry in self.entries]
+
+
+DEFAULT_SIGNALS = (
+    "mode",
+    "external_input",
+    "internal_input",
+    "state_before",
+    "state_after",
+    "output",
+    "write",
+)
+
+
+def render_waveform(
+    trace: TraceRecorder,
+    signals: Sequence[str] = DEFAULT_SIGNALS,
+    max_cycles: Optional[int] = None,
+) -> str:
+    """Render a trace as an aligned textual waveform.
+
+    Each signal becomes one row; cells are padded to the widest value in
+    their column.  ``None`` renders as ``-`` (don't care / garbage).
+
+    >>> rec = TraceRecorder()
+    >>> rec.record(TraceEntry(0, "normal", "1", "1", "S0", "S1", "0", False))
+    >>> print(render_waveform(rec, signals=("mode", "output")))
+    cycle  | 0
+    mode   | normal
+    output | 0
+    """
+    entries = trace.entries[:max_cycles] if max_cycles else trace.entries
+    if not entries:
+        return "(empty trace)"
+
+    def cell(value: Any) -> str:
+        if value is None:
+            return "-"
+        if value is True:
+            return "W"
+        if value is False:
+            return "."
+        return str(value)
+
+    header = ["cycle"] + [str(e.cycle) for e in entries]
+    rows: List[List[str]] = [header]
+    for signal in signals:
+        rows.append([signal] + [cell(getattr(e, signal)) for e in entries])
+
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for row in rows:
+        label = row[0].ljust(widths[0])
+        cells = " ".join(
+            row[col].ljust(widths[col]) for col in range(1, len(row))
+        )
+        lines.append(f"{label} | {cells}".rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Verilog-2001 backend for plain and reconfigurable FSMs.
+
+Complements the VHDL backend (:mod:`repro.hw.vhdl`) for flows that use
+Verilog toolchains.  Two architectures are generated:
+
+* :func:`generate_fsm_verilog` — behavioural two-always-block style with
+  localparam state encoding;
+* :func:`generate_reconfigurable_verilog` — the Fig. 5 structure with
+  inferred RAM arrays, one synchronous write port and write-first
+  forwarding, IN-MUX/RST-MUX and the reconfigurator port interface.
+
+As with the VHDL backend, the tests validate structure, not a simulator
+run — no Verilog toolchain is assumed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..core.alphabet import Alphabet, bits_for
+from ..core.fsm import FSM
+
+_IDENT = re.compile(r"[^A-Za-z0-9_$]")
+
+
+def verilog_identifier(symbol: object, prefix: str = "s") -> str:
+    """A legal Verilog identifier for an arbitrary symbol."""
+    text = _IDENT.sub("_", str(symbol))
+    if not text or not (text[0].isalpha() or text[0] == "_"):
+        text = f"{prefix}_{text}" if text else prefix
+    return text
+
+
+def _unique(symbols, prefix: str) -> Dict[object, str]:
+    mapping: Dict[object, str] = {}
+    used = set()
+    for sym in symbols:
+        base = verilog_identifier(sym, prefix)
+        candidate = base
+        counter = 1
+        while candidate.lower() in used:
+            candidate = f"{base}_{counter}"
+            counter += 1
+        used.add(candidate.lower())
+        mapping[sym] = candidate
+    return mapping
+
+
+def generate_fsm_verilog(machine: FSM, module: Optional[str] = None) -> str:
+    """Behavioural Verilog: localparam states, two always blocks."""
+    module = module or verilog_identifier(machine.name, "fsm")
+    in_alpha = Alphabet(machine.inputs)
+    out_alpha = Alphabet(machine.outputs)
+    st_alpha = Alphabet(machine.states)
+    states = _unique(machine.states, "ST")
+
+    lines: List[str] = []
+    emit = lines.append
+    emit(f"module {module} (")
+    emit(f"  input  wire [{in_alpha.width - 1}:0] din,")
+    emit("  input  wire clk,")
+    emit("  input  wire rst,")
+    emit(f"  output reg  [{out_alpha.width - 1}:0] dout")
+    emit(");")
+    emit("")
+    for s in machine.states:
+        code = st_alpha.index(s)
+        emit(
+            f"  localparam [{st_alpha.width - 1}:0] {states[s].upper()} = "
+            f"{st_alpha.width}'d{code};"
+        )
+    emit("")
+    emit(f"  reg [{st_alpha.width - 1}:0] state;")
+    emit("")
+    emit("  always @(posedge clk) begin")
+    emit("    if (rst) begin")
+    emit(f"      state <= {states[machine.reset_state].upper()};")
+    emit("      dout  <= 0;")
+    emit("    end else begin")
+    emit("      case (state)")
+    for s in machine.states:
+        emit(f"        {states[s].upper()}: begin")
+        emit("          case (din)")
+        for i in machine.inputs:
+            target, output = machine.entry(i, s)
+            in_code = in_alpha.index(i)
+            out_code = out_alpha.index(output)
+            emit(f"            {in_alpha.width}'d{in_code}: begin")
+            emit(f"              state <= {states[target].upper()};")
+            emit(f"              dout  <= {out_alpha.width}'d{out_code};")
+            emit("            end")
+        emit("            default: begin")
+        emit(f"              state <= {states[machine.reset_state].upper()};")
+        emit("              dout  <= 0;")
+        emit("            end")
+        emit("          endcase")
+        emit("        end")
+    emit("        default: begin")
+    emit(f"          state <= {states[machine.reset_state].upper()};")
+    emit("          dout  <= 0;")
+    emit("        end")
+    emit("      endcase")
+    emit("    end")
+    emit("  end")
+    emit("")
+    emit("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def generate_reconfigurable_verilog(
+    machine: FSM,
+    module: Optional[str] = None,
+    extra_inputs: int = 0,
+    extra_states: int = 0,
+    extra_outputs: int = 0,
+) -> str:
+    """The Fig. 5 reconfigurable architecture as Verilog.
+
+    Same structure as :func:`repro.hw.vhdl.generate_reconfigurable_vhdl`:
+    RAM arrays with one synchronous write port and write-first read
+    forwarding, IN-MUX, RST-MUX, and the reconfigurator ports.
+    """
+    module = module or verilog_identifier(f"{machine.name}_reconf", "fsm")
+    i_bits = bits_for(len(machine.inputs) + extra_inputs)
+    s_bits = bits_for(len(machine.states) + extra_states)
+    o_bits = bits_for(len(machine.outputs) + extra_outputs)
+    addr_bits = i_bits + s_bits
+    depth = 2 ** addr_bits
+
+    in_alpha = Alphabet(machine.inputs)
+    out_alpha = Alphabet(machine.outputs)
+    st_alpha = Alphabet(machine.states)
+    reset_code = st_alpha.index(machine.reset_state)
+
+    lines: List[str] = []
+    emit = lines.append
+    emit(f"module {module} (")
+    emit(f"  input  wire [{i_bits - 1}:0] din,")
+    emit("  input  wire clk,")
+    emit("  input  wire rst,")
+    emit("  input  wire mode,  // 0 = normal, 1 = reconfiguration")
+    emit(f"  input  wire [{i_bits - 1}:0] ir,")
+    emit(f"  input  wire [{s_bits - 1}:0] hf,")
+    emit(f"  input  wire [{o_bits - 1}:0] hg,")
+    emit("  input  wire we,")
+    emit(f"  output wire [{o_bits - 1}:0] dout")
+    emit(");")
+    emit("")
+    emit(f"  reg [{s_bits - 1}:0] f_ram [0:{depth - 1}];")
+    emit(f"  reg [{o_bits - 1}:0] g_ram [0:{depth - 1}];")
+    emit(f"  reg [{s_bits - 1}:0] state;")
+    emit("")
+    emit("  // IN-MUX: external input in normal mode, ir while reconfiguring")
+    emit(f"  wire [{i_bits - 1}:0] i_int = mode ? ir : din;")
+    emit(f"  wire [{addr_bits - 1}:0] addr = {{i_int, state}};")
+    emit("")
+    emit("  // write-first forwarding: the written transition is taken")
+    emit("  // in the same cycle it is written")
+    emit(f"  wire [{s_bits - 1}:0] f_out = (we && mode) ? hf : f_ram[addr];")
+    emit("  assign dout = (we && mode) ? hg : g_ram[addr];")
+    emit("")
+    emit("  integer k;")
+    emit("  initial begin")
+    emit(f"    state = {s_bits}'d{reset_code};")
+    emit("    for (k = 0; k < " + str(depth) + "; k = k + 1) begin")
+    emit("      f_ram[k] = 0;")
+    emit("      g_ram[k] = 0;")
+    emit("    end")
+    for trans in machine.transitions():
+        addr = (in_alpha.index(trans.input) << s_bits) | st_alpha.index(
+            trans.source
+        )
+        emit(
+            f"    f_ram[{addr}] = {s_bits}'d{st_alpha.index(trans.target)}; "
+            f"g_ram[{addr}] = {o_bits}'d{out_alpha.index(trans.output)};"
+        )
+    emit("  end")
+    emit("")
+    emit("  always @(posedge clk) begin")
+    emit("    if (we && mode) begin")
+    emit("      f_ram[addr] <= hf;")
+    emit("      g_ram[addr] <= hg;")
+    emit("    end")
+    emit("    // RST-MUX: reset wins over the F-RAM next state")
+    emit(f"    state <= rst ? {s_bits}'d{reset_code} : f_out;")
+    emit("  end")
+    emit("")
+    emit("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,161 @@
+"""Parse the library's generated behavioural VHDL back into an FSM.
+
+Closing the HDL loop without a VHDL simulator: the behavioural backend
+(:func:`repro.hw.vhdl.generate_fsm_vhdl`) emits a fixed, disciplined
+subset of VHDL-93 (state enumeration, one clocked process, nested case
+statements).  This module parses exactly that subset back into a
+:class:`~repro.core.fsm.FSM`, so the test suite can assert
+
+    parse(generate(machine)) ≡ machine
+
+for arbitrary machines — a round-trip proof that the generator encodes
+the transition/output functions faithfully.  It is *not* a general VHDL
+front end; anything outside the generated subset raises
+:class:`VhdlParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..core.fsm import FSM, Transition
+
+_ENTITY = re.compile(r"entity\s+(\w+)\s+is", re.IGNORECASE)
+_PORT = re.compile(
+    r"(\w+)\s*:\s*(in|out)\s+std_logic_vector\((\d+)\s+downto\s+0\)",
+    re.IGNORECASE,
+)
+_STATE_TYPE = re.compile(
+    r"type\s+state_type\s+is\s+\(([^)]*)\)\s*;", re.IGNORECASE
+)
+_RESET_STATE = re.compile(
+    r"signal\s+state\s*:\s*state_type\s*:=\s*(\w+)\s*;", re.IGNORECASE
+)
+_WHEN_STATE = re.compile(r"when\s+(\w+)\s*=>", re.IGNORECASE)
+_WHEN_INPUT = re.compile(r'when\s+"([01]+)"\s*=>', re.IGNORECASE)
+_ASSIGN_STATE = re.compile(r"state\s*<=\s*(\w+)\s*;", re.IGNORECASE)
+_ASSIGN_OUT = re.compile(r'dout\s*<=\s*"([01]+)"\s*;', re.IGNORECASE)
+
+
+class VhdlParseError(ValueError):
+    """The text is outside the generated behavioural subset."""
+
+
+def parse_fsm_vhdl(text: str) -> FSM:
+    """Rebuild the FSM encoded by a generated behavioural architecture.
+
+    Input/output symbols come back as the bit-string literals of the
+    listing; state names are the enumeration literals.  The returned
+    machine is behaviourally identical to the generator's input up to
+    that renaming (exactly identical when the input already used
+    bit-string symbols, as KISS-loaded machines do).
+
+    >>> from repro.hw.vhdl import generate_fsm_vhdl
+    >>> from repro.workloads.library import ones_detector
+    >>> machine = parse_fsm_vhdl(generate_fsm_vhdl(ones_detector()))
+    >>> machine.run(list("110")) == ones_detector().run(list("110"))
+    True
+    """
+    entity = _ENTITY.search(text)
+    if not entity:
+        raise VhdlParseError("no entity declaration found")
+
+    widths: Dict[str, int] = {}
+    for name, _direction, msb in _PORT.findall(text):
+        widths[name.lower()] = int(msb) + 1
+    if "din" not in widths or "dout" not in widths:
+        raise VhdlParseError("din/dout ports missing")
+
+    state_match = _STATE_TYPE.search(text)
+    if not state_match:
+        raise VhdlParseError("state_type enumeration missing")
+    states = [s.strip() for s in state_match.group(1).split(",") if s.strip()]
+    if not states:
+        raise VhdlParseError("empty state enumeration")
+
+    reset_match = _RESET_STATE.search(text)
+    if not reset_match:
+        raise VhdlParseError("state signal with reset default missing")
+    reset_state = reset_match.group(1)
+    if reset_state not in states:
+        raise VhdlParseError(f"reset state {reset_state!r} not enumerated")
+
+    # Walk the nested case structure line by line.
+    transitions: List[Transition] = []
+    current_state: Optional[str] = None
+    current_input: Optional[str] = None
+    pending_target: Optional[str] = None
+    inputs_seen: List[str] = []
+    outputs_seen: List[str] = []
+    in_reset_arm = False
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("if rst"):
+            in_reset_arm = True
+            continue
+        if line.startswith("else"):
+            in_reset_arm = False
+            continue
+        state_arm = _WHEN_STATE.match(line)
+        if state_arm and state_arm.group(1) in states:
+            current_state = state_arm.group(1)
+            current_input = None
+            continue
+        input_arm = _WHEN_INPUT.match(line)
+        if input_arm:
+            current_input = input_arm.group(1)
+            if len(current_input) != widths["din"]:
+                raise VhdlParseError(
+                    f"input literal {current_input!r} width mismatch"
+                )
+            if current_input not in inputs_seen:
+                inputs_seen.append(current_input)
+            pending_target = None
+            continue
+        if line.lower().startswith("when others"):
+            current_input = None
+            continue
+        if in_reset_arm or current_state is None or current_input is None:
+            continue
+        assign_state = _ASSIGN_STATE.match(line)
+        if assign_state:
+            pending_target = assign_state.group(1)
+            if pending_target not in states:
+                raise VhdlParseError(
+                    f"assignment to unknown state {pending_target!r}"
+                )
+            continue
+        assign_out = _ASSIGN_OUT.match(line)
+        if assign_out:
+            output = assign_out.group(1)
+            if len(output) != widths["dout"]:
+                raise VhdlParseError(f"output literal {output!r} width "
+                                     "mismatch")
+            if pending_target is None:
+                raise VhdlParseError(
+                    "dout assignment before state assignment"
+                )
+            if output not in outputs_seen:
+                outputs_seen.append(output)
+            transitions.append(
+                Transition(current_input, current_state, pending_target,
+                           output)
+            )
+            pending_target = None
+
+    if not transitions:
+        raise VhdlParseError("no transitions recovered from the case arms")
+
+    # Stable symbol order: numeric order of the bit-string literals.
+    inputs_seen.sort(key=lambda b: int(b, 2))
+    outputs_seen.sort(key=lambda b: int(b, 2))
+    return FSM(
+        inputs_seen,
+        outputs_seen,
+        states,
+        reset_state,
+        transitions,
+        name=entity.group(1),
+    )

@@ -1,0 +1,17 @@
+"""Interchange formats: KISS2 state tables, Graphviz DOT graphs and
+JSON-serialised reconfiguration programs."""
+
+from . import program_io
+from .dot import migration_to_dot, to_dot
+from .kiss import KissError, dump, dumps, load, loads
+
+__all__ = [
+    "KissError",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "migration_to_dot",
+    "program_io",
+    "to_dot",
+]

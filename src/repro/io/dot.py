@@ -1,0 +1,68 @@
+"""Graphviz DOT export of state transition graphs and migrations.
+
+The paper presents machines as state-transition graphs (Figs. 3, 4, 6-9);
+this module renders our machines the same way, including a migration view
+that highlights delta transitions in bold — the visual convention of
+Fig. 6 ("highlighted bold").  Output is plain DOT text; no Graphviz
+installation is required to generate it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.delta import delta_transitions
+from ..core.fsm import FSM, Transition
+
+
+def _quote(value: object) -> str:
+    text = str(value).replace('"', '\\"')
+    return f'"{text}"'
+
+
+def to_dot(
+    machine: FSM,
+    title: Optional[str] = None,
+    highlight: Iterable[Transition] = (),
+) -> str:
+    """Render a machine as a DOT digraph.
+
+    Transitions listed in ``highlight`` are drawn bold (the paper's
+    delta-transition convention); the reset state gets a double circle.
+
+    >>> from repro.workloads.library import ones_detector
+    >>> text = to_dot(ones_detector())
+    >>> '"S0" -> "S1"' in text
+    True
+    """
+    highlighted = {
+        (t.input, t.source, t.target, t.output) for t in highlight
+    }
+    lines: List[str] = [f"digraph {_quote(title or machine.name)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [shape=circle];")
+    lines.append(f"  {_quote(machine.reset_state)} [shape=doublecircle];")
+    for t in machine.transitions():
+        attrs = [f"label={_quote(f'{t.input}/{t.output}')}"]
+        if (t.input, t.source, t.target, t.output) in highlighted:
+            attrs.append("style=bold")
+            attrs.append("penwidth=2")
+        lines.append(
+            f"  {_quote(t.source)} -> {_quote(t.target)} "
+            f"[{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def migration_to_dot(source: FSM, target: FSM) -> str:
+    """Render the *target* machine with its delta transitions in bold.
+
+    This reproduces the Fig. 6 presentation: the reconfigured machine M'
+    with the entries that must be rewritten highlighted.
+    """
+    return to_dot(
+        target,
+        title=f"{source.name} -> {target.name}",
+        highlight=delta_transitions(source, target),
+    )

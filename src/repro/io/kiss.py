@@ -1,0 +1,275 @@
+"""KISS2 state-table format: the standard FSM benchmark interchange format.
+
+KISS2 is the format of the MCNC/LGSynth FSM benchmark suites and is read
+by classic logic-synthesis tools (SIS, STAMINA, NOVA).  Supporting it
+makes this library interoperable with the EDA ecosystem the paper lives
+in: real controller FSMs can be imported, migrated, and written back.
+
+Format summary::
+
+    .i <#inputs>          number of input bits
+    .o <#outputs>         number of output bits
+    .p <#terms>           number of transition lines (optional)
+    .s <#states>          number of states (optional)
+    .r <state>            reset state (optional; default: first mentioned)
+    <in> <cur> <next> <out>   one transition per line
+    .e                    end marker (optional)
+
+Input fields may contain ``-`` (don't care), which expands to both bit
+values; next-state ``*`` and output ``-`` (unspecified) are only
+representable in the relational :class:`~repro.core.fsm.NondeterministicFSM`
+view and are rejected by the deterministic loader unless
+``complete_with`` is given.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from ..core.fsm import FSM
+
+
+class KissError(ValueError):
+    """Raised for malformed KISS2 text."""
+
+
+def _expand_dont_cares(pattern: str) -> List[str]:
+    """All concrete bit vectors matched by a '-'-pattern.
+
+    >>> _expand_dont_cares("1-0")
+    ['100', '110']
+    """
+    positions = [i for i, c in enumerate(pattern) if c == "-"]
+    if not positions:
+        return [pattern]
+    expansions = []
+    for bits in product("01", repeat=len(positions)):
+        chars = list(pattern)
+        for pos, bit in zip(positions, bits):
+            chars[pos] = bit
+        expansions.append("".join(chars))
+    return expansions
+
+
+def loads(
+    text: str,
+    name: str = "kiss",
+    complete_with: Optional[Tuple[str, str]] = None,
+) -> FSM:
+    """Parse KISS2 text into a deterministic completely specified FSM.
+
+    Parameters
+    ----------
+    complete_with:
+        ``(next_state_policy, output_bits)`` used to fill total states the
+        file leaves unspecified.  The policy is either a state name or
+        ``"self"`` (self-loop), e.g. ``("self", "00")``.  Without it,
+        an incompletely specified file raises :class:`KissError` —
+        Section 4 of the paper assumes completely specified machines.
+
+    >>> m = loads('''
+    ... .i 1
+    ... .o 1
+    ... .r A
+    ... 0 A A 0
+    ... 1 A B 0
+    ... 0 B A 0
+    ... 1 B B 1
+    ... ''')
+    >>> m.run(list("11"))
+    ['0', '1']
+    """
+    n_inputs = n_outputs = None
+    declared_states = declared_terms = None
+    reset: Optional[str] = None
+    raw_lines: List[Tuple[str, str, str, str]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        key = fields[0]
+        if key == ".i":
+            n_inputs = int(fields[1])
+        elif key == ".o":
+            n_outputs = int(fields[1])
+        elif key == ".p":
+            declared_terms = int(fields[1])
+        elif key == ".s":
+            declared_states = int(fields[1])
+        elif key == ".r":
+            reset = fields[1]
+        elif key == ".e":
+            break
+        elif key.startswith("."):
+            raise KissError(f"line {lineno}: unknown directive {key!r}")
+        else:
+            if len(fields) != 4:
+                raise KissError(
+                    f"line {lineno}: expected 'in cur next out', got {line!r}"
+                )
+            raw_lines.append((fields[0], fields[1], fields[2], fields[3]))
+
+    if n_inputs is None or n_outputs is None:
+        raise KissError("missing .i/.o declarations")
+    if declared_terms is not None and declared_terms != len(raw_lines):
+        raise KissError(
+            f".p declares {declared_terms} terms but {len(raw_lines)} found"
+        )
+
+    states: List[str] = []
+
+    def note_state(state: str) -> None:
+        if state not in states:
+            states.append(state)
+
+    table: Dict[Tuple[str, str], Tuple[str, str]] = {}
+    for in_pat, cur, nxt, out in raw_lines:
+        if len(in_pat) != n_inputs:
+            raise KissError(f"input field {in_pat!r} is not {n_inputs} bits")
+        if len(out) != n_outputs or any(c not in "01" for c in out):
+            raise KissError(f"output field {out!r} is not {n_outputs} bits")
+        if nxt == "*":
+            raise KissError(
+                "unspecified next state '*' is not deterministic; "
+                "use load_relation() for incompletely specified machines"
+            )
+        note_state(cur)
+        note_state(nxt)
+        for concrete in _expand_dont_cares(in_pat):
+            key = (concrete, cur)
+            if key in table and table[key] != (nxt, out):
+                raise KissError(
+                    f"conflicting transitions for input {concrete} in "
+                    f"state {cur}"
+                )
+            table[key] = (nxt, out)
+
+    if declared_states is not None and declared_states != len(states):
+        raise KissError(
+            f".s declares {declared_states} states but {len(states)} found"
+        )
+    if reset is None:
+        if not states:
+            raise KissError("empty state table")
+        reset = states[0]
+    elif reset not in states:
+        raise KissError(f"reset state {reset!r} never appears in the table")
+
+    inputs = ["".join(bits) for bits in product("01", repeat=n_inputs)]
+    outputs_seen = sorted({out for (_n, out) in table.values()})
+
+    missing = [
+        (i, s) for i in inputs for s in states if (i, s) not in table
+    ]
+    if missing:
+        if complete_with is None:
+            raise KissError(
+                f"incompletely specified: {len(missing)} total states have "
+                "no transition (pass complete_with to fill them)"
+            )
+        policy, fill_output = complete_with
+        if len(fill_output) != n_outputs:
+            raise KissError("complete_with output width mismatch")
+        if fill_output not in outputs_seen:
+            outputs_seen.append(fill_output)
+        for i, s in missing:
+            target = s if policy == "self" else policy
+            if target not in states:
+                raise KissError(f"complete_with state {target!r} unknown")
+            table[(i, s)] = (target, fill_output)
+
+    return FSM(
+        inputs,
+        outputs_seen,
+        states,
+        reset,
+        {key: value for key, value in table.items()},
+        name=name,
+    )
+
+
+def load(stream: Union[TextIO, str], **kwargs) -> FSM:
+    """Read KISS2 from a file path or an open text stream."""
+    if isinstance(stream, str):
+        with open(stream) as handle:
+            return loads(handle.read(), **kwargs)
+    return loads(stream.read(), **kwargs)
+
+
+def dumps(machine: FSM, merge_dont_cares: bool = True) -> str:
+    """Serialise an FSM to KISS2 text.
+
+    Input symbols must be fixed-width bit strings (as produced by
+    :func:`loads` or :func:`~repro.core.alphabet.binary_alphabet`);
+    output symbols likewise.  With ``merge_dont_cares``, rows of one
+    state that agree on next state and output are merged into a single
+    ``-`` line when they cover the whole input space of one bit.
+
+    >>> from repro.workloads.library import ones_detector
+    >>> print(dumps(ones_detector()))  # doctest: +NORMALIZE_WHITESPACE
+    .i 1
+    .o 1
+    .p 4
+    .s 2
+    .r S0
+    0 S0 S0 0
+    1 S0 S1 0
+    0 S1 S0 0
+    1 S1 S1 1
+    .e
+    """
+    widths_in = {len(str(i)) for i in machine.inputs}
+    widths_out = {len(str(o)) for o in machine.outputs}
+    if len(widths_in) != 1 or len(widths_out) != 1:
+        raise KissError("KISS2 needs fixed-width bit-string symbols")
+    in_width = widths_in.pop()
+    out_width = widths_out.pop()
+    for i in machine.inputs:
+        if any(c not in "01" for c in str(i)):
+            raise KissError(f"input symbol {i!r} is not a bit string")
+    for o in machine.outputs:
+        if any(c not in "01" for c in str(o)):
+            raise KissError(f"output symbol {o!r} is not a bit string")
+
+    rows: List[Tuple[str, str, str, str]] = []
+    for s in machine.states:
+        state_rows = [
+            (str(i), str(s), str(machine.next_state(i, s)),
+             str(machine.output(i, s)))
+            for i in machine.inputs
+        ]
+        if (
+            merge_dont_cares
+            and len({(r[2], r[3]) for r in state_rows}) == 1
+            and len(state_rows) == 2 ** in_width
+            and in_width >= 1
+            and len(state_rows) > 1
+        ):
+            _, cur, nxt, out = state_rows[0]
+            rows.append(("-" * in_width, cur, nxt, out))
+        else:
+            rows.extend(state_rows)
+
+    lines = [
+        f".i {in_width}",
+        f".o {out_width}",
+        f".p {len(rows)}",
+        f".s {len(machine.states)}",
+        f".r {machine.reset_state}",
+    ]
+    lines += [" ".join(row) for row in rows]
+    lines.append(".e")
+    return "\n".join(lines)
+
+
+def dump(machine: FSM, stream: Union[TextIO, str], **kwargs) -> None:
+    """Write KISS2 to a file path or an open text stream."""
+    text = dumps(machine, **kwargs)
+    if isinstance(stream, str):
+        with open(stream, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        stream.write(text + "\n")

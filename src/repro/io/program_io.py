@@ -1,0 +1,128 @@
+"""JSON serialisation of reconfiguration programs.
+
+The paper's deployment model presynthesises reconfigurations at compile
+time ("presynthesized bit-streams are generated at compile-time and only
+these configuration streams are overwritten ... at run-time") — for this
+library that means synthesising programs offline with the expensive
+heuristics and shipping them next to the design.  This module stores a
+:class:`~repro.core.program.Program` (steps plus the migration pair's
+tables, so the program can be re-validated on load) as JSON, and loads
+it back bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO, Union
+
+from ..core.fsm import FSM, Transition
+from ..core.program import Program, Step, StepKind
+
+FORMAT_VERSION = 1
+
+
+def _machine_to_json(machine: FSM) -> Dict[str, Any]:
+    return {
+        "name": machine.name,
+        "inputs": list(machine.inputs),
+        "outputs": list(machine.outputs),
+        "states": list(machine.states),
+        "reset_state": machine.reset_state,
+        "transitions": [
+            [t.input, t.source, t.target, t.output]
+            for t in machine.transitions()
+        ],
+    }
+
+
+def _machine_from_json(data: Dict[str, Any]) -> FSM:
+    return FSM(
+        data["inputs"],
+        data["outputs"],
+        data["states"],
+        data["reset_state"],
+        [tuple(item) for item in data["transitions"]],
+        name=data.get("name", "loaded"),
+    )
+
+
+def _step_to_json(step: Step) -> Dict[str, Any]:
+    if step.kind is StepKind.RESET:
+        return {"kind": "reset"}
+    trans = step.transition
+    return {
+        "kind": step.kind.value,
+        "transition": [trans.input, trans.source, trans.target, trans.output],
+    }
+
+
+def _step_from_json(data: Dict[str, Any]) -> Step:
+    if data["kind"] == "reset":
+        return Step(StepKind.RESET)
+    kind = next(k for k in StepKind if k.value == data["kind"])
+    return Step(kind, Transition(*data["transition"]))
+
+
+def program_to_json(program: Program) -> Dict[str, Any]:
+    """The JSON-serialisable dict form of a program."""
+    return {
+        "format": FORMAT_VERSION,
+        "method": program.method,
+        "source": _machine_to_json(program.source),
+        "target": _machine_to_json(program.target),
+        "steps": [_step_to_json(step) for step in program.steps],
+    }
+
+
+def program_from_json(data: Dict[str, Any], validate: bool = True) -> Program:
+    """Rebuild a program; optionally re-validate it by replay.
+
+    Validation guards against hand-edited or corrupted files — a stored
+    program that no longer migrates its pair raises ``ValueError``.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported program format {data.get('format')!r}")
+    program = Program(
+        [_step_from_json(item) for item in data["steps"]],
+        _machine_from_json(data["source"]),
+        _machine_from_json(data["target"]),
+        method=data.get("method", "loaded"),
+    )
+    if validate and not program.is_valid():
+        raise ValueError("stored program failed replay validation")
+    return program
+
+
+def dumps(program: Program, indent: int = 2) -> str:
+    """Serialise to JSON text.
+
+    >>> from repro.core.jsr import jsr_program
+    >>> from repro.workloads.library import fig6_m, fig6_m_prime
+    >>> text = dumps(jsr_program(fig6_m(), fig6_m_prime()))
+    >>> loads(text).is_valid()
+    True
+    """
+    return json.dumps(program_to_json(program), indent=indent)
+
+
+def loads(text: str, validate: bool = True) -> Program:
+    """Parse JSON text back into a validated program."""
+    return program_from_json(json.loads(text), validate=validate)
+
+
+def dump(program: Program, stream: Union[TextIO, str], **kwargs) -> None:
+    """Write to a file path or an open text stream."""
+    text = dumps(program, **kwargs)
+    if isinstance(stream, str):
+        with open(stream, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        stream.write(text + "\n")
+
+
+def load(stream: Union[TextIO, str], **kwargs) -> Program:
+    """Read from a file path or an open text stream."""
+    if isinstance(stream, str):
+        with open(stream) as handle:
+            return loads(handle.read(), **kwargs)
+    return loads(stream.read(), **kwargs)

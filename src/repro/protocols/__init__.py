@@ -1,0 +1,50 @@
+"""Network-protocol application substrate (the paper's motivating domain)."""
+
+from .adaptive import AdaptiveEvent, AdaptiveParser
+from .packet import (
+    Packet,
+    ProtocolRevision,
+    bitstream,
+    packet_stream,
+    revision,
+)
+from .parser import (
+    ACCEPT,
+    REJECT,
+    SCAN,
+    build_parser,
+    classify,
+    upgrade_deltas,
+)
+from .rolling import RollingReport, RollingUpgradeScenario
+from .scenario import LiveUpgradeScenario, UpgradeReport
+from .varlen import (
+    Codebook,
+    CodebookError,
+    build_varlen_parser,
+    upgrade_deltas_varlen,
+)
+
+__all__ = [
+    "ACCEPT",
+    "AdaptiveEvent",
+    "AdaptiveParser",
+    "LiveUpgradeScenario",
+    "Packet",
+    "ProtocolRevision",
+    "REJECT",
+    "RollingReport",
+    "RollingUpgradeScenario",
+    "SCAN",
+    "UpgradeReport",
+    "Codebook",
+    "CodebookError",
+    "bitstream",
+    "build_parser",
+    "build_varlen_parser",
+    "upgrade_deltas_varlen",
+    "classify",
+    "packet_stream",
+    "revision",
+    "upgrade_deltas",
+]

@@ -1,0 +1,149 @@
+"""Adaptive security parser: self-reconfiguration driven by traffic.
+
+The paper defines *self*-reconfiguration as reconfiguration "initiated by
+the FSM itself ... e.g. in dependence of a reached state or other
+conditions".  This module builds a complete such system in the paper's
+motivating domain: a packet classifier that locks itself down when it
+observes an attack pattern.
+
+Behaviour:
+
+* in **normal** mode the parser classifies headers against the
+  configured policy;
+* a run of ``lockdown_threshold`` consecutive rejected packets (a crude
+  scan/flood detector) triggers an autonomous migration into the
+  **lockdown** policy, which accepts only the management code;
+* a management packet observed while locked down triggers the migration
+  back to normal.
+
+Both migrations are precompiled reconfiguration programs replayed by the
+on-chip Reconfigurator between packets — the parser never loses its
+clock and never needs an external configuration event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.ea import EAConfig, ea_program
+from ..hw.reconfigurator import SelfReconfigurableHardware
+from .packet import Packet, ProtocolRevision, revision
+from .parser import ACCEPT, REJECT, build_parser
+
+
+@dataclass
+class AdaptiveEvent:
+    """One mode change of the adaptive parser."""
+
+    packet_index: int
+    direction: str  # "lockdown" or "restore"
+    reconfiguration_cycles: int
+
+
+class AdaptiveParser:
+    """A self-reconfiguring classifier with a lockdown reflex.
+
+    Parameters
+    ----------
+    policy:
+        The normal-mode revision.
+    management_code:
+        The type code that is always accepted and, during lockdown,
+        restores normal operation.
+    lockdown_threshold:
+        Consecutive rejects that trigger the lockdown migration.
+    """
+
+    def __init__(
+        self,
+        policy: ProtocolRevision,
+        management_code: int,
+        lockdown_threshold: int = 3,
+        ea_config: Optional[EAConfig] = None,
+    ):
+        if management_code not in policy.accepted:
+            policy = revision(
+                policy.name,
+                policy.header_bits,
+                set(policy.accepted) | {management_code},
+            )
+        self.policy = policy
+        self.management_code = management_code
+        self.lockdown_threshold = lockdown_threshold
+        self.lockdown_policy = revision(
+            "lockdown", policy.header_bits, {management_code}
+        )
+
+        normal_parser = build_parser(self.policy)
+        lockdown_parser = build_parser(self.lockdown_policy)
+        config = ea_config or EAConfig(
+            population_size=24, generations=25, seed=0
+        )
+        self.hardware = SelfReconfigurableHardware.build(
+            normal_parser,
+            {
+                "lockdown": ea_program(
+                    normal_parser, lockdown_parser, config=config
+                ),
+                "restore": ea_program(
+                    lockdown_parser, normal_parser, config=config
+                ),
+            },
+        )
+        self.locked_down = False
+        self._consecutive_rejects = 0
+        self.events: List[AdaptiveEvent] = []
+        self._packet_index = 0
+
+    # ------------------------------------------------------------------
+    def _migrate(self, name: str, direction: str) -> None:
+        self.hardware.request(name)
+        cycles = 0
+        while self.hardware.reconfiguring:
+            self.hardware.clock("0")
+            cycles += 1
+        self.events.append(
+            AdaptiveEvent(
+                packet_index=self._packet_index,
+                direction=direction,
+                reconfiguration_cycles=cycles,
+            )
+        )
+        self.locked_down = direction == "lockdown"
+
+    def classify(self, packet: Packet) -> bool:
+        """Classify one packet; may trigger autonomous mode changes."""
+        outputs = [self.hardware.clock(bit)[0] for bit in packet.bits()]
+        verdict = outputs[-1]
+        if verdict not in (ACCEPT, REJECT):
+            raise RuntimeError(f"no verdict for {packet} (got {verdict!r})")
+        accepted = verdict == ACCEPT
+        self._packet_index += 1
+
+        if self.locked_down:
+            if packet.type_code == self.management_code:
+                self._migrate("restore", "restore")
+                self._consecutive_rejects = 0
+        else:
+            if accepted:
+                self._consecutive_rejects = 0
+            else:
+                self._consecutive_rejects += 1
+                if self._consecutive_rejects >= self.lockdown_threshold:
+                    self._migrate("lockdown", "lockdown")
+                    self._consecutive_rejects = 0
+        return accepted
+
+    def run(self, packets: List[Packet]) -> List[Tuple[Packet, bool]]:
+        """Classify a stream; returns per-packet verdicts."""
+        return [(packet, self.classify(packet)) for packet in packets]
+
+    @property
+    def active_policy(self) -> ProtocolRevision:
+        """The policy the hardware currently enforces."""
+        return self.lockdown_policy if self.locked_down else self.policy
+
+    def total_reconfiguration_cycles(self) -> int:
+        """Clock cycles spent in all autonomous migrations so far."""
+        return sum(e.reconfiguration_cycles for e in self.events)

@@ -1,0 +1,112 @@
+"""Packet and header-stream model for the network-protocol application.
+
+The paper motivates (self-)reconfigurable FSMs with "network protocol
+applications that require packet-dependent processing".  This module
+provides the synthetic substrate: fixed-width packet type headers
+serialised to bitstreams, plus a seeded traffic generator.  The header
+parser FSM (:mod:`repro.protocols.parser`) consumes these bit by bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A packet reduced to its type header.
+
+    ``type_code`` is the header value (e.g. an EtherType-style class
+    identifier), ``header_bits`` its serialisation width.  The payload is
+    irrelevant to header parsing and omitted.
+    """
+
+    type_code: int
+    header_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.header_bits < 1:
+            raise ValueError("header width must be positive")
+        if not 0 <= self.type_code < (1 << self.header_bits):
+            raise ValueError(
+                f"type code {self.type_code} does not fit in "
+                f"{self.header_bits} header bits"
+            )
+
+    def bits(self) -> List[str]:
+        """MSB-first bit serialisation as '0'/'1' symbols."""
+        return list(format(self.type_code, f"0{self.header_bits}b"))
+
+    def __str__(self) -> str:
+        return f"pkt<0x{self.type_code:x}>"
+
+
+@dataclass(frozen=True)
+class ProtocolRevision:
+    """One revision of the packet-processing policy.
+
+    ``accepted`` is the set of type codes the parser must flag; a policy
+    upgrade (new revision) is what drives the FSM reconfiguration in the
+    live-upgrade scenario.
+    """
+
+    name: str
+    header_bits: int
+    accepted: frozenset
+
+    def __post_init__(self) -> None:
+        bad = [c for c in self.accepted if not 0 <= c < (1 << self.header_bits)]
+        if bad:
+            raise ValueError(f"accepted codes {bad} exceed the header width")
+
+    def classify(self, packet: Packet) -> bool:
+        """Reference (oracle) classification of one packet."""
+        if packet.header_bits != self.header_bits:
+            raise ValueError("packet/revision header width mismatch")
+        return packet.type_code in self.accepted
+
+
+def revision(name: str, header_bits: int, accepted: Iterable[int]) -> ProtocolRevision:
+    """Convenience constructor with a plain iterable of accepted codes."""
+    return ProtocolRevision(name, header_bits, frozenset(accepted))
+
+
+def packet_stream(
+    count: int,
+    header_bits: int = 4,
+    seed: int = 0,
+    hot_codes: Sequence[int] = (),
+    hot_fraction: float = 0.5,
+) -> List[Packet]:
+    """A seeded random packet stream.
+
+    ``hot_codes`` are over-represented with probability ``hot_fraction``
+    (realistic traffic is dominated by a few packet classes); the rest is
+    uniform over the code space.
+    """
+    if not 0 <= hot_fraction <= 1:
+        raise ValueError("hot_fraction must be a probability")
+    rng = random.Random(f"packets/{seed}/{count}/{header_bits}")
+    space = 1 << header_bits
+    packets = []
+    for _ in range(count):
+        if hot_codes and rng.random() < hot_fraction:
+            code = rng.choice(list(hot_codes))
+        else:
+            code = rng.randrange(space)
+        packets.append(Packet(code, header_bits))
+    return packets
+
+
+def bitstream(packets: Iterable[Packet]) -> Iterator[Tuple[str, Packet, bool]]:
+    """Flatten packets into ``(bit, packet, is_last_bit)`` triples.
+
+    The ``is_last_bit`` flag marks header completion — the cycle at which
+    the parser FSM emits its verdict and returns to the idle state.
+    """
+    for packet in packets:
+        bits = packet.bits()
+        for idx, bit in enumerate(bits):
+            yield bit, packet, idx == len(bits) - 1

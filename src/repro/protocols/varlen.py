@@ -1,0 +1,154 @@
+"""Variable-length (prefix-free) header parsing.
+
+Real protocol stacks rarely use fixed-width type fields: instruction
+sets, Huffman-coded headers and option fields use *prefix-free* codes of
+varying length.  The parser FSM for such a code is a trie whose leaves
+sit at different depths — the verdict fires as soon as a complete code
+has been read, and the machine returns to the idle state for the next
+header.
+
+Policy upgrades on such parsers are still just migrations; because the
+trie shape depends on the *code set* (not only the verdicts), upgrades
+that add or remove codes change the machine's structure — exercising the
+grow-the-state-space migration path (Fig. 6's shape) on a realistic
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.delta import delta_transitions
+from ..core.fsm import FSM, Transition
+from .parser import ACCEPT, REJECT, SCAN
+
+
+class CodebookError(ValueError):
+    """The code set is empty, non-binary, or not prefix-free."""
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """A prefix-free set of binary codewords with per-code verdicts.
+
+    ``verdicts`` maps each codeword (a '0'/'1' string) to ``True``
+    (accept) or ``False`` (reject).  Prefix-freedom guarantees the
+    parser can decide at the final bit of each codeword; *completeness*
+    is not required — an input path that falls off the codebook rejects
+    at the point it becomes impossible to complete any codeword.
+    """
+
+    name: str
+    verdicts: "Tuple[Tuple[str, bool], ...]"
+
+    @classmethod
+    def of(cls, name: str, verdicts: Dict[str, bool]) -> "Codebook":
+        items = tuple(sorted(verdicts.items()))
+        book = cls(name, items)
+        book.validate()
+        return book
+
+    def validate(self) -> None:
+        codes = [code for code, _v in self.verdicts]
+        if not codes:
+            raise CodebookError("codebook is empty")
+        for code in codes:
+            if not code or any(c not in "01" for c in code):
+                raise CodebookError(f"codeword {code!r} is not binary")
+        for a in codes:
+            for b in codes:
+                if a != b and b.startswith(a):
+                    raise CodebookError(
+                        f"codeword {a!r} is a prefix of {b!r}"
+                    )
+
+    @property
+    def codes(self) -> List[str]:
+        return [code for code, _v in self.verdicts]
+
+    def verdict(self, code: str) -> bool:
+        for known, verdict in self.verdicts:
+            if known == code:
+                return verdict
+        raise KeyError(code)
+
+    def classify_stream(self, bits: str) -> List[bool]:
+        """Reference decoder: verdicts of the headers in a bit stream.
+
+        Bits that cannot extend to any codeword consume one rejection
+        and re-synchronise at the next bit, mirroring the FSM's
+        fall-off-the-trie behaviour.
+        """
+        verdicts: List[bool] = []
+        buffer = ""
+        for bit in bits:
+            buffer += bit
+            if buffer in dict(self.verdicts):
+                verdicts.append(self.verdict(buffer))
+                buffer = ""
+            elif not any(code.startswith(buffer) for code in self.codes):
+                verdicts.append(False)
+                buffer = ""
+        return verdicts
+
+
+def build_varlen_parser(book: Codebook) -> FSM:
+    """The trie FSM of a prefix-free codebook.
+
+    States are the strict prefixes of the codewords (the root is
+    ``IDLE``); completing a codeword emits its verdict and returns to
+    the root; falling off the trie emits ``rej`` and returns to the
+    root (re-synchronisation).
+
+    >>> book = Codebook.of("v1", {"0": True, "10": False, "11": True})
+    >>> parser = build_varlen_parser(book)
+    >>> parser.run(list("01011"))
+    ['acc', '-', 'rej', '-', 'acc']
+    """
+    book.validate()
+    code_set = dict(book.verdicts)
+    prefixes = {""}
+    for code in book.codes:
+        for k in range(1, len(code)):
+            prefixes.add(code[:k])
+
+    def state_name(prefix: str) -> str:
+        return "IDLE" if not prefix else f"B{prefix}"
+
+    transitions: List[Transition] = []
+    for prefix in sorted(prefixes, key=lambda p: (len(p), p)):
+        for bit in "01":
+            extended = prefix + bit
+            if extended in code_set:
+                verdict = ACCEPT if code_set[extended] else REJECT
+                transitions.append(
+                    Transition(bit, state_name(prefix), "IDLE", verdict)
+                )
+            elif extended in prefixes:
+                transitions.append(
+                    Transition(
+                        bit, state_name(prefix), state_name(extended), SCAN
+                    )
+                )
+            else:
+                # fell off the trie: reject and re-synchronise
+                transitions.append(
+                    Transition(bit, state_name(prefix), "IDLE", REJECT)
+                )
+    states = [state_name(p) for p in sorted(prefixes, key=lambda p:
+                                            (len(p), p))]
+    return FSM(
+        inputs=("0", "1"),
+        outputs=(SCAN, ACCEPT, REJECT),
+        states=states,
+        reset_state="IDLE",
+        transitions=transitions,
+        name=f"varlen_{book.name}",
+    )
+
+
+def upgrade_deltas_varlen(old: Codebook, new: Codebook) -> List[Transition]:
+    """Delta transitions of a codebook upgrade (may grow the trie)."""
+    return delta_transitions(build_varlen_parser(old),
+                             build_varlen_parser(new))

@@ -1,0 +1,46 @@
+"""Workload generation: the paper's figure machines, random machines and
+controlled migration pairs."""
+
+from .library import (
+    PAPER_PAIRS,
+    elevator_controller,
+    fig6_m,
+    fig6_m_prime,
+    fig7_m,
+    fig7_m_prime,
+    fig9_delta_order,
+    gray_counter,
+    ones_detector,
+    parity_checker,
+    sequence_detector,
+    table1_target,
+    traffic_light,
+    zeros_detector,
+)
+from .mutate import grow_target, mutate_target, workload_pair
+from .random_fsm import RandomFSMSpec, random_fsm
+from .suite import migration_suite, suite_names
+
+__all__ = [
+    "PAPER_PAIRS",
+    "RandomFSMSpec",
+    "elevator_controller",
+    "fig6_m",
+    "fig6_m_prime",
+    "fig7_m",
+    "fig7_m_prime",
+    "fig9_delta_order",
+    "gray_counter",
+    "grow_target",
+    "migration_suite",
+    "suite_names",
+    "mutate_target",
+    "ones_detector",
+    "parity_checker",
+    "random_fsm",
+    "sequence_detector",
+    "table1_target",
+    "traffic_light",
+    "workload_pair",
+    "zeros_detector",
+]

@@ -1,0 +1,142 @@
+"""Controlled target-machine derivation for migration workloads.
+
+The delta-set size ``|T_d|`` is the independent variable of the paper's
+Table 2.  :func:`mutate_target` derives a target machine from a source by
+rewriting exactly the requested number of table entries (each rewrite is
+guaranteed to actually change the entry, so ``|T_d|`` is exact);
+:func:`grow_target` additionally introduces fresh states, reproducing the
+Fig. 6 style of migration into a *larger* machine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.delta import delta_count
+from ..core.fsm import FSM, Transition
+
+
+def mutate_target(
+    source: FSM,
+    n_deltas: int,
+    seed: int = 0,
+    outputs_only: bool = False,
+    name: Optional[str] = None,
+) -> FSM:
+    """A target machine differing from ``source`` in exactly ``n_deltas`` entries.
+
+    Each mutated entry gets a new next-state and/or output drawn at
+    random but constrained to differ from the original pair, so the
+    delta set of the migration ``source → target`` has size exactly
+    ``n_deltas``.  With ``outputs_only`` only ``G`` changes, exercising
+    pure output-function reconfiguration (the paper's ``H_g``-only case).
+
+    >>> from repro.workloads.random_fsm import random_fsm
+    >>> src = random_fsm(n_states=8, seed=1)
+    >>> from repro.core.delta import delta_count
+    >>> delta_count(src, mutate_target(src, 5, seed=2))
+    5
+    """
+    capacity = len(source.inputs) * len(source.states)
+    if not 0 <= n_deltas <= capacity:
+        raise ValueError(
+            f"n_deltas must be within [0, {capacity}] for this machine"
+        )
+    if outputs_only and len(source.outputs) < 2:
+        raise ValueError("outputs_only mutation needs at least two output symbols")
+    if not outputs_only and len(source.states) < 2 and len(source.outputs) < 2:
+        raise ValueError("machine too degenerate to mutate")
+
+    rng = random.Random(f"mutate/{seed}/{n_deltas}/{outputs_only}")
+    entries = [(i, s) for i in source.inputs for s in source.states]
+    chosen = rng.sample(entries, n_deltas)
+    chosen_set = set(chosen)
+
+    transitions = []
+    for trans in source.transitions():
+        if trans.entry not in chosen_set:
+            transitions.append(trans)
+            continue
+        target_state, output = trans.target, trans.output
+        while (target_state, output) == (trans.target, trans.output):
+            if not outputs_only and len(source.states) > 1 and rng.random() < 0.6:
+                target_state = rng.choice(source.states)
+            if len(source.outputs) > 1 and (outputs_only or rng.random() < 0.6):
+                output = rng.choice(source.outputs)
+        transitions.append(Transition(trans.input, trans.source, target_state, output))
+
+    return FSM(
+        source.inputs,
+        source.outputs,
+        source.states,
+        source.reset_state,
+        transitions,
+        name=name or f"{source.name}_mut{n_deltas}",
+    )
+
+
+def grow_target(
+    source: FSM,
+    n_new_states: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> FSM:
+    """A target machine with ``n_new_states`` additional states.
+
+    Mirrors the Fig. 6 migration shape: fresh states are spliced into the
+    machine by redirecting random existing entries into them and wiring
+    their own rows back into the old state set.  Every entry that sources
+    a new state is automatically a delta transition (Def. 4.2).
+    """
+    if n_new_states < 1:
+        raise ValueError("need at least one new state")
+    rng = random.Random(f"grow/{seed}/{n_new_states}")
+    new_states = [f"n{k}" for k in range(n_new_states)]
+    states = list(source.states) + new_states
+    old_states = list(source.states)
+
+    table = dict(source.table)
+    # Redirect one existing entry into each new state so it is reachable.
+    entries = [(i, s) for i in source.inputs for s in old_states]
+    for new_state, entry in zip(new_states, rng.sample(entries, n_new_states)):
+        _, output = table[entry]
+        table[entry] = (new_state, rng.choice(source.outputs))
+    # Give every new state a full row, wired back into the whole machine.
+    for new_state in new_states:
+        for i in source.inputs:
+            table[(i, new_state)] = (
+                rng.choice(states),
+                rng.choice(source.outputs),
+            )
+
+    return FSM(
+        source.inputs,
+        source.outputs,
+        states,
+        source.reset_state,
+        table,
+        name=name or f"{source.name}_grow{n_new_states}",
+    )
+
+
+def workload_pair(
+    n_states: int,
+    n_deltas: int,
+    seed: int = 0,
+    n_inputs: int = 2,
+    n_outputs: int = 2,
+):
+    """Convenience: a seeded (source, target) pair with exact ``|T_d|``.
+
+    This is the Table 2 workload unit: one random machine plus a target
+    differing in exactly ``n_deltas`` entries.
+    """
+    from .random_fsm import random_fsm
+
+    source = random_fsm(
+        n_states=n_states, n_inputs=n_inputs, n_outputs=n_outputs, seed=seed
+    )
+    target = mutate_target(source, n_deltas, seed=seed + 1)
+    assert delta_count(source, target) == n_deltas
+    return source, target

@@ -1,0 +1,138 @@
+"""The named migration-pair suite: one registry for regression benches.
+
+Collects every migration pair the repository knows how to build — the
+paper's figure pairs, controller upgrades, protocol revisions, grown
+machines, random families — under stable names, so benchmarks and
+regression tests can iterate "the suite" instead of hand-picking
+workloads.  Each entry is a zero-argument factory returning a fresh
+``(source, target)`` pair (machines are mutable-free, but fresh copies
+keep tests independent).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..core.fsm import FSM
+from ..protocols.packet import revision
+from ..protocols.parser import build_parser
+from .library import (
+    fig6_m,
+    fig6_m_prime,
+    fig7_m,
+    fig7_m_prime,
+    gray_counter,
+    ones_detector,
+    parity_checker,
+    sequence_detector,
+    table1_target,
+    zeros_detector,
+)
+from .mutate import grow_target, mutate_target, workload_pair
+from .random_fsm import random_fsm
+
+PairFactory = Callable[[], Tuple[FSM, FSM]]
+
+
+def _paper_pairs() -> Dict[str, PairFactory]:
+    return {
+        "paper/table1": lambda: (ones_detector(), table1_target()),
+        "paper/fig6": lambda: (fig6_m(), fig6_m_prime()),
+        "paper/fig7": lambda: (fig7_m(), fig7_m_prime()),
+        "paper/mirror": lambda: (ones_detector(), zeros_detector()),
+    }
+
+
+def _controller_pairs() -> Dict[str, PairFactory]:
+    return {
+        "ctrl/pattern-1011-to-0110": lambda: (
+            sequence_detector("1011"),
+            sequence_detector("0110"),
+        ),
+        "ctrl/pattern-grow": lambda: (
+            sequence_detector("101"),
+            sequence_detector("10101"),
+        ),
+        "ctrl/parity-to-detector": lambda: (
+            parity_checker().renamed(
+                {"EVEN": "S0", "ODD": "S1"}, name="parity"
+            ),
+            ones_detector(),
+        ),
+        "ctrl/gray-reverse": lambda: (
+            gray_counter(2),
+            _reversed_gray(2),
+        ),
+    }
+
+
+def _reversed_gray(bits: int) -> FSM:
+    forward = gray_counter(bits)
+    # reverse the count direction: en steps backwards through the ring
+    table = {}
+    for t in forward.transitions():
+        if t.input == "en":
+            table[("en", t.target)] = (
+                t.source,
+                forward.output("hold", t.source),
+            )
+        else:
+            table[(t.input, t.source)] = (t.target, t.output)
+    return FSM(
+        forward.inputs,
+        forward.outputs,
+        forward.states,
+        forward.reset_state,
+        table,
+        name=f"gray{bits}_rev",
+    )
+
+
+def _protocol_pairs() -> Dict[str, PairFactory]:
+    def parsers(old_codes, new_codes, bits=4):
+        old = build_parser(revision("old", bits, set(old_codes)))
+        new = build_parser(revision("new", bits, set(new_codes)))
+        return old, new
+
+    return {
+        "proto/add-one-class": lambda: parsers({0x8, 0x6}, {0x8, 0x6, 0xD}),
+        "proto/policy-flip": lambda: parsers({0x1, 0x2}, {0xD, 0xE}),
+        "proto/lockdown": lambda: parsers({0x8, 0x6, 0xF}, {0xF}),
+    }
+
+
+def _synthetic_pairs() -> Dict[str, PairFactory]:
+    return {
+        "rand/small-sparse": lambda: workload_pair(6, 2, seed=101),
+        "rand/small-dense": lambda: workload_pair(6, 9, seed=102),
+        "rand/medium": lambda: workload_pair(12, 8, seed=103),
+        "rand/wide-alphabet": lambda: workload_pair(
+            8, 6, seed=104, n_inputs=4, n_outputs=4
+        ),
+        "rand/grow": lambda: (
+            random_fsm(n_states=6, seed=105),
+            grow_target(random_fsm(n_states=6, seed=105), 3, seed=105),
+        ),
+        "rand/outputs-only": lambda: (
+            random_fsm(n_states=8, seed=106),
+            mutate_target(
+                random_fsm(n_states=8, seed=106), 5, seed=107,
+                outputs_only=True,
+            ),
+        ),
+    }
+
+
+def migration_suite() -> Dict[str, PairFactory]:
+    """The full named suite (name → fresh-pair factory)."""
+    suite: Dict[str, PairFactory] = {}
+    suite.update(_paper_pairs())
+    suite.update(_controller_pairs())
+    suite.update(_protocol_pairs())
+    suite.update(_synthetic_pairs())
+    return suite
+
+
+def suite_names() -> List[str]:
+    """Stable, sorted list of suite entry names."""
+    return sorted(migration_suite())

@@ -1,0 +1,128 @@
+"""Unit tests for the experiment campaign runner."""
+
+import io
+
+import pytest
+
+from repro.analysis.campaign import Campaign, Factor, Results
+from repro.core.jsr import jsr_length
+from repro.workloads.mutate import workload_pair
+
+
+class TestFactor:
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ValueError):
+            Factor("x", ())
+
+
+class TestCampaign:
+    def test_full_factorial_size(self):
+        campaign = Campaign(
+            "c",
+            [Factor("a", (1, 2, 3)), Factor("b", ("x", "y"))],
+            measure=lambda a, b, repeat: {"v": 0},
+            repeats=2,
+        )
+        assert len(campaign.design_points()) == 6
+        assert len(campaign.run()) == 12
+
+    def test_rows_combine_factors_and_measurements(self):
+        results = Campaign(
+            "c",
+            [Factor("n", (5,))],
+            measure=lambda n, repeat: {"twice": 2 * n},
+        ).run()
+        row = results.rows[0]
+        assert row == {"n": 5, "repeat": 0, "twice": 10}
+
+    def test_repeat_passed_as_seed(self):
+        results = Campaign(
+            "c",
+            [],
+            measure=lambda repeat: {"r": repeat},
+            repeats=3,
+        ).run()
+        assert [row["r"] for row in results.rows] == [0, 1, 2]
+
+    def test_collision_detected(self):
+        campaign = Campaign(
+            "c",
+            [Factor("x", (1,))],
+            measure=lambda x, repeat: {"x": 9},
+        )
+        with pytest.raises(ValueError, match="collide"):
+            campaign.run()
+
+    def test_duplicate_factor_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Campaign("c", [Factor("a", (1,)), Factor("a", (2,))],
+                     measure=lambda a, repeat: {})
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            Campaign("c", [], measure=lambda repeat: {}, repeats=0)
+
+    def test_real_measurement(self):
+        """A miniature real sweep: JSR length over |Td|."""
+
+        def measure(n_deltas, repeat):
+            src, tgt = workload_pair(8, n_deltas, seed=repeat)
+            return {"jsr": jsr_length(src, tgt)}
+
+        results = Campaign(
+            "jsr-sweep", [Factor("n_deltas", (2, 4))], measure, repeats=2
+        ).run()
+        for row in results.rows:
+            assert row["jsr"] in (3 * row["n_deltas"],
+                                  3 * (row["n_deltas"] + 1))
+
+
+class TestResults:
+    def _results(self):
+        return Campaign(
+            "c",
+            [Factor("a", (1, 2))],
+            measure=lambda a, repeat: {"v": a * 10 + repeat},
+            repeats=2,
+        ).run()
+
+    def test_csv_roundtrip_string(self):
+        results = self._results()
+        text = results.to_csv()
+        again = Results.from_csv(io.StringIO(text))
+        assert again.rows == results.rows
+
+    def test_csv_roundtrip_path(self, tmp_path):
+        results = self._results()
+        path = str(tmp_path / "r.csv")
+        results.to_csv(path)
+        again = Results.from_csv(path)
+        assert again.rows == results.rows
+
+    def test_columns_order(self):
+        assert self._results().columns == ["a", "repeat", "v"]
+
+    def test_summary_mean(self):
+        summary = self._results().summary(by=["a"], value="v")
+        assert summary == [
+            {"a": 1, "mean(v)": 10.5},
+            {"a": 2, "mean(v)": 20.5},
+        ]
+
+    def test_summary_other_aggs(self):
+        results = self._results()
+        assert results.summary(by=["a"], value="v", agg="max")[0][
+            "max(v)"
+        ] == 11
+        assert results.summary(by=["a"], value="v", agg="count")[0][
+            "count(v)"
+        ] == 2
+
+    def test_summary_unknown_agg(self):
+        with pytest.raises(ValueError):
+            self._results().summary(by=["a"], value="v", agg="magic")
+
+    def test_filter(self):
+        filtered = self._results().filter(a=2)
+        assert len(filtered) == 2
+        assert all(row["a"] == 2 for row in filtered.rows)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.analysis.stats."""
+
+import pytest
+
+from repro.analysis.stats import (
+    OverheadReport,
+    Summary,
+    geometric_mean,
+    length_by_method,
+    overhead_report,
+    reduction_percent,
+)
+from repro.core.ea import EAConfig, ea_program
+from repro.core.jsr import jsr_program
+from repro.workloads.library import fig6_m, fig6_m_prime
+
+
+class TestSummary:
+    def test_basic_fields(self):
+        s = Summary.of([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert (s.minimum, s.maximum) == (1, 4)
+
+    def test_single_value_stdev_zero(self):
+        assert Summary.of([7]).stdev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+    def test_str_rendering(self):
+        assert "mean=2.5" in str(Summary.of([1, 4]))
+
+
+class TestOverheadReport:
+    def test_ratios(self):
+        report = OverheadReport(length=12, lower=4, upper=15, baseline_length=15)
+        assert report.overhead_vs_lower == pytest.approx(3.0)
+        assert report.reduction_vs_baseline == pytest.approx(0.2)
+
+    def test_no_baseline(self):
+        report = OverheadReport(length=12, lower=4, upper=15)
+        assert report.reduction_vs_baseline is None
+
+    def test_zero_lower_guarded(self):
+        report = OverheadReport(length=3, lower=0, upper=3)
+        assert report.overhead_vs_lower == 3.0
+
+    def test_from_programs(self, fig6_pair, fast_ea):
+        m, mp = fig6_pair
+        jsr = jsr_program(m, mp)
+        ea = ea_program(m, mp, config=fast_ea)
+        report = overhead_report(ea, baseline=jsr)
+        assert report.lower == 4 and report.upper == 15
+        assert report.baseline_length == 15
+        assert report.reduction_vs_baseline > 0.3
+
+
+class TestReductionPercent:
+    def test_fifty_percent(self):
+        assert reduction_percent(5, 10) == pytest.approx(50.0)
+
+    def test_no_reduction(self):
+        assert reduction_percent(10, 10) == pytest.approx(0.0)
+
+    def test_validates_baseline(self):
+        with pytest.raises(ValueError):
+            reduction_percent(1, 0)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestLengthByMethod:
+    def test_mapping(self, fig6_pair, fast_ea):
+        m, mp = fig6_pair
+        lengths = length_by_method(
+            {"jsr": jsr_program(m, mp), "ea": ea_program(m, mp, config=fast_ea)}
+        )
+        assert lengths["jsr"] == 15
+        assert lengths["ea"] < 15

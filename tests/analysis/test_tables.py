@@ -1,0 +1,66 @@
+"""Unit tests for the text-table renderer."""
+
+from repro.analysis.tables import format_series, format_table, paper_comparison
+
+
+class TestFormatTable:
+    def test_header_and_rule(self):
+        text = format_table([{"a": 1, "b": 2}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1].replace(" ", "").replace("|", "")) == {"-"}
+
+    def test_title(self):
+        assert format_table([{"x": 1}], title="T2").splitlines()[0] == "T2"
+
+    def test_missing_cells_dash(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text.splitlines()[2]
+
+    def test_float_rounding(self):
+        text = format_table([{"v": 3.14159}], float_digits=1)
+        assert "3.1" in text and "3.14" not in text
+
+    def test_explicit_column_order(self):
+        text = format_table([{"b": 2, "a": 1}], columns=["a", "b"])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="t").startswith("t")
+
+    def test_alignment(self):
+        text = format_table(
+            [{"name": "x", "v": 1}, {"name": "longer", "v": 22}]
+        )
+        lines = text.splitlines()
+        pipes = {line.index("|") for line in lines}
+        assert len(pipes) == 1
+
+
+class TestFormatSeries:
+    def test_shared_axis(self):
+        text = format_series(
+            [1, 2, 3],
+            {"jsr": [6, 9, 12], "ea": [3, 5, 7]},
+            x_label="Td",
+        )
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "Td"
+        assert len(lines) == 2 + 3
+
+    def test_short_series_padded(self):
+        text = format_series([1, 2], {"y": [5]})
+        assert "-" in text.splitlines()[-1]
+
+
+class TestPaperComparison:
+    def test_layout(self):
+        text = paper_comparison(
+            [{"artifact": "T2", "paper": ">50%", "measured": "53%"}],
+            measured_key="measured",
+            paper_key="paper",
+        )
+        header = text.splitlines()[1]
+        assert header.split("|")[0].strip() == "artifact"
+        assert "paper vs measured" in text.splitlines()[0]

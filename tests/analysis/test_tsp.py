@@ -1,0 +1,103 @@
+"""Unit tests for the TSP view of delta ordering."""
+
+import pytest
+
+from repro.analysis.tsp import (
+    TSPSizeError,
+    delta_distance_matrix,
+    held_karp_path,
+    tsp_order,
+    tsp_program,
+)
+from repro.core.delta import delta_transitions
+from repro.core.jsr import jsr_program
+from repro.workloads.library import fig6_m, fig6_m_prime, ones_detector
+from repro.workloads.mutate import workload_pair
+
+
+class TestDistanceMatrix:
+    def test_shape(self, fig6_pair):
+        m, mp = fig6_pair
+        deltas, matrix, start_costs = delta_distance_matrix(m, mp)
+        assert len(matrix) == len(deltas) == 4
+        assert all(len(row) == 4 for row in matrix)
+        assert len(start_costs) == 4
+
+    def test_costs_in_decoder_range(self, fig6_pair):
+        m, mp = fig6_pair
+        _deltas, matrix, start_costs = delta_distance_matrix(m, mp)
+        values = [v for row in matrix for v in row] + list(start_costs)
+        assert all(0 <= v <= 2 for v in values)
+
+    def test_new_state_endpoints_cost_jump(self, fig6_pair):
+        m, mp = fig6_pair
+        deltas, matrix, _starts = delta_distance_matrix(m, mp)
+        # Reaching a delta sourced at the new state S3 always costs 2
+        # (reset + temporary) on the static source graph.
+        for j, delta in enumerate(deltas):
+            if delta.source == "S3":
+                assert all(matrix[i][j] == 2 for i in range(len(deltas))
+                           if deltas[i].target != "S3")
+
+
+class TestHeldKarp:
+    def test_two_cities(self):
+        cost, order = held_karp_path([[0, 1], [5, 0]], [1, 5])
+        assert (cost, order) == (2, [0, 1])
+
+    def test_prefers_cheap_chain(self):
+        # city 0 -> 1 -> 2 is free; any other order pays.
+        matrix = [
+            [0, 0, 9],
+            [9, 0, 0],
+            [9, 9, 0],
+        ]
+        cost, order = held_karp_path(matrix, [0, 9, 9])
+        assert order == [0, 1, 2]
+        assert cost == 0
+
+    def test_empty(self):
+        assert held_karp_path([], []) == (0, [])
+
+    def test_single_city(self):
+        assert held_karp_path([[0]], [7]) == (7, [0])
+
+    def test_size_cap(self):
+        n = 14
+        matrix = [[1] * n for _ in range(n)]
+        with pytest.raises(TSPSizeError):
+            held_karp_path(matrix, [0] * n)
+
+    def test_visits_every_city_once(self):
+        matrix = [[abs(i - j) for j in range(6)] for i in range(6)]
+        _cost, order = held_karp_path(matrix, [0] * 6)
+        assert sorted(order) == list(range(6))
+
+
+class TestTSPProgram:
+    def test_order_is_permutation(self, fig6_pair):
+        m, mp = fig6_pair
+        order = tsp_order(m, mp)
+        assert sorted(map(str, order)) == sorted(
+            map(str, delta_transitions(m, mp))
+        )
+
+    def test_program_valid(self, fig6_pair):
+        m, mp = fig6_pair
+        program = tsp_program(m, mp)
+        assert program.is_valid()
+        assert program.method == "tsp"
+
+    def test_trivial_migration(self, detector):
+        assert tsp_order(detector, detector) == []
+        assert tsp_program(detector, detector).is_valid()
+
+    def test_competitive_with_jsr(self):
+        for seed in range(5):
+            src, tgt = workload_pair(9, 6, seed=200 + seed)
+            assert len(tsp_program(src, tgt)) <= len(jsr_program(src, tgt))
+
+    def test_respects_lower_bound(self):
+        for seed in range(5):
+            src, tgt = workload_pair(9, 6, seed=300 + seed)
+            assert len(tsp_program(src, tgt)) >= 6

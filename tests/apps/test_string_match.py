@@ -1,0 +1,103 @@
+"""Unit tests for the self-reconfiguring pattern matcher."""
+
+import random
+
+import pytest
+
+from repro.apps.string_match import PatternMatcher, count_matches
+from repro.core.ea import EAConfig
+
+
+FAST = EAConfig(population_size=16, generations=15, seed=0)
+
+
+class TestOracle:
+    def test_overlapping_counts(self):
+        assert count_matches("11", "1111") == 3
+        assert count_matches("1011", "10111011") == 2
+        assert count_matches("0", "111") == 0
+
+    def test_pattern_longer_than_text(self):
+        assert count_matches("101", "10") == 0
+
+
+class TestScanning:
+    def test_matches_oracle(self):
+        rng = random.Random(0)
+        text = "".join(rng.choice("01") for _ in range(400))
+        matcher = PatternMatcher("1011", ea_config=FAST)
+        matcher.feed(text)
+        assert matcher.matches == count_matches("1011", text)
+
+    def test_flags_mark_match_ends(self):
+        matcher = PatternMatcher("101", ea_config=FAST)
+        flags = matcher.feed("0101010")
+        hits = [i for i, f in enumerate(flags) if f]
+        assert hits == [3, 5]
+
+    def test_scan_report(self):
+        matcher = PatternMatcher("11", ea_config=FAST)
+        matcher.feed("1111")
+        assert matcher.scan_report() == (4, 3)
+
+    def test_rejects_non_binary(self):
+        matcher = PatternMatcher("11", ea_config=FAST)
+        with pytest.raises(ValueError):
+            matcher.feed("1x")
+
+
+class TestPatternSwap:
+    def test_swap_same_length(self):
+        matcher = PatternMatcher("1011", ea_config=FAST)
+        record = matcher.swap_pattern("0010")
+        assert record.old_pattern == "1011"
+        assert record.program_length >= record.delta_count
+        rng = random.Random(1)
+        text = "".join(rng.choice("01") for _ in range(300))
+        matcher.matches = 0
+        matcher.feed(text)
+        assert matcher.matches == count_matches("0010", text)
+
+    def test_swap_to_longer_pattern(self):
+        matcher = PatternMatcher("101", max_pattern_length=5, ea_config=FAST)
+        matcher.swap_pattern("11011")
+        matcher.matches = 0
+        matcher.feed("110111101100")
+        assert matcher.matches == count_matches("11011", "110111101100")
+
+    def test_swap_to_shorter_pattern(self):
+        matcher = PatternMatcher("1011", max_pattern_length=4, ea_config=FAST)
+        matcher.swap_pattern("11")
+        matcher.matches = 0
+        matcher.feed("1111")
+        assert matcher.matches == 3
+
+    def test_swap_limit_enforced(self):
+        matcher = PatternMatcher("11", max_pattern_length=3, ea_config=FAST)
+        with pytest.raises(ValueError, match="superset"):
+            matcher.swap_pattern("10101")
+
+    def test_initial_pattern_within_limit(self):
+        with pytest.raises(ValueError):
+            PatternMatcher("10101", max_pattern_length=3)
+
+    def test_multiple_swaps(self):
+        matcher = PatternMatcher("11", max_pattern_length=4, ea_config=FAST)
+        for pattern in ("101", "0110", "10"):
+            matcher.swap_pattern(pattern)
+            matcher.matches = 0
+            matcher.feed("01101011")
+            assert matcher.matches == count_matches(pattern, "01101011")
+        assert len(matcher.swaps) == 3
+
+    def test_jsr_optimiser(self):
+        matcher = PatternMatcher("101", optimiser="jsr")
+        record = matcher.swap_pattern("110")
+        assert record.method == "jsr"
+        matcher.matches = 0
+        matcher.feed("110110")
+        assert matcher.matches == count_matches("110", "110110")
+
+    def test_unknown_optimiser(self):
+        with pytest.raises(ValueError):
+            PatternMatcher("11", optimiser="quantum")

@@ -1,0 +1,67 @@
+"""Shared fixtures: paper machines, random migration pairs, fast EA config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ea import EAConfig
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    fig7_m,
+    fig7_m_prime,
+    ones_detector,
+    table1_target,
+    zeros_detector,
+)
+from repro.workloads.mutate import workload_pair
+
+
+@pytest.fixture
+def fig6_pair():
+    """The Fig. 6 migration pair (3-state M into 4-state M')."""
+    return fig6_m(), fig6_m_prime()
+
+
+@pytest.fixture
+def fig7_pair():
+    """The Fig. 7 / Example 4.2 pair (single delta transition)."""
+    return fig7_m(), fig7_m_prime()
+
+
+@pytest.fixture
+def table1_pair():
+    """The Example 2.1 / Table 1 pair (ones detector into Table-1 target)."""
+    return ones_detector(), table1_target()
+
+
+@pytest.fixture
+def detector():
+    """The Example 2.1 ones detector on its own."""
+    return ones_detector()
+
+
+@pytest.fixture
+def mirror():
+    """The mirrored zeros detector."""
+    return zeros_detector()
+
+
+@pytest.fixture
+def random_pair():
+    """A medium random migration pair (8 states, 6 deltas)."""
+    return workload_pair(8, 6, seed=11)
+
+
+@pytest.fixture
+def fast_ea():
+    """A small EA budget that keeps the test suite quick but effective."""
+    return EAConfig(population_size=20, generations=20, seed=1)
+
+
+def all_input_words(inputs, length):
+    """Every input word of the given length (for exhaustive equivalence)."""
+    words = [[]]
+    for _ in range(length):
+        words = [w + [i] for w in words for i in inputs]
+    return words

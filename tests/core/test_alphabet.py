@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.alphabet."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet, binary_alphabet, bits_for
+
+
+class TestBitsFor:
+    def test_single_symbol_still_one_bit(self):
+        assert bits_for(1) == 1
+
+    def test_powers_of_two(self):
+        assert bits_for(2) == 1
+        assert bits_for(4) == 2
+        assert bits_for(8) == 3
+        assert bits_for(16) == 4
+
+    def test_between_powers(self):
+        assert bits_for(3) == 2
+        assert bits_for(5) == 3
+        assert bits_for(9) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+
+class TestAlphabet:
+    def test_preserves_order(self):
+        a = Alphabet(["x", "y", "z"])
+        assert a.symbols == ("x", "y", "z")
+
+    def test_index_and_symbol_roundtrip(self):
+        a = Alphabet(["red", "green", "yellow"])
+        for idx, sym in enumerate(a.symbols):
+            assert a.index(sym) == idx
+            assert a.symbol(idx) == sym
+
+    def test_encode_decode_roundtrip(self):
+        a = Alphabet(range(5))
+        for sym in a:
+            assert a.decode(a.encode(sym)) == sym
+
+    def test_encode_width(self):
+        a = Alphabet(range(5))
+        assert a.width == 3
+        assert len(a.encode(0)) == 3
+
+    def test_decode_rejects_wrong_width(self):
+        a = Alphabet(["a", "b"])
+        with pytest.raises(ValueError):
+            a.decode((0, 1))
+
+    def test_decode_rejects_garbage_code(self):
+        a = Alphabet(["a", "b", "c"])
+        with pytest.raises(ValueError):
+            a.decode((1, 1))  # code 3 of a 3-symbol alphabet
+
+    def test_decode_rejects_non_binary(self):
+        a = Alphabet(["a", "b"])
+        with pytest.raises(ValueError):
+            a.decode((2,))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Alphabet(["a", "a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Alphabet([])
+
+    def test_union_keeps_original_codes_stable(self):
+        a = Alphabet(["a", "b"])
+        b = Alphabet(["c", "b", "d"])
+        u = a.union(b)
+        assert u.symbols == ("a", "b", "c", "d")
+        for sym in a:
+            assert u.index(sym) == a.index(sym)
+
+    def test_union_with_self_is_identity(self):
+        a = Alphabet(["a", "b", "c"])
+        assert a.union(a) == a
+
+    def test_contains_len_iter(self):
+        a = Alphabet(["p", "q"])
+        assert "p" in a and "r" not in a
+        assert len(a) == 2
+        assert list(a) == ["p", "q"]
+
+    def test_equality_and_hash(self):
+        assert Alphabet(["a", "b"]) == Alphabet(["a", "b"])
+        assert Alphabet(["a", "b"]) != Alphabet(["b", "a"])
+        assert hash(Alphabet(["a"])) == hash(Alphabet(["a"]))
+
+    def test_hashable_symbols_of_any_type(self):
+        a = Alphabet([1, "two", (3, 3)])
+        assert a.index((3, 3)) == 2
+
+
+class TestBinaryAlphabet:
+    def test_width_one(self):
+        assert binary_alphabet(1).symbols == ("0", "1")
+
+    def test_width_two(self):
+        assert binary_alphabet(2).symbols == ("00", "01", "10", "11")
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            binary_alphabet(0)
+
+    def test_codes_match_numeric_value(self):
+        a = binary_alphabet(3)
+        assert a.index("101") == 5

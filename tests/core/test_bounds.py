@@ -1,0 +1,97 @@
+"""Unit tests for the feasibility and bound theorems (Thms. 4.1-4.3)."""
+
+import pytest
+
+from repro.core.bounds import (
+    check_program,
+    feasibility_witness,
+    is_feasible,
+    lower_bound,
+    upper_bound,
+)
+from repro.core.delta import delta_count
+from repro.core.ea import EAConfig, ea_program
+from repro.core.jsr import jsr_program
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    ones_detector,
+    zeros_detector,
+)
+from repro.workloads.mutate import grow_target, mutate_target, workload_pair
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestBoundValues:
+    def test_fig6_bounds(self, fig6_pair):
+        m, mp = fig6_pair
+        assert lower_bound(m, mp) == 4
+        assert upper_bound(m, mp) == 15
+
+    def test_trivial_migration(self, detector):
+        assert lower_bound(detector, detector) == 0
+        assert upper_bound(detector, detector) == 3
+
+    def test_bounds_scale_with_delta_count(self):
+        src = random_fsm(n_states=10, seed=0)
+        for k in (1, 3, 7):
+            tgt = mutate_target(src, k, seed=k)
+            assert lower_bound(src, tgt) == k
+            assert upper_bound(src, tgt) == 3 * (k + 1)
+
+
+class TestFeasibility:
+    def test_always_feasible_between_paper_machines(self, fig6_pair):
+        assert is_feasible(*fig6_pair)
+
+    def test_feasible_between_unrelated_machines(self):
+        # Thm. 4.1: *any* M into *any* M' — even machines sharing nothing
+        # beyond being completely specified and deterministic.
+        src = ones_detector()
+        tgt = random_fsm(n_states=5, n_inputs=3, n_outputs=4, seed=13)
+        assert is_feasible(src, tgt)
+
+    def test_feasible_into_grown_machine(self):
+        src = random_fsm(n_states=4, seed=2)
+        tgt = grow_target(src, 4, seed=2)
+        assert is_feasible(src, tgt)
+
+    def test_witness_is_a_valid_jsr_program(self, fig6_pair):
+        witness = feasibility_witness(*fig6_pair)
+        assert witness.method == "jsr"
+        assert witness.is_valid()
+
+
+class TestCheckProgram:
+    def test_jsr_hits_upper_bound_exactly(self, fig6_pair):
+        report = check_program(jsr_program(*fig6_pair))
+        assert report.valid
+        assert report.length == report.upper
+        assert report.within_bounds
+
+    def test_ea_sits_between_bounds(self, fig6_pair, fast_ea):
+        m, mp = fig6_pair
+        report = check_program(ea_program(m, mp, config=fast_ea))
+        assert report.valid and report.within_bounds
+        assert report.lower <= report.length < report.upper
+
+    def test_gap_to_lower(self, fig6_pair):
+        report = check_program(jsr_program(*fig6_pair))
+        assert report.gap_to_lower == report.length - 4
+
+    @pytest.mark.parametrize("n_deltas", [1, 4, 9])
+    def test_all_heuristics_within_bounds_on_random(self, n_deltas, fast_ea):
+        src, tgt = workload_pair(9, n_deltas, seed=40 + n_deltas)
+        for program in (
+            jsr_program(src, tgt),
+            ea_program(src, tgt, config=fast_ea),
+        ):
+            report = check_program(program)
+            assert report.valid and report.within_bounds
+
+    def test_mirror_migration_bounds(self):
+        src, tgt = ones_detector(), zeros_detector()
+        report = check_program(jsr_program(src, tgt))
+        assert report.valid
+        assert report.lower == delta_count(src, tgt) == 4
+        assert report.length <= report.upper

@@ -1,0 +1,160 @@
+"""Unit tests for repro.core.delta (Defs. 4.1/4.2)."""
+
+import pytest
+
+from repro.core.delta import (
+    Supersets,
+    delta_count,
+    delta_transitions,
+    is_migration_trivial,
+    table_realises,
+)
+from repro.core.fsm import FSM, Transition
+from repro.core.paths import table_of
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    fig7_m,
+    fig7_m_prime,
+    ones_detector,
+    table1_target,
+    zeros_detector,
+)
+from repro.workloads.mutate import grow_target, mutate_target
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestSupersets:
+    def test_source_symbols_keep_prefix_codes(self, fig6_pair):
+        m, mp = fig6_pair
+        sup = Supersets.of(m, mp)
+        assert sup.states.symbols[:3] == m.states
+        assert sup.states.symbols == ("S0", "S1", "S2", "S3")
+
+    def test_admits_both_machines(self, fig6_pair):
+        m, mp = fig6_pair
+        sup = Supersets.of(m, mp)
+        assert sup.admits(m)
+        assert sup.admits(mp)
+
+    def test_does_not_admit_foreign_machine(self, fig6_pair):
+        m, mp = fig6_pair
+        sup = Supersets.of(m, m)
+        assert not sup.admits(mp)
+
+
+class TestDeltaTransitions:
+    def test_paper_fig6_delta_set(self, fig6_pair):
+        m, mp = fig6_pair
+        assert [str(t) for t in delta_transitions(m, mp)] == [
+            "(0, S1, S0, 0)",
+            "(0, S3, S0, 0)",
+            "(1, S2, S3, 0)",
+            "(1, S3, S3, 1)",
+        ]
+
+    def test_paper_fig7_single_delta(self, fig7_pair):
+        m, mp = fig7_pair
+        assert [str(t) for t in delta_transitions(m, mp)] == ["(0, S3, S0, 0)"]
+
+    def test_table1_example_deltas(self, table1_pair):
+        src, tgt = table1_pair
+        deltas = delta_transitions(src, tgt)
+        # Table 1 writes four entries but only two actually change:
+        # (1,S0) and (0,S1) are no-op rewrites of unchanged entries.
+        assert {t.entry for t in deltas} == {("0", "S0"), ("1", "S1")}
+
+    def test_self_migration_is_trivial(self, detector):
+        assert is_migration_trivial(detector, detector)
+        assert delta_count(detector, detector) == 0
+
+    def test_mirror_migration_touches_all_entries(self, detector, mirror):
+        # Every entry of the mirrored detector differs.
+        assert delta_count(detector, mirror) == 4
+
+    def test_new_state_entries_are_always_deltas(self, fig6_pair):
+        m, mp = fig6_pair
+        deltas = delta_transitions(m, mp)
+        s3_rows = [t for t in deltas if t.source == "S3"]
+        assert len(s3_rows) == 2  # both inputs of the new state
+
+    def test_transition_into_new_state_is_delta(self, fig6_pair):
+        m, mp = fig6_pair
+        deltas = delta_transitions(m, mp)
+        assert Transition("1", "S2", "S3", "0") in deltas
+
+    def test_output_only_difference_is_delta(self):
+        src = ones_detector()
+        tgt = FSM(
+            src.inputs,
+            src.outputs,
+            src.states,
+            src.reset_state,
+            [
+                ("1", "S0", "S1", "1"),  # output flipped, next state kept
+                ("1", "S1", "S1", "1"),
+                ("0", "S0", "S0", "0"),
+                ("0", "S1", "S0", "0"),
+            ],
+        )
+        deltas = delta_transitions(src, tgt)
+        assert [t.entry for t in deltas] == [("1", "S0")]
+
+    def test_new_input_symbol_makes_whole_column_delta(self):
+        src = ones_detector()
+        tgt = FSM(
+            ("0", "1", "2"),
+            src.outputs,
+            src.states,
+            src.reset_state,
+            list(src.transitions())
+            + [("2", "S0", "S0", "0"), ("2", "S1", "S0", "0")],
+        )
+        deltas = delta_transitions(src, tgt)
+        assert {t.input for t in deltas} == {"2"}
+        assert len(deltas) == 2
+
+    def test_delta_count_matches_mutation_request(self):
+        src = random_fsm(n_states=10, n_inputs=3, seed=7)
+        for k in (0, 1, 5, 12):
+            assert delta_count(src, mutate_target(src, k, seed=k)) == k
+
+    def test_grow_target_deltas_cover_new_rows(self):
+        src = random_fsm(n_states=6, seed=3)
+        tgt = grow_target(src, 2, seed=3)
+        deltas = delta_transitions(src, tgt)
+        new_sources = {t.source for t in deltas if str(t.source).startswith("n")}
+        assert new_sources == {"n0", "n1"}
+        # each new state has a full row of deltas
+        for ns in new_sources:
+            assert sum(1 for t in deltas if t.source == ns) == len(src.inputs)
+
+    def test_deltas_preserve_target_canonical_order(self, fig6_pair):
+        m, mp = fig6_pair
+        deltas = delta_transitions(m, mp)
+        order = [t for t in mp.transitions() if t in deltas]
+        assert deltas == order
+
+
+class TestTableRealises:
+    def test_source_table_realises_source(self, detector):
+        ok, mismatches = table_realises(table_of(detector), detector)
+        assert ok and not mismatches
+
+    def test_source_table_does_not_realise_target(self, detector, mirror):
+        ok, mismatches = table_realises(table_of(detector), mirror)
+        assert not ok
+        assert len(mismatches) >= 4
+
+    def test_unconfigured_entries_reported(self, fig6_pair):
+        m, mp = fig6_pair
+        table = dict(table_of(m))
+        ok, mismatches = table_realises(table, mp)
+        assert not ok
+        reasons = {reason for *_e, reason in mismatches}
+        assert any("unconfigured" in r for r in reasons)
+
+    def test_mismatch_reports_both_fields(self, detector, mirror):
+        _, mismatches = table_realises(table_of(detector), mirror)
+        text = " ".join(reason for *_e, reason in mismatches)
+        assert "next state" in text and "output" in text

@@ -1,0 +1,82 @@
+"""Unit tests for migration reports."""
+
+import pytest
+
+from repro.core.ea import EAConfig
+from repro.core.explain import migration_report, synthesise_all
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    fig7_m,
+    fig7_m_prime,
+    ones_detector,
+)
+from repro.workloads.mutate import workload_pair
+
+FAST = EAConfig(population_size=16, generations=12, seed=0)
+
+
+class TestSynthesiseAll:
+    def test_all_methods_present_on_small_instance(self, fig7_pair):
+        m, mp = fig7_pair
+        programs = synthesise_all(m, mp, ea_config=FAST)
+        assert set(programs) == {"JSR", "greedy+2opt", "EA", "optimal"}
+        assert all(p.is_valid() for p in programs.values())
+
+    def test_optimal_skipped_on_large_instances(self):
+        src, tgt = workload_pair(10, 10, seed=0)
+        programs = synthesise_all(
+            src, tgt, ea_config=FAST, optimal_budget=50
+        )
+        assert "optimal" not in programs
+        assert programs["JSR"].is_valid()
+
+    def test_optimal_can_be_disabled(self, fig7_pair):
+        m, mp = fig7_pair
+        programs = synthesise_all(m, mp, ea_config=FAST,
+                                  include_optimal=False)
+        assert "optimal" not in programs
+
+
+class TestMigrationReport:
+    def test_fig6_report_sections(self, fig6_pair):
+        m, mp = fig6_pair
+        text = migration_report(m, mp, ea_config=FAST)
+        for heading in (
+            "# Migration report",
+            "## Machines",
+            "## Delta analysis",
+            "## Synthesised programs",
+            "## Recommended program",
+            "## Hardware verification",
+        ):
+            assert heading in text
+
+    def test_mentions_bounds(self, fig6_pair):
+        m, mp = fig6_pair
+        text = migration_report(m, mp, ea_config=FAST)
+        assert "4 <= |Z| <= 15" in text
+
+    def test_trivial_migration(self, detector):
+        text = migration_report(detector, detector, ea_config=FAST)
+        assert "trivial" in text
+        assert "0 delta transitions" in text
+
+    def test_hardware_verification_passes(self, fig7_pair):
+        m, mp = fig7_pair
+        text = migration_report(m, mp, ea_config=FAST)
+        assert "**True**" in text
+        assert "**PASS**" in text
+
+    def test_verification_can_be_skipped(self, fig7_pair):
+        m, mp = fig7_pair
+        text = migration_report(m, mp, ea_config=FAST,
+                                verify_on_hardware=False)
+        assert "## Hardware verification" not in text
+
+    def test_recommended_is_shortest(self, fig6_pair):
+        m, mp = fig6_pair
+        programs = synthesise_all(m, mp, ea_config=FAST)
+        best = min(programs.values(), key=len)
+        text = migration_report(m, mp, ea_config=FAST)
+        assert f"|Z| = {len(best)}" in text

@@ -1,0 +1,243 @@
+"""Unit tests for repro.core.fsm (Definition 2.1 machines)."""
+
+import pytest
+
+from repro.core.fsm import FSM, FSMError, Transition
+from repro.workloads.library import (
+    fig6_m,
+    ones_detector,
+    parity_checker,
+    sequence_detector,
+    zeros_detector,
+)
+
+
+class TestTransition:
+    def test_entry_is_total_state(self):
+        t = Transition("1", "S0", "S1", "0")
+        assert t.entry == ("1", "S0")
+
+    def test_str_matches_paper_tuple_form(self):
+        assert str(Transition("0", "S3", "S0", "0")) == "(0, S3, S0, 0)"
+
+    def test_frozen(self):
+        t = Transition("1", "S0", "S1", "0")
+        with pytest.raises(AttributeError):
+            t.input = "0"
+
+    def test_ordering_is_total(self):
+        ts = sorted(
+            [Transition("1", "a", "b", "x"), Transition("0", "a", "b", "x")]
+        )
+        assert ts[0].input == "0"
+
+
+class TestFSMConstruction:
+    def test_paper_example_constructs(self, detector):
+        assert detector.states == ("S0", "S1")
+        assert detector.reset_state == "S0"
+
+    def test_rejects_unknown_reset_state(self):
+        with pytest.raises(FSMError, match="reset state"):
+            FSM(["0"], ["0"], ["A"], "B", [("0", "A", "A", "0")])
+
+    def test_rejects_incomplete_specification(self):
+        with pytest.raises(FSMError, match="incompletely specified"):
+            FSM(["0", "1"], ["0"], ["A"], "A", [("0", "A", "A", "0")])
+
+    def test_rejects_nondeterminism(self):
+        with pytest.raises(FSMError, match="non-deterministic"):
+            FSM(
+                ["0"],
+                ["0"],
+                ["A", "B"],
+                "A",
+                [
+                    ("0", "A", "A", "0"),
+                    ("0", "A", "B", "0"),
+                    ("0", "B", "B", "0"),
+                ],
+            )
+
+    def test_rejects_foreign_symbols(self):
+        with pytest.raises(FSMError, match="not in S"):
+            FSM(["0"], ["0"], ["A"], "A", [("0", "A", "Z", "0")])
+        with pytest.raises(FSMError, match="not in I"):
+            FSM(["0"], ["0"], ["A"], "A", [("9", "A", "A", "0")])
+        with pytest.raises(FSMError, match="not in O"):
+            FSM(["0"], ["0"], ["A"], "A", [("0", "A", "A", "9")])
+
+    def test_rejects_duplicate_symbols(self):
+        with pytest.raises(FSMError, match="duplicate state"):
+            FSM(["0"], ["0"], ["A", "A"], "A", [("0", "A", "A", "0")])
+
+    def test_rejects_empty_sets(self):
+        with pytest.raises(FSMError):
+            FSM([], ["0"], ["A"], "A", [])
+
+    def test_accepts_mapping_form(self):
+        m = FSM(
+            ["0"],
+            ["x"],
+            ["A", "B"],
+            "A",
+            {("0", "A"): ("B", "x"), ("0", "B"): ("A", "x")},
+        )
+        assert m.next_state("0", "A") == "B"
+
+    def test_rejects_garbage_transition_items(self):
+        with pytest.raises(FSMError, match="cannot interpret"):
+            FSM(["0"], ["0"], ["A"], "A", ["nonsense"])
+
+
+class TestFSMAccessors:
+    def test_next_state_and_output(self, detector):
+        assert detector.next_state("1", "S0") == "S1"
+        assert detector.output("1", "S1") == "1"
+
+    def test_entry_pairs(self, detector):
+        assert detector.entry("0", "S1") == ("S0", "0")
+
+    def test_table_is_copy(self, detector):
+        table = detector.table
+        table[("1", "S0")] = ("S0", "0")
+        assert detector.next_state("1", "S0") == "S1"
+
+    def test_transitions_cover_all_total_states(self, detector):
+        trans = detector.transitions()
+        assert len(trans) == len(detector.inputs) * len(detector.states)
+        assert len({t.entry for t in trans}) == len(trans)
+
+    def test_transitions_from(self, detector):
+        outgoing = detector.transitions_from("S1")
+        assert {t.source for t in outgoing} == {"S1"}
+        assert len(outgoing) == 2
+
+    def test_stable_total_states_are_self_loops(self, detector):
+        stable = detector.stable_total_states()
+        assert ("0", "S0") in stable
+        assert ("1", "S1") in stable
+        assert ("1", "S0") not in stable
+
+
+class TestFSMStructure:
+    def test_successors(self, detector):
+        assert detector.successors("S0") == frozenset({"S0", "S1"})
+
+    def test_reachable_states_full(self, detector):
+        assert detector.reachable_states() == frozenset({"S0", "S1"})
+
+    def test_reachable_states_partial(self):
+        m = FSM(
+            ["a"],
+            ["x"],
+            ["A", "B", "C"],
+            "A",
+            [
+                ("a", "A", "B", "x"),
+                ("a", "B", "B", "x"),
+                ("a", "C", "A", "x"),
+            ],
+        )
+        assert m.reachable_states() == frozenset({"A", "B"})
+        assert not m.is_strongly_connected()
+
+    def test_fig6_is_strongly_connected(self):
+        assert fig6_m().is_strongly_connected()
+
+    def test_mealy_detector_is_not_moore(self, detector):
+        # S1 has incoming edges labelled 0 and 1.
+        assert not detector.is_moore()
+
+
+class TestFSMSimulation:
+    def test_run_matches_specification(self, detector):
+        # Two or more successive ones -> 1 until a zero arrives.
+        assert detector.run(list("11011101")) == list("01001100")
+
+    def test_run_from_alternate_start(self, detector):
+        assert detector.run(["1"], start="S1") == ["1"]
+
+    def test_trace_returns_transitions(self, detector):
+        trace = detector.trace(list("10"))
+        assert trace == [
+            Transition("1", "S0", "S1", "0"),
+            Transition("0", "S1", "S0", "0"),
+        ]
+
+    def test_empty_run(self, detector):
+        assert detector.run([]) == []
+
+    def test_run_rejects_unknown_input(self, detector):
+        with pytest.raises(KeyError):
+            detector.run(["x"])
+
+    def test_parity_checker_counts_ones_mod_two(self):
+        m = parity_checker()
+        word = list("1101001")
+        outs = m.run(word)
+        ones = 0
+        for bit, out in zip(word, outs):
+            ones += bit == "1"
+            assert out == ("1" if ones % 2 else "0")
+
+    def test_sequence_detector_finds_pattern(self):
+        m = sequence_detector("1011")
+        outs = m.run(list("110110110"))
+        hits = [i for i, o in enumerate(outs) if o == "1"]
+        assert hits == [4, 7]  # overlapping matches at positions 1-4 and 4-7
+
+    def test_sequence_detector_non_overlapping(self):
+        m = sequence_detector("11", overlapping=False)
+        assert m.run(list("1111")) == ["0", "1", "0", "1"]
+
+    def test_sequence_detector_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            sequence_detector("")
+        with pytest.raises(ValueError):
+            sequence_detector("10x")
+
+
+class TestFSMEquivalence:
+    def test_structural_equality(self, detector):
+        assert detector == ones_detector()
+        assert detector != zeros_detector()
+
+    def test_behavioural_equivalence_reflexive(self, detector):
+        assert detector.behaviourally_equivalent(ones_detector())
+
+    def test_behavioural_equivalence_detects_difference(self, detector):
+        assert not detector.behaviourally_equivalent(zeros_detector())
+
+    def test_behavioural_equivalence_across_renaming(self, detector):
+        renamed = detector.renamed({"S0": "IDLE", "S1": "SEEN"})
+        assert detector.behaviourally_equivalent(renamed)
+        assert detector != renamed
+
+    def test_behavioural_equivalence_needs_same_inputs(self, detector):
+        other = FSM(["a"], ["0"], ["A"], "A", [("a", "A", "A", "0")])
+        assert not detector.behaviourally_equivalent(other)
+
+    def test_equivalent_on_words(self, detector):
+        renamed = detector.renamed({"S0": "X0", "S1": "X1"})
+        words = [list("110"), list("01"), []]
+        assert detector.equivalent_on(renamed, words)
+
+    def test_hash_consistent_with_eq(self, detector):
+        assert hash(detector) == hash(ones_detector())
+
+
+class TestFSMExport:
+    def test_graph_export(self, detector):
+        graph = detector.to_graph()
+        assert set(graph.nodes) == {"S0", "S1"}
+        assert graph.number_of_edges() == 4
+        labels = {d["label"] for *_e, d in graph.edges(data=True)}
+        assert "1/1" in labels
+
+    def test_renamed_identity_default(self, detector):
+        same = detector.renamed({})
+        assert same == detector
+
+    def test_repr_mentions_shape(self, detector):
+        assert "|S|=2" in repr(detector)

@@ -1,0 +1,106 @@
+"""Unit tests for the greedy (nearest-neighbour / 2-opt) baselines."""
+
+import pytest
+
+from repro.core.decode import decoded_length
+from repro.core.delta import delta_transitions
+from repro.core.greedy import (
+    connection_cost,
+    greedy_program,
+    nearest_neighbour_order,
+    two_opt_order,
+)
+from repro.core.jsr import jsr_program
+from repro.workloads.library import fig6_m, fig6_m_prime
+from repro.workloads.mutate import workload_pair
+
+
+class TestConnectionCost:
+    def test_short_distances_cost_themselves(self):
+        assert connection_cost(0) == 0
+        assert connection_cost(1) == 1
+
+    def test_long_distances_cost_reset_plus_jump(self):
+        assert connection_cost(2) == 2
+        assert connection_cost(10) == 2
+
+    def test_unreachable_costs_reset_plus_jump(self):
+        assert connection_cost(None) == 2
+
+
+class TestNearestNeighbour:
+    def test_order_is_permutation(self, fig6_pair):
+        m, mp = fig6_pair
+        order = nearest_neighbour_order(m, mp)
+        assert sorted(map(str, order)) == sorted(
+            map(str, delta_transitions(m, mp))
+        )
+
+    def test_empty_delta_set(self, detector):
+        assert nearest_neighbour_order(detector, detector) == []
+
+    def test_deterministic(self, random_pair):
+        src, tgt = random_pair
+        assert nearest_neighbour_order(src, tgt) == nearest_neighbour_order(
+            src, tgt
+        )
+
+    def test_prefers_nearby_delta_first(self, fig6_pair):
+        m, mp = fig6_pair
+        order = nearest_neighbour_order(m, mp)
+        # From the reset state S0, the S1-sourced delta is one hop away,
+        # while S2 is two and S3 unreachable in M.
+        assert order[0].source == "S1"
+
+
+class TestTwoOpt:
+    def test_never_worse_than_initial(self):
+        for seed in range(5):
+            src, tgt = workload_pair(8, 6, seed=seed)
+            initial = nearest_neighbour_order(src, tgt)
+            improved = two_opt_order(src, tgt, initial)
+            assert decoded_length(src, tgt, improved) <= decoded_length(
+                src, tgt, initial
+            )
+
+    def test_short_orders_returned_unchanged(self, fig7_pair):
+        m, mp = fig7_pair
+        order = delta_transitions(m, mp)
+        assert two_opt_order(m, mp, order) == order
+
+    def test_result_is_permutation(self, random_pair):
+        src, tgt = random_pair
+        improved = two_opt_order(src, tgt)
+        assert sorted(map(str, improved)) == sorted(
+            map(str, delta_transitions(src, tgt))
+        )
+
+
+class TestGreedyProgram:
+    def test_valid_on_paper_pair(self, fig6_pair):
+        m, mp = fig6_pair
+        program = greedy_program(m, mp)
+        assert program.is_valid()
+        assert program.method == "greedy+2opt"
+
+    def test_unimproved_variant(self, fig6_pair):
+        m, mp = fig6_pair
+        program = greedy_program(m, mp, improve=False)
+        assert program.is_valid()
+        assert program.method == "greedy"
+
+    def test_beats_or_ties_jsr_on_random_workloads(self):
+        wins = 0
+        for seed in range(6):
+            src, tgt = workload_pair(8, 6, seed=seed)
+            greedy_len = len(greedy_program(src, tgt))
+            jsr_len = len(jsr_program(src, tgt))
+            assert greedy_len <= jsr_len
+            wins += greedy_len < jsr_len
+        assert wins >= 4  # strictly shorter on most instances
+
+    def test_respects_lower_bound(self):
+        for seed in range(6):
+            src, tgt = workload_pair(8, 6, seed=seed)
+            deltas = delta_transitions(src, tgt)
+            assert len(greedy_program(src, tgt)) >= len(deltas)

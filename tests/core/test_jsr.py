@@ -1,0 +1,166 @@
+"""Unit tests for the JSR heuristic (paper Sec. 4.4, Example 4.3, Fig. 9)."""
+
+import pytest
+
+from repro.core.delta import delta_count, delta_transitions
+from repro.core.jsr import jsr_length, jsr_program, jsr_trace
+from repro.core.program import StepKind
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    fig9_delta_order,
+    ones_detector,
+    table1_target,
+    zeros_detector,
+)
+from repro.workloads.mutate import workload_pair
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestJSRLength:
+    def test_fig6_exact_length(self, fig6_pair):
+        m, mp = fig6_pair
+        assert len(jsr_program(m, mp)) == 3 * (4 + 1) == 15
+
+    def test_formula_matches_program(self):
+        for seed in range(5):
+            src, tgt = workload_pair(8, 5, seed=seed)
+            assert len(jsr_program(src, tgt)) == jsr_length(src, tgt)
+
+    def test_length_independent_of_transition_structure(self):
+        # Thm. 4.2's proof: the JSR length depends only on |Td| (and on
+        # whether the home entry is itself a delta), never on F's shape.
+        for seed in (1, 2, 3):
+            src, tgt = workload_pair(10, 7, seed=seed)
+            length = len(jsr_program(src, tgt))
+            assert length in (3 * 7, 3 * (7 + 1))
+            assert length == jsr_length(src, tgt)
+
+    def test_trivial_migration_still_three_cycles(self, detector):
+        # The algorithm always emits reset + home repair + reset.
+        program = jsr_program(detector, detector)
+        assert len(program) == 3
+        assert program.is_valid()
+
+    def test_home_entry_delta_shortens_program(self):
+        # When (i0, S0') is itself a delta it is absorbed by the final
+        # repair, giving 3*|Td| instead of 3*(|Td|+1).
+        src, tgt = ones_detector(), zeros_detector()
+        deltas = delta_transitions(src, tgt)
+        i0 = "0"
+        assert any(t.entry == (i0, tgt.reset_state) for t in deltas)
+        program = jsr_program(src, tgt, i0=i0)
+        assert len(program) == 3 * len(deltas)
+        assert program.is_valid()
+
+
+class TestJSRValidity:
+    def test_always_valid_on_paper_pairs(self, fig6_pair, fig7_pair, table1_pair):
+        for src, tgt in (fig6_pair, fig7_pair, table1_pair):
+            assert jsr_program(src, tgt).is_valid()
+
+    def test_valid_from_any_start_state(self, fig6_pair):
+        m, mp = fig6_pair
+        program = jsr_program(m, mp)
+        for start in m.states:
+            assert program.is_valid(start=start)
+
+    def test_valid_for_every_choice_of_i0(self, fig6_pair):
+        m, mp = fig6_pair
+        for i0 in mp.inputs:
+            assert jsr_program(m, mp, i0=i0).is_valid()
+
+    def test_rejects_foreign_i0(self, fig6_pair):
+        m, mp = fig6_pair
+        with pytest.raises(ValueError, match="not an input symbol"):
+            jsr_program(m, mp, i0="banana")
+
+    def test_rejects_non_permutation_order(self, fig6_pair):
+        m, mp = fig6_pair
+        deltas = delta_transitions(m, mp)
+        with pytest.raises(ValueError, match="permutation"):
+            jsr_program(m, mp, order=deltas[:2])
+
+
+class TestJSRStructure:
+    def test_step_pattern(self, fig6_pair):
+        m, mp = fig6_pair
+        program = jsr_program(m, mp)
+        kinds = [step.kind for step in program]
+        assert kinds[0] is StepKind.RESET
+        assert kinds[-1] is StepKind.RESET
+        assert kinds[-2] is StepKind.WRITE_REPAIR
+        # Between: repeating (temporary, delta, reset) triples.
+        body = kinds[1:-2]
+        for idx in range(0, len(body), 3):
+            assert body[idx] is StepKind.WRITE_TEMPORARY
+            assert body[idx + 1] is StepKind.WRITE_DELTA
+            assert body[idx + 2] is StepKind.RESET
+
+    def test_all_temporaries_reuse_home_entry(self, fig6_pair):
+        m, mp = fig6_pair
+        program = jsr_program(m, mp, i0="1")
+        temps = [
+            s.transition for s in program if s.kind is StepKind.WRITE_TEMPORARY
+        ]
+        assert all(t.entry == ("1", mp.reset_state) for t in temps)
+
+    def test_every_delta_written_exactly_once(self, fig6_pair):
+        m, mp = fig6_pair
+        program = jsr_program(m, mp)
+        written = [
+            s.transition for s in program if s.kind is StepKind.WRITE_DELTA
+        ]
+        assert sorted(map(str, written)) == sorted(
+            map(str, delta_transitions(m, mp))
+        )
+
+
+class TestFig9Walkthrough:
+    def test_reproduces_paper_program_verbatim(self, fig6_pair):
+        m, mp = fig6_pair
+        program = jsr_program(m, mp, i0="1", order=fig9_delta_order())
+        rendered = [str(s) for s in program]
+        assert rendered == [
+            "rst-transition",
+            "(1, S0, S2, 0) [temp]",
+            "(1, S2, S3, 0) [delta]",
+            "rst-transition",
+            "(1, S0, S3, 0) [temp]",
+            "(1, S3, S3, 1) [delta]",
+            "rst-transition",
+            "(1, S0, S1, 0) [temp]",
+            "(0, S1, S0, 0) [delta]",
+            "rst-transition",
+            "(1, S0, S3, 0) [temp]",
+            "(0, S3, S0, 0) [delta]",
+            "rst-transition",
+            "(1, S0, S1, 0) [repair]",
+            "rst-transition",
+        ]
+
+    def test_trace_narrates_each_step(self, fig6_pair):
+        m, mp = fig6_pair
+        lines = jsr_trace(m, mp, i0="1", order=fig9_delta_order())
+        assert len(lines) == 15
+        assert "jump via temporary transition" in lines[1]
+        assert "reconfigure delta transition" in lines[2]
+        assert "repair home entry" in lines[13]
+
+
+class TestJSRScaling:
+    @pytest.mark.parametrize("n_deltas", [1, 2, 4, 8, 12])
+    def test_random_workloads(self, n_deltas):
+        src, tgt = workload_pair(10, n_deltas, seed=100 + n_deltas)
+        program = jsr_program(src, tgt)
+        assert program.is_valid()
+        assert len(program) == 3 * (n_deltas + 1)
+
+    def test_growing_state_space(self):
+        src = random_fsm(n_states=6, seed=1)
+        from repro.workloads.mutate import grow_target
+
+        tgt = grow_target(src, 3, seed=1)
+        program = jsr_program(src, tgt)
+        assert program.is_valid()
+        assert len(program) == 3 * (delta_count(src, tgt) + 1)

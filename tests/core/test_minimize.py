@@ -1,0 +1,155 @@
+"""Unit tests for Mealy-machine state minimisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fsm import FSM
+from repro.core.minimize import (
+    equivalence_classes,
+    is_minimal,
+    minimize,
+    redundancy,
+)
+from repro.workloads.library import (
+    fig6_m,
+    ones_detector,
+    parity_checker,
+    sequence_detector,
+)
+from repro.workloads.random_fsm import random_fsm
+
+
+def duplicated(machine: FSM) -> FSM:
+    """A behaviourally equivalent machine with every state doubled."""
+    clone = {s: f"{s}_dup" for s in machine.states}
+    transitions = []
+    for t in machine.transitions():
+        transitions.append((t.input, t.source, clone[t.target], t.output))
+        transitions.append((t.input, clone[t.source], t.target, t.output))
+    return FSM(
+        machine.inputs,
+        machine.outputs,
+        list(machine.states) + [clone[s] for s in machine.states],
+        machine.reset_state,
+        transitions,
+        name=f"{machine.name}_doubled",
+    )
+
+
+class TestEquivalenceClasses:
+    def test_minimal_machine_all_singletons(self):
+        classes = equivalence_classes(ones_detector())
+        assert all(len(block) == 1 for block in classes)
+
+    def test_doubled_machine_pairs(self):
+        doubled = duplicated(parity_checker())
+        classes = equivalence_classes(doubled)
+        assert len(classes) == 2
+        assert all(len(block) == 2 for block in classes)
+
+    def test_classes_partition_states(self):
+        machine = duplicated(fig6_m())
+        classes = equivalence_classes(machine)
+        union = set().union(*classes)
+        assert union == set(machine.states)
+        assert sum(len(b) for b in classes) == len(machine.states)
+
+    def test_output_distinguishes_immediately(self):
+        machine = FSM(
+            ["a"],
+            ["x", "y"],
+            ["P", "Q"],
+            "P",
+            [("a", "P", "P", "x"), ("a", "Q", "Q", "y")],
+        )
+        assert len(equivalence_classes(machine)) == 2
+
+    def test_deep_distinction(self):
+        # States distinguishable only by a length-3 word.
+        machine = FSM(
+            ["a"],
+            ["0", "1"],
+            ["A", "B", "C", "D"],
+            "A",
+            [
+                ("a", "A", "B", "0"),
+                ("a", "B", "C", "0"),
+                ("a", "C", "D", "0"),
+                ("a", "D", "D", "1"),
+            ],
+        )
+        assert len(equivalence_classes(machine)) == 4
+
+
+class TestMinimize:
+    def test_idempotent_on_minimal(self):
+        machine = ones_detector()
+        assert minimize(machine) == machine.renamed({}, name="x") or (
+            minimize(machine).states == machine.states
+        )
+
+    def test_halves_doubled_machines(self):
+        for base in (ones_detector(), parity_checker(), fig6_m()):
+            doubled = duplicated(base)
+            minimal = minimize(doubled)
+            assert len(minimal.states) == len(base.states)
+            assert minimal.behaviourally_equivalent(base)
+
+    def test_preserves_behaviour(self):
+        machine = duplicated(sequence_detector("101"))
+        assert minimize(machine).behaviourally_equivalent(machine)
+
+    def test_reset_state_representative(self):
+        machine = duplicated(parity_checker())
+        minimal = minimize(machine)
+        assert minimal.reset_state == machine.reset_state
+
+    def test_prunes_unused_outputs(self):
+        machine = FSM(
+            ["a"],
+            ["x", "y", "unused"],
+            ["P"],
+            "P",
+            [("a", "P", "P", "x")],
+        )
+        assert minimize(machine).outputs == ("x",)
+
+    def test_name(self):
+        assert minimize(ones_detector()).name == "ones_detector_min"
+        assert minimize(ones_detector(), name="tiny").name == "tiny"
+
+
+class TestRedundancy:
+    def test_zero_for_minimal(self):
+        assert redundancy(ones_detector()) == 0
+        assert is_minimal(ones_detector())
+
+    def test_counts_duplicates(self):
+        doubled = duplicated(parity_checker())
+        assert redundancy(doubled) == 2
+        assert not is_minimal(doubled)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 8),
+    st.integers(1, 3),
+    st.integers(0, 3000),
+)
+def test_property_minimize_preserves_behaviour(n_states, n_inputs, seed):
+    machine = random_fsm(
+        n_states=n_states, n_inputs=n_inputs, n_outputs=2, seed=seed
+    )
+    minimal = minimize(machine)
+    assert minimal.behaviourally_equivalent(machine)
+    assert is_minimal(minimal)
+    assert len(minimal.states) <= len(machine.states)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 3000))
+def test_property_doubling_then_minimizing_roundtrips(n_states, seed):
+    base = random_fsm(n_states=n_states, n_outputs=2, seed=seed)
+    base_min = minimize(base)
+    doubled = duplicated(base_min)
+    assert len(minimize(doubled).states) == len(base_min.states)

@@ -1,0 +1,118 @@
+"""Tests for the general Def. 2.1 objects: NFSM and Moore machines."""
+
+import pytest
+
+from repro.core.fsm import FSM, FSMError, MooreFSM, NondeterministicFSM
+from repro.workloads.library import traffic_light
+
+
+def _nfsm(**overrides):
+    spec = dict(
+        inputs=["a", "b"],
+        outputs=["x", "y"],
+        states=["P", "Q"],
+        reset_states=["P"],
+        next_states={
+            ("a", "P"): {"Q"},
+            ("b", "P"): {"P"},
+            ("a", "Q"): {"P"},
+            ("b", "Q"): {"Q"},
+        },
+        output_states={
+            ("a", "P"): {"x"},
+            ("b", "P"): {"x"},
+            ("a", "Q"): {"y"},
+            ("b", "Q"): {"y"},
+        },
+    )
+    spec.update(overrides)
+    return NondeterministicFSM(**spec)
+
+
+class TestNondeterministicFSM:
+    def test_deterministic_complete_machine(self):
+        m = _nfsm()
+        assert m.is_deterministic()
+        assert m.is_completely_specified()
+
+    def test_incomplete_specification_detected(self):
+        m = _nfsm(next_states={("a", "P"): {"Q"}})
+        assert not m.is_completely_specified()
+
+    def test_nondeterminism_via_multiple_targets(self):
+        m = _nfsm(
+            next_states={
+                ("a", "P"): {"P", "Q"},
+                ("b", "P"): {"P"},
+                ("a", "Q"): {"P"},
+                ("b", "Q"): {"Q"},
+            }
+        )
+        assert not m.is_deterministic()
+
+    def test_nondeterminism_via_multiple_resets(self):
+        m = _nfsm(reset_states=["P", "Q"])
+        assert not m.is_deterministic()
+
+    def test_relation_accessors(self):
+        m = _nfsm()
+        assert m.next_states("a", "P") == frozenset({"Q"})
+        assert m.output_states("b", "Q") == frozenset({"y"})
+        assert m.next_states("a", "missing") == frozenset()
+
+    def test_stable_total_states(self):
+        m = _nfsm()
+        assert ("b", "P") in m.stable_total_states()
+        assert ("a", "P") not in m.stable_total_states()
+
+    def test_to_deterministic_roundtrip(self):
+        fsm = _nfsm().to_deterministic()
+        assert isinstance(fsm, FSM)
+        assert fsm.next_state("a", "P") == "Q"
+        assert fsm.output("a", "Q") == "y"
+
+    def test_to_deterministic_rejects_nondeterminism(self):
+        m = _nfsm(reset_states=["P", "Q"])
+        with pytest.raises(FSMError, match="not deterministic"):
+            m.to_deterministic()
+
+    def test_to_deterministic_rejects_incomplete(self):
+        m = _nfsm(output_states={("a", "P"): {"x"}})
+        with pytest.raises(FSMError, match="not completely specified"):
+            m.to_deterministic()
+
+    def test_validates_reset_subset(self):
+        with pytest.raises(FSMError, match="reset states"):
+            _nfsm(reset_states=["Z"])
+
+    def test_validates_relation_ranges(self):
+        with pytest.raises(FSMError, match="leaves the state set"):
+            _nfsm(next_states={("a", "P"): {"Z"}})
+
+
+class TestMooreFSM:
+    def test_traffic_light_outputs_by_state(self):
+        m = traffic_light()
+        assert m.state_output("RED") == "red"
+        assert m.run(["go", "go", "go"]) == ["green", "yellow", "red"]
+
+    def test_is_moore_by_construction(self):
+        assert traffic_light().is_moore()
+
+    def test_hold_keeps_phase(self):
+        m = traffic_light()
+        assert m.run(["hold", "hold"]) == ["red", "red"]
+
+    def test_to_mealy_equivalent(self):
+        moore = traffic_light()
+        mealy = moore.to_mealy()
+        word = ["go", "hold", "go", "go", "hold"]
+        assert moore.run(word) == mealy.run(word)
+        assert not isinstance(mealy, MooreFSM)
+
+    def test_moore_special_case_of_mealy(self):
+        # Paper: "a Moore-FSM is just a special case where the output
+        # function is dependent on the state only".
+        moore = traffic_light()
+        for t in moore.transitions():
+            assert t.output == moore.state_output(t.target)

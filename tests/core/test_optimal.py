@@ -1,0 +1,111 @@
+"""Unit tests for the exact A* optimiser (calibration baseline)."""
+
+import pytest
+
+from repro.core.decode import decoded_length
+from repro.core.delta import delta_transitions
+from repro.core.ea import EAConfig, evolve_program
+from repro.core.jsr import jsr_program
+from repro.core.optimal import SearchLimitExceeded, optimal_length, optimal_program
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    fig7_m,
+    fig7_m_prime,
+    ones_detector,
+    table1_target,
+    zeros_detector,
+)
+from repro.workloads.mutate import workload_pair
+
+
+class TestOptimalOnPaperExamples:
+    def test_fig7_optimum_is_three_cycles(self, fig7_pair):
+        # Example 4.2: temporary transitions cut 4 cycles to 3.
+        m, mp = fig7_pair
+        program = optimal_program(m, mp)
+        assert len(program) == 3
+        assert program.is_valid()
+
+    def test_fig6_optimum(self, fig6_pair):
+        m, mp = fig6_pair
+        program = optimal_program(m, mp)
+        assert program.is_valid()
+        assert len(delta_transitions(m, mp)) <= len(program) <= 15
+
+    def test_table1_pair_optimum(self, table1_pair):
+        src, tgt = table1_pair
+        program = optimal_program(src, tgt)
+        assert program.is_valid()
+        # Two deltas on a 2-state machine: a handful of cycles suffice.
+        assert len(program) <= 6
+
+    def test_mirror_migration_optimum(self):
+        program = optimal_program(ones_detector(), zeros_detector())
+        assert program.is_valid()
+        assert len(program) >= 4  # all four entries change
+
+
+class TestOptimalDominatesHeuristics:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_optimal_at_most_heuristics(self, seed):
+        src, tgt = workload_pair(6, 3, seed=seed)
+        opt = optimal_length(src, tgt)
+        deltas = delta_transitions(src, tgt)
+        assert opt >= len(deltas)  # Thm. 4.3
+        assert opt <= len(jsr_program(src, tgt))
+        assert opt <= decoded_length(src, tgt, deltas)
+        ea = evolve_program(
+            src, tgt, config=EAConfig(population_size=12, generations=12, seed=0)
+        )
+        assert opt <= ea.best_length
+
+    def test_trivial_migration_optimum_zero(self):
+        m = ones_detector()
+        assert optimal_length(m, m) == 0
+
+
+class TestSearchLimits:
+    def test_limit_raises(self, fig6_pair):
+        m, mp = fig6_pair
+        with pytest.raises(SearchLimitExceeded):
+            optimal_program(m, mp, max_expansions=2)
+
+    def test_limit_generous_enough_for_small_instances(self):
+        src, tgt = workload_pair(5, 2, seed=9)
+        assert optimal_program(src, tgt, max_expansions=50_000).is_valid()
+
+
+class TestLowerBoundTightness:
+    def test_chained_deltas_meet_lower_bound(self):
+        """A migration whose deltas chain perfectly: |Z| = |Td| (Thm. 4.3).
+
+        Construct target deltas along a cycle from the reset state so the
+        optimal program writes them back-to-back with no travel.
+        """
+        from repro.core.fsm import FSM
+
+        src = FSM(
+            ["a"],
+            ["x", "y"],
+            ["A", "B", "C"],
+            "A",
+            [
+                ("a", "A", "B", "x"),
+                ("a", "B", "C", "x"),
+                ("a", "C", "A", "x"),
+            ],
+        )
+        # Flip every output; next states unchanged: deltas chain A->B->C->A.
+        tgt = FSM(
+            ["a"],
+            ["x", "y"],
+            ["A", "B", "C"],
+            "A",
+            [
+                ("a", "A", "B", "y"),
+                ("a", "B", "C", "y"),
+                ("a", "C", "A", "y"),
+            ],
+        )
+        assert optimal_length(src, tgt) == 3 == len(delta_transitions(src, tgt))

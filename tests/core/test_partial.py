@@ -1,0 +1,131 @@
+"""Unit tests for don't-care-aware migration targets."""
+
+import pytest
+
+from repro.core.delta import delta_count
+from repro.core.ea import EAConfig, ea_program
+from repro.core.fsm import FSMError
+from repro.core.jsr import jsr_program
+from repro.core.partial import (
+    PartialMachine,
+    best_completion,
+    dont_care_savings,
+    naive_completion,
+)
+from repro.workloads.library import ones_detector, zeros_detector
+from repro.workloads.random_fsm import random_fsm
+
+FAST = EAConfig(population_size=16, generations=15, seed=0)
+
+
+def spec_one_entry():
+    return PartialMachine.from_transitions(
+        ("0", "1"),
+        ("0", "1"),
+        ("S0", "S1"),
+        "S0",
+        [("1", "S0", "S1", "1")],
+    )
+
+
+class TestPartialMachine:
+    def test_entries_partition(self):
+        spec = spec_one_entry()
+        assert spec.specified_entries == [("1", "S0")]
+        assert len(spec.dont_care_entries) == 3
+
+    def test_coverage(self):
+        assert spec_one_entry().specification_coverage() == 0.25
+
+    def test_validates_symbols(self):
+        with pytest.raises(FSMError):
+            PartialMachine.from_transitions(
+                ("0",), ("0",), ("A",), "A", [("9", "A", "A", "0")]
+            )
+        with pytest.raises(FSMError):
+            PartialMachine.from_transitions(
+                ("0",), ("0",), ("A",), "B", []
+            )
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(FSMError, match="duplicate"):
+            PartialMachine.from_transitions(
+                ("0",), ("0", "1"), ("A",), "A",
+                [("0", "A", "A", "0"), ("0", "A", "A", "1")],
+            )
+
+    def test_is_satisfied_by(self):
+        spec = spec_one_entry()
+        good = best_completion(ones_detector(), spec)
+        assert spec.is_satisfied_by(good)
+        assert not spec.is_satisfied_by(ones_detector())  # (1,S0) -> out 0
+
+
+class TestCompletions:
+    def test_naive_fills_with_reset(self):
+        machine = naive_completion(spec_one_entry())
+        assert machine.next_state("0", "S1") == "S0"
+        assert machine.entry("1", "S0") == ("S1", "1")
+
+    def test_best_keeps_source_entries(self):
+        src = ones_detector()
+        completed = best_completion(src, spec_one_entry())
+        # don't-care entries keep the source values -> zero deltas there
+        assert completed.entry("0", "S0") == src.entry("0", "S0")
+        assert completed.entry("0", "S1") == src.entry("0", "S1")
+        assert completed.entry("1", "S1") == src.entry("1", "S1")
+
+    def test_best_is_optimal_entrywise(self):
+        src = ones_detector()
+        spec = spec_one_entry()
+        assert delta_count(src, best_completion(src, spec)) == 1
+        assert delta_count(src, naive_completion(spec)) >= 1
+
+    def test_savings_pair(self):
+        naive, aware = dont_care_savings(ones_detector(), spec_one_entry())
+        assert aware <= naive
+        assert aware == 1
+
+    def test_new_states_fall_back_to_filler(self):
+        spec = PartialMachine.from_transitions(
+            ("0", "1"),
+            ("0", "1"),
+            ("S0", "S1", "S9"),  # S9 unknown to the source
+            "S0",
+            [("1", "S9", "S0", "1")],
+        )
+        completed = best_completion(ones_detector(), spec)
+        assert completed.next_state("0", "S9") == "S0"  # filler
+        assert completed.entry("1", "S9") == ("S0", "1")  # spec kept
+
+    def test_source_value_outside_universe_not_kept(self):
+        src = random_fsm(n_states=4, n_outputs=3, seed=9)
+        spec = PartialMachine.from_transitions(
+            src.inputs,
+            ("y0",),  # universe misses most source outputs
+            src.states,
+            src.reset_state,
+            [],
+        )
+        completed = best_completion(src, spec)
+        assert set(completed.outputs) == {"y0"}
+
+
+class TestMigrationWithDontCares:
+    def test_programs_shrink(self):
+        src = ones_detector()
+        spec = spec_one_entry()
+        aware = best_completion(src, spec)
+        naive = naive_completion(spec)
+        assert len(jsr_program(src, aware)) <= len(jsr_program(src, naive))
+
+    def test_full_pipeline_on_aware_target(self):
+        src = zeros_detector()
+        spec = spec_one_entry()
+        target = best_completion(src, spec)
+        program = ea_program(src, target, config=FAST)
+        assert program.is_valid()
+        result = program.replay()
+        assert spec.is_satisfied_by
+        for (i, s), value in spec.table.items():
+            assert result.table[(i, s)] == value

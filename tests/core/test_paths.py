@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.paths (BFS over live tables)."""
+
+from repro.core.paths import (
+    all_pairs_distances,
+    distance,
+    reachable,
+    shortest_path,
+    table_of,
+)
+from repro.workloads.library import fig6_m, fig7_m, ones_detector
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestShortestPath:
+    def test_zero_length_path(self):
+        m = ones_detector()
+        assert shortest_path(table_of(m), m.inputs, "S0", "S0") == []
+
+    def test_single_hop(self):
+        m = ones_detector()
+        path = shortest_path(table_of(m), m.inputs, "S0", "S1")
+        assert len(path) == 1
+        assert path[0].input == "1"
+
+    def test_fig7_chain_length_three(self):
+        m = fig7_m()
+        path = shortest_path(table_of(m), m.inputs, "S0", "S3")
+        assert [t.source for t in path] == ["S0", "S1", "S2"]
+        assert len(path) == 3
+
+    def test_unreachable_returns_none(self):
+        m = fig7_m()
+        # S3 is absorbing in fig7_m: both inputs self-loop.
+        assert shortest_path(table_of(m), m.inputs, "S3", "S0") is None
+
+    def test_unconfigured_entries_not_traversable(self):
+        m = ones_detector()
+        table = dict(table_of(m))
+        table[("1", "S0")] = None
+        # Now S1 is unreachable from S0 (only the 1-edge led there).
+        assert shortest_path(table, m.inputs, "S0", "S1") is None
+
+    def test_path_transitions_are_consistent(self):
+        m = random_fsm(n_states=12, n_inputs=3, seed=9)
+        table = table_of(m)
+        path = shortest_path(table, m.inputs, m.states[0], m.states[-1])
+        assert path is not None
+        position = m.states[0]
+        for trans in path:
+            assert trans.source == position
+            assert table[(trans.input, trans.source)] == (
+                trans.target,
+                trans.output,
+            )
+            position = trans.target
+        assert position == m.states[-1]
+
+    def test_deterministic_tie_break(self):
+        m = random_fsm(n_states=10, n_inputs=3, seed=4)
+        p1 = shortest_path(table_of(m), m.inputs, "q0", "q7")
+        p2 = shortest_path(table_of(m), m.inputs, "q0", "q7")
+        assert p1 == p2
+
+    def test_bfs_optimality_against_all_pairs(self):
+        m = random_fsm(n_states=9, n_inputs=2, seed=5)
+        table = table_of(m)
+        dist = all_pairs_distances(table, m.inputs, m.states)
+        for start in m.states:
+            for goal in m.states:
+                path = shortest_path(table, m.inputs, start, goal)
+                if (start, goal) in dist:
+                    assert path is not None and len(path) == dist[(start, goal)]
+                else:
+                    assert path is None
+
+
+class TestDistance:
+    def test_distance_matches_path_length(self):
+        m = fig6_m()
+        assert distance(table_of(m), m.inputs, "S0", "S2") == 2
+
+    def test_distance_unreachable_none(self):
+        m = fig7_m()
+        assert distance(table_of(m), m.inputs, "S3", "S1") is None
+
+
+class TestAllPairs:
+    def test_diagonal_is_zero(self):
+        m = fig6_m()
+        dist = all_pairs_distances(table_of(m), m.inputs, m.states)
+        for s in m.states:
+            assert dist[(s, s)] == 0
+
+    def test_strongly_connected_machine_has_all_pairs(self):
+        m = random_fsm(n_states=7, seed=1)
+        assert m.is_strongly_connected()
+        dist = all_pairs_distances(table_of(m), m.inputs, m.states)
+        assert len(dist) == len(m.states) ** 2
+
+    def test_triangle_inequality(self):
+        m = random_fsm(n_states=8, n_inputs=2, seed=2)
+        dist = all_pairs_distances(table_of(m), m.inputs, m.states)
+        for a in m.states:
+            for b in m.states:
+                for c in m.states:
+                    if (a, b) in dist and (b, c) in dist and (a, c) in dist:
+                        assert dist[(a, c)] <= dist[(a, b)] + dist[(b, c)]
+
+
+class TestReachable:
+    def test_full_reachability(self):
+        m = fig6_m()
+        assert reachable(table_of(m), m.inputs, "S0") == frozenset(m.states)
+
+    def test_absorbing_state(self):
+        m = fig7_m()
+        assert reachable(table_of(m), m.inputs, "S3") == frozenset({"S3"})

@@ -1,0 +1,217 @@
+"""Unit tests for repro.core.program (programs, steps, replay physics)."""
+
+import pytest
+
+from repro.core.delta import delta_transitions
+from repro.core.fsm import Transition
+from repro.core.program import (
+    Program,
+    ReplayError,
+    ReplayMachine,
+    Step,
+    StepKind,
+    concatenate,
+    reset_step,
+    traverse_step,
+    write_step,
+)
+from repro.workloads.library import fig6_m, fig6_m_prime, fig7_m, fig7_m_prime
+
+
+class TestStep:
+    def test_reset_step_carries_no_transition(self):
+        step = reset_step()
+        assert step.kind is StepKind.RESET and step.transition is None
+
+    def test_reset_step_rejects_transition(self):
+        with pytest.raises(ValueError):
+            Step(StepKind.RESET, Transition("0", "A", "B", "x"))
+
+    def test_non_reset_requires_transition(self):
+        with pytest.raises(ValueError):
+            Step(StepKind.TRAVERSE)
+
+    def test_write_kinds(self):
+        assert StepKind.WRITE_DELTA.writes
+        assert StepKind.WRITE_TEMPORARY.writes
+        assert StepKind.WRITE_REPAIR.writes
+        assert not StepKind.TRAVERSE.writes
+        assert not StepKind.RESET.writes
+
+    def test_write_step_rejects_non_write_kind(self):
+        with pytest.raises(ValueError):
+            write_step(Transition("0", "A", "B", "x"), StepKind.TRAVERSE)
+
+    def test_str_forms(self):
+        t = Transition("0", "S0", "S3", "0")
+        assert str(reset_step()) == "rst-transition"
+        assert "[temp]" in str(write_step(t, StepKind.WRITE_TEMPORARY))
+        assert "[delta]" in str(write_step(t))
+        assert "[repair]" in str(write_step(t, StepKind.WRITE_REPAIR))
+        assert str(traverse_step(t)) == "(0, S0, S3, 0)"
+
+
+class TestReplayMachine:
+    def test_for_migration_extends_domain(self, fig6_pair):
+        m, mp = fig6_pair
+        machine = ReplayMachine.for_migration(m, mp)
+        assert ("0", "S3") in machine.table
+        assert machine.table[("0", "S3")] is None
+        assert machine.table[("1", "S0")] == ("S1", "0")
+
+    def test_reset_targets_target_reset_state(self, fig6_pair):
+        m, mp = fig6_pair
+        machine = ReplayMachine.for_migration(m, mp)
+        machine.state = "S2"
+        machine.apply(reset_step())
+        assert machine.state == mp.reset_state
+
+    def test_traverse_requires_matching_source(self, fig6_pair):
+        m, mp = fig6_pair
+        machine = ReplayMachine.for_migration(m, mp)
+        with pytest.raises(ReplayError, match="fires from"):
+            machine.apply(traverse_step(Transition("1", "S1", "S2", "0")))
+
+    def test_traverse_requires_matching_entry(self, fig6_pair):
+        m, mp = fig6_pair
+        machine = ReplayMachine.for_migration(m, mp)
+        with pytest.raises(ReplayError, match="disagrees"):
+            machine.apply(traverse_step(Transition("1", "S0", "S2", "0")))
+
+    def test_traverse_rejects_unconfigured_entry(self, fig6_pair):
+        m, mp = fig6_pair
+        machine = ReplayMachine.for_migration(m, mp)
+        machine.state = "S3"
+        with pytest.raises(ReplayError, match="unconfigured"):
+            machine.apply(traverse_step(Transition("1", "S3", "S3", "1")))
+
+    def test_write_updates_table_and_moves(self, fig6_pair):
+        m, mp = fig6_pair
+        machine = ReplayMachine.for_migration(m, mp)
+        machine.apply(write_step(Transition("1", "S0", "S2", "0"),
+                                 StepKind.WRITE_TEMPORARY))
+        assert machine.state == "S2"
+        assert machine.table[("1", "S0")] == ("S2", "0")
+        assert machine.writes == 1
+
+    def test_write_outside_domain_rejected(self, fig6_pair):
+        m, mp = fig6_pair
+        machine = ReplayMachine.for_migration(m, mp)
+        with pytest.raises(ReplayError, match="outside table domain"):
+            machine.apply(write_step(Transition("7", "S0", "S0", "0")))
+
+    def test_history_records_every_cycle(self, fig6_pair):
+        m, mp = fig6_pair
+        machine = ReplayMachine.for_migration(m, mp)
+        machine.apply(reset_step())
+        machine.apply(traverse_step(Transition("1", "S0", "S1", "0")))
+        assert machine.cycles == 2
+        assert [before for before, _s, _a in machine.history] == ["S0", "S0"]
+
+
+class TestProgram:
+    def _manual_fig7_program(self):
+        """The Example 4.2 three-step program, hand-written."""
+        m, mp = fig7_m(), fig7_m_prime()
+        steps = [
+            write_step(Transition("0", "S0", "S3", "0"), StepKind.WRITE_TEMPORARY),
+            write_step(Transition("0", "S3", "S0", "0"), StepKind.WRITE_DELTA),
+            write_step(Transition("0", "S0", "S0", "0"), StepKind.WRITE_REPAIR),
+        ]
+        return Program(steps, m, mp, method="example-4.2")
+
+    def test_example42_program_is_valid(self):
+        program = self._manual_fig7_program()
+        assert len(program) == 3
+        result = program.replay()
+        assert result.ok
+        assert result.final_state == "S0"
+        assert result.writes == 3
+
+    def test_example42_without_temporaries_is_four_cycles(self):
+        m, mp = fig7_m(), fig7_m_prime()
+        steps = [
+            traverse_step(Transition("1", "S0", "S1", "0")),
+            traverse_step(Transition("1", "S1", "S2", "0")),
+            traverse_step(Transition("1", "S2", "S3", "0")),
+            write_step(Transition("0", "S3", "S0", "0")),
+        ]
+        program = Program(steps, m, mp)
+        assert len(program) == 4
+        assert program.is_valid()
+
+    def test_incomplete_program_fails_validation(self, fig6_pair):
+        m, mp = fig6_pair
+        program = Program([reset_step()], m, mp)
+        result = program.replay()
+        assert not result.ok
+        assert result.mismatches
+
+    def test_wrong_terminal_state_fails(self):
+        m, mp = fig7_m(), fig7_m_prime()
+        steps = [
+            write_step(Transition("0", "S0", "S3", "0"), StepKind.WRITE_TEMPORARY),
+            write_step(Transition("0", "S3", "S0", "0"), StepKind.WRITE_DELTA),
+            write_step(Transition("0", "S0", "S0", "0"), StepKind.WRITE_REPAIR),
+            traverse_step(Transition("1", "S0", "S1", "0")),
+        ]
+        result = Program(steps, m, mp).replay()
+        assert not result.ok
+        assert any("terminal state" in reason for *_e, reason in result.mismatches)
+
+    def test_illegal_step_reported_not_raised(self, fig6_pair):
+        m, mp = fig6_pair
+        program = Program(
+            [traverse_step(Transition("1", "S2", "S0", "1"))], m, mp
+        )
+        result = program.replay()
+        assert not result.ok
+        assert "fires from" in result.mismatches[0][2]
+
+    def test_counters(self):
+        program = self._manual_fig7_program()
+        assert program.write_count == 3
+        assert program.reset_count == 0
+
+    def test_replay_from_alternate_start(self):
+        m, mp = fig7_m(), fig7_m_prime()
+        steps = [
+            reset_step(),
+            write_step(Transition("0", "S0", "S3", "0"), StepKind.WRITE_TEMPORARY),
+            write_step(Transition("0", "S3", "S0", "0"), StepKind.WRITE_DELTA),
+            write_step(Transition("0", "S0", "S0", "0"), StepKind.WRITE_REPAIR),
+        ]
+        program = Program(steps, m, mp)
+        assert program.is_valid(start="S2")
+
+    def test_to_sequence_matches_steps(self):
+        program = self._manual_fig7_program()
+        rows = program.to_sequence()
+        assert len(rows) == 3
+        assert rows[0].hi == "0" and rows[0].hf == "S3" and rows[0].write
+        assert not rows[0].reset
+
+    def test_to_sequence_reset_rows(self, fig6_pair):
+        m, mp = fig6_pair
+        rows = Program([reset_step()], m, mp).to_sequence()
+        assert rows[0].reset and rows[0].hi is None
+        assert "<reset>" in str(rows[0])
+
+    def test_render_lists_steps(self):
+        text = self._manual_fig7_program().render()
+        assert "|Z| = 3" in text
+        assert "z0" in text and "z2" in text
+
+    def test_concatenate_requires_same_pair(self, fig6_pair):
+        m, mp = fig6_pair
+        p1 = Program([reset_step()], m, mp, method="a")
+        p2 = Program([reset_step()], m, mp, method="b")
+        joined = concatenate(p1, p2)
+        assert len(joined) == 2 and joined.method == "a+b"
+        other = Program([reset_step()], fig7_m(), fig7_m_prime())
+        with pytest.raises(ValueError):
+            concatenate(p1, other)
+
+    def test_iteration_and_indexing(self):
+        program = self._manual_fig7_program()
+        assert list(program)[0] is program[0]

@@ -1,0 +1,203 @@
+"""Unit tests for the Def. 2.2 model (ReconfigurableFSM / self-reconfiguration)."""
+
+import pytest
+
+from repro.core.ea import EAConfig, ea_program
+from repro.core.fsm import FSMError
+from repro.core.jsr import jsr_program
+from repro.core.reconfigurable import (
+    NORMAL,
+    ReconfigurableFSM,
+    ReconfiguratorEntry,
+    SelfReconfigurableFSM,
+    Trigger,
+)
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    ones_detector,
+    table1_target,
+)
+
+
+def table1_rows():
+    """The four reconfiguration states r1..r4 of the paper's Table 1."""
+    return {
+        "r1": ReconfiguratorEntry(hi="1", hf="S1", hg="0"),
+        "r2": ReconfiguratorEntry(hi="1", hf="S1", hg="0"),
+        "r3": ReconfiguratorEntry(hi="0", hf="S0", hg="0"),
+        "r4": ReconfiguratorEntry(hi="0", hf="S0", hg="1"),
+    }
+
+
+class TestReconfigurableFSM:
+    def test_normal_mode_matches_base_machine(self, detector):
+        machine = ReconfigurableFSM(detector)
+        word = list("110110")
+        outputs = [machine.step(i) for i in word]
+        assert outputs == detector.run(word)
+
+    def test_h_i_identity_in_normal_mode(self, detector):
+        machine = ReconfigurableFSM(detector, table1_rows())
+        assert machine.h_i("1", NORMAL) == "1"
+        assert machine.h_i("0", "r1") == "1"  # forced during reconfiguration
+
+    def test_h_f_h_g_accessors(self, detector):
+        machine = ReconfigurableFSM(detector, table1_rows())
+        assert machine.h_f("r4") == "S0"
+        assert machine.h_g("r4") == "1"
+
+    def test_reconf_states_include_normal(self, detector):
+        machine = ReconfigurableFSM(detector, table1_rows())
+        assert set(machine.reconf_states) == {NORMAL, "r1", "r2", "r3", "r4"}
+
+    def test_normal_name_cannot_carry_entry(self, detector):
+        with pytest.raises(FSMError):
+            ReconfigurableFSM(
+                detector, {NORMAL: ReconfiguratorEntry(hi="0", hf="S0", hg="0")}
+            )
+
+    def test_table1_sequence_reproduces_paper(self, detector):
+        """Replaying r1..r4 from S0 yields exactly the paper's target."""
+        machine = ReconfigurableFSM(detector, table1_rows())
+        assert machine.state == "S0"
+        for r in ("r1", "r2", "r3", "r4"):
+            machine.step("0", r)  # external input is ignored
+        assert machine.realises(table1_target())
+        assert machine.writes == 4
+        # the walk visited S0 -> S1 -> S1 -> S0 -> S0
+        assert machine.state == "S0"
+
+    def test_table1_outputs_during_reconfiguration(self, detector):
+        machine = ReconfigurableFSM(detector, table1_rows())
+        outputs = [machine.step("1", r) for r in ("r1", "r2", "r3", "r4")]
+        assert outputs == ["0", "0", "0", "1"]  # the Hg column of Table 1
+
+    def test_normal_operation_resumes_after_reconfiguration(self, detector):
+        machine = ReconfigurableFSM(detector, table1_rows())
+        for r in ("r1", "r2", "r3", "r4"):
+            machine.step("0", r)
+        word = list("0011")
+        assert [machine.step(i) for i in word] == table1_target().run(word)
+
+    def test_write_rewrites_f_and_g(self, detector):
+        machine = ReconfigurableFSM(detector, table1_rows())
+        machine.step("0", "r1")
+        assert machine.f("1", "S0") == "S1"
+        machine.step("0", "r2")
+        assert machine.g("1", "S1") == "0"  # was "1" in the base machine
+
+    def test_unconfigured_read_raises_in_normal_mode(self, detector):
+        machine = ReconfigurableFSM(detector, extra_states=["S9"])
+        machine.state = "S9"
+        with pytest.raises(FSMError, match="unconfigured"):
+            machine.step("0")
+
+    def test_reset_forces_reset_state(self, detector):
+        machine = ReconfigurableFSM(detector)
+        machine.step("1")
+        assert machine.state == "S1"
+        machine.reset()
+        assert machine.state == "S0"
+
+    def test_retarget_reset_validates_state(self, detector):
+        machine = ReconfigurableFSM(detector, extra_states=["S9"])
+        machine.retarget_reset("S9")
+        assert machine.reset_state == "S9"
+        with pytest.raises(FSMError):
+            machine.retarget_reset("nope")
+
+    def test_non_writing_row_must_match_table(self, detector):
+        machine = ReconfigurableFSM(detector)
+        machine.define("t1", ReconfiguratorEntry(hi="1", hf="S1", hg="0", write=False))
+        machine.step("0", "t1")  # traversal of the existing (1,S0) entry
+        machine.define("t2", ReconfiguratorEntry(hi="1", hf="S0", hg="0", write=False))
+        with pytest.raises(FSMError, match="disagrees"):
+            machine.step("0", "t2")
+
+    def test_snapshot_recovers_base_machine(self, detector):
+        machine = ReconfigurableFSM(detector)
+        snap = machine.snapshot()
+        assert snap.behaviourally_equivalent(detector)
+
+    def test_snapshot_after_migration(self, detector):
+        machine = ReconfigurableFSM(detector, table1_rows())
+        for r in ("r1", "r2", "r3", "r4"):
+            machine.step("0", r)
+        assert machine.snapshot().behaviourally_equivalent(table1_target())
+
+
+class TestFromProgram:
+    def test_schedule_replays_jsr_program(self, fig6_pair):
+        m, mp = fig6_pair
+        program = jsr_program(m, mp)
+        machine, schedule = ReconfigurableFSM.from_program(program)
+        assert len(schedule) == len(program)
+        machine.run_schedule(schedule, retarget=mp.reset_state)
+        assert machine.realises(mp)
+        assert machine.state == mp.reset_state
+
+    def test_schedule_replays_ea_program(self, fig6_pair, fast_ea):
+        m, mp = fig6_pair
+        program = ea_program(m, mp, config=fast_ea)
+        machine, schedule = ReconfigurableFSM.from_program(program)
+        machine.run_schedule(schedule, retarget=mp.reset_state)
+        assert machine.realises(mp)
+
+    def test_reconf_state_names(self, fig6_pair):
+        m, mp = fig6_pair
+        program = jsr_program(m, mp)
+        machine, schedule = ReconfigurableFSM.from_program(program)
+        assert schedule[0] == "r1"
+        assert schedule[-1] == f"r{len(program)}"
+        assert machine.normal == NORMAL
+
+
+class TestSelfReconfigurableFSM:
+    def _machine(self, fast_ea):
+        program = ea_program(ones_detector(), table1_target(), config=fast_ea)
+        trigger = Trigger(
+            predicate=lambda state, i: state == "S1" and i == "0",
+            program=program,
+            name="on-zero-after-ones",
+        )
+        return SelfReconfigurableFSM(ones_detector(), [trigger]), program
+
+    def test_trigger_fires_and_migrates(self, fast_ea):
+        machine, program = self._machine(fast_ea)
+        outputs = machine.run(list("11") + ["0"] * (len(program) + 2))
+        assert machine.machine.realises(table1_target())
+        assert any(flag for _o, flag in outputs)
+
+    def test_trigger_fires_once(self, fast_ea):
+        machine, program = self._machine(fast_ea)
+        machine.run(list("110") + ["0"] * (len(program) + 5) + list("110"))
+        assert machine.triggers[0].fired == 1
+
+    def test_reconfiguring_flag_during_replay(self, fast_ea):
+        machine, program = self._machine(fast_ea)
+        machine.run(list("11"))
+        assert not machine.reconfiguring
+        machine.clock("0")  # trigger fires: first replay cycle runs
+        if len(program) > 1:
+            assert machine.reconfiguring
+
+    def test_log_records_trigger(self, fast_ea):
+        machine, _ = self._machine(fast_ea)
+        machine.run(list("110000000000000000"))
+        assert any("on-zero-after-ones" in line for line in machine.log)
+
+    def test_add_trigger(self, fast_ea):
+        machine, program = self._machine(fast_ea)
+        machine.add_trigger(
+            Trigger(lambda s, i: False, program, name="never-fires")
+        )
+        machine.run(list("10"))
+        assert machine.triggers[1].fired == 0
+
+    def test_normal_behaviour_before_trigger(self, fast_ea):
+        machine, _ = self._machine(fast_ea)
+        word = list("111")  # never reaches the (S1, '0') trigger condition
+        got = [o for o, _f in machine.run(word)]
+        assert got == ones_detector().run(word)
+        assert not machine.reconfiguring

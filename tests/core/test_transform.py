@@ -1,0 +1,132 @@
+"""Unit tests for machine transformations (Mealy/Moore, composition)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fsm import FSM, FSMError, MooreFSM
+from repro.core.transform import (
+    cascade_compose,
+    mealy_to_moore,
+    moore_to_mealy,
+    parallel_compose,
+    relabel_outputs,
+)
+from repro.workloads.library import (
+    ones_detector,
+    parity_checker,
+    sequence_detector,
+    traffic_light,
+    zeros_detector,
+)
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestMealyToMoore:
+    def test_preserves_behaviour(self, detector):
+        moore = mealy_to_moore(detector)
+        for word in (list("110111"), list("000"), []):
+            assert moore.run(word) == detector.run(word)
+
+    def test_result_is_moore(self, detector):
+        assert mealy_to_moore(detector).is_moore()
+
+    def test_state_splitting_bounds(self, detector):
+        moore = mealy_to_moore(detector)
+        assert len(moore.states) <= len(detector.states) * len(
+            detector.outputs
+        ) + 1
+
+    def test_initial_output_choice(self, detector):
+        moore = mealy_to_moore(detector, initial_output="1")
+        assert moore.state_output(moore.reset_state) == "1"
+
+    def test_initial_output_validated(self, detector):
+        with pytest.raises(FSMError):
+            mealy_to_moore(detector, initial_output="x")
+
+    def test_roundtrip_behaviour(self, detector):
+        roundtrip = moore_to_mealy(mealy_to_moore(detector))
+        word = list("1011011")
+        assert roundtrip.run(word) == detector.run(word)
+
+    def test_moore_input_stays_moore_sized(self):
+        moore = traffic_light()
+        again = mealy_to_moore(
+            moore.to_mealy(), initial_output=moore.state_output("RED")
+        )
+        # converting an (edge-sampled) Moore machine adds no states
+        assert len(again.states) <= len(moore.states) + 1
+
+
+class TestParallelCompose:
+    def test_outputs_paired(self, detector):
+        both = parallel_compose(detector, parity_checker())
+        outs = both.run(list("110"))
+        assert outs == [
+            ("0", "1"),
+            ("1", "0"),
+            ("0", "0"),
+        ]
+
+    def test_state_space_is_product(self, detector):
+        both = parallel_compose(detector, parity_checker())
+        assert len(both.states) == 4
+
+    def test_requires_same_inputs(self, detector):
+        with pytest.raises(FSMError):
+            parallel_compose(detector, traffic_light().to_mealy())
+
+    def test_component_projection(self, detector):
+        second = parity_checker()
+        both = parallel_compose(detector, second)
+        word = list("101101")
+        lefts = [o[0] for o in both.run(word)]
+        rights = [o[1] for o in both.run(word)]
+        assert lefts == detector.run(word)
+        assert rights == second.run(word)
+
+
+class TestCascadeCompose:
+    def test_series_semantics(self, detector):
+        chain = cascade_compose(detector, parity_checker())
+        word = list("110111")
+        inner = detector.run(word)
+        assert chain.run(word) == parity_checker().run(inner)
+
+    def test_requires_alphabet_match(self):
+        with pytest.raises(FSMError):
+            cascade_compose(traffic_light().to_mealy(), parity_checker())
+
+    def test_double_detector(self):
+        # detector >> detector: ones-runs of the match indicator
+        chain = cascade_compose(ones_detector(), ones_detector())
+        word = list("111100")
+        assert chain.run(word) == ones_detector().run(
+            ones_detector().run(word)
+        )
+
+
+class TestRelabelOutputs:
+    def test_inversion(self, detector, mirror):
+        inverted = relabel_outputs(
+            detector, lambda o: "1" if o == "0" else "0"
+        )
+        word = list("11011")
+        assert inverted.run(word) == [
+            "1" if o == "0" else "0" for o in detector.run(word)
+        ]
+
+    def test_merging_outputs(self, detector):
+        merged = relabel_outputs(detector, lambda _o: "x")
+        assert merged.outputs == ("x",)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 7), st.integers(0, 2000),
+       st.lists(st.integers(0, 3), max_size=20))
+def test_property_moore_conversion_exact(n_states, seed, raw_word):
+    machine = random_fsm(n_states=n_states, n_outputs=3, seed=seed)
+    moore = mealy_to_moore(machine)
+    word = [machine.inputs[v % len(machine.inputs)] for v in raw_word]
+    assert moore.run(word) == machine.run(word)
+    assert moore.is_moore()

@@ -1,0 +1,299 @@
+"""Unit tests for W-method conformance testing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fsm import FSM
+from repro.core.jsr import jsr_program
+from repro.core.verify import (
+    access_sequences,
+    characterization_set,
+    distinguishing_word,
+    run_suite,
+    transition_cover,
+    verify_hardware,
+    w_method_suite,
+)
+from repro.hw.machine import HardwareFSM
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    ones_detector,
+    parity_checker,
+    sequence_detector,
+    zeros_detector,
+)
+from repro.workloads.mutate import mutate_target, workload_pair
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestAccessSequences:
+    def test_reset_state_is_empty_word(self, detector):
+        assert access_sequences(detector)["S0"] == []
+
+    def test_covers_reachable_states(self):
+        machine = random_fsm(n_states=10, seed=4)
+        access = access_sequences(machine)
+        assert set(access) == set(machine.reachable_states())
+
+    def test_words_actually_reach(self):
+        machine = random_fsm(n_states=9, n_inputs=3, seed=5)
+        for state, word in access_sequences(machine).items():
+            trace = machine.trace(word)
+            final = trace[-1].target if trace else machine.reset_state
+            assert final == state
+
+    def test_words_are_shortest(self, fig6_pair):
+        m, _ = fig6_pair
+        access = access_sequences(m)
+        assert len(access["S2"]) == 2  # S0 -1-> S1 -1-> S2
+
+
+class TestDistinguishingWord:
+    def test_same_state_none(self, detector):
+        assert distinguishing_word(detector, "S0", "S0") is None
+
+    def test_immediate_distinction(self, detector):
+        word = distinguishing_word(detector, "S0", "S1")
+        assert word == ["1"]
+
+    def test_deep_distinction(self):
+        machine = FSM(
+            ["a"],
+            ["0", "1"],
+            ["A", "B", "C"],
+            "A",
+            [
+                ("a", "A", "B", "0"),
+                ("a", "B", "C", "0"),
+                ("a", "C", "C", "1"),
+            ],
+        )
+        assert distinguishing_word(machine, "A", "B") == ["a", "a"]
+
+    def test_equivalent_states_none(self):
+        machine = FSM(
+            ["a"],
+            ["x"],
+            ["A", "B"],
+            "A",
+            [("a", "A", "B", "x"), ("a", "B", "A", "x")],
+        )
+        assert distinguishing_word(machine, "A", "B") is None
+
+    def test_word_separates_outputs(self, fig6_pair):
+        m, _ = fig6_pair
+        for a in m.states:
+            for b in m.states:
+                word = distinguishing_word(m, a, b)
+                if word is not None:
+                    assert m.run(word, start=a) != m.run(word, start=b)
+
+
+class TestCharacterizationSet:
+    def test_separates_all_pairs(self):
+        for machine in (ones_detector(), fig6_m(), parity_checker()):
+            wset = characterization_set(machine)
+            for idx, a in enumerate(machine.states):
+                for b in machine.states[idx + 1 :]:
+                    signatures = [
+                        (tuple(machine.run(w, start=a)),
+                         tuple(machine.run(w, start=b)))
+                        for w in wset
+                    ]
+                    assert any(sa != sb for sa, sb in signatures)
+
+    def test_nonempty_even_for_single_state(self):
+        machine = FSM(["a"], ["x"], ["A"], "A", [("a", "A", "A", "x")])
+        assert characterization_set(machine)
+
+
+class TestTransitionCover:
+    def test_contains_empty_word(self, detector):
+        assert [] in transition_cover(detector)
+
+    def test_covers_every_edge(self):
+        machine = random_fsm(n_states=6, seed=8)
+        cover = transition_cover(machine)
+        covered = set()
+        for word in cover:
+            if not word:
+                continue
+            trace = machine.trace(word)
+            covered.add((trace[-1].input, trace[-1].source))
+        assert covered == {
+            (i, s) for i in machine.inputs for s in machine.reachable_states()
+        }
+
+
+class TestWMethodSuite:
+    def test_passes_on_equivalent_implementation(self, detector):
+        suite = w_method_suite(detector)
+        renamed = detector.renamed({"S0": "X", "S1": "Y"})
+
+        class Sim:
+            def __init__(self, machine):
+                self.machine = machine
+                self.state = machine.reset_state
+
+            def reset(self):
+                self.state = self.machine.reset_state
+
+            def step(self, i):
+                self.state, out = self.machine.step(i, self.state)
+                return out
+
+        assert run_suite(Sim(renamed), detector, suite).passed
+
+    def test_fails_on_wrong_machine(self, detector, mirror):
+        suite = w_method_suite(detector)
+
+        class Sim:
+            def __init__(self, machine):
+                self.machine = machine
+                self.state = machine.reset_state
+
+            def reset(self):
+                self.state = self.machine.reset_state
+
+            def step(self, i):
+                self.state, out = self.machine.step(i, self.state)
+                return out
+
+        result = run_suite(Sim(mirror), detector, suite)
+        assert not result.passed
+        assert result.failures
+
+    def test_prefix_pruning(self, detector):
+        suite = w_method_suite(detector)
+        tuples = [tuple(w) for w in suite]
+        for word in tuples:
+            assert not any(
+                other != word and other[: len(word)] == word
+                for other in tuples
+            )
+
+    def test_extra_states_grow_suite(self, fig6_pair):
+        m, _ = fig6_pair
+        base = sum(len(w) for w in w_method_suite(m))
+        extended = sum(len(w) for w in w_method_suite(m, extra_states=1))
+        assert extended > base
+
+
+class TestVerifyHardware:
+    def test_certifies_correct_migration(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        hw.run_program(jsr_program(m, mp))
+        result = verify_hardware(hw, mp)
+        assert result.passed
+        assert result.words_run > 0
+
+    def test_rejects_unmigrated_hardware(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        hw.retarget_reset(mp.reset_state)
+        # Suite words may hit unconfigured rows (S3 never written) —
+        # both a failure report and an UninitialisedRead count as
+        # detection; wrap the adapter expectation accordingly.
+        from repro.hw.memory import UninitialisedRead
+
+        try:
+            result = verify_hardware(hw, mp)
+            detected = not result.passed
+        except UninitialisedRead:
+            detected = True
+        assert detected
+
+    def test_catches_single_output_mutation(self):
+        source = sequence_detector("101")
+        target = mutate_target(source, 1, seed=3, outputs_only=True)
+        hw = HardwareFSM.for_migration(source, target)
+        hw.run_program(jsr_program(source, target))
+        assert verify_hardware(hw, target).passed
+        assert not verify_hardware(hw, source).passed
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2000), st.integers(1, 6))
+def test_property_wmethod_detects_any_mutation(seed, n_deltas):
+    """The suite distinguishes a machine from any mutated variant."""
+    machine = random_fsm(n_states=5, n_inputs=2, n_outputs=2, seed=seed)
+    capacity = len(machine.inputs) * len(machine.states)
+    mutant = mutate_target(machine, min(n_deltas, capacity), seed=seed + 1)
+
+    class Sim:
+        def __init__(self, target):
+            self.machine = target
+            self.state = target.reset_state
+
+        def reset(self):
+            self.state = self.machine.reset_state
+
+        def step(self, i):
+            self.state, out = self.machine.step(i, self.state)
+            return out
+
+    # The W-method guarantee needs the implementation's state count to be
+    # bounded by |minimal reference| + extra_states; the mutant has the
+    # full original state count.
+    from repro.core.minimize import minimize
+
+    extra = len(machine.states) - len(minimize(machine).states)
+    suite = w_method_suite(machine, extra_states=extra)
+    result = run_suite(Sim(mutant), machine, suite)
+    # Equivalent mutants (mutations in unreachable/equivalent structure)
+    # legitimately pass; otherwise the suite must catch the difference.
+    assert result.passed == machine.behaviourally_equivalent(mutant)
+
+
+class TestFindCounterexample:
+    def test_equivalent_machines_none(self, detector):
+        from repro.core.verify import find_counterexample
+
+        assert find_counterexample(detector, detector) is None
+        renamed = detector.renamed({"S0": "A", "S1": "B"})
+        assert find_counterexample(detector, renamed) is None
+
+    def test_word_distinguishes(self, detector, mirror):
+        from repro.core.verify import find_counterexample
+
+        word = find_counterexample(detector, mirror)
+        assert word is not None
+        assert detector.run(word) != mirror.run(word)
+        # the mirrored detectors agree on every single symbol (both emit
+        # 0) and first diverge on a repeated symbol
+        assert len(word) == 2
+
+    def test_deep_counterexample(self):
+        from repro.core.fsm import FSM
+        from repro.core.verify import find_counterexample
+
+        a = FSM(["x"], ["0", "1"], ["A", "B", "C"], "A",
+                [("x", "A", "B", "0"), ("x", "B", "C", "0"),
+                 ("x", "C", "C", "0")])
+        b = FSM(["x"], ["0", "1"], ["A", "B", "C"], "A",
+                [("x", "A", "B", "0"), ("x", "B", "C", "0"),
+                 ("x", "C", "C", "1")])
+        word = find_counterexample(a, b)
+        assert word == ["x", "x", "x"]
+
+    def test_requires_shared_inputs(self, detector):
+        from repro.core.fsm import FSM
+        from repro.core.verify import find_counterexample
+        import pytest
+
+        other = FSM(["z"], ["0"], ["A"], "A", [("z", "A", "A", "0")])
+        with pytest.raises(ValueError):
+            find_counterexample(detector, other)
+
+    def test_agrees_with_behavioural_equivalence(self):
+        from repro.core.verify import find_counterexample
+        from repro.workloads.mutate import mutate_target
+        from repro.workloads.random_fsm import random_fsm
+
+        for seed in range(6):
+            a = random_fsm(n_states=6, seed=seed)
+            b = mutate_target(a, 2, seed=seed + 1)
+            word = find_counterexample(a, b)
+            assert (word is None) == a.behaviourally_equivalent(b)

@@ -1,0 +1,121 @@
+"""Unit tests for the configuration-bitstream model."""
+
+import pytest
+
+from repro.core.jsr import jsr_program
+from repro.hw.bitstream import (
+    Bitstream,
+    DownloadPort,
+    context_swap,
+    frame_diff,
+    snapshot,
+    target_bitstream,
+)
+from repro.hw.machine import HardwareFSM
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    ones_detector,
+    table1_target,
+)
+
+
+class TestSnapshot:
+    def test_geometry(self, detector):
+        hw = HardwareFSM(detector)
+        image = snapshot(hw, frame_bytes=4)
+        # F-RAM 4 words + G-RAM 4 words = 8 bytes = 2 frames of 4.
+        assert len(image) == 2
+        assert image.frame_bytes == 4
+        assert image.total_bits == 2 * 4 * 8
+
+    def test_deterministic(self, detector):
+        hw = HardwareFSM(detector)
+        assert snapshot(hw) == snapshot(hw)
+
+    def test_padding(self, detector):
+        hw = HardwareFSM(detector)
+        image = snapshot(hw, frame_bytes=3)
+        assert len(image) == 3  # ceil(8 / 3)
+
+    def test_rejects_bad_frame_size(self, detector):
+        with pytest.raises(ValueError):
+            snapshot(HardwareFSM(detector), frame_bytes=0)
+
+    def test_captures_table_changes(self, detector):
+        hw = HardwareFSM(detector)
+        before = snapshot(hw)
+        hw.run_program(jsr_program(detector, table1_target()))
+        after = snapshot(hw)
+        assert before != after
+
+
+class TestFrameDiff:
+    def test_identical_images(self, detector):
+        hw = HardwareFSM(detector)
+        assert frame_diff(snapshot(hw), snapshot(hw)) == []
+
+    def test_localised_changes(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        before = snapshot(hw, frame_bytes=2)
+        after = target_bitstream(hw, mp, frame_bytes=2)
+        changed = frame_diff(before, after)
+        assert 0 < len(changed) <= len(after)
+
+    def test_geometry_mismatch(self, detector):
+        hw = HardwareFSM(detector)
+        with pytest.raises(ValueError):
+            frame_diff(snapshot(hw, frame_bytes=2), snapshot(hw, frame_bytes=4))
+
+
+class TestDownloadPort:
+    def test_cycles_scale_with_frames(self):
+        port = DownloadPort(bus_bits=8, overhead_bytes=3)
+        one = port.cycles_for_frames(1, 4)
+        ten = port.cycles_for_frames(10, 4)
+        assert ten == 10 * one
+
+    def test_overhead_charged_per_frame(self):
+        cheap = DownloadPort(overhead_bytes=0)
+        costly = DownloadPort(overhead_bytes=8)
+        assert costly.cycles_for_frames(5, 4) > cheap.cycles_for_frames(5, 4)
+
+    def test_seconds(self):
+        port = DownloadPort(bus_bits=8, clock_hz=1e6, overhead_bytes=0)
+        assert port.seconds_for_frames(1, 1) == pytest.approx(1e-6)
+
+
+class TestContextSwap:
+    def test_swap_realises_target(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        report = context_swap(hw, mp)
+        assert hw.realises(mp)
+        assert hw.state == mp.reset_state
+        assert report.state_lost
+
+    def test_partial_writes_fewer_frames(self, fig6_pair):
+        m, mp = fig6_pair
+        hw1 = HardwareFSM.for_migration(m, mp)
+        partial = context_swap(hw1, mp, partial=True, frame_bytes=1)
+        hw2 = HardwareFSM.for_migration(m, mp)
+        full = context_swap(hw2, mp, partial=False, frame_bytes=1)
+        assert partial.frames_written < full.frames_written
+        assert partial.download_cycles < full.download_cycles
+
+    def test_swap_vs_gradual_cycles(self, fig6_pair):
+        """The mechanism-level version of the paper's Sec. 1 argument."""
+        m, mp = fig6_pair
+        program = jsr_program(m, mp)
+        hw = HardwareFSM.for_migration(m, mp)
+        report = context_swap(hw, mp, partial=False, frame_bytes=1)
+        # Even on this tiny machine, a full-image download costs more
+        # port cycles than the JSR program costs machine cycles.
+        assert report.download_cycles > len(program)
+
+    def test_swap_report_counts(self, detector):
+        hw = HardwareFSM(detector)
+        report = context_swap(hw, table1_target(), frame_bytes=1)
+        assert report.frames_total == 8
+        assert 0 < report.frames_written <= 8

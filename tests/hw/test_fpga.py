@@ -1,0 +1,149 @@
+"""Unit tests for the FPGA resource/timing model (repro.hw.fpga)."""
+
+import pytest
+
+from repro.core.jsr import jsr_program
+from repro.hw.fpga import (
+    XCV300,
+    FPGADevice,
+    ReconfigurationCostModel,
+    estimate_resources,
+)
+from repro.workloads.library import fig6_m, fig6_m_prime, ones_detector
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestDevice:
+    def test_xcv300_constants(self):
+        assert XCV300.block_rams == 16
+        assert XCV300.total_bram_bits == 16 * 4096
+
+    def test_full_swap_milliseconds(self):
+        # The paper: "reconfiguration times in the order of milliseconds".
+        t = XCV300.full_swap_seconds()
+        assert 1e-3 < t < 10e-3
+
+    def test_partial_swap_scales(self):
+        full = XCV300.full_swap_seconds()
+        half = XCV300.partial_swap_seconds(0.5)
+        assert 0 < half <= full
+        assert XCV300.partial_swap_seconds(1.0) == pytest.approx(full)
+
+    def test_partial_swap_frame_quantised(self):
+        tiny = XCV300.partial_swap_seconds(1e-9)
+        assert tiny == pytest.approx(full_frame := XCV300.full_swap_seconds()
+                                     / XCV300.frames)
+        assert full_frame > 0
+
+    def test_partial_swap_validates_fraction(self):
+        with pytest.raises(ValueError):
+            XCV300.partial_swap_seconds(0)
+        with pytest.raises(ValueError):
+            XCV300.partial_swap_seconds(1.5)
+
+
+class TestResourceEstimate:
+    def test_small_machine_fits_xcv300(self, detector):
+        estimate = estimate_resources(detector)
+        assert estimate.fits(XCV300)
+        assert estimate.block_rams == 2  # one each for F-RAM and G-RAM
+
+    def test_ram_bits_geometry(self, detector):
+        # 1 input bit + 1 state bit -> 4 words; F data 1 bit, G data 1 bit.
+        estimate = estimate_resources(detector)
+        assert estimate.f_ram_bits == 4
+        assert estimate.g_ram_bits == 4
+        assert estimate.total_ram_bits == 8
+
+    def test_superset_headroom_grows_rams(self, detector):
+        base = estimate_resources(detector)
+        grown = estimate_resources(detector, extra_states=6)
+        assert grown.f_ram_bits > base.f_ram_bits
+
+    def test_rom_cycles_grow_reconfigurator(self, fig6_pair):
+        m, mp = fig6_pair
+        short = estimate_resources(mp, rom_cycles=5)
+        long = estimate_resources(mp, rom_cycles=500)
+        assert long.reconfigurator_luts > short.reconfigurator_luts
+
+    def test_huge_machine_does_not_fit(self):
+        machine = random_fsm(n_states=16, n_inputs=8, seed=0)
+        # 3 input bits + 4 state bits = 128 words is fine; blow it up via
+        # headroom until the BRAM budget is exceeded.
+        estimate = estimate_resources(machine, extra_states=2**14)
+        assert not estimate.fits(XCV300)
+
+
+class TestLutEstimate:
+    def test_small_machine_few_luts(self, detector):
+        from repro.hw.fpga import estimate_lut_implementation
+
+        lut = estimate_lut_implementation(detector)
+        assert lut.luts >= 2  # one per next-state/output bit minimum
+        assert lut.flip_flops == 1
+        assert lut.fits(XCV300)
+
+    def test_grows_with_machine_size(self):
+        from repro.hw.fpga import estimate_lut_implementation
+
+        small = estimate_lut_implementation(random_fsm(n_states=4, seed=0))
+        large = estimate_lut_implementation(
+            random_fsm(n_states=64, n_inputs=8, seed=0)
+        )
+        assert large.luts > small.luts
+
+    def test_validates_lut_inputs(self, detector):
+        from repro.hw.fpga import estimate_lut_implementation
+
+        with pytest.raises(ValueError):
+            estimate_lut_implementation(detector, lut_inputs=1)
+
+
+class TestCostModel:
+    def test_gradual_is_microseconds(self, fig6_pair):
+        m, mp = fig6_pair
+        model = ReconfigurationCostModel()
+        t = model.gradual_seconds(jsr_program(m, mp))
+        assert t < 1e-6  # 15 cycles at 50 MHz = 300 ns
+
+    def test_accepts_plain_cycle_counts(self):
+        model = ReconfigurationCostModel()
+        assert model.gradual_seconds(50) == pytest.approx(1e-6)
+
+    def test_speedup_orders_of_magnitude(self, fig6_pair):
+        m, mp = fig6_pair
+        model = ReconfigurationCostModel()
+        assert model.speedup_vs_full_swap(jsr_program(m, mp)) > 1000
+
+    def test_partial_swap_still_slower(self, fig6_pair):
+        m, mp = fig6_pair
+        model = ReconfigurationCostModel()
+        program = jsr_program(m, mp)
+        assert model.speedup_vs_partial_swap(program) > 1
+
+    def test_crossover_point_full(self):
+        model = ReconfigurationCostModel()
+        cycles = model.crossover_cycles_full()
+        # Gradual reconfiguration wins until |Z| exceeds ~10^5 cycles.
+        assert cycles > 10_000
+
+    def test_crossover_partial_below_full(self, fig6_pair):
+        _, mp = fig6_pair
+        model = ReconfigurationCostModel()
+        assert (
+            model.crossover_cycles_partial(mp) <= model.crossover_cycles_full()
+        )
+
+    def test_custom_device(self):
+        device = FPGADevice(
+            name="tiny",
+            luts=100,
+            flip_flops=100,
+            block_rams=2,
+            block_ram_bits=1024,
+            bitstream_bits=10_000,
+        )
+        model = ReconfigurationCostModel(device=device, clock_hz=1e6)
+        assert model.full_swap_seconds() == pytest.approx(
+            10_000 / (8 * 50e6)
+        )

@@ -1,0 +1,107 @@
+"""Property-based tests: the hardware simulation agrees with the models.
+
+The central cross-layer invariants:
+
+* the Fig. 5 datapath, clocked in normal mode, produces exactly the
+  output word of the symbolic FSM simulation (any machine, any word);
+* replaying any heuristic's program on the datapath leaves the RAMs
+  realising the target machine, cycle-for-cycle equal to the symbolic
+  replay;
+* the model-level ReconfigurableFSM and the bit-level HardwareFSM agree
+  on every cycle of a reconfiguration schedule.
+"""
+
+import random as _random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decode import decode_order
+from repro.core.delta import delta_transitions
+from repro.core.jsr import jsr_program
+from repro.core.reconfigurable import ReconfigurableFSM
+from repro.hw.machine import HardwareFSM
+from repro.workloads.mutate import grow_target, mutate_target
+from repro.workloads.random_fsm import random_fsm
+
+
+@st.composite
+def machines(draw):
+    return random_fsm(
+        n_states=draw(st.integers(2, 10)),
+        n_inputs=draw(st.integers(1, 3)),
+        n_outputs=draw(st.integers(2, 4)),
+        seed=draw(st.integers(0, 5_000)),
+    )
+
+
+@st.composite
+def migrations(draw):
+    source = draw(machines())
+    capacity = len(source.inputs) * len(source.states)
+    target = mutate_target(
+        source,
+        draw(st.integers(0, min(8, capacity))),
+        seed=draw(st.integers(0, 5_000)),
+    )
+    if draw(st.booleans()):
+        target = grow_target(target, 1, seed=draw(st.integers(0, 5_000)))
+    return source, target
+
+
+@settings(max_examples=40, deadline=None)
+@given(machines(), st.lists(st.integers(0, 100), max_size=40))
+def test_datapath_equals_symbolic_simulation(machine, raw_word):
+    word = [machine.inputs[v % len(machine.inputs)] for v in raw_word]
+    hw = HardwareFSM(machine)
+    assert hw.run(word) == machine.run(word)
+    assert hw.state == machine.trace(word)[-1].target if word else True
+
+
+@settings(max_examples=30, deadline=None)
+@given(migrations())
+def test_jsr_replay_on_hardware_realises_target(pair):
+    source, target = pair
+    hw = HardwareFSM.for_migration(source, target)
+    hw.run_program(jsr_program(source, target))
+    assert hw.realises(target)
+    assert hw.state == target.reset_state
+
+
+@settings(max_examples=25, deadline=None)
+@given(migrations(), st.integers(0, 10_000))
+def test_decoded_replay_on_hardware(pair, shuffle_seed):
+    source, target = pair
+    deltas = delta_transitions(source, target)
+    rng = _random.Random(shuffle_seed)
+    rng.shuffle(deltas)
+    program = decode_order(source, target, deltas)
+    hw = HardwareFSM.for_migration(source, target)
+    hw.run_program(program)
+    assert hw.realises(target)
+
+
+@settings(max_examples=25, deadline=None)
+@given(migrations())
+def test_model_and_hardware_agree_cycle_by_cycle(pair):
+    source, target = pair
+    program = jsr_program(source, target)
+    model, schedule = ReconfigurableFSM.from_program(program)
+    model.retarget_reset(target.reset_state)
+    hw = HardwareFSM.for_migration(source, target)
+    hw.retarget_reset(target.reset_state)
+    rows = program.to_sequence()
+    for name, row in zip(schedule, rows):
+        model.step(source.inputs[0], name)
+        hw.apply_row(row)
+        assert model.state == hw.state
+    assert model.realises(target) and hw.realises(target)
+
+
+@settings(max_examples=30, deadline=None)
+@given(migrations(), st.lists(st.integers(0, 100), max_size=25))
+def test_post_migration_behaviour_matches_target(pair, raw_word):
+    source, target = pair
+    hw = HardwareFSM.for_migration(source, target)
+    hw.run_program(jsr_program(source, target))
+    word = [target.inputs[v % len(target.inputs)] for v in raw_word]
+    assert hw.run(word) == target.run(word)

@@ -1,0 +1,159 @@
+"""Unit tests for the cycle-accurate Fig. 5 datapath (repro.hw.machine)."""
+
+import pytest
+
+from repro.core.jsr import jsr_program
+from repro.hw.machine import HardwareFSM, ReconCommand
+from repro.hw.memory import UninitialisedRead
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    ones_detector,
+    table1_target,
+)
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestConstruction:
+    def test_download_realises_machine(self, detector):
+        hw = HardwareFSM(detector)
+        assert hw.realises(detector)
+        assert hw.state == detector.reset_state
+
+    def test_for_migration_sizes_superset(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        # 4 superset states need 2 bits; 2 inputs need 1 bit.
+        assert hw.state_enc.width == 2
+        assert hw.f_ram.address_width == 3
+
+    def test_unconfigured_superset_rows(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        assert hw.table_entry("0", "S3") is None
+
+
+class TestNormalOperation:
+    def test_matches_symbolic_simulation(self, detector):
+        hw = HardwareFSM(detector)
+        word = list("1101101")
+        assert hw.run(word) == detector.run(word)
+
+    def test_long_random_agreement(self):
+        machine = random_fsm(n_states=9, n_inputs=3, seed=21)
+        hw = HardwareFSM(machine)
+        import random
+
+        rng = random.Random(0)
+        word = [rng.choice(machine.inputs) for _ in range(200)]
+        assert hw.run(word) == machine.run(word)
+
+    def test_reset_cycle(self, detector):
+        hw = HardwareFSM(detector)
+        hw.step("1")
+        assert hw.state == "S1"
+        hw.cycle(reset=True)
+        assert hw.state == "S0"
+
+    def test_reset_wins_over_input(self, detector):
+        hw = HardwareFSM(detector)
+        hw.step("1")
+        hw.cycle(i="1", reset=True)  # RST-MUX overrides F-RAM
+        assert hw.state == "S0"
+
+    def test_cycle_requires_some_drive(self, detector):
+        hw = HardwareFSM(detector)
+        with pytest.raises(ValueError, match="needs an input"):
+            hw.cycle()
+
+    def test_recon_excludes_external_input(self, detector):
+        hw = HardwareFSM(detector)
+        with pytest.raises(ValueError, match="ignored"):
+            hw.cycle(i="1", recon=ReconCommand("1", "S1", "0"))
+
+    def test_unconfigured_read_raises(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        hw.cycle(recon=ReconCommand("1", "S3", "0"))  # jump into S3
+        with pytest.raises(UninitialisedRead):
+            hw.step("0")
+
+
+class TestReconfigurationMode:
+    def test_write_takes_new_transition_same_cycle(self, detector):
+        hw = HardwareFSM(detector)
+        out = hw.cycle(recon=ReconCommand(ir="1", hf="S1", hg="1"))
+        # Write-first semantics: output and next state come from the new
+        # entry even though the RAM commits on the same edge.
+        assert out == "1"
+        assert hw.state == "S1"
+        assert hw.table_entry("1", "S0") == ("S1", "1")
+
+    def test_non_writing_recon_traverses(self, detector):
+        hw = HardwareFSM(detector)
+        out = hw.cycle(recon=ReconCommand(ir="1", hf="S1", hg="0", write=False))
+        assert out == "0"
+        assert hw.state == "S1"
+        assert hw.table_entry("1", "S0") == ("S1", "0")  # unchanged
+
+    def test_one_entry_per_cycle(self, detector):
+        hw = HardwareFSM(detector)
+        hw.cycle(recon=ReconCommand(ir="1", hf="S1", hg="0"))
+        assert hw.f_ram.write_count == 1
+        assert hw.g_ram.write_count == 1
+
+    def test_retarget_reset(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        hw.retarget_reset("S2")
+        hw.cycle(reset=True)
+        assert hw.state == "S2"
+
+
+class TestTable1Replay:
+    def test_table1_sequence_on_hardware(self, detector):
+        """Drive the paper's Table 1 rows through the real datapath."""
+        hw = HardwareFSM(detector)
+        rows = [
+            ReconCommand(ir="1", hf="S1", hg="0"),
+            ReconCommand(ir="1", hf="S1", hg="0"),
+            ReconCommand(ir="0", hf="S0", hg="0"),
+            ReconCommand(ir="0", hf="S0", hg="1"),
+        ]
+        outputs = [hw.cycle(recon=row) for row in rows]
+        assert outputs == ["0", "0", "0", "1"]
+        assert hw.realises(table1_target())
+        assert hw.state == "S0"
+
+
+class TestProgramReplay:
+    def test_jsr_program_on_hardware(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        hw.run_program(jsr_program(m, mp))
+        assert hw.realises(mp)
+        assert hw.state == mp.reset_state
+
+    def test_post_migration_behaviour(self, fig6_pair):
+        m, mp = fig6_pair
+        hw = HardwareFSM.for_migration(m, mp)
+        hw.run_program(jsr_program(m, mp))
+        word = list("1111011")
+        assert hw.run(word) == mp.run(word)
+
+
+class TestTrace:
+    def test_trace_records_every_cycle(self, detector):
+        hw = HardwareFSM(detector)
+        hw.run(list("110"))
+        hw.cycle(reset=True)
+        assert len(hw.trace) == 4
+        assert hw.trace.entries[-1].mode == "reset"
+
+    def test_trace_modes(self, detector):
+        hw = HardwareFSM(detector)
+        hw.step("1")
+        hw.cycle(recon=ReconCommand(ir="1", hf="S1", hg="0"))
+        modes = hw.trace.column("mode")
+        assert modes == ["normal", "reconf"]
+        assert hw.trace.entries[1].write

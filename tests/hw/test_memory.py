@@ -1,0 +1,106 @@
+"""Unit tests for repro.hw.memory (F-RAM / G-RAM model)."""
+
+import pytest
+
+from repro.hw.memory import SyncRAM
+from repro.hw.signals import BitVector
+
+
+def addr(v, w=3):
+    return BitVector(v, w)
+
+
+def data(v, w=2):
+    return BitVector(v, w)
+
+
+class TestGeometry:
+    def test_depth_and_bits(self):
+        ram = SyncRAM(3, 2)
+        assert ram.depth == 8 and ram.bits == 16
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SyncRAM(0, 2)
+        with pytest.raises(ValueError):
+            SyncRAM(3, 0)
+
+
+class TestReadWrite:
+    def test_unwritten_reads_none(self):
+        ram = SyncRAM(3, 2)
+        assert ram.read(addr(0)) is None
+
+    def test_write_not_visible_before_clock_elsewhere(self):
+        ram = SyncRAM(3, 2)
+        ram.write(addr(1), data(3))
+        assert ram.read(addr(2)) is None
+
+    def test_write_first_read_during_write(self):
+        # The paper's semantics: the newly written transition is taken in
+        # the same cycle, so the read port must return the pending word.
+        ram = SyncRAM(3, 2)
+        ram.load({1: 0})
+        ram.write(addr(1), data(3))
+        assert ram.read(addr(1)) == 3
+
+    def test_read_first_mode(self):
+        ram = SyncRAM(3, 2, write_first=False)
+        ram.load({1: 0})
+        ram.write(addr(1), data(3))
+        assert ram.read(addr(1)) == 0
+        ram.clock()
+        assert ram.read(addr(1)) == 3
+
+    def test_clock_commits(self):
+        ram = SyncRAM(3, 2)
+        ram.write(addr(4), data(2))
+        ram.clock()
+        assert ram.read(addr(4)) == 2
+        assert ram.write_count == 1
+
+    def test_single_write_port(self):
+        # One write per cycle: the physical constraint behind Thm. 4.3.
+        ram = SyncRAM(3, 2)
+        ram.write(addr(0), data(1))
+        with pytest.raises(RuntimeError, match="second write"):
+            ram.write(addr(1), data(1))
+
+    def test_write_port_frees_after_clock(self):
+        ram = SyncRAM(3, 2)
+        ram.write(addr(0), data(1))
+        ram.clock()
+        ram.write(addr(1), data(2))
+        ram.clock()
+        assert ram.dump() == {0: 1, 1: 2}
+
+    def test_clock_without_write_is_noop(self):
+        ram = SyncRAM(3, 2)
+        ram.clock()
+        assert ram.write_count == 0
+
+
+class TestValidation:
+    def test_address_width_checked(self):
+        ram = SyncRAM(3, 2)
+        with pytest.raises(ValueError, match="address width"):
+            ram.read(BitVector(0, 2))
+
+    def test_data_width_checked(self):
+        ram = SyncRAM(3, 2)
+        with pytest.raises(ValueError, match="data width"):
+            ram.write(addr(0), BitVector(0, 3))
+
+    def test_load_validates_ranges(self):
+        ram = SyncRAM(2, 2)
+        with pytest.raises(ValueError):
+            ram.load({9: 0})
+        with pytest.raises(ValueError):
+            ram.load({0: 9})
+
+    def test_peek_returns_committed_only(self):
+        ram = SyncRAM(2, 2)
+        ram.write(addr(1, 2), data(3))
+        assert ram.peek(1) is None
+        ram.clock()
+        assert ram.peek(1) == 3

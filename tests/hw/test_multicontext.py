@@ -1,0 +1,114 @@
+"""Unit tests for the multi-context FPGA comparator."""
+
+import pytest
+
+from repro.core.ea import EAConfig, ea_program
+from repro.core.jsr import jsr_program
+from repro.hw.multicontext import (
+    ContextError,
+    MultiContextFSM,
+    compare_migration,
+)
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    ones_detector,
+    zeros_detector,
+)
+
+
+class TestEngine:
+    def test_active_machine_runs(self):
+        engine = MultiContextFSM([ones_detector()])
+        outs = [engine.step(b) for b in "110"]
+        assert outs == ones_detector().run(list("110"))
+
+    def test_switch_restarts_in_reset_state(self):
+        engine = MultiContextFSM([ones_detector(), zeros_detector()])
+        engine.step("1")
+        assert engine.state == "S1"
+        cycles = engine.switch("zeros_detector")
+        assert cycles == engine.switch_cycles
+        assert engine.state == "S0"
+        assert engine.active.name == "zeros_detector"
+
+    def test_switch_unknown_context(self):
+        engine = MultiContextFSM([ones_detector()])
+        with pytest.raises(ContextError, match="not resident"):
+            engine.switch("nope")
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ContextError, match="exceed"):
+            MultiContextFSM(
+                [ones_detector(), zeros_detector()], n_contexts=1
+            )
+
+    def test_unique_names_required(self):
+        with pytest.raises(ContextError, match="unique"):
+            MultiContextFSM([ones_detector(), ones_detector()])
+
+    def test_load_new_machine(self):
+        engine = MultiContextFSM([ones_detector()], n_contexts=2)
+        cycles = engine.load(fig6_m())
+        assert cycles > 0
+        assert "fig6_m" in engine.resident
+        assert engine.stall_cycles == cycles
+
+    def test_load_resident_is_free(self):
+        engine = MultiContextFSM([ones_detector()], n_contexts=2)
+        assert engine.load(ones_detector()) == 0
+
+    def test_eviction(self):
+        engine = MultiContextFSM(
+            [ones_detector(), zeros_detector()], n_contexts=2
+        )
+        engine.load(fig6_m(), evict="zeros_detector")
+        assert "zeros_detector" not in engine.resident
+
+    def test_eviction_needs_victim(self):
+        engine = MultiContextFSM(
+            [ones_detector(), zeros_detector()], n_contexts=2
+        )
+        with pytest.raises(ContextError, match="victim"):
+            engine.load(fig6_m())
+
+    def test_cannot_evict_active(self):
+        engine = MultiContextFSM(
+            [ones_detector(), zeros_detector()], n_contexts=2
+        )
+        with pytest.raises(ContextError, match="active"):
+            engine.load(fig6_m(), evict="ones_detector")
+
+    def test_memory_scales_with_planes(self):
+        two = MultiContextFSM([ones_detector()], n_contexts=2)
+        eight = MultiContextFSM([ones_detector()], n_contexts=8)
+        assert eight.total_memory_bits() == 4 * two.total_memory_bits()
+
+
+class TestComparison:
+    def test_resident_target_wins_on_cycles(self):
+        m, mp = fig6_m(), fig6_m_prime()
+        engine = MultiContextFSM([m, mp], n_contexts=4)
+        comparison = compare_migration(jsr_program(m, mp), engine)
+        assert comparison.target_was_resident
+        assert comparison.context_wins_cycles
+
+    def test_nonresident_target_pays_download(self):
+        m, mp = fig6_m(), fig6_m_prime()
+        engine = MultiContextFSM([m], n_contexts=4)
+        comparison = compare_migration(
+            ea_program(m, mp, config=EAConfig(population_size=16,
+                                              generations=15, seed=0)),
+            engine,
+        )
+        assert not comparison.target_was_resident
+        assert comparison.context_cycles > engine.switch_cycles
+
+    def test_gradual_always_wins_on_memory(self):
+        m, mp = fig6_m(), fig6_m_prime()
+        engine = MultiContextFSM([m], n_contexts=8)
+        comparison = compare_migration(jsr_program(m, mp), engine)
+        assert comparison.gradual_wins_memory
+        assert comparison.context_memory_bits == (
+            8 * comparison.gradual_memory_bits
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for the trace-driven power model."""
+
+import pytest
+
+from repro.core.jsr import jsr_program
+from repro.hw.machine import HardwareFSM
+from repro.hw.power import (
+    PowerParameters,
+    estimate_power,
+    reconfiguration_energy_pj,
+)
+from repro.workloads.library import fig6_m, fig6_m_prime, ones_detector
+
+
+class TestEstimatePower:
+    def test_empty_trace(self, detector):
+        hw = HardwareFSM(detector)
+        est = estimate_power(hw)
+        assert est.cycles == 0
+        assert est.energy_pj == 0.0
+        assert est.average_power_mw() == 0.0
+
+    def test_counts_cycles_and_reads(self, detector):
+        hw = HardwareFSM(detector)
+        hw.run(list("110110"))
+        est = estimate_power(hw)
+        assert est.cycles == 6
+        assert est.ram_reads == 12  # F and G each cycle
+        assert est.ram_writes == 0  # normal mode never writes
+
+    def test_state_toggles_measured(self, detector):
+        hw = HardwareFSM(detector)
+        hw.run(list("10"))  # S0 -> S1 -> S0: two single-bit toggles
+        assert estimate_power(hw).state_bit_toggles == 2
+
+    def test_idle_traffic_cheaper_than_toggling(self, detector):
+        busy = HardwareFSM(detector)
+        busy.run(list("10101010"))
+        idle = HardwareFSM(detector)
+        idle.run(list("00000000"))
+        assert (
+            estimate_power(idle).energy_pj < estimate_power(busy).energy_pj
+        )
+
+    def test_writes_cost_more(self, detector):
+        normal = HardwareFSM(detector)
+        normal.run(list("1111"))
+        migrating = HardwareFSM.for_migration(fig6_m(), fig6_m_prime())
+        migrating.run_program(jsr_program(fig6_m(), fig6_m_prime()))
+        est = estimate_power(migrating)
+        assert est.ram_writes > 0
+        assert est.energy_per_cycle_pj() > 0
+
+    def test_custom_parameters(self, detector):
+        hw = HardwareFSM(detector)
+        hw.run(list("11"))
+        cheap = estimate_power(hw, params=PowerParameters(ram_read_pj=0.0))
+        rich = estimate_power(hw, params=PowerParameters(ram_read_pj=99.0))
+        assert rich.energy_pj > cheap.energy_pj
+
+    def test_average_power_scales_with_clock(self, detector):
+        hw = HardwareFSM(detector)
+        hw.run(list("1101"))
+        est = estimate_power(hw)
+        assert est.average_power_mw(100e6) == pytest.approx(
+            2 * est.average_power_mw(50e6)
+        )
+
+
+class TestWindowedEnergy:
+    def test_slice_energy(self):
+        m, mp = fig6_m(), fig6_m_prime()
+        hw = HardwareFSM.for_migration(m, mp)
+        hw.run(list("110"))
+        start = hw.cycles
+        hw.run_program(jsr_program(m, mp))
+        end = hw.cycles
+        reconf = reconfiguration_energy_pj(hw, start, end)
+        total = estimate_power(hw).energy_pj
+        assert 0 < reconf < total

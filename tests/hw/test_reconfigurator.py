@@ -1,0 +1,133 @@
+"""Unit tests for the Reconfigurator block and self-reconfigurable hardware."""
+
+import pytest
+
+from repro.core.ea import EAConfig, ea_program
+from repro.core.jsr import jsr_program
+from repro.hw.machine import HardwareFSM
+from repro.hw.reconfigurator import (
+    Microinstruction,
+    Reconfigurator,
+    SelfReconfigurableHardware,
+)
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    ones_detector,
+    table1_target,
+    zeros_detector,
+)
+
+
+class TestReconfigurator:
+    def test_store_and_rom_size(self, fig6_pair):
+        m, mp = fig6_pair
+        recon = Reconfigurator()
+        program = jsr_program(m, mp)
+        recon.store("migrate", program)
+        assert recon.stored() == ["migrate"]
+        assert recon.rom_size("migrate") == len(program)
+
+    def test_start_returns_retarget(self, fig6_pair):
+        m, mp = fig6_pair
+        recon = Reconfigurator()
+        recon.store("migrate", jsr_program(m, mp))
+        assert recon.start("migrate") == mp.reset_state
+        assert recon.busy
+
+    def test_tick_drains_rom(self, fig6_pair):
+        m, mp = fig6_pair
+        recon = Reconfigurator()
+        program = jsr_program(m, mp)
+        recon.store("migrate", program)
+        recon.start("migrate")
+        ticks = 0
+        while recon.busy:
+            instr = recon.tick()
+            assert isinstance(instr, Microinstruction)
+            ticks += 1
+        assert ticks == len(program)
+
+    def test_tick_idle_raises(self):
+        with pytest.raises(RuntimeError, match="idle"):
+            Reconfigurator().tick()
+
+    def test_start_while_busy_raises(self, fig6_pair):
+        m, mp = fig6_pair
+        recon = Reconfigurator()
+        recon.store("a", jsr_program(m, mp))
+        recon.store("b", jsr_program(m, mp))
+        recon.start("a")
+        with pytest.raises(RuntimeError, match="already"):
+            recon.start("b")
+
+    def test_microinstruction_from_reset_row(self, fig6_pair):
+        m, mp = fig6_pair
+        rows = jsr_program(m, mp).to_sequence()
+        instr = Microinstruction.from_row(rows[0])
+        assert instr.reset and instr.ir is None
+
+
+class TestSelfReconfigurableHardware:
+    def _hardware(self, fast_ea=None):
+        source, target = ones_detector(), table1_target()
+        config = fast_ea or EAConfig(population_size=16, generations=12, seed=0)
+        program = ea_program(source, target, config=config)
+        hardware = SelfReconfigurableHardware.build(
+            source,
+            {"upgrade": program},
+            rules=[lambda state, i: "upgrade" if (state, i) == ("S1", "0") else None],
+        )
+        return hardware, program, target
+
+    def test_external_request(self):
+        hardware, program, target = self._hardware()
+        hardware.request("upgrade")
+        drained = 0
+        while hardware.reconfiguring:
+            hardware.clock("0")
+            drained += 1
+        assert drained == len(program)
+        assert hardware.datapath.realises(target)
+
+    def test_trigger_rule_fires(self):
+        hardware, program, target = self._hardware()
+        word = list("110") + ["0"] * len(program)
+        flags = [flag for _out, flag in hardware.run(word)]
+        assert any(flags)
+        assert hardware.datapath.realises(target)
+        assert hardware.reconfigurator.started == ["upgrade"]
+
+    def test_behaviour_after_autonomous_upgrade(self):
+        hardware, program, target = self._hardware()
+        hardware.run(list("110") + ["0"] * len(program))
+        word = list("0011")
+        outs = [hardware.clock(i)[0] for i in word]
+        assert outs == target.run(word)
+
+    def test_build_sizes_for_all_targets(self, fig6_pair):
+        m, mp = fig6_pair
+        program = jsr_program(m, mp)
+        hardware = SelfReconfigurableHardware.build(m, {"grow": program})
+        assert "S3" in hardware.datapath.state_enc.alphabet
+
+    def test_rules_checked_only_when_idle(self):
+        hardware, program, target = self._hardware()
+        hardware.request("upgrade")
+        # While busy, the rule must not re-arm the reconfigurator.
+        for _ in range(len(program)):
+            hardware.clock("0")
+        assert hardware.reconfigurator.started == ["upgrade"]
+
+    def test_multiple_programs_stored(self):
+        source = ones_detector()
+        p1 = jsr_program(source, table1_target())
+        p2 = jsr_program(source, zeros_detector())
+        hardware = SelfReconfigurableHardware.build(
+            source, {"t1": p1, "mirror": p2}
+        )
+        assert hardware.reconfigurator.stored() == ["mirror", "t1"]
+        hardware.request("mirror")
+        while hardware.reconfiguring:
+            hardware.clock("0")
+        assert hardware.datapath.realises(zeros_detector())

@@ -1,0 +1,52 @@
+"""Unit tests for repro.hw.register (ST-REG and the muxes)."""
+
+import pytest
+
+from repro.hw.register import Register, mux2
+from repro.hw.signals import BitVector
+
+
+class TestRegister:
+    def test_initial_value(self):
+        reg = Register(2, BitVector(1, 2))
+        assert reg.q == BitVector(1, 2)
+
+    def test_initial_width_must_match(self):
+        with pytest.raises(ValueError):
+            Register(2, BitVector(0, 3))
+
+    def test_q_stable_until_clock(self):
+        reg = Register(2, BitVector(0, 2))
+        reg.drive(BitVector(3, 2))
+        assert reg.q == BitVector(0, 2)
+        reg.clock()
+        assert reg.q == BitVector(3, 2)
+
+    def test_clock_requires_driven_d(self):
+        reg = Register(2, BitVector(0, 2))
+        with pytest.raises(RuntimeError, match="undriven"):
+            reg.clock()
+
+    def test_d_consumed_by_clock(self):
+        reg = Register(2, BitVector(0, 2))
+        reg.drive(BitVector(1, 2))
+        reg.clock()
+        with pytest.raises(RuntimeError):
+            reg.clock()
+
+    def test_drive_width_checked(self):
+        reg = Register(2, BitVector(0, 2))
+        with pytest.raises(ValueError):
+            reg.drive(BitVector(0, 3))
+
+
+class TestMux2:
+    def test_select_true(self):
+        assert mux2(True, BitVector(1, 1), BitVector(0, 1)) == BitVector(1, 1)
+
+    def test_select_false(self):
+        assert mux2(False, BitVector(1, 1), BitVector(0, 1)) == BitVector(0, 1)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            mux2(True, BitVector(0, 1), BitVector(0, 2))

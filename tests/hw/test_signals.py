@@ -1,0 +1,92 @@
+"""Unit tests for repro.hw.signals."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.hw.signals import BitVector, SymbolEncoder, ram_address
+
+
+class TestBitVector:
+    def test_value_and_width(self):
+        v = BitVector(5, 4)
+        assert v.value == 5 and v.width == 4
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            BitVector(4, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitVector(-1, 2)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            BitVector(0, 0)
+
+    def test_bits_msb_first(self):
+        assert BitVector(6, 3).bits == (1, 1, 0)
+
+    def test_from_bits_roundtrip(self):
+        v = BitVector(11, 4)
+        assert BitVector.from_bits(v.bits) == v
+
+    def test_from_bits_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bits((1, 2))
+
+    def test_concatenation(self):
+        high = BitVector(0b10, 2)
+        low = BitVector(0b1, 1)
+        joined = high @ low
+        assert joined.value == 0b101 and joined.width == 3
+
+    def test_indexing(self):
+        v = BitVector(0b101, 3)
+        assert v[0] == 1 and v[1] == 0 and v[2] == 1
+
+    def test_slicing_returns_bitvector(self):
+        v = BitVector(0b1101, 4)
+        assert v[1:3] == BitVector(0b10, 2)
+
+    def test_str_binary(self):
+        assert str(BitVector(5, 4)) == "0101"
+
+    def test_equality_includes_width(self):
+        assert BitVector(1, 2) != BitVector(1, 3)
+
+    def test_hashable(self):
+        assert len({BitVector(1, 2), BitVector(1, 2)}) == 1
+
+
+class TestSymbolEncoder:
+    def test_roundtrip(self):
+        enc = SymbolEncoder(Alphabet(["a", "b", "c"]))
+        for sym in "abc":
+            assert enc.decode(enc.encode(sym)) == sym
+
+    def test_width(self):
+        assert SymbolEncoder(Alphabet(range(5))).width == 3
+
+    def test_decode_rejects_wrong_width(self):
+        enc = SymbolEncoder(Alphabet(["a", "b"]))
+        with pytest.raises(ValueError):
+            enc.decode(BitVector(0, 2))
+
+    def test_decode_rejects_garbage_code(self):
+        enc = SymbolEncoder(Alphabet(["a", "b", "c"]))
+        with pytest.raises(ValueError, match="names no symbol"):
+            enc.decode(BitVector(3, 2))
+
+
+class TestRamAddress:
+    def test_input_is_high_bits(self):
+        addr = ram_address(BitVector(1, 1), BitVector(0b10, 2))
+        assert addr.value == 0b110 and addr.width == 3
+
+    def test_matches_fig5_addressing(self):
+        # addr = {i, s}: distinct (i, s) pairs map to distinct addresses.
+        seen = set()
+        for i in range(2):
+            for s in range(4):
+                seen.add(ram_address(BitVector(i, 1), BitVector(s, 2)).value)
+        assert len(seen) == 8

@@ -1,0 +1,48 @@
+"""Unit tests for the VHDL testbench generator."""
+
+from repro.hw.vhdl import generate_fsm_vhdl, generate_testbench_vhdl
+from repro.workloads.library import fig6_m, ones_detector
+
+
+class TestTestbench:
+    def test_entity_and_architecture(self, detector):
+        text = generate_testbench_vhdl(detector, list("110"))
+        assert "entity ones_detector_tb is" in text
+        assert "architecture sim of ones_detector_tb is" in text
+
+    def test_instantiates_dut(self, detector):
+        text = generate_testbench_vhdl(detector, list("110"))
+        assert "dut: entity work.ones_detector" in text
+
+    def test_one_assert_per_symbol(self, detector):
+        word = list("110101")
+        text = generate_testbench_vhdl(detector, word)
+        assert text.count("assert dout =") == len(word)
+
+    def test_expected_values_from_simulation(self, detector):
+        word = list("11")
+        expected = detector.run(word)  # ['0', '1']
+        text = generate_testbench_vhdl(detector, word)
+        assert 'assert dout = "0"' in text
+        assert 'assert dout = "1"' in text
+        assert expected == ["0", "1"]
+
+    def test_clock_period_parameter(self, detector):
+        text = generate_testbench_vhdl(detector, list("1"), clock_period_ns=8)
+        assert "constant PERIOD : time := 8 ns;" in text
+
+    def test_final_pass_report(self, detector):
+        text = generate_testbench_vhdl(detector, list("1101"))
+        assert "testbench passed: 4 cycles" in text
+
+    def test_pairs_with_behavioural_dut(self, detector):
+        dut = generate_fsm_vhdl(detector)
+        tb = generate_testbench_vhdl(detector, list("10"))
+        # port names line up between DUT and testbench
+        for port in ("din", "clk", "rst", "dout"):
+            assert port in dut and port in tb
+
+    def test_multibit_symbols(self):
+        machine = fig6_m()
+        text = generate_testbench_vhdl(machine, list("111"))
+        assert text.count("assert dout =") == 3

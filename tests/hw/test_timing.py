@@ -1,0 +1,45 @@
+"""Unit tests for the critical-path timing model."""
+
+import pytest
+
+from repro.hw.timing import TimingParameters, estimate_timing, headroom_cost
+from repro.workloads.library import ones_detector
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestEstimateTiming:
+    def test_small_machine_reasonable_clock(self, detector):
+        est = estimate_timing(detector)
+        assert 10e6 < est.f_max_hz < 500e6
+        assert est.address_bits == 2
+
+    def test_deeper_rams_are_slower(self):
+        small = estimate_timing(random_fsm(n_states=4, seed=0))
+        big = estimate_timing(random_fsm(n_states=64, n_inputs=8, seed=0))
+        assert big.critical_path_ns > small.critical_path_ns
+        assert big.f_max_hz < small.f_max_hz
+
+    def test_headroom_slows_clock_stepwise(self, detector):
+        # +1 state fits the same address bits -> no cost; +14 adds bits.
+        assert headroom_cost(detector, 0) == pytest.approx(0.0)
+        assert headroom_cost(detector, 14) > 0
+
+    def test_cycles_to_seconds(self, detector):
+        est = estimate_timing(detector)
+        assert est.cycles_to_seconds(100) == pytest.approx(100 / est.f_max_hz)
+
+    def test_custom_parameters(self, detector):
+        slow = TimingParameters(ram_access_base_ns=30.0)
+        assert (
+            estimate_timing(detector, params=slow).f_max_hz
+            < estimate_timing(detector).f_max_hz
+        )
+
+    def test_routing_overhead_scales_path(self, detector):
+        lean = TimingParameters(routing_overhead=1.0)
+        fat = TimingParameters(routing_overhead=2.0)
+        assert estimate_timing(detector, params=fat).critical_path_ns == (
+            pytest.approx(
+                2 * estimate_timing(detector, params=lean).critical_path_ns
+            )
+        )

@@ -1,0 +1,99 @@
+"""Unit tests for triple modular redundancy with scrub-on-vote."""
+
+import random
+
+import pytest
+
+from repro.hw.faults import corrupted_entries, inject_upset
+from repro.hw.tmr import TMRError, TripleModularFSM
+from repro.workloads.library import ones_detector, sequence_detector
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestHealthyTMR:
+    def test_votes_match_reference(self, detector):
+        tmr = TripleModularFSM(detector)
+        word = list("1101101")
+        assert tmr.run(word) == detector.run(word)
+        assert tmr.disagreement_count() == 0
+
+    def test_reset(self, detector):
+        tmr = TripleModularFSM(detector)
+        tmr.run(list("11"))
+        tmr.reset()
+        assert all(r.state == "S0" for r in tmr.replicas)
+
+    def test_area_factor(self, detector):
+        assert TripleModularFSM(detector).area_factor == 3
+
+
+class TestFaultMasking:
+    def test_single_upset_masked(self, detector):
+        tmr = TripleModularFSM(detector)
+        inject_upset(tmr.replicas[1], seed=0, ram="G", entry=("1", "S1"))
+        word = list("111111")
+        assert tmr.run(word) == detector.run(word)  # output still correct
+        assert tmr.disagreement_count() > 0
+        assert tmr.suspect_replica() == 1
+
+    def test_state_realignment_prevents_cascade(self, detector):
+        tmr = TripleModularFSM(detector)
+        # F-RAM upset: replica 2's next state diverges when addressed
+        inject_upset(tmr.replicas[2], seed=0, ram="F", entry=("1", "S0"))
+        word = list("10101010")
+        assert tmr.run(word) == detector.run(word)
+
+    def test_masked_on_random_traffic(self):
+        machine = random_fsm(n_states=6, seed=12)
+        tmr = TripleModularFSM(machine)
+        inject_upset(tmr.replicas[0], seed=3)
+        rng = random.Random(0)
+        word = [rng.choice(machine.inputs) for _ in range(200)]
+        assert tmr.run(word) == machine.run(word)
+
+    def test_two_corrupt_replicas_can_defeat_voter(self, detector):
+        tmr = TripleModularFSM(detector)
+        # identical upset in two replicas outvotes the healthy one
+        for idx in (0, 1):
+            inject_upset(tmr.replicas[idx], seed=0, ram="G",
+                         entry=("1", "S1"))
+        word = list("11")
+        assert tmr.run(word) != detector.run(word)
+
+
+class TestHeal:
+    def test_heal_restores_redundancy(self, detector):
+        tmr = TripleModularFSM(detector)
+        inject_upset(tmr.replicas[1], seed=0)
+        spent = tmr.heal()
+        assert spent is not None and spent > 0
+        assert all(
+            not corrupted_entries(r, detector) for r in tmr.replicas
+        )
+        word = list("110110")
+        assert tmr.run(word) == detector.run(word)
+
+    def test_heal_clean_is_noop(self, detector):
+        tmr = TripleModularFSM(detector)
+        assert tmr.heal() is None
+
+    def test_heal_multiple_replicas(self):
+        machine = sequence_detector("101")
+        tmr = TripleModularFSM(machine)
+        inject_upset(tmr.replicas[0], seed=1)
+        inject_upset(tmr.replicas[2], seed=2)
+        spent = tmr.heal()
+        assert spent is not None
+        assert all(
+            not corrupted_entries(r, machine) for r in tmr.replicas
+        )
+
+    def test_mask_then_heal_then_second_upset(self, detector):
+        """The combined story: mask, repair, survive the next upset."""
+        tmr = TripleModularFSM(detector)
+        inject_upset(tmr.replicas[0], seed=5)
+        tmr.run(list("110110"))
+        tmr.heal()
+        inject_upset(tmr.replicas[2], seed=6)
+        word = list("101101")
+        assert tmr.run(word) == detector.run(word)

@@ -1,0 +1,86 @@
+"""Unit tests for trace recording and waveform rendering."""
+
+from repro.hw.trace import TraceEntry, TraceRecorder, render_waveform
+
+
+def entry(cycle, **overrides):
+    base = dict(
+        cycle=cycle,
+        mode="normal",
+        external_input="1",
+        internal_input="1",
+        state_before="S0",
+        state_after="S1",
+        output="0",
+        write=False,
+    )
+    base.update(overrides)
+    return TraceEntry(**base)
+
+
+class TestTraceRecorder:
+    def test_record_and_len(self):
+        rec = TraceRecorder()
+        rec.record(entry(0))
+        rec.record(entry(1))
+        assert len(rec) == 2
+
+    def test_column(self):
+        rec = TraceRecorder()
+        rec.record(entry(0, output="0"))
+        rec.record(entry(1, output="1"))
+        assert rec.column("output") == ["0", "1"]
+
+    def test_clear(self):
+        rec = TraceRecorder()
+        rec.record(entry(0))
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_iteration(self):
+        rec = TraceRecorder()
+        rec.record(entry(0))
+        assert [e.cycle for e in rec] == [0]
+
+
+class TestRenderWaveform:
+    def test_empty_trace(self):
+        assert render_waveform(TraceRecorder()) == "(empty trace)"
+
+    def test_header_row(self):
+        rec = TraceRecorder()
+        rec.record(entry(0))
+        rec.record(entry(1))
+        text = render_waveform(rec, signals=("mode",))
+        assert text.splitlines()[0].startswith("cycle")
+
+    def test_none_renders_dash(self):
+        rec = TraceRecorder()
+        rec.record(entry(0, output=None))
+        text = render_waveform(rec, signals=("output",))
+        assert "| -" in text
+
+    def test_write_flag_symbols(self):
+        rec = TraceRecorder()
+        rec.record(entry(0, write=True))
+        rec.record(entry(1, write=False))
+        line = [
+            l for l in render_waveform(rec, signals=("write",)).splitlines()
+            if l.startswith("write")
+        ][0]
+        assert "W" in line and "." in line
+
+    def test_max_cycles_truncates(self):
+        rec = TraceRecorder()
+        for c in range(10):
+            rec.record(entry(c))
+        text = render_waveform(rec, signals=("mode",), max_cycles=3)
+        assert "9" not in text.splitlines()[0]
+
+    def test_columns_aligned(self):
+        rec = TraceRecorder()
+        rec.record(entry(0, state_before="LONGSTATE"))
+        rec.record(entry(1))
+        lines = render_waveform(rec, signals=("state_before", "mode")).splitlines()
+        positions = {line.index("|") for line in lines}
+        assert len(positions) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the Verilog backend."""
+
+import re
+
+import pytest
+
+from repro.hw.verilog import (
+    generate_fsm_verilog,
+    generate_reconfigurable_verilog,
+    verilog_identifier,
+)
+from repro.workloads.library import fig6_m, ones_detector
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestIdentifiers:
+    def test_plain(self):
+        assert verilog_identifier("S0") == "S0"
+
+    def test_specials(self):
+        assert verilog_identifier("a-b") == "a_b"
+
+    def test_leading_digit(self):
+        assert verilog_identifier("2fast")[0].isalpha()
+
+    def test_underscore_allowed(self):
+        assert verilog_identifier("_x") == "_x"
+
+
+class TestBehaviouralVerilog:
+    def test_module_structure(self, detector):
+        text = generate_fsm_verilog(detector, module="rec")
+        assert text.startswith("module rec (")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_localparams_per_state(self, detector):
+        text = generate_fsm_verilog(detector)
+        assert "localparam [0:0] S0 = 1'd0;" in text
+        assert "localparam [0:0] S1 = 1'd1;" in text
+
+    def test_case_per_state_and_input(self, detector):
+        text = generate_fsm_verilog(detector)
+        assert text.count("1'd0: begin") + text.count("1'd1: begin") == 4
+
+    def test_reset_behaviour(self, detector):
+        text = generate_fsm_verilog(detector)
+        assert "if (rst) begin" in text
+        assert "state <= S0;" in text
+
+    def test_default_arms_present(self, detector):
+        text = generate_fsm_verilog(detector)
+        assert text.count("default: begin") == len(detector.states) + 1
+
+    def test_larger_machine(self):
+        machine = random_fsm(n_states=9, n_inputs=3, seed=2)
+        text = generate_fsm_verilog(machine)
+        assert text.count("localparam") == 9
+
+
+class TestReconfigurableVerilog:
+    def test_ports(self, detector):
+        text = generate_reconfigurable_verilog(detector)
+        for port in ("din", "clk", "rst", "mode", "ir", "hf", "hg", "we",
+                     "dout"):
+            assert re.search(rf"\b{port}\b", text)
+
+    def test_ram_arrays(self, detector):
+        text = generate_reconfigurable_verilog(detector)
+        assert "reg [0:0] f_ram [0:3];" in text
+        assert "reg [0:0] g_ram [0:3];" in text
+
+    def test_write_first_forwarding(self, detector):
+        text = generate_reconfigurable_verilog(detector)
+        assert "(we && mode) ? hf : f_ram[addr]" in text
+        assert "(we && mode) ? hg : g_ram[addr]" in text
+
+    def test_in_mux(self, detector):
+        text = generate_reconfigurable_verilog(detector)
+        assert "mode ? ir : din" in text
+
+    def test_initial_contents(self, detector):
+        text = generate_reconfigurable_verilog(detector)
+        # (1, S0) -> S1: address 0b10 = 2 holds state code 1
+        assert "f_ram[2] = 1'd1;" in text
+
+    def test_superset_headroom(self, detector):
+        text = generate_reconfigurable_verilog(detector, extra_states=2)
+        assert "[0:7]" in text
+
+    def test_fig6(self):
+        text = generate_reconfigurable_verilog(fig6_m(), extra_states=1)
+        assert "module fig6_m_reconf" in text

@@ -1,0 +1,114 @@
+"""Unit tests for the VHDL backend (repro.hw.vhdl)."""
+
+import re
+
+import pytest
+
+from repro.hw.vhdl import (
+    generate_fsm_vhdl,
+    generate_reconfigurable_vhdl,
+    vhdl_identifier,
+)
+from repro.workloads.library import fig6_m, ones_detector, traffic_light
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestIdentifiers:
+    def test_plain_names_pass_through(self):
+        assert vhdl_identifier("S0") == "S0"
+
+    def test_specials_replaced(self):
+        assert vhdl_identifier("a-b c") == "a_b_c"
+
+    def test_leading_digit_prefixed(self):
+        ident = vhdl_identifier("0state")
+        assert ident[0].isalpha()
+
+    def test_empty_symbol(self):
+        assert vhdl_identifier("") == "s"
+
+
+class TestBehaviouralVHDL:
+    def test_entity_and_architecture(self, detector):
+        text = generate_fsm_vhdl(detector, entity="rec")
+        assert "entity rec is" in text
+        assert "architecture behavior of rec" in text
+        assert "end behavior;" in text
+
+    def test_state_enumeration_like_paper(self, detector):
+        text = generate_fsm_vhdl(detector)
+        assert "type state_type is (S0, S1);" in text
+        assert "signal state : state_type := S0;" in text
+
+    def test_case_covers_every_state(self, detector):
+        text = generate_fsm_vhdl(detector)
+        for state in detector.states:
+            assert f"when {state} =>" in text
+
+    def test_case_covers_every_input_code(self, detector):
+        text = generate_fsm_vhdl(detector)
+        assert text.count('when "0" =>') == len(detector.states)
+        assert text.count('when "1" =>') == len(detector.states)
+
+    def test_clocked_process(self, detector):
+        text = generate_fsm_vhdl(detector)
+        assert "process (clk)" in text
+        assert "rising_edge(clk)" in text
+
+    def test_larger_machine(self):
+        machine = random_fsm(n_states=9, n_inputs=3, seed=5)
+        text = generate_fsm_vhdl(machine)
+        assert text.count("when q") >= 9
+
+    def test_moore_machine_generates(self):
+        text = generate_fsm_vhdl(traffic_light().to_mealy())
+        assert "RED" in text and "GREEN" in text
+
+    def test_unique_identifiers_for_colliding_names(self):
+        from repro.core.fsm import FSM
+
+        machine = FSM(
+            ["0"],
+            ["0"],
+            ["A B", "A_B"],
+            "A B",
+            [("0", "A B", "A_B", "0"), ("0", "A_B", "A B", "0")],
+        )
+        text = generate_fsm_vhdl(machine)
+        assert "A_B_1" in text
+
+
+class TestReconfigurableVHDL:
+    def test_ports_match_fig5(self, detector):
+        text = generate_reconfigurable_vhdl(detector)
+        for port in ("din", "clk", "rst", "mode", "ir", "hf", "hg", "we", "dout"):
+            assert re.search(rf"\b{port}\b", text)
+
+    def test_ram_arrays_declared(self, detector):
+        text = generate_reconfigurable_vhdl(detector)
+        assert "f_ram_type is array (0 to 3)" in text
+        assert "g_ram_type is array (0 to 3)" in text
+
+    def test_in_mux_and_rst_mux(self, detector):
+        text = generate_reconfigurable_vhdl(detector)
+        assert "i_int <= din when mode = '0' else ir;" in text
+        assert "if rst = '1' then" in text
+
+    def test_write_first_forwarding(self, detector):
+        text = generate_reconfigurable_vhdl(detector)
+        assert "f_out <= hf when (we = '1' and mode = '1')" in text
+
+    def test_initial_contents_encode_table(self, detector):
+        text = generate_reconfigurable_vhdl(detector)
+        # The (1, S0) -> S1 entry: address 0b10 = 2 holds state code 1.
+        f_block = text.split("signal f_ram")[1].split(");")[0]
+        rows = [r.strip().rstrip(",") for r in f_block.splitlines()[1:]]
+        assert rows[2] == '"1"'
+
+    def test_superset_headroom_deepens_rams(self, detector):
+        text = generate_reconfigurable_vhdl(detector, extra_states=2)
+        assert "array (0 to 7)" in text
+
+    def test_fig6_machine(self):
+        text = generate_reconfigurable_vhdl(fig6_m(), extra_states=1)
+        assert "array (0 to 7)" in text  # 1 input bit + 2 state bits

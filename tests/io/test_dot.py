@@ -1,0 +1,51 @@
+"""Unit tests for the Graphviz DOT exporter."""
+
+from repro.core.delta import delta_transitions
+from repro.io.dot import migration_to_dot, to_dot
+from repro.workloads.library import fig6_m, fig6_m_prime, ones_detector
+
+
+class TestToDot:
+    def test_digraph_structure(self):
+        text = to_dot(ones_detector())
+        assert text.startswith('digraph "ones_detector" {')
+        assert text.rstrip().endswith("}")
+
+    def test_reset_state_double_circle(self):
+        text = to_dot(ones_detector())
+        assert '"S0" [shape=doublecircle];' in text
+
+    def test_every_transition_rendered(self):
+        machine = ones_detector()
+        text = to_dot(machine)
+        for t in machine.transitions():
+            assert f'label="{t.input}/{t.output}"' in text
+
+    def test_highlighting(self):
+        machine = fig6_m_prime()
+        deltas = delta_transitions(fig6_m(), machine)
+        text = to_dot(machine, highlight=deltas)
+        assert text.count("style=bold") == len(deltas)
+
+    def test_title_override(self):
+        assert to_dot(ones_detector(), title="demo").startswith(
+            'digraph "demo"'
+        )
+
+    def test_quoting(self):
+        renamed = ones_detector().renamed({"S0": 'he"llo'})
+        text = to_dot(renamed)
+        assert '\\"' in text
+
+
+class TestMigrationToDot:
+    def test_bold_deltas_match_fig6(self):
+        text = migration_to_dot(fig6_m(), fig6_m_prime())
+        assert text.count("style=bold") == 4
+        # S3's two outgoing edges are among the bold ones.
+        bold_lines = [l for l in text.splitlines() if "bold" in l]
+        assert sum('"S3" ->' in l for l in bold_lines) == 2
+
+    def test_trivial_migration_no_bold(self):
+        text = migration_to_dot(ones_detector(), ones_detector())
+        assert "style=bold" not in text

@@ -1,0 +1,160 @@
+"""Unit tests for the KISS2 reader/writer."""
+
+import io
+
+import pytest
+
+from repro.io.kiss import KissError, _expand_dont_cares, dump, dumps, load, loads
+from repro.workloads.library import fig6_m, ones_detector, parity_checker
+from repro.workloads.random_fsm import random_fsm
+
+SIMPLE = """
+.i 1
+.o 1
+.s 2
+.p 4
+.r A
+0 A A 0
+1 A B 0
+0 B A 0
+1 B B 1
+.e
+"""
+
+
+class TestExpandDontCares:
+    def test_no_dashes(self):
+        assert _expand_dont_cares("101") == ["101"]
+
+    def test_single_dash(self):
+        assert _expand_dont_cares("1-0") == ["100", "110"]
+
+    def test_all_dashes(self):
+        assert sorted(_expand_dont_cares("--")) == ["00", "01", "10", "11"]
+
+
+class TestLoads:
+    def test_simple_machine(self):
+        machine = loads(SIMPLE)
+        assert machine.states == ("A", "B")
+        assert machine.reset_state == "A"
+        assert machine.run(list("11")) == ["0", "1"]
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n.i 1\n.o 1\n\n0 A A 0  # self loop\n1 A A 1\n"
+        machine = loads(text)
+        assert machine.states == ("A",)
+
+    def test_dont_care_expansion(self):
+        text = ".i 2\n.o 1\n-- A B 0\n-- B B 1\n"
+        machine = loads(text)
+        assert len(machine.inputs) == 4
+        assert all(machine.next_state(i, "A") == "B" for i in machine.inputs)
+
+    def test_default_reset_is_first_state(self):
+        text = ".i 1\n.o 1\n0 X X 0\n1 X Y 0\n0 Y X 0\n1 Y Y 1\n"
+        assert loads(text).reset_state == "X"
+
+    def test_missing_declarations(self):
+        with pytest.raises(KissError, match=".i/.o"):
+            loads("0 A A 0\n")
+
+    def test_term_count_checked(self):
+        with pytest.raises(KissError, match=".p declares"):
+            loads(".i 1\n.o 1\n.p 5\n0 A A 0\n1 A A 0\n")
+
+    def test_state_count_checked(self):
+        with pytest.raises(KissError, match=".s declares"):
+            loads(".i 1\n.o 1\n.s 3\n0 A A 0\n1 A A 0\n")
+
+    def test_unknown_reset_rejected(self):
+        with pytest.raises(KissError, match="never appears"):
+            loads(".i 1\n.o 1\n.r Z\n0 A A 0\n1 A A 0\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(KissError, match="unknown directive"):
+            loads(".i 1\n.o 1\n.x 2\n0 A A 0\n1 A A 0\n")
+
+    def test_malformed_line(self):
+        with pytest.raises(KissError, match="expected"):
+            loads(".i 1\n.o 1\n0 A A\n")
+
+    def test_conflicting_transitions(self):
+        with pytest.raises(KissError, match="conflicting"):
+            loads(".i 1\n.o 1\n0 A A 0\n0 A B 0\n1 A A 0\n1 B B 0\n0 B B 0\n")
+
+    def test_star_next_state_rejected(self):
+        with pytest.raises(KissError, match="deterministic"):
+            loads(".i 1\n.o 1\n0 A * 0\n1 A A 0\n")
+
+    def test_incomplete_without_fill_rejected(self):
+        with pytest.raises(KissError, match="incompletely specified"):
+            loads(".i 1\n.o 1\n1 A A 1\n")
+
+    def test_incomplete_with_self_fill(self):
+        machine = loads(".i 1\n.o 1\n1 A B 1\n1 B B 1\n",
+                        complete_with=("self", "0"))
+        assert machine.next_state("0", "A") == "A"
+        assert machine.output("0", "A") == "0"
+
+    def test_incomplete_with_state_fill(self):
+        machine = loads(".i 1\n.o 1\n1 A B 1\n1 B B 1\n",
+                        complete_with=("A", "0"))
+        assert machine.next_state("0", "B") == "A"
+
+    def test_fill_width_checked(self):
+        with pytest.raises(KissError, match="width"):
+            loads(".i 1\n.o 1\n1 A A 1\n", complete_with=("self", "00"))
+
+    def test_input_width_checked(self):
+        with pytest.raises(KissError, match="not 2 bits"):
+            loads(".i 2\n.o 1\n0 A A 0\n")
+
+    def test_output_field_checked(self):
+        with pytest.raises(KissError, match="output field"):
+            loads(".i 1\n.o 2\n0 A A 0x\n")
+
+
+class TestDumps:
+    def test_roundtrip_behaviour(self):
+        for machine in (ones_detector(), parity_checker(), fig6_m()):
+            again = loads(dumps(machine))
+            assert again.behaviourally_equivalent(machine)
+
+    def test_roundtrip_random_machines(self):
+        for seed in range(5):
+            machine = random_fsm(n_states=7, n_inputs=2, seed=seed)
+            renamed = machine.renamed({})  # symbols a0/a1 are not bits
+            with pytest.raises(KissError):
+                dumps(renamed)
+
+    def test_merge_dont_cares(self):
+        text = dumps(fig6_m())
+        # fig6_m's S0 rows differ, no merge there; but a machine whose
+        # state ignores the input merges to one '-' row.
+        machine = loads(
+            ".i 1\n.o 1\n0 A B 1\n1 A B 1\n0 B B 0\n1 B B 0\n"
+        )
+        merged = dumps(machine)
+        assert "- A B 1" in merged
+        assert "- B B 0" in merged
+
+    def test_no_merge_option(self):
+        machine = loads(".i 1\n.o 1\n0 A A 1\n1 A A 1\n")
+        text = dumps(machine, merge_dont_cares=False)
+        assert "- " not in text
+
+    def test_counts_consistent(self):
+        text = dumps(ones_detector())
+        assert ".p 4" in text and ".s 2" in text
+
+    def test_dump_load_via_streams(self):
+        buffer = io.StringIO()
+        dump(ones_detector(), buffer)
+        buffer.seek(0)
+        assert load(buffer).behaviourally_equivalent(ones_detector())
+
+    def test_dump_load_via_paths(self, tmp_path):
+        path = str(tmp_path / "m.kiss")
+        dump(parity_checker(), path)
+        assert load(path).behaviourally_equivalent(parity_checker())

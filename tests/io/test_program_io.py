@@ -1,0 +1,82 @@
+"""Unit tests for JSON program serialisation."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.ea import EAConfig, ea_program
+from repro.core.jsr import jsr_program
+from repro.core.program import StepKind
+from repro.io.program_io import dump, dumps, load, loads, program_to_json
+from repro.workloads.library import fig6_m, fig6_m_prime
+from repro.workloads.mutate import workload_pair
+
+
+def sample_program():
+    return jsr_program(fig6_m(), fig6_m_prime())
+
+
+class TestRoundtrip:
+    def test_steps_bit_exact(self):
+        program = sample_program()
+        again = loads(dumps(program))
+        assert [str(s) for s in again] == [str(s) for s in program]
+        assert again.method == "jsr"
+
+    def test_machines_roundtrip(self):
+        again = loads(dumps(sample_program()))
+        assert again.source == fig6_m()
+        assert again.target == fig6_m_prime()
+
+    def test_loaded_program_replays(self):
+        assert loads(dumps(sample_program())).is_valid()
+
+    def test_ea_program_roundtrip(self):
+        src, tgt = workload_pair(7, 4, seed=3)
+        program = ea_program(
+            src, tgt, config=EAConfig(population_size=16, generations=10,
+                                      seed=0)
+        )
+        again = loads(dumps(program))
+        assert len(again) == len(program)
+        assert again.is_valid()
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "prog.json")
+        dump(sample_program(), path)
+        assert load(path).is_valid()
+
+    def test_stream_roundtrip(self):
+        buffer = io.StringIO()
+        dump(sample_program(), buffer)
+        buffer.seek(0)
+        assert load(buffer).is_valid()
+
+
+class TestValidation:
+    def test_corrupted_steps_rejected(self):
+        data = program_to_json(sample_program())
+        # sabotage: drop the final repair + reset
+        data["steps"] = data["steps"][:-2]
+        with pytest.raises(ValueError, match="failed replay"):
+            loads(json.dumps(data))
+
+    def test_validation_can_be_skipped(self):
+        data = program_to_json(sample_program())
+        data["steps"] = data["steps"][:-2]
+        program = loads(json.dumps(data), validate=False)
+        assert not program.is_valid()
+
+    def test_unknown_format_version(self):
+        data = program_to_json(sample_program())
+        data["format"] = 99
+        with pytest.raises(ValueError, match="unsupported"):
+            loads(json.dumps(data))
+
+    def test_step_kinds_preserved(self):
+        again = loads(dumps(sample_program()))
+        kinds = {s.kind for s in again}
+        assert StepKind.WRITE_TEMPORARY in kinds
+        assert StepKind.WRITE_REPAIR in kinds
+        assert StepKind.RESET in kinds

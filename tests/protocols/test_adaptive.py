@@ -1,0 +1,96 @@
+"""Unit tests for the adaptive (self-reconfiguring) security parser."""
+
+import pytest
+
+from repro.core.ea import EAConfig
+from repro.protocols.adaptive import AdaptiveParser
+from repro.protocols.packet import Packet, packet_stream, revision
+
+FAST = EAConfig(population_size=16, generations=15, seed=0)
+MGMT = 0xF
+
+
+def make_parser(threshold=3):
+    policy = revision("v1", 4, {0x8, 0x6, MGMT})
+    return AdaptiveParser(
+        policy, management_code=MGMT, lockdown_threshold=threshold,
+        ea_config=FAST,
+    )
+
+
+def pkts(*codes):
+    return [Packet(c, 4) for c in codes]
+
+
+class TestNormalOperation:
+    def test_classifies_like_policy(self):
+        parser = make_parser()
+        for code in range(16):
+            # interleave accepted packets so the reject counter never trips
+            parser.classify(Packet(0x8, 4))
+            got = parser.classify(Packet(code, 4))
+            assert got == (code in parser.policy.accepted)
+        assert not parser.locked_down
+
+    def test_management_code_always_in_policy(self):
+        policy = revision("v", 4, {0x1})  # management code absent
+        parser = AdaptiveParser(policy, management_code=MGMT, ea_config=FAST)
+        assert parser.classify(Packet(MGMT, 4))
+
+
+class TestLockdown:
+    def test_triggered_by_consecutive_rejects(self):
+        parser = make_parser(threshold=3)
+        parser.run(pkts(0x1, 0x2, 0x3))
+        assert parser.locked_down
+        assert parser.events[0].direction == "lockdown"
+
+    def test_not_triggered_by_interleaved_accepts(self):
+        parser = make_parser(threshold=3)
+        parser.run(pkts(0x1, 0x2, 0x8, 0x1, 0x2, 0x8))
+        assert not parser.locked_down
+
+    def test_lockdown_rejects_normal_traffic(self):
+        parser = make_parser()
+        parser.run(pkts(0x1, 0x2, 0x3))
+        assert parser.locked_down
+        assert not parser.classify(Packet(0x8, 4))  # was accepted before
+        assert parser.active_policy.name == "lockdown"
+
+    def test_management_packet_restores(self):
+        parser = make_parser()
+        parser.run(pkts(0x1, 0x2, 0x3))
+        assert parser.classify(Packet(MGMT, 4))
+        assert not parser.locked_down
+        assert parser.classify(Packet(0x8, 4))
+        directions = [e.direction for e in parser.events]
+        assert directions == ["lockdown", "restore"]
+
+    def test_reconfiguration_cost_tracked(self):
+        parser = make_parser()
+        parser.run(pkts(0x1, 0x2, 0x3, MGMT))
+        assert parser.total_reconfiguration_cycles() == sum(
+            e.reconfiguration_cycles for e in parser.events
+        )
+        assert parser.total_reconfiguration_cycles() > 0
+
+    def test_repeated_cycles(self):
+        parser = make_parser(threshold=2)
+        parser.run(pkts(0x1, 0x2))          # lockdown 1
+        parser.run(pkts(MGMT))              # restore 1
+        parser.run(pkts(0x3, 0x4))          # lockdown 2
+        parser.run(pkts(MGMT))              # restore 2
+        assert [e.direction for e in parser.events] == [
+            "lockdown", "restore", "lockdown", "restore",
+        ]
+
+    def test_long_random_stream_consistency(self):
+        parser = make_parser(threshold=4)
+        stream = packet_stream(120, seed=5, hot_codes=[0x8, 0x1])
+        for packet in stream:
+            # The verdict must match the policy active when the packet's
+            # header entered the parser (mode changes happen afterwards).
+            policy_before = parser.active_policy
+            accepted = parser.classify(packet)
+            assert accepted == policy_before.classify(packet)
+        assert parser.events  # the stream is hostile enough to trigger

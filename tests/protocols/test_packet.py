@@ -1,0 +1,75 @@
+"""Unit tests for the packet/traffic substrate."""
+
+import pytest
+
+from repro.protocols.packet import (
+    Packet,
+    ProtocolRevision,
+    bitstream,
+    packet_stream,
+    revision,
+)
+
+
+class TestPacket:
+    def test_bits_msb_first(self):
+        assert Packet(0b1010, 4).bits() == ["1", "0", "1", "0"]
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            Packet(16, 4)
+        with pytest.raises(ValueError):
+            Packet(0, 0)
+
+    def test_str(self):
+        assert str(Packet(0xD, 4)) == "pkt<0xd>"
+
+
+class TestRevision:
+    def test_classify(self):
+        rev = revision("v1", 4, {0x8})
+        assert rev.classify(Packet(0x8, 4))
+        assert not rev.classify(Packet(0x7, 4))
+
+    def test_classify_checks_width(self):
+        rev = revision("v1", 4, {0x8})
+        with pytest.raises(ValueError):
+            rev.classify(Packet(0x1, 3))
+
+    def test_accepted_codes_validated(self):
+        with pytest.raises(ValueError):
+            ProtocolRevision("bad", 2, frozenset({9}))
+
+
+class TestPacketStream:
+    def test_deterministic(self):
+        assert packet_stream(20, seed=4) == packet_stream(20, seed=4)
+
+    def test_count_and_width(self):
+        packets = packet_stream(15, header_bits=6, seed=0)
+        assert len(packets) == 15
+        assert all(p.header_bits == 6 for p in packets)
+
+    def test_hot_codes_dominate(self):
+        packets = packet_stream(
+            300, seed=1, hot_codes=[0x3], hot_fraction=0.9
+        )
+        hot = sum(1 for p in packets if p.type_code == 0x3)
+        assert hot > 150
+
+    def test_hot_fraction_validated(self):
+        with pytest.raises(ValueError):
+            packet_stream(5, hot_fraction=1.5)
+
+
+class TestBitstream:
+    def test_flattening(self):
+        packets = [Packet(0b10, 2), Packet(0b01, 2)]
+        triples = list(bitstream(packets))
+        assert [b for b, _p, _l in triples] == ["1", "0", "0", "1"]
+        assert [l for _b, _p, l in triples] == [False, True, False, True]
+
+    def test_packet_attribution(self):
+        packets = [Packet(0, 2), Packet(3, 2)]
+        owners = [p for _b, p, _l in bitstream(packets)]
+        assert owners == [packets[0]] * 2 + [packets[1]] * 2

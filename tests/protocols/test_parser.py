@@ -1,0 +1,80 @@
+"""Unit tests for the header-parser FSM builder."""
+
+import pytest
+
+from repro.core.delta import delta_count
+from repro.protocols.packet import Packet, revision
+from repro.protocols.parser import (
+    ACCEPT,
+    REJECT,
+    SCAN,
+    build_parser,
+    classify,
+    upgrade_deltas,
+)
+
+
+class TestBuildParser:
+    def test_state_count_is_trie_size(self):
+        parser = build_parser(revision("v", 4, {0}))
+        assert len(parser.states) == 2 ** 4 - 1
+
+    def test_verdict_on_final_bit_only(self):
+        parser = build_parser(revision("v", 3, {0b101}))
+        outs = parser.run(list("101"))
+        assert outs == [SCAN, SCAN, ACCEPT]
+
+    def test_returns_to_idle_after_verdict(self):
+        parser = build_parser(revision("v", 3, {0b101}))
+        trace = parser.trace(list("101110"))
+        assert trace[2].target == "IDLE"
+        assert trace[5].target == "IDLE"
+
+    def test_all_codes_classified_correctly(self):
+        accepted = {0b0010, 0b1111, 0b1000}
+        parser = build_parser(revision("v", 4, accepted))
+        for code in range(16):
+            expected = code in accepted
+            assert classify(parser, Packet(code, 4)) == expected
+
+    def test_back_to_back_packets(self):
+        parser = build_parser(revision("v", 2, {0b11}))
+        outs = parser.run(list("1101"))
+        assert outs == [SCAN, ACCEPT, SCAN, REJECT]
+
+    def test_classify_requires_verdict(self):
+        parser = build_parser(revision("v", 4, {0}))
+        with pytest.raises(ValueError, match="no verdict"):
+            classify(parser, Packet(0, 2))  # truncated header
+
+
+class TestUpgradeDeltas:
+    def test_one_delta_per_flipped_code(self):
+        old = revision("old", 4, {0x1, 0x2})
+        new = revision("new", 4, {0x1, 0x3, 0x4})
+        # flips: 0x2 (acc->rej), 0x3, 0x4 (rej->acc) = 3 deltas
+        assert len(upgrade_deltas(old, new)) == 3
+
+    def test_no_flips_no_deltas(self):
+        rev_a = revision("a", 3, {0b110})
+        rev_b = revision("b", 3, {0b110})
+        assert upgrade_deltas(rev_a, rev_b) == []
+
+    def test_deltas_on_last_trie_level(self):
+        old = revision("old", 4, {0x0})
+        new = revision("new", 4, {0xF})
+        for t in upgrade_deltas(old, new):
+            assert t.target == "IDLE"
+            assert len(str(t.source)) == 4  # "B" + 3 prefix bits
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            upgrade_deltas(revision("a", 3, set()), revision("b", 4, set()))
+
+    def test_delta_count_scales_with_policy_distance(self):
+        base = revision("base", 4, set())
+        for n in (1, 3, 5):
+            newer = revision("new", 4, set(range(n)))
+            assert delta_count(
+                build_parser(base), build_parser(newer)
+            ) == n

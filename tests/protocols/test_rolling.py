@@ -1,0 +1,71 @@
+"""Unit tests for rolling (bounded-stall) policy upgrades."""
+
+import pytest
+
+from repro.protocols.packet import packet_stream, revision
+from repro.protocols.rolling import RollingUpgradeScenario
+from repro.protocols.scenario import LiveUpgradeScenario
+
+
+@pytest.fixture(scope="module")
+def revisions():
+    return (
+        revision("v1", 4, {0x8, 0x6}),
+        revision("v2", 4, {0x8, 0x6, 0xD, 0xE}),
+    )
+
+
+class TestRollingUpgrade:
+    def test_clean_rollout(self, revisions):
+        scenario = RollingUpgradeScenario(*revisions)
+        packets = packet_stream(40, seed=1, hot_codes=[0x8, 0xD])
+        report = scenario.run(packets, upgrade_after=10)
+        assert report.clean
+        assert report.upgrade_complete_after_packet is not None
+
+    def test_max_stall_bounded_by_budget(self, revisions):
+        scenario = RollingUpgradeScenario(*revisions, stall_budget=6)
+        packets = packet_stream(40, seed=2)
+        report = scenario.run(packets, upgrade_after=5)
+        assert report.max_single_stall <= 6
+
+    def test_larger_budget_fewer_pauses(self, revisions):
+        packets = packet_stream(40, seed=3)
+        tight = RollingUpgradeScenario(*revisions, stall_budget=6).run(
+            packets, upgrade_after=5
+        )
+        loose = RollingUpgradeScenario(*revisions, stall_budget=60).run(
+            packets, upgrade_after=5
+        )
+        assert len(loose.stalls) <= len(tight.stalls)
+        assert loose.total_stall_cycles >= tight.total_stall_cycles - 1
+
+    def test_upgrade_completes_even_with_minimum_budget(self, revisions):
+        scenario = RollingUpgradeScenario(*revisions, stall_budget=6)
+        packets = packet_stream(60, seed=4)
+        report = scenario.run(packets, upgrade_after=0)
+        assert report.upgrade_complete_after_packet is not None
+
+    def test_upgrade_never_started(self, revisions):
+        scenario = RollingUpgradeScenario(*revisions)
+        packets = packet_stream(10, seed=5)
+        report = scenario.run(packets, upgrade_after=len(packets))
+        assert report.total_stall_cycles == 0
+        assert report.clean
+
+    def test_validates_upgrade_after(self, revisions):
+        scenario = RollingUpgradeScenario(*revisions)
+        with pytest.raises(ValueError):
+            scenario.run(packet_stream(5, seed=0), upgrade_after=9)
+
+    def test_stall_shape_vs_monolithic(self, revisions):
+        """Rolling bounds the max stall; monolithic bounds the total."""
+        packets = packet_stream(50, seed=6, hot_codes=[0xD])
+        rolling = RollingUpgradeScenario(*revisions, stall_budget=6).run(
+            packets, upgrade_after=20
+        )
+        monolithic = LiveUpgradeScenario(*revisions, optimiser="jsr").run(
+            packets, upgrade_after=20
+        )
+        assert rolling.max_single_stall < monolithic.stall_cycles
+        assert rolling.total_stall_cycles >= monolithic.stall_cycles - 3

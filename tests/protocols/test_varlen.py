@@ -1,0 +1,115 @@
+"""Unit tests for variable-length (prefix-free) parsers."""
+
+import random
+
+import pytest
+
+from repro.core.delta import delta_count
+from repro.core.jsr import jsr_program
+from repro.hw.machine import HardwareFSM
+from repro.protocols.parser import ACCEPT, REJECT, SCAN
+from repro.protocols.varlen import (
+    Codebook,
+    CodebookError,
+    build_varlen_parser,
+    upgrade_deltas_varlen,
+)
+
+
+def huffman_book(name="v1"):
+    return Codebook.of(name, {"0": True, "10": False, "110": True,
+                              "111": False})
+
+
+class TestCodebook:
+    def test_valid_prefix_free(self):
+        huffman_book().validate()
+
+    def test_rejects_prefix_collision(self):
+        with pytest.raises(CodebookError, match="prefix"):
+            Codebook.of("bad", {"0": True, "01": False})
+
+    def test_rejects_empty(self):
+        with pytest.raises(CodebookError):
+            Codebook.of("bad", {})
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(CodebookError):
+            Codebook.of("bad", {"0x": True})
+
+    def test_reference_decoder(self):
+        book = huffman_book()
+        assert book.classify_stream("0") == [True]
+        assert book.classify_stream("10") == [False]
+        assert book.classify_stream("110111") == [True, False]
+
+    def test_reference_decoder_resync(self):
+        # '1' then end-of-stream is incomplete -> no verdict
+        book = Codebook.of("v", {"00": True})
+        # '01' falls off the trie after the second bit
+        assert book.classify_stream("01") == [False]
+
+
+class TestParser:
+    def test_matches_reference_decoder(self):
+        book = huffman_book()
+        parser = build_varlen_parser(book)
+        rng = random.Random(0)
+        bits = "".join(rng.choice("01") for _ in range(300))
+        fsm_verdicts = [
+            out == ACCEPT
+            for out in parser.run(list(bits))
+            if out in (ACCEPT, REJECT)
+        ]
+        assert fsm_verdicts == book.classify_stream(bits)
+
+    def test_state_count_is_trie_prefixes(self):
+        parser = build_varlen_parser(huffman_book())
+        # prefixes: "", "1", "11"
+        assert len(parser.states) == 3
+
+    def test_scan_only_inside_codewords(self):
+        parser = build_varlen_parser(huffman_book())
+        outs = parser.run(list("110"))
+        assert outs == [SCAN, SCAN, ACCEPT]
+
+    def test_fall_off_rejects_and_resyncs(self):
+        book = Codebook.of("v", {"00": True, "01": False})
+        parser = build_varlen_parser(book)
+        # '1' cannot start any codeword
+        assert parser.run(list("1")) == [REJECT]
+        assert parser.trace(list("1"))[-1].target == "IDLE"
+
+
+class TestCodebookUpgrades:
+    def test_verdict_flip_is_small_delta(self):
+        old = huffman_book("old")
+        new = Codebook.of("new", {"0": True, "10": True, "110": True,
+                                  "111": False})
+        deltas = upgrade_deltas_varlen(old, new)
+        assert len(deltas) == 1  # only the '10' leaf verdict flips
+
+    def test_code_addition_grows_trie(self):
+        old = Codebook.of("old", {"0": True, "10": False})
+        new = Codebook.of("new", {"0": True, "10": False, "110": True,
+                                  "111": False})
+        old_parser = build_varlen_parser(old)
+        new_parser = build_varlen_parser(new)
+        assert len(new_parser.states) > len(old_parser.states)
+        program = jsr_program(old_parser, new_parser)
+        assert program.is_valid()
+        hw = HardwareFSM.for_migration(old_parser, new_parser)
+        hw.run_program(program)
+        assert hw.realises(new_parser)
+        # the upgraded hardware decodes the new codebook
+        bits = "1101110100"
+        outs = [hw.step(b) for b in bits]
+        got = [o == ACCEPT for o in outs if o in (ACCEPT, REJECT)]
+        assert got == new.classify_stream(bits)
+
+    def test_upgrade_delta_count_reasonable(self):
+        old = Codebook.of("old", {"0": True, "10": False})
+        new = Codebook.of("new", {"0": False, "10": True})
+        assert delta_count(
+            build_varlen_parser(old), build_varlen_parser(new)
+        ) == 2

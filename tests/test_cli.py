@@ -1,0 +1,191 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.kiss import dump, loads
+from repro.workloads.library import fig6_m, fig6_m_prime, ones_detector
+
+
+@pytest.fixture
+def kiss_files(tmp_path):
+    src = str(tmp_path / "m.kiss")
+    tgt = str(tmp_path / "mp.kiss")
+    dump(fig6_m(), src)
+    dump(fig6_m_prime(), tgt)
+    return src, tgt
+
+
+class TestInfo:
+    def test_prints_stats(self, kiss_files, capsys):
+        src, _tgt = kiss_files
+        assert main(["info", src]) == 0
+        out = capsys.readouterr().out
+        assert "states" in out and "3" in out
+        assert "strongly connected" in out
+
+    def test_moore_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "d.kiss")
+        dump(ones_detector(), path)
+        main(["info", path])
+        assert "Moore-style" in capsys.readouterr().out
+
+
+class TestDeltas:
+    def test_lists_paper_deltas(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(["deltas", src, tgt]) == 0
+        out = capsys.readouterr().out
+        assert "|Td| = 4" in out
+        assert "4 <= |Z| <= 15" in out
+
+    def test_trivial_migration(self, kiss_files, capsys):
+        src, _tgt = kiss_files
+        main(["deltas", src, src])
+        assert "trivial" in capsys.readouterr().out
+
+
+class TestSynth:
+    @pytest.mark.parametrize("method", ["jsr", "ea", "greedy", "tsp", "optimal"])
+    def test_all_methods(self, kiss_files, capsys, method):
+        src, tgt = kiss_files
+        assert main(["synth", src, tgt, "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "reconfiguration program" in out
+
+    def test_sequence_table(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        main(["synth", src, tgt, "--method", "jsr", "--sequence"])
+        out = capsys.readouterr().out
+        assert "reconfiguration sequence" in out
+        assert "Hi" in out and "Hf" in out and "Hg" in out
+
+    def test_jsr_length(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        main(["synth", src, tgt, "--method", "jsr"])
+        assert "|Z| = 15" in capsys.readouterr().out
+
+
+class TestMigrate:
+    def test_verified_migration(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(["migrate", src, tgt, "--method", "ea"]) == 0
+        assert "hardware-verified=True" in capsys.readouterr().out
+
+
+class TestMinimize:
+    def test_emits_kiss(self, tmp_path, capsys):
+        # A machine with two redundant states.
+        text = (
+            ".i 1\n.o 1\n.r A\n"
+            "0 A A 0\n1 A B 1\n"
+            "0 B B 0\n1 B A 1\n"
+        )
+        path = str(tmp_path / "r.kiss")
+        with open(path, "w") as handle:
+            handle.write(text)
+        assert main(["minimize", path]) == 0
+        out = capsys.readouterr().out
+        minimal = loads(out)
+        assert len(minimal.states) == 1
+
+    def test_reports_reduction(self, kiss_files, capsys):
+        src, _ = kiss_files
+        main(["minimize", src])
+        assert "3 -> 3 states" in capsys.readouterr().err
+
+
+class TestVhdlAndDot:
+    def test_behavioural_vhdl(self, kiss_files, capsys):
+        src, _ = kiss_files
+        assert main(["vhdl", src]) == 0
+        assert "architecture behavior" in capsys.readouterr().out
+
+    def test_structural_vhdl(self, kiss_files, capsys):
+        src, _ = kiss_files
+        assert main(["vhdl", src, "--reconfigurable", "--extra-states", "1"]) == 0
+        assert "architecture structure" in capsys.readouterr().out
+
+    def test_dot_single_machine(self, kiss_files, capsys):
+        src, _ = kiss_files
+        assert main(["dot", src]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_dot_migration_view(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(["dot", src, "--target", tgt]) == 0
+        assert "style=bold" in capsys.readouterr().out
+
+
+class TestSuiteCommand:
+    def test_suite_with_jsr(self, capsys):
+        assert main(["suite", "--method", "jsr"]) == 0
+        out = capsys.readouterr().out
+        assert "paper/fig6" in out
+        assert "valid" in out
+        assert "False" not in out
+
+
+class TestReport:
+    def test_markdown_report(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(["report", src, tgt]) == 0
+        out = capsys.readouterr().out
+        assert "# Migration report" in out
+        assert "## Recommended program" in out
+        assert "**PASS**" in out
+
+
+class TestVerilog:
+    def test_behavioural(self, kiss_files, capsys):
+        src, _ = kiss_files
+        assert main(["verilog", src]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("module")
+        assert "endmodule" in out
+
+    def test_structural(self, kiss_files, capsys):
+        src, _ = kiss_files
+        assert main(["verilog", src, "--reconfigurable"]) == 0
+        assert "f_ram" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_runs_word(self, tmp_path, capsys):
+        path = str(tmp_path / "d.kiss")
+        dump(ones_detector(), path)
+        assert main(["simulate", path, "1101"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs: 0 1 0 0" in out
+        assert "final state: S1" in out
+
+    def test_writes_vcd(self, tmp_path, capsys):
+        path = str(tmp_path / "d.kiss")
+        vcd_path = str(tmp_path / "run.vcd")
+        dump(ones_detector(), path)
+        assert main(["simulate", path, "11", "--vcd", vcd_path]) == 0
+        with open(vcd_path) as handle:
+            assert "$enddefinitions" in handle.read()
+
+
+class TestVerify:
+    def test_pass_on_good_migration(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(["verify", src, tgt, "--method", "jsr"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_self_migration_passes(self, kiss_files, capsys):
+        src, _tgt = kiss_files
+        assert main(["verify", src, src, "--method", "optimal"]) == 0
+
+
+class TestFillOption:
+    def test_incomplete_file_needs_fill(self, tmp_path):
+        path = str(tmp_path / "inc.kiss")
+        with open(path, "w") as handle:
+            handle.write(".i 1\n.o 1\n1 A A 1\n")
+        from repro.io.kiss import KissError
+
+        with pytest.raises(KissError):
+            main(["info", path])
+        assert main(["--fill", "0", "info", path]) == 0

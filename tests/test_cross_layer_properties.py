@@ -1,0 +1,178 @@
+"""Cross-layer property tests: model ↔ hardware ↔ formats agree.
+
+These properties tie independent subsystems together on random inputs:
+
+* the Def. 2.2 model machine and the bit-level datapath execute any
+  reconfiguration schedule identically;
+* KISS2 serialisation round-trips behaviour for any bit-symbol machine;
+* scrubbing repairs any random corruption, certified by conformance
+  testing;
+* the self-reconfigurable model and hardware agree on triggered runs.
+"""
+
+import random as _random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.jsr import jsr_program
+from repro.core.minimize import minimize
+from repro.core.reconfigurable import SelfReconfigurableFSM, Trigger
+from repro.core.verify import verify_hardware
+from repro.hw.faults import corrupted_entries, inject_upset, scrub
+from repro.hw.machine import HardwareFSM
+from repro.hw.reconfigurator import SelfReconfigurableHardware
+from repro.io.kiss import dumps, loads
+from repro.workloads.mutate import mutate_target
+from repro.workloads.random_fsm import random_fsm
+
+
+@st.composite
+def bit_machines(draw, max_state_bits=3):
+    """Random machines whose symbols are bit strings (KISS-compatible)."""
+    n_states = draw(st.integers(2, 2 ** max_state_bits))
+    machine = random_fsm(
+        n_states=n_states,
+        n_inputs=draw(st.sampled_from([2, 4])),
+        n_outputs=draw(st.sampled_from([2, 4])),
+        seed=draw(st.integers(0, 3000)),
+    )
+    in_width = max(1, (len(machine.inputs) - 1).bit_length())
+    out_width = max(1, (len(machine.outputs) - 1).bit_length())
+    in_map = {
+        a: format(idx, f"0{in_width}b")
+        for idx, a in enumerate(machine.inputs)
+    }
+    out_map = {
+        o: format(idx, f"0{out_width}b")
+        for idx, o in enumerate(machine.outputs)
+    }
+    from repro.core.fsm import FSM, Transition
+
+    return FSM(
+        [in_map[a] for a in machine.inputs],
+        [out_map[o] for o in machine.outputs],
+        machine.states,
+        machine.reset_state,
+        [
+            Transition(in_map[t.input], t.source, t.target, out_map[t.output])
+            for t in machine.transitions()
+        ],
+        name=machine.name,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(bit_machines())
+def test_kiss_roundtrip_preserves_behaviour(machine):
+    again = loads(dumps(machine))
+    assert again.behaviourally_equivalent(machine)
+    # and a second roundtrip is textually stable
+    assert dumps(loads(dumps(machine))) == dumps(again)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2000), st.integers(1, 4), st.integers(0, 500))
+def test_scrubbing_repairs_any_corruption(seed, n_upsets, upset_seed):
+    machine = random_fsm(n_states=6, seed=seed)
+    hw = HardwareFSM(machine)
+    for k in range(n_upsets):
+        inject_upset(hw, seed=upset_seed + 31 * k)
+    scrub(hw, machine)
+    assert hw.realises(machine)
+    assert not corrupted_entries(hw, machine)
+    assert verify_hardware(hw, machine).passed
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2000), st.integers(0, 2000),
+       st.lists(st.integers(0, 3), min_size=1, max_size=15))
+def test_self_reconf_model_and_hardware_agree(seed, mut_seed, raw_word):
+    source = random_fsm(n_states=5, seed=seed)
+    target = mutate_target(source, 3, seed=mut_seed, name="tgt")
+    program = jsr_program(source, target)
+    trigger_state = source.states[1]
+    trigger_input = source.inputs[0]
+
+    def predicate(state, i):
+        return state == trigger_state and i == trigger_input
+
+    model = SelfReconfigurableFSM(
+        source, [Trigger(predicate, program, name="t")]
+    )
+    fired = []
+
+    def one_shot_rule(s, i):
+        # the model's Trigger is once-only; mirror that statefully here
+        if not fired and predicate(s, i):
+            fired.append(True)
+            return "t"
+        return None
+
+    hardware = SelfReconfigurableHardware.build(
+        source, {"t": program}, rules=[one_shot_rule]
+    )
+    word = [source.inputs[v % len(source.inputs)] for v in raw_word]
+    # pad so any armed replay completes
+    word += [source.inputs[0]] * (len(program) + 2)
+    model_out = model.run(word)
+    hw_out = hardware.run(word)
+    assert [flag for _o, flag in model_out] == [f for _o, f in hw_out]
+    # compare outputs only on normal-mode cycles (reconf outputs are
+    # don't-cares, but our two implementations emit the same anyway for
+    # non-reset rows; reset rows differ by convention)
+    for (mo, mf), (ho, hf) in zip(model_out, hw_out):
+        if not mf:
+            assert mo == ho
+    # afterwards both realise the same machine
+    assert model.machine.realises(target) == hardware.datapath.realises(target)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2000))
+def test_minimize_then_verify_on_hardware(seed):
+    machine = random_fsm(n_states=7, n_outputs=2, seed=seed)
+    minimal = minimize(machine)
+    hw = HardwareFSM(minimal)
+    # the minimal machine's hardware passes the ORIGINAL machine's suite
+    assert verify_hardware(hw, machine).passed
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 500))
+def test_held_karp_matches_brute_force(n_cities, seed):
+    """The DP solution equals the exhaustive permutation minimum."""
+    import itertools
+
+    from repro.analysis.tsp import held_karp_path
+
+    rng = _random.Random(seed)
+    matrix = [
+        [0 if i == j else rng.randint(0, 9) for j in range(n_cities)]
+        for i in range(n_cities)
+    ]
+    start_costs = [rng.randint(0, 9) for _ in range(n_cities)]
+    dp_cost, dp_order = held_karp_path(matrix, start_costs)
+    best = min(
+        start_costs[perm[0]]
+        + sum(matrix[a][b] for a, b in zip(perm, perm[1:]))
+        for perm in itertools.permutations(range(n_cities))
+    )
+    assert dp_cost == best
+    walked = start_costs[dp_order[0]] + sum(
+        matrix[a][b] for a, b in zip(dp_order, dp_order[1:])
+    )
+    assert walked == dp_cost
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2000), st.integers(0, 6), st.integers(0, 2000))
+def test_program_serialisation_roundtrip(seed, n_deltas, mut_seed):
+    from repro.io import program_io
+
+    source = random_fsm(n_states=5, seed=seed)
+    capacity = len(source.inputs) * len(source.states)
+    target = mutate_target(source, min(n_deltas, capacity), seed=mut_seed)
+    program = jsr_program(source, target)
+    again = program_io.loads(program_io.dumps(program))
+    assert [str(s) for s in again] == [str(s) for s in program]
+    assert again.is_valid()

@@ -1,0 +1,73 @@
+"""Run every module's doctests as part of the suite."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.analysis.campaign",
+    "repro.analysis.stats",
+    "repro.analysis.tables",
+    "repro.analysis.tsp",
+    "repro.apps.string_match",
+    "repro.cli",
+    "repro.core.alphabet",
+    "repro.core.bounds",
+    "repro.core.decode",
+    "repro.core.delta",
+    "repro.core.ea",
+    "repro.core.explain",
+    "repro.core.fsm",
+    "repro.core.greedy",
+    "repro.core.incremental",
+    "repro.core.jsr",
+    "repro.core.minimize",
+    "repro.core.optimal",
+    "repro.core.partial",
+    "repro.core.plan",
+    "repro.core.transform",
+    "repro.core.paths",
+    "repro.core.program",
+    "repro.core.reconfigurable",
+    "repro.core.verify",
+    "repro.hw.bitstream",
+    "repro.hw.faults",
+    "repro.hw.fpga",
+    "repro.hw.machine",
+    "repro.hw.memory",
+    "repro.hw.multicontext",
+    "repro.hw.checker",
+    "repro.hw.power",
+    "repro.hw.timing",
+    "repro.hw.vcd",
+    "repro.hw.verilog",
+    "repro.hw.vhdl_reader",
+    "repro.hw.tmr",
+    "repro.io.dot",
+    "repro.io.kiss",
+    "repro.io.program_io",
+    "repro.hw.register",
+    "repro.hw.signals",
+    "repro.hw.trace",
+    "repro.hw.vhdl",
+    "repro.protocols.adaptive",
+    "repro.protocols.packet",
+    "repro.protocols.parser",
+    "repro.protocols.rolling",
+    "repro.protocols.varlen",
+    "repro.protocols.scenario",
+    "repro.workloads.library",
+    "repro.workloads.mutate",
+    "repro.workloads.random_fsm",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_doctests(name):
+    # importlib avoids the attribute-shadowing gotcha where a package
+    # re-exports a function with the same name as its defining submodule
+    # (e.g. repro.workloads.random_fsm).
+    module = importlib.import_module(name)
+    failures, _tests = doctest.testmod(module, verbose=False)
+    assert failures == 0

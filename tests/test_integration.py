@@ -1,0 +1,157 @@
+"""End-to-end integration tests across all layers of the stack.
+
+Each test exercises a complete pipeline: workload generation → delta
+analysis → program synthesis → (model and hardware) replay → behavioural
+verification — the flows a downstream user of the library runs.
+"""
+
+import pytest
+
+from repro.core.bounds import check_program, lower_bound, upper_bound
+from repro.core.delta import delta_count
+from repro.core.ea import EAConfig, evolve_program
+from repro.core.greedy import greedy_program
+from repro.core.jsr import jsr_program
+from repro.core.optimal import optimal_program
+from repro.core.reconfigurable import ReconfigurableFSM
+from repro.hw.fpga import ReconfigurationCostModel, estimate_resources, XCV300
+from repro.hw.machine import HardwareFSM
+from repro.hw.reconfigurator import SelfReconfigurableHardware
+from repro.hw.vhdl import generate_fsm_vhdl, generate_reconfigurable_vhdl
+from repro.protocols.packet import packet_stream, revision
+from repro.protocols.parser import build_parser
+from repro.protocols.scenario import LiveUpgradeScenario
+from repro.workloads.library import fig6_m, fig6_m_prime
+from repro.workloads.mutate import grow_target, workload_pair
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestFullMigrationPipeline:
+    """Random workload → all four synthesisers → hardware verification."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_methods_agree_on_the_outcome(self, seed):
+        source, target = workload_pair(7, 4, seed=seed)
+        programs = {
+            "jsr": jsr_program(source, target),
+            "greedy": greedy_program(source, target),
+            "ea": evolve_program(
+                source,
+                target,
+                config=EAConfig(population_size=16, generations=15, seed=0),
+            ).program,
+            "optimal": optimal_program(source, target),
+        }
+        lengths = {}
+        for name, program in programs.items():
+            report = check_program(program)
+            assert report.valid, f"{name} produced an invalid program"
+            assert report.lower <= report.length
+            lengths[name] = report.length
+        assert lengths["optimal"] <= min(
+            lengths["jsr"], lengths["greedy"], lengths["ea"]
+        )
+        # Replay each on real hardware and verify behaviour.
+        import random
+
+        rng = random.Random(seed)
+        word = [rng.choice(target.inputs) for _ in range(64)]
+        expected = target.run(word)
+        for name, program in programs.items():
+            hw = HardwareFSM.for_migration(source, target)
+            hw.run_program(program)
+            assert hw.run(word) == expected, f"{name} broke behaviour"
+
+    def test_growing_migration_end_to_end(self):
+        source = random_fsm(n_states=5, seed=42)
+        target = grow_target(source, 3, seed=42)
+        program = jsr_program(source, target)
+        hw = HardwareFSM.for_migration(source, target)
+        hw.run_program(program)
+        assert hw.realises(target)
+        model, schedule = ReconfigurableFSM.from_program(program)
+        model.run_schedule(schedule, retarget=target.reset_state)
+        assert model.realises(target)
+        assert model.table == {
+            key: hw.table_entry(*key) for key in model.table
+        }
+
+
+class TestPaperWalkthrough:
+    """The complete Fig. 6 → Fig. 9 story as one flow."""
+
+    def test_fig6_story(self):
+        m, mp = fig6_m(), fig6_m_prime()
+        assert lower_bound(m, mp) == 4
+        assert upper_bound(m, mp) == 15
+        jsr = jsr_program(m, mp)
+        assert len(jsr) == 15
+        ea = evolve_program(
+            m, mp, config=EAConfig(population_size=24, generations=25, seed=3)
+        ).program
+        assert len(ea) < len(jsr)
+        hw = HardwareFSM.for_migration(m, mp)
+        hw.run_program(ea)
+        assert hw.realises(mp)
+        # the upgraded hardware behaves like M' on fresh traffic
+        word = list("1111011101")
+        assert hw.run(word) == mp.run(word)
+
+
+class TestVHDLPipeline:
+    def test_vhdl_for_synthesised_migration(self):
+        source, target = workload_pair(6, 3, seed=9)
+        program = jsr_program(source, target)
+        behavioural = generate_fsm_vhdl(source)
+        structural = generate_reconfigurable_vhdl(
+            source, extra_states=len(target.states) - len(source.states)
+        )
+        assert "entity" in behavioural and "entity" in structural
+        estimate = estimate_resources(source, rom_cycles=len(program))
+        assert estimate.fits(XCV300)
+
+
+class TestProtocolPipeline:
+    def test_parser_on_hardware_with_live_upgrade(self):
+        old = revision("old", 4, {0x1, 0x8})
+        new = revision("new", 4, {0x1, 0x8, 0xE, 0xF})
+        scenario = LiveUpgradeScenario(old, new)
+        packets = packet_stream(50, seed=8, hot_codes=[0xE, 0x8])
+        report = scenario.run(packets, upgrade_after=25)
+        assert report.zero_misclassification
+        assert report.stall_cycles == len(scenario.program)
+        assert report.speedup_vs_full_swap > 100
+
+    def test_parser_resources_fit_device(self):
+        parser = build_parser(revision("v", 6, {0, 1, 2}))
+        estimate = estimate_resources(parser)
+        assert estimate.fits(XCV300)
+
+    def test_self_triggered_hardware_upgrade(self):
+        old = revision("old", 3, {0b101})
+        new = revision("new", 3, {0b101, 0b111})
+        old_parser, new_parser = build_parser(old), build_parser(new)
+        program = jsr_program(old_parser, new_parser)
+        hardware = SelfReconfigurableHardware.build(
+            old_parser,
+            {"up": program},
+            rules=[lambda s, i: "up" if s == "IDLE" and i == "1" else None],
+        )
+        # first header bit triggers the upgrade; then parse 111
+        hardware.clock("1")
+        while hardware.reconfiguring:
+            hardware.clock("0")
+        outs = [hardware.clock(b)[0] for b in "111"]
+        assert outs[-1] == "acc"
+
+
+class TestCostStory:
+    def test_motivation_numbers(self):
+        # Sec. 1: context swaps cost milliseconds; gradual reconfiguration
+        # of a small delta costs nanoseconds-to-microseconds.
+        m, mp = fig6_m(), fig6_m_prime()
+        model = ReconfigurationCostModel()
+        program = jsr_program(m, mp)
+        assert model.full_swap_seconds() > 1e-3
+        assert model.gradual_seconds(program) < 1e-6
+        assert model.crossover_cycles_full() > len(program)

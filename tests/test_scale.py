@@ -1,0 +1,122 @@
+"""Scale and edge-case tests: the pipeline at its size extremes."""
+
+import random
+
+import pytest
+
+from repro.core.bounds import check_program
+from repro.core.delta import delta_count
+from repro.core.ea import EAConfig, evolve_program
+from repro.core.fsm import FSM
+from repro.core.jsr import jsr_program
+from repro.core.verify import verify_hardware
+from repro.hw.machine import HardwareFSM
+from repro.workloads.mutate import grow_target, mutate_target, workload_pair
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestLargeMachines:
+    def test_64_state_jsr_pipeline(self):
+        src, tgt = workload_pair(64, 24, seed=42, n_inputs=4)
+        program = jsr_program(src, tgt)
+        report = check_program(program)
+        assert report.valid and report.within_bounds
+        hw = HardwareFSM.for_migration(src, tgt)
+        hw.run_program(program)
+        assert hw.realises(tgt)
+
+    def test_128_state_delta_and_bounds(self):
+        src = random_fsm(n_states=128, n_inputs=4, seed=7)
+        tgt = mutate_target(src, 50, seed=8)
+        assert delta_count(src, tgt) == 50
+        program = jsr_program(src, tgt)
+        assert len(program) in (3 * 50, 3 * 51)
+        assert program.is_valid()
+
+    def test_large_growth_migration(self):
+        src = random_fsm(n_states=24, seed=9)
+        tgt = grow_target(src, 24, seed=9)  # doubles the state space
+        program = jsr_program(src, tgt)
+        assert program.is_valid()
+        hw = HardwareFSM.for_migration(src, tgt)
+        hw.run_program(program)
+        assert hw.realises(tgt)
+
+    def test_ea_on_large_instance(self):
+        src, tgt = workload_pair(32, 20, seed=10, n_inputs=3)
+        result = evolve_program(
+            src, tgt,
+            config=EAConfig(population_size=16, generations=10, seed=0),
+        )
+        assert result.program.is_valid()
+        assert result.best_length < len(jsr_program(src, tgt))
+
+    def test_long_traffic_on_hardware(self):
+        machine = random_fsm(n_states=64, n_inputs=4, seed=11)
+        hw = HardwareFSM(machine)
+        rng = random.Random(0)
+        word = [rng.choice(machine.inputs) for _ in range(5000)]
+        assert hw.run(word) == machine.run(word)
+
+
+class TestDegenerateMachines:
+    def test_single_state_machine(self):
+        machine = FSM(["a"], ["x", "y"], ["ONLY"], "ONLY",
+                      [("a", "ONLY", "ONLY", "x")])
+        target = FSM(["a"], ["x", "y"], ["ONLY"], "ONLY",
+                     [("a", "ONLY", "ONLY", "y")])
+        program = jsr_program(machine, target)
+        assert program.is_valid()
+        hw = HardwareFSM.for_migration(machine, target)
+        hw.run_program(program)
+        assert hw.realises(target)
+        assert verify_hardware(hw, target).passed
+
+    def test_single_input_machine(self):
+        src = random_fsm(n_states=5, n_inputs=1, seed=2)
+        tgt = mutate_target(src, 3, seed=3)
+        assert jsr_program(src, tgt).is_valid()
+
+    def test_wide_input_alphabet(self):
+        src = random_fsm(n_states=4, n_inputs=16, seed=4)
+        tgt = mutate_target(src, 10, seed=5)
+        program = jsr_program(src, tgt)
+        assert program.is_valid()
+        hw = HardwareFSM.for_migration(src, tgt)
+        hw.run_program(program)
+        assert hw.realises(tgt)
+
+    def test_single_output_machines(self):
+        # With one output symbol only F can differ.
+        src = random_fsm(n_states=6, n_outputs=1, seed=6)
+        tgt = mutate_target(src, 4, seed=7)
+        assert delta_count(src, tgt) == 4
+        assert jsr_program(src, tgt).is_valid()
+
+
+class TestMooreMigrations:
+    def test_moore_to_moore_migration(self):
+        from repro.core.transform import mealy_to_moore
+        from repro.workloads.library import ones_detector, zeros_detector
+
+        src = mealy_to_moore(ones_detector()).to_mealy(name="moore_src")
+        tgt_base = mealy_to_moore(zeros_detector())
+        # Align the target's state universe with the source's via rename
+        tgt = tgt_base.to_mealy(name="moore_tgt")
+        program = jsr_program(src, tgt)
+        assert program.is_valid()
+        hw = HardwareFSM.for_migration(src, tgt)
+        hw.run_program(program)
+        assert hw.realises(tgt)
+        # the migrated machine still has the Moore property
+        assert hw.run(list("0011")) == tgt.run(list("0011"))
+
+    def test_migrated_moore_machine_is_moore(self):
+        from repro.core.transform import mealy_to_moore
+        from repro.workloads.library import sequence_detector
+
+        src = sequence_detector("10")
+        tgt = mealy_to_moore(sequence_detector("01")).to_mealy(name="m")
+        program = jsr_program(src, tgt)
+        result = program.replay()
+        assert result.ok

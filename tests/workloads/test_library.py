@@ -1,0 +1,129 @@
+"""Unit tests for the paper-figure machines and classic controllers."""
+
+import pytest
+
+from repro.core.delta import delta_transitions
+from repro.core.fsm import FSMError
+from repro.workloads.library import (
+    PAPER_PAIRS,
+    elevator_controller,
+    fig6_m,
+    fig6_m_prime,
+    fig7_m,
+    fig7_m_prime,
+    fig9_delta_order,
+    gray_counter,
+    ones_detector,
+    parity_checker,
+    sequence_detector,
+    table1_target,
+    traffic_light,
+    zeros_detector,
+)
+
+
+class TestPaperMachines:
+    def test_ones_detector_behaviour(self):
+        m = ones_detector()
+        # "outputs 1 in case two or more successive ones have been
+        # detected ... until a zero occurs again"
+        assert m.run(list("0110111")) == list("0010011")
+
+    def test_zeros_detector_is_mirror(self):
+        ones, zeros = ones_detector(), zeros_detector()
+        word = list("0010110")
+        mirrored = ["1" if c == "0" else "0" for c in word]
+        assert ones.run(word) == zeros.run(mirrored)
+
+    def test_table1_target_table(self):
+        tgt = table1_target()
+        assert tgt.entry("1", "S1") == ("S1", "0")
+        assert tgt.entry("0", "S0") == ("S0", "1")
+
+    def test_fig6_delta_set_matches_paper(self):
+        deltas = delta_transitions(fig6_m(), fig6_m_prime())
+        assert {str(t) for t in deltas} == {
+            "(0, S1, S0, 0)",
+            "(1, S2, S3, 0)",
+            "(1, S3, S3, 1)",
+            "(0, S3, S0, 0)",
+        }
+
+    def test_fig6_m_semantics(self):
+        # every third one emits a 1
+        assert fig6_m().run(list("111111")) == list("001001")
+
+    def test_fig6_m_prime_semantics(self):
+        # saturates after three ones, zeros restart
+        assert fig6_m_prime().run(list("11110111")) == list("00010000")
+
+    def test_fig7_single_delta(self):
+        deltas = delta_transitions(fig7_m(), fig7_m_prime())
+        assert [str(t) for t in deltas] == ["(0, S3, S0, 0)"]
+
+    def test_fig7_shared_chain(self):
+        # the ones-chain S0->S1->S2->S3 exists in both machines
+        for machine in (fig7_m(), fig7_m_prime()):
+            assert machine.run(list("111")) == list("000")
+            assert machine.trace(list("111"))[-1].target == "S3"
+
+    def test_fig9_order_is_delta_permutation(self):
+        deltas = delta_transitions(fig6_m(), fig6_m_prime())
+        assert sorted(map(str, fig9_delta_order())) == sorted(map(str, deltas))
+
+    def test_paper_pairs_registry(self):
+        assert set(PAPER_PAIRS) == {"table1", "fig6", "fig7"}
+        for make_src, make_tgt in PAPER_PAIRS.values():
+            src, tgt = make_src(), make_tgt()
+            assert src.reset_state == tgt.reset_state == "S0"
+
+
+class TestControllers:
+    def test_parity_checker(self):
+        assert parity_checker().run(list("1100")) == list("1000")
+
+    def test_sequence_detector_default(self):
+        m = sequence_detector()
+        assert m.name == "detect_1011"
+        assert len(m.states) == 4
+
+    def test_elevator_moves_toward_call(self):
+        m = elevator_controller(3)
+        # The Mealy output reports the *current* motion: the call cycle
+        # itself still holds, then the car moves up twice.
+        assert m.run(["call2", "idle", "idle", "idle"]) == [
+            "stay", "up", "up", "stay",
+        ]
+
+    def test_elevator_validates_floors(self):
+        with pytest.raises(ValueError):
+            elevator_controller(1)
+
+    def test_elevator_complete(self):
+        m = elevator_controller(3)
+        assert len(m.states) == 9
+        assert len(m.table) == len(m.inputs) * len(m.states)
+
+    def test_gray_counter_single_bit_flips(self):
+        m = gray_counter(3)
+        outs = m.run(["en"] * 8)
+        previous = "000"
+        for word in outs:
+            diff = sum(a != b for a, b in zip(previous, word))
+            assert diff == 1
+            previous = word
+        assert outs[-1] == "000"  # wrapped around
+
+    def test_gray_counter_hold(self):
+        m = gray_counter(2)
+        assert m.run(["en", "hold", "hold"]) == ["01", "01", "01"]
+
+    def test_gray_counter_validates_bits(self):
+        with pytest.raises(ValueError):
+            gray_counter(0)
+
+    def test_traffic_light_cycles(self):
+        m = traffic_light()
+        assert m.run(["go"] * 6) == [
+            "green", "yellow", "red", "green", "yellow", "red",
+        ]

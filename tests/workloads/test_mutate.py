@@ -1,0 +1,83 @@
+"""Unit tests for controlled target derivation (mutate/grow)."""
+
+import pytest
+
+from repro.core.delta import delta_count, delta_transitions
+from repro.workloads.mutate import grow_target, mutate_target, workload_pair
+from repro.workloads.random_fsm import random_fsm
+
+
+class TestMutateTarget:
+    def test_exact_delta_count(self):
+        src = random_fsm(n_states=8, seed=0)
+        for k in (0, 1, 4, 10, 16):
+            assert delta_count(src, mutate_target(src, k, seed=k)) == k
+
+    def test_deterministic(self):
+        src = random_fsm(seed=1)
+        assert mutate_target(src, 5, seed=2) == mutate_target(src, 5, seed=2)
+
+    def test_preserves_shape(self):
+        src = random_fsm(seed=3)
+        tgt = mutate_target(src, 4, seed=0)
+        assert tgt.states == src.states
+        assert tgt.inputs == src.inputs
+        assert tgt.reset_state == src.reset_state
+
+    def test_outputs_only_mode(self):
+        src = random_fsm(seed=4)
+        tgt = mutate_target(src, 6, seed=0, outputs_only=True)
+        for t in delta_transitions(src, tgt):
+            assert src.next_state(t.input, t.source) == t.target
+            assert src.output(t.input, t.source) != t.output
+
+    def test_outputs_only_needs_two_outputs(self):
+        src = random_fsm(n_outputs=1, seed=0)
+        with pytest.raises(ValueError):
+            mutate_target(src, 1, outputs_only=True)
+
+    def test_rejects_overlarge_request(self):
+        src = random_fsm(n_states=3, n_inputs=2, seed=0)
+        with pytest.raises(ValueError):
+            mutate_target(src, 7)
+
+    def test_name_default(self):
+        src = random_fsm(seed=5)
+        assert mutate_target(src, 3, seed=1).name.endswith("_mut3")
+
+
+class TestGrowTarget:
+    def test_adds_states(self):
+        src = random_fsm(n_states=5, seed=6)
+        tgt = grow_target(src, 3, seed=0)
+        assert len(tgt.states) == 8
+        assert set(src.states) < set(tgt.states)
+
+    def test_new_states_reachable(self):
+        src = random_fsm(n_states=5, seed=7)
+        tgt = grow_target(src, 2, seed=1)
+        reachable = tgt.reachable_states()
+        assert {"n0", "n1"} <= reachable
+
+    def test_deltas_include_redirects_and_new_rows(self):
+        src = random_fsm(n_states=5, seed=8)
+        tgt = grow_target(src, 2, seed=2)
+        deltas = delta_transitions(src, tgt)
+        # 2 redirected entries + 2 full new rows (2 inputs each)
+        assert len(deltas) == 2 + 2 * len(src.inputs)
+
+    def test_rejects_zero_states(self):
+        with pytest.raises(ValueError):
+            grow_target(random_fsm(seed=0), 0)
+
+
+class TestWorkloadPair:
+    def test_pair_contract(self):
+        src, tgt = workload_pair(10, 7, seed=0)
+        assert delta_count(src, tgt) == 7
+        assert len(src.states) == 10
+
+    def test_custom_alphabet_sizes(self):
+        src, tgt = workload_pair(6, 3, seed=1, n_inputs=4, n_outputs=3)
+        assert len(src.inputs) == 4
+        assert len(src.outputs) == 3

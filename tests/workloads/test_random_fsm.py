@@ -1,0 +1,67 @@
+"""Unit tests for the seeded random FSM generator."""
+
+import pytest
+
+from repro.workloads.random_fsm import RandomFSMSpec, random_fsm
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = RandomFSMSpec()
+        assert spec.n_states == 8 and spec.connect
+
+    def test_validates_sizes(self):
+        with pytest.raises(ValueError):
+            RandomFSMSpec(n_states=0)
+        with pytest.raises(ValueError):
+            RandomFSMSpec(n_inputs=0)
+
+    def test_validates_bias(self):
+        with pytest.raises(ValueError):
+            RandomFSMSpec(self_loop_bias=2.0)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        assert random_fsm(seed=5) == random_fsm(seed=5)
+
+    def test_different_seeds_differ(self):
+        assert random_fsm(seed=1) != random_fsm(seed=2)
+
+    def test_shape(self):
+        m = random_fsm(n_states=6, n_inputs=3, n_outputs=4, seed=0)
+        assert len(m.states) == 6
+        assert len(m.inputs) == 3
+        assert len(m.outputs) == 4
+        assert len(m.table) == 18
+
+    def test_strong_connectivity_guaranteed(self):
+        for seed in range(10):
+            assert random_fsm(n_states=12, seed=seed).is_strongly_connected()
+
+    def test_unconnected_variant_allowed(self):
+        # connect=False machines are valid FSMs even if not strongly
+        # connected; determinism and completeness still hold (checked by
+        # the FSM constructor itself).
+        m = random_fsm(n_states=12, connect=False, seed=3)
+        assert len(m.table) == 24
+
+    def test_self_loop_bias_increases_self_loops(self):
+        def loops(machine):
+            return sum(1 for t in machine.transitions() if t.source == t.target)
+
+        free = random_fsm(n_states=12, connect=False, seed=7, self_loop_bias=0.0)
+        biased = random_fsm(n_states=12, connect=False, seed=7, self_loop_bias=0.9)
+        assert loops(biased) > loops(free)
+
+    def test_single_state_machine(self):
+        m = random_fsm(n_states=1, seed=0)
+        assert m.states == ("q0",)
+        assert m.is_strongly_connected()
+
+    def test_spec_and_kwargs_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            random_fsm(RandomFSMSpec(), n_states=4)
+
+    def test_reset_state_is_first(self):
+        assert random_fsm(seed=9).reset_state == "q0"

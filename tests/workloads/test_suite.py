@@ -1,0 +1,56 @@
+"""Unit tests for the named migration suite."""
+
+import pytest
+
+from repro.core.delta import delta_count
+from repro.workloads.suite import migration_suite, suite_names
+
+
+class TestSuite:
+    def test_names_stable_and_sorted(self):
+        names = suite_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_covers_all_families(self):
+        names = suite_names()
+        for prefix in ("paper/", "ctrl/", "proto/", "rand/"):
+            assert any(n.startswith(prefix) for n in names)
+
+    def test_factories_return_fresh_pairs(self):
+        suite = migration_suite()
+        factory = suite["paper/fig6"]
+        a = factory()
+        b = factory()
+        assert a[0] == b[0] and a[0] is not b[0]
+
+    def test_every_pair_is_wellformed(self):
+        for name, factory in migration_suite().items():
+            source, target = factory()
+            assert source.reset_state in source.states, name
+            assert target.reset_state in target.states, name
+            # completeness/determinism is enforced by the FSM constructor
+            assert len(source.table) == len(source.inputs) * len(
+                source.states
+            ), name
+
+    def test_every_pair_has_deltas_except_none(self):
+        # All suite entries are genuine migrations (non-empty delta sets).
+        for name, factory in migration_suite().items():
+            source, target = factory()
+            assert delta_count(source, target) > 0, name
+
+    def test_gray_reverse_is_reversed(self):
+        suite = migration_suite()
+        forward, backward = suite["ctrl/gray-reverse"]()
+        # stepping forward then backward returns to the start code
+        out_fwd = forward.run(["en"])
+        state = forward.trace(["en"])[-1].target
+        back = backward.run(["en"], start=state)
+        assert back[-1] == forward.run(["hold"])[0]  # gray(0)
+
+    def test_outputs_only_entry_keeps_next_states(self):
+        suite = migration_suite()
+        source, target = suite["rand/outputs-only"]()
+        for t in target.transitions():
+            assert source.next_state(t.input, t.source) == t.target
