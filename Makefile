@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench bench-obs examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py
 
 examples:
 	@for f in examples/*.py; do \

@@ -1,0 +1,155 @@
+"""Overhead of the observability layer on the migration suite.
+
+Three configurations of ``run_migration_suite(method="jsr")``:
+
+- ``baseline``  — instrumentation hooks stubbed out entirely, i.e. the
+  cost of the suite with no observability code reachable;
+- ``off``       — the shipped default: hooks in place, registry and
+  tracer disabled (one attribute load + branch per call);
+- ``on``        — metrics and tracing both enabled.
+
+The acceptance target is that ``off`` stays within 5 % of ``baseline``.
+Writes ``BENCH_obs_overhead.json`` at the repository root.
+
+Run with ``make bench-obs``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import statistics
+import time
+
+import repro.analysis.tsp
+import repro.core.ea
+import repro.core.greedy
+import repro.core.jsr
+import repro.core.optimal
+import repro.core.verify
+import repro.hw.machine
+import repro.hw.trace
+import repro.workloads.suite
+from repro.obs import configure
+from repro.workloads.suite import run_migration_suite
+
+# One suite run is ~10 ms; loop it inside each sample so scheduler
+# noise does not swamp the per-call-site effect being measured.
+REPEATS = 7
+INNER_LOOPS = 20
+INSTRUMENTED_MODULES = [
+    repro.analysis.tsp,
+    repro.core.ea,
+    repro.core.greedy,
+    repro.core.jsr,
+    repro.core.optimal,
+    repro.core.verify,
+    repro.hw.machine,
+    repro.hw.trace,
+    repro.workloads.suite,
+]
+
+
+class _NullInstrument:
+    """Absorbs inc/observe/set/... on any metric handle."""
+
+    def __getattr__(self, name):
+        return lambda *args, **kwargs: None
+
+
+class _NullInstruments:
+    """Stands in for the ``instruments`` module: every handle is null."""
+
+    def __getattr__(self, name):
+        return _NullInstrument()
+
+
+class _NullSpan:
+    @property
+    def attrs(self):
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@contextlib.contextmanager
+def _null_span(name, **attrs):
+    yield _NULL_SPAN
+
+
+@contextlib.contextmanager
+def stub_instrumentation():
+    """Replace every module-level hook with a do-nothing version."""
+    saved = []
+    stubs = {
+        "_span": _null_span,
+        "record_synthesis": lambda *a, **k: None,
+        "_instruments": _NullInstruments(),
+        "publish": lambda *a, **k: None,
+    }
+    for module in INSTRUMENTED_MODULES:
+        for attr, stub in stubs.items():
+            if hasattr(module, attr):
+                saved.append((module, attr, getattr(module, attr)))
+                setattr(module, attr, stub)
+    try:
+        yield
+    finally:
+        for module, attr, original in saved:
+            setattr(module, attr, original)
+
+
+def time_suite() -> float:
+    started = time.perf_counter()
+    for _ in range(INNER_LOOPS):
+        run_migration_suite(method="jsr", hardware=True)
+    return (time.perf_counter() - started) / INNER_LOOPS
+
+
+def measure(label: str) -> dict:
+    samples = [time_suite() for _ in range(REPEATS)]
+    return {
+        "label": label,
+        "repeats": REPEATS,
+        "inner_loops": INNER_LOOPS,
+        "seconds_min": min(samples),
+        "seconds_median": statistics.median(samples),
+    }
+
+
+def main() -> None:
+    run_migration_suite(method="jsr", hardware=True)  # warm-up
+
+    with stub_instrumentation():
+        configure()  # disabled, reset
+        baseline = measure("baseline (hooks stubbed)")
+
+    configure()
+    off = measure("off (default: hooks present, disabled)")
+
+    configure(metrics=True, tracing=True)
+    on = measure("on (metrics + tracing)")
+    configure()
+
+    def pct(sample: dict) -> float:
+        return 100.0 * (sample["seconds_min"] / baseline["seconds_min"] - 1)
+
+    report = {
+        "workload": "run_migration_suite(method='jsr', hardware=True)",
+        "configurations": [baseline, off, on],
+        "overhead_off_pct": round(pct(off), 2),
+        "overhead_on_pct": round(pct(on), 2),
+        "acceptance": "overhead_off_pct < 5",
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent
+    out = out / "BENCH_obs_overhead.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if report["overhead_off_pct"] >= 5:
+        raise SystemExit("disabled-path overhead exceeds the 5% budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,11 @@ import io
 import itertools
 import statistics
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple, Union
+
+from ..obs import instruments as _instruments
+from ..obs.tracing import span as _span
 
 
 @dataclass(frozen=True)
@@ -80,21 +84,42 @@ class Campaign:
         ]
 
     def run(self) -> "Results":
-        """Execute every design point ``repeats`` times."""
+        """Execute every design point ``repeats`` times.
+
+        Each measurement cell is timed: a ``campaign.cell`` span carries
+        the factor settings, and the cell duration feeds the
+        ``repro_campaign_cell_seconds`` histogram.
+        """
         rows: List[Dict[str, Any]] = []
-        for point in self.design_points():
-            for repeat in range(self.repeats):
-                measured = self.measure(**point, repeat=repeat)
-                row = dict(point)
-                row["repeat"] = repeat
-                overlap = set(row) & set(measured)
-                if overlap:
-                    raise ValueError(
-                        f"measurement keys {sorted(overlap)} collide with "
-                        "factor names"
+        with _span("campaign.run", campaign=self.name):
+            for point in self.design_points():
+                for repeat in range(self.repeats):
+                    point_attrs = {
+                        f"factor_{k}": str(v) for k, v in point.items()
+                    }
+                    with _span(
+                        "campaign.cell",
+                        campaign=self.name,
+                        repeat=repeat,
+                        **point_attrs,
+                    ):
+                        started = perf_counter()
+                        measured = self.measure(**point, repeat=repeat)
+                        elapsed = perf_counter() - started
+                    _instruments.CAMPAIGN_CELLS.inc(campaign=self.name)
+                    _instruments.CAMPAIGN_CELL_SECONDS.observe(
+                        elapsed, campaign=self.name
                     )
-                row.update(measured)
-                rows.append(row)
+                    row = dict(point)
+                    row["repeat"] = repeat
+                    overlap = set(row) & set(measured)
+                    if overlap:
+                        raise ValueError(
+                            f"measurement keys {sorted(overlap)} collide "
+                            "with factor names"
+                        )
+                    row.update(measured)
+                    rows.append(row)
         return Results(campaign=self.name, rows=rows)
 
 

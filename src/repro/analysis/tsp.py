@@ -19,8 +19,11 @@ strategy between greedy and the EA.
 from __future__ import annotations
 
 from itertools import combinations
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.instruments import record_synthesis
+from ..obs.tracing import span as _span
 from ..core.decode import decode_order
 from ..core.delta import delta_transitions
 from ..core.fsm import FSM, State, Transition
@@ -139,7 +142,14 @@ def tsp_program(source: FSM, target: FSM, **decode_kwargs) -> Program:
     the graph), so this is *near*-optimal, not optimal — the gap is
     measured by the ordering-strategies benchmark.
     """
-    order = tsp_order(source, target)
-    return decode_order(
-        source, target, order, method="tsp", **decode_kwargs
-    )
+    started = perf_counter()
+    with _span(
+        "tsp.synthesise", source=source.name, target=target.name
+    ) as sp:
+        order = tsp_order(source, target)
+        program = decode_order(
+            source, target, order, method="tsp", **decode_kwargs
+        )
+        sp.attrs["length"] = len(program)
+    record_synthesis("tsp", program, perf_counter() - started)
+    return program

@@ -10,38 +10,48 @@ format::
     python -m repro deltas source.kiss target.kiss
     python -m repro synth source.kiss target.kiss --method ea --sequence
     python -m repro migrate source.kiss target.kiss --method jsr
+    python -m repro stats source.kiss target.kiss --method jsr
 
 ``synth`` prints the reconfiguration program (optionally as a Table-1
 style H-sequence); ``migrate`` additionally replays it on the
-cycle-accurate datapath and verifies the migration.
+cycle-accurate datapath and verifies the migration; ``stats`` replays a
+simulation and prints the hardware probe report (mode occupancy, RAM
+writes, state visits, downtime).
+
+Observability: the global ``--metrics {json,prom,off}`` flag prints a
+metrics snapshot (JSON or Prometheus text exposition) to **stderr**
+after the command, keeping stdout parseable; ``--trace-out FILE`` on
+``synth`` / ``migrate`` / ``verify`` / ``suite`` / ``stats`` writes the
+span trace as JSONL.  Operational errors (missing files, malformed
+KISS2, uninitialised RAM reads) exit with code 2 and a one-line message.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from .analysis.tables import format_table
-from .analysis.tsp import tsp_program
 from .core.bounds import lower_bound, upper_bound
 from .core.delta import delta_transitions
-from .core.ea import EAConfig, ea_program
-from .core.greedy import greedy_program
-from .core.jsr import jsr_program
 from .core.minimize import equivalence_classes, is_minimal, minimize
-from .core.optimal import optimal_program
 from .core.program import Program
 from .core.verify import verify_hardware, w_method_suite
 from .hw.machine import HardwareFSM
+from .hw.memory import UninitialisedRead
 from .hw.vcd import to_vcd
 from .hw.verilog import generate_fsm_verilog, generate_reconfigurable_verilog
 from .hw.vhdl import generate_fsm_vhdl, generate_reconfigurable_vhdl
 from .io.dot import migration_to_dot, to_dot
+from .io.kiss import KissError
 from .io.kiss import dumps as kiss_dumps
 from .io.kiss import load as kiss_load
-
-METHODS = ("jsr", "ea", "greedy", "tsp", "optimal")
+from .obs import REGISTRY, TRACER
+from .obs import configure as obs_configure
+from .obs.probes import probe_hardware, publish
+from .workloads.suite import METHODS, run_migration_suite, synthesise_program
 
 
 def _load(path: str, fill: Optional[str]):
@@ -50,17 +60,24 @@ def _load(path: str, fill: Optional[str]):
 
 
 def _synthesise(method: str, source, target, seed: int) -> Program:
-    if method == "jsr":
-        return jsr_program(source, target)
-    if method == "ea":
-        return ea_program(source, target, config=EAConfig(seed=seed))
-    if method == "greedy":
-        return greedy_program(source, target)
-    if method == "tsp":
-        return tsp_program(source, target)
-    if method == "optimal":
-        return optimal_program(source, target)
-    raise ValueError(f"unknown method {method!r}")
+    return synthesise_program(method, source, target, seed=seed)
+
+
+class CliError(Exception):
+    """Operational CLI error: printed as one line, exit status 2."""
+
+
+def _split_word(word: str, inputs: Optional[Iterable] = None) -> List[str]:
+    symbols = word.split(",") if "," in word else list(word)
+    if inputs is not None:
+        alphabet = set(inputs)
+        for symbol in symbols:
+            if symbol not in alphabet:
+                raise CliError(
+                    f"input symbol {symbol!r} is not in the machine's "
+                    f"alphabet {sorted(map(str, alphabet))}"
+                )
+    return symbols
 
 
 def cmd_info(args) -> int:
@@ -105,24 +122,10 @@ def cmd_vhdl(args) -> int:
 
 
 def cmd_suite(args) -> int:
-    from .core.delta import delta_count
-    from .workloads.suite import migration_suite
-
-    rows = []
-    for name, factory in sorted(migration_suite().items()):
-        source, target = factory()
-        program = _synthesise(args.method, source, target, args.seed)
-        ok = program.is_valid()
-        rows.append(
-            {
-                "workload": name,
-                "|Td|": delta_count(source, target),
-                "|Z|": len(program),
-                "valid": ok,
-            }
-        )
-        if not ok:
-            print(f"INVALID: {name}", file=sys.stderr)
+    rows = run_migration_suite(method=args.method, seed=args.seed)
+    for row in rows:
+        if not row["valid"]:
+            print(f"INVALID: {row['workload']}", file=sys.stderr)
     print(format_table(rows, title=f"suite x {args.method}"))
     return 0 if all(row["valid"] for row in rows) else 1
 
@@ -149,7 +152,7 @@ def cmd_verilog(args) -> int:
 
 def cmd_simulate(args) -> int:
     machine = _load(args.machine, args.fill)
-    word = args.word.split(",") if "," in args.word else list(args.word)
+    word = _split_word(args.word, machine.inputs)
     hw = HardwareFSM(machine)
     outputs = hw.run(word)
     print("inputs : " + " ".join(str(i) for i in word))
@@ -170,14 +173,17 @@ def cmd_verify(args) -> int:
     hw.run_program(program)
     result = verify_hardware(hw, target, extra_states=args.extra_states)
     suite = w_method_suite(target, extra_states=args.extra_states)
+    # Failure detail first, then the summary verdict, so the last line a
+    # caller sees (and greps) is the PASS/FAIL judgement.
+    for word, expected, actual in result.failures[:5]:
+        print(f"  word {''.join(map(str, word))}: expected "
+              f"{expected}, got {actual}")
+    publish(probe_hardware(hw))
     print(
         f"conformance: {'PASS' if result.passed else 'FAIL'} "
         f"({result.words_run} words, {result.symbols_run} symbols, "
         f"suite of {len(suite)})"
     )
-    for word, expected, actual in result.failures[:5]:
-        print(f"  word {''.join(map(str, word))}: expected "
-              f"{expected}, got {actual}", file=sys.stderr)
     return 0 if result.passed else 1
 
 
@@ -231,14 +237,70 @@ def cmd_migrate(args) -> int:
     hw = HardwareFSM.for_migration(source, target)
     hw.run_program(program)
     ok = hw.realises(target)
+    publish(probe_hardware(hw))
     print(
         f"method={args.method} |Z|={len(program)} writes="
         f"{program.write_count} hardware-verified={ok}"
     )
     if not ok:
+        shown = 0
+        for trans in target.transitions():
+            actual = hw.table_entry(trans.input, trans.source)
+            if actual != (trans.target, trans.output):
+                print(
+                    f"  entry ({trans.input}, {trans.source}): expected "
+                    f"({trans.target}, {trans.output}), got {actual}",
+                    file=sys.stderr,
+                )
+                shown += 1
+                if shown == 5:
+                    break
         print("MIGRATION FAILED", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_stats(args) -> int:
+    machine = _load(args.machine, args.fill)
+    if args.target is None and args.word is None:
+        print(
+            "error: stats needs a target machine (migration replay) "
+            "and/or --word (normal traffic)",
+            file=sys.stderr,
+        )
+        return 2
+
+    verdict: Optional[str] = None
+    ok = True
+    if args.target is not None:
+        target = _load(args.target, args.fill)
+        program = _synthesise(args.method, machine, target, args.seed)
+        hw = HardwareFSM.for_migration(machine, target)
+        hw.run_program(program)
+        ok = hw.realises(target)
+        # Drive normal-mode traffic so the probes see both modes: an
+        # explicit word when given, else the target's conformance suite.
+        if args.word:
+            hw.run(_split_word(args.word, set(machine.inputs)
+                               | set(target.inputs)))
+        else:
+            result = verify_hardware(hw, target)
+            ok = ok and result.passed
+        verdict = (
+            f"migration: method={args.method} |Z|={len(program)} "
+            f"writes={program.write_count} hardware-verified={ok}"
+        )
+    else:
+        hw = HardwareFSM(machine)
+        hw.run(_split_word(args.word, machine.inputs))
+
+    report = probe_hardware(hw)
+    publish(report)
+    print(report.render())
+    if verdict is not None:
+        print()
+        print(verdict)
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -253,7 +315,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="complete unspecified KISS entries with self-loops emitting "
              "BITS",
     )
+    parser.add_argument(
+        "--metrics",
+        choices=("json", "prom", "off"),
+        default="off",
+        help="print a metrics snapshot to stderr after the command "
+             "(JSON or Prometheus text exposition)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_out(p) -> None:
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="write the span trace as JSONL to FILE",
+        )
 
     p = sub.add_parser("info", help="machine statistics")
     p.add_argument("machine")
@@ -277,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--method", choices=METHODS, default="jsr")
     p.add_argument("--seed", type=int, default=0)
+    add_trace_out(p)
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser(
@@ -311,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--extra-states", type=int, default=0,
                    help="W-method bound on implementation state growth")
+    add_trace_out(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("dot", help="emit Graphviz DOT")
@@ -322,6 +400,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source")
     p.add_argument("target")
     p.set_defaults(func=cmd_deltas)
+
+    p = sub.add_parser(
+        "stats",
+        help="replay a simulation and print the hardware probe report",
+    )
+    p.add_argument("machine")
+    p.add_argument("target", nargs="?",
+                   help="migration target; omit to probe a plain run "
+                        "(then --word is required)")
+    p.add_argument("--method", choices=METHODS, default="jsr")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--word",
+                   help="input symbols to drive in normal mode "
+                        "(default for migrations: the target's W-method "
+                        "conformance suite)")
+    add_trace_out(p)
+    p.set_defaults(func=cmd_stats)
 
     for name, handler, extra_help in (
         ("synth", cmd_synth, "synthesise a reconfiguration program"),
@@ -335,14 +430,67 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "synth":
             p.add_argument("--sequence", action="store_true",
                            help="also print the Table-1 style H-sequence")
+        add_trace_out(p)
         p.set_defaults(func=handler)
 
     return parser
 
 
+def _emit_observability(metrics_mode: str, trace_out: Optional[str]) -> None:
+    """Flush the turn's metrics/trace to their destinations."""
+    if metrics_mode == "json":
+        print(REGISTRY.to_json(), file=sys.stderr)
+    elif metrics_mode == "prom":
+        print(REGISTRY.render_prometheus(), end="", file=sys.stderr)
+    if trace_out:
+        try:
+            TRACER.export(trace_out)
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+        else:
+            print(
+                f"trace written to {trace_out} ({len(TRACER.spans)} spans)",
+                file=sys.stderr,
+            )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    metrics_mode = getattr(args, "metrics", "off")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        parent = os.path.dirname(trace_out) or "."
+        if not os.path.isdir(parent):
+            print(
+                f"error: trace output directory does not exist: {parent}",
+                file=sys.stderr,
+            )
+            return 2
+    obs_configure(
+        metrics=metrics_mode != "off",
+        tracing=metrics_mode != "off" or trace_out is not None,
+    )
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        missing = exc.filename or str(exc)
+        print(f"error: file not found: {missing}", file=sys.stderr)
+        return 2
+    except KissError as exc:
+        print(f"error: malformed KISS2 input: {exc}", file=sys.stderr)
+        return 2
+    except UninitialisedRead as exc:
+        print(f"error: uninitialised RAM read: {exc}", file=sys.stderr)
+        return 2
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        _emit_observability(metrics_mode, trace_out)
+        # Restore the process-wide default (recorded values are kept so
+        # embedders can still inspect REGISTRY / TRACER after main()).
+        REGISTRY.disable()
+        TRACER.disable()
 
 
 if __name__ == "__main__":

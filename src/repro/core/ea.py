@@ -20,8 +20,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import instruments as _instruments
+from ..obs.instruments import record_synthesis
+from ..obs.tracing import span as _span
 from .decode import decode_order
 from .delta import delta_transitions
 from .fsm import FSM, Input, Transition
@@ -127,6 +131,28 @@ def evolve_program(
     True
     """
     config = config or EAConfig()
+    started = perf_counter()
+    with _span(
+        "ea.synthesise", source=source.name, target=target.name
+    ) as sp:
+        result = _evolve_program(
+            source, target, config, i0=i0, **decode_kwargs
+        )
+        sp.attrs["generations"] = len(result.history)
+        sp.attrs["evaluations"] = result.evaluations
+        sp.attrs["length"] = result.best_length
+    record_synthesis("ea", result.program, perf_counter() - started)
+    _instruments.EA_EVALUATIONS.inc(result.evaluations)
+    return result
+
+
+def _evolve_program(
+    source: FSM,
+    target: FSM,
+    config: EAConfig,
+    i0: Optional[Input] = None,
+    **decode_kwargs,
+) -> EAResult:
     rng = random.Random(config.seed)
     deltas = delta_transitions(source, target)
 
@@ -177,6 +203,8 @@ def evolve_program(
     for _generation in range(config.generations):
         ranked = sorted(population, key=fitness)
         history.append(fitness(ranked[0]))
+        _instruments.EA_GENERATIONS.inc()
+        _instruments.EA_BEST_LENGTH.set(history[-1])
         next_gen = [genome[:] for genome in ranked[: config.elite_count]]
         while len(next_gen) < config.population_size:
             parent_a = tournament()

@@ -11,8 +11,11 @@ the benchmark harness uses to put the EA's results in context.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Sequence
 
+from ..obs.instruments import record_synthesis
+from ..obs.tracing import span as _span
 from .decode import decode_order, decoded_length
 from .delta import delta_transitions
 from .fsm import FSM, Input, State, Transition
@@ -125,8 +128,20 @@ def greedy_program(
     >>> prog.is_valid()
     True
     """
-    order = nearest_neighbour_order(source, target)
-    if improve:
-        order = two_opt_order(source, target, order, i0=i0, **decode_kwargs)
+    started = perf_counter()
     method = "greedy+2opt" if improve else "greedy"
-    return decode_order(source, target, order, i0=i0, method=method, **decode_kwargs)
+    with _span(
+        "greedy.synthesise",
+        source=source.name,
+        target=target.name,
+        improve=improve,
+    ) as sp:
+        order = nearest_neighbour_order(source, target)
+        if improve:
+            order = two_opt_order(source, target, order, i0=i0, **decode_kwargs)
+        program = decode_order(
+            source, target, order, i0=i0, method=method, **decode_kwargs
+        )
+        sp.attrs["length"] = len(program)
+    record_synthesis(method, program, perf_counter() - started)
+    return program

@@ -14,8 +14,11 @@ is (that delta is then absorbed by the final repair write).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Sequence
 
+from ..obs.instruments import record_synthesis
+from ..obs.tracing import span as _span
 from .delta import delta_transitions
 from .fsm import FSM, Input, Transition
 from .program import Program, Step, StepKind, reset_step, write_step
@@ -53,6 +56,22 @@ def jsr_program(
     >>> prog.is_valid()
     True
     """
+    started = perf_counter()
+    with _span(
+        "jsr.synthesise", source=source.name, target=target.name
+    ) as sp:
+        program = _jsr_program(source, target, i0=i0, order=order)
+        sp.attrs["length"] = len(program)
+    record_synthesis("jsr", program, perf_counter() - started)
+    return program
+
+
+def _jsr_program(
+    source: FSM,
+    target: FSM,
+    i0: Optional[Input] = None,
+    order: Optional[Sequence[Transition]] = None,
+) -> Program:
     if i0 is None:
         i0 = target.inputs[0]
     elif i0 not in target.inputs:

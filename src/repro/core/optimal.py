@@ -22,8 +22,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..obs import instruments as _instruments
+from ..obs.instruments import record_synthesis
+from ..obs.tracing import span as _span
 from .fsm import FSM, Input, Output, State, Transition
 from .program import Program, Step, StepKind, reset_step, traverse_step, write_step
 
@@ -56,6 +60,23 @@ def optimal_program(
     >>> len(optimal_program(fig7_m(), fig7_m_prime()))
     3
     """
+    started = perf_counter()
+    with _span(
+        "optimal.synthesise", source=source.name, target=target.name
+    ) as sp:
+        program, expansions = _optimal_search(source, target, max_expansions)
+        sp.attrs["expansions"] = expansions
+        sp.attrs["length"] = len(program)
+    record_synthesis("optimal", program, perf_counter() - started)
+    _instruments.OPTIMAL_EXPANSIONS.inc(expansions)
+    return program
+
+
+def _optimal_search(
+    source: FSM,
+    target: FSM,
+    max_expansions: int,
+) -> Tuple[Program, int]:
     inputs = list(source.inputs) + [
         i for i in target.inputs if i not in set(source.inputs)
     ]
@@ -109,7 +130,10 @@ def optimal_program(
         state, overlay = node
         wrong = incorrect_entries(overlay)
         if not wrong and state == s0:
-            return Program(_unwind(parents, node), source, target, method="optimal")
+            program = Program(
+                _unwind(parents, node), source, target, method="optimal"
+            )
+            return program, expansions
         expansions += 1
         if expansions > max_expansions:
             raise SearchLimitExceeded(

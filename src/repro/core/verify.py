@@ -26,6 +26,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
+from ..obs import instruments as _instruments
+from ..obs.tracing import span as _span
 from .fsm import FSM, Input, Output, State
 from .minimize import minimize
 
@@ -238,15 +240,24 @@ def run_suite(
     dut: Resettable, reference: FSM, suite: Sequence[Sequence[Input]]
 ) -> VerificationResult:
     """Run every suite word against the reference, reset between words."""
-    failures = []
-    symbols = 0
-    for word in suite:
-        dut.reset()
-        expected = reference.run(list(word))
-        actual = [dut.step(i) for i in word]
-        symbols += len(word)
-        if actual != expected:
-            failures.append((list(word), expected, actual))
+    with _span(
+        "verify.conformance", reference=reference.name, words=len(suite)
+    ) as sp:
+        failures = []
+        symbols = 0
+        for word in suite:
+            dut.reset()
+            expected = reference.run(list(word))
+            actual = [dut.step(i) for i in word]
+            symbols += len(word)
+            if actual != expected:
+                failures.append((list(word), expected, actual))
+        sp.attrs["symbols"] = symbols
+        sp.attrs["failures"] = len(failures)
+    _instruments.VERIFY_WORDS.inc(len(suite))
+    _instruments.VERIFY_SYMBOLS.inc(symbols)
+    if failures:
+        _instruments.VERIFY_FAILURES.inc(len(failures))
     return VerificationResult(
         passed=not failures,
         words_run=len(suite),

@@ -30,6 +30,8 @@ from typing import Dict, Iterable, Optional, Tuple
 from ..core.alphabet import Alphabet
 from ..core.fsm import FSM, Input, Output, State
 from ..core.program import Program, SequenceRow
+from ..obs import instruments as _instruments
+from ..obs.tracing import span as _span
 from .memory import SyncRAM, UninitialisedRead
 from .register import Register, mux2
 from .signals import BitVector, SymbolEncoder, ram_address
@@ -62,6 +64,10 @@ class HardwareFSM:
     extra_inputs, extra_outputs, extra_states:
         Superset headroom for future migrations; the RAM geometry and
         state-register width are derived from the supersets.
+    trace_max_entries:
+        When given, bound the cycle trace to a ring buffer of this many
+        entries (see :class:`~repro.hw.trace.TraceRecorder`); evicted
+        entries are counted in ``trace.dropped``.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class HardwareFSM:
         extra_outputs: Iterable[Output] = (),
         extra_states: Iterable[State] = (),
         name: Optional[str] = None,
+        trace_max_entries: Optional[int] = None,
     ):
         self.name = name or f"hw_{fsm.name}"
         self.input_enc = SymbolEncoder(
@@ -90,8 +97,15 @@ class HardwareFSM:
             self.state_enc.width, self.state_enc.encode(fsm.reset_state), name="ST-REG"
         )
         self._reset_code = self.state_enc.encode(fsm.reset_state)
-        self.trace = TraceRecorder()
+        self.trace = TraceRecorder(max_entries=trace_max_entries)
         self.cycles = 0
+        # Probe counters a real implementation could keep in a handful
+        # of extra registers (read back by repro.obs.probes).
+        self.mode_cycles: Dict[str, int] = {
+            "normal": 0, "reconf": 0, "reset": 0,
+        }
+        self.state_visits: Dict[State, int] = {}
+        self.uninitialised_reads = 0
         self._download(fsm)
 
     @classmethod
@@ -202,6 +216,8 @@ class HardwareFSM:
             if f_read is not None:
                 next_code = BitVector(f_read, self.state_enc.width)
             elif not reset:
+                self.uninitialised_reads += 1
+                _instruments.HW_UNINITIALISED_READS.inc()
                 raise UninitialisedRead(
                     f"{self.name}: F-RAM entry ({internal!r}, {state_before!r}) "
                     "read while unconfigured"
@@ -217,6 +233,11 @@ class HardwareFSM:
         self.g_ram.clock()
         self.st_reg.clock()
         self.cycles += 1
+        self.mode_cycles[mode] += 1
+        state_after = self.state
+        self.state_visits[state_after] = (
+            self.state_visits.get(state_after, 0) + 1
+        )
 
         self.trace.record(
             TraceEntry(
@@ -225,7 +246,7 @@ class HardwareFSM:
                 external_input=i,
                 internal_input=internal if recon is not None else i,
                 state_before=state_before,
-                state_after=self.state,
+                state_after=state_after,
                 output=output if not reset else None,
                 write=bool(recon and recon.write),
                 address=None if addr is None else addr.value,
@@ -257,9 +278,15 @@ class HardwareFSM:
         the call the RAMs realise the program's target machine (verified
         by the integration tests, not assumed).
         """
-        self.retarget_reset(program.target.reset_state)
-        for row in program.to_sequence():
-            self.apply_row(row)
+        with _span(
+            "hw.run_program",
+            machine=self.name,
+            method=program.method,
+            length=len(program),
+        ):
+            self.retarget_reset(program.target.reset_state)
+            for row in program.to_sequence():
+                self.apply_row(row)
 
     def __repr__(self) -> str:
         return (

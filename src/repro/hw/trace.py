@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
+from ..obs import instruments as _instruments
+
 
 @dataclass(frozen=True)
 class TraceEntry:
@@ -33,16 +35,35 @@ class TraceEntry:
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceEntry` rows during simulation."""
+    """Accumulates :class:`TraceEntry` rows during simulation.
 
-    def __init__(self) -> None:
+    ``max_entries`` switches the recorder into ring-buffer mode: only
+    the most recent ``max_entries`` rows are kept and ``dropped`` counts
+    the evicted ones (also published to the metrics registry when it is
+    enabled).  The default stays unbounded for waveform fidelity; bound
+    it for long soak simulations so memory does not grow without limit.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None)")
+        self.max_entries = max_entries
         self.entries: List[TraceEntry] = []
+        self.dropped = 0
 
     def record(self, entry: TraceEntry) -> None:
+        if (
+            self.max_entries is not None
+            and len(self.entries) >= self.max_entries
+        ):
+            del self.entries[0]
+            self.dropped += 1
+            _instruments.HW_TRACE_DROPPED.inc()
         self.entries.append(entry)
 
     def clear(self) -> None:
         self.entries.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.entries)

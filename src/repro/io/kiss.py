@@ -91,16 +91,35 @@ def loads(
             continue
         fields = line.split()
         key = fields[0]
+
+        def _operand(lineno: int = lineno, fields: List[str] = fields) -> str:
+            if len(fields) != 2:
+                raise KissError(
+                    f"line {lineno}: directive {fields[0]!r} needs exactly "
+                    f"one operand"
+                )
+            return fields[1]
+
+        def _int_operand() -> int:
+            operand = _operand()
+            try:
+                return int(operand)
+            except ValueError:
+                raise KissError(
+                    f"line {lineno}: directive {fields[0]!r} needs an "
+                    f"integer operand, got {operand!r}"
+                ) from None
+
         if key == ".i":
-            n_inputs = int(fields[1])
+            n_inputs = _int_operand()
         elif key == ".o":
-            n_outputs = int(fields[1])
+            n_outputs = _int_operand()
         elif key == ".p":
-            declared_terms = int(fields[1])
+            declared_terms = _int_operand()
         elif key == ".s":
-            declared_states = int(fields[1])
+            declared_states = _int_operand()
         elif key == ".r":
-            reset = fields[1]
+            reset = _operand()
         elif key == ".e":
             break
         elif key.startswith("."):

@@ -1,0 +1,79 @@
+"""Unified observability layer: metrics, span tracing, hardware probes.
+
+Three pillars, one switchboard:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of labelled
+  counters, gauges and histograms, exportable as a JSON snapshot or
+  Prometheus text exposition;
+* :mod:`repro.obs.tracing` — nested wall-time spans with a JSONL
+  exporter, so a full ``repro migrate`` run yields a trace tree;
+* :mod:`repro.obs.probes` — per-run statistics derived from the
+  cycle-accurate datapath (mode occupancy, RAM writes, state-visit
+  histograms, downtime).
+
+Everything is **off by default** and no-op cheap when off; the CLI's
+``--metrics {json,prom,off}`` / ``--trace-out FILE`` flags (or
+:func:`configure` from Python) turn recording on.  Metric names and the
+span naming convention are catalogued in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from . import instruments
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+)
+from .probes import ProbeReport, probe_hardware, publish
+from .tracing import (
+    SpanRecord,
+    TRACER,
+    Tracer,
+    load_jsonl,
+    render_tree,
+    span,
+)
+
+
+def configure(
+    metrics: bool = False, tracing: bool = False, reset: bool = True
+) -> None:
+    """Switch the default registry and tracer on or off.
+
+    ``reset`` clears previously recorded values first, so repeated
+    program runs in one process (tests, notebooks) start clean.
+    """
+    if reset:
+        REGISTRY.reset()
+        TRACER.clear()
+    REGISTRY.enabled = metrics
+    TRACER.enabled = tracing
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProbeReport",
+    "REGISTRY",
+    "SpanRecord",
+    "TRACER",
+    "Tracer",
+    "configure",
+    "counter",
+    "gauge",
+    "histogram",
+    "instruments",
+    "load_jsonl",
+    "probe_hardware",
+    "publish",
+    "render_tree",
+    "span",
+]

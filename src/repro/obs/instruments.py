@@ -1,0 +1,108 @@
+"""Domain metric handles shared by the instrumented layers.
+
+One module owns the metric *names* so synthesisers, the datapath, the
+verifier and the CLI all publish into the same families (the catalogue
+is documented in ``docs/observability.md``).  Creation is idempotent and
+all recording helpers are no-op cheap when the default registry is
+disabled, so hot paths call them unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import REGISTRY, SECONDS_BUCKETS
+
+# -- synthesis ---------------------------------------------------------
+SYNTH_PROGRAMS = REGISTRY.counter(
+    "repro_synthesis_programs_total",
+    "Reconfiguration programs synthesised, by method.",
+)
+SYNTH_SECONDS = REGISTRY.histogram(
+    "repro_synthesis_seconds",
+    "Wall time of one synthesiser call, by method.",
+    buckets=SECONDS_BUCKETS,
+)
+SYNTH_LENGTH = REGISTRY.histogram(
+    "repro_synthesis_program_length",
+    "Program length |Z| of synthesised programs, by method.",
+)
+SYNTH_WRITES = REGISTRY.counter(
+    "repro_synthesis_program_writes_total",
+    "Table-write cycles across synthesised programs, by method.",
+)
+
+# -- evolutionary algorithm -------------------------------------------
+EA_GENERATIONS = REGISTRY.counter(
+    "repro_ea_generations_total",
+    "EA generations executed.",
+)
+EA_EVALUATIONS = REGISTRY.counter(
+    "repro_ea_evaluations_total",
+    "Distinct fitness evaluations (decoder runs) across EA calls.",
+)
+EA_BEST_LENGTH = REGISTRY.gauge(
+    "repro_ea_best_length",
+    "Best program length of the most recent EA generation.",
+)
+
+# -- exact search ------------------------------------------------------
+OPTIMAL_EXPANSIONS = REGISTRY.counter(
+    "repro_optimal_expansions_total",
+    "A* node expansions across optimal_program calls.",
+)
+
+# -- conformance testing ----------------------------------------------
+VERIFY_WORDS = REGISTRY.counter(
+    "repro_verify_words_total",
+    "Conformance-suite words executed against a device under test.",
+)
+VERIFY_SYMBOLS = REGISTRY.counter(
+    "repro_verify_symbols_total",
+    "Input symbols driven during conformance testing.",
+)
+VERIFY_FAILURES = REGISTRY.counter(
+    "repro_verify_failures_total",
+    "Conformance-suite words whose outputs mismatched the reference.",
+)
+
+# -- hardware datapath -------------------------------------------------
+HW_CYCLES = REGISTRY.counter(
+    "repro_hw_cycles_total",
+    "Datapath clock cycles, by mode (normal / reconf / reset).",
+)
+HW_RAM_WRITES = REGISTRY.counter(
+    "repro_hw_ram_writes_total",
+    "Committed RAM writes, by memory (F-RAM / G-RAM).",
+)
+HW_UNINITIALISED_READS = REGISTRY.counter(
+    "repro_hw_uninitialised_reads_total",
+    "F-RAM reads of never-written words (simulation errors).",
+)
+HW_TRACE_DROPPED = REGISTRY.counter(
+    "repro_hw_trace_dropped_total",
+    "Trace entries evicted by bounded (ring-buffer) recorders.",
+)
+
+# -- suite and campaigns ----------------------------------------------
+SUITE_WORKLOADS = REGISTRY.counter(
+    "repro_suite_workloads_total",
+    "Suite workloads run, by method and validity.",
+)
+CAMPAIGN_CELLS = REGISTRY.counter(
+    "repro_campaign_cells_total",
+    "Campaign design-point measurements executed.",
+)
+CAMPAIGN_CELL_SECONDS = REGISTRY.histogram(
+    "repro_campaign_cell_seconds",
+    "Wall time of one campaign measurement cell.",
+    buckets=SECONDS_BUCKETS,
+)
+
+
+def record_synthesis(method: str, program: Any, seconds: float) -> None:
+    """Publish the standard per-synthesis metrics for one program."""
+    SYNTH_PROGRAMS.inc(method=method)
+    SYNTH_SECONDS.observe(seconds, method=method)
+    SYNTH_LENGTH.observe(len(program), method=method)
+    SYNTH_WRITES.inc(program.write_count, method=method)

@@ -1,0 +1,220 @@
+"""Span tracing: nested wall-time measurement with a JSONL exporter.
+
+A *span* is one timed region of work — ``span("jsr.synthesise")`` around
+a synthesiser call, ``span("suite.workload")`` around one workload of
+the regression suite.  Spans nest: the tracer keeps a per-thread stack,
+so a full ``repro migrate`` run produces a readable trace tree
+(synthesise → decode → hardware replay → conformance).
+
+Naming convention (see ``docs/observability.md``): spans are
+``<subsystem>.<operation>`` in lowercase, e.g. ``ea.synthesise``,
+``verify.conformance``, ``campaign.cell``.  Attributes carry the
+cardinal quantities of the operation (``|Td|``, generations, words).
+
+Timing uses :func:`time.perf_counter`; a disabled tracer costs one
+branch per span.  The JSONL export writes one span per line so traces
+stream and concatenate trivially; :func:`load_jsonl` reads them back and
+:func:`render_tree` pretty-prints the nesting.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Union
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) span."""
+
+    name: str
+    index: int
+    parent: Optional[int]
+    depth: int
+    start: float
+    duration: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": {k: _json_safe(v) for k, v in self.attrs.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=data["name"],
+            index=data["index"],
+            parent=data.get("parent"),
+            depth=data.get("depth", 0),
+            start=data.get("start", 0.0),
+            duration=data.get("duration"),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class _NullSpan:
+    """Stand-in yielded by a disabled tracer; absorbs attribute writes."""
+
+    __slots__ = ()
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans; one per-thread stack provides nesting."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.spans: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- recording ------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Time a region; yields the :class:`SpanRecord` for attribute
+        updates (a shared null object when tracing is disabled)."""
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        stack = self._stack()
+        parent = stack[-1].index if stack else None
+        with self._lock:
+            record = SpanRecord(
+                name=name,
+                index=len(self.spans),
+                parent=parent,
+                depth=len(stack),
+                start=perf_counter(),
+                attrs=dict(attrs),
+            )
+            self.spans.append(record)
+        stack.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            record.duration = perf_counter() - record.start
+            stack.pop()
+
+    # -- export ---------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in span-start order."""
+        with self._lock:
+            return "".join(
+                json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                for span in self.spans
+            )
+
+    def export(self, target: Union[str, TextIO]) -> None:
+        """Write the JSONL trace to a path or stream."""
+        text = self.to_jsonl()
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                handle.write(text)
+        else:
+            target.write(text)
+
+    def render_tree(self) -> str:
+        """Indented text view of the trace (one line per span)."""
+        return render_tree(self.spans)
+
+
+def load_jsonl(source: Union[str, TextIO, Iterable[str]]) -> List[SpanRecord]:
+    """Read spans back from a JSONL path, stream, or line iterable."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    return [
+        SpanRecord.from_dict(json.loads(line))
+        for line in lines
+        if line.strip()
+    ]
+
+
+def render_tree(spans: Sequence[SpanRecord]) -> str:
+    """Render spans as an indented tree with durations and attributes.
+
+    >>> spans = [SpanRecord("outer", 0, None, 0, 0.0, 0.25),
+    ...          SpanRecord("inner", 1, 0, 1, 0.1, 0.002, {"n": 4})]
+    >>> print(render_tree(spans))
+    outer  250.000 ms
+      inner  2.000 ms  n=4
+    """
+    if not spans:
+        return "(empty trace)"
+    lines = []
+    for span in spans:
+        indent = "  " * span.depth
+        if span.duration is None:
+            timing = "(unfinished)"
+        else:
+            timing = f"{span.duration * 1000:.3f} ms"
+        attrs = "  ".join(f"{k}={v}" for k, v in span.attrs.items())
+        line = f"{indent}{span.name}  {timing}"
+        if attrs:
+            line += f"  {attrs}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+#: The process-wide default tracer (disabled until configured).
+TRACER = Tracer()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the default tracer (usable as a context manager)."""
+    return TRACER.span(name, **attrs)
+
+
+def enable() -> None:
+    """Turn on span recording on the default tracer."""
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Turn off span recording on the default tracer."""
+    TRACER.disable()

@@ -11,9 +11,12 @@ keep tests independent).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.fsm import FSM
+from ..obs import instruments as _instruments
+from ..obs.probes import probe_hardware, publish
+from ..obs.tracing import span as _span
 from ..protocols.packet import revision
 from ..protocols.parser import build_parser
 from .library import (
@@ -136,3 +139,77 @@ def migration_suite() -> Dict[str, PairFactory]:
 def suite_names() -> List[str]:
     """Stable, sorted list of suite entry names."""
     return sorted(migration_suite())
+
+
+#: The synthesis methods the suite runner (and the CLI) can dispatch.
+METHODS = ("jsr", "ea", "greedy", "tsp", "optimal")
+
+
+def synthesise_program(method: str, source: FSM, target: FSM, seed: int = 0):
+    """Dispatch one named synthesiser (the CLI's ``--method`` choices)."""
+    if method == "jsr":
+        from ..core.jsr import jsr_program
+
+        return jsr_program(source, target)
+    if method == "ea":
+        from ..core.ea import EAConfig, ea_program
+
+        return ea_program(source, target, config=EAConfig(seed=seed))
+    if method == "greedy":
+        from ..core.greedy import greedy_program
+
+        return greedy_program(source, target)
+    if method == "tsp":
+        from ..analysis.tsp import tsp_program
+
+        return tsp_program(source, target)
+    if method == "optimal":
+        from ..core.optimal import optimal_program
+
+        return optimal_program(source, target)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def run_migration_suite(
+    method: str = "jsr",
+    seed: int = 0,
+    hardware: bool = True,
+) -> List[Dict[str, Any]]:
+    """Run every suite workload with one method, fully instrumented.
+
+    Each workload gets a ``suite.workload`` span; with ``hardware`` the
+    synthesised program is additionally replayed on the cycle-accurate
+    datapath, the RAM contents checked against the target, and the
+    hardware probe counters published to the metrics registry under a
+    ``workload`` label.  Returns one result row per workload.
+    """
+    from ..core.delta import delta_count
+    from ..hw.machine import HardwareFSM
+
+    rows: List[Dict[str, Any]] = []
+    for name, factory in sorted(migration_suite().items()):
+        with _span("suite.workload", workload=name, method=method) as sp:
+            source, target = factory()
+            program = synthesise_program(method, source, target, seed)
+            ok = program.is_valid()
+            hw_ok: Optional[bool] = None
+            if hardware:
+                hw = HardwareFSM.for_migration(source, target)
+                hw.run_program(program)
+                hw_ok = hw.realises(target)
+                ok = ok and hw_ok
+                publish(probe_hardware(hw), workload=name)
+            sp.attrs["length"] = len(program)
+            sp.attrs["valid"] = ok
+        _instruments.SUITE_WORKLOADS.inc(
+            method=method, valid=str(ok).lower()
+        )
+        row: Dict[str, Any] = {
+            "workload": name,
+            "|Td|": delta_count(source, target),
+            "|Z|": len(program),
+            "writes": program.write_count,
+            "valid": ok,
+        }
+        rows.append(row)
+    return rows

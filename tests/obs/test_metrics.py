@@ -1,0 +1,174 @@
+"""Counter / gauge / histogram semantics of the metrics registry."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("ops_total")
+        assert c.value() == 0
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labels_are_independent_series(self, registry):
+        c = registry.counter("ops_total")
+        c.inc(method="jsr")
+        c.inc(2, method="ea")
+        assert c.value(method="jsr") == 1
+        assert c.value(method="ea") == 2
+        assert c.value() == 0
+
+    def test_label_order_is_canonical(self, registry):
+        c = registry.counter("ops_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("ops_total").inc(-1)
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("ops_total")
+        c.inc(100)
+        assert c.value() == 0
+
+    def test_reenable_records_again(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("ops_total")
+        c.inc()
+        registry.enable()
+        c.inc()
+        assert c.value() == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        assert g.value() is None
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self, registry):
+        h = registry.histogram("len", buckets=(1, 5, 10))
+        for v in (1, 3, 7, 20):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 31
+        snap = registry.snapshot()["len"]["values"][0]
+        assert snap["min"] == 1
+        assert snap["max"] == 20
+
+    def test_bucket_assignment(self, registry):
+        h = registry.histogram("len", buckets=(1, 5, 10))
+        for v in (1, 3, 7, 20):
+            h.observe(v)
+        snap = registry.snapshot()["len"]["values"][0]
+        # non-cumulative per-bucket counts in the snapshot
+        assert snap["buckets"] == {"1": 1, "5": 1, "10": 1, "+Inf": 1}
+
+    def test_infinity_bucket_appended(self, registry):
+        h = registry.histogram("len", buckets=(1, 2))
+        assert h.buckets[-1] == math.inf
+
+    def test_default_buckets(self, registry):
+        h = registry.histogram("len")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total").inc(**{"0bad": "x"})
+
+    def test_reset_clears_values_keeps_families(self, registry):
+        c = registry.counter("x_total")
+        c.inc(3)
+        registry.reset()
+        assert c.value() == 0
+        assert registry.get("x_total") is c
+
+    def test_snapshot_omits_empty_families(self, registry):
+        registry.counter("never_used_total")
+        assert "never_used_total" not in registry.snapshot()
+
+    def test_snapshot_is_json_serialisable(self, registry):
+        registry.counter("x_total").inc(method="jsr")
+        registry.histogram("h").observe(2.5)
+        parsed = json.loads(registry.to_json())
+        assert parsed["x_total"]["values"][0]["labels"] == {"method": "jsr"}
+        assert parsed["x_total"]["type"] == "counter"
+
+    def test_thread_safety_under_contention(self, registry):
+        c = registry.counter("x_total")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000
+
+
+class TestPrometheusRendering:
+    def test_counter_exposition(self, registry):
+        c = registry.counter("ops_total", "Operations.")
+        c.inc(3, method="jsr")
+        text = registry.render_prometheus()
+        assert "# HELP ops_total Operations." in text
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{method="jsr"} 3' in text
+
+    def test_histogram_exposition_is_cumulative(self, registry):
+        h = registry.histogram("len", buckets=(1, 5))
+        for v in (1, 3, 7):
+            h.observe(v)
+        text = registry.render_prometheus()
+        assert 'len_bucket{le="1"} 1' in text
+        assert 'len_bucket{le="5"} 2' in text
+        assert 'len_bucket{le="+Inf"} 3' in text
+        assert "len_sum 11" in text
+        assert "len_count 3" in text
+
+    def test_label_escaping(self, registry):
+        registry.counter("x_total").inc(path='a"b')
+        assert r'path="a\"b"' in registry.render_prometheus()
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prometheus() == ""

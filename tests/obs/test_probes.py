@@ -1,0 +1,193 @@
+"""Hardware probe numbers against a hand-computed Table 1 / Fig. 4 run.
+
+The paper's Table 1 reconfigures the Example 2.1 ones detector into the
+Table-1 target with four write cycles (Fig. 4 draws the four
+intermediate machines).  Every probe quantity of that run is computable
+by hand, which makes it the reference fixture for the probe semantics.
+"""
+
+import pytest
+
+from repro.core.program import SequenceRow
+from repro.hw.machine import HardwareFSM
+from repro.hw.memory import UninitialisedRead
+from repro.hw.trace import TraceEntry, TraceRecorder
+from repro.obs import configure, probe_hardware, publish
+from repro.obs.instruments import HW_CYCLES, HW_RAM_WRITES, HW_TRACE_DROPPED
+from repro.obs.metrics import REGISTRY
+from repro.workloads.library import (
+    fig6_m,
+    fig6_m_prime,
+    ones_detector,
+    table1_target,
+)
+
+# The Table 1 reconfiguration sequence (also replayed by the Fig. 4
+# benchmark): four write cycles, walk S0 -> S1 -> S1 -> S0 -> S0.
+TABLE1_ROWS = [
+    SequenceRow("r1", "1", "S1", "0", True, False),
+    SequenceRow("r2", "1", "S1", "0", True, False),
+    SequenceRow("r3", "0", "S0", "0", True, False),
+    SequenceRow("r4", "0", "S0", "1", True, False),
+]
+
+
+@pytest.fixture
+def migrated_hw():
+    hw = HardwareFSM(ones_detector())
+    for row in TABLE1_ROWS:
+        hw.apply_row(row)
+    return hw
+
+
+class TestTable1HandComputed:
+    def test_reconf_phase_counts(self, migrated_hw):
+        report = probe_hardware(migrated_hw)
+        assert report.cycles_total == 4
+        assert report.cycles_reconf == 4
+        assert report.cycles_normal == 0
+        assert report.cycles_reset == 0
+        # every write cycle commits one F-RAM and one G-RAM word
+        assert report.ram_writes_f == 4
+        assert report.ram_writes_g == 4
+        assert report.ram_writes == 8
+        assert report.uninitialised_reads == 0
+
+    def test_state_visit_histogram_matches_fig4_walk(self, migrated_hw):
+        report = probe_hardware(migrated_hw)
+        # Fig. 4 walk: S0 -> S1 -> S1 -> S0 -> S0 (visits after each edge)
+        assert report.state_visits == {"S1": 2, "S0": 2}
+        assert migrated_hw.realises(table1_target())
+
+    def test_downtime_and_availability(self, migrated_hw):
+        report = probe_hardware(migrated_hw)
+        assert report.downtime_cycles == 4
+        assert report.availability == 0.0
+        # three normal cycles of traffic restore 3/7 availability
+        migrated_hw.run(list("101"))
+        report = probe_hardware(migrated_hw)
+        assert report.cycles_total == 7
+        assert report.cycles_normal == 3
+        assert report.downtime_cycles == 4
+        assert report.availability == pytest.approx(3 / 7)
+        assert sum(report.state_visits.values()) == 7
+
+    def test_reset_cycles_counted(self, migrated_hw):
+        migrated_hw.cycle(reset=True)
+        report = probe_hardware(migrated_hw)
+        assert report.cycles_reset == 1
+        assert report.downtime_cycles == 5
+
+    def test_empty_run_has_full_availability(self):
+        hw = HardwareFSM(ones_detector())
+        assert probe_hardware(hw).availability == 1.0
+
+
+class TestUninitialisedReadProbe:
+    def test_incident_counted_before_raise(self):
+        # Jump into the target-only state S3 via a temporary transition;
+        # its row was never configured, so the next read is garbage.
+        hw = HardwareFSM.for_migration(fig6_m(), fig6_m_prime())
+        hw.apply_row(SequenceRow("r1", "0", "S3", "0", True, False))
+        with pytest.raises(UninitialisedRead):
+            hw.step("0")
+        report = probe_hardware(hw)
+        assert report.uninitialised_reads == 1
+
+
+class TestPublish:
+    def test_publishes_labelled_counters(self, migrated_hw):
+        configure(metrics=True)
+        try:
+            migrated_hw.run(list("10"))
+            publish(probe_hardware(migrated_hw), workload="paper/table1")
+            assert HW_CYCLES.value(
+                mode="reconf", workload="paper/table1"
+            ) == 4
+            assert HW_CYCLES.value(
+                mode="normal", workload="paper/table1"
+            ) == 2
+            assert HW_RAM_WRITES.value(
+                ram="f", workload="paper/table1"
+            ) == 4
+        finally:
+            configure(metrics=False)
+
+    def test_disabled_registry_publish_is_noop(self, migrated_hw):
+        configure(metrics=False)
+        publish(probe_hardware(migrated_hw), workload="x")
+        assert HW_CYCLES.value(mode="reconf", workload="x") == 0
+
+    def test_render_mentions_all_probes(self, migrated_hw):
+        text = probe_hardware(migrated_hw).render()
+        for fragment in (
+            "cycles reconf",
+            "RAM writes (F)",
+            "reconfiguration downtime",
+            "uninitialised reads",
+            "state-visit histogram",
+        ):
+            assert fragment in text
+
+
+class TestTraceRingBuffer:
+    def _entry(self, cycle):
+        return TraceEntry(cycle, "normal", "0", "0", "S0", "S0", "0", False)
+
+    def test_unbounded_by_default(self):
+        rec = TraceRecorder()
+        for cycle in range(100):
+            rec.record(self._entry(cycle))
+        assert len(rec) == 100
+        assert rec.dropped == 0
+
+    def test_ring_buffer_keeps_most_recent(self):
+        rec = TraceRecorder(max_entries=3)
+        for cycle in range(10):
+            rec.record(self._entry(cycle))
+        assert len(rec) == 3
+        assert [e.cycle for e in rec] == [7, 8, 9]
+        assert rec.dropped == 7
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_entries=0)
+
+    def test_dropped_counter_wired_into_metrics(self):
+        configure(metrics=True)
+        try:
+            before = HW_TRACE_DROPPED.value()
+            rec = TraceRecorder(max_entries=1)
+            rec.record(self._entry(0))
+            rec.record(self._entry(1))
+            rec.record(self._entry(2))
+            assert HW_TRACE_DROPPED.value() == before + 2
+        finally:
+            configure(metrics=False)
+
+    def test_hardware_fsm_bounded_trace(self):
+        hw = HardwareFSM(ones_detector(), trace_max_entries=5)
+        hw.run(list("10101010"))
+        assert len(hw.trace) == 5
+        assert hw.trace.dropped == 3
+        assert hw.cycles == 8  # probe counters unaffected by eviction
+        report = probe_hardware(hw)
+        assert report.trace_entries == 5
+        assert report.trace_dropped == 3
+
+    def test_probe_counters_survive_eviction(self):
+        bounded = HardwareFSM(ones_detector(), trace_max_entries=2)
+        unbounded = HardwareFSM(ones_detector())
+        for hw in (bounded, unbounded):
+            hw.run(list("110011"))
+        a, b = probe_hardware(bounded), probe_hardware(unbounded)
+        assert a.cycles_normal == b.cycles_normal
+        assert a.state_visits == b.state_visits
+
+
+def test_snapshot_registry_state_unpolluted():
+    # Library calls with a disabled registry must leave no values behind.
+    REGISTRY.reset()
+    hw = HardwareFSM(ones_detector())
+    hw.run(list("1010"))
+    assert "repro_hw_cycles_total" not in REGISTRY.snapshot()

@@ -1,0 +1,113 @@
+"""Span nesting, attribute capture and JSONL round-trip."""
+
+import io
+
+import pytest
+
+from repro.obs.tracing import Tracer, load_jsonl, render_tree
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestNesting:
+    def test_depth_and_parent_links(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["outer"].parent is None
+        assert by_name["middle"].parent == by_name["outer"].index
+        assert by_name["inner"].depth == 2
+        assert by_name["inner"].parent == by_name["middle"].index
+        assert by_name["sibling"].parent == by_name["outer"].index
+
+    def test_durations_recorded_and_nested_spans_shorter(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.spans
+        assert outer.duration is not None and inner.duration is not None
+        assert inner.duration <= outer.duration
+
+    def test_attrs_captured_and_updatable(self, tracer):
+        with tracer.span("work", n=4) as sp:
+            sp.attrs["result"] = "ok"
+        assert tracer.spans[0].attrs == {"n": 4, "result": "ok"}
+
+    def test_exception_marks_span_and_propagates(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        span = tracer.spans[0]
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.duration is not None
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work") as sp:
+            sp.attrs["ignored"] = 1  # absorbed by the null span
+        assert tracer.spans == []
+
+    def test_reenable_mid_process(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("skipped"):
+            pass
+        tracer.enable()
+        with tracer.span("kept"):
+            pass
+        assert [s.name for s in tracer.spans] == ["kept"]
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_load(self, tracer, tmp_path):
+        with tracer.span("outer", machine="fig6"):
+            with tracer.span("inner"):
+                pass
+        path = str(tmp_path / "trace.jsonl")
+        tracer.export(path)
+        loaded = load_jsonl(path)
+        assert len(loaded) == 2
+        assert [s.name for s in loaded] == ["outer", "inner"]
+        assert loaded[0].attrs == {"machine": "fig6"}
+        assert loaded[1].parent == loaded[0].index
+        assert loaded[1].depth == 1
+        assert loaded[1].duration == tracer.spans[1].duration
+
+    def test_export_to_stream(self, tracer):
+        with tracer.span("work"):
+            pass
+        buffer = io.StringIO()
+        tracer.export(buffer)
+        assert buffer.getvalue().count("\n") == 1
+
+    def test_non_json_attrs_stringified(self, tracer, tmp_path):
+        with tracer.span("work", obj=frozenset({"a"})):
+            pass
+        path = str(tmp_path / "trace.jsonl")
+        tracer.export(path)
+        assert isinstance(load_jsonl(path)[0].attrs["obj"], str)
+
+
+class TestRenderTree:
+    def test_indentation_follows_depth(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner", n=2):
+                pass
+        text = tracer.render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "n=2" in lines[1]
+        assert "ms" in lines[0]
+
+    def test_empty_trace(self):
+        assert render_tree([]) == "(empty trace)"

@@ -180,12 +180,12 @@ class TestVerify:
 
 
 class TestFillOption:
-    def test_incomplete_file_needs_fill(self, tmp_path):
+    def test_incomplete_file_needs_fill(self, tmp_path, capsys):
         path = str(tmp_path / "inc.kiss")
         with open(path, "w") as handle:
             handle.write(".i 1\n.o 1\n1 A A 1\n")
-        from repro.io.kiss import KissError
-
-        with pytest.raises(KissError):
-            main(["info", path])
+        # Parse errors are reported as a one-line diagnostic + exit 2,
+        # not a traceback.
+        assert main(["info", path]) == 2
+        assert "malformed KISS2" in capsys.readouterr().err
         assert main(["--fill", "0", "info", path]) == 0
