@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs examples results clean
+.PHONY: install test bench bench-obs bench-fleet soak-fleet examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,12 @@ bench:
 
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py
+
+bench-fleet:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py
+
+soak-fleet:
+	PYTHONPATH=src $(PYTHON) benchmarks/soak_fleet.py --seconds 30
 
 examples:
 	@for f in examples/*.py; do \

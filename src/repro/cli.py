@@ -11,6 +11,12 @@ format::
     python -m repro synth source.kiss target.kiss --method ea --sequence
     python -m repro migrate source.kiss target.kiss --method jsr
     python -m repro stats source.kiss target.kiss --method jsr
+    python -m repro fleet --workers 4 --requests 200
+
+``fleet`` needs no files: it serves synthetic traffic for a named suite
+workload from a sharded pool of datapaths while a rolling migration
+upgrades every shard with zero probe-measured downtime
+(see ``docs/fleet.md``).
 
 ``synth`` prints the reconfiguration program (optionally as a Table-1
 style H-sequence); ``migrate`` additionally replays it on the
@@ -185,6 +191,116 @@ def cmd_verify(args) -> int:
         f"suite of {len(suite)})"
     )
     return 0 if result.passed else 1
+
+
+def cmd_fleet(args) -> int:
+    """Serve synthetic traffic from a sharded fleet across a rolling
+    migration; the demo scenario for the ``repro.fleet`` subsystem."""
+    import threading
+    import time
+
+    from .fleet import FleetOverloaded, FSMFleet, MigrationScheduler
+    from .workloads.suite import suite_pair, traffic_words
+
+    try:
+        source, target = suite_pair(args.workload)
+    except KeyError as exc:
+        raise CliError(str(exc.args[0])) from None
+    common = [i for i in source.inputs if i in set(target.inputs)]
+    if not common:
+        raise CliError(
+            f"workload {args.workload}: old and new machines share no "
+            "input symbols; no traffic can survive the rollout"
+        )
+
+    fleet = FSMFleet(
+        source,
+        n_workers=args.workers,
+        family=[target],
+        queue_depth=args.queue_depth,
+        stall_budget=args.stall_budget,
+        link_latency_s=args.link_latency_ms / 1000.0,
+        name=f"fleet/{args.workload}",
+    )
+    scheduler = MigrationScheduler(fleet, stall_budget=args.stall_budget)
+    words = traffic_words(
+        source, args.requests, args.batch, seed=args.seed, inputs=common
+    )
+
+    rollout: dict = {}
+
+    def run_rollout() -> None:
+        try:
+            rollout["report"] = scheduler.rollout(target)
+        except Exception as exc:  # surfaced after the traffic loop
+            rollout["error"] = exc
+
+    migration_at = max(1, args.requests // 4)
+    fault_at = args.requests // 2 if args.inject_fault else None
+    migration_thread = threading.Thread(target=run_rollout, daemon=True)
+    futures = []
+    retries = 0
+    started = time.perf_counter()
+    for index, word in enumerate(words):
+        if index == migration_at:
+            migration_thread.start()
+        if fault_at is not None and index == fault_at:
+            fleet.inject_fault(0, kind="erase", seed=args.seed)
+        while True:
+            try:
+                futures.append(fleet.submit(index, word))
+                break
+            except FleetOverloaded:
+                retries += 1
+                time.sleep(0.001)
+    if args.requests <= migration_at:
+        migration_thread.start()
+    migration_thread.join()
+    fleet.drain()
+    elapsed = time.perf_counter() - started
+
+    failed = 0
+    for future in futures:
+        try:
+            future.result()
+        except Exception:
+            failed += 1
+    if "error" in rollout:
+        fleet.close()
+        raise CliError(f"rollout failed: {rollout['error']}")
+    report = rollout["report"]
+    totals = fleet.totals()
+    steps = totals.symbols_served
+    for index, probe in fleet.probes().items():
+        publish(probe, shard=str(index))
+    fleet.close()
+
+    rows = [
+        {"fleet": "workers", "value": args.workers},
+        {"fleet": "requests served", "value": totals.batches_ok},
+        {"fleet": "requests failed", "value": failed},
+        {"fleet": "symbols stepped", "value": steps},
+        {"fleet": "steps/sec", "value": round(steps / max(elapsed, 1e-9))},
+        {"fleet": "backpressure retries", "value": retries},
+        {"fleet": "incidents (quarantines)", "value": totals.incidents},
+        {"fleet": "migration chunks", "value": report.analysis.chunks_total},
+        {"fleet": "migration cycles", "value": report.migration_cycles},
+        {"fleet": "service downtime (cycles)",
+         "value": report.service_downtime_cycles},
+        {"fleet": "rollout verified", "value": report.verified},
+        {"fleet": "zero downtime", "value": report.zero_downtime},
+    ]
+    print(format_table(
+        rows, title=f"fleet rollout — {args.workload} x{args.workers}"
+    ))
+    ok = report.verified and report.zero_downtime
+    if args.inject_fault:
+        ok = ok and totals.incidents > 0
+    else:
+        ok = ok and failed == 0
+    if not ok:
+        print("FLEET SCENARIO FAILED", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def cmd_dot(args) -> int:
@@ -390,6 +506,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="W-method bound on implementation state growth")
     add_trace_out(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "fleet",
+        help="serve synthetic traffic from a sharded fleet across a "
+             "zero-downtime rolling migration",
+    )
+    p.add_argument("--workload", default="ctrl/pattern-1011-to-0110",
+                   help="suite pair to serve/migrate (see `repro suite`)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="shards (= worker threads = datapath replicas)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="traffic batches to submit")
+    p.add_argument("--batch", type=int, default=16,
+                   help="input symbols per batch")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="per-shard queue bound (backpressure threshold)")
+    p.add_argument("--stall-budget", type=int, default=12,
+                   help="reconfiguration cycles stolen per batch gap")
+    p.add_argument("--link-latency-ms", type=float, default=0.0,
+                   help="modelled device round-trip per batch")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--inject-fault", action="store_true",
+                   help="erase an F-RAM word mid-run to exercise "
+                        "quarantine + re-seed")
+    add_trace_out(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("dot", help="emit Graphviz DOT")
     p.add_argument("machine")

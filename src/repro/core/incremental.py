@@ -177,11 +177,18 @@ class IncrementalMigrator:
     """
 
     def __init__(self, hardware, source: FSM, target: FSM,
-                 i0: Optional[Input] = None):
+                 i0: Optional[Input] = None,
+                 chunks: Optional[List[Chunk]] = None):
         self.hardware = hardware
         self.source = source
         self.target = target
-        self.chunks = incremental_chunks(source, target, i0=i0)
+        # Precomputed chunks (e.g. from a plan cache, possibly reordered
+        # for traffic safety) are accepted but still validated below —
+        # an unsound reordering or stale cache entry fails fast here.
+        self.chunks = (
+            list(chunks) if chunks is not None
+            else incremental_chunks(source, target, i0=i0)
+        )
         self.progress = MigrationProgress(chunks_total=len(self.chunks))
         self._validated = chunks_to_program(self.chunks, source, target)
         if not self._validated.is_valid():

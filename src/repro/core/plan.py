@@ -13,10 +13,22 @@ patterns.  This module plans over a *family*:
   finds those cases;
 * :func:`plan_supersets` — the encoding the shared hardware needs
   (Def. 4.1 supersets over the whole family), with its resource cost.
+
+Synthesis is memoised behind :class:`SynthesisCache`, a thread-safe,
+fingerprint-keyed cache: concurrent requests for the same ordered pair
+run the synthesiser exactly once (the first caller computes, the rest
+block on a shared future), and structurally identical machines share an
+entry regardless of their names.  :class:`MigrationGraph` uses it
+internally; the fleet layer (:mod:`repro.fleet.plancache`) layers its
+own cache on the same machinery so many shard workers never duplicate
+an EA run.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -26,6 +38,93 @@ from .ea import EAConfig, ea_program
 from .fsm import FSM
 from .jsr import jsr_program
 from .program import Program
+
+
+def fsm_fingerprint(fsm: FSM) -> str:
+    """Stable structural fingerprint (hex digest) of a machine.
+
+    Two machines with the same alphabets, state set, reset state and
+    transition table get the same fingerprint — names are deliberately
+    ignored, so a renamed copy hits the same cache entry.  The digest is
+    content-addressed (SHA-256 over a canonical serialisation), stable
+    across processes, and short enough to use as a metric label.
+    """
+    payload = repr((
+        sorted(repr(i) for i in fsm.inputs),
+        sorted(repr(o) for o in fsm.outputs),
+        sorted(repr(s) for s in fsm.states),
+        repr(fsm.reset_state),
+        sorted((repr(k), repr(v)) for k, v in fsm.table.items()),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def make_synthesiser(
+    synthesiser: "str | Callable[[FSM, FSM], Program]" = "ea",
+    ea_config: Optional[EAConfig] = None,
+) -> Callable[[FSM, FSM], Program]:
+    """Resolve the ``synthesiser`` argument shared by planner and cache."""
+    config = ea_config or EAConfig(population_size=24, generations=25, seed=0)
+    if synthesiser == "ea":
+        return lambda s, t: ea_program(s, t, config=config)
+    if synthesiser == "jsr":
+        return jsr_program
+    if callable(synthesiser):
+        return synthesiser
+    raise ValueError(f"unknown synthesiser {synthesiser!r}")
+
+
+class SynthesisCache:
+    """Thread-safe memoisation of ``(source, target) -> Program``.
+
+    Keys are fingerprint pairs, so structurally equal machines share
+    entries.  The first caller for a key synthesises while later callers
+    block on a shared :class:`~concurrent.futures.Future`; a synthesiser
+    failure is propagated to every waiter and *not* cached, so a later
+    call retries.
+    """
+
+    def __init__(self, synthesiser: Callable[[FSM, FSM], Program]):
+        self._synth = synthesiser
+        self._lock = threading.Lock()
+        self._futures: Dict[Tuple[str, str], "Future[Program]"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def program(self, source: FSM, target: FSM) -> Program:
+        key = (fsm_fingerprint(source), fsm_fingerprint(target))
+        with self._lock:
+            future = self._futures.get(key)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._futures[key] = future
+                self.misses += 1
+            else:
+                self.hits += 1
+        if not owner:
+            return future.result()
+        try:
+            program = self._synth(source, target)
+        except BaseException as exc:
+            with self._lock:
+                self._futures.pop(key, None)
+            future.set_exception(exc)
+            raise
+        future.set_result(program)
+        return program
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._futures)
+
+    def cache_info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._futures),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 @dataclass
@@ -64,31 +163,35 @@ class MigrationGraph:
         if len(machines) < 2:
             raise ValueError("a family needs at least two machines")
         self.machines: Dict[str, FSM] = {m.name: m for m in machines}
-        config = ea_config or EAConfig(
-            population_size=24, generations=25, seed=0
-        )
-        if synthesiser == "ea":
-            self._synth = lambda s, t: ea_program(s, t, config=config)
-        elif synthesiser == "jsr":
-            self._synth = jsr_program
-        elif callable(synthesiser):
-            self._synth = synthesiser
-        else:
-            raise ValueError(f"unknown synthesiser {synthesiser!r}")
-        self._programs: Dict[Tuple[str, str], Program] = {}
+        self._synth = make_synthesiser(synthesiser, ea_config)
+        self._cache = SynthesisCache(self._synth)
 
     @property
     def names(self) -> List[str]:
         return sorted(self.machines)
 
+    @property
+    def cache(self) -> SynthesisCache:
+        """The shared synthesis cache (thread-safe, fingerprint-keyed)."""
+        return self._cache
+
+    def fingerprint(self, name: str) -> str:
+        """The structural fingerprint of one family member."""
+        return fsm_fingerprint(self.machines[name])
+
+    def cache_info(self) -> Dict[str, int]:
+        """Entries / hits / misses of the underlying synthesis cache."""
+        return self._cache.cache_info()
+
     def program(self, source: str, target: str) -> Program:
-        """The (cached) direct program for one ordered pair."""
-        key = (source, target)
-        if key not in self._programs:
-            self._programs[key] = self._synth(
-                self.machines[source], self.machines[target]
-            )
-        return self._programs[key]
+        """The (cached) direct program for one ordered pair.
+
+        Safe to call from many threads: concurrent requests for the same
+        pair run the synthesiser once and share the resulting program.
+        """
+        return self._cache.program(
+            self.machines[source], self.machines[target]
+        )
 
     def cost_matrix(self) -> Dict[Tuple[str, str], int]:
         """Direct program length for every ordered pair (0 on diagonal)."""

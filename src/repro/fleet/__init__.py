@@ -1,0 +1,36 @@
+"""``repro.fleet`` — concurrent FSM serving with zero-downtime migration.
+
+The serving layer over the paper's datapath: a sharded pool of
+cycle-accurate machines behind worker threads (:mod:`.pool`), a rolling
+migration scheduler that reconfigures the fleet gradually under live
+traffic (:mod:`.migration`), and a thread-safe plan cache so shards
+never duplicate synthesis work (:mod:`.plancache`).
+"""
+
+from .migration import (
+    InfeasiblePlanError,
+    MigrationScheduler,
+    PlanAnalysis,
+    RolloutReport,
+    ShardRollout,
+)
+from .plancache import PlanCache, order_chunks
+from .pool import FleetClosed, FleetError, FleetOverloaded, FSMFleet
+from .worker import MigrationJob, ShardStats, ShardWorker
+
+__all__ = [
+    "FSMFleet",
+    "FleetClosed",
+    "FleetError",
+    "FleetOverloaded",
+    "InfeasiblePlanError",
+    "MigrationJob",
+    "MigrationScheduler",
+    "PlanAnalysis",
+    "PlanCache",
+    "RolloutReport",
+    "ShardRollout",
+    "ShardStats",
+    "ShardWorker",
+    "order_chunks",
+]

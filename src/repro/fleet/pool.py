@@ -1,0 +1,258 @@
+"""The fleet pool: sharded concurrent serving of one logical FSM.
+
+:class:`FSMFleet` runs ``n_workers`` independent replicas (shards) of a
+machine, each on its own cycle-accurate datapath behind its own worker
+thread — the replication model of Bortnikov et al. applied to the
+Köster & Teich datapath.  Clients talk to the pool through one call:
+
+``submit(shard_key, symbols) -> Future[List[Output]]``
+
+* requests with the same ``shard_key`` land on the same shard, in FIFO
+  order (one queue, one thread per shard) — per-key state affinity;
+* every shard queue is bounded; a full queue rejects *immediately* with
+  :class:`FleetOverloaded` (explicit backpressure, no hidden buffering);
+* a shard whose datapath raises is quarantined and re-seeded from the
+  reset state while the rest of the fleet keeps serving.
+
+Live migration of the whole fleet to a new machine is the job of
+:class:`repro.fleet.migration.MigrationScheduler`, reachable through
+:meth:`FSMFleet.migrate`.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import zlib
+from concurrent.futures import Future
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from ..core.fsm import FSM, Input
+from ..core.plan import plan_supersets
+from ..hw.faults import Upset, erase_entry, inject_upset
+from ..obs import instruments as _instruments
+from ..obs.probes import ProbeReport
+from .plancache import PlanCache
+from .worker import _STOP, _Batch, _Fault, ShardStats, ShardWorker
+
+
+class FleetError(RuntimeError):
+    """Base class for fleet serving errors."""
+
+
+class FleetOverloaded(FleetError):
+    """A shard queue was full; the batch was rejected, not queued.
+
+    Carries ``shard`` so callers can implement per-shard retry policies.
+    """
+
+    def __init__(self, shard: int, depth: int):
+        super().__init__(
+            f"shard {shard} queue full ({depth} batches waiting); "
+            "retry later or add workers"
+        )
+        self.shard = shard
+        self.depth = depth
+
+
+class FleetClosed(FleetError):
+    """submit() after close()."""
+
+
+class FSMFleet:
+    """A sharded pool of datapaths serving one logical machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine every shard initially realises.
+    n_workers:
+        Number of shards (= worker threads = datapath replicas).
+    family:
+        Additional machines the fleet may ever migrate to; the RAM
+        geometry and register widths are sized for the Def. 4.1
+        supersets over ``[machine, *family]`` up front, so migrations
+        never need a re-synthesis of the hardware.
+    queue_depth:
+        Bound on each shard's queue; the backpressure threshold.
+    stall_budget:
+        Default reconfiguration cycles a worker may steal per batch gap.
+    link_latency_s:
+        Optional modelled device round-trip per batch (the Python thread
+        is the *controller* of a hardware shard; while one shard's batch
+        is in flight on its device, other workers keep submitting).
+    plan_cache:
+        Shared :class:`~repro.fleet.plancache.PlanCache`; one is created
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        machine: FSM,
+        n_workers: int = 4,
+        family: Sequence[FSM] = (),
+        queue_depth: int = 64,
+        stall_budget: int = 12,
+        poll_interval_s: float = 0.002,
+        link_latency_s: float = 0.0,
+        trace_max_entries: int = 256,
+        plan_cache: Optional[PlanCache] = None,
+        name: str = "fleet",
+    ):
+        if n_workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self.name = name
+        self.machine = machine
+        self.stall_budget = stall_budget
+        self.plan_cache = plan_cache or PlanCache()
+        superset = plan_supersets([machine, *family])
+        self.shards: List[ShardWorker] = [
+            ShardWorker(
+                index,
+                machine,
+                extra_inputs=superset.inputs.symbols,
+                extra_outputs=superset.outputs.symbols,
+                extra_states=superset.states.symbols,
+                queue_depth=queue_depth,
+                poll_interval_s=poll_interval_s,
+                link_latency_s=link_latency_s,
+                trace_max_entries=trace_max_entries,
+                fleet_name=name,
+            )
+            for index in range(n_workers)
+        ]
+        self._closed = False
+        for shard in self.shards:
+            shard.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, shard_key: Hashable) -> int:
+        """Deterministic key → shard mapping (stable across runs)."""
+        digest = zlib.crc32(repr(shard_key).encode("utf-8"))
+        return digest % len(self.shards)
+
+    def submit(
+        self, shard_key: Hashable, symbols: Sequence[Input]
+    ) -> "Future[List]":
+        """Enqueue one batch; returns a future of the output word.
+
+        Raises :class:`FleetOverloaded` when the target shard's queue is
+        full and ``ValueError`` when a symbol is outside the shard's
+        currently-serveable alphabet (during a migration that is the
+        intersection of the old and new input sets).
+        """
+        if self._closed:
+            raise FleetClosed(f"{self.name} is closed")
+        if not symbols:
+            raise ValueError("empty batch")
+        shard = self.shards[self.shard_for(shard_key)]
+        serveable = shard.serving_inputs
+        for symbol in symbols:
+            if symbol not in serveable:
+                raise ValueError(
+                    f"symbol {symbol!r} not serveable by shard "
+                    f"{shard.index} (alphabet {sorted(map(str, serveable))})"
+                )
+        future: Future = Future()
+        batch = _Batch(symbols=tuple(symbols), future=future)
+        try:
+            shard.queue.put_nowait(batch)
+        except _queue.Full:
+            shard.stats.rejected += 1
+            _instruments.FLEET_REJECTED.inc(shard=shard.label)
+            raise FleetOverloaded(shard.index, shard.queue.maxsize) from None
+        return future
+
+    # ------------------------------------------------------------------
+    def migrate(self, target: FSM, stall_budget: Optional[int] = None):
+        """Roll the fleet to ``target`` (see ``MigrationScheduler``)."""
+        from .migration import MigrationScheduler
+
+        return MigrationScheduler(
+            self, stall_budget=stall_budget
+        ).rollout(target)
+
+    def inject_fault(
+        self, shard: int, kind: str = "erase", seed: int = 0
+    ) -> "Future[Upset]":
+        """Schedule a fault on one shard's datapath (between batches).
+
+        ``kind`` is ``"erase"`` (guaranteed-detectable word erasure) or
+        ``"upset"`` (a single seeded SEU bit-flip, which may or may not
+        be observable).  The fault is applied by the shard's own thread,
+        as a radiation event between clock edges would be; the returned
+        future resolves with the :class:`~repro.hw.faults.Upset` record.
+        """
+        if kind == "erase":
+            inject = lambda hw: erase_entry(hw, seed=seed)  # noqa: E731
+        elif kind == "upset":
+            inject = lambda hw: inject_upset(hw, seed=seed)  # noqa: E731
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        future: Future = Future()
+        self.shards[shard].queue.put(_Fault(inject=inject, future=future))
+        return future
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until every queued batch has been served."""
+        for shard in self.shards:
+            shard.queue.join()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work and shut the workers down.
+
+        With ``drain`` (default) every already-queued batch is still
+        served — and an in-flight migration completes — before the
+        threads exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if drain:
+            self.drain()
+        for shard in self.shards:
+            shard.queue.put(_STOP)
+        for shard in self.shards:
+            shard.join(timeout=30.0)
+
+    def __enter__(self) -> "FSMFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[int, ShardStats]:
+        """Per-shard serving statistics."""
+        return {shard.index: shard.stats for shard in self.shards}
+
+    def totals(self) -> ShardStats:
+        """Fleet-wide aggregate of the per-shard statistics."""
+        total = ShardStats()
+        for shard in self.shards:
+            stats = shard.stats
+            total.batches_ok += stats.batches_ok
+            total.batches_failed += stats.batches_failed
+            total.symbols_served += stats.symbols_served
+            total.rejected += stats.rejected
+            total.incidents += stats.incidents
+            total.migrations_done += stats.migrations_done
+            total.migration_cycles += stats.migration_cycles
+            total.service_downtime_cycles += stats.service_downtime_cycles
+        return total
+
+    def probes(self) -> Dict[int, ProbeReport]:
+        """Probe snapshot of every shard's datapath."""
+        return {shard.index: shard.probe() for shard in self.shards}
+
+    def __repr__(self) -> str:
+        return (
+            f"FSMFleet(name={self.name!r}, machine={self.machine.name!r}, "
+            f"workers={self.n_workers})"
+        )

@@ -1,0 +1,277 @@
+"""One fleet shard: a datapath, a bounded FIFO queue, a worker thread.
+
+A shard owns exactly one :class:`~repro.hw.machine.HardwareFSM` (sized
+for the fleet's whole machine family, Def. 4.1 supersets) and is the
+*only* thread that ever clocks it — the pool's concurrency story is
+"share nothing", which is also what the single-driver guard on the
+datapath enforces.  The worker loop interleaves three duties:
+
+* **serving** — pop a batch, step its symbols, resolve its future;
+* **migrating** — between batches (and in idle gaps) run whole safe
+  chunks of the pending gradual migration, never exceeding the stall
+  budget per gap, exactly the paper's one-entry-per-cycle rollout;
+* **healing** — a batch that raises (e.g. an injected SRAM fault)
+  quarantines the shard: the future gets the error, the datapath is
+  re-seeded from the reset state of the committed machine, an active
+  migration restarts from its first chunk, and the incident is counted.
+
+Downtime is measured with the existing observability probes: the
+reconf/reset cycle counters are snapshotted around the serving section,
+so any reconfiguration cycle that delays a batch shows up in
+``service_downtime_cycles``.  A feasible plan keeps that at zero.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.fsm import FSM, Input, Output
+from ..core.incremental import Chunk, IncrementalMigrator
+from ..hw.machine import HardwareFSM
+from ..obs import instruments as _instruments
+from ..obs.probes import ProbeReport, probe_hardware
+
+#: Queue sentinel asking the worker thread to exit.
+_STOP = object()
+
+
+@dataclass
+class ShardStats:
+    """Monotonic per-shard counters (read from any thread)."""
+
+    batches_ok: int = 0
+    batches_failed: int = 0
+    symbols_served: int = 0
+    rejected: int = 0
+    incidents: int = 0
+    migrations_done: int = 0
+    migration_cycles: int = 0
+    service_downtime_cycles: int = 0
+    last_error: Optional[str] = None
+
+
+@dataclass
+class _Batch:
+    symbols: Tuple[Input, ...]
+    future: Future
+
+
+@dataclass
+class _Fault:
+    """Control item: apply a fault injector to the shard's datapath."""
+
+    inject: Callable[[HardwareFSM], object]
+    future: Future
+
+
+@dataclass
+class MigrationJob:
+    """One shard's share of a rolling migration."""
+
+    target: FSM
+    chunks: List[Chunk]
+    stall_budget: int
+    done: threading.Event = field(default_factory=threading.Event)
+    verified: Optional[bool] = None
+    restarts: int = 0
+    _migrator: Optional[IncrementalMigrator] = None
+
+
+class ShardWorker(threading.Thread):
+    """The serving thread of one shard (see module docstring)."""
+
+    def __init__(
+        self,
+        index: int,
+        machine: FSM,
+        extra_inputs: Sequence[Input] = (),
+        extra_outputs: Sequence = (),
+        extra_states: Sequence = (),
+        queue_depth: int = 64,
+        poll_interval_s: float = 0.002,
+        link_latency_s: float = 0.0,
+        trace_max_entries: int = 256,
+        fleet_name: str = "fleet",
+    ):
+        super().__init__(name=f"{fleet_name}-shard-{index}", daemon=True)
+        self.index = index
+        self.machine = machine
+        self._extras = (
+            tuple(extra_inputs), tuple(extra_outputs), tuple(extra_states)
+        )
+        self._trace_max = trace_max_entries
+        self._fleet_name = fleet_name
+        self.queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self.poll_interval_s = poll_interval_s
+        self.link_latency_s = link_latency_s
+        self.stats = ShardStats()
+        self.serving_inputs = frozenset(machine.inputs)
+        self.hardware = self._build_hardware(machine)
+        self._job: Optional[MigrationJob] = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _build_hardware(self, machine: FSM) -> HardwareFSM:
+        extra_i, extra_o, extra_s = self._extras
+        return HardwareFSM(
+            machine,
+            extra_inputs=extra_i,
+            extra_outputs=extra_o,
+            extra_states=extra_s,
+            name=f"{self._fleet_name}-shard{self.index}_{machine.name}",
+            trace_max_entries=self._trace_max,
+        )
+
+    def _downtime(self) -> int:
+        return probe_hardware(self.hardware).downtime_cycles
+
+    def probe(self) -> ProbeReport:
+        """Probe snapshot of the shard's datapath (racy but read-only)."""
+        return probe_hardware(self.hardware)
+
+    @property
+    def label(self) -> str:
+        return str(self.index)
+
+    # -- migration -----------------------------------------------------
+    def begin_migration(self, job: MigrationJob) -> MigrationJob:
+        """Hand the shard its migration job (picked up between batches)."""
+        if self._job is not None and not self._job.done.is_set():
+            raise RuntimeError(
+                f"shard {self.index} already has a migration in flight"
+            )
+        self._job = job
+        return job
+
+    def _migration_tick(self) -> None:
+        job = self._job
+        if job is None or job.done.is_set():
+            return
+        try:
+            self._migration_step(job)
+        except Exception as exc:
+            # A fault mid-reconfiguration must not kill the worker: the
+            # shard quarantines (re-seed + restart the migration) like a
+            # serving fault would.  Deterministic failures (an unsound
+            # chunk list) would retry forever, so restarts are capped and
+            # the job is surfaced as unverified instead of hanging the
+            # rollout.
+            self._quarantine(exc)
+            if job.restarts > 5 and not job.done.is_set():
+                job.verified = False
+                job.done.set()
+
+    def _migration_step(self, job: MigrationJob) -> None:
+        if job._migrator is None:
+            # Restrict traffic to the inputs both machines understand:
+            # rows for target-only inputs go live chunk by chunk, and old
+            # clients keep old symbols during an upgrade anyway.
+            self.serving_inputs = frozenset(
+                i for i in self.machine.inputs if i in set(job.target.inputs)
+            )
+            job._migrator = IncrementalMigrator(
+                self.hardware, self.machine, job.target, chunks=job.chunks
+            )
+        migrator = job._migrator
+        if not migrator.done:
+            used = migrator.stall(job.stall_budget)
+            self.stats.migration_cycles += used
+            _instruments.FLEET_MIGRATION_CYCLES.inc(used, shard=self.label)
+        if migrator.done:
+            verified = self.hardware.realises(job.target)
+            job.verified = verified
+            self.machine = job.target
+            self.serving_inputs = frozenset(job.target.inputs)
+            self.stats.migrations_done += 1
+            _instruments.FLEET_SHARD_MIGRATIONS.inc(
+                shard=self.label, verified=str(verified).lower()
+            )
+            job.done.set()
+
+    # -- failure handling ----------------------------------------------
+    def _quarantine(self, exc: BaseException) -> None:
+        """Re-seed the shard from the reset state of its committed machine.
+
+        The corrupted datapath is replaced wholesale (the simulation
+        equivalent of a full re-download plus reset); a migration in
+        flight restarts from its first chunk against the fresh source
+        table, which is sound because chunks assume nothing beyond the
+        blend invariant the fresh table trivially satisfies.
+        """
+        self.stats.incidents += 1
+        self.stats.last_error = f"{type(exc).__name__}: {exc}"
+        _instruments.FLEET_INCIDENTS.inc(
+            shard=self.label, error=type(exc).__name__
+        )
+        self.hardware = self._build_hardware(self.machine)
+        job = self._job
+        if job is not None and not job.done.is_set():
+            job._migrator = None
+            job.restarts += 1
+
+    # -- serving -------------------------------------------------------
+    def _serve(self, batch: _Batch) -> None:
+        started = time.perf_counter()
+        downtime_before = self._downtime()
+        try:
+            outputs: List[Output] = [
+                self.hardware.step(symbol) for symbol in batch.symbols
+            ]
+        except Exception as exc:
+            self.stats.batches_failed += 1
+            _instruments.FLEET_BATCHES.inc(
+                outcome="error", shard=self.label
+            )
+            batch.future.set_exception(exc)
+            self._quarantine(exc)
+            return
+        if self.link_latency_s:
+            time.sleep(self.link_latency_s)
+        self.stats.service_downtime_cycles += (
+            self._downtime() - downtime_before
+        )
+        self.stats.batches_ok += 1
+        self.stats.symbols_served += len(batch.symbols)
+        _instruments.FLEET_BATCHES.inc(outcome="ok", shard=self.label)
+        _instruments.FLEET_SYMBOLS.inc(len(batch.symbols), shard=self.label)
+        _instruments.FLEET_BATCH_SECONDS.observe(
+            time.perf_counter() - started, shard=self.label
+        )
+        batch.future.set_result(outputs)
+
+    # -- main loop -----------------------------------------------------
+    def stop(self) -> None:
+        """Ask the worker to exit once its queue (and migration) drain."""
+        self._stopping.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via the pool
+        while True:
+            try:
+                item = self.queue.get(timeout=self.poll_interval_s)
+            except queue.Empty:
+                self._migration_tick()
+                job = self._job
+                if self._stopping.is_set() and (
+                    job is None or job.done.is_set()
+                ):
+                    return
+                continue
+            try:
+                if item is _STOP:
+                    self._stopping.set()
+                    continue
+                if isinstance(item, _Fault):
+                    try:
+                        item.future.set_result(item.inject(self.hardware))
+                    except Exception as exc:
+                        item.future.set_exception(exc)
+                    continue
+                self._migration_tick()
+                self._serve(item)
+            finally:
+                self.queue.task_done()

@@ -82,6 +82,39 @@ def inject_upset(
     return Upset(ram=label, entry=symbol_entry, address=address, bit=bit)
 
 
+def erase_entry(
+    hw: HardwareFSM,
+    entry: Optional[Tuple[Input, State]] = None,
+    seed: int = 0,
+) -> Upset:
+    """Erase one written F-RAM word (a *detectable* fault).
+
+    A bit-flip upset can still decode to a valid (wrong) symbol; an
+    erasure models the harsher failure mode of an unreadable cell — the
+    next traversal of the entry raises
+    :class:`~repro.hw.memory.UninitialisedRead` deterministically, which
+    is exactly what the fleet quarantine path needs to trigger on.  The
+    entry is drawn from a seeded RNG over written words unless pinned.
+    """
+    if entry is None:
+        rng = random.Random(f"erase/{seed}")
+        written = sorted(hw.f_ram.dump())
+        if not written:
+            raise ValueError("no written F-RAM words to erase")
+        address = rng.choice(written)
+    else:
+        address = hw._address(*entry).value
+        if hw.f_ram.peek(address) is None:
+            raise ValueError(f"entry {entry!r} is not written")
+    hw.f_ram.erase(address)
+    return Upset(
+        ram="F",
+        entry=_entry_of_address(hw, address),
+        address=address,
+        bit=-1,  # erasure: the whole word is gone, not one bit
+    )
+
+
 def _safe_entry(hw: HardwareFSM, i: Input, s: State):
     """Like :meth:`HardwareFSM.table_entry` but tolerant of garbage codes.
 

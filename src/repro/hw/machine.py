@@ -24,6 +24,7 @@ requires having sized the register and RAMs for the superset up front
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -36,6 +37,18 @@ from .memory import SyncRAM, UninitialisedRead
 from .register import Register, mux2
 from .signals import BitVector, SymbolEncoder, ram_address
 from .trace import TraceEntry, TraceRecorder
+
+
+class ConcurrentUseError(RuntimeError):
+    """Two threads drove the same datapath at once.
+
+    A :class:`HardwareFSM` models *one* physical netlist: interleaved
+    ``cycle()`` calls from several threads would corrupt ST-REG and the
+    RAM write port in ways no real single-clock design can exhibit.  The
+    guard turns that silent corruption into this error; give each thread
+    its own instance (e.g. one fleet shard per worker) or serialise
+    access externally.
+    """
 
 
 @dataclass(frozen=True)
@@ -106,6 +119,10 @@ class HardwareFSM:
         }
         self.state_visits: Dict[State, int] = {}
         self.uninitialised_reads = 0
+        # Single-driver guard: one non-blocking lock acquire per cycle
+        # (cheap) detects overlapping cycle() calls from other threads.
+        self._cycle_guard = threading.Lock()
+        self._driver: Optional[int] = None
         self._download(fsm)
 
     @classmethod
@@ -188,6 +205,25 @@ class HardwareFSM:
         if recon is None and i is None and not reset:
             raise ValueError("cycle needs an input, a reset, or a recon command")
 
+        if not self._cycle_guard.acquire(blocking=False):
+            raise ConcurrentUseError(
+                f"{self.name}: cycle() called while thread "
+                f"{self._driver} is mid-cycle; HardwareFSM is "
+                "single-driver — serialise access or shard per thread"
+            )
+        self._driver = threading.get_ident()
+        try:
+            return self._guarded_cycle(i=i, reset=reset, recon=recon)
+        finally:
+            self._driver = None
+            self._cycle_guard.release()
+
+    def _guarded_cycle(
+        self,
+        i: Optional[Input],
+        reset: bool,
+        recon: Optional[ReconCommand],
+    ) -> Optional[Output]:
         mode = "reconf" if recon is not None else ("reset" if reset else "normal")
         state_before = self.state
 

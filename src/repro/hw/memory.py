@@ -80,6 +80,17 @@ class SyncRAM:
         self._check_addr(address)
         return self._words.get(address)
 
+    def erase(self, address: int) -> bool:
+        """Drop one word back to the uninitialised state.
+
+        Models a stuck-open / readback-parity-failed SRAM cell for fault
+        injection: the next :meth:`read` of the address returns ``None``
+        (and the datapath raises :class:`UninitialisedRead` when that
+        feeds ST-REG).  Returns whether the word had been written.
+        """
+        self._check_addr(address)
+        return self._words.pop(address, None) is not None
+
     def read(self, address: BitVector) -> Optional[int]:
         """Combinational read; ``None`` models uninitialised contents."""
         self._check_width(address)

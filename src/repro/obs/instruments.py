@@ -84,6 +84,49 @@ HW_TRACE_DROPPED = REGISTRY.counter(
     "Trace entries evicted by bounded (ring-buffer) recorders.",
 )
 
+# -- fleet serving engine ---------------------------------------------
+FLEET_BATCHES = REGISTRY.counter(
+    "repro_fleet_batches_total",
+    "Batches served by fleet shard workers, by outcome (ok / error).",
+)
+FLEET_SYMBOLS = REGISTRY.counter(
+    "repro_fleet_symbols_total",
+    "Input symbols stepped by fleet shard workers.",
+)
+FLEET_REJECTED = REGISTRY.counter(
+    "repro_fleet_rejected_total",
+    "Batch submissions rejected by backpressure (full shard queue).",
+)
+FLEET_INCIDENTS = REGISTRY.counter(
+    "repro_fleet_incidents_total",
+    "Shard faults that triggered quarantine and re-seed, by error type.",
+)
+FLEET_SHARD_MIGRATIONS = REGISTRY.counter(
+    "repro_fleet_shard_migrations_total",
+    "Per-shard gradual migrations completed, by hardware verification.",
+)
+FLEET_MIGRATION_CYCLES = REGISTRY.counter(
+    "repro_fleet_migration_cycles_total",
+    "Reconfiguration cycles spent inside rolling fleet migrations.",
+)
+FLEET_SERVICE_DOWNTIME = REGISTRY.counter(
+    "repro_fleet_service_downtime_cycles_total",
+    "Reconf/reset cycles observed while a batch was being served "
+    "(zero for feasible migration plans).",
+)
+FLEET_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_fleet_batch_seconds",
+    "Wall time from batch dequeue to future resolution.",
+    buckets=SECONDS_BUCKETS,
+)
+
+# -- plan cache --------------------------------------------------------
+PLAN_CACHE_REQUESTS = REGISTRY.counter(
+    "repro_plan_cache_requests_total",
+    "Plan-cache lookups, by kind (program / chunks) and result "
+    "(hit / miss).",
+)
+
 # -- suite and campaigns ----------------------------------------------
 SUITE_WORKLOADS = REGISTRY.counter(
     "repro_suite_workloads_total",

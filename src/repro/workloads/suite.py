@@ -11,9 +11,10 @@ keep tests independent).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.fsm import FSM
+from ..core.fsm import FSM, Input
 from ..obs import instruments as _instruments
 from ..obs.probes import probe_hardware, publish
 from ..obs.tracing import span as _span
@@ -139,6 +140,44 @@ def migration_suite() -> Dict[str, PairFactory]:
 def suite_names() -> List[str]:
     """Stable, sorted list of suite entry names."""
     return sorted(migration_suite())
+
+
+def suite_pair(name: str) -> Tuple[FSM, FSM]:
+    """One fresh ``(source, target)`` pair by suite name.
+
+    The accessor the CLI (``repro fleet``) and the fleet benchmarks use;
+    raises ``KeyError`` naming the known workloads on a typo.
+    """
+    suite = migration_suite()
+    if name not in suite:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(suite))}"
+        )
+    return suite[name]()
+
+
+def traffic_words(
+    machine: FSM,
+    n_words: int,
+    length: int,
+    seed: int = 0,
+    inputs: Optional[Sequence[Input]] = None,
+) -> List[List[Input]]:
+    """Seeded synthetic traffic: ``n_words`` random input words.
+
+    Symbols are drawn uniformly from ``inputs`` when given (e.g. the
+    old∩new alphabet during a rolling upgrade), else from the machine's
+    own input alphabet.
+    """
+    if length < 1 or n_words < 0:
+        raise ValueError("traffic needs non-negative words of length >= 1")
+    pool = list(machine.inputs if inputs is None else inputs)
+    if not pool:
+        raise ValueError("empty input pool")
+    rng = random.Random(f"traffic/{seed}")
+    return [
+        [rng.choice(pool) for _ in range(length)] for _ in range(n_words)
+    ]
 
 
 #: The synthesis methods the suite runner (and the CLI) can dispatch.

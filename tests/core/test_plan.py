@@ -200,3 +200,88 @@ class TestRoutingGainsSynthetic:
         for program in route.programs:
             hw.run_program(program)
         assert hw.realises(c)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        from repro.core.plan import fsm_fingerprint
+
+        assert fsm_fingerprint(ones_detector()) == fsm_fingerprint(
+            ones_detector()
+        )
+
+    def test_ignores_name(self):
+        from repro.core.plan import fsm_fingerprint
+
+        machine = ones_detector()
+        assert fsm_fingerprint(machine) == fsm_fingerprint(
+            machine.renamed({}, name="other")
+        )
+
+    def test_distinguishes_structure(self):
+        from repro.core.plan import fsm_fingerprint
+
+        fingerprints = {
+            fsm_fingerprint(ones_detector()),
+            fsm_fingerprint(zeros_detector()),
+            fsm_fingerprint(table1_target()),
+            fsm_fingerprint(mutate_target(ones_detector(), 1, seed=1)),
+            fsm_fingerprint(random_fsm(n_states=6, seed=7)),
+        }
+        assert len(fingerprints) == 5
+
+    def test_short_hex(self):
+        from repro.core.plan import fsm_fingerprint
+
+        digest = fsm_fingerprint(ones_detector())
+        assert len(digest) == 16
+        int(digest, 16)  # parses as hex
+
+
+class TestSynthesisCacheThreading:
+    def test_graph_synthesises_once_under_contention(self):
+        import threading
+
+        calls = []
+        lock = threading.Lock()
+
+        def counting(source, target):
+            with lock:
+                calls.append((source.name, target.name))
+            return jsr_program(source, target)
+
+        graph = MigrationGraph(family(), synthesiser=counting)
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait(timeout=10)
+            results.append(
+                graph.program("ones_detector", "zeros_detector")
+            )
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(calls) == 1
+        assert all(p is results[0] for p in results)
+
+    def test_cache_info_counts(self):
+        graph = MigrationGraph(family(), synthesiser=jsr_program)
+        graph.program("ones_detector", "zeros_detector")
+        graph.program("ones_detector", "zeros_detector")
+        graph.program("zeros_detector", "ones_detector")
+        info = graph.cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 1
+        assert info["entries"] == 2
+
+    def test_fingerprint_accessor(self):
+        from repro.core.plan import fsm_fingerprint
+
+        graph = MigrationGraph(family(), synthesiser=jsr_program)
+        assert graph.fingerprint("ones_detector") == fsm_fingerprint(
+            ones_detector()
+        )

@@ -1,0 +1,151 @@
+"""PlanCache: fingerprint-keyed memoisation, concurrency, chunk order."""
+
+import threading
+
+from repro.core.fsm import FSM
+from repro.core.incremental import chunks_to_program, incremental_chunks
+from repro.core.jsr import jsr_program
+from repro.fleet import PlanCache, order_chunks
+from repro.workloads.library import ones_detector, zeros_detector
+from repro.workloads.mutate import grow_target
+from repro.workloads.random_fsm import random_fsm
+
+
+def renamed(machine, suffix="_v2"):
+    """A structurally-identical machine under a different name."""
+    return FSM(
+        machine.inputs,
+        machine.outputs,
+        machine.states,
+        machine.reset_state,
+        machine.table,
+        name=machine.name + suffix,
+    )
+
+
+class CountingSynthesiser:
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, source, target):
+        with self._lock:
+            self.calls += 1
+        return jsr_program(source, target)
+
+
+class TestProgramCache:
+    def test_concurrent_misses_synthesise_once(self):
+        synth = CountingSynthesiser()
+        cache = PlanCache(synthesiser=synth)
+        source, target = ones_detector(), zeros_detector()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait(timeout=10)
+            results.append(cache.program(source, target))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert synth.calls == 1
+        assert len(results) == 8
+        assert all(p is results[0] for p in results)
+        info = cache.cache_info()["programs"]
+        assert info["misses"] == 1
+        assert info["hits"] == 7
+
+    def test_renamed_machine_shares_entry(self):
+        synth = CountingSynthesiser()
+        cache = PlanCache(synthesiser=synth)
+        source, target = ones_detector(), zeros_detector()
+        first = cache.program(source, target)
+        second = cache.program(renamed(source), renamed(target))
+        assert first is second
+        assert synth.calls == 1
+
+    def test_failure_not_cached(self):
+        calls = []
+
+        def flaky(source, target):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return jsr_program(source, target)
+
+        cache = PlanCache(synthesiser=flaky)
+        source, target = ones_detector(), zeros_detector()
+        try:
+            cache.program(source, target)
+        except RuntimeError:
+            pass
+        assert cache.program(source, target).is_valid()
+        assert len(calls) == 2
+
+
+class TestChunkCache:
+    def test_chunks_memoised(self):
+        cache = PlanCache(synthesiser="jsr")
+        source, target = ones_detector(), zeros_detector()
+        first = cache.chunks(source, target)
+        second = cache.chunks(source, target)
+        assert first is second
+        info = cache.cache_info()["chunks"]
+        assert info == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_concurrent_chunk_requests_compute_once(self):
+        cache = PlanCache(synthesiser="jsr")
+        source, target = ones_detector(), zeros_detector()
+        results = []
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait(timeout=10)
+            results.append(cache.chunks(source, target))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(c is results[0] for c in results)
+        assert cache.cache_info()["chunks"]["misses"] == 1
+
+    def test_distinct_i0_distinct_entries(self):
+        cache = PlanCache(synthesiser="jsr")
+        source, target = ones_detector(), zeros_detector()
+        cache.chunks(source, target, i0=target.inputs[0])
+        cache.chunks(source, target, i0=target.inputs[1])
+        assert cache.cache_info()["chunks"]["entries"] == 2
+
+
+class TestOrderChunks:
+    def test_ordering_preserves_validity(self):
+        source = random_fsm(n_states=5, seed=3)
+        target = grow_target(source, 2, seed=3)
+        ordered = order_chunks(
+            incremental_chunks(source, target), source, target
+        )
+        assert chunks_to_program(ordered, source, target).is_valid()
+
+    def test_new_state_rows_come_first(self):
+        source = random_fsm(n_states=5, seed=3)
+        target = grow_target(source, 2, seed=3)
+        new_states = set(target.states) - set(source.states)
+        ordered = order_chunks(
+            incremental_chunks(source, target), source, target
+        )
+        phases = [
+            0 if (c.delta is not None and c.delta.source in new_states)
+            else 1
+            for c in ordered
+        ]
+        assert phases == sorted(phases)
+
+    def test_no_growth_keeps_order(self):
+        source, target = ones_detector(), zeros_detector()
+        chunks = incremental_chunks(source, target)
+        assert order_chunks(chunks, source, target) == list(chunks)

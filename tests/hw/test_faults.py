@@ -121,3 +121,46 @@ class TestScrub:
         before = hw.cycles
         program = scrub(hw, detector)
         assert hw.cycles == before + len(program)
+
+
+class TestEraseEntry:
+    def test_erased_entry_raises_on_traversal(self, detector):
+        from repro.hw.faults import erase_entry
+
+        machine = ones_detector()
+        hw = HardwareFSM(machine)
+        entry = (machine.inputs[0], machine.reset_state)
+        upset = erase_entry(hw, entry=entry)
+        assert upset.ram == "F"
+        assert upset.bit == -1  # the whole word is gone
+        assert upset.entry == entry
+        with pytest.raises(UninitialisedRead):
+            hw.step(machine.inputs[0])
+
+    def test_seeded_erase_is_deterministic(self):
+        machine = ones_detector()
+        from repro.hw.faults import erase_entry
+
+        first = erase_entry(HardwareFSM(machine), seed=3)
+        second = erase_entry(HardwareFSM(machine), seed=3)
+        assert first == second
+
+    def test_unwritten_entry_rejected(self):
+        from repro.hw.faults import erase_entry
+
+        m, mp = fig6_m(), fig6_m_prime()
+        hw = HardwareFSM.for_migration(m, mp)
+        new_state = next(s for s in mp.states if s not in m.states)
+        with pytest.raises(ValueError, match="not written"):
+            erase_entry(hw, entry=(m.inputs[0], new_state))
+
+    def test_reconfiguration_repairs_erasure(self):
+        from repro.hw.faults import erase_entry
+
+        machine = ones_detector()
+        hw = HardwareFSM(machine)
+        upset = erase_entry(hw, seed=1)
+        program = scrub_program(hw, machine)
+        hw.run_program(program)
+        assert hw.realises(machine)
+        assert hw.f_ram.peek(upset.address) is not None

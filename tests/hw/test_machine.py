@@ -157,3 +157,68 @@ class TestTrace:
         modes = hw.trace.column("mode")
         assert modes == ["normal", "reconf"]
         assert hw.trace.entries[1].write
+
+
+class TestConcurrentUseGuard:
+    def test_second_driver_rejected_mid_cycle(self, detector):
+        import threading
+
+        from repro.hw.machine import ConcurrentUseError
+
+        hw = HardwareFSM(detector)
+        # Deterministic interleaving: another thread holds the cycle
+        # guard (as it would while mid-cycle), then we try to clock.
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            hw._cycle_guard.acquire()
+            hw._driver = threading.get_ident()
+            held.set()
+            release.wait(timeout=30)
+            hw._driver = None
+            hw._cycle_guard.release()
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        try:
+            assert held.wait(timeout=10)
+            with pytest.raises(ConcurrentUseError, match="mid-cycle"):
+                hw.cycle(i=detector.inputs[0])
+        finally:
+            release.set()
+            thread.join(timeout=10)
+        # the guard frees once the other driver finishes
+        hw.cycle(i=detector.inputs[0])
+
+    def test_error_names_machine_and_thread(self, detector):
+        import threading
+
+        from repro.hw.machine import ConcurrentUseError
+
+        hw = HardwareFSM(detector, name="guarded")
+        hw._cycle_guard.acquire()
+        hw._driver = threading.get_ident()
+        try:
+            with pytest.raises(ConcurrentUseError, match="guarded"):
+                hw.cycle(i=detector.inputs[0])
+        finally:
+            hw._driver = None
+            hw._cycle_guard.release()
+
+    def test_serial_use_unaffected(self, detector):
+        hw = HardwareFSM(detector)
+        word = [detector.inputs[0], detector.inputs[1]] * 10
+        assert [hw.step(i) for i in word] == detector.run(word)
+
+    def test_guard_releases_after_cycle_error(self, detector):
+        hw = HardwareFSM(detector)
+        with pytest.raises(ValueError):
+            hw.cycle()  # no drive at all
+        # a failed cycle must not leave the guard held
+        hw.cycle(reset=True)
+
+    def test_is_concurrent_use_error_a_runtime_error(self):
+        from repro.hw.machine import ConcurrentUseError
+
+        assert issubclass(ConcurrentUseError, RuntimeError)

@@ -104,3 +104,29 @@ class TestValidation:
         assert ram.peek(1) is None
         ram.clock()
         assert ram.peek(1) == 3
+
+
+class TestErase:
+    def test_erase_written_word(self):
+        ram = SyncRAM(address_width=3, data_width=2)
+        ram.load({2: 1})
+        assert ram.erase(2) is True
+        assert ram.peek(2) is None
+        assert 2 not in ram.dump()
+
+    def test_erase_unwritten_word_is_noop(self):
+        ram = SyncRAM(address_width=3, data_width=2)
+        assert ram.erase(5) is False
+
+    def test_read_after_erase_is_uninitialised(self):
+        ram = SyncRAM(address_width=3, data_width=2)
+        ram.load({2: 1})
+        assert ram.read(addr(2)) == 1
+        ram.erase(2)
+        assert ram.read(addr(2)) is None
+
+    def test_erase_leaves_other_words(self):
+        ram = SyncRAM(address_width=3, data_width=2)
+        ram.load({1: 1, 2: 2, 3: 3})
+        ram.erase(2)
+        assert ram.dump() == {1: 1, 3: 3}

@@ -94,3 +94,41 @@ class TestLockdown:
             accepted = parser.classify(packet)
             assert accepted == policy_before.classify(packet)
         assert parser.events  # the stream is hostile enough to trigger
+
+
+class TestHardwareRoundTrip:
+    def test_restore_realises_normal_parser_on_hardware(self):
+        from repro.protocols.parser import build_parser
+
+        parser = make_parser(threshold=2)
+        normal_fsm = build_parser(parser.policy)
+        lockdown_fsm = build_parser(parser.lockdown_policy)
+        assert parser.hardware.datapath.realises(normal_fsm)
+
+        parser.run(pkts(0x1, 0x2))
+        assert parser.locked_down
+        assert parser.hardware.datapath.realises(lockdown_fsm)
+
+        parser.run(pkts(MGMT))
+        assert not parser.locked_down
+        # the round trip leaves the RAMs holding the normal table again
+        assert parser.hardware.datapath.realises(normal_fsm)
+
+    def test_many_round_trips_stay_consistent(self):
+        from repro.protocols.parser import build_parser
+
+        parser = make_parser(threshold=2)
+        normal_fsm = build_parser(parser.policy)
+        for _ in range(3):
+            parser.run(pkts(0x1, 0x2))      # lockdown
+            parser.run(pkts(MGMT))          # restore
+        assert parser.hardware.datapath.realises(normal_fsm)
+        directions = [e.direction for e in parser.events]
+        assert directions == ["lockdown", "restore"] * 3
+
+    def test_event_packet_indices_monotonic(self):
+        parser = make_parser(threshold=2)
+        parser.run(pkts(0x1, 0x2, MGMT, 0x3, 0x4, MGMT))
+        indices = [e.packet_index for e in parser.events]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)

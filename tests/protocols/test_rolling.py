@@ -1,6 +1,7 @@
 """Unit tests for rolling (bounded-stall) policy upgrades."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.protocols.packet import packet_stream, revision
 from repro.protocols.rolling import RollingUpgradeScenario
@@ -69,3 +70,55 @@ class TestRollingUpgrade:
         )
         assert rolling.max_single_stall < monolithic.stall_cycles
         assert rolling.total_stall_cycles >= monolithic.stall_cycles - 3
+
+
+class TestRollingUpgradeProperties:
+    """Property-based: any stream, any upgrade point — always clean."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000),
+        n_packets=st.integers(min_value=1, max_value=30),
+        upgrade_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_every_verdict_is_old_or_new_policy(
+        self, revisions, seed, n_packets, upgrade_fraction
+    ):
+        old, new = revisions
+        packets = packet_stream(n_packets, seed=seed,
+                                hot_codes=[0x8, 0xD, 0x1])
+        upgrade_after = round(upgrade_fraction * n_packets)
+        report = RollingUpgradeScenario(old, new, stall_budget=6).run(
+            packets, upgrade_after=upgrade_after
+        )
+        # the blend invariant: no packet is ever misrouted, whatever the
+        # interleaving of chunks and traffic
+        assert report.misrouted == 0
+        assert report.max_single_stall <= 6
+
+    @given(budget=st.integers(min_value=6, max_value=40))
+    @settings(max_examples=10, deadline=None)
+    def test_any_budget_geq_chunk_completes(self, revisions, budget):
+        old, new = revisions
+        packets = packet_stream(30, seed=7)
+        report = RollingUpgradeScenario(old, new, stall_budget=budget).run(
+            packets, upgrade_after=0
+        )
+        assert report.clean
+        assert report.upgrade_complete_after_packet is not None
+        assert report.max_single_stall <= budget
+
+    def test_verdicts_after_completion_follow_new_policy(self, revisions):
+        old, new = revisions
+        only_new = sorted(set(new.accepted) - set(old.accepted))
+        assert only_new  # v2 genuinely widens the policy
+        packets = packet_stream(50, seed=8, hot_codes=only_new,
+                                hot_fraction=0.9)
+        scenario = RollingUpgradeScenario(old, new, stall_budget=60)
+        report = scenario.run(packets, upgrade_after=0)
+        done = report.upgrade_complete_after_packet
+        assert done is not None
+        # replay the tail against the new policy alone
+        for packet in packets[done:]:
+            if packet.type_code in only_new:
+                assert new.classify(packet)

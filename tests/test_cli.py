@@ -189,3 +189,44 @@ class TestFillOption:
         assert main(["info", path]) == 2
         assert "malformed KISS2" in capsys.readouterr().err
         assert main(["--fill", "0", "info", path]) == 0
+
+
+class TestFleet:
+    def test_demo_run(self, capsys):
+        assert main([
+            "fleet", "--workers", "2", "--requests", "24",
+            "--batch", "8", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rollout verified" in out
+        assert "zero downtime" in out
+        assert "steps/sec" in out
+
+    def test_inject_fault_counts_incident(self, capsys):
+        assert main([
+            "fleet", "--workers", "2", "--requests", "40",
+            "--batch", "8", "--seed", "1", "--inject-fault",
+        ]) == 0
+        assert "incidents" in capsys.readouterr().out
+
+    def test_unknown_workload_lists_known(self, capsys):
+        assert main(["fleet", "--workload", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert "ctrl/pattern-1011-to-0110" in err
+
+    def test_infeasible_budget_fails(self, capsys):
+        assert main([
+            "fleet", "--workers", "1", "--requests", "8",
+            "--batch", "4", "--stall-budget", "3",
+        ]) == 2
+        assert "rollout failed" in capsys.readouterr().err
+
+    def test_metrics_snapshot_includes_fleet_families(self, capsys):
+        assert main([
+            "--metrics", "json", "fleet", "--workers", "2",
+            "--requests", "16", "--batch", "4",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "repro_fleet_batches_total" in err
+        assert "repro_fleet_shard_migrations_total" in err
