@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-fleet soak-fleet examples results clean
+.PHONY: install test bench bench-obs bench-fleet bench-passes soak-fleet examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench-obs:
 
 bench-fleet:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py
+
+bench-passes:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_passes.py
 
 soak-fleet:
 	PYTHONPATH=src $(PYTHON) benchmarks/soak_fleet.py --seconds 30

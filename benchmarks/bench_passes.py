@@ -1,0 +1,162 @@
+"""Pass-pipeline gains benchmark: what does -O1/-O2 actually buy?
+
+Runs every named suite workload through every synthesiser (plus the
+monolithic incremental form, the pipeline's flagship victim), optimizes
+each program at ``-O1`` and ``-O2``, and writes
+``BENCH_pass_gains.json`` at the repository root: per-workload rows and
+a per-synthesiser summary with the mean percentage of steps eliminated
+at each level.
+
+Used by the CI ``pass-gains`` job as a regression gate — the process
+exits non-zero if any ``-O2`` program comes out *longer* than its
+``-O0`` form, if any optimized program fails replay validation, or if
+no synthesiser reaches a 10% mean reduction at ``-O2`` (the pipeline's
+reason to exist).
+
+Run with ``make bench-passes``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.core.incremental import chunks_to_program, incremental_chunks
+from repro.core.optimal import SearchLimitExceeded
+from repro.core.passes import optimise_program
+from repro.workloads.suite import METHODS, migration_suite, synthesise_program
+
+LEVELS = ("O1", "O2")
+OPTIMAL_BUDGET = 60_000
+MIN_MEAN_PCT = 10.0  # acceptance: best synthesiser's -O2 mean reduction
+
+
+def _synthesise(method, source, target):
+    if method == "incremental":
+        return chunks_to_program(
+            incremental_chunks(source, target), source, target
+        )
+    if method == "optimal":
+        from repro.core.optimal import optimal_program
+
+        return optimal_program(source, target, max_expansions=OPTIMAL_BUDGET)
+    return synthesise_program(method, source, target, seed=0)
+
+
+def main() -> int:
+    methods = tuple(METHODS) + ("incremental",)
+    rows = []
+    failures = []
+    for workload, factory in sorted(migration_suite().items()):
+        source, target = factory()
+        for method in methods:
+            try:
+                base = _synthesise(method, source, target)
+            except SearchLimitExceeded:
+                continue  # the exact search is a calibration tool only
+            for level in LEVELS:
+                optimized, report = optimise_program(base, level)
+                valid = optimized.is_valid()
+                pct = (
+                    100.0 * (len(base) - len(optimized)) / len(base)
+                    if len(base)
+                    else 0.0
+                )
+                rows.append(
+                    {
+                        "workload": workload,
+                        "method": method,
+                        "level": level,
+                        "steps_o0": len(base),
+                        "steps": len(optimized),
+                        "writes_o0": base.write_count,
+                        "writes": optimized.write_count,
+                        "pct_steps_eliminated": round(pct, 2),
+                        "seconds": round(report.seconds, 6),
+                        "valid": valid,
+                    }
+                )
+                if not valid:
+                    failures.append(
+                        f"{workload} x {method} -{level}: optimized program "
+                        "failed replay validation"
+                    )
+                if len(optimized) > len(base):
+                    failures.append(
+                        f"{workload} x {method} -{level}: lengthened "
+                        f"{len(base)} -> {len(optimized)}"
+                    )
+
+    summary = {}
+    for method in methods:
+        summary[method] = {}
+        for level in LEVELS:
+            sample = [
+                r["pct_steps_eliminated"]
+                for r in rows
+                if r["method"] == method and r["level"] == level
+            ]
+            if not sample:
+                continue
+            summary[method][level] = {
+                "workloads": len(sample),
+                "mean_pct_steps_eliminated": round(
+                    sum(sample) / len(sample), 2
+                ),
+                "max_pct_steps_eliminated": round(max(sample), 2),
+            }
+
+    best_method, best_pct = max(
+        (
+            (method, stats.get("O2", {}).get("mean_pct_steps_eliminated", 0.0))
+            for method, stats in summary.items()
+        ),
+        key=lambda pair: pair[1],
+    )
+    if best_pct < MIN_MEAN_PCT:
+        failures.append(
+            f"best -O2 mean reduction is {best_pct}% ({best_method}); "
+            f"the pipeline must reach {MIN_MEAN_PCT}% on at least one "
+            "synthesiser"
+        )
+
+    payload = {
+        "benchmark": "pass_gains",
+        "levels": list(LEVELS),
+        "rows": rows,
+        "summary": summary,
+        "criteria": {
+            "zero_validity_regressions": not any(
+                "validation" in f for f in failures
+            ),
+            "o2_never_lengthens": not any("lengthened" in f for f in failures),
+            "best_o2": {"method": best_method, "mean_pct": best_pct},
+        },
+        "failures": failures,
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent
+    out = out / "BENCH_pass_gains.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"pass gains over {len(rows)} (workload, method, level) cells:")
+    for method, stats in sorted(summary.items()):
+        for level, cell in sorted(stats.items()):
+            print(
+                f"  {method:12s} -{level}: mean "
+                f"{cell['mean_pct_steps_eliminated']:6.2f}% "
+                f"(max {cell['max_pct_steps_eliminated']:.2f}%, "
+                f"{cell['workloads']} workloads)"
+            )
+    print(f"best -O2: {best_method} at {best_pct}% mean steps eliminated")
+    print(f"written: {out}")
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

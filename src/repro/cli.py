@@ -9,9 +9,10 @@ format::
     python -m repro dot source.kiss --target target.kiss
     python -m repro deltas source.kiss target.kiss
     python -m repro synth source.kiss target.kiss --method ea --sequence
-    python -m repro migrate source.kiss target.kiss --method jsr
+    python -m repro migrate source.kiss target.kiss --method jsr --opt-level O2
+    python -m repro optimize source.kiss target.kiss --method jsr
     python -m repro stats source.kiss target.kiss --method jsr
-    python -m repro fleet --workers 4 --requests 200
+    python -m repro fleet --workers 4 --requests 200 --opt-level O2
 
 ``fleet`` needs no files: it serves synthetic traffic for a named suite
 workload from a sharded pool of datapaths while a rolling migration
@@ -23,6 +24,11 @@ style H-sequence); ``migrate`` additionally replays it on the
 cycle-accurate datapath and verifies the migration; ``stats`` replays a
 simulation and prints the hardware probe report (mode occupancy, RAM
 writes, state visits, downtime).
+
+Synthesis commands accept ``--opt-level {O0,O1,O2}`` to run the
+replay-validated optimization pass pipeline over the synthesised
+program; ``optimize`` runs the pipeline explicitly and prints the
+per-pass cost report (steps/writes eliminated, acceptance, wall time).
 
 Observability: the global ``--metrics {json,prom,off}`` flag prints a
 metrics snapshot (JSON or Prometheus text exposition) to **stderr**
@@ -65,12 +71,26 @@ def _load(path: str, fill: Optional[str]):
     return kiss_load(path, name=path, complete_with=complete_with)
 
 
-def _synthesise(method: str, source, target, seed: int) -> Program:
-    return synthesise_program(method, source, target, seed=seed)
+def _synthesise(
+    method: str, source, target, seed: int, opt_level: Optional[str] = None
+) -> Program:
+    return synthesise_program(
+        method, source, target, seed=seed, opt_level=opt_level
+    )
 
 
 class CliError(Exception):
     """Operational CLI error: printed as one line, exit status 2."""
+
+
+def _opt_level(args) -> str:
+    """The command's normalised ``--opt-level`` (``"O0"`` when absent)."""
+    from .core.passes import normalise_level
+
+    try:
+        return normalise_level(getattr(args, "opt_level", None))
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
 
 
 def _split_word(word: str, inputs: Optional[Iterable] = None) -> List[str]:
@@ -128,11 +148,17 @@ def cmd_vhdl(args) -> int:
 
 
 def cmd_suite(args) -> int:
-    rows = run_migration_suite(method=args.method, seed=args.seed)
+    level = _opt_level(args)
+    rows = run_migration_suite(
+        method=args.method, seed=args.seed, opt_level=level
+    )
     for row in rows:
         if not row["valid"]:
             print(f"INVALID: {row['workload']}", file=sys.stderr)
-    print(format_table(rows, title=f"suite x {args.method}"))
+    title = f"suite x {args.method}"
+    if level != "O0":
+        title += f" -{level}"
+    print(format_table(rows, title=title))
     return 0 if all(row["valid"] for row in rows) else 1
 
 
@@ -174,7 +200,9 @@ def cmd_simulate(args) -> int:
 def cmd_verify(args) -> int:
     source = _load(args.source, args.fill)
     target = _load(args.target, args.fill)
-    program = _synthesise(args.method, source, target, args.seed)
+    program = _synthesise(
+        args.method, source, target, args.seed, opt_level=_opt_level(args)
+    )
     hw = HardwareFSM.for_migration(source, target)
     hw.run_program(program)
     result = verify_hardware(hw, target, extra_states=args.extra_states)
@@ -221,6 +249,7 @@ def cmd_fleet(args) -> int:
         stall_budget=args.stall_budget,
         link_latency_s=args.link_latency_ms / 1000.0,
         name=f"fleet/{args.workload}",
+        opt_level=_opt_level(args),
     )
     scheduler = MigrationScheduler(fleet, stall_budget=args.stall_budget)
     words = traffic_words(
@@ -334,7 +363,9 @@ def cmd_deltas(args) -> int:
 def cmd_synth(args) -> int:
     source = _load(args.source, args.fill)
     target = _load(args.target, args.fill)
-    program = _synthesise(args.method, source, target, args.seed)
+    program = _synthesise(
+        args.method, source, target, args.seed, opt_level=_opt_level(args)
+    )
     print(program.render())
     if args.sequence:
         rows = [
@@ -349,13 +380,17 @@ def cmd_synth(args) -> int:
 def cmd_migrate(args) -> int:
     source = _load(args.source, args.fill)
     target = _load(args.target, args.fill)
-    program = _synthesise(args.method, source, target, args.seed)
+    level = _opt_level(args)
+    program = _synthesise(
+        args.method, source, target, args.seed, opt_level=level
+    )
     hw = HardwareFSM.for_migration(source, target)
     hw.run_program(program)
     ok = hw.realises(target)
     publish(probe_hardware(hw))
+    opt_note = f" opt={level}" if level != "O0" else ""
     print(
-        f"method={args.method} |Z|={len(program)} writes="
+        f"method={args.method}{opt_note} |Z|={len(program)} writes="
         f"{program.write_count} hardware-verified={ok}"
     )
     if not ok:
@@ -376,6 +411,25 @@ def cmd_migrate(args) -> int:
     return 0
 
 
+def cmd_optimize(args) -> int:
+    """Synthesise a program, run the pass pipeline, print the report."""
+    from .core.passes import PassPipeline
+
+    source = _load(args.source, args.fill)
+    target = _load(args.target, args.fill)
+    level = _opt_level(args)
+    program = _synthesise(args.method, source, target, args.seed)
+    optimized, report = PassPipeline.for_level(level).run(program)
+    print(report.render())
+    if args.show_program:
+        print()
+        print(optimized.render())
+    ok = optimized.is_valid() and len(optimized) <= len(program)
+    if not ok:
+        print("OPTIMIZATION REGRESSION", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def cmd_stats(args) -> int:
     machine = _load(args.machine, args.fill)
     if args.target is None and args.word is None:
@@ -390,7 +444,10 @@ def cmd_stats(args) -> int:
     ok = True
     if args.target is not None:
         target = _load(args.target, args.fill)
-        program = _synthesise(args.method, machine, target, args.seed)
+        program = _synthesise(
+            args.method, machine, target, args.seed,
+            opt_level=_opt_level(args),
+        )
         hw = HardwareFSM.for_migration(machine, target)
         hw.run_program(program)
         ok = hw.realises(target)
@@ -447,6 +504,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the span trace as JSONL to FILE",
         )
 
+    def add_opt_level(p, default: Optional[str] = None) -> None:
+        p.add_argument(
+            "--opt-level",
+            metavar="LEVEL",
+            default=default,
+            help="optimization pass-pipeline level: O0 (none), O1, or O2 "
+                 f"(default {default or 'O0'})",
+        )
+
     p = sub.add_parser("info", help="machine statistics")
     p.add_argument("machine")
     p.set_defaults(func=cmd_info)
@@ -469,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--method", choices=METHODS, default="jsr")
     p.add_argument("--seed", type=int, default=0)
+    add_opt_level(p)
     add_trace_out(p)
     p.set_defaults(func=cmd_suite)
 
@@ -504,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--extra-states", type=int, default=0,
                    help="W-method bound on implementation state growth")
+    add_opt_level(p)
     add_trace_out(p)
     p.set_defaults(func=cmd_verify)
 
@@ -530,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", action="store_true",
                    help="erase an F-RAM word mid-run to exercise "
                         "quarantine + re-seed")
+    add_opt_level(p)
     add_trace_out(p)
     p.set_defaults(func=cmd_fleet)
 
@@ -557,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="input symbols to drive in normal mode "
                         "(default for migrations: the target's W-method "
                         "conformance suite)")
+    add_opt_level(p)
     add_trace_out(p)
     p.set_defaults(func=cmd_stats)
 
@@ -572,8 +642,24 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "synth":
             p.add_argument("--sequence", action="store_true",
                            help="also print the Table-1 style H-sequence")
+        add_opt_level(p)
         add_trace_out(p)
         p.set_defaults(func=handler)
+
+    p = sub.add_parser(
+        "optimize",
+        help="synthesise a program, run the optimization pass pipeline "
+             "and print the per-pass cost report",
+    )
+    p.add_argument("source")
+    p.add_argument("target")
+    p.add_argument("--method", choices=METHODS, default="ea")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--show-program", action="store_true",
+                   help="also print the optimized program")
+    add_opt_level(p, default="O2")
+    add_trace_out(p)
+    p.set_defaults(func=cmd_optimize)
 
     return parser
 

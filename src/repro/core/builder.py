@@ -1,0 +1,200 @@
+"""The shared program-construction IR all synthesisers emit through.
+
+Historically every synthesiser (JSR, the order decoder behind greedy /
+2-opt / TSP / the EA, the exact A* search, the incremental chunker)
+hand-built ``List[Step]`` sequences, each re-implementing the same
+bookkeeping: what state is the machine in, what does the live table hold,
+is this step physically legal on the Fig. 5 datapath?  A mistake in any
+one of them produced a program that only failed at replay time, far from
+the bug.
+
+:class:`ProgramBuilder` centralises that machinery.  It wraps a
+:class:`~repro.core.program.ReplayMachine`, so **every step is executed
+symbolically the moment it is emitted**: an illegal step (traversing an
+unconfigured entry, firing a transition from the wrong state) raises
+:class:`BuildError` at the emission site rather than surfacing as a
+failed replay later.  Builders can also *query* the live migration state
+— current state, table contents, BFS-shortest paths — which is exactly
+the information the decoder and the optimization passes need.
+
+The builder is the producer side of the compiler pipeline; the
+:mod:`repro.core.passes` package is the optimizer side, transforming the
+finished :class:`~repro.core.program.Program` under replay validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .fsm import FSM, Input, Output, State, Transition
+from .paths import shortest_path
+from .program import (
+    Program,
+    ReplayError,
+    ReplayMachine,
+    Step,
+    StepKind,
+    reset_step,
+    traverse_step,
+    write_step,
+)
+
+
+class BuildError(ReplayError):
+    """An emitted step was physically impossible at its emission point.
+
+    Subclasses :class:`~repro.core.program.ReplayError` so callers that
+    already guard replay failures catch build-time failures too.
+    """
+
+
+class ProgramBuilder:
+    """Incrementally build a validated reconfiguration program.
+
+    Parameters
+    ----------
+    source, target:
+        The migration pair ``M`` → ``M'``; the builder tracks the live
+        superset table exactly as :class:`ReplayMachine.for_migration`.
+    method:
+        Default provenance label for :meth:`build`.
+    start:
+        Machine state when the program begins (default: the source's
+        reset state, matching :meth:`Program.replay`).
+
+    >>> from repro.workloads.library import fig7_m, fig7_m_prime
+    >>> source, target = fig7_m(), fig7_m_prime()
+    >>> b = ProgramBuilder(source, target, method="demo")
+    >>> b.reset()                                # doctest: +ELLIPSIS
+    <repro.core.builder.ProgramBuilder object at ...>
+    >>> b.state == target.reset_state
+    True
+    """
+
+    def __init__(
+        self,
+        source: FSM,
+        target: FSM,
+        method: str = "builder",
+        start: Optional[State] = None,
+    ):
+        self.source = source
+        self.target = target
+        self.method = method
+        self._machine = ReplayMachine.for_migration(source, target)
+        if start is not None:
+            self._machine.state = start
+        self._steps: List[Step] = []
+        self._inputs: Tuple[Input, ...] = tuple(
+            list(source.inputs)
+            + [i for i in target.inputs if i not in set(source.inputs)]
+        )
+
+    # -- live migration state ------------------------------------------
+    @property
+    def state(self) -> State:
+        """The state the machine is in after the steps emitted so far."""
+        return self._machine.state
+
+    @property
+    def table(self) -> Mapping[Tuple[Input, State], Optional[Tuple[State, Output]]]:
+        """The live superset table (mutate only through write steps)."""
+        return self._machine.table
+
+    @property
+    def inputs(self) -> Tuple[Input, ...]:
+        """The superset input alphabet, source symbols first."""
+        return self._inputs
+
+    @property
+    def steps(self) -> Tuple[Step, ...]:
+        """The steps emitted so far."""
+        return tuple(self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for step in self._steps if step.kind.writes)
+
+    def lookup(self, entry: Tuple[Input, State]) -> Optional[Tuple[State, Output]]:
+        """The live table value of one entry (``None`` = unconfigured)."""
+        return self._machine.table.get(entry)
+
+    def path_to(self, goal: State) -> Optional[List[Transition]]:
+        """BFS-shortest traversable path from the current state to ``goal``.
+
+        Only entries configured *right now* are usable; returns ``[]``
+        when already there and ``None`` when unreachable.
+        """
+        return shortest_path(self._machine.table, self._inputs, self.state, goal)
+
+    # -- emission ------------------------------------------------------
+    def emit(self, step: Step) -> "ProgramBuilder":
+        """Emit one step, validating it against the live machine."""
+        try:
+            self._machine.apply(step)
+        except BuildError:
+            raise
+        except ReplayError as exc:
+            raise BuildError(str(exc)) from None
+        self._steps.append(step)
+        return self
+
+    def extend(self, steps: Iterable[Step]) -> "ProgramBuilder":
+        """Emit a sequence of steps (each individually validated)."""
+        for step in steps:
+            self.emit(step)
+        return self
+
+    def reset(self) -> "ProgramBuilder":
+        """Emit a reset step (RST-MUX cycle to the target's reset state)."""
+        return self.emit(reset_step())
+
+    def traverse(self, transition: Transition) -> "ProgramBuilder":
+        """Emit a traverse step over an existing, correct transition."""
+        return self.emit(traverse_step(transition))
+
+    def walk(self, path: Iterable[Transition]) -> "ProgramBuilder":
+        """Traverse a whole path (e.g. one returned by :meth:`path_to`)."""
+        for transition in path:
+            self.traverse(transition)
+        return self
+
+    def write(
+        self, transition: Transition, kind: StepKind = StepKind.WRITE_DELTA
+    ) -> "ProgramBuilder":
+        """Emit a write step of the given flavour."""
+        return self.emit(write_step(transition, kind))
+
+    def write_delta(self, transition: Transition) -> "ProgramBuilder":
+        """Rewrite a Def. 4.2 delta transition (and take it)."""
+        return self.write(transition, StepKind.WRITE_DELTA)
+
+    def write_temporary(self, transition: Transition) -> "ProgramBuilder":
+        """Plant a Sec. 4.3 temporary (shortcut) transition (and take it)."""
+        return self.write(transition, StepKind.WRITE_TEMPORARY)
+
+    def write_repair(self, transition: Transition) -> "ProgramBuilder":
+        """Restore an entry a temporary transition dirtied (and take it)."""
+        return self.write(transition, StepKind.WRITE_REPAIR)
+
+    # -- finishing -----------------------------------------------------
+    def build(
+        self, method: Optional[str] = None, meta: Optional[Dict] = None
+    ) -> Program:
+        """Freeze the emitted steps into a :class:`Program`.
+
+        Physical legality of every step is already guaranteed; whether
+        the program *completes* the migration (final table realises the
+        target, machine parked in the target's reset state) remains the
+        caller's obligation, checked with :meth:`Program.replay`.
+        """
+        return Program(
+            self._steps,
+            self.source,
+            self.target,
+            method=self.method if method is None else method,
+            meta=meta,
+        )

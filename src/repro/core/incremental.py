@@ -32,9 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .builder import ProgramBuilder
 from .delta import delta_transitions
 from .fsm import FSM, Input, State, Transition
-from .program import Program, Step, StepKind, reset_step, write_step
+from .program import Program, Step
 
 
 @dataclass(frozen=True)
@@ -68,51 +69,44 @@ def incremental_chunks(
         i0, s0, target.next_state(i0, s0), target.output(i0, s0)
     )
 
+    # One shared builder emits the whole chunk sequence in order — every
+    # step is physically validated at emission — and chunk boundaries are
+    # cut out of the validated stream afterwards.
+    builder = ProgramBuilder(source, target, method="incremental")
     chunks: List[Chunk] = []
+    mark = 0
+
+    def cut(delta: Optional[Transition]) -> None:
+        nonlocal mark
+        chunks.append(Chunk(steps=builder.steps[mark:], delta=delta))
+        mark = len(builder)
+
     for delta in delta_transitions(source, target):
         if delta.entry == home.entry:
             # Migrating the home entry is a 3-cycle chunk of its own.
-            chunks.append(
-                Chunk(
-                    steps=(
-                        reset_step(),
-                        write_step(home, StepKind.WRITE_DELTA),
-                        reset_step(),
-                    ),
-                    delta=delta,
-                )
-            )
+            builder.reset()
+            builder.write_delta(home)
+            builder.reset()
+            cut(delta)
             continue
         jump = Transition(i0, s0, delta.source, target.output(i0, s0))
-        chunks.append(
-            Chunk(
-                steps=(
-                    reset_step(),
-                    write_step(jump, StepKind.WRITE_TEMPORARY),
-                    write_step(delta, StepKind.WRITE_DELTA),
-                    reset_step(),
-                    write_step(home, StepKind.WRITE_REPAIR),
-                    reset_step(),
-                ),
-                delta=delta,
-            )
-        )
+        builder.reset()
+        builder.write_temporary(jump)
+        builder.write_delta(delta)
+        builder.reset()
+        builder.write_repair(home)
+        builder.reset()
+        cut(delta)
     if not any(c.delta and c.delta.entry == home.entry for c in chunks):
         # The home entry was not a delta, but the repair writes may have
         # pre-dated any chunk; ensure at least one final chunk exists to
         # leave the entry at its (identical) target value.  When there
         # are no deltas at all the migration is a single trivial chunk.
         if not chunks:
-            chunks.append(
-                Chunk(
-                    steps=(
-                        reset_step(),
-                        write_step(home, StepKind.WRITE_REPAIR),
-                        reset_step(),
-                    ),
-                    delta=None,
-                )
-            )
+            builder.reset()
+            builder.write_repair(home)
+            builder.reset()
+            cut(None)
     return chunks
 
 

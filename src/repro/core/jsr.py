@@ -19,9 +19,10 @@ from typing import List, Optional, Sequence
 
 from ..obs.instruments import record_synthesis
 from ..obs.tracing import span as _span
+from .builder import ProgramBuilder
 from .delta import delta_transitions
 from .fsm import FSM, Input, Transition
-from .program import Program, Step, StepKind, reset_step, write_step
+from .program import Program, StepKind
 
 
 def jsr_program(
@@ -85,20 +86,21 @@ def _jsr_program(
             raise ValueError("order must be a permutation of the delta set")
 
     home_entry = (i0, s0)
-    steps: List[Step] = [reset_step()]
+    builder = ProgramBuilder(source, target, method="jsr")
+    builder.reset()
     for td in deltas:
         if td.entry == home_entry:
             # The delta occupying the home entry is written by the final
             # repair; scheduling it here would be undone by the next jump.
             continue
         jump = Transition(i0, s0, td.source, target.output(i0, s0))
-        steps.append(write_step(jump, StepKind.WRITE_TEMPORARY))
-        steps.append(write_step(td, StepKind.WRITE_DELTA))
-        steps.append(reset_step())
+        builder.write_temporary(jump)
+        builder.write_delta(td)
+        builder.reset()
     repair = Transition(i0, s0, target.next_state(i0, s0), target.output(i0, s0))
-    steps.append(write_step(repair, StepKind.WRITE_REPAIR))
-    steps.append(reset_step())
-    return Program(steps, source, target, method="jsr")
+    builder.write_repair(repair)
+    builder.reset()
+    return builder.build()
 
 
 def jsr_length(source: FSM, target: FSM, i0: Optional[Input] = None) -> int:

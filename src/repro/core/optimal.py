@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from ..obs import instruments as _instruments
 from ..obs.instruments import record_synthesis
 from ..obs.tracing import span as _span
+from .builder import ProgramBuilder
 from .fsm import FSM, Input, Output, State, Transition
 from .program import Program, Step, StepKind, reset_step, traverse_step, write_step
 
@@ -130,10 +131,12 @@ def _optimal_search(
         state, overlay = node
         wrong = incorrect_entries(overlay)
         if not wrong and state == s0:
-            program = Program(
-                _unwind(parents, node), source, target, method="optimal"
-            )
-            return program, expansions
+            # Emit the unwound search path through the shared IR so the
+            # solution is physically validated step by step, exactly like
+            # every other synthesiser's output.
+            builder = ProgramBuilder(source, target, method="optimal")
+            builder.extend(_unwind(parents, node))
+            return builder.build(), expansions
         expansions += 1
         if expansions > max_expansions:
             raise SearchLimitExceeded(

@@ -1,0 +1,66 @@
+"""Repair/temporary coalescing.
+
+The Sec. 4.3 machinery means most synthesised programs carry *bookkeeping*
+writes: temporary jumps that dirty the home entry and repair writes that
+clean it again.  When the same entry is rewritten again later anyway —
+the next chunk's temporary jump, a later repair trip, the delta write
+that finally owns the entry — the earlier repair/temporary write can be
+**merged into that later write**: its value is never observed, so the
+cycle (and the RAM write) is pure overhead.
+
+Concretely, this pass removes a ``WRITE_REPAIR`` / ``WRITE_TEMPORARY``
+step when
+
+* the entry it writes is written again later, before any step traverses
+  it (the value is dead), and
+* the step is immediately followed by a reset, so dropping it cannot
+  change the machine's trajectory (the reset re-anchors the machine at
+  the reset state no matter where the dropped write would have parked it).
+
+The flagship win is the monolithic form of an incremental migration:
+every 6-cycle safe chunk ends ``... ; reset ; repair home ; reset`` and
+the next chunk immediately re-dirties the home entry, so all but the last
+repair (plus the now-doubled resets, collapsed by
+:mod:`repro.core.passes.resets`) vanish — collapsing the deliberately
+redundant ``~6·|T_d|`` chunked program back towards JSR's
+``3·(|T_d|+1)`` bound.
+
+Delta writes are never candidates: their values *are* the migration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..program import Program, StepKind
+from .base import Pass
+from .dead_writes import value_dead
+
+_COALESCIBLE = (StepKind.WRITE_REPAIR, StepKind.WRITE_TEMPORARY)
+
+
+def _first_absorbed_write(program: Program) -> Optional[int]:
+    steps = program.steps
+    for idx, step in enumerate(steps):
+        if step.kind not in _COALESCIBLE:
+            continue
+        anchored = idx + 1 < len(steps) and steps[idx + 1].kind is StepKind.RESET
+        if anchored and value_dead(steps, idx):
+            return idx
+    return None
+
+
+class CoalesceRepairs(Pass):
+    """Merge dead repair/temporary writes into the later write they feed."""
+
+    name = "coalesce-repairs"
+
+    def run(self, program: Program) -> Program:
+        current = program
+        while True:
+            idx = _first_absorbed_write(current)
+            if idx is None:
+                return current
+            steps = list(current.steps)
+            del steps[idx]
+            current = current.with_steps(steps)

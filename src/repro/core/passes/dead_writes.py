@@ -1,0 +1,95 @@
+"""Dead-write elimination.
+
+A write step does two things in one cycle: it rewrites a table entry
+*and* traverses the freshly written transition.  A write is **dead** when
+neither effect matters:
+
+* **value dead** — the entry is overwritten later before any step
+  traverses it (so the value written here is never observed), and
+* **trajectory neutral** — the written transition is a self-loop
+  (``source == target``), so removing the step leaves the machine where
+  it already was.
+
+The canonical victim is the JSR jump to a delta transition whose source
+*is* the target's reset state: the heuristic plants a temporary self-loop
+``(i0, s0) -> s0`` that the next jump overwrites — a wasted cycle and a
+wasted write, one per such delta.  (Dead writes whose removal is made
+safe by a *following reset* rather than a self-loop are the
+repair/temporary coalescing pass's territory,
+:mod:`repro.core.passes.coalesce`.)
+
+The pass additionally **demotes** redundant writes to traverse steps:
+when the live table already holds exactly the value being written, the
+cycle is kept (the machine still needs to move) but the RAM write-enable
+is not asserted.  Demotion never shortens ``|Z|`` but reduces write
+cycles — which is what bounds the blast radius of a mid-migration power
+failure and what the fleet counts against its migration budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..program import Program, ReplayMachine, Step, StepKind, traverse_step
+from .base import Pass
+
+
+def _first_dead_write(program: Program) -> Optional[int]:
+    """Index of the first dead write step, or ``None``."""
+    steps = program.steps
+    for idx, step in enumerate(steps):
+        if step.kind.writes:
+            trans = step.transition
+            if trans.source == trans.target and value_dead(steps, idx):
+                return idx
+    return None
+
+
+def value_dead(steps, idx: int) -> bool:
+    """Is the value written at ``idx`` overwritten before being read?"""
+    entry = steps[idx].transition.entry
+    for later in steps[idx + 1:]:
+        if later.kind is StepKind.RESET:
+            continue
+        if later.transition.entry != entry:
+            continue
+        # The next touch of the entry decides: a write kills the value,
+        # a traverse observes it.
+        return later.kind.writes
+    # Never touched again: the written value survives into the final
+    # table, so it is live (table realisation depends on it).
+    return False
+
+
+class EliminateDeadWrites(Pass):
+    """Remove dead writes; demote redundant writes to traverses."""
+
+    name = "dead-writes"
+
+    def run(self, program: Program) -> Program:
+        current = program
+        # Removing one dead write changes the overwrite chains, so the
+        # scan restarts after every removal (programs are small).
+        while True:
+            idx = _first_dead_write(current)
+            if idx is None:
+                break
+            steps = list(current.steps)
+            del steps[idx]
+            current = current.with_steps(steps)
+        return self._demote_redundant(current)
+
+    @staticmethod
+    def _demote_redundant(program: Program) -> Program:
+        machine = ReplayMachine.for_migration(program.source, program.target)
+        rewritten: List[Step] = []
+        changed = False
+        for step in program.steps:
+            if step.kind.writes:
+                trans = step.transition
+                if machine.table.get(trans.entry) == (trans.target, trans.output):
+                    step = traverse_step(trans)
+                    changed = True
+            machine.apply(step)
+            rewritten.append(step)
+        return program.with_steps(rewritten) if changed else program

@@ -1,0 +1,43 @@
+"""Reset collapsing.
+
+A reset cycle forces the machine into the (retargeted) reset state.  When
+the machine is *already there*, the cycle is a no-op that still costs a
+clock edge — and the other passes routinely manufacture such no-ops by
+deleting the write steps between two resets.  This pass drops every reset
+that fires from the reset state itself.
+
+The program's *first* step is deliberately exempt: synthesisers open with
+a reset so the program is valid from **any** runtime state ("no matter
+what state the given machine M is in, we step into the reset state
+first", Sec. 4.4).  Replay validation starts from the source's reset
+state and could not see the difference, but a self-reconfiguration
+trigger can fire anywhere — position independence is part of the
+program's contract, so the leading reset stays.
+"""
+
+from __future__ import annotations
+
+from ..program import Program, StepKind
+from .base import Pass, pre_states
+
+
+class CollapseResets(Pass):
+    """Drop interior reset steps that fire from the reset state."""
+
+    name = "collapse-resets"
+
+    def run(self, program: Program) -> Program:
+        states = pre_states(program)
+        reset_target = program.target.reset_state
+        keep = [
+            step
+            for idx, step in enumerate(program.steps)
+            if not (
+                idx > 0
+                and step.kind is StepKind.RESET
+                and states[idx] == reset_target
+            )
+        ]
+        if len(keep) == len(program.steps):
+            return program
+        return program.with_steps(keep)

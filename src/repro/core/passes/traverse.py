@@ -1,0 +1,68 @@
+"""Traverse-path shortening.
+
+A run of consecutive traverse steps moves the machine across the live
+table without modifying it — so the run is exactly a path in the current
+transition graph, and any other path between the same endpoints is an
+equally correct replacement.  This pass recomputes each maximal traverse
+run as a BFS-shortest path over the table *as it stands when the run
+begins* (the table cannot change mid-run; traverses write nothing) and
+splices in the shorter path.
+
+Synthesisers that plan on the live table (the Sec. 4.6 decoder) already
+emit shortest connections, so their programs rarely shrink here; the pass
+earns its keep on hand-written programs, on the ``smart_connect`` /
+``use_temporary=False`` ablation decoders (which walk long detours), and
+on programs whose earlier passes removed writes and thereby left
+now-redundant detours behind.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..fsm import Input
+from ..paths import shortest_path
+from ..program import Program, ReplayMachine, Step, StepKind, traverse_step
+from .base import Pass
+
+
+def _superset_inputs(program: Program) -> Tuple[Input, ...]:
+    source, target = program.source, program.target
+    return tuple(
+        list(source.inputs)
+        + [i for i in target.inputs if i not in set(source.inputs)]
+    )
+
+
+class ShortenTraverses(Pass):
+    """Replace traverse runs with BFS-shortest paths over the live table."""
+
+    name = "shorten-traverses"
+
+    def run(self, program: Program) -> Program:
+        steps = program.steps
+        inputs = _superset_inputs(program)
+        machine = ReplayMachine.for_migration(program.source, program.target)
+        rewritten: List[Step] = []
+        changed = False
+        i = 0
+        while i < len(steps):
+            if steps[i].kind is not StepKind.TRAVERSE:
+                machine.apply(steps[i])
+                rewritten.append(steps[i])
+                i += 1
+                continue
+            j = i
+            while j < len(steps) and steps[j].kind is StepKind.TRAVERSE:
+                j += 1
+            run = steps[i:j]
+            goal = run[-1].transition.target
+            path = shortest_path(machine.table, inputs, machine.state, goal)
+            if path is not None and len(path) < len(run):
+                run = [traverse_step(t) for t in path]
+                changed = True
+            for step in run:
+                machine.apply(step)
+                rewritten.append(step)
+            i = j
+        return program.with_steps(rewritten) if changed else program

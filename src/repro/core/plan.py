@@ -37,6 +37,7 @@ from .delta import delta_count
 from .ea import EAConfig, ea_program
 from .fsm import FSM
 from .jsr import jsr_program
+from .passes import OptLevel, PassPipeline, normalise_level
 from .program import Program
 
 
@@ -82,17 +83,38 @@ class SynthesisCache:
     block on a shared :class:`~concurrent.futures.Future`; a synthesiser
     failure is propagated to every waiter and *not* cached, so a later
     call retries.
+
+    When an ``opt_level`` is given, the synthesised program is run
+    through the standard :class:`~repro.core.passes.PassPipeline` before
+    it is cached — so the (possibly expensive) optimization, like the
+    synthesis itself, happens exactly once per key.  The level is part
+    of the cache key: the same pair requested at ``-O0`` and ``-O2``
+    yields two independent entries, never a cross-contaminated one.
     """
 
-    def __init__(self, synthesiser: Callable[[FSM, FSM], Program]):
+    def __init__(
+        self,
+        synthesiser: Callable[[FSM, FSM], Program],
+        opt_level: OptLevel = None,
+    ):
         self._synth = synthesiser
+        self.opt_level = normalise_level(opt_level)
+        self._pipeline = (
+            PassPipeline.for_level(self.opt_level)
+            if self.opt_level != "O0"
+            else None
+        )
         self._lock = threading.Lock()
-        self._futures: Dict[Tuple[str, str], "Future[Program]"] = {}
+        self._futures: Dict[Tuple[str, str, str], "Future[Program]"] = {}
         self.hits = 0
         self.misses = 0
 
     def program(self, source: FSM, target: FSM) -> Program:
-        key = (fsm_fingerprint(source), fsm_fingerprint(target))
+        key = (
+            fsm_fingerprint(source),
+            fsm_fingerprint(target),
+            self.opt_level,
+        )
         with self._lock:
             future = self._futures.get(key)
             owner = future is None
@@ -106,6 +128,8 @@ class SynthesisCache:
             return future.result()
         try:
             program = self._synth(source, target)
+            if self._pipeline is not None:
+                program, _report = self._pipeline.run(program)
         except BaseException as exc:
             with self._lock:
                 self._futures.pop(key, None)
@@ -150,6 +174,10 @@ class MigrationGraph:
     synthesiser:
         ``"ea"`` (default) or ``"jsr"``, or any callable
         ``(source, target) -> Program``.
+    opt_level:
+        Optional pass-pipeline level (``"O0"``/``"O1"``/``"O2"``); every
+        cached program is optimized at this level before use, so route
+        costs and routing gains are computed over the optimized lengths.
     """
 
     def __init__(
@@ -157,6 +185,7 @@ class MigrationGraph:
         machines: Sequence[FSM],
         synthesiser: "str | Callable[[FSM, FSM], Program]" = "ea",
         ea_config: Optional[EAConfig] = None,
+        opt_level: OptLevel = None,
     ):
         if len({m.name for m in machines}) != len(machines):
             raise ValueError("family machines must have unique names")
@@ -164,7 +193,8 @@ class MigrationGraph:
             raise ValueError("a family needs at least two machines")
         self.machines: Dict[str, FSM] = {m.name: m for m in machines}
         self._synth = make_synthesiser(synthesiser, ea_config)
-        self._cache = SynthesisCache(self._synth)
+        self._cache = SynthesisCache(self._synth, opt_level=opt_level)
+        self.opt_level = self._cache.opt_level
 
     @property
     def names(self) -> List[str]:

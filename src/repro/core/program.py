@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .delta import table_realises
 from .fsm import FSM, Input, Output, State, Transition
@@ -210,11 +210,16 @@ class Program:
         source: FSM,
         target: FSM,
         method: str = "manual",
+        meta: Optional[Mapping[str, Any]] = None,
     ):
         self.steps: Tuple[Step, ...] = tuple(steps)
         self.source = source
         self.target = target
         self.method = method
+        #: Free-form provenance (e.g. the optimization pass log); excluded
+        #: from structural equality and hashing, round-tripped by
+        #: :mod:`repro.io.program_io`.
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -224,6 +229,57 @@ class Program:
 
     def __getitem__(self, idx):
         return self.steps[idx]
+
+    def _migration_key(self) -> Tuple:
+        """Structural identity of the migration pair (names ignored).
+
+        Consistent with :func:`repro.core.plan.fsm_fingerprint`: two
+        machines with the same alphabets, states, reset state and table
+        compare equal no matter what they are called.
+        """
+        if not hasattr(self, "_mkey"):
+            self._mkey = tuple(
+                _fsm_structural_key(m) for m in (self.source, self.target)
+            )
+        return self._mkey
+
+    def __eq__(self, other) -> bool:
+        """Structural equality: same steps over the same migration pair.
+
+        ``method`` and ``meta`` are provenance, not content — an optimized
+        program that happens to re-derive the exact step sequence of
+        another synthesiser's output compares equal to it, which is what
+        caches and the pass benchmarks need.
+        """
+        if not isinstance(other, Program):
+            return NotImplemented
+        return (
+            self.steps == other.steps
+            and self._migration_key() == other._migration_key()
+        )
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((self.steps, self._migration_key()))
+
+    def with_steps(
+        self, steps: Iterable[Step], method: Optional[str] = None
+    ) -> "Program":
+        """A copy of this program with a different step sequence.
+
+        The transform passes use this so provenance (``meta``) survives
+        every rewrite of the step list.
+        """
+        return Program(
+            steps,
+            self.source,
+            self.target,
+            method=self.method if method is None else method,
+            meta=self.meta,
+        )
 
     @property
     def write_count(self) -> int:
@@ -354,13 +410,26 @@ class SequenceRow:
         return f"{self.name}: Hi={self.hi} Hf={self.hf} Hg={self.hg} [{wr}]"
 
 
+def _fsm_structural_key(machine: FSM) -> Tuple:
+    """Canonical, hashable structure of a machine, ignoring its name."""
+    return (
+        tuple(sorted(repr(i) for i in machine.inputs)),
+        tuple(sorted(repr(o) for o in machine.outputs)),
+        tuple(sorted(repr(s) for s in machine.states)),
+        repr(machine.reset_state),
+        tuple(sorted((repr(k), repr(v)) for k, v in machine.table.items())),
+    )
+
+
 def concatenate(first: Program, second: Program) -> Program:
     """Concatenate two programs over the same migration pair.
 
     Useful for composing hand-written prologues with heuristic output;
     both programs must agree on source and target machine.
     """
-    if first.source is not second.source or first.target is not second.target:
+    if (
+        first.source is not second.source or first.target is not second.target
+    ) and first._migration_key() != second._migration_key():
         raise ValueError("programs must share source and target machines")
     return Program(
         tuple(first.steps) + tuple(second.steps),

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.ea import EAConfig
 from ..core.fsm import FSM, Input
 from ..core.incremental import Chunk, incremental_chunks
+from ..core.passes import OptLevel, normalise_level, optimise_chunks
 from ..core.plan import SynthesisCache, fsm_fingerprint, make_synthesiser
 from ..core.program import Program
 from ..obs import instruments as _instruments
@@ -65,19 +66,28 @@ class PlanCache:
         :class:`~repro.core.plan.MigrationGraph` accepts.
     ea_config:
         Tuning for the default EA synthesiser.
+    opt_level:
+        Pass-pipeline level applied to every plan the cache hands out:
+        monolithic programs run through the standard
+        :class:`~repro.core.passes.PassPipeline` and chunk plans through
+        the traffic-safe :func:`~repro.core.passes.optimise_chunks`.
+        Part of both cache keys, so mixed-level fleets never share a
+        plan across levels.
     """
 
     def __init__(
         self,
         synthesiser: "str | Callable[[FSM, FSM], Program]" = "ea",
         ea_config: Optional[EAConfig] = None,
+        opt_level: OptLevel = None,
     ):
+        self.opt_level = normalise_level(opt_level)
         self._programs = SynthesisCache(
-            make_synthesiser(synthesiser, ea_config)
+            make_synthesiser(synthesiser, ea_config), opt_level=opt_level
         )
         self._lock = threading.Lock()
         self._chunks: Dict[
-            Tuple[str, str, Optional[str]], "Future[List[Chunk]]"
+            Tuple[str, str, Optional[str], str], "Future[List[Chunk]]"
         ] = {}
         self.chunk_hits = 0
         self.chunk_misses = 0
@@ -105,6 +115,7 @@ class PlanCache:
             fsm_fingerprint(source),
             fsm_fingerprint(target),
             None if i0 is None else repr(i0),
+            self.opt_level,
         )
         with self._lock:
             future = self._chunks.get(key)
@@ -123,6 +134,13 @@ class PlanCache:
         try:
             ordered = order_chunks(
                 incremental_chunks(source, target, i0=i0), source, target
+            )
+            # Optimization runs *after* ordering: the chunk optimizer
+            # threads the planned blend table through the chunks in
+            # execution order, so the order it sees must be the order
+            # the workers will run.
+            ordered = optimise_chunks(
+                ordered, source, target, i0=i0, level=self.opt_level
             )
         except BaseException as exc:
             with self._lock:

@@ -83,6 +83,11 @@ class FSMFleet:
     plan_cache:
         Shared :class:`~repro.fleet.plancache.PlanCache`; one is created
         when omitted.
+    opt_level:
+        Pass-pipeline level for the fleet's migration plans (``"O0"`` /
+        ``"O1"`` / ``"O2"``); forwarded to the created
+        :class:`~repro.fleet.plancache.PlanCache`.  Ignored when an
+        explicit ``plan_cache`` is supplied (the cache owns its level).
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class FSMFleet:
         trace_max_entries: int = 256,
         plan_cache: Optional[PlanCache] = None,
         name: str = "fleet",
+        opt_level: "str | int | None" = None,
     ):
         if n_workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -105,7 +111,7 @@ class FSMFleet:
         self.name = name
         self.machine = machine
         self.stall_budget = stall_budget
-        self.plan_cache = plan_cache or PlanCache()
+        self.plan_cache = plan_cache or PlanCache(opt_level=opt_level)
         superset = plan_supersets([machine, *family])
         self.shards: List[ShardWorker] = [
             ShardWorker(

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.fsm import FSM, Input, Output, State
+from ..core.passes import OptReport, optimise_program
 from ..core.program import Program, SequenceRow
 from .machine import HardwareFSM, ReconCommand
 
@@ -51,9 +52,26 @@ class Reconfigurator:
         self._current: Optional[List[Microinstruction]] = None
         self._pc = 0
         self.started: List[str] = []
+        self.opt_reports: Dict[str, OptReport] = {}
 
-    def store(self, name: str, program: Program) -> None:
-        """Compile ``program`` into the sequence ROM under ``name``."""
+    def store(
+        self,
+        name: str,
+        program: Program,
+        opt_level: "str | int | None" = None,
+    ) -> None:
+        """Compile ``program`` into the sequence ROM under ``name``.
+
+        With an ``opt_level``, the program is run through the standard
+        pass pipeline first — sequence-ROM words are the scarce resource
+        the Reconfigurator is synthesised from (the paper's CLB count
+        grows with ``|Z|``), so this is where shorter programs pay off in
+        hardware.  The per-program cost report lands in
+        :attr:`opt_reports`.
+        """
+        if opt_level is not None:
+            program, report = optimise_program(program, opt_level)
+            self.opt_reports[name] = report
         rom = [Microinstruction.from_row(row) for row in program.to_sequence()]
         self._programs[name] = (rom, program.target.reset_state)
 
@@ -120,6 +138,7 @@ class SelfReconfigurableHardware:
         source: FSM,
         programs: Dict[str, Program],
         rules: Sequence[TriggerRule] = (),
+        opt_level: "str | int | None" = None,
     ) -> "SelfReconfigurableHardware":
         """Datapath sized for all stored programs' targets, ROM preloaded."""
         extra_inputs: List[Input] = []
@@ -137,7 +156,7 @@ class SelfReconfigurableHardware:
         )
         recon = Reconfigurator()
         for name, program in programs.items():
-            recon.store(name, program)
+            recon.store(name, program, opt_level=opt_level)
         return cls(datapath, recon, rules)
 
     @property

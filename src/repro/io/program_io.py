@@ -8,6 +8,14 @@ heuristics and shipping them next to the design.  This module stores a
 :class:`~repro.core.program.Program` (steps plus the migration pair's
 tables, so the program can be re-validated on load) as JSON, and loads
 it back bit-exactly.
+
+Format history:
+
+* **v1** — method, source/target machines, steps.
+* **v2** — adds an optional ``"opt"`` block carrying the pass-pipeline
+  provenance from ``program.meta["opt"]`` (opt level plus the per-pass
+  log), so an optimized program shipped to a device records *how* it
+  was optimized.  v1 files load unchanged — the block is optional.
 """
 
 from __future__ import annotations
@@ -18,7 +26,10 @@ from typing import Any, Dict, TextIO, Union
 from ..core.fsm import FSM, Transition
 from ..core.program import Program, Step, StepKind
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Formats :func:`program_from_json` accepts.
+SUPPORTED_FORMATS = (1, 2)
 
 
 def _machine_to_json(machine: FSM) -> Dict[str, Any]:
@@ -65,13 +76,16 @@ def _step_from_json(data: Dict[str, Any]) -> Step:
 
 def program_to_json(program: Program) -> Dict[str, Any]:
     """The JSON-serialisable dict form of a program."""
-    return {
+    data = {
         "format": FORMAT_VERSION,
         "method": program.method,
         "source": _machine_to_json(program.source),
         "target": _machine_to_json(program.target),
         "steps": [_step_to_json(step) for step in program.steps],
     }
+    if "opt" in program.meta:
+        data["opt"] = program.meta["opt"]
+    return data
 
 
 def program_from_json(data: Dict[str, Any], validate: bool = True) -> Program:
@@ -79,14 +93,18 @@ def program_from_json(data: Dict[str, Any], validate: bool = True) -> Program:
 
     Validation guards against hand-edited or corrupted files — a stored
     program that no longer migrates its pair raises ``ValueError``.
+    Accepts both the current format and v1 files written before the
+    optimization metadata existed.
     """
-    if data.get("format") != FORMAT_VERSION:
+    if data.get("format") not in SUPPORTED_FORMATS:
         raise ValueError(f"unsupported program format {data.get('format')!r}")
+    meta = {"opt": data["opt"]} if "opt" in data else None
     program = Program(
         [_step_from_json(item) for item in data["steps"]],
         _machine_from_json(data["source"]),
         _machine_from_json(data["target"]),
         method=data.get("method", "loaded"),
+        meta=meta,
     )
     if validate and not program.is_valid():
         raise ValueError("stored program failed replay validation")

@@ -46,6 +46,27 @@ EA_BEST_LENGTH = REGISTRY.gauge(
     "Best program length of the most recent EA generation.",
 )
 
+# -- optimization passes ----------------------------------------------
+PASS_RUNS = REGISTRY.counter(
+    "repro_pass_runs_total",
+    "Optimization pass executions, by pass and outcome "
+    "(accepted / noop / rejected).",
+)
+PASS_STEPS_ELIMINATED = REGISTRY.counter(
+    "repro_pass_steps_eliminated_total",
+    "Program steps removed by accepted optimization passes, by pass.",
+)
+PASS_SECONDS = REGISTRY.histogram(
+    "repro_pass_seconds",
+    "Wall time of one optimization pass run (including the replay gate), "
+    "by pass.",
+    buckets=SECONDS_BUCKETS,
+)
+PIPELINE_PROGRAMS = REGISTRY.counter(
+    "repro_pipeline_programs_total",
+    "Programs run through the pass pipeline, by opt level.",
+)
+
 # -- exact search ------------------------------------------------------
 OPTIMAL_EXPANSIONS = REGISTRY.counter(
     "repro_optimal_expansions_total",

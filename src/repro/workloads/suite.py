@@ -184,35 +184,53 @@ def traffic_words(
 METHODS = ("jsr", "ea", "greedy", "tsp", "optimal")
 
 
-def synthesise_program(method: str, source: FSM, target: FSM, seed: int = 0):
-    """Dispatch one named synthesiser (the CLI's ``--method`` choices)."""
+def synthesise_program(
+    method: str,
+    source: FSM,
+    target: FSM,
+    seed: int = 0,
+    opt_level: "str | int | None" = None,
+):
+    """Dispatch one named synthesiser (the CLI's ``--method`` choices).
+
+    With an ``opt_level``, the synthesised program additionally runs
+    through the standard pass pipeline (``repro.core.passes``) before
+    being returned.
+    """
     if method == "jsr":
         from ..core.jsr import jsr_program
 
-        return jsr_program(source, target)
-    if method == "ea":
+        program = jsr_program(source, target)
+    elif method == "ea":
         from ..core.ea import EAConfig, ea_program
 
-        return ea_program(source, target, config=EAConfig(seed=seed))
-    if method == "greedy":
+        program = ea_program(source, target, config=EAConfig(seed=seed))
+    elif method == "greedy":
         from ..core.greedy import greedy_program
 
-        return greedy_program(source, target)
-    if method == "tsp":
+        program = greedy_program(source, target)
+    elif method == "tsp":
         from ..analysis.tsp import tsp_program
 
-        return tsp_program(source, target)
-    if method == "optimal":
+        program = tsp_program(source, target)
+    elif method == "optimal":
         from ..core.optimal import optimal_program
 
-        return optimal_program(source, target)
-    raise ValueError(f"unknown method {method!r}")
+        program = optimal_program(source, target)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    if opt_level is not None:
+        from ..core.passes import optimise_program
+
+        program, _report = optimise_program(program, opt_level)
+    return program
 
 
 def run_migration_suite(
     method: str = "jsr",
     seed: int = 0,
     hardware: bool = True,
+    opt_level: "str | int | None" = None,
 ) -> List[Dict[str, Any]]:
     """Run every suite workload with one method, fully instrumented.
 
@@ -229,7 +247,9 @@ def run_migration_suite(
     for name, factory in sorted(migration_suite().items()):
         with _span("suite.workload", workload=name, method=method) as sp:
             source, target = factory()
-            program = synthesise_program(method, source, target, seed)
+            program = synthesise_program(
+                method, source, target, seed, opt_level=opt_level
+            )
             ok = program.is_valid()
             hw_ok: Optional[bool] = None
             if hardware:

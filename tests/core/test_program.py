@@ -215,3 +215,50 @@ class TestProgram:
     def test_iteration_and_indexing(self):
         program = self._manual_fig7_program()
         assert list(program)[0] is program[0]
+
+
+class TestProgramEquality:
+    """Structural __eq__/__hash__: same steps + same migration pair."""
+
+    def _program(self, method="jsr"):
+        return Program(
+            [reset_step()], fig6_m(), fig6_m_prime(), method=method
+        )
+
+    def test_equal_programs_compare_equal(self):
+        assert self._program() == self._program()
+
+    def test_method_and_meta_do_not_affect_equality(self):
+        a = self._program(method="jsr")
+        b = self._program(method="ea")
+        b.meta["opt"] = {"level": "O2"}
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_steps_differ(self):
+        m, mp = fig6_m(), fig6_m_prime()
+        a = Program([reset_step()], m, mp)
+        b = Program([reset_step(), reset_step()], m, mp)
+        assert a != b
+
+    def test_different_pair_differs(self):
+        a = self._program()
+        b = Program([reset_step()], fig7_m(), fig7_m_prime())
+        assert a != b
+
+    def test_renamed_machines_still_equal(self):
+        # fingerprinting is structural: machine names are irrelevant
+        m, mp = fig6_m(), fig6_m_prime()
+        renamed_m = m.renamed({}, name="other-name")
+        a = Program([reset_step()], m, mp)
+        b = Program([reset_step()], renamed_m, mp)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_hashable_in_sets(self):
+        programs = {self._program(), self._program(), self._program("ea")}
+        assert len(programs) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert self._program() != "a program"
+        assert self._program() != 42

@@ -149,3 +149,54 @@ class TestOrderChunks:
         source, target = ones_detector(), zeros_detector()
         chunks = incremental_chunks(source, target)
         assert order_chunks(chunks, source, target) == list(chunks)
+
+
+class TestOptLevelKeying:
+    def _pair(self):
+        from repro.workloads.library import sequence_detector
+
+        return sequence_detector("101"), sequence_detector("10101")
+
+    def test_levels_are_separate_entries(self):
+        source, target = self._pair()
+        o0 = PlanCache(synthesiser="jsr", opt_level="O0")
+        o2 = PlanCache(synthesiser="jsr", opt_level="O2")
+        p0 = o0.program(source, target)
+        p2 = o2.program(source, target)
+        assert len(p2) <= len(p0)
+        assert "opt" not in p0.meta
+        assert p2.meta["opt"]["level"] == "O2"
+
+    def test_same_level_hits(self):
+        source, target = self._pair()
+        cache = PlanCache(synthesiser="jsr", opt_level="O2")
+        first = cache.program(source, target)
+        second = cache.program(source, target)
+        assert first is second
+        assert cache.cache_info()["programs"]["hits"] == 1
+
+    def test_chunks_keyed_by_level(self):
+        source, target = self._pair()
+        o0 = PlanCache(synthesiser="jsr", opt_level="O0")
+        o2 = PlanCache(synthesiser="jsr", opt_level="O2")
+        c0 = o0.chunks(source, target)
+        c2 = o2.chunks(source, target)
+        writes = lambda cs: sum(  # noqa: E731
+            1 for c in cs for s in c.steps if s.kind.writes
+        )
+        assert writes(c2) < writes(c0)
+        # both plans still migrate
+        assert chunks_to_program(c0, source, target).is_valid()
+        assert chunks_to_program(c2, source, target).is_valid()
+
+    def test_optimized_chunks_memoised(self):
+        source, target = self._pair()
+        cache = PlanCache(synthesiser="jsr", opt_level="O2")
+        first = cache.chunks(source, target)
+        second = cache.chunks(source, target)
+        assert first is second
+        assert cache.cache_info()["chunks"]["hits"] == 1
+
+    def test_spelled_levels_normalised(self):
+        cache = PlanCache(synthesiser="jsr", opt_level="-o2")
+        assert cache.opt_level == "O2"

@@ -131,3 +131,45 @@ class TestSelfReconfigurableHardware:
         while hardware.reconfiguring:
             hardware.clock("0")
         assert hardware.datapath.realises(zeros_detector())
+
+
+class TestOptimizedStore:
+    """store(..., opt_level=...) shrinks the sequence ROM, not behaviour."""
+
+    def test_optimized_rom_is_no_larger(self, fig6_pair):
+        source, target = fig6_pair
+        program = jsr_program(source, target)
+        plain = Reconfigurator()
+        plain.store("up", program)
+        optimized = Reconfigurator()
+        optimized.store("up", program, opt_level="O2")
+        assert optimized.rom_size("up") <= plain.rom_size("up")
+        assert optimized.opt_reports["up"].level == "O2"
+        assert "up" not in plain.opt_reports
+
+    def test_optimized_replay_still_realises_target(self, fig6_pair):
+        source, target = fig6_pair
+        program = jsr_program(source, target)
+        hardware = SelfReconfigurableHardware.build(
+            source, {"up": program}, opt_level="O2"
+        )
+        hardware.request("up")
+        while hardware.reconfiguring:
+            hardware.clock(source.inputs[0])
+        assert hardware.datapath.realises(target)
+
+    def test_optimized_trigger_fires_from_any_state(self, fig6_pair):
+        # position independence: the optimized program must keep its
+        # leading reset so a trigger can fire from any runtime state
+        source, target = fig6_pair
+        program = jsr_program(source, target)
+        for start_word in ([], ["1"], ["1", "1"]):
+            hardware = SelfReconfigurableHardware.build(
+                source, {"up": program}, opt_level="O2"
+            )
+            for symbol in start_word:
+                hardware.clock(symbol)
+            hardware.request("up")
+            while hardware.reconfiguring:
+                hardware.clock(source.inputs[0])
+            assert hardware.datapath.realises(target)

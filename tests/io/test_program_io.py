@@ -80,3 +80,49 @@ class TestValidation:
         assert StepKind.WRITE_TEMPORARY in kinds
         assert StepKind.WRITE_REPAIR in kinds
         assert StepKind.RESET in kinds
+
+
+class TestOptMetadata:
+    """v2 files round-trip the pass-pipeline provenance; v1 still loads."""
+
+    def _optimized(self):
+        from repro.core.passes import optimise_program
+
+        program, _report = optimise_program(sample_program(), "O2")
+        return program
+
+    def test_opt_block_roundtrips(self):
+        program = self._optimized()
+        again = loads(dumps(program))
+        assert again.meta["opt"] == program.meta["opt"]
+        assert again.meta["opt"]["level"] == "O2"
+        assert again == program
+
+    def test_format_version_is_2(self):
+        data = program_to_json(self._optimized())
+        assert data["format"] == 2
+        assert data["opt"]["level"] == "O2"
+
+    def test_unoptimized_program_has_no_opt_block(self):
+        data = program_to_json(sample_program())
+        assert "opt" not in data
+
+    def test_v1_files_still_load(self):
+        # a pre-optimization file: no "opt" block, format 1
+        data = program_to_json(sample_program())
+        data["format"] = 1
+        data.pop("opt", None)
+        from repro.io.program_io import program_from_json
+
+        program = program_from_json(data)
+        assert program.is_valid()
+        assert "opt" not in program.meta
+
+    def test_v1_text_fixture_loads(self):
+        # belt and braces: a literal v1 JSON document, as written by the
+        # previous release, parsed from text
+        text = dumps(sample_program())
+        data = json.loads(text)
+        data["format"] = 1
+        program = loads(json.dumps(data))
+        assert program.is_valid()

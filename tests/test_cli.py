@@ -230,3 +230,67 @@ class TestFleet:
         err = capsys.readouterr().err
         assert "repro_fleet_batches_total" in err
         assert "repro_fleet_shard_migrations_total" in err
+
+
+class TestOptimize:
+    def test_prints_pass_report(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(["optimize", src, tgt, "--method", "jsr"]) == 0
+        out = capsys.readouterr().out
+        assert "pass pipeline -O2" in out
+        assert "collapse-resets" in out
+        assert "dead-writes" in out
+
+    def test_show_program(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(
+            ["optimize", src, tgt, "--method", "jsr", "--show-program"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reconfiguration program" in out
+
+    def test_o0_report(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(
+            ["optimize", src, tgt, "--method", "jsr", "--opt-level", "O0"]
+        ) == 0
+        assert "-O0" in capsys.readouterr().out
+
+    def test_bad_level_is_cli_error(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(
+            ["optimize", src, tgt, "--opt-level", "O9"]
+        ) == 2
+        assert "unknown opt level" in capsys.readouterr().err
+
+
+class TestOptLevelFlag:
+    def test_migrate_o2_no_longer_than_o0(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(["migrate", src, tgt, "--method", "jsr"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["migrate", src, tgt, "--method", "jsr", "--opt-level", "O2"]
+        ) == 0
+        optimized = capsys.readouterr().out
+
+        def length(text):
+            return int(text.split("|Z|=")[1].split()[0])
+
+        assert length(optimized) <= length(plain)
+        assert "opt=O2" in optimized
+        assert "hardware-verified=True" in optimized
+
+    def test_synth_accepts_opt_level(self, kiss_files, capsys):
+        src, tgt = kiss_files
+        assert main(
+            ["synth", src, tgt, "--method", "jsr", "--opt-level", "o1"]
+        ) == 0
+        assert "reconfiguration program" in capsys.readouterr().out
+
+    def test_suite_with_opt_level(self, capsys):
+        assert main(
+            ["suite", "--method", "jsr", "--opt-level", "O1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "suite x jsr -O1" in out
