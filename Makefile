@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-fleet bench-passes soak-fleet examples results clean
+.PHONY: install test bench bench-obs bench-engine bench-fleet bench-passes soak-fleet examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ bench:
 
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py
+
+bench-engine:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine.py
 
 bench-fleet:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py

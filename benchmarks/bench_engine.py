@@ -1,0 +1,196 @@
+"""Batch-engine throughput benchmark and regression gate.
+
+Measures symbols/second through three serving paths on the same
+workload:
+
+* **per-cycle** — clocking the cycle-accurate Fig. 5 datapath one
+  symbol at a time (the pre-engine serving hot path);
+* **python** — the compiled dense-table kernel, pure-Python backend
+  (sequential stream, ``CompiledFSM.run_word``);
+* **numpy** — the vectorized lane-batch kernel
+  (``CompiledFSM.run_words``), when numpy is importable.
+
+plus end-to-end fleet serving throughput with 1 and 4 workers, engine
+on vs off.  Writes ``BENCH_engine_throughput.json`` at the repository
+root and exits non-zero (the CI ``engine`` job's gate) if:
+
+* the pure-Python batch kernel is *slower* than per-cycle serving
+  (speedup < 1x — the engine must never be a pessimisation), or
+* numpy is available but its batch kernel fails a 5x speedup over
+  per-cycle serving.
+
+Run with ``make bench-engine``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.engine import CompiledFSM, numpy_available
+from repro.fleet import FSMFleet
+from repro.hw.machine import HardwareFSM
+from repro.workloads.library import sequence_detector
+from repro.workloads.suite import traffic_words
+
+N_WORDS = 256
+WORD_LEN = 64
+REPEATS = 3
+MIN_PY_SPEEDUP = 1.0
+MIN_NUMPY_SPEEDUP = 5.0
+
+
+def _best_seconds(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def kernel_rows(machine, words):
+    n_symbols = sum(len(w) for w in words)
+    rows = {}
+
+    def per_cycle():
+        hw = HardwareFSM(machine, trace_max_entries=16)
+        for word in words:
+            hw.run(word)
+
+    seconds = _best_seconds(per_cycle)
+    rows["per_cycle"] = {
+        "seconds": seconds, "symbols_per_s": n_symbols / seconds,
+    }
+
+    compiled_py = CompiledFSM.from_fsm(machine, backend="python")
+
+    def python_kernel():
+        state = machine.reset_state
+        for word in words:
+            state = compiled_py.run_word(word, start=state).final_state
+
+    seconds = _best_seconds(python_kernel)
+    rows["python"] = {
+        "seconds": seconds, "symbols_per_s": n_symbols / seconds,
+    }
+
+    if numpy_available():
+        compiled_np = CompiledFSM.from_fsm(machine, backend="numpy")
+
+        def numpy_kernel():
+            compiled_np.run_words(words)
+
+        seconds = _best_seconds(numpy_kernel)
+        rows["numpy"] = {
+            "seconds": seconds, "symbols_per_s": n_symbols / seconds,
+        }
+    return n_symbols, rows
+
+
+def fleet_row(machine, words, n_workers: int, engine: str):
+    n_symbols = sum(len(w) for w in words)
+    fleet = FSMFleet(
+        machine, n_workers=n_workers, queue_depth=len(words) + 1,
+        engine=engine, name=f"bench-{engine}-{n_workers}",
+    )
+    try:
+        started = time.perf_counter()
+        futures = [
+            fleet.submit(key, word) for key, word in enumerate(words)
+        ]
+        for future in futures:
+            future.result(timeout=60)
+        seconds = time.perf_counter() - started
+        totals = fleet.totals()
+        return {
+            "workers": n_workers,
+            "engine": engine,
+            "seconds": seconds,
+            "symbols_per_s": n_symbols / seconds,
+            "engine_symbols": totals.engine_symbols,
+            "engine_fallbacks": totals.engine_fallbacks,
+        }
+    finally:
+        fleet.close()
+
+
+def main() -> int:
+    machine = sequence_detector("1011")
+    words = traffic_words(machine, N_WORDS, WORD_LEN, seed=0)
+    n_symbols, kernels = kernel_rows(machine, words)
+
+    fleet_words = words[:128]
+    fleets = [
+        fleet_row(machine, fleet_words, workers, engine)
+        for workers in (1, 4)
+        for engine in ("off", "auto")
+    ]
+
+    per_cycle = kernels["per_cycle"]["symbols_per_s"]
+    speedups = {
+        name: row["symbols_per_s"] / per_cycle
+        for name, row in kernels.items()
+        if name != "per_cycle"
+    }
+
+    failures = []
+    if speedups["python"] < MIN_PY_SPEEDUP:
+        failures.append(
+            f"pure-Python batch kernel is a pessimisation: "
+            f"{speedups['python']:.2f}x < {MIN_PY_SPEEDUP}x per-cycle"
+        )
+    if "numpy" in speedups and speedups["numpy"] < MIN_NUMPY_SPEEDUP:
+        failures.append(
+            f"numpy batch kernel speedup {speedups['numpy']:.2f}x < "
+            f"{MIN_NUMPY_SPEEDUP}x per-cycle"
+        )
+
+    payload = {
+        "benchmark": "engine_throughput",
+        "workload": machine.name,
+        "n_symbols": n_symbols,
+        "numpy_available": numpy_available(),
+        "kernels": kernels,
+        "speedups_vs_per_cycle": {
+            k: round(v, 2) for k, v in speedups.items()
+        },
+        "fleet": fleets,
+        "criteria": {
+            "python_min_speedup": MIN_PY_SPEEDUP,
+            "numpy_min_speedup": MIN_NUMPY_SPEEDUP,
+        },
+        "failures": failures,
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent
+    out = out / "BENCH_engine_throughput.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"engine throughput over {n_symbols} symbols ({machine.name}):")
+    for name, row in kernels.items():
+        speedup = (
+            f" ({speedups[name]:.1f}x)" if name in speedups else " (1.0x)"
+        )
+        print(
+            f"  {name:10s}: {row['symbols_per_s']:12,.0f} symbols/s"
+            f"{speedup}"
+        )
+    for row in fleets:
+        print(
+            f"  fleet {row['workers']}w engine={row['engine']:4s}: "
+            f"{row['symbols_per_s']:12,.0f} symbols/s "
+            f"({row['engine_symbols']} via engine)"
+        )
+    print(f"written: {out}")
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

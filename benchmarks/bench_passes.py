@@ -22,10 +22,12 @@ import json
 import pathlib
 import sys
 
+from repro import api
+from repro.api import METHODS
 from repro.core.incremental import chunks_to_program, incremental_chunks
 from repro.core.optimal import SearchLimitExceeded
 from repro.core.passes import optimise_program
-from repro.workloads.suite import METHODS, migration_suite, synthesise_program
+from repro.workloads.suite import migration_suite
 
 LEVELS = ("O1", "O2")
 OPTIMAL_BUDGET = 60_000
@@ -41,7 +43,9 @@ def _synthesise(method, source, target):
         from repro.core.optimal import optimal_program
 
         return optimal_program(source, target, max_expansions=OPTIMAL_BUDGET)
-    return synthesise_program(method, source, target, seed=0)
+    return api.synthesise(
+        source, target, options=api.Options(method=method, seed=0)
+    )
 
 
 def main() -> int:

@@ -39,13 +39,19 @@ def main(argv=None) -> int:
     parser.add_argument("--seconds", type=float, default=30.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--opt-level", default="O2")
+    parser.add_argument(
+        "--engine", default="auto",
+        choices=("auto", "numpy", "python", "off"),
+        help="batch-engine mode for the serving hot path (default auto, "
+             "so the soak covers coalesced engine serving)",
+    )
     args = parser.parse_args(argv)
 
     source, target = suite_pair(WORKLOAD)
     common = [i for i in source.inputs if i in set(target.inputs)]
     fleet = FSMFleet(
         source, n_workers=WORKERS, family=[target], queue_depth=32,
-        opt_level=args.opt_level, name="soak",
+        opt_level=args.opt_level, engine=args.engine, name="soak",
     )
     scheduler = MigrationScheduler(fleet, stall_budget=12)
     holder: dict = {}
@@ -125,12 +131,13 @@ def main(argv=None) -> int:
     totals = fleet.totals()
     fleet.close()
     print(
-        f"soak (-{fleet.plan_cache.opt_level}): "
+        f"soak (-{fleet.plan_cache.opt_level}, engine={fleet.engine}): "
         f"{args.seconds:.0f}s, {submitted} batches "
         f"({totals.symbols_served} symbols), {retries} backpressure "
         f"retries, {totals.incidents} incidents, migration cycles "
         f"{totals.migration_cycles}, service downtime "
-        f"{totals.service_downtime_cycles}"
+        f"{totals.service_downtime_cycles}, engine symbols "
+        f"{totals.engine_symbols} ({totals.engine_fallbacks} fallbacks)"
     )
     if failures:
         for failure in failures:

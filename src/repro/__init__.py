@@ -17,7 +17,21 @@ The package implements the paper end to end:
 * :mod:`repro.analysis` — statistics and paper-style table rendering for
   the benchmark harness.
 
-Quickstart::
+The supported entry point for applications is the :mod:`repro.api`
+facade — every end-to-end flow is one keyword-configured function
+taking a single :class:`repro.api.Options` bundle:
+
+    from repro import api
+    from repro.workloads import fig6_m, fig6_m_prime
+
+    outcome = api.migrate(
+        fig6_m(), fig6_m_prime(),
+        options=api.Options(method="ea", opt_level="O2"),
+    )
+    assert outcome.verified
+
+The lower-level building blocks (FSM, delta_transitions, the
+synthesisers) remain importable from here for library use::
 
     from repro import FSM, delta_transitions, jsr_program, ea_program
     from repro.workloads import fig6_m, fig6_m_prime
@@ -28,6 +42,18 @@ Quickstart::
     print(len(ea_program(m, m_prime)))          # considerably shorter
 """
 
+from . import api
+from .api import (
+    MigrationOutcome,
+    Options,
+    VerificationOutcome,
+    compile_fsm,
+    migrate,
+    optimise,
+    serve,
+    synthesise,
+    verify,
+)
 from .core import (
     EAConfig,
     FSM,
@@ -58,6 +84,18 @@ from .hw import HardwareFSM, SelfReconfigurableHardware
 __version__ = "1.0.0"
 
 __all__ = [
+    # stable facade (docs/api.md)
+    "MigrationOutcome",
+    "Options",
+    "VerificationOutcome",
+    "api",
+    "compile_fsm",
+    "migrate",
+    "optimise",
+    "serve",
+    "synthesise",
+    "verify",
+    # building blocks
     "EAConfig",
     "FSM",
     "FSMError",

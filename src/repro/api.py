@@ -1,0 +1,327 @@
+"""The stable public facade of the library.
+
+Every supported end-to-end flow is one keyword-configured function:
+
+* :func:`synthesise` — source + target → reconfiguration program;
+* :func:`optimise` — program → (shorter program, per-pass cost report);
+* :func:`migrate` — synthesise, replay on the cycle-accurate datapath,
+  hardware-verify;
+* :func:`verify` — certify a migration through the machine's ports
+  (W-method conformance), no RAM readback;
+* :func:`serve` — a sharded concurrent serving fleet with zero-downtime
+  live migration (:class:`repro.fleet.FSMFleet`);
+* :func:`compile_fsm` — lower a machine (or a live datapath) into the
+  batch execution engine's dense tables
+  (:class:`repro.engine.CompiledFSM`).
+
+All knobs travel in one keyword-only :class:`Options` dataclass instead
+of the per-module signatures that had drifted apart (method here, seed
+there, opt_level sometimes positional).  The CLI calls only this module;
+the old entry points (e.g. ``repro.workloads.suite.synthesise_program``)
+remain as thin ``DeprecationWarning`` shims.
+
+    from repro import api
+    from repro.workloads import fig6_m, fig6_m_prime
+
+    outcome = api.migrate(
+        fig6_m(), fig6_m_prime(),
+        options=api.Options(method="ea", opt_level="O2", seed=7),
+    )
+    assert outcome.verified
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from .core.fsm import FSM
+from .core.program import Program
+
+__all__ = [
+    "METHODS",
+    "MigrationOutcome",
+    "Options",
+    "VerificationOutcome",
+    "compile_fsm",
+    "migrate",
+    "optimise",
+    "serve",
+    "synthesise",
+    "verify",
+]
+
+#: The synthesis methods the facade (and the CLI's ``--method``) accepts.
+METHODS = ("jsr", "ea", "greedy", "tsp", "optimal")
+
+#: Engine modes accepted by :class:`Options` (see ``repro.engine``).
+ENGINE_MODES = ("auto", "numpy", "python", "off")
+
+
+@dataclass(frozen=True, init=False)
+class Options:
+    """Keyword-only bundle of every knob the facade understands.
+
+    ``method``
+        Synthesiser to dispatch (one of :data:`METHODS`).
+    ``opt_level``
+        Pass-pipeline level (``"O0"``/``"O1"``/``"O2"``, any spelling
+        :func:`repro.core.passes.normalise_level` accepts); ``None``
+        means "don't run the pipeline" where that is meaningful
+        (:func:`optimise` itself defaults to ``"O2"``).
+    ``seed``
+        Seed for the stochastic synthesisers (the EA).
+    ``metrics``
+        Enable the process-wide metrics registry for this call
+        (equivalent to ``repro.obs.configure(metrics=True)``).
+    ``engine``
+        Batch-engine mode for :func:`serve` / :func:`compile_fsm`
+        (one of :data:`ENGINE_MODES`).
+    ``extra_states``
+        W-method bound on implementation state growth for
+        :func:`verify`.
+
+    Frozen, keyword-only (``Options(method="ea")``; positional arguments
+    raise ``TypeError``), validated on construction.
+    """
+
+    method: str
+    opt_level: Optional[str]
+    seed: int
+    metrics: bool
+    engine: str
+    extra_states: int
+
+    def __init__(
+        self,
+        *,
+        method: str = "ea",
+        opt_level: "str | int | None" = None,
+        seed: int = 0,
+        metrics: bool = False,
+        engine: str = "auto",
+        extra_states: int = 0,
+    ):
+        if method not in METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        if opt_level is not None:
+            from .core.passes import normalise_level
+
+            opt_level = normalise_level(opt_level)
+        if engine not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine mode {engine!r}; expected one of "
+                f"{ENGINE_MODES}"
+            )
+        if extra_states < 0:
+            raise ValueError("extra_states must be non-negative")
+        object.__setattr__(self, "method", method)
+        object.__setattr__(self, "opt_level", opt_level)
+        object.__setattr__(self, "seed", int(seed))
+        object.__setattr__(self, "metrics", bool(metrics))
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "extra_states", int(extra_states))
+
+
+def _options(options: Optional[Options]) -> Options:
+    opts = options if options is not None else Options()
+    if not isinstance(opts, Options):
+        raise TypeError(
+            f"options must be a repro.api.Options, not {type(opts).__name__}"
+        )
+    if opts.metrics:
+        from .obs import REGISTRY
+
+        REGISTRY.enable()
+    return opts
+
+
+@dataclass(frozen=True)
+class MigrationOutcome:
+    """Result of :func:`migrate`: program, datapath, hardware verdict."""
+
+    program: Program
+    hardware: Any
+    verified: bool
+
+    def __bool__(self) -> bool:
+        return self.verified
+
+
+@dataclass(frozen=True)
+class VerificationOutcome:
+    """Result of :func:`verify`: conformance verdict plus its evidence."""
+
+    program: Program
+    hardware: Any
+    result: Any  # repro.core.verify.VerificationResult
+    suite_size: int
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.result.passed)
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def _dispatch(method: str, source: FSM, target: FSM, seed: int) -> Program:
+    """One named synthesiser call (imports deferred per method)."""
+    if method == "jsr":
+        from .core.jsr import jsr_program
+
+        return jsr_program(source, target)
+    if method == "ea":
+        from .core.ea import EAConfig, ea_program
+
+        return ea_program(source, target, config=EAConfig(seed=seed))
+    if method == "greedy":
+        from .core.greedy import greedy_program
+
+        return greedy_program(source, target)
+    if method == "tsp":
+        from .analysis.tsp import tsp_program
+
+        return tsp_program(source, target)
+    if method == "optimal":
+        from .core.optimal import optimal_program
+
+        return optimal_program(source, target)
+    raise ValueError(f"unknown method {method!r}")  # Options pre-validates
+
+
+def synthesise(
+    source: FSM, target: FSM, *, options: Optional[Options] = None
+) -> Program:
+    """Synthesise a reconfiguration program migrating source → target.
+
+    Dispatches ``options.method`` and, when ``options.opt_level`` is
+    set, runs the replay-gated pass pipeline over the result.
+    """
+    opts = _options(options)
+    program = _dispatch(opts.method, source, target, opts.seed)
+    if opts.opt_level is not None:
+        from .core.passes import optimise_program
+
+        program, _report = optimise_program(program, opts.opt_level)
+    return program
+
+
+def optimise(
+    program: Program, *, options: Optional[Options] = None
+) -> Tuple[Program, Any]:
+    """Run the pass pipeline; returns ``(program, per-pass report)``.
+
+    Uses ``options.opt_level`` when set, else ``"O2"`` (running the
+    optimiser with "no optimisation" is never what the caller meant).
+    """
+    opts = _options(options)
+    from .core.passes import PassPipeline
+
+    level = opts.opt_level if opts.opt_level is not None else "O2"
+    return PassPipeline.for_level(level).run(program)
+
+
+def migrate(
+    source: FSM, target: FSM, *, options: Optional[Options] = None
+) -> MigrationOutcome:
+    """Synthesise + replay on the Fig. 5 datapath + verify the RAMs."""
+    opts = _options(options)
+    from .hw.machine import HardwareFSM
+
+    program = synthesise(source, target, options=opts)
+    hardware = HardwareFSM.for_migration(source, target)
+    hardware.run_program(program)
+    return MigrationOutcome(
+        program=program,
+        hardware=hardware,
+        verified=hardware.realises(target),
+    )
+
+
+def verify(
+    source: FSM,
+    target: FSM,
+    *,
+    options: Optional[Options] = None,
+    program: Optional[Program] = None,
+) -> VerificationOutcome:
+    """Certify a migration through the ports (W-method conformance).
+
+    Synthesises a program (unless one is passed in), replays it, then
+    runs the W-method suite with ``options.extra_states`` headroom.
+    """
+    opts = _options(options)
+    from .core.verify import verify_hardware, w_method_suite
+    from .hw.machine import HardwareFSM
+
+    if program is None:
+        program = synthesise(source, target, options=opts)
+    hardware = HardwareFSM.for_migration(source, target)
+    hardware.run_program(program)
+    result = verify_hardware(
+        hardware, target, extra_states=opts.extra_states
+    )
+    suite = w_method_suite(target, extra_states=opts.extra_states)
+    return VerificationOutcome(
+        program=program,
+        hardware=hardware,
+        result=result,
+        suite_size=len(suite),
+    )
+
+
+def serve(
+    machine: FSM,
+    *,
+    family: Sequence[FSM] = (),
+    n_workers: int = 4,
+    options: Optional[Options] = None,
+    **fleet_kwargs,
+):
+    """A running serving fleet for ``machine`` (and its future family).
+
+    ``options`` supplies the engine mode and the opt level for migration
+    plans; everything else (queue depth, stall budget, link latency …)
+    passes through to :class:`repro.fleet.FSMFleet` unchanged.  Close
+    the returned fleet (or use it as a context manager) when done.
+    """
+    opts = _options(options)
+    from .fleet import FSMFleet
+
+    return FSMFleet(
+        machine,
+        n_workers=n_workers,
+        family=family,
+        opt_level=opts.opt_level,
+        engine=opts.engine,
+        **fleet_kwargs,
+    )
+
+
+def compile_fsm(machine, *, options: Optional[Options] = None):
+    """Lower a machine into the batch engine's dense tables.
+
+    Accepts either a behavioural :class:`~repro.core.fsm.FSM` or a live
+    :class:`~repro.hw.machine.HardwareFSM` (whose committed RAM words
+    are snapshotted, version-stamped for staleness detection).  The
+    backend follows ``options.engine`` (``"off"`` is rejected — compiling
+    with the engine off is a contradiction).
+    """
+    opts = _options(options)
+    from .engine import CompiledFSM, EngineError
+
+    if opts.engine == "off":
+        raise EngineError("cannot compile with engine mode 'off'")
+    if isinstance(machine, FSM):
+        return CompiledFSM.from_fsm(machine, backend=opts.engine)
+    from .hw.machine import HardwareFSM
+
+    if isinstance(machine, HardwareFSM):
+        return CompiledFSM.from_hardware(machine, backend=opts.engine)
+    raise TypeError(
+        f"compile_fsm expects an FSM or HardwareFSM, not "
+        f"{type(machine).__name__}"
+    )

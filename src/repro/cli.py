@@ -45,12 +45,13 @@ import os
 import sys
 from typing import Iterable, List, Optional
 
+from . import api
 from .analysis.tables import format_table
+from .api import ENGINE_MODES, METHODS, Options
 from .core.bounds import lower_bound, upper_bound
 from .core.delta import delta_transitions
 from .core.minimize import equivalence_classes, is_minimal, minimize
 from .core.program import Program
-from .core.verify import verify_hardware, w_method_suite
 from .hw.machine import HardwareFSM
 from .hw.memory import UninitialisedRead
 from .hw.vcd import to_vcd
@@ -62,8 +63,9 @@ from .io.kiss import dumps as kiss_dumps
 from .io.kiss import load as kiss_load
 from .obs import REGISTRY, TRACER
 from .obs import configure as obs_configure
+from .obs import instruments as _instruments
 from .obs.probes import probe_hardware, publish
-from .workloads.suite import METHODS, run_migration_suite, synthesise_program
+from .workloads.suite import run_migration_suite
 
 
 def _load(path: str, fill: Optional[str]):
@@ -74,8 +76,10 @@ def _load(path: str, fill: Optional[str]):
 def _synthesise(
     method: str, source, target, seed: int, opt_level: Optional[str] = None
 ) -> Program:
-    return synthesise_program(
-        method, source, target, seed=seed, opt_level=opt_level
+    return api.synthesise(
+        source,
+        target,
+        options=Options(method=method, seed=seed, opt_level=opt_level),
     )
 
 
@@ -150,7 +154,8 @@ def cmd_vhdl(args) -> int:
 def cmd_suite(args) -> int:
     level = _opt_level(args)
     rows = run_migration_suite(
-        method=args.method, seed=args.seed, opt_level=level
+        method=args.method, seed=args.seed, opt_level=level,
+        engine=args.engine,
     )
     for row in rows:
         if not row["valid"]:
@@ -200,23 +205,27 @@ def cmd_simulate(args) -> int:
 def cmd_verify(args) -> int:
     source = _load(args.source, args.fill)
     target = _load(args.target, args.fill)
-    program = _synthesise(
-        args.method, source, target, args.seed, opt_level=_opt_level(args)
+    outcome = api.verify(
+        source,
+        target,
+        options=Options(
+            method=args.method,
+            seed=args.seed,
+            opt_level=_opt_level(args),
+            extra_states=args.extra_states,
+        ),
     )
-    hw = HardwareFSM.for_migration(source, target)
-    hw.run_program(program)
-    result = verify_hardware(hw, target, extra_states=args.extra_states)
-    suite = w_method_suite(target, extra_states=args.extra_states)
+    result = outcome.result
     # Failure detail first, then the summary verdict, so the last line a
     # caller sees (and greps) is the PASS/FAIL judgement.
     for word, expected, actual in result.failures[:5]:
         print(f"  word {''.join(map(str, word))}: expected "
               f"{expected}, got {actual}")
-    publish(probe_hardware(hw))
+    publish(probe_hardware(outcome.hardware))
     print(
         f"conformance: {'PASS' if result.passed else 'FAIL'} "
         f"({result.words_run} words, {result.symbols_run} symbols, "
-        f"suite of {len(suite)})"
+        f"suite of {outcome.suite_size})"
     )
     return 0 if result.passed else 1
 
@@ -227,7 +236,8 @@ def cmd_fleet(args) -> int:
     import threading
     import time
 
-    from .fleet import FleetOverloaded, FSMFleet, MigrationScheduler
+    from .engine import EngineError
+    from .fleet import FleetOverloaded, MigrationScheduler
     from .workloads.suite import suite_pair, traffic_words
 
     try:
@@ -241,16 +251,21 @@ def cmd_fleet(args) -> int:
             "input symbols; no traffic can survive the rollout"
         )
 
-    fleet = FSMFleet(
-        source,
-        n_workers=args.workers,
-        family=[target],
-        queue_depth=args.queue_depth,
-        stall_budget=args.stall_budget,
-        link_latency_s=args.link_latency_ms / 1000.0,
-        name=f"fleet/{args.workload}",
-        opt_level=_opt_level(args),
-    )
+    try:
+        fleet = api.serve(
+            source,
+            family=[target],
+            n_workers=args.workers,
+            options=Options(
+                opt_level=_opt_level(args), engine=args.engine
+            ),
+            queue_depth=args.queue_depth,
+            stall_budget=args.stall_budget,
+            link_latency_s=args.link_latency_ms / 1000.0,
+            name=f"fleet/{args.workload}",
+        )
+    except EngineError as exc:
+        raise CliError(str(exc)) from None
     scheduler = MigrationScheduler(fleet, stall_budget=args.stall_budget)
     words = traffic_words(
         source, args.requests, args.batch, seed=args.seed, inputs=common
@@ -310,6 +325,10 @@ def cmd_fleet(args) -> int:
         {"fleet": "requests failed", "value": failed},
         {"fleet": "symbols stepped", "value": steps},
         {"fleet": "steps/sec", "value": round(steps / max(elapsed, 1e-9))},
+        {"fleet": "engine mode", "value": fleet.engine},
+        {"fleet": "engine symbols (compiled)",
+         "value": totals.engine_symbols},
+        {"fleet": "engine fallbacks", "value": totals.engine_fallbacks},
         {"fleet": "backpressure retries", "value": retries},
         {"fleet": "incidents (quarantines)", "value": totals.incidents},
         {"fleet": "migration chunks", "value": report.analysis.chunks_total},
@@ -381,12 +400,14 @@ def cmd_migrate(args) -> int:
     source = _load(args.source, args.fill)
     target = _load(args.target, args.fill)
     level = _opt_level(args)
-    program = _synthesise(
-        args.method, source, target, args.seed, opt_level=level
+    outcome = api.migrate(
+        source,
+        target,
+        options=Options(
+            method=args.method, seed=args.seed, opt_level=level
+        ),
     )
-    hw = HardwareFSM.for_migration(source, target)
-    hw.run_program(program)
-    ok = hw.realises(target)
+    program, hw, ok = outcome.program, outcome.hardware, outcome.verified
     publish(probe_hardware(hw))
     opt_note = f" opt={level}" if level != "O0" else ""
     print(
@@ -413,13 +434,13 @@ def cmd_migrate(args) -> int:
 
 def cmd_optimize(args) -> int:
     """Synthesise a program, run the pass pipeline, print the report."""
-    from .core.passes import PassPipeline
-
     source = _load(args.source, args.fill)
     target = _load(args.target, args.fill)
     level = _opt_level(args)
     program = _synthesise(args.method, source, target, args.seed)
-    optimized, report = PassPipeline.for_level(level).run(program)
+    optimized, report = api.optimise(
+        program, options=Options(method=args.method, opt_level=level)
+    )
     print(report.render())
     if args.show_program:
         print()
@@ -457,6 +478,8 @@ def cmd_stats(args) -> int:
             hw.run(_split_word(args.word, set(machine.inputs)
                                | set(target.inputs)))
         else:
+            from .core.verify import verify_hardware
+
             result = verify_hardware(hw, target)
             ok = ok and result.passed
         verdict = (
@@ -470,6 +493,16 @@ def cmd_stats(args) -> int:
     report = probe_hardware(hw)
     publish(report)
     print(report.render())
+    from .engine import numpy_available, resolve_backend
+
+    if numpy_available():
+        numpy_note = "numpy available"
+    else:
+        numpy_note = (
+            "numpy absent — pure-Python batch kernel; "
+            "pip install repro[fast]"
+        )
+    print(f"\nengine: backend={resolve_backend('auto')} ({numpy_note})")
     if verdict is not None:
         print()
         print(verdict)
@@ -504,6 +537,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the span trace as JSONL to FILE",
         )
 
+    def add_engine(p, default: str = "auto") -> None:
+        p.add_argument(
+            "--engine",
+            choices=ENGINE_MODES,
+            default=default,
+            help="batch execution engine: auto (numpy when available), "
+                 "numpy, python, or off (cycle-accurate per-symbol "
+                 f"serving; default {default})",
+        )
+
     def add_opt_level(p, default: Optional[str] = None) -> None:
         p.add_argument(
             "--opt-level",
@@ -535,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--method", choices=METHODS, default="jsr")
     p.add_argument("--seed", type=int, default=0)
+    add_engine(p, default="off")
     add_opt_level(p)
     add_trace_out(p)
     p.set_defaults(func=cmd_suite)
@@ -598,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", action="store_true",
                    help="erase an F-RAM word mid-run to exercise "
                         "quarantine + re-seed")
+    add_engine(p)
     add_opt_level(p)
     add_trace_out(p)
     p.set_defaults(func=cmd_fleet)
@@ -698,6 +743,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         metrics=metrics_mode != "off",
         tracing=metrics_mode != "off" or trace_out is not None,
     )
+    if metrics_mode != "off":
+        # Surface the optional fast path as a feature-flag gauge in
+        # every metrics snapshot.
+        from .engine import numpy_available
+
+        _instruments.ENGINE_NUMPY_AVAILABLE.set(
+            1.0 if numpy_available() else 0.0
+        )
     try:
         return args.func(args)
     except FileNotFoundError as exc:

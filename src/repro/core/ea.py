@@ -185,6 +185,30 @@ def _evolve_program(
             evaluations += 1
         return fitness_cache[key]
 
+    def evaluate_population(genomes: Sequence[Sequence[int]]) -> None:
+        """Batch-evaluate one generation's uncached genomes at once.
+
+        The population-level evaluation hook: every distinct genome of
+        the generation is decoded in one pass before selection touches
+        any of them, so ranking and tournaments below always hit the
+        cache.  Behaviour-identical to lazy evaluation (the decoder is
+        pure and every population member is ranked each generation) but
+        structured the way population-level FSM evaluation wants it —
+        one batch per generation, amenable to parallel/vectorized
+        decoders.
+        """
+        nonlocal evaluations
+        fresh: List[Tuple[int, ...]] = []
+        seen = set()
+        for genome in genomes:
+            key = tuple(genome)
+            if key not in fitness_cache and key not in seen:
+                seen.add(key)
+                fresh.append(key)
+        for key in fresh:
+            fitness_cache[key] = len(decode(key))
+        evaluations += len(fresh)
+
     population: List[List[int]] = []
     if config.seed_with_greedy:
         greedy = nearest_neighbour_order(source, target)
@@ -201,6 +225,7 @@ def _evolve_program(
 
     history: List[int] = []
     for _generation in range(config.generations):
+        evaluate_population(population)
         ranked = sorted(population, key=fitness)
         history.append(fitness(ranked[0]))
         _instruments.EA_GENERATIONS.inc()
@@ -220,6 +245,7 @@ def _evolve_program(
             next_gen.append(child)
         population = next_gen
 
+    evaluate_population(population)
     best = min(population, key=fitness)
     history.append(fitness(best))
     program = decode(best)

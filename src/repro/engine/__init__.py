@@ -1,0 +1,37 @@
+"""Vectorized batch execution engine (the serving fast path).
+
+Public surface:
+
+* :class:`CompiledFSM` — an FSM / live RAM snapshot lowered to dense
+  next-state and output tables, with ``step_batch`` / ``run_word`` /
+  ``run_words`` kernels;
+* :func:`resolve_backend` / :func:`numpy_available` — backend selection
+  (pure Python always works; numpy is the optional ``fast`` extra and is
+  honoured only when importable and ``REPRO_DISABLE_NUMPY`` is unset);
+* :class:`EngineError` / :class:`UnconfiguredEntry` — failure modes that
+  mirror the cycle-accurate datapath's, so callers can fall back to it.
+
+See ``docs/engine.md`` for the compile/invalidate lifecycle and the
+fleet integration (when batching kicks in, when serving falls back to
+the cycle-accurate netlist).
+"""
+
+from .compiled import (
+    BACKENDS,
+    CompiledFSM,
+    EngineError,
+    UnconfiguredEntry,
+    WordRun,
+    numpy_available,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CompiledFSM",
+    "EngineError",
+    "UnconfiguredEntry",
+    "WordRun",
+    "numpy_available",
+    "resolve_backend",
+]

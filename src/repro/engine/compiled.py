@@ -1,0 +1,555 @@
+"""Dense-table batch execution of FSMs: the serving fast path.
+
+The paper's Fig. 5 datapath is a table-lookup machine — the encoded
+input concatenated with the encoded state addresses F-RAM and G-RAM.
+That shape vectorizes: :class:`CompiledFSM` lowers an :class:`~repro.core.fsm.FSM`
+(or a live :class:`~repro.hw.machine.HardwareFSM` RAM snapshot) into two
+flat integer arrays indexed by ``input_code * n_states + state_code``
+and steps whole symbol batches through them, instead of paying one
+Python ``cycle()`` call — trace record, BitVector allocations, probe
+bookkeeping — per symbol.
+
+Two backends share the same tables:
+
+* **python** — a tight pure-Python loop over plain lists; always
+  available, already an order of magnitude faster than the cycle-accurate
+  netlist for sequential streams;
+* **numpy** — gathers across many independent lanes at once
+  (:meth:`CompiledFSM.step_batch` / :meth:`CompiledFSM.run_words`);
+  optional (``pip install repro[fast]``), auto-detected, never required.
+
+Staleness is impossible by construction: a compiled view remembers the
+``table_version`` of the hardware it was lowered from (bumped by every
+committed RAM write, bulk download, fault injection and RST-MUX
+retarget) and callers recompile on mismatch; :meth:`CompiledFSM.watch`
+additionally hooks ``Reconfigurator.store`` so a view dies the moment a
+new program lands in the sequence ROM.  Encodings mirror the datapath's
+semantics exactly: an unconfigured F-RAM word raises
+:class:`UnconfiguredEntry` (the engine analogue of
+``UninitialisedRead``), an unconfigured G-RAM word yields ``None``
+output, and a garbage code that the datapath would refuse to decode
+raises as well — so a caller can always fall back to the cycle-accurate
+netlist and reproduce the exact failure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.alphabet import Alphabet
+from ..core.fsm import FSM, Input, Output, State
+from ..hw.signals import SymbolEncoder
+from ..obs import instruments as _instruments
+
+__all__ = [
+    "BACKENDS",
+    "CompiledFSM",
+    "EngineError",
+    "UnconfiguredEntry",
+    "WordRun",
+    "numpy_available",
+    "resolve_backend",
+]
+
+#: Valid backend preferences (``"off"`` is a fleet/CLI mode, not a backend).
+BACKENDS = ("auto", "numpy", "python")
+
+#: Sentinel for "no configured word at this address" (F- and G-table).
+_UNSET = -1
+#: Sentinel for "a committed word holds a garbage code the datapath's
+#: decoder would refuse" (G-table only; in the F-table garbage and unset
+#: both raise on traversal, so they share ``_UNSET``).
+_GARBAGE = -2
+
+
+class EngineError(RuntimeError):
+    """Base class for batch-engine errors."""
+
+
+class UnconfiguredEntry(EngineError):
+    """A traversal hit a table entry the compiled view cannot serve.
+
+    Either the F-RAM word was never written (the datapath would raise
+    :class:`~repro.hw.memory.UninitialisedRead`) or a committed word
+    holds a code outside its alphabet (the datapath's decoder would
+    raise ``ValueError``).  Callers replay the batch on the
+    cycle-accurate netlist to reproduce the exact hardware failure.
+    """
+
+
+_numpy_module: Any = None  # cache: None = not probed, False = absent
+
+
+def _numpy():
+    """The numpy module, or ``None`` when absent or explicitly disabled.
+
+    ``REPRO_DISABLE_NUMPY`` is honoured at every call (not just import
+    time) so tests and the CI "without numpy" leg can exercise the
+    pure-Python path inside a process that has numpy installed.
+    """
+    if os.environ.get("REPRO_DISABLE_NUMPY"):
+        return None
+    global _numpy_module
+    if _numpy_module is None:
+        try:
+            import numpy  # noqa: PLC0415 - optional fast path
+
+            _numpy_module = numpy
+        except ImportError:  # pragma: no cover - numpy present in CI dev env
+            _numpy_module = False
+    return _numpy_module or None
+
+
+def numpy_available() -> bool:
+    """True when the numpy fast path can be used right now."""
+    return _numpy() is not None
+
+
+def resolve_backend(preference: str = "auto") -> str:
+    """Map a backend preference to the concrete backend to use.
+
+    ``"auto"`` picks numpy when importable (and not disabled via the
+    ``REPRO_DISABLE_NUMPY`` environment variable), else pure Python.
+    Asking for ``"numpy"`` explicitly when it is unavailable raises
+    :class:`EngineError` rather than silently degrading.
+    """
+    if preference == "auto":
+        return "numpy" if numpy_available() else "python"
+    if preference == "python":
+        return "python"
+    if preference == "numpy":
+        if not numpy_available():
+            raise EngineError(
+                "numpy backend requested but numpy is not available "
+                "(install the 'fast' extra: pip install repro[fast])"
+            )
+        return "numpy"
+    raise ValueError(
+        f"unknown engine backend {preference!r}; expected one of {BACKENDS}"
+    )
+
+
+@dataclass
+class WordRun:
+    """Result of one sequential engine run over an input word."""
+
+    outputs: List[Optional[Output]]
+    final_state: State
+    #: Post-transition state occupancy, same semantics as the datapath's
+    #: ``state_visits`` probe counter (one count per cycle, keyed by the
+    #: state ST-REG latches).
+    visits: Dict[State, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+
+class CompiledFSM:
+    """An FSM lowered to dense next-state/output tables.
+
+    Flat layout, one integer per entry: address
+    ``input_code * n_states + state_code`` — exactly the Fig. 5 RAM
+    address split into its two fields.  Codes are the
+    :class:`~repro.hw.signals.SymbolEncoder` codes (= alphabet indices),
+    so a table compiled from live RAM words needs no per-entry decode.
+
+    Build with :meth:`from_fsm` or :meth:`from_hardware`; execute with
+    :meth:`step_batch` (one step across many lanes), :meth:`run_word`
+    (one sequential stream) or :meth:`run_words` (many streams).
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[Input],
+        states: Sequence[State],
+        outputs: Sequence[Output],
+        next_table: List[int],
+        out_table: List[int],
+        reset_state: State,
+        backend: str = "auto",
+        source: object = None,
+        source_version: Optional[int] = None,
+    ):
+        self.inputs = tuple(inputs)
+        self.states = tuple(states)
+        self.outputs = tuple(outputs)
+        self.n_inputs = len(self.inputs)
+        self.n_states = len(self.states)
+        if len(next_table) != self.n_inputs * self.n_states:
+            raise ValueError("next_table size mismatch")
+        if len(out_table) != self.n_inputs * self.n_states:
+            raise ValueError("out_table size mismatch")
+        self.next_table = next_table
+        self.out_table = out_table
+        self.reset_state = reset_state
+        self.backend = resolve_backend(backend)
+        self.source = source
+        self.source_version = source_version
+        self._invalidated = False
+        self._input_code = {sym: i for i, sym in enumerate(self.inputs)}
+        self._state_code = {sym: i for i, sym in enumerate(self.states)}
+        self._np_next = None
+        self._np_out = None
+        if self.backend == "numpy":
+            np = _numpy()
+            self._np_next = np.asarray(next_table, dtype=np.int64)
+            self._np_out = np.asarray(out_table, dtype=np.int64)
+        _instruments.ENGINE_COMPILES.inc(
+            backend=self.backend,
+            origin="hardware" if source_version is not None else "fsm",
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fsm(cls, fsm: FSM, backend: str = "auto") -> "CompiledFSM":
+        """Lower a behavioural machine's transition table directly."""
+        input_enc = SymbolEncoder(Alphabet(fsm.inputs))
+        state_enc = SymbolEncoder(Alphabet(fsm.states))
+        output_enc = SymbolEncoder(Alphabet(fsm.outputs))
+        n_states = len(fsm.states)
+        size = len(fsm.inputs) * n_states
+        next_table = [_UNSET] * size
+        out_table = [_UNSET] * size
+        for trans in fsm.transitions():
+            addr = (
+                input_enc.encode(trans.input).value * n_states
+                + state_enc.encode(trans.source).value
+            )
+            next_table[addr] = state_enc.encode(trans.target).value
+            out_table[addr] = output_enc.encode(trans.output).value
+        return cls(
+            fsm.inputs,
+            fsm.states,
+            fsm.outputs,
+            next_table,
+            out_table,
+            fsm.reset_state,
+            backend=backend,
+            source=fsm,
+        )
+
+    @classmethod
+    def from_hardware(cls, hw, backend: str = "auto") -> "CompiledFSM":
+        """Snapshot a live datapath's committed RAM words into tables.
+
+        The RAM word values *are* the superset-alphabet indices (the
+        :class:`~repro.hw.signals.SymbolEncoder` encoding), so the
+        snapshot is a straight copy plus range checks.  Remembers
+        ``hw.table_version`` so :meth:`is_stale` detects any later RAM
+        mutation — reconfiguration writes, fault injection, erasure —
+        as well as RST-MUX retargets.
+        """
+        inputs = hw.input_enc.alphabet.symbols
+        states = hw.state_enc.alphabet.symbols
+        outputs = hw.output_enc.alphabet.symbols
+        n_states = len(states)
+        n_outputs = len(outputs)
+        size = len(inputs) * n_states
+        next_table = [_UNSET] * size
+        out_table = [_UNSET] * size
+        version = hw.table_version
+        for i_code, i_sym in enumerate(inputs):
+            for s_code in range(n_states):
+                ram_addr = hw._address(i_sym, states[s_code]).value
+                f_word = hw.f_ram.peek(ram_addr)
+                g_word = hw.g_ram.peek(ram_addr)
+                addr = i_code * n_states + s_code
+                if f_word is not None and f_word < n_states:
+                    next_table[addr] = f_word
+                # f garbage (>= n_states) stays _UNSET: both unwritten and
+                # undecodable words make the datapath raise on traversal.
+                if g_word is not None:
+                    out_table[addr] = g_word if g_word < n_outputs else _GARBAGE
+        return cls(
+            inputs,
+            states,
+            outputs,
+            next_table,
+            out_table,
+            hw.reset_state,
+            backend=backend,
+            source=hw,
+            source_version=version,
+        )
+
+    # ------------------------------------------------------------------
+    # Invalidation lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self, reason: str = "explicit") -> None:
+        """Mark the view stale; the next :meth:`is_stale` returns True."""
+        if not self._invalidated:
+            self._invalidated = True
+            _instruments.ENGINE_INVALIDATIONS.inc(reason=reason)
+
+    def is_stale(self, hw=None) -> bool:
+        """Whether this view may no longer reflect its source.
+
+        With ``hw`` given, also checks object identity (a quarantined
+        fleet shard rebuilds its datapath wholesale) and the live
+        ``table_version`` against the compile-time snapshot.
+        """
+        if self._invalidated:
+            return True
+        if hw is not None:
+            if hw is not self.source:
+                return True
+            if self.source_version is not None:
+                return hw.table_version != self.source_version
+        return False
+
+    def watch(self, reconfigurator) -> "CompiledFSM":
+        """Self-invalidate when a program is stored in the sequence ROM."""
+        reconfigurator.add_store_hook(
+            lambda _name, _program: self.invalidate(reason="store")
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _in_code(self, symbol: Input) -> int:
+        try:
+            return self._input_code[symbol]
+        except KeyError:
+            raise EngineError(
+                f"input symbol {symbol!r} not in the compiled alphabet"
+            ) from None
+
+    def _st_code(self, state: State) -> int:
+        try:
+            return self._state_code[state]
+        except KeyError:
+            raise EngineError(
+                f"state {state!r} not in the compiled state set"
+            ) from None
+
+    def step_batch(
+        self,
+        states: Sequence[State],
+        symbols: Sequence[Input],
+    ) -> Tuple[List[State], List[Optional[Output]]]:
+        """One synchronous step across ``len(states)`` independent lanes.
+
+        Lane ``j`` steps machine-in-state ``states[j]`` under input
+        ``symbols[j]``; returns the per-lane next states and outputs.
+        This is the population-evaluation kernel: every lane is one
+        replica / candidate, and on the numpy backend the whole batch is
+        two array gathers.
+        """
+        if len(states) != len(symbols):
+            raise ValueError("states and symbols must have equal length")
+        state_codes = [self._st_code(s) for s in states]
+        sym_codes = [self._in_code(i) for i in symbols]
+        next_codes, out_codes = self.step_batch_codes(sym_codes, state_codes)
+        state_syms = self.states
+        out_syms = self.outputs
+        next_states = [state_syms[code] for code in next_codes]
+        outputs: List[Optional[Output]] = [
+            out_syms[code] if code >= 0 else None for code in out_codes
+        ]
+        return next_states, outputs
+
+    def step_batch_codes(
+        self,
+        sym_codes: Sequence[int],
+        state_codes: Sequence[int],
+    ) -> Tuple[Sequence[int], Sequence[int]]:
+        """Code-level :meth:`step_batch` (no symbol decode/encode)."""
+        n_states = self.n_states
+        if self.backend == "numpy":
+            np = _numpy()
+            if np is not None:
+                syms = np.asarray(sym_codes, dtype=np.int64)
+                states = np.asarray(state_codes, dtype=np.int64)
+                addr = syms * n_states + states
+                next_codes = self._np_next[addr]
+                out_codes = self._np_out[addr]
+                if (next_codes < 0).any() or (out_codes < _UNSET).any():
+                    bad = int(np.argmax((next_codes < 0) | (out_codes < _UNSET)))
+                    raise UnconfiguredEntry(
+                        f"lane {bad}: entry ({self.inputs[sym_codes[bad]]!r}, "
+                        f"{self.states[state_codes[bad]]!r}) is not "
+                        "serveable by the compiled view"
+                    )
+                return next_codes.tolist(), out_codes.tolist()
+        nxt = self.next_table
+        out = self.out_table
+        next_codes_l: List[int] = []
+        out_codes_l: List[int] = []
+        for lane, (i_code, s_code) in enumerate(zip(sym_codes, state_codes)):
+            addr = i_code * n_states + s_code
+            ns = nxt[addr]
+            oc = out[addr]
+            if ns < 0 or oc < _UNSET:
+                raise UnconfiguredEntry(
+                    f"lane {lane}: entry ({self.inputs[i_code]!r}, "
+                    f"{self.states[s_code]!r}) is not serveable by the "
+                    "compiled view"
+                )
+            next_codes_l.append(ns)
+            out_codes_l.append(oc)
+        return next_codes_l, out_codes_l
+
+    def run_word(
+        self, symbols: Sequence[Input], start: Optional[State] = None
+    ) -> "WordRun":
+        """Sequential run of one stream; the fleet serving hot loop.
+
+        A single stateful stream cannot be lane-parallelised (each step
+        needs the previous step's state), so both backends use the same
+        tight Python loop here — already ~an order of magnitude faster
+        than clocking the netlist symbol by symbol.
+        """
+        state_code = self._st_code(
+            self.reset_state if start is None else start
+        )
+        nxt = self.next_table
+        out = self.out_table
+        n_states = self.n_states
+        in_code = self._input_code
+        out_syms = self.outputs
+        outputs: List[Optional[Output]] = []
+        append = outputs.append
+        visit_counts = [0] * n_states
+        for symbol in symbols:
+            try:
+                addr = in_code[symbol] * n_states + state_code
+            except KeyError:
+                raise EngineError(
+                    f"input symbol {symbol!r} not in the compiled alphabet"
+                ) from None
+            ns = nxt[addr]
+            oc = out[addr]
+            if ns < 0 or oc < _UNSET:
+                raise UnconfiguredEntry(
+                    f"entry ({symbol!r}, {self.states[state_code]!r}) is "
+                    "not serveable by the compiled view"
+                )
+            append(out_syms[oc] if oc >= 0 else None)
+            state_code = ns
+            visit_counts[ns] += 1
+        visits = {
+            self.states[code]: count
+            for code, count in enumerate(visit_counts)
+            if count
+        }
+        return WordRun(
+            outputs=outputs,
+            final_state=self.states[state_code],
+            visits=visits,
+        )
+
+    def run_words(
+        self,
+        words: Sequence[Sequence[Input]],
+        start: Optional[State] = None,
+    ) -> List["WordRun"]:
+        """Run many independent words, each from ``start`` (or reset).
+
+        On the numpy backend the words become lanes of a time-major
+        batch: one masked table gather per time step serves every word
+        at once.  On the python backend this is a loop of
+        :meth:`run_word` (same results, same errors).
+        """
+        if self.backend == "numpy":
+            np = _numpy()
+            if np is not None:
+                return self._run_words_numpy(np, words, start)
+        return [self.run_word(word, start=start) for word in words]
+
+    def _run_words_numpy(self, np, words, start):
+        n_words = len(words)
+        if n_words == 0:
+            return []
+        lengths = [len(w) for w in words]
+        horizon = max(lengths)
+        in_code = self._input_code
+        sym = np.zeros((horizon, n_words), dtype=np.int64)
+        mask = np.zeros((horizon, n_words), dtype=bool)
+        for lane, word in enumerate(words):
+            for t, symbol in enumerate(word):
+                try:
+                    sym[t, lane] = in_code[symbol]
+                except KeyError:
+                    raise EngineError(
+                        f"input symbol {symbol!r} not in the compiled "
+                        "alphabet"
+                    ) from None
+                mask[t, lane] = True
+        start_code = self._st_code(self.reset_state if start is None else start)
+        states = np.full(n_words, start_code, dtype=np.int64)
+        state_seq = np.full((horizon, n_words), -1, dtype=np.int64)
+        out_seq = np.full((horizon, n_words), _UNSET, dtype=np.int64)
+        nxt = self._np_next
+        out = self._np_out
+        n_states = self.n_states
+        for t in range(horizon):
+            live = mask[t]
+            if not live.any():
+                break
+            addr = sym[t, live] * n_states + states[live]
+            ns = nxt[addr]
+            oc = out[addr]
+            if (ns < 0).any() or (oc < _UNSET).any():
+                raise UnconfiguredEntry(
+                    f"step {t}: an entry is not serveable by the "
+                    "compiled view"
+                )
+            states[live] = ns
+            state_seq[t, live] = ns
+            out_seq[t, live] = oc
+        out_syms = self.outputs
+        state_syms = self.states
+        runs: List[WordRun] = []
+        for lane, length in enumerate(lengths):
+            codes = out_seq[:length, lane].tolist()
+            outputs = [
+                out_syms[code] if code >= 0 else None for code in codes
+            ]
+            lane_states = state_seq[:length, lane]
+            uniq, counts = np.unique(lane_states, return_counts=True)
+            visits = {
+                state_syms[int(code)]: int(count)
+                for code, count in zip(uniq, counts)
+            }
+            final = (
+                state_syms[int(lane_states[length - 1])]
+                if length
+                else (self.reset_state if start is None else start)
+            )
+            runs.append(
+                WordRun(outputs=outputs, final_state=final, visits=visits)
+            )
+        return runs
+
+    # ------------------------------------------------------------------
+    def realises(self, fsm: FSM) -> bool:
+        """True when the tables hold ``fsm``'s behaviour on its domain."""
+        for trans in fsm.transitions():
+            if trans.input not in self._input_code:
+                return False
+            if trans.source not in self._state_code:
+                return False
+            addr = (
+                self._input_code[trans.input] * self.n_states
+                + self._state_code[trans.source]
+            )
+            ns = self.next_table[addr]
+            oc = self.out_table[addr]
+            if ns < 0 or oc < 0:
+                return False
+            if self.states[ns] != trans.target:
+                return False
+            if self.outputs[oc] != trans.output:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledFSM({self.n_inputs} inputs x {self.n_states} states, "
+            f"backend={self.backend!r})"
+        )

@@ -88,6 +88,14 @@ class FSMFleet:
         ``"O1"`` / ``"O2"``); forwarded to the created
         :class:`~repro.fleet.plancache.PlanCache`.  Ignored when an
         explicit ``plan_cache`` is supplied (the cache owns its level).
+    engine:
+        Batch-execution mode for the serving hot path: ``"auto"``
+        (default; compiled tables, numpy when available), ``"numpy"``
+        (require the numpy backend), ``"python"`` (compiled tables,
+        pure-Python kernel) or ``"off"`` (cycle-accurate per-symbol
+        serving only).  Serving behaviour — outputs, FIFO completion
+        order, backpressure, fault semantics — is identical in every
+        mode; the engine only changes throughput (see ``docs/engine.md``).
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class FSMFleet:
         plan_cache: Optional[PlanCache] = None,
         name: str = "fleet",
         opt_level: "str | int | None" = None,
+        engine: str = "auto",
     ):
         if n_workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -110,6 +119,7 @@ class FSMFleet:
             raise ValueError("queue_depth must be positive")
         self.name = name
         self.machine = machine
+        self.engine = engine
         self.stall_budget = stall_budget
         self.plan_cache = plan_cache or PlanCache(opt_level=opt_level)
         superset = plan_supersets([machine, *family])
@@ -125,6 +135,7 @@ class FSMFleet:
                 link_latency_s=link_latency_s,
                 trace_max_entries=trace_max_entries,
                 fleet_name=name,
+                engine=engine,
             )
             for index in range(n_workers)
         ]
@@ -251,6 +262,9 @@ class FSMFleet:
             total.migrations_done += stats.migrations_done
             total.migration_cycles += stats.migration_cycles
             total.service_downtime_cycles += stats.service_downtime_cycles
+            total.engine_batches += stats.engine_batches
+            total.engine_symbols += stats.engine_symbols
+            total.engine_fallbacks += stats.engine_fallbacks
         return total
 
     def probes(self) -> Dict[int, ProbeReport]:
@@ -260,5 +274,5 @@ class FSMFleet:
     def __repr__(self) -> str:
         return (
             f"FSMFleet(name={self.name!r}, machine={self.machine.name!r}, "
-            f"workers={self.n_workers})"
+            f"workers={self.n_workers}, engine={self.engine!r})"
         )

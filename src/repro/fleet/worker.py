@@ -6,7 +6,16 @@ for the fleet's whole machine family, Def. 4.1 supersets) and is the
 "share nothing", which is also what the single-driver guard on the
 datapath enforces.  The worker loop interleaves three duties:
 
-* **serving** — pop a batch, step its symbols, resolve its future;
+* **serving** — pop a batch, run its symbols, resolve its future.  When
+  the shard is quiescent (no migration in flight) consecutive queued
+  batches are **coalesced** and executed through the compiled batch
+  engine (:mod:`repro.engine`) — one dense-table run instead of one
+  Python ``cycle()`` per symbol — and the architectural state is
+  committed back to the datapath afterwards.  Mid-migration, after any
+  RAM mutation (the compiled view's ``table_version`` check) or on an
+  entry the compiled view cannot serve, the worker falls back to the
+  cycle-accurate per-symbol path, so behaviour (including fault
+  semantics and quarantine) is identical with the engine on or off;
 * **migrating** — between batches (and in idle gaps) run whole safe
   chunks of the pending gradual migration, never exceeding the stall
   budget per gap, exactly the paper's one-entry-per-cycle rollout;
@@ -32,12 +41,17 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.fsm import FSM, Input, Output
 from ..core.incremental import Chunk, IncrementalMigrator
+from ..engine import CompiledFSM, EngineError, resolve_backend
 from ..hw.machine import HardwareFSM
 from ..obs import instruments as _instruments
 from ..obs.probes import ProbeReport, probe_hardware
 
 #: Queue sentinel asking the worker thread to exit.
 _STOP = object()
+
+#: Upper bound on batches coalesced into one engine run; bounds both the
+#: latency of the first coalesced future and the size of one commit.
+_MAX_COALESCE = 32
 
 
 @dataclass
@@ -52,6 +66,9 @@ class ShardStats:
     migrations_done: int = 0
     migration_cycles: int = 0
     service_downtime_cycles: int = 0
+    engine_batches: int = 0
+    engine_symbols: int = 0
+    engine_fallbacks: int = 0
     last_error: Optional[str] = None
 
 
@@ -97,8 +114,13 @@ class ShardWorker(threading.Thread):
         link_latency_s: float = 0.0,
         trace_max_entries: int = 256,
         fleet_name: str = "fleet",
+        engine: str = "auto",
     ):
         super().__init__(name=f"{fleet_name}-shard-{index}", daemon=True)
+        if engine != "off":
+            resolve_backend(engine)  # fail fast on an impossible request
+        self.engine_mode = engine
+        self._compiled: Optional[CompiledFSM] = None
         self.index = index
         self.machine = machine
         self._extras = (
@@ -209,12 +231,123 @@ class ShardWorker(threading.Thread):
             shard=self.label, error=type(exc).__name__
         )
         self.hardware = self._build_hardware(self.machine)
+        if self._compiled is not None:
+            self._compiled.invalidate(reason="replaced")
+            self._compiled = None
         job = self._job
         if job is not None and not job.done.is_set():
             job._migrator = None
             job.restarts += 1
 
     # -- serving -------------------------------------------------------
+    def _compiled_view(self) -> Optional[CompiledFSM]:
+        """The compiled table view, or ``None`` when serving must be
+        cycle-accurate (engine off, migration in flight, or compile
+        impossible).  Recompiles transparently when the cached view is
+        stale (any RAM mutation, retarget or hardware replacement)."""
+        if self.engine_mode == "off":
+            return None
+        job = self._job
+        if job is not None and not job.done.is_set():
+            # Mid-migration the table mutates entry by entry between
+            # batches: serve cycle-accurately rather than recompile the
+            # blend table after every chunk.
+            return None
+        compiled = self._compiled
+        hw = self.hardware
+        if compiled is not None and not compiled.is_stale(hw):
+            return compiled
+        if compiled is not None:
+            compiled.invalidate(
+                reason="stale" if compiled.source is hw else "replaced"
+            )
+        try:
+            self._compiled = CompiledFSM.from_hardware(
+                hw, backend=self.engine_mode
+            )
+        except EngineError:
+            self._compiled = None
+        return self._compiled
+
+    def _coalesce(self, first: _Batch):
+        """Drain immediately-available batches behind ``first``.
+
+        Stops at the first control item (_STOP / _Fault) so queue order
+        is preserved: everything drained was submitted before it.
+        Returns ``(batches, control_or_None)``.
+        """
+        batches = [first]
+        control = None
+        while len(batches) < _MAX_COALESCE:
+            try:
+                item = self.queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, _Batch):
+                batches.append(item)
+            else:
+                control = item
+                break
+        return batches, control
+
+    def _serve_run(self, batches: List[_Batch]) -> None:
+        """Serve a coalesced run of batches, engine first.
+
+        Futures resolve in submission order (per-shard FIFO is part of
+        the pool's contract).  Any engine miss — an entry the compiled
+        view cannot serve, an out-of-alphabet symbol — replays the
+        batches on the cycle-accurate datapath from the exact same
+        state (the compiled run never mutates the hardware), so fault
+        behaviour and quarantine semantics are unchanged.
+        """
+        compiled = self._compiled_view()
+        if compiled is None:
+            if self.engine_mode != "off":
+                self.stats.engine_fallbacks += len(batches)
+                _instruments.ENGINE_FALLBACKS.inc(reason="migration")
+            for batch in batches:
+                self._serve(batch)
+            return
+        started = time.perf_counter()
+        downtime_before = self._downtime()
+        symbols: List[Input] = []
+        for batch in batches:
+            symbols.extend(batch.symbols)
+        try:
+            run = compiled.run_word(symbols, start=self.hardware.state)
+        except EngineError:
+            self.stats.engine_fallbacks += len(batches)
+            _instruments.ENGINE_FALLBACKS.inc(reason="unconfigured")
+            for batch in batches:
+                self._serve(batch)
+            return
+        self.hardware.commit_engine_run(
+            run.final_state, len(symbols), run.visits
+        )
+        if self.link_latency_s:
+            # One device round-trip for the whole coalesced run — the
+            # latency amortisation batching exists for.
+            time.sleep(self.link_latency_s)
+        self.stats.service_downtime_cycles += (
+            self._downtime() - downtime_before
+        )
+        cursor = 0
+        for batch in batches:
+            size = len(batch.symbols)
+            batch.future.set_result(run.outputs[cursor:cursor + size])
+            cursor += size
+            self.stats.batches_ok += 1
+            _instruments.FLEET_BATCHES.inc(outcome="ok", shard=self.label)
+        self.stats.symbols_served += len(symbols)
+        self.stats.engine_batches += len(batches)
+        self.stats.engine_symbols += len(symbols)
+        _instruments.FLEET_SYMBOLS.inc(len(symbols), shard=self.label)
+        _instruments.ENGINE_SERVED.inc(len(symbols), path="compiled")
+        _instruments.ENGINE_BATCH_SIZE.observe(len(symbols))
+        _instruments.FLEET_BATCH_SECONDS.observe(
+            time.perf_counter() - started, shard=self.label
+        )
+
     def _serve(self, batch: _Batch) -> None:
         started = time.perf_counter()
         downtime_before = self._downtime()
@@ -239,6 +372,7 @@ class ShardWorker(threading.Thread):
         self.stats.symbols_served += len(batch.symbols)
         _instruments.FLEET_BATCHES.inc(outcome="ok", shard=self.label)
         _instruments.FLEET_SYMBOLS.inc(len(batch.symbols), shard=self.label)
+        _instruments.ENGINE_SERVED.inc(len(batch.symbols), path="cycle")
         _instruments.FLEET_BATCH_SECONDS.observe(
             time.perf_counter() - started, shard=self.label
         )
@@ -248,6 +382,15 @@ class ShardWorker(threading.Thread):
     def stop(self) -> None:
         """Ask the worker to exit once its queue (and migration) drain."""
         self._stopping.set()
+
+    def _handle_control(self, item) -> None:
+        if item is _STOP:
+            self._stopping.set()
+        elif isinstance(item, _Fault):
+            try:
+                item.future.set_result(item.inject(self.hardware))
+            except Exception as exc:
+                item.future.set_exception(exc)
 
     def run(self) -> None:  # pragma: no cover - exercised via the pool
         while True:
@@ -261,17 +404,21 @@ class ShardWorker(threading.Thread):
                 ):
                     return
                 continue
-            try:
-                if item is _STOP:
-                    self._stopping.set()
-                    continue
-                if isinstance(item, _Fault):
-                    try:
-                        item.future.set_result(item.inject(self.hardware))
-                    except Exception as exc:
-                        item.future.set_exception(exc)
-                    continue
-                self._migration_tick()
-                self._serve(item)
-            finally:
-                self.queue.task_done()
+            if isinstance(item, _Batch):
+                # Coalesce whatever is already waiting behind this batch
+                # (up to the next control item, which arrived after them
+                # and is handled after them) into one engine run.
+                batches, control = self._coalesce(item)
+                try:
+                    self._migration_tick()
+                    self._serve_run(batches)
+                finally:
+                    for _ in batches:
+                        self.queue.task_done()
+            else:
+                control = item
+            if control is not None:
+                try:
+                    self._handle_control(control)
+                finally:
+                    self.queue.task_done()

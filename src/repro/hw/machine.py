@@ -110,6 +110,7 @@ class HardwareFSM:
             self.state_enc.width, self.state_enc.encode(fsm.reset_state), name="ST-REG"
         )
         self._reset_code = self.state_enc.encode(fsm.reset_state)
+        self._retargets = 0
         self.trace = TraceRecorder(max_entries=trace_max_entries)
         self.cycles = 0
         # Probe counters a real implementation could keep in a handful
@@ -165,6 +166,20 @@ class HardwareFSM:
     def retarget_reset(self, state: State) -> None:
         """Re-wire the RST-MUX constant (needed when ``S0' ≠ S0``)."""
         self._reset_code = self.state_enc.encode(state)
+        self._retargets += 1
+
+    @property
+    def table_version(self) -> int:
+        """Monotonic generation of the machine's lookup configuration.
+
+        Changes whenever the committed F-RAM/G-RAM contents change (any
+        reconfiguration write, bulk download, fault-injected upset or
+        erasure) or the RST-MUX is retargeted.  The batch engine
+        (:mod:`repro.engine`) snapshots this when compiling the RAMs into
+        dense tables and recompiles on any mismatch, so a compiled view
+        can never serve a stale table.
+        """
+        return self.f_ram.version + self.g_ram.version + self._retargets
 
     def table_entry(self, i: Input, s: State) -> Optional[Tuple[State, Output]]:
         """Decode one (F-RAM, G-RAM) entry; ``None`` when unconfigured."""
@@ -289,6 +304,49 @@ class HardwareFSM:
             )
         )
         return None if reset else output
+
+    def commit_engine_run(
+        self,
+        final_state: State,
+        n_cycles: int,
+        state_visits: Optional[Dict[State, int]] = None,
+    ) -> None:
+        """Fast-forward the architectural state after a batch-engine run.
+
+        The batch engine (:mod:`repro.engine`) executes normal-mode
+        symbols against a compiled snapshot of the RAM tables instead of
+        clocking the netlist; this commits the *architectural* effect of
+        those cycles back into the datapath: ST-REG latches the final
+        state and the cycle / mode-occupancy / state-visit probe counters
+        advance as if the symbols had been stepped.  Per-cycle trace
+        entries are intentionally not synthesised (the engine is the
+        fast path; drop to :meth:`step` when waveforms matter).
+
+        Holds the single-driver guard: committing concurrently with a
+        ``cycle()`` from another thread raises ``ConcurrentUseError``
+        exactly like overlapping clocking would.
+        """
+        if n_cycles < 0:
+            raise ValueError("n_cycles must be non-negative")
+        if not self._cycle_guard.acquire(blocking=False):
+            raise ConcurrentUseError(
+                f"{self.name}: commit_engine_run() called while thread "
+                f"{self._driver} is mid-cycle; HardwareFSM is "
+                "single-driver — serialise access or shard per thread"
+            )
+        self._driver = threading.get_ident()
+        try:
+            self.st_reg.drive(self.state_enc.encode(final_state))
+            self.st_reg.clock()
+            self.cycles += n_cycles
+            self.mode_cycles["normal"] += n_cycles
+            for state, count in (state_visits or {}).items():
+                self.state_visits[state] = (
+                    self.state_visits.get(state, 0) + count
+                )
+        finally:
+            self._driver = None
+            self._cycle_guard.release()
 
     def step(self, i: Input) -> Output:
         """Normal-mode cycle under external input ``i``."""

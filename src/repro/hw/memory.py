@@ -57,6 +57,12 @@ class SyncRAM:
         self._words: Dict[int, int] = {}
         self._pending: Optional[tuple] = None
         self.write_count = 0
+        # Monotonic generation counter: bumped by every mutation of the
+        # committed contents (bulk load, committed write, erase).  The
+        # batch engine (repro.engine) snapshots it when compiling a RAM
+        # into a dense table and treats any change as invalidation, so a
+        # compiled view can never serve stale words.
+        self.version = 0
 
     @property
     def depth(self) -> int:
@@ -74,6 +80,8 @@ class SyncRAM:
             self._check_addr(addr)
             self._check_data(data)
             self._words[addr] = data
+        if contents:
+            self.version += 1
 
     def peek(self, address: int) -> Optional[int]:
         """Debug read without modelling semantics; ``None`` if unwritten."""
@@ -89,7 +97,10 @@ class SyncRAM:
         feeds ST-REG).  Returns whether the word had been written.
         """
         self._check_addr(address)
-        return self._words.pop(address, None) is not None
+        erased = self._words.pop(address, None) is not None
+        if erased:
+            self.version += 1
+        return erased
 
     def read(self, address: BitVector) -> Optional[int]:
         """Combinational read; ``None`` models uninitialised contents."""
@@ -128,6 +139,7 @@ class SyncRAM:
             self._words[addr] = data
             self._pending = None
             self.write_count += 1
+            self.version += 1
 
     def dump(self) -> Dict[int, int]:
         """Copy of the current contents (committed words only)."""

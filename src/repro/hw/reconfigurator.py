@@ -53,6 +53,17 @@ class Reconfigurator:
         self._pc = 0
         self.started: List[str] = []
         self.opt_reports: Dict[str, OptReport] = {}
+        self._store_hooks: List[Callable[[str, Program], None]] = []
+
+    def add_store_hook(self, hook: Callable[[str, Program], None]) -> None:
+        """Register a callback fired after every :meth:`store`.
+
+        Used by compiled table views (:mod:`repro.engine`) to invalidate
+        themselves the moment a new reconfiguration program lands in the
+        sequence ROM — the program's replay is about to rewrite the RAMs,
+        so any dense snapshot of them is about to go stale.
+        """
+        self._store_hooks.append(hook)
 
     def store(
         self,
@@ -74,6 +85,8 @@ class Reconfigurator:
             self.opt_reports[name] = report
         rom = [Microinstruction.from_row(row) for row in program.to_sequence()]
         self._programs[name] = (rom, program.target.reset_state)
+        for hook in self._store_hooks:
+            hook(name, program)
 
     def stored(self) -> List[str]:
         """Names of all stored programs."""

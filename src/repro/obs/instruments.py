@@ -141,6 +141,36 @@ FLEET_BATCH_SECONDS = REGISTRY.histogram(
     buckets=SECONDS_BUCKETS,
 )
 
+# -- batch execution engine -------------------------------------------
+ENGINE_COMPILES = REGISTRY.counter(
+    "repro_engine_compiles_total",
+    "CompiledFSM table compilations, by backend and origin "
+    "(fsm / hardware).",
+)
+ENGINE_INVALIDATIONS = REGISTRY.counter(
+    "repro_engine_invalidations_total",
+    "Compiled-view invalidations, by reason "
+    "(stale / replaced / store / explicit).",
+)
+ENGINE_FALLBACKS = REGISTRY.counter(
+    "repro_engine_fallbacks_total",
+    "Engine runs that fell back to the cycle-accurate datapath, by "
+    "reason (migration / unconfigured / error).",
+)
+ENGINE_SERVED = REGISTRY.counter(
+    "repro_engine_symbols_total",
+    "Input symbols executed, by path (compiled / cycle).",
+)
+ENGINE_BATCH_SIZE = REGISTRY.histogram(
+    "repro_engine_batch_size",
+    "Symbols per coalesced engine run on the fleet serving path.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+)
+ENGINE_NUMPY_AVAILABLE = REGISTRY.gauge(
+    "repro_engine_numpy_available",
+    "1 when the numpy fast path is importable and enabled, else 0.",
+)
+
 # -- plan cache --------------------------------------------------------
 PLAN_CACHE_REQUESTS = REGISTRY.counter(
     "repro_plan_cache_requests_total",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..api import METHODS  # noqa: F401  (re-exported for compatibility)
 from ..core.fsm import FSM, Input
 from ..obs import instruments as _instruments
 from ..obs.probes import probe_hardware, publish
@@ -180,10 +181,6 @@ def traffic_words(
     ]
 
 
-#: The synthesis methods the suite runner (and the CLI) can dispatch.
-METHODS = ("jsr", "ea", "greedy", "tsp", "optimal")
-
-
 def synthesise_program(
     method: str,
     source: FSM,
@@ -191,39 +188,27 @@ def synthesise_program(
     seed: int = 0,
     opt_level: "str | int | None" = None,
 ):
-    """Dispatch one named synthesiser (the CLI's ``--method`` choices).
+    """Deprecated: use :func:`repro.api.synthesise` instead.
 
-    With an ``opt_level``, the synthesised program additionally runs
-    through the standard pass pipeline (``repro.core.passes``) before
-    being returned.
+    Thin shim kept for one release; dispatches through the stable
+    facade with an :class:`repro.api.Options` built from the old
+    positional arguments.
     """
-    if method == "jsr":
-        from ..core.jsr import jsr_program
+    import warnings
 
-        program = jsr_program(source, target)
-    elif method == "ea":
-        from ..core.ea import EAConfig, ea_program
+    from .. import api
 
-        program = ea_program(source, target, config=EAConfig(seed=seed))
-    elif method == "greedy":
-        from ..core.greedy import greedy_program
-
-        program = greedy_program(source, target)
-    elif method == "tsp":
-        from ..analysis.tsp import tsp_program
-
-        program = tsp_program(source, target)
-    elif method == "optimal":
-        from ..core.optimal import optimal_program
-
-        program = optimal_program(source, target)
-    else:
-        raise ValueError(f"unknown method {method!r}")
-    if opt_level is not None:
-        from ..core.passes import optimise_program
-
-        program, _report = optimise_program(program, opt_level)
-    return program
+    warnings.warn(
+        "repro.workloads.suite.synthesise_program is deprecated; use "
+        "repro.api.synthesise(source, target, options=Options(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return api.synthesise(
+        source,
+        target,
+        options=api.Options(method=method, seed=seed, opt_level=opt_level),
+    )
 
 
 def run_migration_suite(
@@ -231,6 +216,7 @@ def run_migration_suite(
     seed: int = 0,
     hardware: bool = True,
     opt_level: "str | int | None" = None,
+    engine: str = "off",
 ) -> List[Dict[str, Any]]:
     """Run every suite workload with one method, fully instrumented.
 
@@ -238,8 +224,14 @@ def run_migration_suite(
     synthesised program is additionally replayed on the cycle-accurate
     datapath, the RAM contents checked against the target, and the
     hardware probe counters published to the metrics registry under a
-    ``workload`` label.  Returns one result row per workload.
+    ``workload`` label.  With an ``engine`` mode other than ``"off"``
+    the migrated RAMs are additionally compiled into the batch engine's
+    dense tables and differentially checked — seeded traffic through
+    :meth:`repro.engine.CompiledFSM.run_words` must match the target
+    machine's reference outputs word for word.  Returns one result row
+    per workload.
     """
+    from .. import api
     from ..core.delta import delta_count
     from ..hw.machine import HardwareFSM
 
@@ -247,16 +239,39 @@ def run_migration_suite(
     for name, factory in sorted(migration_suite().items()):
         with _span("suite.workload", workload=name, method=method) as sp:
             source, target = factory()
-            program = synthesise_program(
-                method, source, target, seed, opt_level=opt_level
+            program = api.synthesise(
+                source,
+                target,
+                options=api.Options(
+                    method=method, seed=seed, opt_level=opt_level
+                ),
             )
             ok = program.is_valid()
             hw_ok: Optional[bool] = None
+            engine_ok: Optional[bool] = None
             if hardware:
                 hw = HardwareFSM.for_migration(source, target)
                 hw.run_program(program)
                 hw_ok = hw.realises(target)
                 ok = ok and hw_ok
+                if engine != "off" and hw_ok:
+                    from ..engine import CompiledFSM, EngineError
+
+                    words = traffic_words(target, 16, 8, seed=seed)
+                    try:
+                        compiled = CompiledFSM.from_hardware(
+                            hw, backend=engine
+                        )
+                        runs = compiled.run_words(
+                            words, start=target.reset_state
+                        )
+                        engine_ok = all(
+                            run.outputs == target.run(word)
+                            for run, word in zip(runs, words)
+                        )
+                    except EngineError:
+                        engine_ok = False
+                    ok = ok and engine_ok
                 publish(probe_hardware(hw), workload=name)
             sp.attrs["length"] = len(program)
             sp.attrs["valid"] = ok
@@ -270,5 +285,7 @@ def run_migration_suite(
             "writes": program.write_count,
             "valid": ok,
         }
+        if engine_ok is not None:
+            row["engine"] = engine_ok
         rows.append(row)
     return rows

@@ -160,8 +160,10 @@ class TestSynthesisersUseBuilder:
 
     @pytest.mark.parametrize("method", ["jsr", "ea", "greedy", "tsp", "optimal"])
     def test_methods_valid_on_fig6(self, method):
-        from repro.workloads.suite import synthesise_program
+        from repro import api
 
         source, target = fig6_m(), fig6_m_prime()
-        program = synthesise_program(method, source, target)
+        program = api.synthesise(
+            source, target, options=api.Options(method=method)
+        )
         assert program.is_valid()

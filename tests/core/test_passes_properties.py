@@ -24,14 +24,20 @@ from repro.core.optimal import SearchLimitExceeded, optimal_program
 from repro.core.passes import OPT_LEVELS, optimise_chunks, optimise_program
 from repro.core.program import ReplayMachine
 from repro.fleet.plancache import order_chunks
+from repro import api
 from repro.workloads.mutate import grow_target, mutate_target
 from repro.workloads.random_fsm import random_fsm
-from repro.workloads.suite import METHODS, synthesise_program
 
 # the exact search blows up on larger random instances; property-test the
 # heuristics everywhere and the exact optimiser implicitly via its unit
 # tests (it rarely leaves anything for the passes to find anyway)
-_PROPERTY_METHODS = tuple(m for m in METHODS if m != "optimal")
+_PROPERTY_METHODS = tuple(m for m in api.METHODS if m != "optimal")
+
+
+def _synthesise(method, source, target, seed):
+    return api.synthesise(
+        source, target, options=api.Options(method=method, seed=seed)
+    )
 
 
 @st.composite
@@ -60,7 +66,7 @@ def migrations(draw, max_states=7):
 )
 def test_optimized_program_is_valid_and_never_longer(pair, method, level):
     source, target = pair
-    program = synthesise_program(method, source, target, seed=3)
+    program = _synthesise(method, source, target, seed=3)
     assert program.is_valid()
     optimized, report = optimise_program(program, level)
     assert optimized.is_valid()
@@ -74,7 +80,7 @@ def test_optimized_program_is_valid_and_never_longer(pair, method, level):
 @given(migrations(), st.sampled_from(_PROPERTY_METHODS))
 def test_o2_is_a_fixpoint(pair, method):
     source, target = pair
-    program = synthesise_program(method, source, target, seed=3)
+    program = _synthesise(method, source, target, seed=3)
     once, _ = optimise_program(program, "O2")
     twice, _ = optimise_program(once, "O2")
     assert twice.steps == once.steps

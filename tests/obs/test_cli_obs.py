@@ -210,7 +210,7 @@ class TestFailureDetail:
     def test_verify_prints_detail_before_summary(
         self, kiss_files, capsys, monkeypatch
     ):
-        import repro.cli as cli_module
+        import repro.core.verify as verify_module
         from repro.core.verify import VerificationResult
 
         src, tgt = kiss_files
@@ -221,7 +221,7 @@ class TestFailureDetail:
             failures=[(["1", "0"], ["0", "1"], ["0", "0"])],
         )
         monkeypatch.setattr(
-            cli_module, "verify_hardware", lambda *a, **k: fake
+            verify_module, "verify_hardware", lambda *a, **k: fake
         )
         assert main(["verify", src, tgt, "--method", "jsr"]) == 1
         out = capsys.readouterr().out
