@@ -10,9 +10,13 @@ workload:
 * **numpy** — the vectorized lane-batch kernel
   (``CompiledFSM.run_words``), when numpy is importable.
 
-plus end-to-end fleet serving throughput with 1 and 4 workers, engine
-on vs off.  Writes ``BENCH_engine_throughput.json`` at the repository
-root and exits non-zero (the CI ``engine`` job's gate) if:
+plus one dispatcher-driven serving row per *registered* execution
+backend (``repro.exec``: select → run_batch → commit, the fleet's hot
+path without the threads; unavailable backends record why they were
+skipped), and end-to-end fleet serving throughput with 1 and 4
+workers, engine on vs off.  Writes ``BENCH_engine_throughput.json`` at
+the repository root and exits non-zero (the CI ``engine`` job's gate)
+if:
 
 * the pure-Python batch kernel is *slower* than per-cycle serving
   (speedup < 1x — the engine must never be a pessimisation), or
@@ -30,6 +34,7 @@ import sys
 import time
 
 from repro.engine import CompiledFSM, numpy_available
+from repro.exec import Dispatcher, specs
 from repro.fleet import FSMFleet
 from repro.hw.machine import HardwareFSM
 from repro.workloads.library import sequence_detector
@@ -90,6 +95,31 @@ def kernel_rows(machine, words):
     return n_symbols, rows
 
 
+def backend_rows(machine, words):
+    """Dispatcher-driven serving throughput, one row per registered
+    backend (the exec layer's view: select → run_batch → commit)."""
+    n_symbols = sum(len(w) for w in words)
+    rows = {}
+    for spec in specs():
+        if not spec.available():
+            rows[spec.name] = {
+                "skipped": spec.unavailable_reason() or "unavailable",
+            }
+            continue
+
+        def serve(mode=spec.name):
+            hw = HardwareFSM(machine, trace_max_entries=16)
+            dispatcher = Dispatcher(mode)
+            for word in words:
+                dispatcher.select(hw).backend.run_batch(word)
+
+        seconds = _best_seconds(serve)
+        rows[spec.name] = {
+            "seconds": seconds, "symbols_per_s": n_symbols / seconds,
+        }
+    return rows
+
+
 def fleet_row(machine, words, n_workers: int, engine: str):
     n_symbols = sum(len(w) for w in words)
     fleet = FSMFleet(
@@ -121,6 +151,7 @@ def main() -> int:
     machine = sequence_detector("1011")
     words = traffic_words(machine, N_WORDS, WORD_LEN, seed=0)
     n_symbols, kernels = kernel_rows(machine, words)
+    backends = backend_rows(machine, words)
 
     fleet_words = words[:128]
     fleets = [
@@ -154,6 +185,7 @@ def main() -> int:
         "n_symbols": n_symbols,
         "numpy_available": numpy_available(),
         "kernels": kernels,
+        "backends": backends,
         "speedups_vs_per_cycle": {
             k: round(v, 2) for k, v in speedups.items()
         },
@@ -177,6 +209,14 @@ def main() -> int:
             f"  {name:10s}: {row['symbols_per_s']:12,.0f} symbols/s"
             f"{speedup}"
         )
+    for name, row in backends.items():
+        if "skipped" in row:
+            print(f"  backend {name:12s}: skipped ({row['skipped']})")
+        else:
+            print(
+                f"  backend {name:12s}: {row['symbols_per_s']:12,.0f} "
+                f"symbols/s (dispatcher-driven)"
+            )
     for row in fleets:
         print(
             f"  fleet {row['workers']}w engine={row['engine']:4s}: "

@@ -77,6 +77,11 @@ class Options:
     ``engine``
         Batch-engine mode for :func:`serve` / :func:`compile_fsm`
         (one of :data:`ENGINE_MODES`).
+    ``backend``
+        Explicit execution backend (``"cycle"``, ``"table-py"``,
+        ``"table-numpy"`` or an engine-mode alias); ``None`` defers to
+        ``engine`` / the ``REPRO_BACKEND`` environment variable /
+        auto selection, in that order (see :mod:`repro.exec`).
     ``extra_states``
         W-method bound on implementation state growth for
         :func:`verify`.
@@ -90,6 +95,7 @@ class Options:
     seed: int
     metrics: bool
     engine: str
+    backend: Optional[str]
     extra_states: int
 
     def __init__(
@@ -100,6 +106,7 @@ class Options:
         seed: int = 0,
         metrics: bool = False,
         engine: str = "auto",
+        backend: Optional[str] = None,
         extra_states: int = 0,
     ):
         if method not in METHODS:
@@ -115,6 +122,10 @@ class Options:
                 f"unknown engine mode {engine!r}; expected one of "
                 f"{ENGINE_MODES}"
             )
+        if backend is not None:
+            from .exec import canonical
+
+            backend = canonical(backend)  # ValueError on unknown names
         if extra_states < 0:
             raise ValueError("extra_states must be non-negative")
         object.__setattr__(self, "method", method)
@@ -122,7 +133,14 @@ class Options:
         object.__setattr__(self, "seed", int(seed))
         object.__setattr__(self, "metrics", bool(metrics))
         object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "backend", backend)
         object.__setattr__(self, "extra_states", int(extra_states))
+
+    @property
+    def execution(self) -> str:
+        """The effective execution preference: ``backend`` when pinned,
+        else the ``engine`` mode (resolved by :mod:`repro.exec`)."""
+        return self.backend if self.backend is not None else self.engine
 
 
 def _options(options: Optional[Options]) -> Options:
@@ -296,7 +314,7 @@ def serve(
         n_workers=n_workers,
         family=family,
         opt_level=opts.opt_level,
-        engine=opts.engine,
+        engine=opts.execution,
         **fleet_kwargs,
     )
 
@@ -306,22 +324,12 @@ def compile_fsm(machine, *, options: Optional[Options] = None):
 
     Accepts either a behavioural :class:`~repro.core.fsm.FSM` or a live
     :class:`~repro.hw.machine.HardwareFSM` (whose committed RAM words
-    are snapshotted, version-stamped for staleness detection).  The
-    backend follows ``options.engine`` (``"off"`` is rejected — compiling
-    with the engine off is a contradiction).
+    are snapshotted, version-stamped for staleness detection).  Which
+    table kernel compiles — and the rejection of ``"off"``/``"cycle"``,
+    which have no tables — is entirely
+    :func:`repro.exec.compile_tables`'s decision.
     """
     opts = _options(options)
-    from .engine import CompiledFSM, EngineError
+    from .exec import compile_tables
 
-    if opts.engine == "off":
-        raise EngineError("cannot compile with engine mode 'off'")
-    if isinstance(machine, FSM):
-        return CompiledFSM.from_fsm(machine, backend=opts.engine)
-    from .hw.machine import HardwareFSM
-
-    if isinstance(machine, HardwareFSM):
-        return CompiledFSM.from_hardware(machine, backend=opts.engine)
-    raise TypeError(
-        f"compile_fsm expects an FSM or HardwareFSM, not "
-        f"{type(machine).__name__}"
-    )
+    return compile_tables(machine, preference=opts.execution)

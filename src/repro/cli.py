@@ -493,7 +493,8 @@ def cmd_stats(args) -> int:
     report = probe_hardware(hw)
     publish(report)
     print(report.render())
-    from .engine import numpy_available, resolve_backend
+    from .engine import numpy_available
+    from .exec import resolve
 
     if numpy_available():
         numpy_note = "numpy available"
@@ -502,11 +503,56 @@ def cmd_stats(args) -> int:
             "numpy absent — pure-Python batch kernel; "
             "pip install repro[fast]"
         )
-    print(f"\nengine: backend={resolve_backend('auto')} ({numpy_note})")
+    print(f"\nengine: backend={resolve('auto')} ({numpy_note})")
     if verdict is not None:
         print()
         print(verdict)
     return 0 if ok else 1
+
+
+def cmd_backends(args) -> int:
+    """List registered execution backends and the dispatcher's pick."""
+    from .exec import BackendUnavailable, resolve, specs
+
+    def _mark(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    rows = []
+    for spec in specs():
+        available = spec.available()
+        availability = "yes" if available else (
+            f"no — {spec.unavailable_reason()}"
+        )
+        row = {"backend": spec.name}
+        for flag, value in spec.capabilities.flags().items():
+            row[flag.replace("_", "-")] = _mark(value)
+        row["available"] = availability
+        rows.append(row)
+    print(format_table(rows, title="registered execution backends"))
+    print()
+    for spec in specs():
+        print(f"{spec.name}: {spec.summary}")
+    preference = args.backend if args.backend is not None else args.engine
+    try:
+        opts = Options(
+            engine=args.engine,
+            **({} if args.backend is None else {"backend": args.backend}),
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+    try:
+        pick = resolve(opts.execution)
+    except BackendUnavailable as exc:
+        print(
+            f"\ndispatcher pick for {preference!r}: ERROR — {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    forced = os.environ.get("REPRO_BACKEND")
+    via = f" (REPRO_BACKEND={forced})" if forced and preference == "auto" \
+        else ""
+    print(f"\ndispatcher pick for {preference!r}: {pick}{via}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -674,6 +720,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_opt_level(p)
     add_trace_out(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "backends",
+        help="list registered execution backends, capability flags, "
+             "availability, and the dispatcher's pick",
+    )
+    add_engine(p)
+    p.add_argument(
+        "--backend",
+        default=None,
+        help="explicit backend pin (cycle, table-py, table-numpy, or an "
+             "engine-mode alias); default: defer to --engine / "
+             "REPRO_BACKEND",
+    )
+    p.set_defaults(func=cmd_backends)
 
     for name, handler, extra_help in (
         ("synth", cmd_synth, "synthesise a reconfiguration program"),

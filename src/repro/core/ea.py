@@ -189,15 +189,20 @@ def _evolve_program(
         """Batch-evaluate one generation's uncached genomes at once.
 
         The population-level evaluation hook: every distinct genome of
-        the generation is decoded in one pass before selection touches
-        any of them, so ranking and tournaments below always hit the
-        cache.  Behaviour-identical to lazy evaluation (the decoder is
-        pure and every population member is ranked each generation) but
-        structured the way population-level FSM evaluation wants it —
+        the generation is decoded in one pass — routed through the
+        execution layer's batch entry point
+        (:func:`repro.exec.map_batch`), the same seam the fleet and the
+        suite evaluate batches through — before selection touches any
+        of them, so ranking and tournaments below always hit the cache.
+        Behaviour-identical to lazy evaluation (the decoder is pure and
+        every population member is ranked each generation) but
+        structured the way population-level FSM evaluation wants it:
         one batch per generation, amenable to parallel/vectorized
-        decoders.
+        decoders behind the same entry point.
         """
         nonlocal evaluations
+        from ..exec.batching import map_batch
+
         fresh: List[Tuple[int, ...]] = []
         seen = set()
         for genome in genomes:
@@ -205,8 +210,11 @@ def _evolve_program(
             if key not in fitness_cache and key not in seen:
                 seen.add(key)
                 fresh.append(key)
-        for key in fresh:
-            fitness_cache[key] = len(decode(key))
+        lengths = map_batch(
+            lambda key: len(decode(key)), fresh, site="ea.fitness"
+        )
+        for key, length in zip(fresh, lengths):
+            fitness_cache[key] = length
         evaluations += len(fresh)
 
     population: List[List[int]] = []

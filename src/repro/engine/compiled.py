@@ -108,27 +108,20 @@ def numpy_available() -> bool:
 
 
 def resolve_backend(preference: str = "auto") -> str:
-    """Map a backend preference to the concrete backend to use.
+    """Map a backend preference to the concrete kernel to use.
 
-    ``"auto"`` picks numpy when importable (and not disabled via the
-    ``REPRO_DISABLE_NUMPY`` environment variable), else pure Python.
-    Asking for ``"numpy"`` explicitly when it is unavailable raises
+    Delegates to the shared resolver in :mod:`repro.exec.registry`
+    (one resolution policy for compile time and dispatch time):
+    ``"auto"`` honours ``REPRO_BACKEND`` (table spellings only — a
+    forced ``cycle`` selects a serving substrate and cannot steer a
+    table compilation) and then picks numpy when importable and not
+    disabled via ``REPRO_DISABLE_NUMPY``, else pure Python.  Asking for
+    ``"numpy"`` explicitly when it is unavailable raises
     :class:`EngineError` rather than silently degrading.
     """
-    if preference == "auto":
-        return "numpy" if numpy_available() else "python"
-    if preference == "python":
-        return "python"
-    if preference == "numpy":
-        if not numpy_available():
-            raise EngineError(
-                "numpy backend requested but numpy is not available "
-                "(install the 'fast' extra: pip install repro[fast])"
-            )
-        return "numpy"
-    raise ValueError(
-        f"unknown engine backend {preference!r}; expected one of {BACKENDS}"
-    )
+    from ..exec.registry import resolve_tables  # deferred: import cycle
+
+    return resolve_tables(preference)
 
 
 @dataclass

@@ -1,0 +1,279 @@
+"""The built-in execution backends: the netlist and the table kernels.
+
+Both implement :class:`~repro.exec.protocol.ExecutionBackend`; the
+dispatcher and the fleet hot path only ever see that contract.
+
+* :class:`CycleBackend` wraps a live
+  :class:`~repro.hw.machine.HardwareFSM`: every step is a real clocked
+  cycle (traces, probe counters, exact fault behaviour).  It reads the
+  live blend table, so it is the one backend that may serve while a
+  migration mutates the RAMs entry by entry.
+* :class:`TableBackend` wraps a :class:`~repro.engine.CompiledFSM`
+  snapshot of the tables (pure-Python or numpy kernel).  Batched runs
+  commit their architectural effect back to the source hardware through
+  ``commit_engine_run``; anything the tables cannot serve raises
+  :class:`~repro.exec.protocol.TableMiss` *before* the hardware is
+  touched, so the caller can replay cycle-accurately from the exact
+  same state.
+
+:func:`compile_tables` is the one compilation entry point
+(``api.compile_fsm`` delegates here): it owns the FSM-vs-hardware
+dispatch and the "compiling with the engine off is a contradiction"
+rejection that used to live in ``api.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.fsm import FSM, Input, Output, State
+from ..engine.compiled import CompiledFSM, EngineError, WordRun
+from ..hw.machine import HardwareFSM
+from .protocol import Capabilities, ExecSnapshot, StaleSnapshot, TableMiss
+from .registry import TABLE_KERNELS, canonical, resolve_tables
+
+__all__ = ["CycleBackend", "TableBackend", "compile_tables"]
+
+
+class CycleBackend:
+    """The Fig. 5 netlist as an execution backend.
+
+    Stateless beyond the hardware it wraps: the datapath *is* the
+    state.  Never stale (it reads the live RAMs), never batchable (the
+    value of the netlist is the per-cycle fidelity), and the only
+    backend that serves mid-migration.
+    """
+
+    name = "cycle"
+    capabilities = Capabilities(
+        batchable=False,
+        cycle_accurate=True,
+        serves_mid_migration=True,
+        needs_numpy=False,
+    )
+
+    def __init__(self, hardware: HardwareFSM):
+        self.hardware = hardware
+
+    def step(self, symbol: Input) -> Optional[Output]:
+        """One real clocked cycle; hardware faults raise out unwrapped
+        (an injected SRAM erasure must quarantine, not fall back)."""
+        return self.hardware.step(symbol)
+
+    def run_batch(
+        self,
+        symbols: Sequence[Input],
+        start: Optional[State] = None,
+        commit: bool = True,
+    ) -> WordRun:
+        hw = self.hardware
+        snap = None if commit else self.snapshot()
+        if start is not None and start != hw.state:
+            hw.restore_state(start)
+        outputs = []
+        visits: Dict[State, int] = {}
+        try:
+            for symbol in symbols:
+                outputs.append(hw.step(symbol))
+                state = hw.state
+                visits[state] = visits.get(state, 0) + 1
+            final = hw.state
+        finally:
+            # A pure query must not leave the machine mid-word, even
+            # when a symbol raised; cycle/visit probe counters keep the
+            # work that really happened.
+            if snap is not None:
+                hw.restore_state(snap.state)
+        return WordRun(outputs=outputs, final_state=final, visits=visits)
+
+    def snapshot(self) -> ExecSnapshot:
+        return ExecSnapshot(
+            state=self.hardware.state,
+            table_version=self.hardware.table_version,
+        )
+
+    def restore(self, snap: ExecSnapshot) -> None:
+        hw = self.hardware
+        if (
+            snap.table_version is not None
+            and snap.table_version != hw.table_version
+        ):
+            raise StaleSnapshot(
+                f"snapshot of {hw.name} at table version "
+                f"{snap.table_version} cannot be restored at version "
+                f"{hw.table_version}: the tables changed underneath it"
+            )
+        hw.restore_state(snap.state)
+
+    def invalidate(self, reason: str = "explicit") -> None:
+        """No-op: the netlist reads the live tables, nothing is cached."""
+
+    def is_stale(self, hw: Optional[HardwareFSM] = None) -> bool:
+        return hw is not None and hw is not self.hardware
+
+    def __repr__(self) -> str:
+        return f"CycleBackend({self.hardware.name!r})"
+
+
+class TableBackend:
+    """A dense-table snapshot (``repro.engine``) as an execution backend.
+
+    ``table-py`` and ``table-numpy`` are the same class over the two
+    engine kernels; the name is derived from the compiled view.  When
+    bound to live hardware, committed runs fast-forward the datapath's
+    architectural state; when lowered straight from a behavioural FSM
+    (``hardware is None``) the backend is a pure function of
+    ``(start, symbols)``.
+    """
+
+    CAPABILITIES = {
+        "table-py": Capabilities(
+            batchable=True,
+            cycle_accurate=False,
+            serves_mid_migration=False,
+            needs_numpy=False,
+        ),
+        "table-numpy": Capabilities(
+            batchable=True,
+            cycle_accurate=False,
+            serves_mid_migration=False,
+            needs_numpy=True,
+        ),
+    }
+
+    def __init__(
+        self,
+        compiled: CompiledFSM,
+        hardware: Optional[HardwareFSM] = None,
+    ):
+        self.compiled = compiled
+        self.hardware = hardware
+        self.name = (
+            "table-numpy" if compiled.backend == "numpy" else "table-py"
+        )
+        self.capabilities = self.CAPABILITIES[self.name]
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_hardware(
+        cls, hw: HardwareFSM, backend: str = "auto"
+    ) -> "TableBackend":
+        """Snapshot a live datapath's RAMs (version-stamped)."""
+        kernel = _table_kernel(backend)
+        return cls(CompiledFSM.from_hardware(hw, backend=kernel), hw)
+
+    @classmethod
+    def from_fsm(cls, fsm: FSM, backend: str = "auto") -> "TableBackend":
+        """Lower a behavioural machine (no hardware binding)."""
+        kernel = _table_kernel(backend)
+        return cls(CompiledFSM.from_fsm(fsm, backend=kernel), None)
+
+    # -- protocol ------------------------------------------------------
+    def step(self, symbol: Input) -> Optional[Output]:
+        return self.run_batch([symbol]).outputs[0]
+
+    def run_batch(
+        self,
+        symbols: Sequence[Input],
+        start: Optional[State] = None,
+        commit: bool = True,
+    ) -> WordRun:
+        hw = self.hardware
+        if start is None:
+            start = hw.state if hw is not None else None
+        try:
+            run = self.compiled.run_word(symbols, start=start)
+        except EngineError as exc:
+            # The table run mutated nothing: the caller may replay the
+            # identical symbols cycle-accurately from the same state.
+            raise TableMiss(str(exc)) from exc
+        if commit and hw is not None:
+            hw.commit_engine_run(run.final_state, len(run), run.visits)
+        return run
+
+    def run_many(
+        self,
+        words: Sequence[Sequence[Input]],
+        start: Optional[State] = None,
+    ):
+        """Run many independent words (no commit; lane-parallel on
+        numpy).  :class:`TableMiss` on anything the tables lack."""
+        try:
+            return self.compiled.run_words(words, start=start)
+        except EngineError as exc:
+            raise TableMiss(str(exc)) from exc
+
+    def snapshot(self) -> ExecSnapshot:
+        hw = self.hardware
+        return ExecSnapshot(
+            state=hw.state if hw is not None else self.compiled.reset_state,
+            table_version=(
+                hw.table_version if hw is not None
+                else self.compiled.source_version
+            ),
+        )
+
+    def restore(self, snap: ExecSnapshot) -> None:
+        hw = self.hardware
+        if hw is None:
+            return  # pure-FSM tables carry no architectural state
+        if (
+            snap.table_version is not None
+            and snap.table_version != hw.table_version
+        ):
+            raise StaleSnapshot(
+                f"snapshot of {hw.name} at table version "
+                f"{snap.table_version} cannot be restored at version "
+                f"{hw.table_version}: the tables changed underneath it"
+            )
+        hw.restore_state(snap.state)
+
+    def invalidate(self, reason: str = "explicit") -> None:
+        self.compiled.invalidate(reason=reason)
+
+    def is_stale(self, hw: Optional[HardwareFSM] = None) -> bool:
+        """Staleness against ``hw`` (default: the bound hardware)."""
+        return self.compiled.is_stale(
+            hw if hw is not None else self.hardware
+        )
+
+    def __repr__(self) -> str:
+        return f"TableBackend({self.name!r}, {self.compiled!r})"
+
+
+def _table_kernel(backend: str) -> str:
+    """Backend spelling (any alias) → engine kernel name."""
+    name = canonical(backend)
+    if name == "auto":
+        return resolve_tables("auto")
+    if name not in TABLE_KERNELS:
+        raise EngineError(
+            f"backend {backend!r} has no dense tables to compile; "
+            f"pick one of {tuple(TABLE_KERNELS)} (or their engine-mode "
+            "aliases)"
+        )
+    return resolve_tables(TABLE_KERNELS[name])
+
+
+def compile_tables(machine, preference: str = "auto") -> CompiledFSM:
+    """Lower ``machine`` into dense tables (``api.compile_fsm`` core).
+
+    Accepts a behavioural :class:`FSM` or a live :class:`HardwareFSM`;
+    ``preference`` takes backend names and engine-mode aliases.
+    ``"off"`` / ``"cycle"`` is rejected — compiling with the engine off
+    is a contradiction — and a forced-unavailable table backend raises
+    :class:`~repro.exec.protocol.BackendUnavailable` at this boundary,
+    not deep inside a kernel.
+    """
+    name = canonical(preference)
+    if name == "cycle":
+        raise EngineError("cannot compile with engine mode 'off'")
+    kernel = _table_kernel(preference)
+    if isinstance(machine, FSM):
+        return CompiledFSM.from_fsm(machine, backend=kernel)
+    if isinstance(machine, HardwareFSM):
+        return CompiledFSM.from_hardware(machine, backend=kernel)
+    raise TypeError(
+        f"compile_fsm expects an FSM or HardwareFSM, not "
+        f"{type(machine).__name__}"
+    )

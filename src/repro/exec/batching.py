@@ -1,0 +1,36 @@
+"""Generic batch evaluation through the execution layer.
+
+The EA's population evaluation, the workload suite's differential
+checks and future vectorized fitness kernels all share the same shape:
+*N independent jobs, evaluated as one batch, results in input order*.
+:func:`map_batch` is that shape as one instrumented entry point — a
+deliberate seam: a vectorized or multi-process evaluator replaces the
+comprehension here without touching any caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from ..obs import instruments as _instruments
+
+__all__ = ["map_batch"]
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+def map_batch(
+    fn: Callable[[_Item], _Result],
+    items: Sequence[_Item],
+    site: str = "exec",
+) -> List[_Result]:
+    """Evaluate ``fn`` over ``items`` as one batch, preserving order.
+
+    ``site`` labels the batch counter so dashboards can tell the EA's
+    fitness batches from other batch consumers.
+    """
+    results = [fn(item) for item in items]
+    if items:
+        _instruments.EXEC_BATCH_JOBS.inc(len(items), site=site)
+    return results

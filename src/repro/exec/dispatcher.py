@@ -1,0 +1,186 @@
+"""Policy-driven backend dispatch: every "can X serve this now?" rule.
+
+Before this module the fleet worker answered four questions inline —
+engine off?  migration in flight?  compiled view stale?  entry
+unserveable? — and ``api.py`` answered two more.  The
+:class:`Dispatcher` owns all of them, in one tested place, as *policy
+over capabilities*:
+
+* a mode of ``cycle`` (alias ``off``) always serves on the netlist;
+* a migration in flight degrades to the one backend whose capabilities
+  say ``serves_mid_migration`` (table snapshots go stale after every
+  chunk; recompiling per chunk would be worse than stepping);
+* a cached table view is reused only while it is fresh — any RAM
+  write, erase, fault injection, retarget or wholesale hardware
+  replacement (quarantine) invalidates and recompiles transparently;
+* a table miss (:class:`~repro.exec.protocol.TableMiss`) replays on
+  the netlist from the exact same state — the table run mutated
+  nothing;
+* a *forced* backend that is unavailable fails fast at construction
+  (:class:`~repro.exec.protocol.BackendUnavailable`), but one that
+  becomes unavailable mid-serve (``REPRO_DISABLE_NUMPY`` flipped in a
+  live process) degrades to the netlist instead of failing traffic.
+
+Every decision is published to
+``repro_exec_decisions_total{backend,reason}``; degradations
+additionally count into the pre-existing
+``repro_engine_fallbacks_total`` family so dashboards keep working.
+The batch-coalescing bound rides along (``coalesce_limit``) because it
+is the same policy question: how much work may one backend decision
+cover?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.compiled import EngineError
+from ..hw.machine import HardwareFSM
+from ..obs import instruments as _instruments
+from .backends import CycleBackend, TableBackend
+from .protocol import BackendUnavailable, ExecutionBackend
+from .registry import canonical, resolve
+
+__all__ = ["Decision", "Dispatcher"]
+
+#: Default bound on batches coalesced into one backend run; bounds both
+#: the latency of the first coalesced future and the size of one commit.
+DEFAULT_COALESCE = 32
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One dispatch decision: which backend, and why.
+
+    ``degraded`` is true when policy forced a *less capable* backend
+    than the mode asked for (mid-migration, table miss, backend became
+    unavailable) — the caller's fallback statistics key off it without
+    re-deriving the policy.
+    """
+
+    backend: ExecutionBackend
+    name: str
+    reason: str
+    degraded: bool = False
+
+
+class Dispatcher:
+    """Backend selection policy for one serving context (one shard).
+
+    ``mode`` is any accepted backend spelling (``auto``, ``cycle`` /
+    ``off``, ``table-py`` / ``python``, ``table-numpy`` / ``numpy``).
+    Construction validates it and fails fast when a forced backend is
+    unavailable — a fleet must refuse to start on an impossible
+    request, not discover it batch by batch.
+    """
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        coalesce_limit: int = DEFAULT_COALESCE,
+    ):
+        self.mode = canonical(mode)
+        resolve(self.mode)  # fail fast on an impossible request
+        self.coalesce_limit = coalesce_limit
+        self._table: Optional[TableBackend] = None
+        self._cycle: Optional[CycleBackend] = None
+
+    # ------------------------------------------------------------------
+    def cycle_backend(self, hw: HardwareFSM) -> CycleBackend:
+        """The netlist backend for ``hw`` (re-bound after quarantine
+        replaces the datapath wholesale)."""
+        if self._cycle is None or self._cycle.hardware is not hw:
+            self._cycle = CycleBackend(hw)
+        return self._cycle
+
+    def select(
+        self, hw: HardwareFSM, migrating: bool = False
+    ) -> Decision:
+        """The backend to serve ``hw``'s next run with, per policy."""
+        try:
+            want = resolve(self.mode)
+        except BackendUnavailable:
+            # The forced backend vanished mid-serve (environment flip):
+            # degrade to the always-available netlist over failing
+            # traffic.  Construction-time validation catches the
+            # misconfiguration case loudly.
+            _instruments.ENGINE_FALLBACKS.inc(
+                reason="unavailable", backend=str(self.mode)
+            )
+            return self._decide(
+                self.cycle_backend(hw), "unavailable", degraded=True
+            )
+        if want == "cycle":
+            return self._decide(self.cycle_backend(hw), "policy")
+        if migrating:
+            # The blend table mutates entry by entry between batches;
+            # only a mid-migration-capable backend may serve.
+            _instruments.ENGINE_FALLBACKS.inc(
+                reason="migration", backend=want
+            )
+            return self._decide(
+                self.cycle_backend(hw), "migration", degraded=True
+            )
+        table = self._table
+        if table is not None and table.name == want and not table.is_stale(hw):
+            return self._decide(table, "cached")
+        if table is not None:
+            table.invalidate(
+                reason="stale" if table.hardware is hw else "replaced"
+            )
+            self._table = None
+        try:
+            self._table = TableBackend.from_hardware(hw, backend=want)
+        except EngineError:
+            _instruments.ENGINE_FALLBACKS.inc(reason="error", backend=want)
+            return self._decide(
+                self.cycle_backend(hw), "compile-error", degraded=True
+            )
+        return self._decide(self._table, "compiled")
+
+    def miss(self, hw: HardwareFSM) -> Decision:
+        """Policy for a :class:`TableMiss`: replay on the netlist.
+
+        The table run mutated nothing, so the netlist replays the
+        identical symbols from the identical state — an injected fault
+        still raises out of the datapath and still quarantines.
+        """
+        backend = self._table
+        _instruments.ENGINE_FALLBACKS.inc(
+            reason="unconfigured",
+            backend=backend.name if backend is not None else "table",
+        )
+        return self._decide(
+            self.cycle_backend(hw), "unconfigured", degraded=True
+        )
+
+    def invalidate(self, reason: str = "explicit") -> None:
+        """Drop every cached backend (quarantine replaced the
+        hardware; the next :meth:`select` re-binds and recompiles)."""
+        if self._table is not None:
+            self._table.invalidate(reason=reason)
+            self._table = None
+        self._cycle = None
+
+    def pick(self) -> str:
+        """The backend name :meth:`select` would serve with right now
+        (quiescent, nothing cached) — the CLI's "what would run?"."""
+        return resolve(self.mode)
+
+    # ------------------------------------------------------------------
+    def _decide(
+        self, backend: ExecutionBackend, reason: str, degraded: bool = False
+    ) -> Decision:
+        _instruments.EXEC_DECISIONS.inc(
+            backend=backend.name, reason=reason
+        )
+        return Decision(
+            backend=backend,
+            name=backend.name,
+            reason=reason,
+            degraded=degraded,
+        )
+
+    def __repr__(self) -> str:
+        return f"Dispatcher(mode={self.mode!r})"

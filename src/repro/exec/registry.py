@@ -1,0 +1,246 @@
+"""Process-wide execution-backend registry and the one shared resolver.
+
+Before this layer existed, "which backend runs this?" was answered in
+three places with three different rules: ``engine/compiled.py`` checked
+``REPRO_DISABLE_NUMPY`` at compile time only, ``fleet/worker.py`` had
+its own fail-fast, and ``api.py`` special-cased ``"off"``.  This module
+owns the question:
+
+* :func:`register` / :func:`specs` — the registry.  Three built-ins:
+  ``cycle`` (the Fig. 5 netlist), ``table-py`` and ``table-numpy``
+  (the dense-table kernels).  Legacy engine-mode spellings (``off``,
+  ``python``, ``numpy``) are aliases, so every pre-exec call site keeps
+  its vocabulary.
+* :func:`resolve` — preference → concrete backend name.  Precedence:
+  an explicit pin beats the ``REPRO_BACKEND`` environment variable,
+  which beats auto selection (numpy tables when importable and not
+  disabled, else pure-Python tables).  Availability — including
+  ``REPRO_DISABLE_NUMPY`` — is re-checked at *every* call, so flipping
+  the environment mid-process is honoured at dispatch time, and a
+  forced-but-unavailable backend raises
+  :class:`~repro.exec.protocol.BackendUnavailable` with the reason
+  spelled out instead of silently degrading.
+* :func:`resolve_tables` — the table-only projection used when
+  *compiling* (``repro.engine`` delegates its historic
+  ``resolve_backend`` here).  A forced ``cycle`` cannot steer a table
+  compilation, so only table spellings of ``REPRO_BACKEND`` apply.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine.compiled import numpy_available
+from .protocol import BackendUnavailable, Capabilities
+
+__all__ = [
+    "BackendSpec",
+    "canonical",
+    "get",
+    "names",
+    "register",
+    "resolve",
+    "resolve_tables",
+    "specs",
+]
+
+#: Environment variable forcing the dispatcher's backend choice for
+#: ``auto`` preferences (explicit pins always win over it).
+ENV_BACKEND = "REPRO_BACKEND"
+
+#: Legacy engine-mode spellings accepted everywhere a backend name is.
+ALIASES = {
+    "off": "cycle",
+    "python": "table-py",
+    "numpy": "table-numpy",
+}
+
+#: Registered table backend name → engine kernel name.
+TABLE_KERNELS = {"table-py": "python", "table-numpy": "numpy"}
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered execution backend (identity + construction)."""
+
+    name: str
+    capabilities: Capabilities
+    summary: str
+    #: Re-checked at every resolve: availability may change at runtime
+    #: (``REPRO_DISABLE_NUMPY`` is honoured per call, not per import).
+    available: Callable[[], bool]
+    #: Human-readable reason shown when a forced backend is unavailable.
+    unavailable_reason: Callable[[], Optional[str]]
+    #: Build a backend instance bound to a live ``HardwareFSM``.
+    build: Callable[[object], object]
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+_builtins_registered = False
+
+
+def _ensure_builtins() -> None:
+    """Register the built-in backends on first registry use.
+
+    Deferred (not at import) because ``backends.py`` and this module
+    import each other: the spec factories live there, the registration
+    lives here, and either module must be importable first.
+    """
+    global _builtins_registered
+    if not _builtins_registered:
+        _builtins_registered = True
+        _register_builtins()
+
+
+def register(spec: BackendSpec, replace: bool = False) -> BackendSpec:
+    """Add a backend to the process-wide registry."""
+    if spec.name in ALIASES or spec.name == "auto":
+        raise ValueError(
+            f"backend name {spec.name!r} collides with a reserved alias"
+        )
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def names() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def specs() -> Tuple[BackendSpec, ...]:
+    """Registered backend specs, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY.values())
+
+
+def get(name: str) -> BackendSpec:
+    """The spec for ``name`` (aliases accepted)."""
+    return _REGISTRY[canonical(name)]
+
+
+def canonical(preference: Optional[str]) -> str:
+    """Normalise a preference to a registered name or ``"auto"``.
+
+    Accepts registered names, the legacy engine-mode aliases and
+    ``None`` / ``"auto"``; anything else raises ``ValueError`` listing
+    the accepted spellings.
+    """
+    _ensure_builtins()
+    if preference is None or preference == "auto":
+        return "auto"
+    name = ALIASES.get(preference, preference)
+    if name not in _REGISTRY:
+        accepted = ("auto",) + names() + tuple(ALIASES)
+        raise ValueError(
+            f"unknown execution backend {preference!r}; expected one of "
+            f"{accepted}"
+        )
+    return name
+
+
+def _forced_by_env() -> Optional[str]:
+    """The ``REPRO_BACKEND`` choice, canonicalised, or ``None``."""
+    forced = os.environ.get(ENV_BACKEND, "").strip()
+    if not forced or forced == "auto":
+        return None
+    try:
+        return canonical(forced)
+    except ValueError as exc:
+        raise ValueError(f"{ENV_BACKEND}={forced!r}: {exc}") from None
+
+
+def _require_available(name: str) -> str:
+    spec = _REGISTRY[name]
+    if not spec.available():
+        raise BackendUnavailable(
+            f"execution backend {spec.name!r} requested but unavailable: "
+            f"{spec.unavailable_reason() or 'prerequisites missing'}"
+        )
+    return spec.name
+
+
+def resolve(preference: Optional[str] = None) -> str:
+    """Preference → the concrete backend name to serve with.
+
+    Explicit pin > ``REPRO_BACKEND`` > auto (``table-numpy`` when numpy
+    is importable and not disabled, else ``table-py``).  A forced
+    backend that is unavailable *right now* raises
+    :class:`BackendUnavailable`; auto never does.
+    """
+    name = canonical(preference)
+    if name == "auto":
+        name = _forced_by_env() or "auto"
+    if name == "auto":
+        name = "table-numpy" if numpy_available() else "table-py"
+    return _require_available(name)
+
+
+def resolve_tables(preference: str = "auto") -> str:
+    """Preference → engine kernel name (``"python"`` / ``"numpy"``).
+
+    The table-only projection of :func:`resolve`, used when *compiling*
+    dense tables (:func:`repro.engine.resolve_backend` delegates here).
+    ``REPRO_BACKEND`` steers ``auto`` only through its table spellings —
+    a forced ``cycle`` selects a serving substrate and cannot steer a
+    table compilation, so it is ignored here.
+    """
+    _ensure_builtins()
+    if preference not in ("auto", "python", "numpy"):
+        raise ValueError(
+            f"unknown engine backend {preference!r}; expected one of "
+            "('auto', 'numpy', 'python')"
+        )
+    if preference == "auto":
+        forced = _forced_by_env()
+        if forced in TABLE_KERNELS:
+            preference = TABLE_KERNELS[forced]
+    if preference == "auto":
+        return "numpy" if numpy_available() else "python"
+    if preference == "numpy":
+        _require_available("table-numpy")
+    return preference
+
+
+def _register_builtins() -> None:
+    # Deferred import: backends.py imports this module for the caps.
+    from .backends import CycleBackend, TableBackend
+
+    def _numpy_reason() -> Optional[str]:
+        if numpy_available():
+            return None
+        if os.environ.get("REPRO_DISABLE_NUMPY"):
+            return "numpy disabled via REPRO_DISABLE_NUMPY"
+        return (
+            "numpy is not installed "
+            "(install the 'fast' extra: pip install repro[fast])"
+        )
+
+    register(BackendSpec(
+        name="cycle",
+        capabilities=CycleBackend.capabilities,
+        summary="cycle-accurate Fig. 5 netlist (traces, probes, faults)",
+        available=lambda: True,
+        unavailable_reason=lambda: None,
+        build=CycleBackend,
+    ))
+    register(BackendSpec(
+        name="table-py",
+        capabilities=TableBackend.CAPABILITIES["table-py"],
+        summary="dense-table kernel, pure-Python loop",
+        available=lambda: True,
+        unavailable_reason=lambda: None,
+        build=lambda hw: TableBackend.from_hardware(hw, backend="table-py"),
+    ))
+    register(BackendSpec(
+        name="table-numpy",
+        capabilities=TableBackend.CAPABILITIES["table-numpy"],
+        summary="dense-table kernel, vectorized lane batches",
+        available=numpy_available,
+        unavailable_reason=_numpy_reason,
+        build=lambda hw: TableBackend.from_hardware(hw, backend="table-numpy"),
+    ))

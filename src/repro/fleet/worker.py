@@ -6,16 +6,17 @@ for the fleet's whole machine family, Def. 4.1 supersets) and is the
 "share nothing", which is also what the single-driver guard on the
 datapath enforces.  The worker loop interleaves three duties:
 
-* **serving** — pop a batch, run its symbols, resolve its future.  When
-  the shard is quiescent (no migration in flight) consecutive queued
-  batches are **coalesced** and executed through the compiled batch
-  engine (:mod:`repro.engine`) — one dense-table run instead of one
-  Python ``cycle()`` per symbol — and the architectural state is
-  committed back to the datapath afterwards.  Mid-migration, after any
-  RAM mutation (the compiled view's ``table_version`` check) or on an
-  entry the compiled view cannot serve, the worker falls back to the
-  cycle-accurate per-symbol path, so behaviour (including fault
-  semantics and quarantine) is identical with the engine on or off;
+* **serving** — pop a batch, run its symbols, resolve its future.  The
+  worker never picks an execution backend itself: it asks its
+  :class:`~repro.exec.Dispatcher` (which owns every staleness /
+  mid-migration / availability rule) and then drives whatever backend
+  comes back through the :class:`~repro.exec.ExecutionBackend`
+  protocol.  A batchable backend serves coalesced runs of queued
+  batches in one call (committing the architectural state back to the
+  datapath); a :class:`~repro.exec.TableMiss` replays the same batches
+  through the cycle-accurate backend from the exact same state, so
+  behaviour (including fault semantics and quarantine) is identical
+  whichever backend serves;
 * **migrating** — between batches (and in idle gaps) run whole safe
   chunks of the pending gradual migration, never exceeding the stall
   budget per gap, exactly the paper's one-entry-per-cycle rollout;
@@ -41,7 +42,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.fsm import FSM, Input, Output
 from ..core.incremental import Chunk, IncrementalMigrator
-from ..engine import CompiledFSM, EngineError, resolve_backend
+from ..exec import Dispatcher, TableMiss
 from ..hw.machine import HardwareFSM
 from ..obs import instruments as _instruments
 from ..obs.probes import ProbeReport, probe_hardware
@@ -49,8 +50,8 @@ from ..obs.probes import ProbeReport, probe_hardware
 #: Queue sentinel asking the worker thread to exit.
 _STOP = object()
 
-#: Upper bound on batches coalesced into one engine run; bounds both the
-#: latency of the first coalesced future and the size of one commit.
+#: Upper bound on batches coalesced into one backend run (handed to the
+#: dispatcher, which owns the coalescing policy).
 _MAX_COALESCE = 32
 
 
@@ -117,10 +118,10 @@ class ShardWorker(threading.Thread):
         engine: str = "auto",
     ):
         super().__init__(name=f"{fleet_name}-shard-{index}", daemon=True)
-        if engine != "off":
-            resolve_backend(engine)  # fail fast on an impossible request
+        # Validates the mode and fails fast on an impossible request
+        # (e.g. a forced numpy backend without numpy installed).
+        self.dispatcher = Dispatcher(engine, coalesce_limit=_MAX_COALESCE)
         self.engine_mode = engine
-        self._compiled: Optional[CompiledFSM] = None
         self.index = index
         self.machine = machine
         self._extras = (
@@ -169,6 +170,11 @@ class ShardWorker(threading.Thread):
             )
         self._job = job
         return job
+
+    def _migrating(self) -> bool:
+        """Whether a migration job is in flight (dispatcher input)."""
+        job = self._job
+        return job is not None and not job.done.is_set()
 
     def _migration_tick(self) -> None:
         job = self._job
@@ -231,44 +237,13 @@ class ShardWorker(threading.Thread):
             shard=self.label, error=type(exc).__name__
         )
         self.hardware = self._build_hardware(self.machine)
-        if self._compiled is not None:
-            self._compiled.invalidate(reason="replaced")
-            self._compiled = None
+        self.dispatcher.invalidate(reason="replaced")
         job = self._job
         if job is not None and not job.done.is_set():
             job._migrator = None
             job.restarts += 1
 
     # -- serving -------------------------------------------------------
-    def _compiled_view(self) -> Optional[CompiledFSM]:
-        """The compiled table view, or ``None`` when serving must be
-        cycle-accurate (engine off, migration in flight, or compile
-        impossible).  Recompiles transparently when the cached view is
-        stale (any RAM mutation, retarget or hardware replacement)."""
-        if self.engine_mode == "off":
-            return None
-        job = self._job
-        if job is not None and not job.done.is_set():
-            # Mid-migration the table mutates entry by entry between
-            # batches: serve cycle-accurately rather than recompile the
-            # blend table after every chunk.
-            return None
-        compiled = self._compiled
-        hw = self.hardware
-        if compiled is not None and not compiled.is_stale(hw):
-            return compiled
-        if compiled is not None:
-            compiled.invalidate(
-                reason="stale" if compiled.source is hw else "replaced"
-            )
-        try:
-            self._compiled = CompiledFSM.from_hardware(
-                hw, backend=self.engine_mode
-            )
-        except EngineError:
-            self._compiled = None
-        return self._compiled
-
     def _coalesce(self, first: _Batch):
         """Drain immediately-available batches behind ``first``.
 
@@ -278,7 +253,7 @@ class ShardWorker(threading.Thread):
         """
         batches = [first]
         control = None
-        while len(batches) < _MAX_COALESCE:
+        while len(batches) < self.dispatcher.coalesce_limit:
             try:
                 item = self.queue.get_nowait()
             except queue.Empty:
@@ -291,20 +266,23 @@ class ShardWorker(threading.Thread):
         return batches, control
 
     def _serve_run(self, batches: List[_Batch]) -> None:
-        """Serve a coalesced run of batches, engine first.
+        """Serve a coalesced run of batches through the dispatched backend.
 
         Futures resolve in submission order (per-shard FIFO is part of
-        the pool's contract).  Any engine miss — an entry the compiled
-        view cannot serve, an out-of-alphabet symbol — replays the
-        batches on the cycle-accurate datapath from the exact same
-        state (the compiled run never mutates the hardware), so fault
-        behaviour and quarantine semantics are unchanged.
+        the pool's contract).  Which backend serves — and whether that
+        is a degradation worth counting — is entirely the dispatcher's
+        decision; the worker only drives the protocol.  A table miss
+        (an entry the tables cannot serve, an out-of-alphabet symbol)
+        replays the batches per-symbol from the exact same state, so
+        fault behaviour and quarantine semantics are unchanged.
         """
-        compiled = self._compiled_view()
-        if compiled is None:
-            if self.engine_mode != "off":
-                self.stats.engine_fallbacks += len(batches)
-                _instruments.ENGINE_FALLBACKS.inc(reason="migration")
+        decision = self.dispatcher.select(
+            self.hardware, migrating=self._migrating()
+        )
+        if decision.degraded:
+            self.stats.engine_fallbacks += len(batches)
+        backend = decision.backend
+        if not backend.capabilities.batchable:
             for batch in batches:
                 self._serve(batch)
             return
@@ -314,16 +292,15 @@ class ShardWorker(threading.Thread):
         for batch in batches:
             symbols.extend(batch.symbols)
         try:
-            run = compiled.run_word(symbols, start=self.hardware.state)
-        except EngineError:
+            # Commits the architectural state (ST-REG, cycle and visit
+            # counters) back to the datapath in the same call.
+            run = backend.run_batch(symbols)
+        except TableMiss:
+            self.dispatcher.miss(self.hardware)
             self.stats.engine_fallbacks += len(batches)
-            _instruments.ENGINE_FALLBACKS.inc(reason="unconfigured")
             for batch in batches:
                 self._serve(batch)
             return
-        self.hardware.commit_engine_run(
-            run.final_state, len(symbols), run.visits
-        )
         if self.link_latency_s:
             # One device round-trip for the whole coalesced run — the
             # latency amortisation batching exists for.
@@ -342,18 +319,30 @@ class ShardWorker(threading.Thread):
         self.stats.engine_batches += len(batches)
         self.stats.engine_symbols += len(symbols)
         _instruments.FLEET_SYMBOLS.inc(len(symbols), shard=self.label)
-        _instruments.ENGINE_SERVED.inc(len(symbols), path="compiled")
-        _instruments.ENGINE_BATCH_SIZE.observe(len(symbols))
+        _instruments.ENGINE_SERVED.inc(
+            len(symbols), path="compiled", backend=backend.name
+        )
+        _instruments.ENGINE_BATCH_SIZE.observe(
+            len(symbols), backend=backend.name
+        )
         _instruments.FLEET_BATCH_SECONDS.observe(
             time.perf_counter() - started, shard=self.label
         )
 
     def _serve(self, batch: _Batch) -> None:
+        """Serve one batch per-symbol on the cycle-accurate backend.
+
+        Asks the dispatcher for the netlist backend each time so a
+        quarantine mid-loop (which replaces the datapath wholesale)
+        re-binds before the next batch — exactly the pre-exec
+        behaviour of stepping ``self.hardware`` directly.
+        """
+        backend = self.dispatcher.cycle_backend(self.hardware)
         started = time.perf_counter()
         downtime_before = self._downtime()
         try:
             outputs: List[Output] = [
-                self.hardware.step(symbol) for symbol in batch.symbols
+                backend.step(symbol) for symbol in batch.symbols
             ]
         except Exception as exc:
             self.stats.batches_failed += 1
@@ -372,7 +361,9 @@ class ShardWorker(threading.Thread):
         self.stats.symbols_served += len(batch.symbols)
         _instruments.FLEET_BATCHES.inc(outcome="ok", shard=self.label)
         _instruments.FLEET_SYMBOLS.inc(len(batch.symbols), shard=self.label)
-        _instruments.ENGINE_SERVED.inc(len(batch.symbols), path="cycle")
+        _instruments.ENGINE_SERVED.inc(
+            len(batch.symbols), path="cycle", backend=backend.name
+        )
         _instruments.FLEET_BATCH_SECONDS.observe(
             time.perf_counter() - started, shard=self.label
         )
@@ -407,7 +398,7 @@ class ShardWorker(threading.Thread):
             if isinstance(item, _Batch):
                 # Coalesce whatever is already waiting behind this batch
                 # (up to the next control item, which arrived after them
-                # and is handled after them) into one engine run.
+                # and is handled after them) into one backend run.
                 batches, control = self._coalesce(item)
                 try:
                     self._migration_tick()

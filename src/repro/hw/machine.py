@@ -348,6 +348,31 @@ class HardwareFSM:
             self._driver = None
             self._cycle_guard.release()
 
+    def restore_state(self, state: State) -> None:
+        """Latch ``state`` into ST-REG without a service cycle.
+
+        The restore half of the execution layer's snapshot/restore
+        protocol (:mod:`repro.exec`): the architectural state moves,
+        but no cycle is clocked — cycle, mode-occupancy and state-visit
+        probe counters are untouched, because restoring a checkpoint is
+        not service.  Holds the single-driver guard like any other
+        ST-REG mutation.
+        """
+        code = self.state_enc.encode(state)
+        if not self._cycle_guard.acquire(blocking=False):
+            raise ConcurrentUseError(
+                f"{self.name}: restore_state() called while thread "
+                f"{self._driver} is mid-cycle; HardwareFSM is "
+                "single-driver — serialise access or shard per thread"
+            )
+        self._driver = threading.get_ident()
+        try:
+            self.st_reg.drive(code)
+            self.st_reg.clock()
+        finally:
+            self._driver = None
+            self._cycle_guard.release()
+
     def step(self, i: Input) -> Output:
         """Normal-mode cycle under external input ``i``."""
         return self.cycle(i=i)

@@ -155,20 +155,35 @@ ENGINE_INVALIDATIONS = REGISTRY.counter(
 ENGINE_FALLBACKS = REGISTRY.counter(
     "repro_engine_fallbacks_total",
     "Engine runs that fell back to the cycle-accurate datapath, by "
-    "reason (migration / unconfigured / error).",
+    "reason (migration / unconfigured / unavailable / error) and the "
+    "backend that was displaced.",
 )
 ENGINE_SERVED = REGISTRY.counter(
     "repro_engine_symbols_total",
-    "Input symbols executed, by path (compiled / cycle).",
+    "Input symbols executed, by path (compiled / cycle) and backend.",
 )
 ENGINE_BATCH_SIZE = REGISTRY.histogram(
     "repro_engine_batch_size",
-    "Symbols per coalesced engine run on the fleet serving path.",
+    "Symbols per coalesced engine run on the fleet serving path, "
+    "by backend.",
     buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
 )
 ENGINE_NUMPY_AVAILABLE = REGISTRY.gauge(
     "repro_engine_numpy_available",
     "1 when the numpy fast path is importable and enabled, else 0.",
+)
+
+# -- execution-backend dispatch ---------------------------------------
+EXEC_DECISIONS = REGISTRY.counter(
+    "repro_exec_decisions_total",
+    "Dispatcher backend decisions, by chosen backend and reason "
+    "(policy / cached / compiled / migration / unconfigured / "
+    "unavailable / compile-error).",
+)
+EXEC_BATCH_JOBS = REGISTRY.counter(
+    "repro_exec_batch_jobs_total",
+    "Independent jobs evaluated through exec-layer batch entry "
+    "points, by site (e.g. ea.fitness).",
 )
 
 # -- plan cache --------------------------------------------------------

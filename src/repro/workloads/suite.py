@@ -225,11 +225,11 @@ def run_migration_suite(
     datapath, the RAM contents checked against the target, and the
     hardware probe counters published to the metrics registry under a
     ``workload`` label.  With an ``engine`` mode other than ``"off"``
-    the migrated RAMs are additionally compiled into the batch engine's
-    dense tables and differentially checked — seeded traffic through
-    :meth:`repro.engine.CompiledFSM.run_words` must match the target
-    machine's reference outputs word for word.  Returns one result row
-    per workload.
+    the migrated datapath is additionally checked differentially
+    through the execution layer — the :class:`repro.exec.Dispatcher`
+    picks the backend, and seeded traffic served through it must match
+    the target machine's reference outputs word for word.  Returns one
+    result row per workload.
     """
     from .. import api
     from ..core.delta import delta_count
@@ -255,19 +255,23 @@ def run_migration_suite(
                 hw_ok = hw.realises(target)
                 ok = ok and hw_ok
                 if engine != "off" and hw_ok:
-                    from ..engine import CompiledFSM, EngineError
+                    from ..engine import EngineError
+                    from ..exec import Dispatcher
 
                     words = traffic_words(target, 16, 8, seed=seed)
                     try:
-                        compiled = CompiledFSM.from_hardware(
-                            hw, backend=engine
-                        )
-                        runs = compiled.run_words(
-                            words, start=target.reset_state
-                        )
+                        # The dispatcher picks the backend (honouring
+                        # REPRO_BACKEND / REPRO_DISABLE_NUMPY at this
+                        # moment); commit=False keeps the replayed
+                        # datapath's architectural state untouched.
+                        backend = Dispatcher(engine).select(hw).backend
                         engine_ok = all(
-                            run.outputs == target.run(word)
-                            for run, word in zip(runs, words)
+                            backend.run_batch(
+                                word,
+                                start=target.reset_state,
+                                commit=False,
+                            ).outputs == target.run(word)
+                            for word in words
                         )
                     except EngineError:
                         engine_ok = False

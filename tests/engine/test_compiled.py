@@ -210,6 +210,7 @@ class TestBackendResolution:
             resolve_backend("cuda")
 
     def test_disable_numpy_env_var(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
         assert not numpy_available()
         assert resolve_backend("auto") == "python"
@@ -217,7 +218,8 @@ class TestBackendResolution:
             resolve_backend("numpy")
 
     @pytest.mark.skipif(not numpy_available(), reason="numpy absent")
-    def test_auto_prefers_numpy_when_available(self):
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         assert resolve_backend("auto") == "numpy"
         assert resolve_backend("numpy") == "numpy"
 

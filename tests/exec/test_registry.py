@@ -1,0 +1,192 @@
+"""The backend registry and the one shared resolver.
+
+Covers the environment contract (`REPRO_BACKEND`, `REPRO_DISABLE_NUMPY`)
+the whole stack now shares: the env is consulted at *dispatch* time, an
+explicit pin always beats it, and a forced-but-unavailable backend
+raises :class:`BackendUnavailable` with the reason spelled out.
+"""
+
+import pytest
+
+from repro.engine import EngineError, numpy_available
+from repro.exec import (
+    BackendSpec,
+    BackendUnavailable,
+    Capabilities,
+    canonical,
+    names,
+    register,
+    resolve,
+    resolve_tables,
+    specs,
+)
+from repro.exec import registry as registry_module
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_DISABLE_NUMPY", raising=False)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert names() == ("cycle", "table-py", "table-numpy")
+
+    def test_specs_carry_capabilities(self):
+        by_name = {spec.name: spec for spec in specs()}
+        assert by_name["cycle"].capabilities.cycle_accurate
+        assert by_name["cycle"].capabilities.serves_mid_migration
+        assert not by_name["cycle"].capabilities.batchable
+        assert by_name["table-py"].capabilities.batchable
+        assert by_name["table-numpy"].capabilities.needs_numpy
+        assert not by_name["table-py"].capabilities.needs_numpy
+
+    def test_register_rejects_reserved_names(self):
+        spec = BackendSpec(
+            name="off",
+            capabilities=Capabilities(),
+            summary="",
+            available=lambda: True,
+            unavailable_reason=lambda: None,
+            build=lambda hw: None,
+        )
+        with pytest.raises(ValueError, match="reserved alias"):
+            register(spec)
+
+    def test_register_rejects_duplicates_unless_replace(self):
+        spec = BackendSpec(
+            name="test-dup",
+            capabilities=Capabilities(),
+            summary="",
+            available=lambda: True,
+            unavailable_reason=lambda: None,
+            build=lambda hw: None,
+        )
+        register(spec)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register(spec)
+            register(spec, replace=True)  # explicit replacement is fine
+        finally:
+            del registry_module._REGISTRY["test-dup"]
+
+    def test_registered_backend_resolvable_by_pin(self):
+        spec = BackendSpec(
+            name="test-extra",
+            capabilities=Capabilities(),
+            summary="",
+            available=lambda: True,
+            unavailable_reason=lambda: None,
+            build=lambda hw: None,
+        )
+        register(spec)
+        try:
+            assert resolve("test-extra") == "test-extra"
+            assert canonical("test-extra") == "test-extra"
+        finally:
+            del registry_module._REGISTRY["test-extra"]
+
+
+class TestCanonical:
+    def test_aliases_map_to_backend_names(self):
+        assert canonical("off") == "cycle"
+        assert canonical("python") == "table-py"
+        assert canonical("numpy") == "table-numpy"
+
+    def test_auto_and_none(self):
+        assert canonical(None) == "auto"
+        assert canonical("auto") == "auto"
+
+    def test_unknown_name_lists_accepted_spellings(self):
+        with pytest.raises(ValueError, match="'auto', 'cycle'"):
+            canonical("cuda")
+
+
+class TestResolve:
+    def test_auto_prefers_numpy_tables_when_available(self):
+        expected = "table-numpy" if numpy_available() else "table-py"
+        assert resolve() == expected
+        assert resolve("auto") == expected
+
+    def test_explicit_pins(self):
+        assert resolve("cycle") == "cycle"
+        assert resolve("off") == "cycle"
+        assert resolve("table-py") == "table-py"
+        assert resolve("python") == "table-py"
+
+    def test_env_steers_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "cycle")
+        assert resolve("auto") == "cycle"
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert resolve("auto") == "table-py"
+
+    def test_explicit_pin_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "cycle")
+        assert resolve("table-py") == "table-py"
+
+    def test_env_auto_and_blank_are_noops(self, monkeypatch):
+        expected = resolve("auto")
+        monkeypatch.setenv("REPRO_BACKEND", "auto")
+        assert resolve("auto") == expected
+        monkeypatch.setenv("REPRO_BACKEND", "  ")
+        assert resolve("auto") == expected
+
+    def test_bogus_env_raises_with_prefix(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ValueError, match="REPRO_BACKEND='bogus'"):
+            resolve("auto")
+
+    def test_disable_numpy_honoured_at_dispatch_time(self, monkeypatch):
+        # No import-time capture: flipping the env mid-process changes
+        # the very next resolution.
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        assert resolve("auto") == "table-py"
+        with pytest.raises(BackendUnavailable, match="REPRO_DISABLE_NUMPY"):
+            resolve("table-numpy")
+        monkeypatch.delenv("REPRO_DISABLE_NUMPY")
+        if numpy_available():
+            assert resolve("auto") == "table-numpy"
+            assert resolve("table-numpy") == "table-numpy"
+
+    def test_forced_unavailable_env_raises_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        with pytest.raises(BackendUnavailable, match="table-numpy"):
+            resolve("auto")
+
+    def test_backend_unavailable_is_an_engine_error(self):
+        # Pre-exec call sites say `except EngineError`; they must keep
+        # observing exec-layer failures unchanged.
+        assert issubclass(BackendUnavailable, EngineError)
+
+
+class TestResolveTables:
+    def test_table_spellings_only(self):
+        assert resolve_tables("python") == "python"
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            resolve_tables("cycle")
+        with pytest.raises(ValueError):
+            resolve_tables("table-py")
+
+    def test_env_table_spelling_steers_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert resolve_tables("auto") == "python"
+
+    def test_env_cycle_cannot_steer_a_table_compile(self, monkeypatch):
+        # A serving substrate is not a table kernel: forcing `cycle`
+        # must leave table compilation on its own auto choice.
+        monkeypatch.setenv("REPRO_BACKEND", "cycle")
+        expected = "numpy" if numpy_available() else "python"
+        assert resolve_tables("auto") == expected
+
+    def test_forced_numpy_unavailable_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        with pytest.raises(BackendUnavailable):
+            resolve_tables("numpy")
+
+    def test_engine_resolve_backend_delegates_here(self, monkeypatch):
+        from repro.engine import resolve_backend
+
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert resolve_backend("auto") == "python"

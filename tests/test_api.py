@@ -30,7 +30,23 @@ class TestOptions:
         assert opts.seed == 0
         assert opts.metrics is False
         assert opts.engine == "auto"
+        assert opts.backend is None
         assert opts.extra_states == 0
+
+    def test_backend_pin_canonicalised(self):
+        assert api.Options(backend="python").backend == "table-py"
+        assert api.Options(backend="off").backend == "cycle"
+        assert api.Options(backend="table-py").backend == "table-py"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            api.Options(backend="cuda")
+
+    def test_execution_prefers_the_pin(self):
+        assert api.Options().execution == "auto"
+        assert api.Options(engine="python").execution == "python"
+        assert api.Options(engine="off", backend="python").execution == \
+            "table-py"
 
     def test_unknown_method_rejected(self):
         with pytest.raises(ValueError):
@@ -133,9 +149,26 @@ class TestFacadeFlows:
         assert compiled.realises(fig6_m())
         assert compiled.source_version == hw.table_version
 
+    def test_compile_fsm_honours_backend_pin(self):
+        compiled = api.compile_fsm(
+            fig6_m(), options=api.Options(backend="table-py")
+        )
+        assert compiled.backend == "python"
+
+    def test_serve_honours_backend_pin(self):
+        machine = fig6_m()
+        with api.serve(
+            machine, n_workers=1, options=api.Options(backend="python")
+        ) as fleet:
+            word = traffic_words(machine, 1, 8, seed=0)[0]
+            assert fleet.submit("k", word).result(timeout=10) == \
+                machine.run(word)
+
     def test_compile_fsm_rejects_engine_off(self):
         with pytest.raises(EngineError):
             api.compile_fsm(fig6_m(), options=api.Options(engine="off"))
+        with pytest.raises(EngineError):
+            api.compile_fsm(fig6_m(), options=api.Options(backend="cycle"))
 
     def test_compile_fsm_rejects_other_types(self):
         with pytest.raises(TypeError):

@@ -232,6 +232,56 @@ class TestFleet:
         assert "repro_fleet_shard_migrations_total" in err
 
 
+class TestBackends:
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_DISABLE_NUMPY", raising=False)
+
+    def test_lists_registered_backends_with_flags(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cycle", "table-py", "table-numpy"):
+            assert name in out
+        assert "serves-mid-migration" in out
+        assert "dispatcher pick for 'auto':" in out
+
+    def test_engine_off_picks_the_netlist(self, capsys):
+        assert main(["backends", "--engine", "off"]) == 0
+        assert "dispatcher pick for 'off': cycle" in capsys.readouterr().out
+
+    def test_backend_pin_beats_engine_mode(self, capsys):
+        assert main([
+            "backends", "--engine", "off", "--backend", "table-py",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dispatcher pick for 'table-py': table-py" in out
+
+    def test_env_steers_auto_and_is_reported(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatcher pick for 'auto': table-py" in out
+        assert "REPRO_BACKEND=python" in out
+
+    def test_disabled_numpy_reason_is_shown(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_DISABLE_NUMPY" in out
+        assert "dispatcher pick for 'auto': table-py" in out
+
+    def test_forced_unavailable_backend_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        assert main(["backends", "--backend", "numpy"]) == 2
+        err = capsys.readouterr().err
+        assert "unavailable" in err
+
+    def test_unknown_backend_exits_2(self, capsys):
+        assert main(["backends", "--backend", "warp-core"]) == 2
+        assert "unknown execution backend" in capsys.readouterr().err
+
+
 class TestOptimize:
     def test_prints_pass_report(self, kiss_files, capsys):
         src, tgt = kiss_files
