@@ -1,15 +1,18 @@
 """Overhead of the observability layer on the migration suite.
 
-Three configurations of ``run_migration_suite(method="jsr")``:
+Four configurations of ``run_migration_suite(method="jsr")``:
 
 - ``baseline``  — instrumentation hooks stubbed out entirely, i.e. the
   cost of the suite with no observability code reachable;
 - ``off``       — the shipped default: hooks in place, registry and
   tracer disabled (one attribute load + branch per call);
-- ``on``        — metrics and tracing both enabled.
+- ``on``        — metrics and tracing both enabled;
+- ``journal``   — metrics, tracing AND the flight recorder enabled.
 
-The acceptance target is that ``off`` stays within 5 % of ``baseline``.
-Writes ``BENCH_obs_overhead.json`` at the repository root.
+The acceptance targets (both enforced): ``off`` stays within 5 % of
+``baseline``, and — since obs v2's pre-bound metric handles, class-based
+span context manager and sampled histograms — the fully *enabled* path
+does too.  Writes ``BENCH_obs_overhead.json`` at the repository root.
 
 Run with ``make bench-obs``.
 """
@@ -34,10 +37,13 @@ import repro.workloads.suite
 from repro.obs import configure
 from repro.workloads.suite import run_migration_suite
 
-# One suite run is ~10 ms; loop it inside each sample so scheduler
-# noise does not swamp the per-call-site effect being measured.
-REPEATS = 7
-INNER_LOOPS = 20
+# One suite run is ~10 ms.  Many SHORT samples, tightly interleaved
+# across configurations, beat few long ones on a shared machine: the
+# per-configuration minimum over ~100 samples converges on the
+# undisturbed runtime even when individual samples are inflated 30 %
+# by co-tenant noise.
+REPEATS = 100
+INNER_LOOPS = 2
 INSTRUMENTED_MODULES = [
     repro.analysis.tsp,
     repro.core.ea,
@@ -52,7 +58,11 @@ INSTRUMENTED_MODULES = [
 
 
 class _NullInstrument:
-    """Absorbs inc/observe/set/... on any metric handle."""
+    """Absorbs inc/observe/set/... on any metric handle, and direct
+    calls (``_instruments.record_workload(...)``-style helpers)."""
+
+    def __call__(self, *args, **kwargs):
+        return None
 
     def __getattr__(self, name):
         return lambda *args, **kwargs: None
@@ -108,40 +118,82 @@ def time_suite() -> float:
     return (time.perf_counter() - started) / INNER_LOOPS
 
 
-def measure(label: str) -> dict:
-    samples = [time_suite() for _ in range(REPEATS)]
-    return {
-        "label": label,
-        "repeats": REPEATS,
-        "inner_loops": INNER_LOOPS,
-        "seconds_min": min(samples),
-        "seconds_median": statistics.median(samples),
-    }
+def _sample_baseline() -> float:
+    with stub_instrumentation():
+        configure()  # disabled, reset
+        return time_suite()
+
+
+def _sample_off() -> float:
+    configure()
+    return time_suite()
+
+
+def _sample_on() -> float:
+    configure(metrics=True, tracing=True)
+    try:
+        return time_suite()
+    finally:
+        configure()
+
+
+def _sample_journal() -> float:
+    configure(metrics=True, tracing=True, journal=True)
+    try:
+        return time_suite()
+    finally:
+        configure()
+
+
+#: Sampled round-robin (one sample of each per round, REPEATS rounds)
+#: so machine drift between rounds hits every configuration equally
+#: instead of biasing whichever configuration ran last.
+CONFIGURATIONS = [
+    ("baseline (hooks stubbed)", _sample_baseline),
+    ("off (default: hooks present, disabled)", _sample_off),
+    ("on (metrics + tracing)", _sample_on),
+    ("journal (metrics + tracing + flight recorder)", _sample_journal),
+]
+
+
+def measure_all() -> dict:
+    samples = {label: [] for label, _ in CONFIGURATIONS}
+    for _ in range(REPEATS):
+        for label, sampler in CONFIGURATIONS:
+            samples[label].append(sampler())
+    return samples
 
 
 def main() -> None:
     run_migration_suite(method="jsr", hardware=True)  # warm-up
 
-    with stub_instrumentation():
-        configure()  # disabled, reset
-        baseline = measure("baseline (hooks stubbed)")
+    samples = measure_all()
+    configurations = [
+        {
+            "label": label,
+            "repeats": REPEATS,
+            "inner_loops": INNER_LOOPS,
+            "seconds_min": min(samples[label]),
+            "seconds_median": statistics.median(samples[label]),
+        }
+        for label, _ in CONFIGURATIONS
+    ]
+    base_label = CONFIGURATIONS[0][0]
 
-    configure()
-    off = measure("off (default: hooks present, disabled)")
-
-    configure(metrics=True, tracing=True)
-    on = measure("on (metrics + tracing)")
-    configure()
-
-    def pct(sample: dict) -> float:
-        return 100.0 * (sample["seconds_min"] / baseline["seconds_min"] - 1)
+    def pct(label: str) -> float:
+        # Ratio of per-configuration minima.  Noise on this class of
+        # machine is one-sided (samples get inflated, never deflated),
+        # so the minimum over many interleaved short samples is the
+        # best available estimate of the undisturbed runtime.
+        return 100.0 * (min(samples[label]) / min(samples[base_label]) - 1)
 
     report = {
         "workload": "run_migration_suite(method='jsr', hardware=True)",
-        "configurations": [baseline, off, on],
-        "overhead_off_pct": round(pct(off), 2),
-        "overhead_on_pct": round(pct(on), 2),
-        "acceptance": "overhead_off_pct < 5",
+        "configurations": configurations,
+        "overhead_off_pct": round(pct(CONFIGURATIONS[1][0]), 2),
+        "overhead_on_pct": round(pct(CONFIGURATIONS[2][0]), 2),
+        "overhead_journal_pct": round(pct(CONFIGURATIONS[3][0]), 2),
+        "acceptance": "overhead_off_pct < 5 and overhead_on_pct < 5",
     }
     out = pathlib.Path(__file__).resolve().parent.parent
     out = out / "BENCH_obs_overhead.json"
@@ -149,6 +201,8 @@ def main() -> None:
     print(json.dumps(report, indent=2))
     if report["overhead_off_pct"] >= 5:
         raise SystemExit("disabled-path overhead exceeds the 5% budget")
+    if report["overhead_on_pct"] >= 5:
+        raise SystemExit("enabled-path overhead exceeds the 5% budget")
 
 
 if __name__ == "__main__":

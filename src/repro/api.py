@@ -45,6 +45,7 @@ __all__ = [
     "VerificationOutcome",
     "compile_fsm",
     "migrate",
+    "obs_server",
     "optimise",
     "serve",
     "synthesise",
@@ -317,6 +318,31 @@ def serve(
         engine=opts.execution,
         **fleet_kwargs,
     )
+
+
+def obs_server(
+    fleet=None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    start: bool = True,
+):
+    """A live observability HTTP endpoint (``/metrics``, ``/healthz``,
+    ``/journal``).
+
+    Binds loopback on an ephemeral port by default; pass the serving
+    fleet so ``/healthz`` includes per-shard vitals.  With ``start``
+    (default) the server is already serving from a daemon thread when
+    returned — close it (or use it as a context manager) when done::
+
+        fleet = api.serve(machine)
+        with api.obs_server(fleet) as srv:
+            print(srv.url)  # scrape /metrics, poll /healthz
+    """
+    from .obs.server import ObsServer
+
+    server = ObsServer(host=host, port=port, fleet=fleet)
+    return server.start() if start else server
 
 
 def compile_fsm(machine, *, options: Optional[Options] = None):

@@ -61,7 +61,7 @@ from .io.dot import migration_to_dot, to_dot
 from .io.kiss import KissError
 from .io.kiss import dumps as kiss_dumps
 from .io.kiss import load as kiss_load
-from .obs import REGISTRY, TRACER
+from .obs import JOURNAL, REGISTRY, TRACER
 from .obs import configure as obs_configure
 from .obs import instruments as _instruments
 from .obs.probes import probe_hardware, publish
@@ -349,6 +349,83 @@ def cmd_fleet(args) -> int:
     if not ok:
         print("FLEET SCENARIO FAILED", file=sys.stderr)
     return 0 if ok else 1
+
+
+def _fetch_json(url: str):
+    import json
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return json.loads(response.read()), response.status
+    except urllib.error.HTTPError as exc:
+        # /healthz answers 503 with a full report body when critical.
+        try:
+            return json.loads(exc.read()), exc.code
+        except ValueError:
+            raise CliError(f"{url}: HTTP {exc.code}") from None
+    except (urllib.error.URLError, OSError) as exc:
+        raise CliError(f"cannot reach {url}: {exc}") from None
+
+
+def cmd_health(args) -> int:
+    """Assess (or fetch) the live health report."""
+    from .obs import health as _health
+
+    if args.url:
+        payload, _status = _fetch_json(
+            args.url.rstrip("/") + "/healthz"
+        )
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload.get("status") != "critical" else 1
+    report = _health.check(journal=JOURNAL, registry=REGISTRY)
+    print(_health.render(report))
+    return 0 if report.status != "critical" else 1
+
+
+def cmd_journal(args) -> int:
+    """Print flight-recorder events, or reconstruct a migration timeline."""
+    import json
+
+    from .obs import journal as _journal
+
+    if args.url:
+        query = f"?limit={args.limit}"
+        if args.type:
+            query += f"&type={args.type}"
+        if args.shard:
+            query += f"&shard={args.shard}"
+        payload, _status = _fetch_json(
+            args.url.rstrip("/") + "/journal" + query
+        )
+        events = [_journal.Event.from_dict(e) for e in payload["events"]]
+        dropped = payload.get("dropped", 0)
+    elif getattr(args, "from_file", None):
+        events = _journal.load_jsonl(args.from_file)
+        if args.type:
+            events = [e for e in events if e.type == args.type]
+        if args.shard:
+            events = [e for e in events if e.shard == args.shard]
+        events = events[-args.limit:]
+        dropped = None
+    else:
+        events = JOURNAL.events(
+            type=args.type, shard=args.shard, limit=args.limit
+        )
+        dropped = JOURNAL.dropped
+    if args.timeline:
+        timeline = _journal.migration_timeline(events)
+        print(timeline.render())
+        return 0 if timeline.zero_downtime else 1
+    for event in events:
+        print(json.dumps(event.to_dict(), sort_keys=True))
+    if dropped:
+        print(f"# {dropped} events dropped by the ring buffer",
+              file=sys.stderr)
+    return 0
 
 
 def cmd_dot(args) -> int:
@@ -688,6 +765,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", action="store_true",
                    help="erase an F-RAM word mid-run to exercise "
                         "quarantine + re-seed")
+    p.add_argument("--journal-out", metavar="FILE",
+                   help="record the flight-recorder journal and write it "
+                        "as JSONL to FILE (replayable with "
+                        "`repro journal --from FILE --timeline`)")
     add_engine(p)
     add_opt_level(p)
     add_trace_out(p)
@@ -736,6 +817,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_backends)
 
+    p = sub.add_parser(
+        "health",
+        help="print the live health report (detectors over the journal; "
+             "--url scrapes a running obs endpoint's /healthz)",
+    )
+    p.add_argument("--url", default=None,
+                   help="base URL of a running observability endpoint "
+                        "(e.g. http://127.0.0.1:9464)")
+    p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "journal",
+        help="print flight-recorder events, or reconstruct the migration "
+             "timeline from them",
+    )
+    p.add_argument("--url", default=None,
+                   help="base URL of a running observability endpoint")
+    p.add_argument("--from", dest="from_file", metavar="FILE",
+                   help="read events from a JSONL export instead of the "
+                        "in-process journal")
+    p.add_argument("--limit", type=int, default=100,
+                   help="newest N events to show (default 100)")
+    p.add_argument("--type", default=None,
+                   help="filter by event type (e.g. serve.batch)")
+    p.add_argument("--shard", default=None,
+                   help="filter by shard label")
+    p.add_argument("--timeline", action="store_true",
+                   help="fold the events into a per-shard migration "
+                        "timeline (exit 1 unless it proves zero downtime)")
+    p.set_defaults(func=cmd_journal)
+
     for name, handler, extra_help in (
         ("synth", cmd_synth, "synthesise a reconfiguration program"),
         ("migrate", cmd_migrate, "synthesise + hardware-verify a migration"),
@@ -770,8 +882,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _emit_observability(metrics_mode: str, trace_out: Optional[str]) -> None:
-    """Flush the turn's metrics/trace to their destinations."""
+def _emit_observability(
+    metrics_mode: str,
+    trace_out: Optional[str],
+    journal_out: Optional[str] = None,
+) -> None:
+    """Flush the turn's metrics/trace/journal to their destinations."""
     if metrics_mode == "json":
         print(REGISTRY.to_json(), file=sys.stderr)
     elif metrics_mode == "prom":
@@ -786,23 +902,42 @@ def _emit_observability(metrics_mode: str, trace_out: Optional[str]) -> None:
                 f"trace written to {trace_out} ({len(TRACER.spans)} spans)",
                 file=sys.stderr,
             )
+    if journal_out:
+        try:
+            JOURNAL.export(journal_out)
+        except OSError as exc:
+            print(f"error: cannot write journal: {exc}", file=sys.stderr)
+        else:
+            print(
+                f"journal written to {journal_out} ({len(JOURNAL)} events, "
+                f"{JOURNAL.dropped} dropped)",
+                file=sys.stderr,
+            )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     metrics_mode = getattr(args, "metrics", "off")
     trace_out = getattr(args, "trace_out", None)
-    if trace_out:
-        parent = os.path.dirname(trace_out) or "."
-        if not os.path.isdir(parent):
-            print(
-                f"error: trace output directory does not exist: {parent}",
-                file=sys.stderr,
-            )
-            return 2
+    journal_out = getattr(args, "journal_out", None)
+    for out, what in ((trace_out, "trace"), (journal_out, "journal")):
+        if out:
+            parent = os.path.dirname(out) or "."
+            if not os.path.isdir(parent):
+                print(
+                    f"error: {what} output directory does not exist: "
+                    f"{parent}",
+                    file=sys.stderr,
+                )
+                return 2
+    # `repro health` / `repro journal` read the in-process recorders;
+    # resetting them on entry would erase exactly what they report.
+    inspecting = args.func in (cmd_health, cmd_journal)
     obs_configure(
         metrics=metrics_mode != "off",
         tracing=metrics_mode != "off" or trace_out is not None,
+        journal=journal_out is not None,
+        reset=not inspecting,
     )
     if metrics_mode != "off":
         # Surface the optional fast path as a feature-flag gauge in
@@ -828,11 +963,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
-        _emit_observability(metrics_mode, trace_out)
+        _emit_observability(metrics_mode, trace_out, journal_out)
         # Restore the process-wide default (recorded values are kept so
-        # embedders can still inspect REGISTRY / TRACER after main()).
+        # embedders can still inspect REGISTRY / TRACER / JOURNAL after
+        # main()).
         REGISTRY.disable()
         TRACER.disable()
+        JOURNAL.disable()
 
 
 if __name__ == "__main__":

@@ -283,8 +283,20 @@ class Program:
 
     @property
     def write_count(self) -> int:
-        """Number of table-writing cycles in the program."""
-        return sum(1 for step in self.steps if step.kind.writes)
+        """Number of table-writing cycles in the program.
+
+        Cached on first access (``steps`` is an immutable tuple): the
+        suite row builder and the metrics layer both read it per
+        program, and the O(|Z|) scan showed up in the observability
+        overhead budget.
+        """
+        try:
+            return self._write_count
+        except AttributeError:
+            self._write_count = sum(
+                1 for step in self.steps if step.kind.writes
+            )
+            return self._write_count
 
     @property
     def reset_count(self) -> int:

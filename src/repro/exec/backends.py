@@ -29,6 +29,8 @@ from typing import Dict, Optional, Sequence
 from ..core.fsm import FSM, Input, Output, State
 from ..engine.compiled import CompiledFSM, EngineError, WordRun
 from ..hw.machine import HardwareFSM
+from ..obs import journal as _journal
+from ..obs.tracing import span as _span
 from .protocol import Capabilities, ExecSnapshot, StaleSnapshot, TableMiss
 from .registry import TABLE_KERNELS, canonical, resolve_tables
 
@@ -68,23 +70,24 @@ class CycleBackend:
     ) -> WordRun:
         hw = self.hardware
         snap = None if commit else self.snapshot()
-        if start is not None and start != hw.state:
-            hw.restore_state(start)
-        outputs = []
-        visits: Dict[State, int] = {}
-        try:
-            for symbol in symbols:
-                outputs.append(hw.step(symbol))
-                state = hw.state
-                visits[state] = visits.get(state, 0) + 1
-            final = hw.state
-        finally:
-            # A pure query must not leave the machine mid-word, even
-            # when a symbol raised; cycle/visit probe counters keep the
-            # work that really happened.
-            if snap is not None:
-                hw.restore_state(snap.state)
-        return WordRun(outputs=outputs, final_state=final, visits=visits)
+        with _span("engine.run_batch", backend=self.name, symbols=len(symbols)):
+            if start is not None and start != hw.state:
+                hw.restore_state(start)
+            outputs = []
+            visits: Dict[State, int] = {}
+            try:
+                for symbol in symbols:
+                    outputs.append(hw.step(symbol))
+                    state = hw.state
+                    visits[state] = visits.get(state, 0) + 1
+                final = hw.state
+            finally:
+                # A pure query must not leave the machine mid-word, even
+                # when a symbol raised; cycle/visit probe counters keep
+                # the work that really happened.
+                if snap is not None:
+                    hw.restore_state(snap.state)
+            return WordRun(outputs=outputs, final_state=final, visits=visits)
 
     def snapshot(self) -> ExecSnapshot:
         return ExecSnapshot(
@@ -98,6 +101,11 @@ class CycleBackend:
             snap.table_version is not None
             and snap.table_version != hw.table_version
         ):
+            _journal.JOURNAL.record(
+                _journal.EXEC_STALE_SNAPSHOT,
+                snapshot_version=snap.table_version,
+                live_version=hw.table_version,
+            )
             raise StaleSnapshot(
                 f"snapshot of {hw.name} at table version "
                 f"{snap.table_version} cannot be restored at version "
@@ -181,15 +189,17 @@ class TableBackend:
         hw = self.hardware
         if start is None:
             start = hw.state if hw is not None else None
-        try:
-            run = self.compiled.run_word(symbols, start=start)
-        except EngineError as exc:
-            # The table run mutated nothing: the caller may replay the
-            # identical symbols cycle-accurately from the same state.
-            raise TableMiss(str(exc)) from exc
-        if commit and hw is not None:
-            hw.commit_engine_run(run.final_state, len(run), run.visits)
-        return run
+        with _span("engine.run_batch", backend=self.name, symbols=len(symbols)):
+            try:
+                run = self.compiled.run_word(symbols, start=start)
+            except EngineError as exc:
+                # The table run mutated nothing: the caller may replay
+                # the identical symbols cycle-accurately from the same
+                # state.
+                raise TableMiss(str(exc)) from exc
+            if commit and hw is not None:
+                hw.commit_engine_run(run.final_state, len(run), run.visits)
+            return run
 
     def run_many(
         self,
@@ -221,6 +231,11 @@ class TableBackend:
             snap.table_version is not None
             and snap.table_version != hw.table_version
         ):
+            _journal.JOURNAL.record(
+                _journal.EXEC_STALE_SNAPSHOT,
+                snapshot_version=snap.table_version,
+                live_version=hw.table_version,
+            )
             raise StaleSnapshot(
                 f"snapshot of {hw.name} at table version "
                 f"{snap.table_version} cannot be restored at version "

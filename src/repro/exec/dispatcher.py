@@ -33,11 +33,13 @@ cover?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..engine.compiled import EngineError
 from ..hw.machine import HardwareFSM
 from ..obs import instruments as _instruments
+from ..obs import journal as _journal
+from ..obs.tracing import span as _span
 from .backends import CycleBackend, TableBackend
 from .protocol import BackendUnavailable, ExecutionBackend
 from .registry import canonical, resolve
@@ -79,12 +81,20 @@ class Dispatcher:
         self,
         mode: str = "auto",
         coalesce_limit: int = DEFAULT_COALESCE,
+        shard: Optional[str] = None,
     ):
         self.mode = canonical(mode)
         resolve(self.mode)  # fail fast on an impossible request
         self.coalesce_limit = coalesce_limit
+        self.shard = shard
+        #: The most recent :class:`Decision` (health-surface vitals).
+        self.last_decision: Optional[Decision] = None
         self._table: Optional[TableBackend] = None
         self._cycle: Optional[CycleBackend] = None
+        # Decisions repeat the same few (backend, reason) pairs per
+        # shard thousands of times — bind the label sets once.
+        self._decision_handles: Dict[Tuple[str, str], object] = {}
+        self._fallback_handles: Dict[Tuple[str, str], object] = {}
 
     # ------------------------------------------------------------------
     def cycle_backend(self, hw: HardwareFSM) -> CycleBackend:
@@ -98,6 +108,13 @@ class Dispatcher:
         self, hw: HardwareFSM, migrating: bool = False
     ) -> Decision:
         """The backend to serve ``hw``'s next run with, per policy."""
+        with _span("exec.dispatch", mode=self.mode) as sp:
+            decision = self._select(hw, migrating)
+            sp.attrs["backend"] = decision.name
+            sp.attrs["reason"] = decision.reason
+            return decision
+
+    def _select(self, hw: HardwareFSM, migrating: bool) -> Decision:
         try:
             want = resolve(self.mode)
         except BackendUnavailable:
@@ -105,9 +122,7 @@ class Dispatcher:
             # degrade to the always-available netlist over failing
             # traffic.  Construction-time validation catches the
             # misconfiguration case loudly.
-            _instruments.ENGINE_FALLBACKS.inc(
-                reason="unavailable", backend=str(self.mode)
-            )
+            self._fallback("unavailable", str(self.mode))
             return self._decide(
                 self.cycle_backend(hw), "unavailable", degraded=True
             )
@@ -116,9 +131,7 @@ class Dispatcher:
         if migrating:
             # The blend table mutates entry by entry between batches;
             # only a mid-migration-capable backend may serve.
-            _instruments.ENGINE_FALLBACKS.inc(
-                reason="migration", backend=want
-            )
+            self._fallback("migration", want)
             return self._decide(
                 self.cycle_backend(hw), "migration", degraded=True
             )
@@ -133,7 +146,7 @@ class Dispatcher:
         try:
             self._table = TableBackend.from_hardware(hw, backend=want)
         except EngineError:
-            _instruments.ENGINE_FALLBACKS.inc(reason="error", backend=want)
+            self._fallback("error", want)
             return self._decide(
                 self.cycle_backend(hw), "compile-error", degraded=True
             )
@@ -147,9 +160,10 @@ class Dispatcher:
         still raises out of the datapath and still quarantines.
         """
         backend = self._table
-        _instruments.ENGINE_FALLBACKS.inc(
-            reason="unconfigured",
-            backend=backend.name if backend is not None else "table",
+        name = backend.name if backend is not None else "table"
+        self._fallback("unconfigured", name)
+        _journal.JOURNAL.record(
+            _journal.EXEC_TABLE_MISS, shard=self.shard, backend=name
         )
         return self._decide(
             self.cycle_backend(hw), "unconfigured", degraded=True
@@ -162,6 +176,9 @@ class Dispatcher:
             self._table.invalidate(reason=reason)
             self._table = None
         self._cycle = None
+        _journal.JOURNAL.record(
+            _journal.EXEC_INVALIDATE, shard=self.shard, reason=reason
+        )
 
     def pick(self) -> str:
         """The backend name :meth:`select` would serve with right now
@@ -169,18 +186,53 @@ class Dispatcher:
         return resolve(self.mode)
 
     # ------------------------------------------------------------------
+    def _fallback(self, reason: str, backend_name: str) -> None:
+        """Count one displacement and journal it with its reason."""
+        key = (reason, backend_name)
+        handle = self._fallback_handles.get(key)
+        if handle is None:
+            handle = self._fallback_handles[key] = (
+                _instruments.ENGINE_FALLBACKS.bind(
+                    reason=reason, backend=backend_name
+                )
+            )
+        handle.inc()
+        _journal.JOURNAL.record(
+            _journal.EXEC_FALLBACK,
+            shard=self.shard,
+            backend=backend_name,
+            reason=reason,
+        )
+
     def _decide(
         self, backend: ExecutionBackend, reason: str, degraded: bool = False
     ) -> Decision:
-        _instruments.EXEC_DECISIONS.inc(
-            backend=backend.name, reason=reason
-        )
-        return Decision(
+        key = (backend.name, reason)
+        handle = self._decision_handles.get(key)
+        if handle is None:
+            handle = self._decision_handles[key] = (
+                _instruments.EXEC_DECISIONS.bind(
+                    backend=backend.name, reason=reason
+                )
+            )
+        handle.inc()
+        decision = Decision(
             backend=backend,
             name=backend.name,
             reason=reason,
             degraded=degraded,
         )
+        self.last_decision = decision
+        journal = _journal.JOURNAL
+        if journal.enabled:
+            journal.record(
+                _journal.DISPATCH_DECISION,
+                shard=self.shard,
+                backend=backend.name,
+                reason=reason,
+                degraded=degraded,
+            )
+        return decision
 
     def __repr__(self) -> str:
         return f"Dispatcher(mode={self.mode!r})"

@@ -34,6 +34,7 @@ from typing import List, Optional, TYPE_CHECKING
 from ..core.fsm import FSM
 from ..core.incremental import Chunk
 from ..obs import instruments as _instruments
+from ..obs import journal as _journal
 from ..obs.tracing import span as _span
 from .pool import FleetError
 from .worker import MigrationJob
@@ -183,6 +184,13 @@ class MigrationScheduler:
             analysis=analysis,
         )
         started = time.perf_counter()
+        _journal.JOURNAL.record(
+            _journal.MIGRATION_ROLLOUT_BEGIN,
+            target=target.name,
+            shards=fleet.n_workers,
+            chunks=analysis.chunks_total,
+            stall_budget=self.stall_budget,
+        )
         with _span(
             "fleet.rollout",
             fleet=fleet.name,
@@ -231,5 +239,11 @@ class MigrationScheduler:
             sp.attrs["downtime_cycles"] = report.service_downtime_cycles
         _instruments.FLEET_SERVICE_DOWNTIME.inc(
             report.service_downtime_cycles, fleet=fleet.name
+        )
+        _journal.JOURNAL.record(
+            _journal.MIGRATION_ROLLOUT_COMMIT,
+            target=target.name,
+            verified=report.verified,
+            downtime_cycles=report.service_downtime_cycles,
         )
         return report

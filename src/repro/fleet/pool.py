@@ -29,7 +29,9 @@ from typing import Dict, Hashable, List, Optional, Sequence
 from ..core.fsm import FSM, Input
 from ..core.plan import plan_supersets
 from ..hw.faults import Upset, erase_entry, inject_upset
+from ..obs import context as _context
 from ..obs import instruments as _instruments
+from ..obs import journal as _journal
 from ..obs.probes import ProbeReport
 from .plancache import PlanCache
 from .worker import _STOP, _Batch, _Fault, ShardStats, ShardWorker
@@ -176,12 +178,24 @@ class FSMFleet:
                     f"{shard.index} (alphabet {sorted(map(str, serveable))})"
                 )
         future: Future = Future()
-        batch = _Batch(symbols=tuple(symbols), future=future)
+        # Capture the caller's trace context onto the batch: the shard
+        # worker re-activates it before serving, so the worker-side
+        # spans and journal events join the client's request tree.
+        batch = _Batch(
+            symbols=tuple(symbols),
+            future=future,
+            ctx=_context.capture(),
+        )
         try:
             shard.queue.put_nowait(batch)
         except _queue.Full:
             shard.stats.rejected += 1
             _instruments.FLEET_REJECTED.inc(shard=shard.label)
+            _journal.JOURNAL.record(
+                _journal.FLEET_SATURATION,
+                shard=shard.label,
+                depth=shard.queue.maxsize,
+            )
             raise FleetOverloaded(shard.index, shard.queue.maxsize) from None
         return future
 

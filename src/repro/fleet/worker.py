@@ -44,8 +44,11 @@ from ..core.fsm import FSM, Input, Output
 from ..core.incremental import Chunk, IncrementalMigrator
 from ..exec import Dispatcher, TableMiss
 from ..hw.machine import HardwareFSM
+from ..obs import context as _context
 from ..obs import instruments as _instruments
+from ..obs import journal as _journal
 from ..obs.probes import ProbeReport, probe_hardware
+from ..obs.tracing import span as _span
 
 #: Queue sentinel asking the worker thread to exit.
 _STOP = object()
@@ -77,6 +80,9 @@ class ShardStats:
 class _Batch:
     symbols: Tuple[Input, ...]
     future: Future
+    #: The submitting thread's trace context, captured at submit() and
+    #: re-activated by the worker so the serve joins the client's tree.
+    ctx: Optional[_context.TraceContext] = None
 
 
 @dataclass
@@ -120,7 +126,9 @@ class ShardWorker(threading.Thread):
         super().__init__(name=f"{fleet_name}-shard-{index}", daemon=True)
         # Validates the mode and fails fast on an impossible request
         # (e.g. a forced numpy backend without numpy installed).
-        self.dispatcher = Dispatcher(engine, coalesce_limit=_MAX_COALESCE)
+        self.dispatcher = Dispatcher(
+            engine, coalesce_limit=_MAX_COALESCE, shard=str(index)
+        )
         self.engine_mode = engine
         self.index = index
         self.machine = machine
@@ -137,6 +145,27 @@ class ShardWorker(threading.Thread):
         self.hardware = self._build_hardware(machine)
         self._job: Optional[MigrationJob] = None
         self._stopping = threading.Event()
+        # Pre-bound metric handles: the serving loop publishes the same
+        # label sets thousands of times per second, so validate and
+        # canonicalise them once here.  The timing histograms sample
+        # 1-in-8 (recorded with weight 8, still unbiased) — duration
+        # distributions need far fewer points than counters need counts.
+        label = str(index)
+        self._m_batches_ok = _instruments.FLEET_BATCHES.bind(
+            outcome="ok", shard=label
+        )
+        self._m_batches_error = _instruments.FLEET_BATCHES.bind(
+            outcome="error", shard=label
+        )
+        self._m_symbols = _instruments.FLEET_SYMBOLS.bind(shard=label)
+        self._m_migration_cycles = _instruments.FLEET_MIGRATION_CYCLES.bind(
+            shard=label
+        )
+        self._m_batch_seconds = _instruments.FLEET_BATCH_SECONDS.bind(
+            sample_shift=3, shard=label
+        )
+        self._m_served = {}  # (path, backend) -> BoundCounter
+        self._m_batch_size = {}  # backend -> BoundHistogram (sampled)
 
     # ------------------------------------------------------------------
     def _build_hardware(self, machine: FSM) -> HardwareFSM:
@@ -160,6 +189,25 @@ class ShardWorker(threading.Thread):
     @property
     def label(self) -> str:
         return str(self.index)
+
+    def _served_handle(self, path: str, backend: str):
+        key = (path, backend)
+        handle = self._m_served.get(key)
+        if handle is None:
+            handle = self._m_served[key] = _instruments.ENGINE_SERVED.bind(
+                path=path, backend=backend
+            )
+        return handle
+
+    def _batch_size_handle(self, backend: str):
+        handle = self._m_batch_size.get(backend)
+        if handle is None:
+            handle = self._m_batch_size[backend] = (
+                _instruments.ENGINE_BATCH_SIZE.bind(
+                    sample_shift=3, backend=backend
+                )
+            )
+        return handle
 
     # -- migration -----------------------------------------------------
     def begin_migration(self, job: MigrationJob) -> MigrationJob:
@@ -205,11 +253,20 @@ class ShardWorker(threading.Thread):
             job._migrator = IncrementalMigrator(
                 self.hardware, self.machine, job.target, chunks=job.chunks
             )
+            _journal.JOURNAL.record(
+                _journal.MIGRATION_SHARD_BEGIN,
+                shard=self.label,
+                target=job.target.name,
+                chunks=len(job.chunks),
+            )
         migrator = job._migrator
         if not migrator.done:
             used = migrator.stall(job.stall_budget)
             self.stats.migration_cycles += used
-            _instruments.FLEET_MIGRATION_CYCLES.inc(used, shard=self.label)
+            self._m_migration_cycles.inc(used)
+            _journal.JOURNAL.record(
+                _journal.MIGRATION_CHUNK, shard=self.label, cycles=used
+            )
         if migrator.done:
             verified = self.hardware.realises(job.target)
             job.verified = verified
@@ -218,6 +275,12 @@ class ShardWorker(threading.Thread):
             self.stats.migrations_done += 1
             _instruments.FLEET_SHARD_MIGRATIONS.inc(
                 shard=self.label, verified=str(verified).lower()
+            )
+            _journal.JOURNAL.record(
+                _journal.MIGRATION_SHARD_COMMIT,
+                shard=self.label,
+                target=job.target.name,
+                verified=verified,
             )
             job.done.set()
 
@@ -236,12 +299,27 @@ class ShardWorker(threading.Thread):
         _instruments.FLEET_INCIDENTS.inc(
             shard=self.label, error=type(exc).__name__
         )
+        _journal.JOURNAL.record(
+            _journal.FLEET_QUARANTINE,
+            shard=self.label,
+            error=type(exc).__name__,
+        )
         self.hardware = self._build_hardware(self.machine)
         self.dispatcher.invalidate(reason="replaced")
+        _journal.JOURNAL.record(
+            _journal.FLEET_RESEED,
+            shard=self.label,
+            machine=self.machine.name,
+        )
         job = self._job
         if job is not None and not job.done.is_set():
             job._migrator = None
             job.restarts += 1
+            _journal.JOURNAL.record(
+                _journal.MIGRATION_ROLLBACK,
+                shard=self.label,
+                restarts=job.restarts,
+            )
 
     # -- serving -------------------------------------------------------
     def _coalesce(self, first: _Batch):
@@ -276,12 +354,27 @@ class ShardWorker(threading.Thread):
         replays the batches per-symbol from the exact same state, so
         fault behaviour and quarantine semantics are unchanged.
         """
+        # Re-activate the submitting thread's trace context (the first
+        # batch's — one coalesced run is one serve) so the serve span
+        # and every journal event join the client's request tree.
+        token = _context.attach(batches[0].ctx) if batches[0].ctx else None
+        try:
+            with _span(
+                "fleet.serve", shard=self.label, batches=len(batches)
+            ) as sp:
+                self._serve_run_traced(batches, sp)
+        finally:
+            if token is not None:
+                _context.detach(token)
+
+    def _serve_run_traced(self, batches: List[_Batch], sp) -> None:
         decision = self.dispatcher.select(
             self.hardware, migrating=self._migrating()
         )
         if decision.degraded:
             self.stats.engine_fallbacks += len(batches)
         backend = decision.backend
+        sp.attrs["backend"] = backend.name
         if not backend.capabilities.batchable:
             for batch in batches:
                 self._serve(batch)
@@ -305,29 +398,33 @@ class ShardWorker(threading.Thread):
             # One device round-trip for the whole coalesced run — the
             # latency amortisation batching exists for.
             time.sleep(self.link_latency_s)
-        self.stats.service_downtime_cycles += (
-            self._downtime() - downtime_before
-        )
+        downtime_delta = self._downtime() - downtime_before
+        self.stats.service_downtime_cycles += downtime_delta
         cursor = 0
         for batch in batches:
             size = len(batch.symbols)
             batch.future.set_result(run.outputs[cursor:cursor + size])
             cursor += size
             self.stats.batches_ok += 1
-            _instruments.FLEET_BATCHES.inc(outcome="ok", shard=self.label)
+            self._m_batches_ok.inc()
         self.stats.symbols_served += len(symbols)
         self.stats.engine_batches += len(batches)
         self.stats.engine_symbols += len(symbols)
-        _instruments.FLEET_SYMBOLS.inc(len(symbols), shard=self.label)
-        _instruments.ENGINE_SERVED.inc(
-            len(symbols), path="compiled", backend=backend.name
-        )
-        _instruments.ENGINE_BATCH_SIZE.observe(
-            len(symbols), backend=backend.name
-        )
-        _instruments.FLEET_BATCH_SECONDS.observe(
-            time.perf_counter() - started, shard=self.label
-        )
+        self._m_symbols.inc(len(symbols))
+        self._served_handle("compiled", backend.name).inc(len(symbols))
+        self._batch_size_handle(backend.name).observe(len(symbols))
+        self._m_batch_seconds.observe(time.perf_counter() - started)
+        journal = _journal.JOURNAL
+        if journal.enabled:
+            journal.record(
+                _journal.SERVE_BATCH,
+                shard=self.label,
+                backend=backend.name,
+                path="compiled",
+                batches=len(batches),
+                symbols=len(symbols),
+                downtime_delta=downtime_delta,
+            )
 
     def _serve(self, batch: _Batch) -> None:
         """Serve one batch per-symbol on the cycle-accurate backend.
@@ -346,27 +443,31 @@ class ShardWorker(threading.Thread):
             ]
         except Exception as exc:
             self.stats.batches_failed += 1
-            _instruments.FLEET_BATCHES.inc(
-                outcome="error", shard=self.label
-            )
+            self._m_batches_error.inc()
             batch.future.set_exception(exc)
             self._quarantine(exc)
             return
         if self.link_latency_s:
             time.sleep(self.link_latency_s)
-        self.stats.service_downtime_cycles += (
-            self._downtime() - downtime_before
-        )
+        downtime_delta = self._downtime() - downtime_before
+        self.stats.service_downtime_cycles += downtime_delta
         self.stats.batches_ok += 1
         self.stats.symbols_served += len(batch.symbols)
-        _instruments.FLEET_BATCHES.inc(outcome="ok", shard=self.label)
-        _instruments.FLEET_SYMBOLS.inc(len(batch.symbols), shard=self.label)
-        _instruments.ENGINE_SERVED.inc(
-            len(batch.symbols), path="cycle", backend=backend.name
-        )
-        _instruments.FLEET_BATCH_SECONDS.observe(
-            time.perf_counter() - started, shard=self.label
-        )
+        self._m_batches_ok.inc()
+        self._m_symbols.inc(len(batch.symbols))
+        self._served_handle("cycle", backend.name).inc(len(batch.symbols))
+        self._m_batch_seconds.observe(time.perf_counter() - started)
+        journal = _journal.JOURNAL
+        if journal.enabled:
+            journal.record(
+                _journal.SERVE_BATCH,
+                shard=self.label,
+                backend=backend.name,
+                path="cycle",
+                batches=1,
+                symbols=len(batch.symbols),
+                downtime_delta=downtime_delta,
+            )
         batch.future.set_result(outputs)
 
     # -- main loop -----------------------------------------------------

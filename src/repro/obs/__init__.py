@@ -1,25 +1,38 @@
-"""Unified observability layer: metrics, span tracing, hardware probes.
+"""Unified observability layer: metrics, tracing, journal, health.
 
-Three pillars, one switchboard:
+Five pillars, one switchboard:
 
 * :mod:`repro.obs.metrics` — a process-wide registry of labelled
   counters, gauges and histograms, exportable as a JSON snapshot or
   Prometheus text exposition;
 * :mod:`repro.obs.tracing` — nested wall-time spans with a JSONL
-  exporter, so a full ``repro migrate`` run yields a trace tree;
+  exporter and **cross-thread trace propagation** (one connected tree
+  per fleet request, client thread → worker → dispatcher → engine);
+* :mod:`repro.obs.journal` — the flight recorder: a bounded ring of
+  typed structured events (dispatcher decisions, fallbacks, migration
+  chunks, quarantines ...) with gap-free sequence numbers and a
+  migration-timeline reconstructor;
+* :mod:`repro.obs.health` / :mod:`repro.obs.server` — live detectors
+  (staleness storm, fallback spike, queue saturation) behind a stdlib
+  HTTP endpoint serving ``/metrics``, ``/healthz`` and ``/journal``;
 * :mod:`repro.obs.probes` — per-run statistics derived from the
   cycle-accurate datapath (mode occupancy, RAM writes, state-visit
   histograms, downtime).
 
 Everything is **off by default** and no-op cheap when off; the CLI's
-``--metrics {json,prom,off}`` / ``--trace-out FILE`` flags (or
-:func:`configure` from Python) turn recording on.  Metric names and the
-span naming convention are catalogued in ``docs/observability.md``.
+``--metrics {json,prom,off}`` / ``--trace-out FILE`` / ``--journal``
+flags (or :func:`configure` from Python) turn recording on.  Metric
+names, the span naming convention and the journal event taxonomy are
+catalogued in ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
-from . import instruments
+from . import context, instruments
+from .context import TraceContext, new_trace
+from .health import HealthReport, Thresholds
+from .health import check as health_check
+from .journal import JOURNAL, Event, Journal, migration_timeline
 from .metrics import (
     Counter,
     Gauge,
@@ -31,6 +44,7 @@ from .metrics import (
     histogram,
 )
 from .probes import ProbeReport, probe_hardware, publish
+from .server import ObsServer
 from .tracing import (
     SpanRecord,
     TRACER,
@@ -42,9 +56,12 @@ from .tracing import (
 
 
 def configure(
-    metrics: bool = False, tracing: bool = False, reset: bool = True
+    metrics: bool = False,
+    tracing: bool = False,
+    journal: bool = False,
+    reset: bool = True,
 ) -> None:
-    """Switch the default registry and tracer on or off.
+    """Switch the default registry, tracer and journal on or off.
 
     ``reset`` clears previously recorded values first, so repeated
     program runs in one process (tests, notebooks) start clean.
@@ -52,26 +69,39 @@ def configure(
     if reset:
         REGISTRY.reset()
         TRACER.clear()
+        JOURNAL.clear()
     REGISTRY.enabled = metrics
     TRACER.enabled = tracing
+    JOURNAL.enabled = journal
 
 
 __all__ = [
     "Counter",
+    "Event",
     "Gauge",
+    "HealthReport",
     "Histogram",
+    "JOURNAL",
+    "Journal",
     "MetricsRegistry",
+    "ObsServer",
     "ProbeReport",
     "REGISTRY",
     "SpanRecord",
     "TRACER",
+    "Thresholds",
+    "TraceContext",
     "Tracer",
     "configure",
+    "context",
     "counter",
     "gauge",
+    "health_check",
     "histogram",
     "instruments",
     "load_jsonl",
+    "migration_timeline",
+    "new_trace",
     "probe_hardware",
     "publish",
     "render_tree",

@@ -1,0 +1,230 @@
+"""Request-scoped trace propagation across execution contexts.
+
+One client request to the fleet crosses at least three execution
+contexts: the client thread that calls ``FSMFleet.submit()``, the shard
+worker thread that serves the batch, and the dispatcher/engine machinery
+the worker drives.  PR 1's tracer nests spans with a per-thread stack,
+which is correct *within* a thread but blind across the hop — every
+worker-side span used to start a fresh root tree.
+
+This module carries the causal link explicitly:
+
+* :class:`TraceContext` — an immutable ``(trace_id, span_id, baggage)``
+  triple.  ``trace_id`` names the whole request tree; ``span_id`` is the
+  index of the parent span inside the process-wide tracer (``None`` when
+  there is no recorded parent, e.g. tracing disabled or a remote hop);
+* a :mod:`contextvars` variable holding the *current* context.  The
+  tracer activates a child context inside every span, so any code under
+  a span — including journal events — sees the request it serves;
+* :func:`capture` / :func:`attach` / :func:`detach` — the explicit seam
+  crossed at ``FSMFleet.submit()``: the client thread captures, the
+  worker thread re-activates before serving;
+* a **carrier** codec (:func:`inject` / :func:`extract`) that writes the
+  context into any ``str -> str`` mapping (HTTP headers, a message
+  envelope, a ``multiprocessing`` pipe frame).  A context decoded from a
+  carrier is marked ``remote``: its ``span_id`` indexes *another
+  process's* span list, so the local tracer keeps the id for rendering
+  but never uses it as a list index.  This is the injection seam the
+  future multi-process fleet plugs into.
+
+Everything here is stdlib-only and allocation-light; with tracing and
+the journal both disabled no context is ever created, so the hot path
+pays a single ``ContextVar.get`` at most.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from typing import Dict, Iterator, Mapping, MutableMapping, NamedTuple, Optional
+
+__all__ = [
+    "TraceContext",
+    "activate",
+    "attach",
+    "capture",
+    "current",
+    "detach",
+    "extract",
+    "inject",
+    "new_trace",
+    "new_trace_id",
+]
+
+#: Carrier keys written by :func:`inject` (W3C-traceparent-flavoured but
+#: deliberately namespaced: the format is ours, not an interop claim).
+TRACE_ID_KEY = "repro-trace-id"
+SPAN_ID_KEY = "repro-span-id"
+BAGGAGE_PREFIX = "repro-baggage-"
+
+
+class TraceContext(NamedTuple):
+    """One request's identity as it crosses execution contexts.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the tracer creates
+    one per span on the serving hot path, and tuple construction is
+    several times cheaper than frozen-dataclass ``__init__``.  The
+    shared ``{}`` baggage default is safe — baggage is copied on
+    derivation, never mutated in place.
+
+    ``trace_id``
+        Hex string naming the whole request tree (16 hex chars from
+        :func:`new_trace`; any non-empty string is accepted).
+    ``span_id``
+        Index of the parent span inside the process tracer's span list,
+        or ``None`` when no recorded parent exists.
+    ``baggage``
+        Small string->string map that travels with the request
+        (shard key, tenant, experiment arm ...).  Copied on derivation,
+        never mutated in place.
+    ``remote``
+        True when this context was decoded from a carrier: ``span_id``
+        belongs to another process and must not be used as a local
+        parent index.
+    """
+
+    trace_id: str
+    span_id: Optional[int] = None
+    baggage: Mapping[str, str] = {}
+    remote: bool = False
+
+    def child(self, span_id: Optional[int]) -> "TraceContext":
+        """The context one span deeper (same trace, new parent span)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=span_id,
+            baggage=self.baggage,
+            remote=False,
+        )
+
+    def with_baggage(self, **items: str) -> "TraceContext":
+        """A copy with extra baggage entries (existing keys replaced)."""
+        merged = dict(self.baggage)
+        merged.update({k: str(v) for k, v in items.items()})
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            baggage=merged,
+            remote=self.remote,
+        )
+
+
+_CURRENT: "contextvars.ContextVar[Optional[TraceContext]]" = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def new_trace_id() -> str:
+    """A random 16-hex-char trace id.
+
+    ``os.urandom`` rather than ``uuid.uuid4`` — this runs once per root
+    span on the serving hot path, and the UUID machinery costs several
+    times the eight random bytes actually needed.
+    """
+    return os.urandom(8).hex()
+
+
+def new_trace(**baggage: str) -> TraceContext:
+    """A fresh root context with a random 16-hex-char trace id."""
+    return TraceContext(
+        trace_id=new_trace_id(),
+        span_id=None,
+        baggage={k: str(v) for k, v in baggage.items()},
+    )
+
+
+def current() -> Optional[TraceContext]:
+    """The active context of this execution context (or ``None``)."""
+    return _CURRENT.get()
+
+
+def capture() -> Optional[TraceContext]:
+    """Capture the active context for a hand-off to another thread.
+
+    Alias of :func:`current`, named for the call sites that cross a
+    thread boundary (``FSMFleet.submit()`` captures, the worker
+    re-activates).
+    """
+    return _CURRENT.get()
+
+
+def attach(ctx: Optional[TraceContext]) -> "contextvars.Token":
+    """Activate ``ctx``; returns a token for :func:`detach`."""
+    return _CURRENT.set(ctx)
+
+
+def detach(token: "contextvars.Token") -> None:
+    """Restore the context active before the matching :func:`attach`."""
+    _CURRENT.reset(token)
+
+
+class activate:
+    """Context manager form of :func:`attach` / :func:`detach`.
+
+    ``with activate(ctx): ...`` — activating ``None`` is allowed and
+    simply masks any outer context for the duration.
+    """
+
+    __slots__ = ("ctx", "_token")
+
+    def __init__(self, ctx: Optional[TraceContext]):
+        self.ctx = ctx
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._token = _CURRENT.set(self.ctx)
+        return self.ctx
+
+    def __exit__(self, *exc_info) -> None:
+        _CURRENT.reset(self._token)
+
+
+def iter_baggage(carrier: Mapping[str, str]) -> Iterator[tuple]:
+    """The baggage entries encoded in ``carrier`` (decoded keys)."""
+    for key, value in carrier.items():
+        if key.startswith(BAGGAGE_PREFIX):
+            yield key[len(BAGGAGE_PREFIX):], value
+
+
+def inject(
+    carrier: MutableMapping[str, str],
+    ctx: Optional[TraceContext] = None,
+) -> MutableMapping[str, str]:
+    """Encode ``ctx`` (default: the active context) into ``carrier``.
+
+    Writes plain string keys/values only, so any transport that can
+    move a ``dict`` of headers can move a trace.  A ``None`` context
+    writes nothing (the carrier is returned unchanged).
+    """
+    if ctx is None:
+        ctx = _CURRENT.get()
+    if ctx is None:
+        return carrier
+    carrier[TRACE_ID_KEY] = ctx.trace_id
+    if ctx.span_id is not None:
+        carrier[SPAN_ID_KEY] = str(ctx.span_id)
+    for key, value in ctx.baggage.items():
+        carrier[BAGGAGE_PREFIX + key] = str(value)
+    return carrier
+
+
+def extract(carrier: Mapping[str, str]) -> Optional[TraceContext]:
+    """Decode a context from ``carrier``; ``None`` when none encoded.
+
+    The result is marked ``remote=True``: its ``span_id`` (if any)
+    names a span in the *sending* process, kept for cross-process
+    reassembly but never dereferenced locally.
+    """
+    trace_id = carrier.get(TRACE_ID_KEY)
+    if not trace_id:
+        return None
+    span_id: Optional[int] = None
+    raw = carrier.get(SPAN_ID_KEY)
+    if raw is not None:
+        try:
+            span_id = int(raw)
+        except ValueError:
+            span_id = None
+    baggage: Dict[str, str] = dict(iter_baggage(carrier))
+    return TraceContext(
+        trace_id=trace_id, span_id=span_id, baggage=baggage, remote=True
+    )

@@ -9,7 +9,7 @@ disabled, so hot paths call them unconditionally.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Dict, Tuple
 
 from .metrics import REGISTRY, SECONDS_BUCKETS
 
@@ -186,6 +186,16 @@ EXEC_BATCH_JOBS = REGISTRY.counter(
     "points, by site (e.g. ea.fitness).",
 )
 
+# -- observability self-metrics ---------------------------------------
+OBS_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_obs_http_requests_total",
+    "Requests served by the observability HTTP endpoint, by route.",
+)
+OBS_HEALTH_CHECKS = REGISTRY.counter(
+    "repro_obs_health_checks_total",
+    "Health assessments computed, by resulting status.",
+)
+
 # -- plan cache --------------------------------------------------------
 PLAN_CACHE_REQUESTS = REGISTRY.counter(
     "repro_plan_cache_requests_total",
@@ -209,9 +219,43 @@ CAMPAIGN_CELL_SECONDS = REGISTRY.histogram(
 )
 
 
+#: Per-method pre-bound handles for :func:`record_synthesis` — the
+#: label set is validated and canonicalised once per method name, not
+#: once per synthesised program.
+_SYNTH_HANDLES: Dict[str, Tuple[Any, Any, Any, Any]] = {}
+
+
+#: Per-(method, validity) pre-bound handles for :func:`record_workload`.
+_WORKLOAD_HANDLES: Dict[Tuple[str, bool], Any] = {}
+
+
+def record_workload(method: str, valid: bool) -> None:
+    """Count one suite workload, with the label set bound once."""
+    if not REGISTRY.enabled:
+        return
+    key = (method, valid)
+    handle = _WORKLOAD_HANDLES.get(key)
+    if handle is None:
+        handle = _WORKLOAD_HANDLES[key] = SUITE_WORKLOADS.bind(
+            method=method, valid=str(valid).lower()
+        )
+    handle.inc()
+
+
 def record_synthesis(method: str, program: Any, seconds: float) -> None:
     """Publish the standard per-synthesis metrics for one program."""
-    SYNTH_PROGRAMS.inc(method=method)
-    SYNTH_SECONDS.observe(seconds, method=method)
-    SYNTH_LENGTH.observe(len(program), method=method)
-    SYNTH_WRITES.inc(program.write_count, method=method)
+    if not REGISTRY.enabled:
+        return
+    handles = _SYNTH_HANDLES.get(method)
+    if handles is None:
+        handles = _SYNTH_HANDLES[method] = (
+            SYNTH_PROGRAMS.bind(method=method),
+            SYNTH_SECONDS.bind(method=method),
+            SYNTH_LENGTH.bind(method=method),
+            SYNTH_WRITES.bind(method=method),
+        )
+    programs, seconds_h, length_h, writes = handles
+    programs.inc()
+    seconds_h.observe(seconds)
+    length_h.observe(len(program))
+    writes.inc(program.write_count)

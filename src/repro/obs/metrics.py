@@ -73,10 +73,39 @@ class Metric:
             return [dict(key) for key in self._values]
 
 
+class BoundCounter:
+    """A counter pre-bound to one label set (hot-path handle).
+
+    Label validation and key canonicalisation happen once, at
+    :meth:`Counter.bind` time; each :meth:`inc` is one enabled-branch,
+    one lock, one dict update.  Handles survive
+    :meth:`MetricsRegistry.reset` (values clear, the handle stays
+    bound to the same series key).
+    """
+
+    __slots__ = ("_registry", "_values", "_key")
+
+    def __init__(self, metric: "Counter", key: LabelKey):
+        self._registry = metric._registry
+        self._values = metric._values
+        self._key = key
+
+    def inc(self, amount: float = 1) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self._values[self._key] = self._values.get(self._key, 0) + amount
+
+
 class Counter(Metric):
     """Monotonically increasing count (e.g. RAM writes, cycles)."""
 
     kind = "counter"
+
+    def bind(self, **labels: Any) -> BoundCounter:
+        """A pre-bound handle for one label set (see the handle docs)."""
+        return BoundCounter(self, self._check_labels(labels))
 
     def inc(self, amount: float = 1, **labels: Any) -> None:
         registry = self._registry
@@ -94,10 +123,42 @@ class Counter(Metric):
             return self._values.get(_label_key(labels), 0)
 
 
+class BoundGauge:
+    """A gauge pre-bound to one label set (hot-path handle)."""
+
+    __slots__ = ("_registry", "_values", "_key")
+
+    def __init__(self, metric: "Gauge", key: LabelKey):
+        self._registry = metric._registry
+        self._values = metric._values
+        self._key = key
+
+    def set(self, value: float) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self._values[self._key] = value
+
+    def inc(self, amount: float = 1) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self._values[self._key] = self._values.get(self._key, 0) + amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+
 class Gauge(Metric):
     """A value that can go up and down (e.g. best length so far)."""
 
     kind = "gauge"
+
+    def bind(self, **labels: Any) -> BoundGauge:
+        """A pre-bound handle for one label set."""
+        return BoundGauge(self, self._check_labels(labels))
 
     def set(self, value: float, **labels: Any) -> None:
         registry = self._registry
@@ -161,34 +222,107 @@ class Histogram(Metric):
             return
         key = self._check_labels(labels)
         with registry._lock:
-            series = self._values.get(key)
-            if series is None:
-                series = {
-                    "count": 0,
-                    "sum": 0.0,
-                    "min": math.inf,
-                    "max": -math.inf,
-                    "bucket_counts": [0] * len(self.buckets),
-                }
-                self._values[key] = series
-            series["count"] += 1
-            series["sum"] += value
-            series["min"] = min(series["min"], value)
-            series["max"] = max(series["max"], value)
-            for idx, bound in enumerate(self.buckets):
-                if value <= bound:
-                    series["bucket_counts"][idx] += 1
-                    break
+            self._observe_key(key, value, 1)
+
+    def bind(
+        self, *, sample_shift: int = 0, **labels: Any
+    ) -> "BoundHistogram":
+        """A pre-bound handle for one label set.
+
+        ``sample_shift`` turns on power-of-two sampled recording: only
+        every ``2**sample_shift``-th observation is recorded, with
+        weight ``2**sample_shift``, so ``count`` / ``sum`` / bucket
+        occupancy stay unbiased estimates while the hot path skips the
+        lock on the other ``2**sample_shift - 1`` calls.  ``min`` /
+        ``max`` cover the sampled observations only.
+        """
+        if sample_shift < 0:
+            raise ValueError("sample_shift must be non-negative")
+        return BoundHistogram(
+            self, self._check_labels(labels), sample_shift=sample_shift
+        )
+
+    def _observe_key(self, key: LabelKey, value: float, weight: int) -> None:
+        """Record ``value`` with ``weight`` under the registry lock
+        (callers hold ``registry._lock``)."""
+        series = self._values.get(key)
+        if series is None:
+            series = {
+                "count": 0,
+                "sum": 0.0,
+                "min": math.inf,
+                "max": -math.inf,
+                "bucket_counts": [0] * len(self.buckets),
+            }
+            self._values[key] = series
+        series["count"] += weight
+        series["sum"] += value * weight
+        series["min"] = min(series["min"], value)
+        series["max"] = max(series["max"], value)
+        for idx, bound in enumerate(self.buckets):
+            if value <= bound:
+                series["bucket_counts"][idx] += weight
+                break
 
     def count(self, **labels: Any) -> int:
         with self._registry._lock:
             series = self._values.get(_label_key(labels))
             return series["count"] if series else 0
 
+    def series(self, **labels: Any) -> Optional[Dict[str, Any]]:
+        """A copy of one label set's series dict (``None`` if absent)."""
+        with self._registry._lock:
+            series = self._values.get(_label_key(labels))
+            if series is None:
+                return None
+            out = dict(series)
+            out["bucket_counts"] = list(series["bucket_counts"])
+            return out
+
     def sum(self, **labels: Any) -> float:
         with self._registry._lock:
             series = self._values.get(_label_key(labels))
             return series["sum"] if series else 0.0
+
+
+class BoundHistogram:
+    """A histogram handle pre-bound to one label set, optionally sampled.
+
+    With ``sample_shift=0`` every :meth:`observe` records (weight 1).
+    With ``sample_shift=k`` a power-of-two sampling counter admits one
+    observation in ``2**k``, recorded with weight ``2**k``.  The
+    sampling tick is a plain int increment — no lock, GIL-atomic
+    enough; a rare lost tick under free-threading merely shifts which
+    observation is sampled.
+    """
+
+    __slots__ = ("_registry", "_metric", "_key", "_mask", "_weight", "_tick")
+
+    def __init__(
+        self, metric: "Histogram", key: LabelKey, sample_shift: int = 0
+    ):
+        self._registry = metric._registry
+        self._metric = metric
+        self._key = key
+        self._mask = (1 << sample_shift) - 1
+        self._weight = 1 << sample_shift
+        self._tick = 0
+
+    @property
+    def sample_rate(self) -> int:
+        """Observations per recorded sample (1 = record everything)."""
+        return self._weight
+
+    def observe(self, value: float) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        tick = self._tick
+        self._tick = tick + 1
+        if tick & self._mask:
+            return
+        with registry._lock:
+            self._metric._observe_key(self._key, value, self._weight)
 
 
 class MetricsRegistry:

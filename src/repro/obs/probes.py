@@ -122,6 +122,26 @@ def probe_hardware(hw) -> ProbeReport:
     )
 
 
+#: Pre-bound handle bundles for :func:`publish`, keyed by label set —
+#: serving loops publish the same few label sets thousands of times.
+_PUBLISH_HANDLES: Dict[Any, Dict[str, Any]] = {}
+
+
+def _publish_handles(labels: Dict[str, Any]) -> Dict[str, Any]:
+    key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+    handles = _PUBLISH_HANDLES.get(key)
+    if handles is None:
+        handles = _PUBLISH_HANDLES[key] = {
+            "normal": instruments.HW_CYCLES.bind(mode="normal", **labels),
+            "reconf": instruments.HW_CYCLES.bind(mode="reconf", **labels),
+            "reset": instruments.HW_CYCLES.bind(mode="reset", **labels),
+            "ram_f": instruments.HW_RAM_WRITES.bind(ram="f", **labels),
+            "ram_g": instruments.HW_RAM_WRITES.bind(ram="g", **labels),
+            "uninit": instruments.HW_UNINITIALISED_READS.bind(**labels),
+        }
+    return handles
+
+
 def publish(report: ProbeReport, **labels: Any) -> None:
     """Push a probe report into the default metrics registry.
 
@@ -130,20 +150,19 @@ def publish(report: ProbeReport, **labels: Any) -> None:
     """
     if not REGISTRY.enabled:
         return
+    handles = _publish_handles(labels)
     for mode, cycles in (
         ("normal", report.cycles_normal),
         ("reconf", report.cycles_reconf),
         ("reset", report.cycles_reset),
     ):
         if cycles:
-            instruments.HW_CYCLES.inc(cycles, mode=mode, **labels)
+            handles[mode].inc(cycles)
     if report.ram_writes_f:
-        instruments.HW_RAM_WRITES.inc(report.ram_writes_f, ram="f", **labels)
+        handles["ram_f"].inc(report.ram_writes_f)
     if report.ram_writes_g:
-        instruments.HW_RAM_WRITES.inc(report.ram_writes_g, ram="g", **labels)
+        handles["ram_g"].inc(report.ram_writes_g)
     if report.uninitialised_reads:
-        instruments.HW_UNINITIALISED_READS.inc(
-            report.uninitialised_reads, **labels
-        )
+        handles["uninit"].inc(report.uninitialised_reads)
     # trace_dropped is NOT re-published: TraceRecorder increments the
     # (process-wide) repro_hw_trace_dropped_total counter live.

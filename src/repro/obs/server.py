@@ -1,0 +1,172 @@
+"""A stdlib HTTP surface for metrics, health and the journal.
+
+:class:`ObsServer` wraps :class:`http.server.ThreadingHTTPServer` with
+three read-only endpoints:
+
+``/metrics``
+    The metrics registry in Prometheus text exposition format
+    (``text/plain; version=0.0.4``) — scrapeable by any Prometheus.
+``/healthz``
+    The :mod:`repro.obs.health` report as JSON.  HTTP 200 while ``ok``
+    or ``degraded``, 503 when ``critical`` — a load balancer needs only
+    the status code.
+``/journal``
+    The most recent flight-recorder events as JSON.  Query parameters:
+    ``limit`` (newest N, default 100), ``type`` (exact event type),
+    ``shard`` (exact shard label).
+
+The server binds ``127.0.0.1`` on an ephemeral port by default (this is
+an operator surface, not a public API), serves every request from a
+daemon thread, and is silent — request logging goes to a counter, not
+stderr.  Use it as a context manager::
+
+    with ObsServer(fleet=fleet) as srv:
+        print(srv.url)          # http://127.0.0.1:<port>
+        ...                     # scrape /metrics, poll /healthz
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+from . import health as _health
+from . import instruments as _instruments
+from . import journal as _journal
+from .journal import Journal
+from .metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["ObsServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; all state lives on the server object."""
+
+    server: "ObsServer"  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # counted, not printed
+
+    def _send(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode()
+        self._send(status, body, "application/json")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        obs: "ObsServer" = self.server  # type: ignore[assignment]
+        obs._count(route)
+        if route == "/metrics":
+            body = obs.registry.render_prometheus().encode()
+            self._send(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif route == "/healthz":
+            report = _health.check(
+                fleet=obs.fleet,
+                journal=obs.journal,
+                registry=obs.registry,
+                thresholds=obs.thresholds,
+            )
+            self._send_json(report.http_status, report.to_dict())
+        elif route == "/journal":
+            params = parse_qs(parsed.query)
+            try:
+                limit = int(params.get("limit", ["100"])[0])
+            except ValueError:
+                self._send_json(400, {"error": "limit must be an int"})
+                return
+            type_filter = params.get("type", [None])[0]
+            shard_filter = params.get("shard", [None])[0]
+            events = obs.journal.events(
+                type=type_filter, shard=shard_filter, limit=limit
+            )
+            self._send_json(
+                200,
+                {
+                    "events": [e.to_dict() for e in events],
+                    "dropped": obs.journal.dropped,
+                    "next_seq": obs.journal.next_seq,
+                },
+            )
+        else:
+            self._send_json(
+                404,
+                {
+                    "error": f"no route {route!r}",
+                    "routes": ["/metrics", "/healthz", "/journal"],
+                },
+            )
+
+
+class ObsServer(ThreadingHTTPServer):
+    """The live observability endpoint (see module docstring)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fleet: Any = None,
+        journal: Optional[Journal] = None,
+        registry: Optional[MetricsRegistry] = None,
+        thresholds: Optional[_health.Thresholds] = None,
+    ):
+        super().__init__((host, port), _Handler)
+        self.fleet = fleet
+        self.journal = journal if journal is not None else _journal.JOURNAL
+        self.registry = registry if registry is not None else REGISTRY
+        self.thresholds = thresholds or _health.Thresholds()
+        self._thread: Optional[threading.Thread] = None
+
+    def _count(self, route: str) -> None:
+        _instruments.OBS_HTTP_REQUESTS.inc(route=route)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Serve from a daemon thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"repro-obs-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,19 +1,30 @@
 """Span tracing: nested wall-time measurement with a JSONL exporter.
 
 A *span* is one timed region of work — ``span("jsr.synthesise")`` around
-a synthesiser call, ``span("suite.workload")`` around one workload of
-the regression suite.  Spans nest: the tracer keeps a per-thread stack,
-so a full ``repro migrate`` run produces a readable trace tree
-(synthesise → decode → hardware replay → conformance).
+a synthesiser call, ``span("fleet.serve")`` around one coalesced batch
+run.  Spans nest: the tracer keeps a per-thread stack, so a full
+``repro migrate`` run produces a readable trace tree (synthesise →
+decode → hardware replay → conformance).
+
+**Cross-thread parenting (v2).**  Every span carries a ``trace_id`` and
+publishes itself as the active :class:`~repro.obs.context.TraceContext`
+while open.  A thread whose local stack is empty parents its first span
+to the *active context* instead of starting a fresh root — so a request
+captured at ``FSMFleet.submit()`` and re-activated inside the worker
+thread yields one connected tree spanning client thread → worker thread
+→ dispatcher → engine batch.  Contexts decoded from a remote carrier
+keep their trace id but never dereference the foreign span index.
 
 Naming convention (see ``docs/observability.md``): spans are
 ``<subsystem>.<operation>`` in lowercase, e.g. ``ea.synthesise``,
-``verify.conformance``, ``campaign.cell``.  Attributes carry the
+``verify.conformance``, ``exec.dispatch``.  Attributes carry the
 cardinal quantities of the operation (``|Td|``, generations, words).
 
 Timing uses :func:`time.perf_counter`; a disabled tracer costs one
-branch per span.  The JSONL export writes one span per line so traces
-stream and concatenate trivially; :func:`load_jsonl` reads them back and
+branch per span.  The span context manager is a plain class (not a
+generator) so the enabled path stays cheap enough for serving loops.
+The JSONL export writes one span per line so traces stream and
+concatenate trivially; :func:`load_jsonl` reads them back and
 :func:`render_tree` pretty-prints the nesting.
 """
 
@@ -21,10 +32,11 @@ from __future__ import annotations
 
 import json
 import threading
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Union
+
+from . import context as _context
 
 
 @dataclass
@@ -38,6 +50,8 @@ class SpanRecord:
     start: float
     duration: Optional[float] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    thread: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -48,7 +62,27 @@ class SpanRecord:
             "start": self.start,
             "duration": self.duration,
             "attrs": {k: _json_safe(v) for k, v in self.attrs.items()},
+            "trace_id": self.trace_id,
+            "thread": self.thread,
         }
+
+    # -- TraceContext protocol --------------------------------------
+    # An open SpanRecord doubles as the active trace context (the
+    # tracer stores it in the context variable directly instead of
+    # allocating a TraceContext per span): these properties satisfy
+    # everything context consumers read — journal stamping, carrier
+    # injection, cross-thread capture.
+    @property
+    def span_id(self) -> int:
+        return self.index
+
+    @property
+    def remote(self) -> bool:
+        return False
+
+    @property
+    def baggage(self) -> Dict[str, str]:
+        return {}
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
@@ -60,6 +94,8 @@ class SpanRecord:
             start=data.get("start", 0.0),
             duration=data.get("duration"),
             attrs=dict(data.get("attrs", {})),
+            trace_id=data.get("trace_id"),
+            thread=data.get("thread"),
         )
 
 
@@ -82,8 +118,133 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+#: The context variable holding the active trace context.  Accessed
+#: directly (not via :func:`context.attach` / :func:`context.detach`)
+#: because two extra function calls per span are measurable on the
+#: serving hot path.
+_CURRENT = _context._CURRENT
+_get_ident = threading.get_ident
+
+
+class _Span:
+    """The context manager returned by :meth:`Tracer.span`.
+
+    A plain class instead of ``@contextmanager`` — the generator
+    machinery costs more than the whole span bookkeeping on the serving
+    hot path — with the open/close logic inlined rather than delegated
+    to tracer methods for the same reason.  While open, the span is the
+    active trace context, so nested spans (same thread or a captured
+    hand-off) and journal events attach to it.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_record", "_token", "_stack")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._record: Optional[SpanRecord] = None
+        self._token = None
+        self._stack: Optional[List[SpanRecord]] = None
+
+    def __enter__(self):
+        tracer = self._tracer
+        if not tracer.enabled:
+            return _NULL_SPAN
+        # Parent resolution runs outside the lock: the nesting stack is
+        # thread-local, and the bounds check on a context-carried parent
+        # index only ever *reads* the append-only span list.  The lock
+        # covers just index assignment + append.
+        local = tracer._local
+        try:
+            stack = local.stack
+        except AttributeError:
+            stack = local.stack = []
+        spans = tracer.spans
+        if stack:
+            # Same-thread nesting: parent is the enclosing span.
+            top = stack[-1]
+            parent: Optional[int] = top.index
+            depth = top.depth + 1
+            trace_id = top.trace_id
+        else:
+            ctx = _CURRENT.get()
+            if ctx is not None:
+                # Cross-context hand-off: parent to the active context.
+                # A remote context's span_id indexes another process's
+                # span list — keep the trace id, drop the index.
+                parent = (
+                    ctx.span_id
+                    if not ctx.remote
+                    and ctx.span_id is not None
+                    and 0 <= ctx.span_id < len(spans)
+                    else None
+                )
+                depth = spans[parent].depth + 1 if parent is not None else 0
+                trace_id = ctx.trace_id or _new_trace_id()
+            else:
+                parent = None
+                depth = 0
+                trace_id = _new_trace_id()
+        # The attrs dict is the keyword dict built for this call —
+        # owned by the record, not copied.
+        record = SpanRecord(
+            name=self._name,
+            index=0,
+            parent=parent,
+            depth=depth,
+            start=0.0,
+            attrs=self._attrs,
+            trace_id=trace_id,
+            thread=_get_ident(),
+        )
+        with tracer._lock:
+            record.index = len(spans)
+            spans.append(record)
+        self._stack = stack
+        self._record = record
+        if not stack:
+            # Publish the record itself as the active trace context —
+            # it satisfies the TraceContext read protocol.  Only
+            # thread-root spans publish: nested same-thread spans
+            # parent via the stack, and anything captured under them
+            # (journal events, a cross-thread hand-off) still lands in
+            # the right trace — at worst parented to this root rather
+            # than the innermost span.
+            self._token = _CURRENT.set(record)
+        stack.append(record)
+        record.start = perf_counter()
+        return record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self._record
+        if record is None:  # disabled at __enter__ time
+            return False
+        # No lock for the duration store: a float attribute write is
+        # atomic under the GIL, and exporters already tolerate
+        # in-flight spans (duration None).
+        record.duration = perf_counter() - record.start
+        if exc_type is not None:
+            record.attrs.setdefault("error", exc_type.__name__)
+        stack = self._stack
+        if stack and stack[-1] is record:
+            stack.pop()
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        return False
+
+
 class Tracer:
-    """Collects spans; one per-thread stack provides nesting."""
+    """Collects spans; one per-thread stack provides nesting.
+
+    Thread safety: the span list and every record mutation visible to
+    exporters happen under one lock; the nesting stacks are
+    ``threading.local`` so spans opened in a fleet worker thread can
+    never interleave into another thread's stack.  ``export`` /
+    ``to_jsonl`` under concurrent recording sees a consistent prefix —
+    no span is lost, duplicated, or torn.
+    """
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
@@ -109,34 +270,10 @@ class Tracer:
         return stack
 
     # -- recording ------------------------------------------------------
-    @contextmanager
-    def span(self, name: str, **attrs: Any):
-        """Time a region; yields the :class:`SpanRecord` for attribute
-        updates (a shared null object when tracing is disabled)."""
-        if not self.enabled:
-            yield _NULL_SPAN
-            return
-        stack = self._stack()
-        parent = stack[-1].index if stack else None
-        with self._lock:
-            record = SpanRecord(
-                name=name,
-                index=len(self.spans),
-                parent=parent,
-                depth=len(stack),
-                start=perf_counter(),
-                attrs=dict(attrs),
-            )
-            self.spans.append(record)
-        stack.append(record)
-        try:
-            yield record
-        except BaseException as exc:
-            record.attrs.setdefault("error", type(exc).__name__)
-            raise
-        finally:
-            record.duration = perf_counter() - record.start
-            stack.pop()
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """Time a region; entering yields the :class:`SpanRecord` for
+        attribute updates (a shared null object when disabled)."""
+        return _Span(self, name, attrs)
 
     # -- export ---------------------------------------------------------
     def to_jsonl(self) -> str:
@@ -158,7 +295,13 @@ class Tracer:
 
     def render_tree(self) -> str:
         """Indented text view of the trace (one line per span)."""
-        return render_tree(self.spans)
+        with self._lock:
+            spans = list(self.spans)
+        return render_tree(spans)
+
+
+def _new_trace_id() -> str:
+    return _context.new_trace_id()
 
 
 def load_jsonl(source: Union[str, TextIO, Iterable[str]]) -> List[SpanRecord]:
@@ -205,9 +348,9 @@ def render_tree(spans: Sequence[SpanRecord]) -> str:
 TRACER = Tracer()
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> _Span:
     """Open a span on the default tracer (usable as a context manager)."""
-    return TRACER.span(name, **attrs)
+    return _Span(TRACER, name, attrs)
 
 
 def enable() -> None:

@@ -279,9 +279,7 @@ def run_migration_suite(
                 publish(probe_hardware(hw), workload=name)
             sp.attrs["length"] = len(program)
             sp.attrs["valid"] = ok
-        _instruments.SUITE_WORKLOADS.inc(
-            method=method, valid=str(ok).lower()
-        )
+        _instruments.record_workload(method, ok)
         row: Dict[str, Any] = {
             "workload": name,
             "|Td|": delta_count(source, target),

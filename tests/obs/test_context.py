@@ -1,0 +1,123 @@
+"""Trace-context propagation: capture/attach, carriers, baggage."""
+
+import threading
+
+from repro.obs import context as ctx_mod
+from repro.obs.context import (
+    BAGGAGE_PREFIX,
+    SPAN_ID_KEY,
+    TRACE_ID_KEY,
+    TraceContext,
+    activate,
+    attach,
+    capture,
+    current,
+    detach,
+    extract,
+    inject,
+    new_trace,
+)
+
+
+class TestLifecycle:
+    def test_no_context_by_default(self):
+        assert current() is None
+        assert capture() is None
+
+    def test_attach_detach_restores(self):
+        ctx = new_trace()
+        token = attach(ctx)
+        assert current() is ctx
+        detach(token)
+        assert current() is None
+
+    def test_activate_nests_and_restores(self):
+        outer = new_trace()
+        inner = new_trace()
+        with activate(outer):
+            assert current() is outer
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+        assert current() is None
+
+    def test_activate_none_masks_outer(self):
+        with activate(new_trace()):
+            with activate(None):
+                assert current() is None
+
+    def test_new_trace_ids_are_unique_hex(self):
+        a, b = new_trace(), new_trace()
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 16
+        int(a.trace_id, 16)  # must parse as hex
+
+    def test_context_is_per_thread(self):
+        # contextvars: an attach in the main thread is invisible to a
+        # fresh worker thread, so workers must re-activate explicitly.
+        seen = {}
+        token = attach(new_trace())
+        try:
+            thread = threading.Thread(
+                target=lambda: seen.setdefault("ctx", current())
+            )
+            thread.start()
+            thread.join()
+        finally:
+            detach(token)
+        assert seen["ctx"] is None
+
+
+class TestDerivation:
+    def test_child_keeps_trace_and_baggage(self):
+        root = new_trace(tenant="a")
+        child = root.child(7)
+        assert child.trace_id == root.trace_id
+        assert child.span_id == 7
+        assert child.baggage == root.baggage
+        assert not child.remote
+
+    def test_with_baggage_copies(self):
+        root = new_trace(tenant="a")
+        extended = root.with_baggage(shard="3")
+        assert extended.baggage == {"tenant": "a", "shard": "3"}
+        assert root.baggage == {"tenant": "a"}
+
+
+class TestCarrier:
+    def test_round_trip(self):
+        ctx = TraceContext(
+            trace_id="abcd1234abcd1234",
+            span_id=5,
+            baggage={"tenant": "t1"},
+        )
+        carrier = inject({}, ctx)
+        assert carrier[TRACE_ID_KEY] == "abcd1234abcd1234"
+        assert carrier[SPAN_ID_KEY] == "5"
+        assert carrier[BAGGAGE_PREFIX + "tenant"] == "t1"
+        decoded = extract(carrier)
+        assert decoded.trace_id == ctx.trace_id
+        assert decoded.span_id == 5
+        assert decoded.baggage == {"tenant": "t1"}
+        assert decoded.remote  # a decoded context is always remote
+
+    def test_inject_defaults_to_active_context(self):
+        ctx = new_trace()
+        with activate(ctx):
+            carrier = inject({})
+        assert carrier[TRACE_ID_KEY] == ctx.trace_id
+
+    def test_inject_without_context_is_a_noop(self):
+        assert inject({}) == {}
+
+    def test_extract_missing_and_malformed(self):
+        assert extract({}) is None
+        decoded = extract({TRACE_ID_KEY: "t", SPAN_ID_KEY: "junk"})
+        assert decoded.trace_id == "t"
+        assert decoded.span_id is None  # bad index tolerated, not fatal
+
+    def test_module_reexports(self):
+        # The carrier seam is the multi-process injection point; keep
+        # the names stable.
+        for name in ("inject", "extract", "capture", "attach", "detach"):
+            assert hasattr(ctx_mod, name)

@@ -1,0 +1,138 @@
+"""Health surface: detectors, thresholds, live-fleet vitals."""
+
+import time
+
+import pytest
+
+from repro.fleet import FSMFleet
+from repro.obs import health
+from repro.obs import journal as jr
+from repro.obs.journal import Journal
+from repro.workloads.library import ones_detector
+from repro.workloads.suite import traffic_words
+
+
+def _journal_with(event_type, count, ts=None):
+    j = Journal(capacity=64, enabled=True)
+    stamp = time.time() if ts is None else ts
+    for _ in range(count):
+        event = j.record(event_type)
+        object.__setattr__(event, "ts", stamp)
+    return j
+
+
+def _detector(report, name):
+    return next(d for d in report.detectors if d.name == name)
+
+
+class TestDetectors:
+    def test_quiet_journal_is_ok(self):
+        report = health.check(journal=Journal(capacity=8, enabled=True))
+        assert report.status == health.STATUS_OK
+        assert report.http_status == 200
+        names = {d.name for d in report.detectors}
+        assert names == {
+            "staleness-storm", "fallback-spike", "queue-saturation",
+        }
+
+    @pytest.mark.parametrize(
+        "event_type,name,degraded,critical",
+        [
+            (jr.EXEC_STALE_SNAPSHOT, "staleness-storm", 3, 10),
+            (jr.EXEC_FALLBACK, "fallback-spike", 5, 20),
+            (jr.FLEET_SATURATION, "queue-saturation", 1, 10),
+        ],
+    )
+    def test_thresholds_trip(self, event_type, name, degraded, critical):
+        below = health.check(journal=_journal_with(event_type, degraded - 1))
+        assert _detector(below, name).status == health.STATUS_OK
+
+        warn = health.check(journal=_journal_with(event_type, degraded))
+        assert _detector(warn, name).status == health.STATUS_DEGRADED
+        assert warn.status == health.STATUS_DEGRADED
+        assert warn.http_status == 200
+
+        page = health.check(journal=_journal_with(event_type, critical))
+        assert _detector(page, name).status == health.STATUS_CRITICAL
+        assert page.status == health.STATUS_CRITICAL
+        assert page.http_status == 503
+
+    def test_old_events_age_out_of_the_window(self):
+        stale = _journal_with(
+            jr.EXEC_STALE_SNAPSHOT, 50, ts=time.time() - 3600
+        )
+        report = health.check(journal=stale)
+        assert report.status == health.STATUS_OK
+
+    def test_custom_thresholds(self):
+        j = _journal_with(jr.EXEC_FALLBACK, 2)
+        tight = health.Thresholds(fallback_degraded=1, fallback_critical=2)
+        report = health.check(journal=j, thresholds=tight)
+        assert report.status == health.STATUS_CRITICAL
+
+    def test_overall_status_is_worst_detector(self):
+        j = Journal(capacity=64, enabled=True)
+        for _ in range(3):
+            object.__setattr__(
+                j.record(jr.EXEC_STALE_SNAPSHOT), "ts", time.time()
+            )
+        for _ in range(20):
+            object.__setattr__(
+                j.record(jr.EXEC_FALLBACK), "ts", time.time()
+            )
+        report = health.check(journal=j)
+        assert _detector(report, "staleness-storm").status == (
+            health.STATUS_DEGRADED
+        )
+        assert report.status == health.STATUS_CRITICAL
+
+    def test_journal_accounting_reported(self):
+        j = Journal(capacity=2, enabled=True)
+        for _ in range(5):
+            j.record(jr.SERVE_BATCH)
+        report = health.check(journal=j)
+        assert report.journal_len == 2
+        assert report.journal_dropped == 3
+        assert report.to_dict()["journal"] == {"events": 2, "dropped": 3}
+
+
+class TestFleetVitals:
+    def test_live_fleet_shard_vitals(self):
+        j = Journal(capacity=128, enabled=True)
+        with FSMFleet(ones_detector(), n_workers=2, queue_depth=8) as fleet:
+            futures = [
+                fleet.submit(key, word)
+                for key, word in enumerate(
+                    traffic_words(ones_detector(), 6, 8, seed=1)
+                )
+            ]
+            for future in futures:
+                future.result(timeout=5.0)
+            fleet.drain()
+            report = health.check(fleet=fleet, journal=j)
+        assert report.status == health.STATUS_OK
+        assert len(report.shards) == 2
+        assert {s.shard for s in report.shards} == {"0", "1"}
+        served = sum(s.symbols_served for s in report.shards)
+        assert served > 0
+        for vital in report.shards:
+            assert vital.queue_capacity == 8
+            assert not vital.migrating
+            if vital.batches_ok:
+                assert vital.backend is not None
+        # The queue-depth detector only appears with a fleet attached.
+        assert _detector(report, "queue-depth").status == health.STATUS_OK
+        rendered = health.render(report)
+        assert "status: ok" in rendered
+        assert "shards:" in rendered
+
+    def test_no_fleet_means_no_queue_detector(self):
+        report = health.check(journal=Journal(capacity=8, enabled=True))
+        assert all(d.name != "queue-depth" for d in report.detectors)
+        assert report.shards == []
+
+    def test_render_without_shards(self):
+        report = health.check(journal=Journal(capacity=8, enabled=True))
+        text = health.render(report)
+        assert text.startswith("status: ok")
+        assert "journal:" in text

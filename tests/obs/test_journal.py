@@ -1,0 +1,205 @@
+"""Flight recorder: sequencing, drop accounting, export, timelines."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import context as _context
+from repro.obs import journal as jr
+from repro.obs.journal import Event, Journal, load_jsonl, migration_timeline
+
+
+@pytest.fixture
+def journal():
+    return Journal(capacity=16, enabled=True)
+
+
+class TestRecording:
+    def test_disabled_records_nothing(self):
+        j = Journal(capacity=4)
+        assert j.record("serve.batch") is None
+        assert len(j) == 0
+
+    def test_sequence_is_monotonic(self, journal):
+        events = [journal.record("serve.batch", shard=0) for _ in range(5)]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+
+    def test_shard_labels_stringified(self, journal):
+        event = journal.record("serve.batch", shard=3)
+        assert event.shard == "3"
+
+    def test_capture_active_trace_id(self, journal):
+        ctx = _context.new_trace()
+        with _context.activate(ctx):
+            event = journal.record("dispatch.decision")
+        assert event.trace_id == ctx.trace_id
+        assert journal.record("dispatch.decision").trace_id is None
+
+    def test_ring_drops_oldest_and_counts(self):
+        j = Journal(capacity=4, enabled=True)
+        for _ in range(10):
+            j.record("serve.batch")
+        assert len(j) == 4
+        assert j.dropped == 6
+        # The retained window is contiguous and starts at the drop count.
+        seqs = [e.seq for e in j.events()]
+        assert seqs == [6, 7, 8, 9]
+
+    def test_clear_resets_everything(self, journal):
+        for _ in range(3):
+            journal.record("serve.batch")
+        journal.clear()
+        assert len(journal) == 0
+        assert journal.dropped == 0
+        assert journal.record("serve.batch").seq == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Journal(capacity=0)
+
+    def test_event_types_documented(self, journal):
+        # Every constant used by the instrumentation has a taxonomy row.
+        for name in dir(jr):
+            value = getattr(jr, name)
+            if name.isupper() and isinstance(value, str) and "." in value:
+                assert value in jr.EVENT_TYPES, name
+
+
+class TestFiltering:
+    def test_filters_by_type_shard_and_seq(self, journal):
+        journal.record("serve.batch", shard=0)
+        journal.record("serve.batch", shard=1)
+        journal.record("fleet.quarantine", shard=1)
+        assert len(journal.events(type="serve.batch")) == 2
+        assert len(journal.events(shard=1)) == 2
+        assert len(journal.events(type="serve.batch", shard=1)) == 1
+        assert [e.seq for e in journal.events(since_seq=1)] == [1, 2]
+
+    def test_limit_keeps_newest(self, journal):
+        for i in range(6):
+            journal.record("serve.batch", idx=i)
+        tail = journal.events(limit=2)
+        assert [e.fields["idx"] for e in tail] == [4, 5]
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, journal):
+        ctx = _context.new_trace()
+        with _context.activate(ctx):
+            journal.record("serve.batch", shard=2, symbols=7)
+        buffer = io.StringIO()
+        journal.export(buffer)
+        events = load_jsonl(buffer.getvalue().splitlines())
+        assert len(events) == 1
+        event = events[0]
+        assert event.type == "serve.batch"
+        assert event.shard == "2"
+        assert event.trace_id == ctx.trace_id
+        assert event.fields["symbols"] == 7
+
+    def test_non_json_fields_stringified(self, journal):
+        journal.record("serve.batch", machine=object())
+        text = journal.to_jsonl()
+        events = load_jsonl(text.splitlines())
+        assert isinstance(events[0].fields["machine"], str)
+
+
+class TestSequenceProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=32),
+        total=st.integers(min_value=0, max_value=120),
+    )
+    def test_seqs_gap_free_except_counted_drops(self, capacity, total):
+        # Property (journal invariant): the retained events are a
+        # contiguous, gap-free suffix of the full sequence, and the
+        # explicit drop count names exactly the missing prefix.
+        j = Journal(capacity=capacity, enabled=True)
+        for _ in range(total):
+            j.record("serve.batch")
+        events = j.events()
+        seqs = [e.seq for e in events]
+        assert seqs == list(range(j.dropped, total))
+        assert j.dropped == max(0, total - capacity)
+        assert j.next_seq == total
+
+
+def _mk(seq, type, shard=None, **fields):
+    return Event(seq=seq, ts=float(seq), type=type, shard=shard,
+                 fields=fields)
+
+
+class TestTimeline:
+    def test_reconstructs_zero_downtime_window(self):
+        events = [
+            _mk(0, jr.MIGRATION_ROLLOUT_BEGIN, target="m2", shards=2,
+                chunks=3, stall_budget=12),
+            _mk(1, jr.MIGRATION_SHARD_BEGIN, shard="0", target="m2",
+                chunks=3),
+            _mk(2, jr.SERVE_BATCH, shard="0", batches=1, symbols=8,
+                downtime_delta=0),
+            _mk(3, jr.MIGRATION_CHUNK, shard="0", cycles=6),
+            _mk(4, jr.SERVE_BATCH, shard="0", batches=2, symbols=16,
+                downtime_delta=0),
+            _mk(5, jr.MIGRATION_SHARD_COMMIT, shard="0", target="m2",
+                verified=True),
+            _mk(6, jr.MIGRATION_SHARD_BEGIN, shard="1", target="m2",
+                chunks=3),
+            _mk(7, jr.MIGRATION_CHUNK, shard="1", cycles=6),
+            _mk(8, jr.MIGRATION_SHARD_COMMIT, shard="1", target="m2",
+                verified=True),
+            _mk(9, jr.MIGRATION_ROLLOUT_COMMIT, target="m2",
+                verified=True, downtime_cycles=0),
+        ]
+        timeline = migration_timeline(events)
+        assert timeline.completed and timeline.verified
+        assert timeline.zero_downtime
+        shard0 = timeline.shards["0"]
+        assert shard0.batches_during == 3
+        assert shard0.symbols_during == 24
+        assert shard0.migration_cycles == 6
+        assert shard0.served_live
+        assert not timeline.shards["1"].served_live
+        rendered = timeline.render()
+        assert "zero-downtime: True" in rendered
+        assert "m2" in rendered
+
+    def test_downtime_inside_window_breaks_the_proof(self):
+        events = [
+            _mk(0, jr.MIGRATION_SHARD_BEGIN, shard="0", target="m2"),
+            _mk(1, jr.SERVE_BATCH, shard="0", batches=1, symbols=4,
+                downtime_delta=5),
+            _mk(2, jr.MIGRATION_SHARD_COMMIT, shard="0", verified=True),
+        ]
+        timeline = migration_timeline(events)
+        assert timeline.completed
+        assert not timeline.zero_downtime
+        assert timeline.shards["0"].downtime_cycles == 5
+
+    def test_serve_outside_window_does_not_count(self):
+        events = [
+            _mk(0, jr.SERVE_BATCH, shard="0", downtime_delta=9),
+            _mk(1, jr.MIGRATION_SHARD_BEGIN, shard="0", target="m2"),
+            _mk(2, jr.MIGRATION_SHARD_COMMIT, shard="0", verified=True),
+            _mk(3, jr.SERVE_BATCH, shard="0", downtime_delta=9),
+        ]
+        timeline = migration_timeline(events)
+        assert timeline.zero_downtime
+
+    def test_incomplete_migration_is_not_zero_downtime(self):
+        events = [_mk(0, jr.MIGRATION_SHARD_BEGIN, shard="0", target="m")]
+        timeline = migration_timeline(events)
+        assert not timeline.completed
+        assert not timeline.zero_downtime
+
+    def test_rollback_counted(self):
+        events = [
+            _mk(0, jr.MIGRATION_SHARD_BEGIN, shard="0", target="m"),
+            _mk(1, jr.MIGRATION_ROLLBACK, shard="0", restarts=1),
+            _mk(2, jr.MIGRATION_SHARD_COMMIT, shard="0", verified=True),
+        ]
+        assert migration_timeline(events).shards["0"].rollbacks == 1
+
+    def test_empty_renders_gracefully(self):
+        assert "no migration events" in migration_timeline([]).render()
