@@ -12,9 +12,19 @@ repository root:
   ``link_latency_s=0`` column is included for honesty: with the GIL and
   a single CPU the pure-simulation path cannot scale, and the JSON says
   so rather than hiding it.
+* **process-mode scaling** — the same traffic through
+  ``fleet_mode="process"`` at ``link_latency_s=0``: the configuration
+  where threads *cannot* scale (the ``gil_bound_reference`` rows show
+  ~1x) is exactly where worker processes with shared-memory tables
+  must.  Batches are large (``PROC_BATCH``) so per-request pipe costs
+  amortise against worker-side table stepping; the scaling gate
+  (``>= 3.0`` at 4 workers) asserts only when the machine actually has
+  4 CPUs to scale onto — on smaller hosts the JSON records the
+  measurement and the reason the gate was skipped;
 * **migration downtime** — a 4-worker fleet serves traffic while a
   rolling migration upgrades every shard; the probe-measured service
-  downtime must be zero and the rollout hardware-verified.
+  downtime must be zero and the rollout hardware-verified.  The same
+  proof runs once more across worker processes.
 
 Run with ``make bench-fleet``.
 """
@@ -22,6 +32,7 @@ Run with ``make bench-fleet``.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 import threading
@@ -36,6 +47,24 @@ REQUESTS = 240
 BATCH = 24
 LINK_LATENCY_S = 0.002  # one modelled device round-trip per batch
 SEED = 0
+
+#: Process-mode traffic: fewer, much larger batches — the point is
+#: worker-side compute (~600ns/symbol of pure-Python table stepping)
+#: dominating the ~100-200us of per-request pipe+pickle overhead.
+PROC_WORKER_COUNTS = (1, 2, 4)
+PROC_REQUESTS = 96
+PROC_BATCH = 2048
+#: CPUs the scaling gate needs before it may assert: 4 workers cannot
+#: run concurrently on fewer cores, so the measurement would gate on
+#: the host, not the code.
+PROC_GATE_CPUS = 4
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _run_traffic(n_workers: int, link_latency_s: float) -> dict:
@@ -66,6 +95,88 @@ def _run_traffic(n_workers: int, link_latency_s: float) -> dict:
         "link_latency_s": link_latency_s,
         "elapsed_s": round(elapsed, 4),
         "steps_per_sec": round(totals.symbols_served / elapsed, 1),
+    }
+
+
+def _run_proc_traffic(n_workers: int) -> dict:
+    source, target = suite_pair(WORKLOAD)
+    words = traffic_words(source, PROC_REQUESTS, PROC_BATCH, seed=SEED)
+    fleet = FSMFleet(
+        source,
+        n_workers=n_workers,
+        family=[target],
+        queue_depth=max(16, 2 * PROC_REQUESTS // n_workers),
+        link_latency_s=0.0,
+        name=f"bench-proc-{n_workers}w",
+        fleet_mode="process",
+    )
+    # Warm every shard (first serve publishes + attaches + compiles).
+    for index in range(n_workers * 4):
+        fleet.submit(f"warm-{index}", words[0][:8]).result(timeout=60)
+    started = time.perf_counter()
+    futures = [
+        fleet.submit(index, word) for index, word in enumerate(words)
+    ]
+    for future in futures:
+        future.result(timeout=120)
+    elapsed = time.perf_counter() - started
+    totals = fleet.totals()
+    fleet.close()
+    assert totals.incidents == 0
+    return {
+        "workers": n_workers,
+        "requests": PROC_REQUESTS,
+        "batch": PROC_BATCH,
+        "link_latency_s": 0.0,
+        "elapsed_s": round(elapsed, 4),
+        "steps_per_sec": round(PROC_REQUESTS * PROC_BATCH / elapsed, 1),
+    }
+
+
+def _run_proc_migration() -> dict:
+    source, target = suite_pair(WORKLOAD)
+    words = traffic_words(
+        source,
+        REQUESTS,
+        BATCH,
+        seed=SEED,
+        inputs=[i for i in source.inputs if i in set(target.inputs)],
+    )
+    fleet = FSMFleet(
+        source, n_workers=4, family=[target], queue_depth=256,
+        name="bench-proc-migration", fleet_mode="process",
+    )
+    holder: dict = {}
+
+    def rollout() -> None:
+        holder["report"] = MigrationScheduler(
+            fleet, stall_budget=12
+        ).rollout(target)
+
+    thread = threading.Thread(target=rollout)
+    futures = []
+    for index, word in enumerate(words):
+        if index == REQUESTS // 4:
+            thread.start()
+        futures.append(fleet.submit(index, word))
+    thread.join()
+    for future in futures:
+        future.result(timeout=60)
+    report = holder["report"]
+    pids = sorted(set(fleet.worker_pids().values()))
+    fleet.close()
+    return {
+        "workers": 4,
+        "worker_processes": len(pids),
+        "stall_budget": report.stall_budget,
+        "migration_chunks": report.analysis.chunks_total,
+        "migration_cycles": report.migration_cycles,
+        "service_downtime_cycles": report.service_downtime_cycles,
+        "zero_downtime": report.zero_downtime,
+        "hardware_verified": report.verified,
+        "batches_served_during_rollout": sum(
+            shard.batches_served_during for shard in report.shards
+        ),
     }
 
 
@@ -119,6 +230,15 @@ def main() -> int:
     gil_bound = [_run_traffic(n, 0.0) for n in (1, 4)]
     migration = _run_migration()
 
+    cpus = _cpus()
+    proc_rows = [_run_proc_traffic(n) for n in PROC_WORKER_COUNTS]
+    proc_by_workers = {
+        row["workers"]: row["steps_per_sec"] for row in proc_rows
+    }
+    proc_scaling = round(proc_by_workers[4] / proc_by_workers[1], 2)
+    proc_gated = cpus >= PROC_GATE_CPUS
+    proc_migration = _run_proc_migration()
+
     by_workers = {row["workers"]: row["steps_per_sec"] for row in throughput}
     scaling = round(by_workers[4] / by_workers[1], 2)
     result = {
@@ -134,6 +254,32 @@ def main() -> int:
             ),
             "rows": gil_bound,
         },
+        "process_mode": {
+            "note": (
+                "fleet_mode='process' at link_latency_s=0: the "
+                "GIL-bound configuration, served by worker processes "
+                "stepping shared-memory tables"
+            ),
+            "rows": proc_rows,
+            "scaling_1_to_4": proc_scaling,
+            "cpus": cpus,
+            "gate": {
+                "target": 3.0,
+                "asserted": proc_gated,
+                **(
+                    {}
+                    if proc_gated
+                    else {
+                        "skip_reason": (
+                            f"host exposes {cpus} CPU(s); 4 worker "
+                            f"processes need >= {PROC_GATE_CPUS} to "
+                            "demonstrate scaling"
+                        )
+                    }
+                ),
+            },
+            "migration": proc_migration,
+        },
         "migration": migration,
     }
     out = pathlib.Path(__file__).resolve().parent.parent / (
@@ -146,11 +292,23 @@ def main() -> int:
         scaling >= 2.0
         and migration["zero_downtime"]
         and migration["hardware_verified"]
+        and proc_migration["zero_downtime"]
+        and proc_migration["hardware_verified"]
     )
+    if proc_gated:
+        ok = ok and proc_scaling >= 3.0
+        proc_verdict = f"{proc_scaling}x (target >= 3.0)"
+    else:
+        proc_verdict = (
+            f"{proc_scaling}x (gate skipped: {cpus} CPU(s) < "
+            f"{PROC_GATE_CPUS})"
+        )
     print(
-        f"\nscaling 1->4 workers: {scaling}x "
-        f"(target >= 2.0); migration downtime "
-        f"{migration['service_downtime_cycles']} cycles "
+        f"\nthread scaling 1->4 workers: {scaling}x (target >= 2.0); "
+        f"process scaling 1->4 workers: {proc_verdict}; "
+        f"migration downtime thread/process "
+        f"{migration['service_downtime_cycles']}/"
+        f"{proc_migration['service_downtime_cycles']} cycles "
         f"(target 0): {'OK' if ok else 'FAILED'}"
     )
     return 0 if ok else 1

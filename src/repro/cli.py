@@ -263,8 +263,9 @@ def cmd_fleet(args) -> int:
             stall_budget=args.stall_budget,
             link_latency_s=args.link_latency_ms / 1000.0,
             name=f"fleet/{args.workload}",
+            fleet_mode=args.mode,
         )
-    except EngineError as exc:
+    except (EngineError, ValueError) as exc:
         raise CliError(str(exc)) from None
     scheduler = MigrationScheduler(fleet, stall_budget=args.stall_budget)
     words = traffic_words(
@@ -321,6 +322,7 @@ def cmd_fleet(args) -> int:
 
     rows = [
         {"fleet": "workers", "value": args.workers},
+        {"fleet": "mode", "value": fleet.fleet_mode},
         {"fleet": "requests served", "value": totals.batches_ok},
         {"fleet": "requests failed", "value": failed},
         {"fleet": "symbols stepped", "value": steps},
@@ -751,6 +753,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suite pair to serve/migrate (see `repro suite`)")
     p.add_argument("--workers", type=int, default=4,
                    help="shards (= worker threads = datapath replicas)")
+    p.add_argument("--mode", choices=("thread", "process"),
+                   default="thread",
+                   help="shard serving substrate: in-process threads, or "
+                        "worker processes with shared-memory tables "
+                        "(table-shm; breaks the GIL)")
     p.add_argument("--requests", type=int, default=200,
                    help="traffic batches to submit")
     p.add_argument("--batch", type=int, default=16,

@@ -33,7 +33,7 @@ cover?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..engine.compiled import EngineError
 from ..hw.machine import HardwareFSM
@@ -82,11 +82,17 @@ class Dispatcher:
         mode: str = "auto",
         coalesce_limit: int = DEFAULT_COALESCE,
         shard: Optional[str] = None,
+        factory: Optional[Callable] = None,
     ):
         self.mode = canonical(mode)
         resolve(self.mode)  # fail fast on an impossible request
         self.coalesce_limit = coalesce_limit
         self.shard = shard
+        #: Optional ``(name, hw) -> backend | None`` hook: a caller that
+        #: owns per-shard resources (the process fleet's worker session)
+        #: supplies backends through it; returning ``None`` defers to
+        #: the default build path (table kernels, then the registry).
+        self._factory = factory
         #: The most recent :class:`Decision` (health-surface vitals).
         self.last_decision: Optional[Decision] = None
         self._table: Optional[TableBackend] = None
@@ -144,13 +150,33 @@ class Dispatcher:
             )
             self._table = None
         try:
-            self._table = TableBackend.from_hardware(hw, backend=want)
+            self._table = self._build_table(want, hw)
         except EngineError:
             self._fallback("error", want)
             return self._decide(
                 self.cycle_backend(hw), "compile-error", degraded=True
             )
         return self._decide(self._table, "compiled")
+
+    def _build_table(self, want: str, hw: HardwareFSM):
+        """Build the table-serving backend named ``want`` for ``hw``.
+
+        The caller's factory gets first refusal (the process fleet
+        binds its worker session this way); the in-process table
+        kernels keep their direct construction; anything else builds
+        through its registry spec — so a registered backend like
+        ``table-shm`` serves through the same policy with no dispatcher
+        special-casing.
+        """
+        if self._factory is not None:
+            built = self._factory(want, hw)
+            if built is not None:
+                return built
+        from .registry import TABLE_KERNELS, get
+
+        if want in TABLE_KERNELS:
+            return TableBackend.from_hardware(hw, backend=want)
+        return get(want).build(hw)
 
     def miss(self, hw: HardwareFSM) -> Decision:
         """Policy for a :class:`TableMiss`: replay on the netlist.

@@ -6,11 +6,13 @@ three places with three different rules: ``engine/compiled.py`` checked
 its own fail-fast, and ``api.py`` special-cased ``"off"``.  This module
 owns the question:
 
-* :func:`register` / :func:`specs` — the registry.  Three built-ins:
+* :func:`register` / :func:`specs` — the registry.  Four built-ins:
   ``cycle`` (the Fig. 5 netlist), ``table-py`` and ``table-numpy``
-  (the dense-table kernels).  Legacy engine-mode spellings (``off``,
-  ``python``, ``numpy``) are aliases, so every pre-exec call site keeps
-  its vocabulary.
+  (the dense-table kernels) and ``table-shm`` (dense tables in shared
+  memory served by worker processes, see :mod:`repro.procfleet`).
+  Legacy engine-mode spellings (``off``, ``python``, ``numpy``,
+  ``shm``) are aliases, so every pre-exec call site keeps its
+  vocabulary.
 * :func:`resolve` — preference → concrete backend name.  Precedence:
   an explicit pin beats the ``REPRO_BACKEND`` environment variable,
   which beats auto selection (numpy tables when importable and not
@@ -55,6 +57,7 @@ ALIASES = {
     "off": "cycle",
     "python": "table-py",
     "numpy": "table-numpy",
+    "shm": "table-shm",
 }
 
 #: Registered table backend name → engine kernel name.
@@ -243,4 +246,43 @@ def _register_builtins() -> None:
         available=numpy_available,
         unavailable_reason=_numpy_reason,
         build=lambda hw: TableBackend.from_hardware(hw, backend="table-numpy"),
+    ))
+
+    # The shared-memory process backend registers through the same
+    # registry so one resolver answers for it; construction is deferred
+    # (repro.procfleet pulls in multiprocessing machinery) and
+    # availability honours the REPRO_DISABLE_SHM kill-switch the same
+    # way table-numpy honours REPRO_DISABLE_NUMPY.
+    def _shm_available() -> bool:
+        from ..procfleet.backend import shm_available
+
+        return shm_available()
+
+    def _shm_reason() -> Optional[str]:
+        from ..procfleet.backend import shm_unavailable_reason
+
+        return shm_unavailable_reason()
+
+    def _shm_build(hw):
+        from ..procfleet.backend import standalone_backend
+
+        return standalone_backend(hw)
+
+    def _shm_capabilities() -> Capabilities:
+        return Capabilities(
+            batchable=True,
+            cycle_accurate=False,
+            serves_mid_migration=False,
+            needs_numpy=False,
+        )
+
+    register(BackendSpec(
+        name="table-shm",
+        capabilities=_shm_capabilities(),
+        summary=(
+            "dense tables in shared memory, served by worker processes"
+        ),
+        available=_shm_available,
+        unavailable_reason=_shm_reason,
+        build=_shm_build,
     ))

@@ -98,7 +98,33 @@ class FSMFleet:
         serving only).  Serving behaviour — outputs, FIFO completion
         order, backpressure, fault semantics — is identical in every
         mode; the engine only changes throughput (see ``docs/engine.md``).
+    fleet_mode:
+        ``"thread"`` (default) serves every shard from a worker thread
+        in this process; ``"process"`` returns a
+        :class:`repro.procfleet.ProcessFleet` — same contract, but each
+        shard's table serving runs in a worker *process* against
+        shared-memory tables, so pure-Python throughput scales past the
+        GIL (see ``docs/fleet.md``).
     """
+
+    #: The serving mode this class implements (subclasses override).
+    fleet_mode = "thread"
+
+    def __new__(cls, machine=None, *args, **kwargs):
+        # `FSMFleet(..., fleet_mode="process")` constructs the process
+        # front-end without callers importing repro.procfleet — the
+        # seam api.serve and the CLI select the mode through.
+        mode = kwargs.get("fleet_mode", "thread")
+        if cls is FSMFleet and mode == "process":
+            from ..procfleet.pool import ProcessFleet
+
+            return super().__new__(ProcessFleet)
+        if mode not in ("thread", "process"):
+            raise ValueError(
+                f"unknown fleet_mode {mode!r}; expected 'thread' or "
+                "'process'"
+            )
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -114,6 +140,7 @@ class FSMFleet:
         name: str = "fleet",
         opt_level: "str | int | None" = None,
         engine: str = "auto",
+        fleet_mode: str = "thread",
     ):
         if n_workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -125,10 +152,9 @@ class FSMFleet:
         self.stall_budget = stall_budget
         self.plan_cache = plan_cache or PlanCache(opt_level=opt_level)
         superset = plan_supersets([machine, *family])
-        self.shards: List[ShardWorker] = [
-            ShardWorker(
-                index,
-                machine,
+        self.shards: List[ShardWorker] = self._build_shards(
+            n_workers,
+            dict(
                 extra_inputs=superset.inputs.symbols,
                 extra_outputs=superset.outputs.symbols,
                 extra_states=superset.states.symbols,
@@ -138,12 +164,21 @@ class FSMFleet:
                 trace_max_entries=trace_max_entries,
                 fleet_name=name,
                 engine=engine,
-            )
-            for index in range(n_workers)
-        ]
+            ),
+        )
         self._closed = False
         for shard in self.shards:
             shard.start()
+
+    def _build_shards(
+        self, n_workers: int, shard_kwargs: Dict
+    ) -> List[ShardWorker]:
+        """Construct the shard workers (the process fleet overrides
+        this to add its control block and worker sessions)."""
+        return [
+            ShardWorker(index, self.machine, **shard_kwargs)
+            for index in range(n_workers)
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -171,12 +206,16 @@ class FSMFleet:
             raise ValueError("empty batch")
         shard = self.shards[self.shard_for(shard_key)]
         serveable = shard.serving_inputs
-        for symbol in symbols:
-            if symbol not in serveable:
-                raise ValueError(
-                    f"symbol {symbol!r} not serveable by shard "
-                    f"{shard.index} (alphabet {sorted(map(str, serveable))})"
-                )
+        # Fast path: one C-level superset check instead of a Python
+        # loop per symbol; the loop only runs to name the offender.
+        if not serveable.issuperset(symbols):
+            for symbol in symbols:
+                if symbol not in serveable:
+                    raise ValueError(
+                        f"symbol {symbol!r} not serveable by shard "
+                        f"{shard.index} "
+                        f"(alphabet {sorted(map(str, serveable))})"
+                    )
         future: Future = Future()
         # Capture the caller's trace context onto the batch: the shard
         # worker re-activates it before serving, so the worker-side
@@ -251,6 +290,8 @@ class FSMFleet:
             shard.queue.put(_STOP)
         for shard in self.shards:
             shard.join(timeout=30.0)
+        for shard in self.shards:
+            shard.shutdown()
 
     def __enter__(self) -> "FSMFleet":
         return self
@@ -287,6 +328,7 @@ class FSMFleet:
 
     def __repr__(self) -> str:
         return (
-            f"FSMFleet(name={self.name!r}, machine={self.machine.name!r}, "
-            f"workers={self.n_workers}, engine={self.engine!r})"
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"machine={self.machine.name!r}, workers={self.n_workers}, "
+            f"engine={self.engine!r}, mode={self.fleet_mode!r})"
         )

@@ -126,9 +126,7 @@ class ShardWorker(threading.Thread):
         super().__init__(name=f"{fleet_name}-shard-{index}", daemon=True)
         # Validates the mode and fails fast on an impossible request
         # (e.g. a forced numpy backend without numpy installed).
-        self.dispatcher = Dispatcher(
-            engine, coalesce_limit=_MAX_COALESCE, shard=str(index)
-        )
+        self.dispatcher = self._make_dispatcher(engine, index)
         self.engine_mode = engine
         self.index = index
         self.machine = machine
@@ -168,6 +166,17 @@ class ShardWorker(threading.Thread):
         self._m_batch_size = {}  # backend -> BoundHistogram (sampled)
 
     # ------------------------------------------------------------------
+    def _make_dispatcher(self, engine: str, index: int) -> Dispatcher:
+        """The shard's dispatcher; the process-mode shard overrides this
+        to pin ``table-shm`` and bind its worker session."""
+        return Dispatcher(
+            engine, coalesce_limit=_MAX_COALESCE, shard=str(index)
+        )
+
+    def shutdown(self) -> None:
+        """Release per-shard resources after the thread has exited
+        (no-op in thread mode; process shards close their session)."""
+
     def _build_hardware(self, machine: FSM) -> HardwareFSM:
         extra_i, extra_o, extra_s = self._extras
         return HardwareFSM(

@@ -141,6 +141,21 @@ FLEET_BATCH_SECONDS = REGISTRY.histogram(
     buckets=SECONDS_BUCKETS,
 )
 
+# -- multi-process fleet (shared-memory tables) ------------------------
+PROCFLEET_PUBLISHES = REGISTRY.counter(
+    "repro_procfleet_publishes_total",
+    "Table segments published to shared memory (epoch bumps), by shard.",
+)
+PROCFLEET_WORKER_SPAWNS = REGISTRY.counter(
+    "repro_procfleet_worker_spawns_total",
+    "Worker processes spawned (startup and crash reseed), by shard.",
+)
+PROCFLEET_WORKER_CRASHES = REGISTRY.counter(
+    "repro_procfleet_worker_crashes_total",
+    "Worker processes that died or wedged mid-request, by shard and "
+    "error type.",
+)
+
 # -- batch execution engine -------------------------------------------
 ENGINE_COMPILES = REGISTRY.counter(
     "repro_engine_compiles_total",

@@ -82,6 +82,12 @@ MIGRATION_SHARD_BEGIN = "migration.shard.begin"
 MIGRATION_CHUNK = "migration.chunk"
 MIGRATION_SHARD_COMMIT = "migration.shard.commit"
 MIGRATION_ROLLBACK = "migration.rollback"
+PROCFLEET_PUBLISH = "procfleet.publish"
+PROCFLEET_ATTACH = "procfleet.attach"
+PROCFLEET_WORKER_BATCH = "procfleet.worker.batch"
+PROCFLEET_EPOCH_SKEW = "procfleet.epoch_skew"
+PROCFLEET_WORKER_CRASH = "procfleet.worker.crash"
+PROCFLEET_WORKER_SPAWN = "procfleet.worker.spawn"
 
 #: type -> (description, field names) — the journal's whole vocabulary.
 EVENT_TYPES: Dict[str, Any] = {
@@ -144,6 +150,30 @@ EVENT_TYPES: Dict[str, Any] = {
     MIGRATION_ROLLBACK: (
         "a shard's in-flight migration restarted after a fault",
         ("restarts",),
+    ),
+    PROCFLEET_PUBLISH: (
+        "new table segment published to shared memory (epoch bump)",
+        ("segment", "epoch", "table_version"),
+    ),
+    PROCFLEET_ATTACH: (
+        "a worker process (re-)attached a published table segment",
+        ("segment", "epoch", "pid"),
+    ),
+    PROCFLEET_WORKER_BATCH: (
+        "a worker process served one batch from shared-memory tables",
+        ("pid", "epoch", "symbols"),
+    ),
+    PROCFLEET_EPOCH_SKEW: (
+        "a worker refused an epoch-skewed request (parent republishes)",
+        ("expected", "published", "pid"),
+    ),
+    PROCFLEET_WORKER_CRASH: (
+        "a worker process died or wedged mid-request",
+        ("pid", "error"),
+    ),
+    PROCFLEET_WORKER_SPAWN: (
+        "a worker process was spawned (startup or reseed)",
+        ("pid", "start_method"),
     ),
 }
 
@@ -246,6 +276,38 @@ class Journal:
             )
             buf.append(event)
         return event
+
+    def absorb(
+        self, events: Iterable[Mapping[str, Any]]
+    ) -> List["Event"]:
+        """Merge events recorded in *another process* into this journal.
+
+        Each dict (the ``to_dict`` form shipped across the IPC
+        boundary) keeps its type, shard, trace id, timestamp and fields
+        — so a worker-side event still correlates with the submitting
+        request's trace — but is re-sequenced locally: ``seq`` is this
+        journal's ordering, and foreign sequence numbers are never
+        trusted as local indexes.
+        """
+        recorded: List[Event] = []
+        if not self.enabled:
+            return recorded
+        with self._lock:
+            for data in events:
+                if len(self._buf) == self.capacity:
+                    self._dropped += 1
+                event = Event(
+                    seq=self._seq,
+                    ts=float(data.get("ts", 0.0)),
+                    type=data["type"],
+                    shard=data.get("shard"),
+                    trace_id=data.get("trace_id"),
+                    fields=dict(data.get("fields", {})),
+                )
+                self._seq += 1
+                self._buf.append(event)
+                recorded.append(event)
+        return recorded
 
     # -- reading --------------------------------------------------------
     @property

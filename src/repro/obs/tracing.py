@@ -275,6 +275,36 @@ class Tracer:
         attribute updates (a shared null object when disabled)."""
         return _Span(self, name, attrs)
 
+    def absorb(
+        self, spans: Iterable[Dict[str, Any]]
+    ) -> List[SpanRecord]:
+        """Merge spans recorded in *another process* into this tracer.
+
+        Every record is re-indexed into this tracer's span list.
+        Parent links are remapped only within the absorbed batch (a
+        worker-side serve tree stays connected); a parent index that
+        names a span of the *sending* process — e.g. the submitting
+        request's span id carried over the wire — becomes ``None``:
+        foreign span indexes are never dereferenced locally.  The
+        trace id survives untouched, which is what joins the absorbed
+        tree to the originating request.
+        """
+        records: List[SpanRecord] = []
+        if not self.enabled:
+            return records
+        with self._lock:
+            base = len(self.spans)
+            index_map: Dict[int, int] = {}
+            for data in spans:
+                record = SpanRecord.from_dict(dict(data))
+                local = base + len(records)
+                index_map[record.index] = local
+                record.parent = index_map.get(record.parent)
+                record.index = local
+                records.append(record)
+                self.spans.append(record)
+        return records
+
     # -- export ---------------------------------------------------------
     def to_jsonl(self) -> str:
         """One JSON object per line, in span-start order."""

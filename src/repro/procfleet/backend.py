@@ -1,0 +1,272 @@
+"""``table-shm``: the shared-memory process backend behind the one
+:class:`~repro.exec.ExecutionBackend` protocol.
+
+The parent side of the split brain.  A :class:`ShmTableBackend` compiles
+the bound machine's tables (pure-Python kernel — the segment format is
+kernel-agnostic), publishes them through its
+:class:`~repro.procfleet.session.WorkerSession`, and serves
+``run_batch`` by one synchronous pipe round-trip.  Everything the
+in-process :class:`~repro.exec.TableBackend` promises holds here too:
+
+* committed runs fast-forward the parent's canonical datapath through
+  ``commit_engine_run`` — the worker never owns architectural state;
+* a miss (unconfigured entry, epoch skew that a republish cannot cure,
+  a crashed worker) raises :class:`~repro.exec.TableMiss` *before* the
+  hardware is touched, so the caller replays cycle-accurately from the
+  identical state;
+* staleness is the same ``table_version`` contract — ``is_stale``
+  answers from the compiled snapshot, and the dispatcher reacts by
+  building a fresh backend, which here means *publish a new segment and
+  bump the epoch*: the in-process invalidation generalised across the
+  process boundary.
+
+Epoch-skew self-healing: when several backends share one worker slot
+(the registry's standalone session does), a serve may find the slot
+epoch moved past the backend's publication.  The worker refuses to
+serve the stale expectation (miss), and the backend republishes its own
+tables once and retries — convergence toward the newest tables, never
+silent service from old ones.
+
+The module also owns the registry leg: :func:`shm_available` /
+:func:`shm_unavailable_reason` (``REPRO_DISABLE_SHM`` mirrors the numpy
+kill-switch) and :func:`standalone_backend`, the ``build`` hook that
+lazily shares one single-worker session process-wide.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from typing import Optional, Sequence
+
+from ..core.fsm import FSM, Input, Output, State
+from ..engine.compiled import CompiledFSM, WordRun
+from ..exec.protocol import (
+    Capabilities,
+    ExecSnapshot,
+    StaleSnapshot,
+    TableMiss,
+)
+from ..hw.machine import HardwareFSM
+from ..obs import context as _context
+from ..obs import journal as _journal
+from ..obs import tracing as _tracing
+from ..obs.tracing import span as _span
+from .segments import ControlBlock
+from .session import WorkerSession
+
+__all__ = [
+    "ShmTableBackend",
+    "shm_available",
+    "shm_unavailable_reason",
+    "standalone_backend",
+]
+
+#: Kill-switch mirroring ``REPRO_DISABLE_NUMPY``: forces the backend
+#: unavailable (exit 2 on a forced pick) without uninstalling anything.
+ENV_DISABLE = "REPRO_DISABLE_SHM"
+
+
+def shm_available() -> bool:
+    """Whether the shared-memory process backend can run here."""
+    import os
+
+    if os.environ.get(ENV_DISABLE):
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platform without shm
+        return False
+    return True
+
+
+def shm_unavailable_reason() -> Optional[str]:
+    import os
+
+    if shm_available():
+        return None
+    if os.environ.get(ENV_DISABLE):
+        return "shared memory disabled via REPRO_DISABLE_SHM"
+    return "multiprocessing.shared_memory is not available on this platform"
+
+
+class ShmTableBackend:
+    """Dense tables in shared memory, served by a worker process."""
+
+    name = "table-shm"
+    capabilities = Capabilities(
+        batchable=True,
+        cycle_accurate=False,
+        serves_mid_migration=False,
+        needs_numpy=False,
+    )
+
+    def __init__(self, machine, session: WorkerSession):
+        if isinstance(machine, HardwareFSM):
+            self.hardware: Optional[HardwareFSM] = machine
+            self.compiled = CompiledFSM.from_hardware(
+                machine, backend="python"
+            )
+        elif isinstance(machine, FSM):
+            self.hardware = None
+            self.compiled = CompiledFSM.from_fsm(machine, backend="python")
+        else:
+            raise TypeError(
+                f"ShmTableBackend expects an FSM or HardwareFSM, not "
+                f"{type(machine).__name__}"
+            )
+        self.session = session
+        session.start()
+        self.epoch = session.publish(self.compiled)
+
+    # -- protocol ------------------------------------------------------
+    def step(self, symbol: Input) -> Optional[Output]:
+        return self.run_batch([symbol]).outputs[0]
+
+    def run_batch(
+        self,
+        symbols: Sequence[Input],
+        start: Optional[State] = None,
+        commit: bool = True,
+    ) -> WordRun:
+        hw = self.hardware
+        if start is None:
+            start = (
+                hw.state if hw is not None else self.compiled.reset_state
+            )
+        carrier: Optional[dict] = _context.inject({}) or None
+        want_journal = _journal.JOURNAL.enabled
+        want_spans = _tracing.TRACER.enabled
+        with _span(
+            "engine.run_batch", backend=self.name, symbols=len(symbols)
+        ):
+            reply = None
+            for attempt in (0, 1):
+                reply = self.session.request((
+                    "serve",
+                    self.epoch,
+                    start,
+                    tuple(symbols),
+                    carrier,
+                    want_journal,
+                    want_spans,
+                ))
+                if reply[0] != "miss":
+                    break
+                self._absorb(reply[2], reply[3])
+                if attempt == 0 and "epoch" in reply[1]:
+                    # Another backend moved the shared slot on: republish
+                    # our tables past it and retry once.
+                    self.epoch = self.session.publish(self.compiled)
+                    continue
+                raise TableMiss(f"shm worker miss: {reply[1]}")
+            if reply[0] == "err":
+                raise TableMiss(f"shm worker failed: {reply[1]}")
+            _, outputs, final_state, visits, _epoch, events, spans, _pid = (
+                reply
+            )
+            self._absorb(events, spans)
+            run = WordRun(
+                outputs=list(outputs),
+                final_state=final_state,
+                visits=dict(visits),
+            )
+            if commit and hw is not None:
+                hw.commit_engine_run(run.final_state, len(run), run.visits)
+            return run
+
+    def _absorb(self, events, spans) -> None:
+        """Merge the worker-side observability records into the
+        parent's recorders (worker spans re-root locally)."""
+        if events:
+            _journal.JOURNAL.absorb(events)
+        if spans:
+            _tracing.TRACER.absorb(spans)
+
+    def snapshot(self) -> ExecSnapshot:
+        hw = self.hardware
+        return ExecSnapshot(
+            state=hw.state if hw is not None else self.compiled.reset_state,
+            table_version=(
+                hw.table_version if hw is not None
+                else self.compiled.source_version
+            ),
+        )
+
+    def restore(self, snap: ExecSnapshot) -> None:
+        hw = self.hardware
+        if hw is None:
+            return
+        if (
+            snap.table_version is not None
+            and snap.table_version != hw.table_version
+        ):
+            _journal.JOURNAL.record(
+                _journal.EXEC_STALE_SNAPSHOT,
+                snapshot_version=snap.table_version,
+                live_version=hw.table_version,
+            )
+            raise StaleSnapshot(
+                f"snapshot of {hw.name} at table version "
+                f"{snap.table_version} cannot be restored at version "
+                f"{hw.table_version}: the tables changed underneath it"
+            )
+        hw.restore_state(snap.state)
+
+    def invalidate(self, reason: str = "explicit") -> None:
+        """Drop the compiled view; the published segment is retired so
+        no late-attaching worker can serve the dead tables."""
+        self.compiled.invalidate(reason=reason)
+        if self.session.segment is not None:
+            self.session.retire()
+
+    def is_stale(self, hw: Optional[HardwareFSM] = None) -> bool:
+        return self.compiled.is_stale(
+            hw if hw is not None else self.hardware
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmTableBackend(epoch={self.epoch}, "
+            f"session={self.session!r})"
+        )
+
+
+# -- the registry's standalone session ---------------------------------
+#: One lazily created single-worker session shared by every
+#: registry-built ``table-shm`` backend in this process (the fleet
+#: builds one session per shard instead; see ``procfleet.pool``).
+_STANDALONE_LOCK = threading.Lock()
+_STANDALONE: Optional[WorkerSession] = None
+_STANDALONE_CTL: Optional[ControlBlock] = None
+
+
+def standalone_session() -> WorkerSession:
+    """The process-wide shared session (created on first use)."""
+    global _STANDALONE, _STANDALONE_CTL
+    with _STANDALONE_LOCK:
+        if _STANDALONE is None:
+            ctl = ControlBlock.create(1)
+            session = WorkerSession(ctl, slot=0, label="shm")
+            session.start()
+            _STANDALONE_CTL = ctl
+            _STANDALONE = session
+            atexit.register(_close_standalone)
+        return _STANDALONE
+
+
+def _close_standalone() -> None:
+    global _STANDALONE, _STANDALONE_CTL
+    with _STANDALONE_LOCK:
+        session, _STANDALONE = _STANDALONE, None
+        ctl, _STANDALONE_CTL = _STANDALONE_CTL, None
+    if session is not None:
+        session.close()
+    if ctl is not None:
+        ctl.close()
+
+
+def standalone_backend(machine) -> ShmTableBackend:
+    """The registry ``build`` hook: bind ``machine`` to the shared
+    single-worker session."""
+    return ShmTableBackend(machine, standalone_session())

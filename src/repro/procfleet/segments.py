@@ -1,0 +1,320 @@
+"""Shared-memory table segments and the epoch control block.
+
+Two kinds of shared state cross the process boundary, both built on
+``multiprocessing.shared_memory``:
+
+* **table segments** — one immutable snapshot of a
+  :class:`~repro.engine.CompiledFSM`'s dense tables per publication.
+  Layout: a fixed header (magic, format version, table version,
+  geometry), the two ``int32`` tables, then a small pickled metadata
+  block (the symbol alphabets and the reset state) so a worker can
+  rebuild a fully generic compiled view without ever seeing the parent's
+  machine objects.  Segments are never mutated after publication — a
+  ``table_version`` bump publishes a *new* segment and retires the old
+  one, which is the cross-process form of the in-process staleness
+  invalidation;
+* the **control block** — one small segment per fleet whose per-shard
+  slots carry ``(epoch, segment name)`` under a seqlock (generation
+  counter odd while the single writer updates).  Workers read their slot
+  before every serve; an epoch bump tells them to re-attach.
+
+Lifecycle hygiene: only the parent ever *owns* (creates/unlinks)
+segments, through :class:`SegmentOwner`, which unlinks everything it
+still owns at interpreter exit — guarded by pid so a forked child that
+inherited the atexit hook can never unlink the parent's segments.
+Workers attach with the resource tracker suppressed
+(:func:`attach_segment`): the tracker double-unlink of attach-side
+handles is exactly the leak/corruption hazard the owner protocol
+exists to avoid.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import struct
+import threading
+import time
+from array import array
+from multiprocessing import shared_memory
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "ControlBlock",
+    "SegmentOwner",
+    "attach_segment",
+    "decode_segment",
+    "encode_segment",
+]
+
+#: Segment header: magic, format version, flags, table version (or -1
+#: when the source carried none), n_inputs, n_states, n_outputs,
+#: metadata length in bytes.
+_MAGIC = b"RFSM"
+_FORMAT = 1
+_HEADER = struct.Struct("<4sHHqIIIQ")
+
+#: Control block header: magic, format version, slot count.
+_CTL_MAGIC = b"RCTL"
+_CTL_HEADER = struct.Struct("<4sHHI")
+#: One slot: generation (seqlock), epoch, name length, name bytes.
+_SLOT_FIXED = struct.Struct("<QQH")
+_SLOT_SIZE = 192
+_NAME_MAX = _SLOT_SIZE - _SLOT_FIXED.size
+
+#: Segment names stay short (macOS caps POSIX shm names at 31 chars)
+#: and carry the creating pid so tests can assert clean teardown by
+#: globbing ``/dev/shm/rp<pid>*``.
+_name_counter = itertools.count()
+
+
+def _new_name(prefix: str) -> str:
+    return f"{prefix}{os.getpid():x}n{next(_name_counter):x}"
+
+
+def encode_segment(compiled) -> bytes:
+    """Serialise a compiled view's tables into the segment layout."""
+    next_bytes = array("i", compiled.next_table).tobytes()
+    out_bytes = array("i", compiled.out_table).tobytes()
+    meta = pickle.dumps(
+        {
+            "inputs": tuple(compiled.inputs),
+            "states": tuple(compiled.states),
+            "outputs": tuple(compiled.outputs),
+            "reset_state": compiled.reset_state,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    version = compiled.source_version
+    header = _HEADER.pack(
+        _MAGIC,
+        _FORMAT,
+        0,
+        -1 if version is None else int(version),
+        compiled.n_inputs,
+        compiled.n_states,
+        len(compiled.outputs),
+        len(meta),
+    )
+    return header + next_bytes + out_bytes + meta
+
+
+def decode_segment(buf) -> Dict[str, Any]:
+    """Parse a segment buffer back into table-construction pieces.
+
+    Returns plain lists for the tables — the worker's serve loop indexes
+    them millions of times, and list indexing is ~2.6x faster than
+    indexing the shared ``memoryview`` directly; the segment remains the
+    transport and invalidation unit, decoded once per epoch attach.
+    """
+    magic, fmt, _flags, version, n_inputs, n_states, n_outputs, meta_len = (
+        _HEADER.unpack_from(buf, 0)
+    )
+    if magic != _MAGIC:
+        raise ValueError("not a repro table segment (bad magic)")
+    if fmt != _FORMAT:
+        raise ValueError(f"unsupported segment format {fmt}")
+    size = n_inputs * n_states
+    offset = _HEADER.size
+    if len(buf) < offset + 8 * size + meta_len:
+        raise ValueError(
+            "segment shorter than its header geometry claims "
+            "(truncated or corrupt)"
+        )
+    tables = array("i")
+    tables.frombytes(bytes(buf[offset:offset + 8 * size]))
+    meta_off = offset + 8 * size
+    meta = pickle.loads(bytes(buf[meta_off:meta_off + meta_len]))
+    if (
+        len(meta["inputs"]) != n_inputs
+        or len(meta["states"]) != n_states
+        or len(meta["outputs"]) != n_outputs
+    ):
+        raise ValueError("segment metadata disagrees with header geometry")
+    return {
+        "inputs": meta["inputs"],
+        "states": meta["states"],
+        "outputs": meta["outputs"],
+        "reset_state": meta["reset_state"],
+        "next_table": tables[:size].tolist(),
+        "out_table": tables[size:].tolist(),
+        "table_version": None if version < 0 else version,
+    }
+
+
+_attach_lock = threading.Lock()
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without registering as its owner.
+
+    On 3.13+ ``track=False`` keeps the resource tracker out entirely.
+    Older interpreters register attach-side handles too (the well-known
+    double-unlink hazard), and with ``fork`` workers the tracker cache
+    is *shared* with the owning parent — so neither registering nor
+    unregistering is safe there.  Instead, registration is suppressed
+    for the duration of the attach: the tracker only ever sees the
+    owner's handle, which :class:`SegmentOwner` unlinks exactly once.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - depends on Python version
+        pass
+    from multiprocessing import resource_tracker
+
+    with _attach_lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SegmentOwner:
+    """The single owner of a set of segments: create, retire, unlink.
+
+    Every created segment is remembered until explicitly retired; an
+    atexit hook unlinks whatever is left so no test failure or crash
+    path leaks ``/dev/shm`` entries.  The hook checks the creating pid:
+    a forked worker inherits the hook but must never unlink segments it
+    does not own.
+    """
+
+    def __init__(self, prefix: str = "rp"):
+        self._prefix = prefix
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        atexit.register(self.close)
+
+    def create(self, payload: bytes) -> str:
+        """A new segment holding ``payload``; returns its name."""
+        name = _new_name(self._prefix)
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=len(payload)
+        )
+        shm.buf[: len(payload)] = payload
+        with self._lock:
+            self._segments[name] = shm
+        return name
+
+    def retire(self, name: Optional[str]) -> None:
+        """Unlink one owned segment (no-op for unknown/None names).
+
+        Unlink-while-attached is safe on POSIX: workers that already
+        mapped the segment keep serving their mapping; workers that
+        attach late see a miss and recover through a republish.
+        """
+        if name is None:
+            return
+        with self._lock:
+            shm = self._segments.pop(name, None)
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def owned(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._segments)
+
+    def close(self) -> None:
+        """Unlink everything still owned (idempotent, pid-guarded)."""
+        if os.getpid() != self._pid:
+            return
+        for name in self.owned():
+            self.retire(name)
+
+
+class ControlBlock:
+    """Per-shard ``(epoch, segment name)`` slots under a seqlock.
+
+    The parent is the only writer of any slot; workers (and parent-side
+    readers) retry while the generation counter is odd or moved between
+    the two reads.  Epoch 0 with an empty name means "nothing published
+    yet".
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, n_slots: int,
+                 owner: bool):
+        self._shm = shm
+        self.name = shm.name
+        self.n_slots = n_slots
+        self._owner = owner
+        self._pid = os.getpid()
+        self._closed = False
+        if owner:
+            atexit.register(self.close)
+
+    @classmethod
+    def create(cls, n_slots: int, prefix: str = "rc") -> "ControlBlock":
+        size = _CTL_HEADER.size + n_slots * _SLOT_SIZE
+        shm = shared_memory.SharedMemory(
+            name=_new_name(prefix), create=True, size=size
+        )
+        shm.buf[:size] = b"\x00" * size
+        _CTL_HEADER.pack_into(shm.buf, 0, _CTL_MAGIC, _FORMAT, 0, n_slots)
+        return cls(shm, n_slots, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ControlBlock":
+        shm = attach_segment(name)
+        magic, fmt, _flags, n_slots = _CTL_HEADER.unpack_from(shm.buf, 0)
+        if magic != _CTL_MAGIC or fmt != _FORMAT:
+            shm.close()
+            raise ValueError(f"{name}: not a repro control block")
+        return cls(shm, n_slots, owner=False)
+
+    def _offset(self, slot: int) -> int:
+        if not 0 <= slot < self.n_slots:
+            raise IndexError(f"slot {slot} out of range 0..{self.n_slots - 1}")
+        return _CTL_HEADER.size + slot * _SLOT_SIZE
+
+    def write_slot(self, slot: int, epoch: int, segment: str) -> None:
+        """Publish ``(epoch, segment)`` into ``slot`` (single writer)."""
+        encoded = segment.encode("ascii")
+        if len(encoded) > _NAME_MAX:
+            raise ValueError(f"segment name too long: {segment!r}")
+        off = self._offset(slot)
+        buf = self._shm.buf
+        (gen,) = struct.unpack_from("<Q", buf, off)
+        struct.pack_into("<Q", buf, off, gen + 1)  # odd: write in progress
+        _SLOT_FIXED.pack_into(buf, off, gen + 1, epoch, len(encoded))
+        start = off + _SLOT_FIXED.size
+        buf[start:start + len(encoded)] = encoded
+        struct.pack_into("<Q", buf, off, gen + 2)  # even: stable
+
+    def read_slot(self, slot: int) -> Tuple[int, Optional[str]]:
+        """``(epoch, segment name or None)``, seqlock-consistent."""
+        off = self._offset(slot)
+        buf = self._shm.buf
+        for _ in range(10000):
+            (gen1,) = struct.unpack_from("<Q", buf, off)
+            if gen1 & 1:
+                time.sleep(0)
+                continue
+            _gen, epoch, name_len = _SLOT_FIXED.unpack_from(buf, off)
+            start = off + _SLOT_FIXED.size
+            name = bytes(buf[start:start + name_len]).decode("ascii")
+            (gen2,) = struct.unpack_from("<Q", buf, off)
+            if gen1 == gen2:
+                return epoch, (name or None)
+            time.sleep(0)
+        raise RuntimeError(f"control block slot {slot}: torn read persisted")
+
+    def close(self) -> None:
+        """Detach; the owner also unlinks (idempotent, pid-guarded)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        if self._owner and os.getpid() == self._pid:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass

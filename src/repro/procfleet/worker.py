@@ -1,0 +1,219 @@
+"""The worker-process serve loop: a stateless shared-memory table server.
+
+One worker owns one pipe and one control-block slot.  Per request frame
+it (1) reads its slot, re-attaching the published table segment whenever
+the epoch moved, (2) refuses epoch-skewed requests with a miss instead
+of serving a stale table, (3) runs the symbols through a locally rebuilt
+:class:`~repro.engine.CompiledFSM` from the frame's start state, and
+(4) replies with outputs, final state, state visits and the worker-side
+observability records.
+
+The worker holds **no architectural state** between requests — the
+start state travels in every frame and the parent commits results to
+its canonical datapath — so a crashed worker loses nothing and respawn
+is just ``fork``/``spawn`` again.
+
+Observability crosses the boundary explicitly: the frame carries the
+parent's trace context in the string-carrier form of
+:mod:`repro.obs.context` (decoded here with ``remote=True``, so the
+foreign span index is never dereferenced), and the reply ships the
+journal events and spans recorded while serving — each stamped with
+this worker's pid — for the parent to absorb into its own recorders.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import context as _context
+from ..obs import journal as _journal
+from ..obs import tracing as _tracing
+from .segments import ControlBlock, attach_segment, decode_segment
+
+__all__ = ["worker_main"]
+
+
+class _AttachedView:
+    """One attached segment and the compiled view rebuilt from it."""
+
+    __slots__ = ("epoch", "segment", "shm", "compiled")
+
+    def __init__(self, epoch: int, segment: str, shm, compiled):
+        self.epoch = epoch
+        self.segment = segment
+        self.shm = shm
+        self.compiled = compiled
+
+    def close(self) -> None:
+        self.shm.close()
+
+
+def _rebuild(shm) -> Any:
+    # Deferred import: the engine pulls in the exec registry, and under
+    # the spawn start method this module is imported during bootstrap.
+    from ..engine.compiled import CompiledFSM
+
+    pieces = decode_segment(shm.buf)
+    return CompiledFSM(
+        pieces["inputs"],
+        pieces["states"],
+        pieces["outputs"],
+        pieces["next_table"],
+        pieces["out_table"],
+        pieces["reset_state"],
+        backend="python",
+        source_version=pieces["table_version"],
+    )
+
+
+def _attach(
+    ctl: ControlBlock,
+    slot: int,
+    view: Optional[_AttachedView],
+    label: str,
+) -> Tuple[Optional[_AttachedView], Optional[str]]:
+    """``(current view, miss reason)`` for the slot's published epoch."""
+    epoch, segment = ctl.read_slot(slot)
+    if segment is None:
+        return view, "no table segment published yet"
+    if view is not None and view.epoch == epoch and view.segment == segment:
+        return view, None
+    try:
+        shm = attach_segment(segment)
+        compiled = _rebuild(shm)
+    except (FileNotFoundError, ValueError) as exc:
+        # Published then retired before we attached (a republish race):
+        # report a miss; the parent republishes and retries.
+        return view, f"segment {segment} unavailable: {exc}"
+    if view is not None:
+        view.close()
+    view = _AttachedView(epoch, segment, shm, compiled)
+    _journal.JOURNAL.record(
+        _journal.PROCFLEET_ATTACH,
+        shard=label,
+        segment=segment,
+        epoch=epoch,
+        pid=os.getpid(),
+    )
+    return view, None
+
+
+def _serve(
+    ctl: ControlBlock,
+    slot: int,
+    view: Optional[_AttachedView],
+    label: str,
+    frame: tuple,
+) -> Tuple[Optional[_AttachedView], tuple]:
+    from ..engine.compiled import EngineError
+
+    (_, expect_epoch, start, symbols, carrier, want_journal,
+     want_spans) = frame
+    pid = os.getpid()
+    journal = _journal.JOURNAL
+    tracer = _tracing.TRACER
+    journal.enabled = bool(want_journal)
+    tracer.enabled = bool(want_spans)
+    ctx = _context.extract(carrier) if carrier else None
+    token = _context.attach(ctx) if ctx is not None else None
+    try:
+        with _tracing.span(
+            "procfleet.worker.serve", pid=pid, symbols=len(symbols)
+        ):
+            view, miss = _attach(ctl, slot, view, label)
+            if miss is None and expect_epoch is not None:
+                if view is not None and view.epoch != expect_epoch:
+                    journal.record(
+                        _journal.PROCFLEET_EPOCH_SKEW,
+                        shard=label,
+                        expected=expect_epoch,
+                        published=view.epoch,
+                        pid=pid,
+                    )
+                    miss = (
+                        f"epoch skew: parent expects {expect_epoch}, "
+                        f"slot publishes {view.epoch}"
+                    )
+            if miss is None:
+                try:
+                    run = view.compiled.run_word(symbols, start=start)
+                except EngineError as exc:
+                    miss = str(exc)
+            if miss is None:
+                journal.record(
+                    _journal.PROCFLEET_WORKER_BATCH,
+                    shard=label,
+                    pid=pid,
+                    epoch=view.epoch,
+                    symbols=len(symbols),
+                )
+    finally:
+        if token is not None:
+            _context.detach(token)
+    events = [e.to_dict() for e in journal.events()] if want_journal else []
+    spans = [s.to_dict() for s in tracer.spans] if want_spans else []
+    journal.clear()
+    with tracer._lock:
+        tracer.spans.clear()
+    journal.enabled = False
+    tracer.enabled = False
+    if miss is not None:
+        return view, ("miss", miss, events, spans, pid)
+    visits: Dict[Any, int] = dict(run.visits)
+    return view, (
+        "ok",
+        list(run.outputs),
+        run.final_state,
+        visits,
+        view.epoch,
+        events,
+        spans,
+        pid,
+    )
+
+
+def worker_main(conn, ctl_name: str, slot: int, label: str) -> None:
+    """Entry point of one worker process (runs until stop/EOF)."""
+    # Reset any observability state inherited across a fork: the
+    # worker's recorders collect per-request deltas shipped back in the
+    # reply, never a copy of the parent's buffers.
+    _journal.JOURNAL.enabled = False
+    _journal.JOURNAL.clear()
+    _tracing.TRACER.enabled = False
+    with _tracing.TRACER._lock:
+        _tracing.TRACER.spans.clear()
+    ctl = ControlBlock.attach(ctl_name)
+    view: Optional[_AttachedView] = None
+    try:
+        while True:
+            try:
+                frame = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = frame[0]
+            if kind == "stop":
+                try:
+                    conn.send(("bye", os.getpid()))
+                except (BrokenPipeError, OSError):
+                    pass
+                break
+            try:
+                if kind == "ping":
+                    reply = ("pong", os.getpid())
+                elif kind == "serve":
+                    view, reply = _serve(ctl, slot, view, label, frame)
+                else:
+                    reply = ("err", f"unknown frame kind {kind!r}",
+                             os.getpid())
+            except Exception as exc:  # never let one request kill us
+                reply = ("err", f"{type(exc).__name__}: {exc}", os.getpid())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        if view is not None:
+            view.close()
+        ctl.close()
+        conn.close()

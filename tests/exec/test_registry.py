@@ -27,11 +27,12 @@ from repro.exec import registry as registry_module
 def clean_env(monkeypatch):
     monkeypatch.delenv("REPRO_BACKEND", raising=False)
     monkeypatch.delenv("REPRO_DISABLE_NUMPY", raising=False)
+    monkeypatch.delenv("REPRO_DISABLE_SHM", raising=False)
 
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert names() == ("cycle", "table-py", "table-numpy")
+        assert names() == ("cycle", "table-py", "table-numpy", "table-shm")
 
     def test_specs_carry_capabilities(self):
         by_name = {spec.name: spec for spec in specs()}
@@ -41,6 +42,9 @@ class TestRegistry:
         assert by_name["table-py"].capabilities.batchable
         assert by_name["table-numpy"].capabilities.needs_numpy
         assert not by_name["table-py"].capabilities.needs_numpy
+        assert by_name["table-shm"].capabilities.batchable
+        assert not by_name["table-shm"].capabilities.cycle_accurate
+        assert not by_name["table-shm"].capabilities.needs_numpy
 
     def test_register_rejects_reserved_names(self):
         spec = BackendSpec(
@@ -93,6 +97,7 @@ class TestCanonical:
         assert canonical("off") == "cycle"
         assert canonical("python") == "table-py"
         assert canonical("numpy") == "table-numpy"
+        assert canonical("shm") == "table-shm"
 
     def test_auto_and_none(self):
         assert canonical(None) == "auto"
@@ -154,6 +159,18 @@ class TestResolve:
         monkeypatch.setenv("REPRO_BACKEND", "numpy")
         with pytest.raises(BackendUnavailable, match="table-numpy"):
             resolve("auto")
+
+    def test_disable_shm_honoured_at_dispatch_time(self, monkeypatch):
+        # The shm kill-switch mirrors REPRO_DISABLE_NUMPY: consulted at
+        # every resolution, with the reason named in the error.
+        assert resolve("table-shm") == "table-shm"
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        with pytest.raises(BackendUnavailable, match="REPRO_DISABLE_SHM"):
+            resolve("table-shm")
+        with pytest.raises(BackendUnavailable, match="REPRO_DISABLE_SHM"):
+            resolve("shm")
+        monkeypatch.delenv("REPRO_DISABLE_SHM")
+        assert resolve("table-shm") == "table-shm"
 
     def test_backend_unavailable_is_an_engine_error(self):
         # Pre-exec call sites say `except EngineError`; they must keep

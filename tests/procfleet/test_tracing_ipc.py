@@ -1,0 +1,146 @@
+"""Trace propagation across the process boundary.
+
+Two properties, checked under hypothesis-generated traffic:
+
+* every worker-side journal event and span that crosses the pipe
+  carries the originating request's trace id — the parent's carrier
+  context survives inject → IPC → extract → serve → absorb;
+* a remote context's span id is *never* dereferenced: the worker and
+  the absorbing parent treat it as opaque, so even an absurd foreign
+  index can never crash a serve or corrupt the local span tree.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.obs import configure
+from repro.obs import context as obs_context
+from repro.obs.journal import JOURNAL, PROCFLEET_WORKER_BATCH
+from repro.obs.tracing import TRACER, span
+from repro.procfleet import ControlBlock, ShmTableBackend, WorkerSession
+from repro.workloads.library import ones_detector
+
+words = st.lists(st.sampled_from(["0", "1"]), min_size=1, max_size=12)
+
+
+@pytest.fixture(scope="module")
+def backend():
+    ctl = ControlBlock.create(1)
+    session = WorkerSession(ctl, slot=0, label="t")
+    backend = ShmTableBackend(ones_detector(), session)
+    yield backend
+    session.close()
+    ctl.close()
+
+
+def _worker_spans():
+    return [s for s in TRACER.spans if s.name == "procfleet.worker.serve"]
+
+
+def _assert_no_foreign_parent_indexes(spans):
+    # Absorbed spans may only parent within the local list; a parent
+    # carried from another process must have been dropped to None.
+    for record in spans:
+        assert record.parent is None or 0 <= record.parent < len(spans)
+
+
+class TestTraceCrossesThePipe:
+    def setup_method(self):
+        configure(tracing=True, journal=True)
+
+    def teardown_method(self):
+        configure()
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(word=words)
+    def test_worker_events_carry_the_request_trace_id(self, backend, word):
+        configure(tracing=True, journal=True)  # fresh per example
+        with span("client.request") as root:
+            run = backend.run_batch(
+                word, start=backend.compiled.reset_state, commit=False
+            )
+        assert run.outputs == ones_detector().run(word)
+
+        batches = [
+            e for e in JOURNAL.events()
+            if e.type == PROCFLEET_WORKER_BATCH
+        ]
+        assert batches, "worker batch event did not cross the pipe"
+        for event in batches:
+            assert event.trace_id == root.trace_id
+            assert event.fields["pid"] != 0
+
+        serves = _worker_spans()
+        assert serves, "worker serve span did not cross the pipe"
+        for record in serves:
+            assert record.trace_id == root.trace_id
+        _assert_no_foreign_parent_indexes(TRACER.spans)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(word=words, foreign_span=st.integers(0, 10**9))
+    def test_foreign_span_indexes_are_never_dereferenced(
+        self, backend, word, foreign_span
+    ):
+        configure(tracing=True, journal=True)
+        # Simulate a request whose carrier points at a parent span index
+        # valid only in some other process — e.g. far beyond any local
+        # list.  Serving must neither crash nor adopt the index.
+        ctx = obs_context.TraceContext(
+            trace_id="feedfacefeedface",
+            span_id=foreign_span,
+            remote=True,
+        )
+        token = obs_context.attach(ctx)
+        try:
+            run = backend.run_batch(
+                word, start=backend.compiled.reset_state, commit=False
+            )
+        finally:
+            obs_context.detach(token)
+        assert run.outputs == ones_detector().run(word)
+
+        serves = _worker_spans()
+        assert serves
+        for record in serves:
+            assert record.trace_id == "feedfacefeedface"
+        _assert_no_foreign_parent_indexes(TRACER.spans)
+
+
+class TestAbsorbSemantics:
+    def test_absorbed_tree_stays_connected_locally(self):
+        # A worker-side tree (root + child) absorbed into a non-empty
+        # local tracer is re-indexed; intra-batch parents remap, the
+        # foreign parent of the batch root drops to None.
+        configure(tracing=True)
+        try:
+            with span("local.noise"):
+                pass
+            absorbed = TRACER.absorb([
+                {"name": "w.root", "index": 0, "parent": 999,
+                 "depth": 0, "start": 0.0, "duration": 0.1,
+                 "trace_id": "t1"},
+                {"name": "w.child", "index": 1, "parent": 0,
+                 "depth": 1, "start": 0.0, "duration": 0.05,
+                 "trace_id": "t1"},
+            ])
+            root, child = absorbed
+            assert root.parent is None  # foreign 999 dropped
+            assert child.parent == root.index
+            assert root.index == 1 and child.index == 2
+        finally:
+            configure()
+
+    def test_absorb_noop_when_disabled(self):
+        configure()
+        assert TRACER.absorb([{"name": "x", "index": 0, "parent": None,
+                               "depth": 0, "start": 0.0}]) == []
+        assert JOURNAL.absorb([{"type": "x", "seq": 0, "ts": 0.0,
+                                "fields": {}}]) == []

@@ -231,17 +231,45 @@ class TestFleet:
         assert "repro_fleet_batches_total" in err
         assert "repro_fleet_shard_migrations_total" in err
 
+    def test_process_mode_serves_and_migrates(self, capsys):
+        assert main([
+            "fleet", "--mode", "process", "--workers", "2",
+            "--requests", "24", "--batch", "8", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "process" in out
+        assert "table-shm" in out
+        assert "rollout verified" in out
+        assert "zero downtime" in out
+
+    def test_process_mode_rejects_foreign_engine(self, capsys):
+        assert main([
+            "fleet", "--mode", "process", "--engine", "python",
+            "--requests", "4",
+        ]) == 2
+        assert "table-shm" in capsys.readouterr().err
+
+    def test_process_mode_with_shm_disabled_exits_2(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        assert main([
+            "fleet", "--mode", "process", "--requests", "4",
+        ]) == 2
+        assert "REPRO_DISABLE_SHM" in capsys.readouterr().err
+
 
 class TestBackends:
     @pytest.fixture(autouse=True)
     def clean_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
         monkeypatch.delenv("REPRO_DISABLE_NUMPY", raising=False)
+        monkeypatch.delenv("REPRO_DISABLE_SHM", raising=False)
 
     def test_lists_registered_backends_with_flags(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
-        for name in ("cycle", "table-py", "table-numpy"):
+        for name in ("cycle", "table-py", "table-numpy", "table-shm"):
             assert name in out
         assert "serves-mid-migration" in out
         assert "dispatcher pick for 'auto':" in out
@@ -276,6 +304,20 @@ class TestBackends:
         assert main(["backends", "--backend", "numpy"]) == 2
         err = capsys.readouterr().err
         assert "unavailable" in err
+
+    def test_disabled_shm_reason_is_shown(self, capsys, monkeypatch):
+        # The shm kill-switch mirrors the numpy leg: the listing names
+        # the reason, and a forced pick exits 2.
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        assert main(["backends"]) == 0
+        assert "REPRO_DISABLE_SHM" in capsys.readouterr().out
+
+    def test_forced_unavailable_shm_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        assert main(["backends", "--backend", "table-shm"]) == 2
+        err = capsys.readouterr().err
+        assert "unavailable" in err
+        assert "REPRO_DISABLE_SHM" in err
 
     def test_unknown_backend_exits_2(self, capsys):
         assert main(["backends", "--backend", "warp-core"]) == 2
