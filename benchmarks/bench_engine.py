@@ -46,6 +46,16 @@ REPEATS = 3
 MIN_PY_SPEEDUP = 1.0
 MIN_NUMPY_SPEEDUP = 5.0
 
+# Multi-stream plane: lane counts swept, and the CI gate — the numpy
+# stream kernel must beat the per-stream pure-Python loop by 5x once
+# 64 independent streams amortize the lane kernel.
+STREAM_COUNTS = (1, 8, 64, 512)
+STREAM_WORD_LEN = 64
+STREAM_GATE_AT = 64
+MIN_STREAM_SPEEDUP = 5.0
+EA_POPULATION = 16
+EA_TRACES = 64
+
 
 def _best_seconds(fn, repeats: int = REPEATS) -> float:
     best = float("inf")
@@ -120,6 +130,128 @@ def backend_rows(machine, words):
     return rows
 
 
+def stream_rows(machine):
+    """The multi-stream plane: (n_streams × n_symbols) batches.
+
+    For each lane count, rows over the *same* words: the per-stream
+    baseline (a ``run_word`` loop — the pre-stream serving shape, which
+    eagerly builds per-symbol output lists), the stream plane on both
+    kernels (state propagation + final states, the product vectorized
+    consumers like the EA's ``match_counts`` scoring read), and the
+    numpy plane *with* full per-stream ``WordRun`` materialisation
+    (what the fleet pays when it must hand output lists to futures).
+    The CI gate is on the kernel row: per-symbol output-list building
+    is O(n_symbols) Python work common to every path that needs it.
+    """
+    compiled_py = CompiledFSM.from_fsm(machine, backend="python")
+    compiled_np = (
+        CompiledFSM.from_fsm(machine, backend="numpy")
+        if numpy_available()
+        else None
+    )
+    rows = []
+    for n in STREAM_COUNTS:
+        words = traffic_words(machine, n, STREAM_WORD_LEN, seed=1)
+        n_symbols = sum(len(w) for w in words)
+        row = {"streams": n, "n_symbols": n_symbols}
+
+        def per_stream():
+            for word in words:
+                compiled_py.run_word(word)
+
+        seconds = _best_seconds(per_stream)
+        row["per_stream_python"] = {
+            "seconds": seconds, "symbols_per_s": n_symbols / seconds,
+        }
+
+        batch = compiled_py.encode_streams(words)
+
+        def py_streams():
+            compiled_py.run_stream_batch(batch).final_states()
+
+        seconds = _best_seconds(py_streams)
+        row["stream_python"] = {
+            "seconds": seconds, "symbols_per_s": n_symbols / seconds,
+        }
+
+        if compiled_np is not None:
+            # The encoded batch is alphabet-bound, not kernel-bound:
+            # the same packed matrix replays on the numpy view.
+            def np_streams():
+                compiled_np.run_stream_batch(batch).final_states()
+
+            seconds = _best_seconds(np_streams)
+            row["stream_numpy"] = {
+                "seconds": seconds,
+                "symbols_per_s": n_symbols / seconds,
+                "speedup_vs_per_stream": (
+                    row["per_stream_python"]["seconds"] / seconds
+                ),
+            }
+
+            def np_streams_materialised():
+                compiled_np.run_stream_batch(batch).word_runs()
+
+            seconds = _best_seconds(np_streams_materialised)
+            row["stream_numpy_materialised"] = {
+                "seconds": seconds,
+                "symbols_per_s": n_symbols / seconds,
+            }
+        else:
+            row["stream_numpy"] = {
+                "skipped": "numpy unavailable: stream-kernel gate "
+                "not applicable",
+            }
+        rows.append(row)
+    return rows
+
+
+def ea_rows(machine):
+    """EA population scoring, before/after the stream plane.
+
+    *before* — the pre-stream seam: every (candidate, trace) pair is a
+    sequential ``run_word`` replay; *after* —
+    :func:`repro.core.ea.evaluate_population`, one stream batch per
+    candidate over a once-encoded trace set.
+    """
+    from repro.core.ea import evaluate_population
+
+    words = traffic_words(machine, EA_TRACES, STREAM_WORD_LEN, seed=2)
+    traces = [(word, machine.run(word)) for word in words]
+    candidates = [machine] * EA_POPULATION
+    compiled = [
+        CompiledFSM.from_fsm(c, backend="python") for c in candidates
+    ]
+
+    def before():
+        scores = []
+        for view in compiled:
+            matched = total = 0
+            for word, expected in traces:
+                outputs = view.run_word(word).outputs
+                total += len(expected)
+                matched += sum(
+                    1 for got, want in zip(outputs, expected)
+                    if got == want
+                )
+            scores.append(matched / total)
+        return scores
+
+    seconds_before = _best_seconds(before)
+    seconds_after = _best_seconds(
+        lambda: evaluate_population(candidates, traces)
+    )
+    return {
+        "population": EA_POPULATION,
+        "traces": EA_TRACES,
+        "per_trace_python": {"seconds": seconds_before},
+        "stream_plane": {
+            "seconds": seconds_after,
+            "speedup": seconds_before / seconds_after,
+        },
+    }
+
+
 def fleet_row(machine, words, n_workers: int, engine: str):
     n_symbols = sum(len(w) for w in words)
     fleet = FSMFleet(
@@ -152,6 +284,8 @@ def main() -> int:
     words = traffic_words(machine, N_WORDS, WORD_LEN, seed=0)
     n_symbols, kernels = kernel_rows(machine, words)
     backends = backend_rows(machine, words)
+    streams = stream_rows(machine)
+    ea = ea_rows(machine)
 
     fleet_words = words[:128]
     fleets = [
@@ -178,6 +312,16 @@ def main() -> int:
             f"numpy batch kernel speedup {speedups['numpy']:.2f}x < "
             f"{MIN_NUMPY_SPEEDUP}x per-cycle"
         )
+    for row in streams:
+        gate = row["stream_numpy"]
+        if row["streams"] < STREAM_GATE_AT or "skipped" in gate:
+            continue
+        if gate["speedup_vs_per_stream"] < MIN_STREAM_SPEEDUP:
+            failures.append(
+                f"numpy stream kernel at {row['streams']} streams: "
+                f"{gate['speedup_vs_per_stream']:.2f}x < "
+                f"{MIN_STREAM_SPEEDUP}x over the per-stream python loop"
+            )
 
     payload = {
         "benchmark": "engine_throughput",
@@ -189,10 +333,14 @@ def main() -> int:
         "speedups_vs_per_cycle": {
             k: round(v, 2) for k, v in speedups.items()
         },
+        "multi_stream": streams,
+        "ea_evaluate_population": ea,
         "fleet": fleets,
         "criteria": {
             "python_min_speedup": MIN_PY_SPEEDUP,
             "numpy_min_speedup": MIN_NUMPY_SPEEDUP,
+            "stream_min_speedup": MIN_STREAM_SPEEDUP,
+            "stream_gate_at": STREAM_GATE_AT,
         },
         "failures": failures,
     }
@@ -217,6 +365,26 @@ def main() -> int:
                 f"  backend {name:12s}: {row['symbols_per_s']:12,.0f} "
                 f"symbols/s (dispatcher-driven)"
             )
+    for row in streams:
+        numpy_part = (
+            f"skipped ({row['stream_numpy']['skipped']})"
+            if "skipped" in row["stream_numpy"]
+            else (
+                f"{row['stream_numpy']['symbols_per_s']:12,.0f} symbols/s "
+                f"({row['stream_numpy']['speedup_vs_per_stream']:.2f}x "
+                f"vs per-stream)"
+            )
+        )
+        print(
+            f"  streams {row['streams']:4d}: numpy {numpy_part}; "
+            f"python "
+            f"{row['stream_python']['symbols_per_s']:12,.0f} symbols/s"
+        )
+    print(
+        f"  ea evaluate_population ({ea['population']} candidates x "
+        f"{ea['traces']} traces): "
+        f"{ea['stream_plane']['speedup']:.2f}x over per-trace replay"
+    )
     for row in fleets:
         print(
             f"  fleet {row['workers']}w engine={row['engine']:4s}: "

@@ -48,6 +48,7 @@ from .api import (
     Options,
     VerificationOutcome,
     compile_fsm,
+    evaluate_population,
     migrate,
     optimise,
     serve,
@@ -90,6 +91,7 @@ __all__ = [
     "VerificationOutcome",
     "api",
     "compile_fsm",
+    "evaluate_population",
     "migrate",
     "optimise",
     "serve",

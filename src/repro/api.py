@@ -44,6 +44,7 @@ __all__ = [
     "Options",
     "VerificationOutcome",
     "compile_fsm",
+    "evaluate_population",
     "migrate",
     "obs_server",
     "optimise",
@@ -359,3 +360,23 @@ def compile_fsm(machine, *, options: Optional[Options] = None):
     from .exec import compile_tables
 
     return compile_tables(machine, preference=opts.execution)
+
+
+def evaluate_population(
+    candidates: Sequence[FSM],
+    traces: Sequence[Tuple[Sequence, Sequence]],
+    *,
+    options: Optional[Options] = None,
+):
+    """Score candidate machines against I/O traces on the stream plane.
+
+    Facade over :func:`repro.core.ea.evaluate_population`: each
+    candidate replays every ``(input_word, expected_outputs)`` trace as
+    one lane of a multi-stream batch, scored by the fraction of
+    expected outputs reproduced.  The execution backend comes from
+    ``options`` (``backend`` / ``engine``), resolved stream-aware.
+    """
+    opts = _options(options)
+    from .core.ea import evaluate_population as _evaluate
+
+    return _evaluate(candidates, traces, backend=opts.execution)

@@ -573,7 +573,7 @@ def cmd_stats(args) -> int:
     publish(report)
     print(report.render())
     from .engine import numpy_available
-    from .exec import resolve
+    from .exec import resolve, stream_threshold
 
     if numpy_available():
         numpy_note = "numpy available"
@@ -582,7 +582,13 @@ def cmd_stats(args) -> int:
             "numpy absent — pure-Python batch kernel; "
             "pip install repro[fast]"
         )
+    threshold = stream_threshold()
     print(f"\nengine: backend={resolve('auto')} ({numpy_note})")
+    print(
+        f"streams: >={threshold} concurrent streams dispatch to "
+        f"{resolve('auto', streams=threshold)} "
+        "(tune with REPRO_STREAM_THRESHOLD)"
+    )
     if verdict is not None:
         print()
         print(verdict)
@@ -605,6 +611,9 @@ def cmd_backends(args) -> int:
         row = {"backend": spec.name}
         for flag, value in spec.capabilities.flags().items():
             row[flag.replace("_", "-")] = _mark(value)
+        # identity, not a flag: widest packed-table dtype of the
+        # backend's stream kernel ("-" = no packed stream plane)
+        row["stream-dtype"] = spec.capabilities.max_stream_dtype or "-"
         row["available"] = availability
         rows.append(row)
     print(format_table(rows, title="registered execution backends"))

@@ -14,6 +14,11 @@ a standard, fully seeded generational GA: tournament selection, order
 crossover (OX1), swap + inversion mutation, and elitism.  All free
 parameters are exposed through :class:`EAConfig` and swept by the
 ``benchmarks/test_ablation_ea_params.py`` harness.
+
+The module also hosts :func:`evaluate_population`, the population-level
+*machine* scorer: a whole candidate population is replayed over a trace
+set through the execution layer's multi-stream plane
+(:func:`repro.exec.run_streams`), one stream batch per candidate.
 """
 
 from __future__ import annotations
@@ -264,6 +269,118 @@ def _evolve_program(
         history=history,
         evaluations=evaluations,
     )
+
+
+def evaluate_population(
+    candidates: Sequence[FSM],
+    traces: Sequence[Tuple[Sequence[Input], Sequence]],
+    backend: str = "auto",
+) -> List[float]:
+    """Score a population of candidate machines against I/O traces.
+
+    Each candidate is replayed over every trace as one lane of a
+    multi-stream batch (the instrumented stream plane of
+    :mod:`repro.exec`, site ``"ea.fitness"``): the traces are encoded
+    into a :class:`~repro.engine.StreamBatch` *once per distinct input
+    alphabet* and replayed against every candidate sharing it, and
+    matching is one whole-matrix compare per candidate
+    (:meth:`~repro.engine.StreamRun.match_counts`) — so a population
+    of N machines costs N kernel calls, not N × traces sequential
+    replays with per-symbol Python scoring.
+
+    ``traces`` is a sequence of ``(input_word, expected_outputs)``
+    pairs; a candidate's fitness is the fraction of expected output
+    symbols it reproduces, pooled over all traces (1.0 = every output
+    of every trace matched).  A candidate that cannot serve a trace at
+    all — an unconfigured entry, a symbol outside its alphabet — scores
+    zero *for that trace* and keeps its matches on the others: the
+    whole-batch :class:`~repro.exec.TableMiss` falls back to per-stream
+    replay to isolate the failing lanes.
+
+    ``backend`` resolves through the execution registry with the trace
+    count as the stream width, so ``"auto"`` picks the python kernel
+    for narrow trace sets and the numpy stream kernel once the lanes
+    amortize it.  ``"off"``/``"cycle"`` is rejected: a population is
+    pure table evaluation, there is no datapath to be cycle-accurate
+    against.
+    """
+    from ..engine.compiled import EngineError
+    from ..engine.streams import ExpectedOutputs, StreamBatch
+    from ..exec.backends import TableBackend
+    from ..exec.batching import run_stream_plane
+    from ..exec.protocol import TableMiss
+    from ..exec.registry import TABLE_KERNELS, resolve
+
+    candidates = list(candidates)
+    traces = list(traces)
+    if not traces:
+        raise ValueError("evaluate_population needs at least one trace")
+    name = resolve(backend, streams=len(traces))
+    if name not in TABLE_KERNELS:
+        raise ValueError(
+            f"population scoring needs an in-process table backend, "
+            f"not {name!r}: candidates are behavioural machines with "
+            "no datapath to serve cycle-accurately"
+        )
+    words = [tuple(word) for word, _ in traces]
+    expected = [tuple(outs) for _, outs in traces]
+    total = sum(len(outs) for outs in expected)
+
+    # Encode each distinct input alphabet once (every candidate sharing
+    # it replays the same packed symbol matrix), and each distinct
+    # output alphabet once (scoring is one whole-matrix compare).
+    batches: Dict[Tuple[Input, ...], Optional[StreamBatch]] = {}
+    expectations: Dict[Tuple, ExpectedOutputs] = {}
+
+    def batch_for(inputs: Tuple[Input, ...]) -> Optional[StreamBatch]:
+        if inputs not in batches:
+            try:
+                batches[inputs] = StreamBatch.encode(inputs, words)
+            except (EngineError, KeyError, ValueError):
+                batches[inputs] = None  # some trace symbol is foreign
+        return batches[inputs]
+
+    scores: List[float] = []
+    with _span(
+        "ea.evaluate_population",
+        candidates=len(candidates),
+        traces=len(traces),
+        backend=name,
+    ):
+        for candidate in candidates:
+            table = TableBackend.from_fsm(candidate, backend=name)
+            batch = batch_for(table.compiled.inputs)
+            counts: Optional[List[int]] = None
+            if batch is not None:
+                key = (table.compiled.inputs, table.compiled.outputs)
+                if key not in expectations:
+                    expectations[key] = ExpectedOutputs(
+                        table.compiled.outputs, expected
+                    )
+                try:
+                    run = run_stream_plane(
+                        table, batch, site="ea.fitness"
+                    )
+                    counts = run.match_counts(expectations[key])
+                except TableMiss:
+                    counts = None
+            if counts is None:  # isolate the failing lanes one by one
+                counts = []
+                for word, outs in zip(words, expected):
+                    try:
+                        run = table.run_batch(word, commit=False)
+                    except (EngineError, KeyError, ValueError):
+                        counts.append(0)
+                        continue
+                    counts.append(
+                        sum(
+                            1
+                            for got, want in zip(run.outputs, outs)
+                            if got == want
+                        )
+                    )
+            scores.append(sum(counts) / total if total else 1.0)
+    return scores
 
 
 def ea_program(

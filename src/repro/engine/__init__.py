@@ -8,6 +8,10 @@ Public surface:
 * :func:`resolve_backend` / :func:`numpy_available` — backend selection
   (pure Python always works; numpy is the optional ``fast`` extra and is
   honoured only when importable and ``REPRO_DISABLE_NUMPY`` is unset);
+* :class:`StreamBatch` / :class:`StreamRun` / :class:`StreamTables` —
+  the multi-stream plane: many independent sessions encoded once and
+  stepped together through dtype-packed tables
+  (``CompiledFSM.run_streams`` / ``run_stream_batch``);
 * :class:`EngineError` / :class:`UnconfiguredEntry` — failure modes that
   mirror the cycle-accurate datapath's, so callers can fall back to it.
 
@@ -25,13 +29,25 @@ from .compiled import (
     numpy_available,
     resolve_backend,
 )
+from .streams import (
+    ExpectedOutputs,
+    StreamBatch,
+    StreamRun,
+    StreamTables,
+    stream_dtype_name,
+)
 
 __all__ = [
     "BACKENDS",
     "CompiledFSM",
     "EngineError",
+    "ExpectedOutputs",
+    "StreamBatch",
+    "StreamRun",
+    "StreamTables",
     "UnconfiguredEntry",
     "WordRun",
     "numpy_available",
     "resolve_backend",
+    "stream_dtype_name",
 ]

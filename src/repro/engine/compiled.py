@@ -185,6 +185,7 @@ class CompiledFSM:
         self._state_code = {sym: i for i, sym in enumerate(self.states)}
         self._np_next = None
         self._np_out = None
+        self._stream_tables = None
         if self.backend == "numpy":
             np = _numpy()
             self._np_next = np.asarray(next_table, dtype=np.int64)
@@ -518,6 +519,49 @@ class CompiledFSM:
                 WordRun(outputs=outputs, final_state=final, visits=visits)
             )
         return runs
+
+    # ------------------------------------------------------------------
+    # Stream plane (see repro.engine.streams)
+    # ------------------------------------------------------------------
+    def stream_tables(self):
+        """The packed stream-plane tables for this view (built lazily,
+        cached — the pack cost is one Python sweep of the table)."""
+        if self._stream_tables is None:
+            from .streams import StreamTables  # deferred: import cycle
+
+            self._stream_tables = StreamTables(self)
+        return self._stream_tables
+
+    def encode_streams(self, words: Sequence[Sequence[Input]]):
+        """Encode many input words into a reusable :class:`StreamBatch`.
+
+        Encoding is the per-symbol Python cost of the stream plane; a
+        batch encodes once and replays against any compiled view that
+        shares this view's input alphabet (EA candidates, new table
+        epochs after migration).
+        """
+        from .streams import StreamBatch  # deferred: import cycle
+
+        return StreamBatch.encode(self.inputs, words)
+
+    def run_stream_batch(self, batch, starts=None):
+        """Run a pre-encoded :class:`StreamBatch`; the multi-stream
+        fast path.
+
+        ``starts`` is ``None`` (every stream from reset), one state
+        (every stream from it), or a per-stream sequence where ``None``
+        entries mean reset.  Returns a lazy :class:`StreamRun`;
+        per-stream results are bit-identical to :meth:`run_word`, and
+        any stream that would make :meth:`run_word` raise makes this
+        raise (replay per-stream to find which).
+        """
+        from .streams import run_stream_batch  # deferred: import cycle
+
+        return run_stream_batch(self, batch, starts)
+
+    def run_streams(self, words: Sequence[Sequence[Input]], starts=None):
+        """Encode + run in one call (see :meth:`run_stream_batch`)."""
+        return self.run_stream_batch(self.encode_streams(words), starts)
 
     # ------------------------------------------------------------------
     def realises(self, fsm: FSM) -> bool:

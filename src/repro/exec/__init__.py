@@ -9,18 +9,21 @@ workload suite and the CLI all dispatch through here — no caller picks
 a backend by hand.
 
 Selection precedence: explicit pin (a backend name or engine-mode
-alias) > the ``REPRO_BACKEND`` environment variable > auto
-(``table-numpy`` when numpy is importable and not disabled via
-``REPRO_DISABLE_NUMPY``, else ``table-py``).  Availability is
-re-checked at every dispatch, and a forced-but-unavailable backend
-raises :class:`BackendUnavailable` with the reason spelled out.
+alias) > the ``REPRO_BACKEND`` environment variable > auto.  Auto is
+stream-count aware: ``table-py`` below :func:`stream_threshold`
+concurrent streams (a single sequential stream runs fastest in the
+pure-Python loop), ``table-numpy`` when enough independent streams
+amortize the lane kernel (and numpy is importable and not disabled via
+``REPRO_DISABLE_NUMPY``).  Availability is re-checked at every
+dispatch, and a forced-but-unavailable backend raises
+:class:`BackendUnavailable` with the reason spelled out.
 
 See ``docs/architecture.md`` for where this layer sits
 (core → hw → exec → engine/fleet → api/cli).
 """
 
 from .backends import CycleBackend, TableBackend, compile_tables
-from .batching import map_batch
+from .batching import map_batch, run_streams
 from .dispatcher import DEFAULT_COALESCE, Decision, Dispatcher
 from .protocol import (
     BackendUnavailable,
@@ -40,6 +43,7 @@ from .registry import (
     resolve,
     resolve_tables,
     specs,
+    stream_threshold,
 )
 
 __all__ = [
@@ -64,5 +68,7 @@ __all__ = [
     "register",
     "resolve",
     "resolve_tables",
+    "run_streams",
     "specs",
+    "stream_threshold",
 ]

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Sequence
 
 from ..core.fsm import FSM, Input, Output, State
 from ..engine.compiled import CompiledFSM, EngineError, WordRun
+from ..engine.streams import StreamBatch
 from ..hw.machine import HardwareFSM
 from ..obs import journal as _journal
 from ..obs.tracing import span as _span
@@ -52,6 +53,7 @@ class CycleBackend:
         cycle_accurate=True,
         serves_mid_migration=True,
         needs_numpy=False,
+        batchable_streams=False,
     )
 
     def __init__(self, hardware: HardwareFSM):
@@ -88,6 +90,25 @@ class CycleBackend:
                 if snap is not None:
                     hw.restore_state(snap.state)
             return WordRun(outputs=outputs, final_state=final, visits=visits)
+
+    def run_streams(
+        self,
+        words: Sequence[Sequence[Input]],
+        starts: Optional[Sequence[Optional[State]]] = None,
+    ):
+        """A per-stream loop of pure-query :meth:`run_batch` calls: the
+        netlist has no lane parallelism (``batchable_streams`` is
+        False), but the contract holds — identical results, no commit.
+        """
+        reset = self.hardware.reset_state
+        if starts is None:
+            starts = [reset] * len(words)
+        return [
+            self.run_batch(
+                word, start=reset if start is None else start, commit=False
+            )
+            for word, start in zip(words, starts)
+        ]
 
     def snapshot(self) -> ExecSnapshot:
         return ExecSnapshot(
@@ -140,12 +161,15 @@ class TableBackend:
             cycle_accurate=False,
             serves_mid_migration=False,
             needs_numpy=False,
+            batchable_streams=True,
         ),
         "table-numpy": Capabilities(
             batchable=True,
             cycle_accurate=False,
             serves_mid_migration=False,
             needs_numpy=True,
+            batchable_streams=True,
+            max_stream_dtype="int32",
         ),
     }
 
@@ -212,6 +236,65 @@ class TableBackend:
             return self.compiled.run_words(words, start=start)
         except EngineError as exc:
             raise TableMiss(str(exc)) from exc
+
+    def run_streams(
+        self,
+        words: Sequence[Sequence[Input]],
+        starts: Optional[Sequence[Optional[State]]] = None,
+    ):
+        """Serve many independent streams through the stream plane.
+
+        Per-stream start states (``None`` entries mean reset), never
+        commits, results in submission order.  On the numpy kernel the
+        whole call is a handful of packed-table gathers
+        (:meth:`repro.engine.CompiledFSM.run_stream_batch`); the python
+        kernel serves the identical contract as a ``run_word`` loop.
+        Anything any stream cannot serve raises :class:`TableMiss` for
+        the whole call — the table run mutated nothing, so the caller
+        replays per-stream to isolate and reproduce the exact failure.
+        ``words`` may be a pre-encoded
+        :class:`~repro.engine.StreamBatch` — encoded once, replayed
+        against every compiled view that shares the input alphabet (the
+        EA scores whole populations this way).
+        """
+        batched = isinstance(words, StreamBatch)
+        with _span(
+            "engine.run_streams",
+            backend=self.name,
+            streams=words.n if batched else len(words),
+        ):
+            try:
+                if batched:
+                    run = self.compiled.run_stream_batch(
+                        words, starts=starts
+                    )
+                else:
+                    run = self.compiled.run_streams(words, starts=starts)
+                return run.word_runs()
+            except EngineError as exc:
+                raise TableMiss(str(exc)) from exc
+
+    def run_stream_plane(
+        self,
+        batch: StreamBatch,
+        starts: Optional[Sequence[Optional[State]]] = None,
+    ):
+        """Run a pre-encoded batch and return the *un-materialised*
+        :class:`~repro.engine.StreamRun`.
+
+        For vectorized consumers — the EA's population scorer — that
+        read final states or :meth:`~repro.engine.StreamRun.match_counts`
+        straight off the packed matrices and must not pay the
+        per-symbol ``WordRun`` materialisation that
+        :meth:`run_streams` performs.
+        """
+        with _span(
+            "engine.run_streams", backend=self.name, streams=batch.n
+        ):
+            try:
+                return self.compiled.run_stream_batch(batch, starts=starts)
+            except EngineError as exc:
+                raise TableMiss(str(exc)) from exc
 
     def snapshot(self) -> ExecSnapshot:
         hw = self.hardware

@@ -3,18 +3,29 @@
 The EA's population evaluation, the workload suite's differential
 checks and future vectorized fitness kernels all share the same shape:
 *N independent jobs, evaluated as one batch, results in input order*.
-:func:`map_batch` is that shape as one instrumented entry point — a
-deliberate seam: a vectorized or multi-process evaluator replaces the
-comprehension here without touching any caller.
+Two instrumented entry points cover it:
+
+* :func:`map_batch` — arbitrary per-item callables, evaluated in
+  order (the pre-stream seam; still right for jobs that are not FSM
+  replays);
+* :func:`run_streams` — N independent *symbol streams* served through
+  one backend's stream plane in a single call, with the
+  ``repro_exec_stream_*`` metric families and the ``exec.stream_batch``
+  journal event recorded per batch.  This is the seam the fleet's
+  cross-session coalescing and the EA's population replays ride.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
+from ..core.fsm import Input, State
+from ..engine.compiled import WordRun
+from ..engine.streams import StreamBatch
 from ..obs import instruments as _instruments
+from ..obs import journal as _journal
 
-__all__ = ["map_batch"]
+__all__ = ["map_batch", "run_stream_plane", "run_streams"]
 
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
@@ -34,3 +45,69 @@ def map_batch(
     if items:
         _instruments.EXEC_BATCH_JOBS.inc(len(items), site=site)
     return results
+
+
+def run_streams(
+    backend,
+    words: Sequence[Sequence[Input]],
+    starts: Optional[Sequence[Optional[State]]] = None,
+    site: str = "exec",
+) -> Sequence[WordRun]:
+    """Serve many independent streams as one instrumented stream batch.
+
+    Thin accounting shell over ``backend.run_streams`` (same contract:
+    submission order, no commit, whole-call
+    :class:`~repro.exec.protocol.TableMiss` when any stream cannot be
+    served).  ``site`` labels who batched — the fleet's serve path, the
+    EA's fitness evaluation, or ad-hoc exec callers.  ``words`` may be a
+    pre-encoded :class:`~repro.engine.StreamBatch` (encode once, replay
+    against every backend sharing the alphabet) where the backend
+    supports it — the in-process table backends do.
+    """
+    runs = backend.run_streams(words, starts=starts)
+    if isinstance(words, StreamBatch):
+        n, n_symbols = words.n, words.n_symbols
+    else:
+        n = len(words)
+        n_symbols = sum(len(word) for word in words)
+    _account_stream_batch(backend.name, n, n_symbols, site)
+    return runs
+
+
+def run_stream_plane(
+    backend,
+    batch: StreamBatch,
+    starts: Optional[Sequence[Optional[State]]] = None,
+    site: str = "exec",
+):
+    """Serve a pre-encoded batch, returning the raw
+    :class:`~repro.engine.StreamRun` (no per-stream materialisation).
+
+    Same accounting as :func:`run_streams`; for consumers that score
+    vectorized off the packed matrices — the EA's population scorer —
+    through :meth:`~repro.exec.TableBackend.run_stream_plane`.
+    """
+    run = backend.run_stream_plane(batch, starts=starts)
+    _account_stream_batch(backend.name, batch.n, batch.n_symbols, site)
+    return run
+
+
+def _account_stream_batch(
+    name: str, n: int, n_symbols: int, site: str
+) -> None:
+    if not n:
+        return
+    _instruments.EXEC_STREAM_BATCHES.inc(backend=name, site=site)
+    _instruments.EXEC_STREAM_LANES.inc(n, backend=name, site=site)
+    _instruments.EXEC_STREAM_SYMBOLS.inc(
+        n_symbols, backend=name, site=site
+    )
+    journal = _journal.JOURNAL
+    if journal.enabled:
+        journal.record(
+            _journal.EXEC_STREAM_BATCH,
+            backend=name,
+            site=site,
+            streams=n,
+            symbols=n_symbols,
+        )

@@ -42,7 +42,7 @@ from ..obs import journal as _journal
 from ..obs.tracing import span as _span
 from .backends import CycleBackend, TableBackend
 from .protocol import BackendUnavailable, ExecutionBackend
-from .registry import canonical, resolve
+from .registry import canonical, resolve, stream_threshold
 
 __all__ = ["Decision", "Dispatcher"]
 
@@ -95,6 +95,14 @@ class Dispatcher:
         self._factory = factory
         #: The most recent :class:`Decision` (health-surface vitals).
         self.last_decision: Optional[Decision] = None
+        #: Cached table backends by name.  Auto resolution is
+        #: stream-count aware, so one shard legitimately alternates
+        #: between ``table-py`` (single-session batches) and
+        #: ``table-numpy`` (wide stream batches) — caching per name
+        #: keeps the alternation from recompiling on every flip.
+        self._tables: Dict[str, object] = {}
+        #: The last table backend a decision served with (the one a
+        #: subsequent :meth:`miss` is about).
         self._table: Optional[TableBackend] = None
         self._cycle: Optional[CycleBackend] = None
         # Decisions repeat the same few (backend, reason) pairs per
@@ -111,18 +119,26 @@ class Dispatcher:
         return self._cycle
 
     def select(
-        self, hw: HardwareFSM, migrating: bool = False
+        self, hw: HardwareFSM, migrating: bool = False, streams: int = 1
     ) -> Decision:
-        """The backend to serve ``hw``'s next run with, per policy."""
+        """The backend to serve ``hw``'s next run with, per policy.
+
+        ``streams`` is how many independent streams the caller is about
+        to serve in one job: auto resolution picks the lane kernel only
+        when that many streams can amortize it (below the threshold a
+        single sequential stream runs fastest in the pure-Python loop).
+        """
         with _span("exec.dispatch", mode=self.mode) as sp:
-            decision = self._select(hw, migrating)
+            decision = self._select(hw, migrating, streams)
             sp.attrs["backend"] = decision.name
             sp.attrs["reason"] = decision.reason
             return decision
 
-    def _select(self, hw: HardwareFSM, migrating: bool) -> Decision:
+    def _select(
+        self, hw: HardwareFSM, migrating: bool, streams: int = 1
+    ) -> Decision:
         try:
-            want = resolve(self.mode)
+            want = resolve(self.mode, streams=streams)
         except BackendUnavailable:
             # The forced backend vanished mid-serve (environment flip):
             # degrade to the always-available netlist over failing
@@ -130,33 +146,41 @@ class Dispatcher:
             # misconfiguration case loudly.
             self._fallback("unavailable", str(self.mode))
             return self._decide(
-                self.cycle_backend(hw), "unavailable", degraded=True
+                self.cycle_backend(hw), "unavailable",
+                degraded=True, streams=streams,
             )
         if want == "cycle":
-            return self._decide(self.cycle_backend(hw), "policy")
+            return self._decide(
+                self.cycle_backend(hw), "policy", streams=streams
+            )
         if migrating:
             # The blend table mutates entry by entry between batches;
             # only a mid-migration-capable backend may serve.
             self._fallback("migration", want)
             return self._decide(
-                self.cycle_backend(hw), "migration", degraded=True
+                self.cycle_backend(hw), "migration",
+                degraded=True, streams=streams,
             )
-        table = self._table
-        if table is not None and table.name == want and not table.is_stale(hw):
-            return self._decide(table, "cached")
+        table = self._tables.get(want)
+        if table is not None and not table.is_stale(hw):
+            self._table = table
+            return self._decide(table, "cached", streams=streams)
         if table is not None:
             table.invalidate(
                 reason="stale" if table.hardware is hw else "replaced"
             )
-            self._table = None
+            del self._tables[want]
         try:
-            self._table = self._build_table(want, hw)
+            table = self._build_table(want, hw)
         except EngineError:
             self._fallback("error", want)
             return self._decide(
-                self.cycle_backend(hw), "compile-error", degraded=True
+                self.cycle_backend(hw), "compile-error",
+                degraded=True, streams=streams,
             )
-        return self._decide(self._table, "compiled")
+        self._tables[want] = table
+        self._table = table
+        return self._decide(table, "compiled", streams=streams)
 
     def _build_table(self, want: str, hw: HardwareFSM):
         """Build the table-serving backend named ``want`` for ``hw``.
@@ -198,18 +222,19 @@ class Dispatcher:
     def invalidate(self, reason: str = "explicit") -> None:
         """Drop every cached backend (quarantine replaced the
         hardware; the next :meth:`select` re-binds and recompiles)."""
-        if self._table is not None:
-            self._table.invalidate(reason=reason)
-            self._table = None
+        for table in self._tables.values():
+            table.invalidate(reason=reason)
+        self._tables.clear()
+        self._table = None
         self._cycle = None
         _journal.JOURNAL.record(
             _journal.EXEC_INVALIDATE, shard=self.shard, reason=reason
         )
 
-    def pick(self) -> str:
+    def pick(self, streams: int = 1) -> str:
         """The backend name :meth:`select` would serve with right now
         (quiescent, nothing cached) — the CLI's "what would run?"."""
-        return resolve(self.mode)
+        return resolve(self.mode, streams=streams)
 
     # ------------------------------------------------------------------
     def _fallback(self, reason: str, backend_name: str) -> None:
@@ -231,7 +256,11 @@ class Dispatcher:
         )
 
     def _decide(
-        self, backend: ExecutionBackend, reason: str, degraded: bool = False
+        self,
+        backend: ExecutionBackend,
+        reason: str,
+        degraded: bool = False,
+        streams: int = 1,
     ) -> Decision:
         key = (backend.name, reason)
         handle = self._decision_handles.get(key)
@@ -257,6 +286,8 @@ class Dispatcher:
                 backend=backend.name,
                 reason=reason,
                 degraded=degraded,
+                streams=streams,
+                threshold=stream_threshold(),
             )
         return decision
 

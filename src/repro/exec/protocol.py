@@ -103,14 +103,25 @@ class Capabilities:
     serves_mid_migration: bool = False
     #: Requires the optional numpy extra to be importable and enabled.
     needs_numpy: bool = False
+    #: Can serve many independent streams as one stream batch
+    #: (:meth:`ExecutionBackend.run_streams` does better than a loop of
+    #: ``run_batch`` calls; the fleet coalesces across sessions only
+    #: through backends that say yes).
+    batchable_streams: bool = False
+    #: Widest dtype the backend's stream plane packs tables into
+    #: (``""`` when it has no packed stream plane — it serves streams,
+    #: if at all, as a plain per-stream loop).
+    max_stream_dtype: str = ""
 
     def flags(self) -> Dict[str, bool]:
-        """The flags as a dict, in declaration order (CLI listing)."""
+        """The boolean flags as a dict, in declaration order (CLI
+        listing; ``max_stream_dtype`` is identity, not a flag)."""
         return {
             "batchable": self.batchable,
             "cycle_accurate": self.cycle_accurate,
             "serves_mid_migration": self.serves_mid_migration,
             "needs_numpy": self.needs_numpy,
+            "batchable_streams": self.batchable_streams,
         }
 
 
@@ -158,6 +169,24 @@ class ExecutionBackend(Protocol):
         visit counters) advances as if the symbols had been stepped;
         without it the pre-call state is restored, making the run a
         pure query.
+        """
+        ...
+
+    def run_streams(
+        self,
+        words: Sequence[Sequence[Input]],
+        starts: Optional[Sequence[Optional[State]]] = None,
+    ) -> Sequence[WordRun]:
+        """Serve many *independent* streams, never committing state.
+
+        Stream ``i`` runs ``words[i]`` from ``starts[i]`` (``None``
+        entries — or ``starts=None`` — mean the backend's reset state).
+        Results are in submission order and bit-identical to a loop of
+        ``run_batch(words[i], start=starts[i], commit=False)``; any
+        stream the backend cannot serve raises :class:`TableMiss` for
+        the whole call (the caller replays per-stream to isolate it).
+        Backends declaring ``batchable_streams`` amortize the call
+        across streams; others may serve it as exactly that loop.
         """
         ...
 

@@ -13,15 +13,19 @@ owns the question:
   Legacy engine-mode spellings (``off``, ``python``, ``numpy``,
   ``shm``) are aliases, so every pre-exec call site keeps its
   vocabulary.
-* :func:`resolve` — preference → concrete backend name.  Precedence:
-  an explicit pin beats the ``REPRO_BACKEND`` environment variable,
-  which beats auto selection (numpy tables when importable and not
-  disabled, else pure-Python tables).  Availability — including
-  ``REPRO_DISABLE_NUMPY`` — is re-checked at *every* call, so flipping
-  the environment mid-process is honoured at dispatch time, and a
-  forced-but-unavailable backend raises
-  :class:`~repro.exec.protocol.BackendUnavailable` with the reason
-  spelled out instead of silently degrading.
+* :func:`resolve` — (preference, stream count) → concrete backend
+  name.  Precedence: an explicit pin beats the ``REPRO_BACKEND``
+  environment variable, which beats auto selection.  Auto is
+  *stream-count aware*: a single FSM stream is inherently sequential,
+  so per-symbol numpy indexing loses to the pure-Python loop
+  (``BENCH_engine_throughput.json``) — auto therefore picks
+  ``table-py`` below :func:`stream_threshold` concurrent streams and
+  ``table-numpy`` only when enough independent streams amortize the
+  lane kernel.  Availability — including ``REPRO_DISABLE_NUMPY`` — is
+  re-checked at *every* call, so flipping the environment mid-process
+  is honoured at dispatch time, and a forced-but-unavailable backend
+  raises :class:`~repro.exec.protocol.BackendUnavailable` with the
+  reason spelled out instead of silently degrading.
 * :func:`resolve_tables` — the table-only projection used when
   *compiling* (``repro.engine`` delegates its historic
   ``resolve_backend`` here).  A forced ``cycle`` cannot steer a table
@@ -46,11 +50,21 @@ __all__ = [
     "resolve",
     "resolve_tables",
     "specs",
+    "stream_threshold",
 ]
 
 #: Environment variable forcing the dispatcher's backend choice for
 #: ``auto`` preferences (explicit pins always win over it).
 ENV_BACKEND = "REPRO_BACKEND"
+
+#: Environment variable overriding :data:`STREAM_THRESHOLD_DEFAULT`.
+ENV_STREAM_THRESHOLD = "REPRO_STREAM_THRESHOLD"
+
+#: Minimum concurrent streams before auto resolution picks the numpy
+#: lane kernel over the pure-Python loop.  Measured break-even sits
+#: between 8 streams (numpy ~0.9x of table-py) and 64 (>5x), so the
+#: default splits the gap; override with ``REPRO_STREAM_THRESHOLD``.
+STREAM_THRESHOLD_DEFAULT = 32
 
 #: Legacy engine-mode spellings accepted everywhere a backend name is.
 ALIASES = {
@@ -167,19 +181,47 @@ def _require_available(name: str) -> str:
     return spec.name
 
 
-def resolve(preference: Optional[str] = None) -> str:
-    """Preference → the concrete backend name to serve with.
+def stream_threshold() -> int:
+    """Streams needed before auto resolution prefers the numpy kernel.
 
-    Explicit pin > ``REPRO_BACKEND`` > auto (``table-numpy`` when numpy
-    is importable and not disabled, else ``table-py``).  A forced
-    backend that is unavailable *right now* raises
-    :class:`BackendUnavailable`; auto never does.
+    ``REPRO_STREAM_THRESHOLD`` overrides the measured default; read at
+    every call so tests and operators can retune a live process.
+    """
+    raw = os.environ.get(ENV_STREAM_THRESHOLD, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_STREAM_THRESHOLD}={raw!r}: expected an integer"
+            ) from None
+        if value >= 1:
+            return value
+        raise ValueError(
+            f"{ENV_STREAM_THRESHOLD}={raw!r}: must be >= 1"
+        )
+    return STREAM_THRESHOLD_DEFAULT
+
+
+def resolve(preference: Optional[str] = None, streams: int = 1) -> str:
+    """(preference, stream count) → the concrete backend name.
+
+    Explicit pin > ``REPRO_BACKEND`` > auto.  Auto picks ``table-py``
+    below :func:`stream_threshold` concurrent streams — a single
+    sequential stream runs fastest in the pure-Python loop — and
+    ``table-numpy`` only when ``streams`` can amortize the lane kernel
+    (and numpy is importable and not disabled).  A forced backend that
+    is unavailable *right now* raises :class:`BackendUnavailable`; auto
+    never does.
     """
     name = canonical(preference)
     if name == "auto":
         name = _forced_by_env() or "auto"
     if name == "auto":
-        name = "table-numpy" if numpy_available() else "table-py"
+        if streams >= stream_threshold() and numpy_available():
+            name = "table-numpy"
+        else:
+            name = "table-py"
     return _require_available(name)
 
 
@@ -274,6 +316,9 @@ def _register_builtins() -> None:
             cycle_accurate=False,
             serves_mid_migration=False,
             needs_numpy=False,
+            # Streams batch into one pipe round-trip (the worker loops
+            # run_word over them); no packed stream plane, so no dtype.
+            batchable_streams=True,
         )
 
     register(BackendSpec(

@@ -5,10 +5,14 @@ machine, each on its own cycle-accurate datapath behind its own worker
 thread — the replication model of Bortnikov et al. applied to the
 Köster & Teich datapath.  Clients talk to the pool through one call:
 
-``submit(shard_key, symbols) -> Future[List[Output]]``
+``submit(shard_key, symbols, session=None) -> Future[List[Output]]``
 
 * requests with the same ``shard_key`` land on the same shard, in FIFO
   order (one queue, one thread per shard) — per-key state affinity;
+* ``session`` (any hashable) names an independent state chain on the
+  shard: session batches extend their own stream beside the shard's
+  datapath lane, and a quiescent queue coalesces batches from many
+  sessions into *one* multi-stream kernel call (see ``docs/engine.md``);
 * every shard queue is bounded; a full queue rejects *immediately* with
   :class:`FleetOverloaded` (explicit backpressure, no hidden buffering);
 * a shard whose datapath raises is quarantined and re-seeded from the
@@ -191,9 +195,20 @@ class FSMFleet:
         return digest % len(self.shards)
 
     def submit(
-        self, shard_key: Hashable, symbols: Sequence[Input]
+        self,
+        shard_key: Hashable,
+        symbols: Sequence[Input],
+        session: Optional[Hashable] = None,
     ) -> "Future[List]":
         """Enqueue one batch; returns a future of the output word.
+
+        ``session=None`` (default) extends the shard's datapath lane —
+        the pre-session contract: each batch continues the live
+        hardware state.  Any other hashable names an independent
+        session: its own state chain on the shard, starting from the
+        machine's reset state, served as one lane of a multi-stream
+        batch when the queue coalesces.  FIFO order and backpressure
+        are identical either way.
 
         Raises :class:`FleetOverloaded` when the target shard's queue is
         full and ``ValueError`` when a symbol is outside the shard's
@@ -224,6 +239,7 @@ class FSMFleet:
             symbols=tuple(symbols),
             future=future,
             ctx=_context.capture(),
+            session=session,
         )
         try:
             shard.queue.put_nowait(batch)

@@ -38,11 +38,12 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from ..core.fsm import FSM, Input, Output
+from ..core.fsm import FSM, Input, Output, State
 from ..core.incremental import Chunk, IncrementalMigrator
 from ..exec import Dispatcher, TableMiss
+from ..exec import batching as _batching
 from ..hw.machine import HardwareFSM
 from ..obs import context as _context
 from ..obs import instruments as _instruments
@@ -83,6 +84,14 @@ class _Batch:
     #: The submitting thread's trace context, captured at submit() and
     #: re-activated by the worker so the serve joins the client's tree.
     ctx: Optional[_context.TraceContext] = None
+    #: Which state chain this batch extends.  ``None`` is the shard's
+    #: datapath lane (the pre-session contract: runs from the live
+    #: ST-REG state and commits back).  Any other hashable names an
+    #: independent *session*: its own state chain beside the datapath,
+    #: starting from the committed machine's reset state.  Batches from
+    #: different sessions are independent streams, which is what lets a
+    #: quiescent queue coalesce *across* sessions into one stream batch.
+    session: Optional[Hashable] = None
 
 
 @dataclass
@@ -141,6 +150,13 @@ class ShardWorker(threading.Thread):
         self.stats = ShardStats()
         self.serving_inputs = frozenset(machine.inputs)
         self.hardware = self._build_hardware(machine)
+        #: Per-session state chains (session key -> current state).
+        #: Only the worker thread touches this.  Session states are
+        #: symbolic, so they survive quarantine (the rebuilt datapath
+        #: serves the same machine); a migration commit prunes sessions
+        #: whose state does not exist in the new machine — those
+        #: restart from the new reset state on their next batch.
+        self._sessions: Dict[Hashable, State] = {}
         self._job: Optional[MigrationJob] = None
         self._stopping = threading.Event()
         # Pre-bound metric handles: the serving loop publishes the same
@@ -281,6 +297,16 @@ class ShardWorker(threading.Thread):
             job.verified = verified
             self.machine = job.target
             self.serving_inputs = frozenset(job.target.inputs)
+            if self._sessions:
+                # Sessions parked on a state the new machine kept go on
+                # seamlessly; ones whose state vanished restart from the
+                # new reset state on their next batch.
+                valid = frozenset(job.target.states)
+                self._sessions = {
+                    key: state
+                    for key, state in self._sessions.items()
+                    if state in valid
+                }
             self.stats.migrations_done += 1
             _instruments.FLEET_SHARD_MIGRATIONS.inc(
                 shard=self.label, verified=str(verified).lower()
@@ -377,8 +403,14 @@ class ShardWorker(threading.Thread):
                 _context.detach(token)
 
     def _serve_run_traced(self, batches: List[_Batch], sp) -> None:
+        # One lane per distinct session in this coalesced run (the
+        # datapath lane None included); the lane count is what the
+        # dispatcher's stream-aware auto resolution keys off.
+        lanes: "Dict[Optional[Hashable], List[_Batch]]" = {}
+        for batch in batches:
+            lanes.setdefault(batch.session, []).append(batch)
         decision = self.dispatcher.select(
-            self.hardware, migrating=self._migrating()
+            self.hardware, migrating=self._migrating(), streams=len(lanes)
         )
         if decision.degraded:
             self.stats.engine_fallbacks += len(batches)
@@ -386,8 +418,20 @@ class ShardWorker(threading.Thread):
         sp.attrs["backend"] = backend.name
         if not backend.capabilities.batchable:
             for batch in batches:
-                self._serve(batch)
+                if batch.session is None:
+                    self._serve(batch)
+                else:
+                    self._serve_session(batch)
             return
+        if len(lanes) == 1 and batches[0].session is None:
+            # The pre-session shape (every batch extends the datapath
+            # lane): one committed run, no stream plane involved.
+            self._serve_datapath_run(batches, backend)
+            return
+        self._serve_stream_run(batches, lanes, backend)
+
+    def _serve_datapath_run(self, batches: List[_Batch], backend) -> None:
+        """One coalesced committed run of datapath-lane batches."""
         started = time.perf_counter()
         downtime_before = self._downtime()
         symbols: List[Input] = []
@@ -416,12 +460,108 @@ class ShardWorker(threading.Thread):
             cursor += size
             self.stats.batches_ok += 1
             self._m_batches_ok.inc()
-        self.stats.symbols_served += len(symbols)
-        self.stats.engine_batches += len(batches)
-        self.stats.engine_symbols += len(symbols)
-        self._m_symbols.inc(len(symbols))
-        self._served_handle("compiled", backend.name).inc(len(symbols))
-        self._batch_size_handle(backend.name).observe(len(symbols))
+        self._count_compiled_run(
+            backend, len(batches), len(symbols), downtime_delta,
+            started, streams=1,
+        )
+
+    def _serve_stream_run(
+        self,
+        batches: List[_Batch],
+        lanes: "Dict[Optional[Hashable], List[_Batch]]",
+        backend,
+    ) -> None:
+        """Serve a multi-session coalesced run as one stream batch.
+
+        Each lane concatenates one session's queued batches (FIFO
+        within the lane); the whole run is one ``run_streams`` call on
+        the dispatched backend.  Nothing commits until *every* lane has
+        succeeded — a :class:`TableMiss` therefore replays from the
+        exact pre-run states, and a partial success can never
+        double-commit the datapath lane.
+        """
+        hw = self.hardware
+        started = time.perf_counter()
+        downtime_before = self._downtime()
+        keys = list(lanes)
+        words: List[List[Input]] = []
+        starts: List[State] = []
+        for key in keys:
+            word: List[Input] = []
+            for batch in lanes[key]:
+                word.extend(batch.symbols)
+            words.append(word)
+            starts.append(
+                hw.state if key is None
+                else self._sessions.get(key, hw.reset_state)
+            )
+        try:
+            if backend.capabilities.batchable_streams:
+                runs = _batching.run_streams(
+                    backend, words, starts=starts, site="fleet.serve"
+                )
+            else:
+                # Batchable but stream-blind: per-lane pure queries,
+                # same no-commit-until-all-succeed ordering.
+                runs = [
+                    backend.run_batch(word, start=start, commit=False)
+                    for word, start in zip(words, starts)
+                ]
+        except TableMiss:
+            self.dispatcher.miss(hw)
+            self.stats.engine_fallbacks += len(batches)
+            for batch in batches:
+                if batch.session is None:
+                    self._serve(batch)
+                else:
+                    self._serve_session(batch)
+            return
+        # Every lane succeeded: fast-forward the datapath lane's
+        # architectural state and advance the session chains.
+        for key, run in zip(keys, runs):
+            if key is None:
+                hw.commit_engine_run(run.final_state, len(run), run.visits)
+            else:
+                self._sessions[key] = run.final_state
+        if self.link_latency_s:
+            time.sleep(self.link_latency_s)
+        downtime_delta = self._downtime() - downtime_before
+        self.stats.service_downtime_cycles += downtime_delta
+        run_of = dict(zip(keys, runs))
+        cursors = dict.fromkeys(keys, 0)
+        n_symbols = 0
+        for batch in batches:
+            # Original submission order across lanes: per-shard FIFO is
+            # part of the pool's contract, sessions or not.
+            run = run_of[batch.session]
+            cursor = cursors[batch.session]
+            size = len(batch.symbols)
+            batch.future.set_result(run.outputs[cursor:cursor + size])
+            cursors[batch.session] = cursor + size
+            n_symbols += size
+            self.stats.batches_ok += 1
+            self._m_batches_ok.inc()
+        self._count_compiled_run(
+            backend, len(batches), n_symbols, downtime_delta,
+            started, streams=len(keys),
+        )
+
+    def _count_compiled_run(
+        self,
+        backend,
+        n_batches: int,
+        n_symbols: int,
+        downtime_delta: int,
+        started: float,
+        streams: int,
+    ) -> None:
+        """Stats + metrics + journal for one compiled-path serve run."""
+        self.stats.symbols_served += n_symbols
+        self.stats.engine_batches += n_batches
+        self.stats.engine_symbols += n_symbols
+        self._m_symbols.inc(n_symbols)
+        self._served_handle("compiled", backend.name).inc(n_symbols)
+        self._batch_size_handle(backend.name).observe(n_symbols)
         self._m_batch_seconds.observe(time.perf_counter() - started)
         journal = _journal.JOURNAL
         if journal.enabled:
@@ -430,9 +570,10 @@ class ShardWorker(threading.Thread):
                 shard=self.label,
                 backend=backend.name,
                 path="compiled",
-                batches=len(batches),
-                symbols=len(symbols),
+                batches=n_batches,
+                symbols=n_symbols,
                 downtime_delta=downtime_delta,
+                streams=streams,
             )
 
     def _serve(self, batch: _Batch) -> None:
@@ -478,6 +619,59 @@ class ShardWorker(threading.Thread):
                 downtime_delta=downtime_delta,
             )
         batch.future.set_result(outputs)
+
+    def _serve_session(self, batch: _Batch) -> None:
+        """Serve one session batch cycle-accurately (the fallback the
+        stream path replays through).
+
+        The session's state chain lives beside the datapath: the
+        netlist replays the word from the session's state as a pure
+        query (``commit=False`` restores the datapath lane's state
+        afterwards), so the datapath lane's chain, its probes and an
+        in-flight migration are undisturbed — while the replay still
+        clocks the real netlist, so an injected fault raises out and
+        quarantines exactly as on the datapath lane.
+        """
+        backend = self.dispatcher.cycle_backend(self.hardware)
+        start = self._sessions.get(
+            batch.session, self.hardware.reset_state
+        )
+        started = time.perf_counter()
+        downtime_before = self._downtime()
+        try:
+            run = backend.run_batch(
+                batch.symbols, start=start, commit=False
+            )
+        except Exception as exc:
+            self.stats.batches_failed += 1
+            self._m_batches_error.inc()
+            batch.future.set_exception(exc)
+            self._quarantine(exc)
+            return
+        self._sessions[batch.session] = run.final_state
+        if self.link_latency_s:
+            time.sleep(self.link_latency_s)
+        downtime_delta = self._downtime() - downtime_before
+        self.stats.service_downtime_cycles += downtime_delta
+        self.stats.batches_ok += 1
+        self.stats.symbols_served += len(batch.symbols)
+        self._m_batches_ok.inc()
+        self._m_symbols.inc(len(batch.symbols))
+        self._served_handle("cycle", backend.name).inc(len(batch.symbols))
+        self._m_batch_seconds.observe(time.perf_counter() - started)
+        journal = _journal.JOURNAL
+        if journal.enabled:
+            journal.record(
+                _journal.SERVE_BATCH,
+                shard=self.label,
+                backend=backend.name,
+                path="cycle",
+                batches=1,
+                symbols=len(batch.symbols),
+                downtime_delta=downtime_delta,
+                streams=1,
+            )
+        batch.future.set_result(run.outputs)
 
     # -- main loop -----------------------------------------------------
     def stop(self) -> None:

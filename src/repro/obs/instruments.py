@@ -200,6 +200,20 @@ EXEC_BATCH_JOBS = REGISTRY.counter(
     "Independent jobs evaluated through exec-layer batch entry "
     "points, by site (e.g. ea.fitness).",
 )
+EXEC_STREAM_BATCHES = REGISTRY.counter(
+    "repro_exec_stream_batches_total",
+    "Multi-stream batches served through the exec stream plane, by "
+    "backend and site (fleet.serve / ea.fitness / exec).",
+)
+EXEC_STREAM_LANES = REGISTRY.counter(
+    "repro_exec_stream_lanes_total",
+    "Independent streams served inside stream batches, by backend "
+    "and site.",
+)
+EXEC_STREAM_SYMBOLS = REGISTRY.counter(
+    "repro_exec_stream_symbols_total",
+    "Input symbols served inside stream batches, by backend and site.",
+)
 
 # -- observability self-metrics ---------------------------------------
 OBS_HTTP_REQUESTS = REGISTRY.counter(

@@ -68,6 +68,7 @@ __all__ = [
 # carries (docs/observability.md renders this table).
 
 DISPATCH_DECISION = "dispatch.decision"
+EXEC_STREAM_BATCH = "exec.stream_batch"
 EXEC_FALLBACK = "exec.fallback"
 EXEC_TABLE_MISS = "exec.table_miss"
 EXEC_INVALIDATE = "exec.invalidate"
@@ -93,7 +94,11 @@ PROCFLEET_WORKER_SPAWN = "procfleet.worker.spawn"
 EVENT_TYPES: Dict[str, Any] = {
     DISPATCH_DECISION: (
         "dispatcher picked a backend for one serving run",
-        ("backend", "reason", "degraded"),
+        ("backend", "reason", "degraded", "streams", "threshold"),
+    ),
+    EXEC_STREAM_BATCH: (
+        "one multi-stream batch was served through the stream plane",
+        ("backend", "site", "streams", "symbols"),
     ),
     EXEC_FALLBACK: (
         "policy displaced the preferred backend",
@@ -161,7 +166,7 @@ EVENT_TYPES: Dict[str, Any] = {
     ),
     PROCFLEET_WORKER_BATCH: (
         "a worker process served one batch from shared-memory tables",
-        ("pid", "epoch", "symbols"),
+        ("pid", "epoch", "symbols", "streams"),
     ),
     PROCFLEET_EPOCH_SKEW: (
         "a worker refused an epoch-skewed request (parent republishes)",

@@ -99,6 +99,11 @@ class ShmTableBackend:
         cycle_accurate=False,
         serves_mid_migration=False,
         needs_numpy=False,
+        # Streams batch into one `serve_streams` pipe round-trip; the
+        # worker itself serves them on the pure-Python kernel (the
+        # segment format carries no packed stream plane), so there is
+        # no dtype ceiling to report.
+        batchable_streams=True,
     )
 
     def __init__(self, machine, session: WorkerSession):
@@ -174,6 +179,69 @@ class ShmTableBackend:
             if commit and hw is not None:
                 hw.commit_engine_run(run.final_state, len(run), run.visits)
             return run
+
+    def run_streams(
+        self,
+        words: Sequence[Sequence[Input]],
+        starts: Optional[Sequence[Optional[State]]] = None,
+    ) -> Sequence[WordRun]:
+        """Serve many independent streams in one pipe round-trip.
+
+        The parent resolves ``None`` start entries to the compiled
+        reset state before the frame crosses the boundary (the worker
+        never guesses), then ships every ``(start, word)`` lane in a
+        single ``serve_streams`` frame.  Same contract as the
+        in-process backends: submission order, never commits, and any
+        unserveable lane is a :class:`TableMiss` for the whole call —
+        epoch skew gets the same one-republish retry as ``run_batch``.
+        """
+        reset = self.compiled.reset_state
+        if starts is None:
+            resolved: tuple = (reset,) * len(words)
+        else:
+            if len(starts) != len(words):
+                raise ValueError(
+                    f"{len(starts)} start states for {len(words)} streams"
+                )
+            resolved = tuple(
+                reset if start is None else start for start in starts
+            )
+        carrier: Optional[dict] = _context.inject({}) or None
+        want_journal = _journal.JOURNAL.enabled
+        want_spans = _tracing.TRACER.enabled
+        with _span(
+            "engine.run_streams", backend=self.name, streams=len(words)
+        ):
+            reply = None
+            for attempt in (0, 1):
+                reply = self.session.request((
+                    "serve_streams",
+                    self.epoch,
+                    resolved,
+                    tuple(tuple(word) for word in words),
+                    carrier,
+                    want_journal,
+                    want_spans,
+                ))
+                if reply[0] != "miss":
+                    break
+                self._absorb(reply[2], reply[3])
+                if attempt == 0 and "epoch" in reply[1]:
+                    self.epoch = self.session.publish(self.compiled)
+                    continue
+                raise TableMiss(f"shm worker miss: {reply[1]}")
+            if reply[0] == "err":
+                raise TableMiss(f"shm worker failed: {reply[1]}")
+            _, results, _epoch, events, spans, _pid = reply
+            self._absorb(events, spans)
+            return [
+                WordRun(
+                    outputs=list(outputs),
+                    final_state=final_state,
+                    visits=dict(visits),
+                )
+                for outputs, final_state, visits in results
+            ]
 
     def _absorb(self, events, spans) -> None:
         """Merge the worker-side observability records into the

@@ -11,7 +11,11 @@ observability records.
 The worker holds **no architectural state** between requests — the
 start state travels in every frame and the parent commits results to
 its canonical datapath — so a crashed worker loses nothing and respawn
-is just ``fork``/``spawn`` again.
+is just ``fork``/``spawn`` again.  A ``serve_streams`` frame carries
+many independent ``(start, word)`` lanes at once: the worker serves
+them all from one attached snapshot and replies with one result per
+lane in submission order, so a coalesced multi-stream fleet batch costs
+a single pipe round-trip instead of one per session.
 
 Observability crosses the boundary explicitly: the frame carries the
 parent's trace context in the string-carrier form of
@@ -173,6 +177,90 @@ def _serve(
     )
 
 
+def _serve_streams(
+    ctl: ControlBlock,
+    slot: int,
+    view: Optional[_AttachedView],
+    label: str,
+    frame: tuple,
+) -> Tuple[Optional[_AttachedView], tuple]:
+    """One multi-stream frame: many independent ``(start, word)`` lanes
+    served from the same attached table snapshot in one round-trip.
+
+    The whole frame succeeds or misses atomically — a worker serves no
+    architectural state, so a partial result would only push the
+    which-lane-failed bookkeeping onto the parent; a whole-frame miss
+    lets it replay per-batch on its own datapath instead.
+    """
+    from ..engine.compiled import EngineError
+
+    (_, expect_epoch, starts, words, carrier, want_journal,
+     want_spans) = frame
+    pid = os.getpid()
+    journal = _journal.JOURNAL
+    tracer = _tracing.TRACER
+    journal.enabled = bool(want_journal)
+    tracer.enabled = bool(want_spans)
+    ctx = _context.extract(carrier) if carrier else None
+    token = _context.attach(ctx) if ctx is not None else None
+    n_symbols = sum(len(word) for word in words)
+    runs = None
+    try:
+        with _tracing.span(
+            "procfleet.worker.serve_streams",
+            pid=pid,
+            streams=len(words),
+            symbols=n_symbols,
+        ):
+            view, miss = _attach(ctl, slot, view, label)
+            if miss is None and expect_epoch is not None:
+                if view is not None and view.epoch != expect_epoch:
+                    journal.record(
+                        _journal.PROCFLEET_EPOCH_SKEW,
+                        shard=label,
+                        expected=expect_epoch,
+                        published=view.epoch,
+                        pid=pid,
+                    )
+                    miss = (
+                        f"epoch skew: parent expects {expect_epoch}, "
+                        f"slot publishes {view.epoch}"
+                    )
+            if miss is None:
+                try:
+                    runs = view.compiled.run_streams(
+                        words, starts=starts
+                    ).word_runs()
+                except EngineError as exc:
+                    miss = str(exc)
+            if miss is None:
+                journal.record(
+                    _journal.PROCFLEET_WORKER_BATCH,
+                    shard=label,
+                    pid=pid,
+                    epoch=view.epoch,
+                    symbols=n_symbols,
+                    streams=len(words),
+                )
+    finally:
+        if token is not None:
+            _context.detach(token)
+    events = [e.to_dict() for e in journal.events()] if want_journal else []
+    spans = [s.to_dict() for s in tracer.spans] if want_spans else []
+    journal.clear()
+    with tracer._lock:
+        tracer.spans.clear()
+    journal.enabled = False
+    tracer.enabled = False
+    if miss is not None:
+        return view, ("miss", miss, events, spans, pid)
+    results = [
+        (list(run.outputs), run.final_state, dict(run.visits))
+        for run in runs
+    ]
+    return view, ("ok", results, view.epoch, events, spans, pid)
+
+
 def worker_main(conn, ctl_name: str, slot: int, label: str) -> None:
     """Entry point of one worker process (runs until stop/EOF)."""
     # Reset any observability state inherited across a fork: the
@@ -203,6 +291,10 @@ def worker_main(conn, ctl_name: str, slot: int, label: str) -> None:
                     reply = ("pong", os.getpid())
                 elif kind == "serve":
                     view, reply = _serve(ctl, slot, view, label, frame)
+                elif kind == "serve_streams":
+                    view, reply = _serve_streams(
+                        ctl, slot, view, label, frame
+                    )
                 else:
                     reply = ("err", f"unknown frame kind {kind!r}",
                              os.getpid())

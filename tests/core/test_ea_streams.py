@@ -1,0 +1,152 @@
+"""Population fitness on the stream plane (``evaluate_population``).
+
+Each candidate replays every ``(input_word, expected_outputs)`` trace
+as one lane of a multi-stream batch; the score is the fraction of
+expected outputs reproduced.  The scores must be exactly what the
+scalar per-candidate, per-trace ``run_word`` loop computes — on both
+table kernels — and the entry point must reject backends that cannot
+serve a population in-process.
+"""
+
+import pytest
+
+from repro import api
+from repro.core import evaluate_population
+from repro.engine import CompiledFSM, numpy_available
+from repro.workloads.library import ones_detector, sequence_detector
+from repro.workloads.mutate import mutate_target
+from repro.workloads.random_fsm import random_fsm
+from repro.workloads.suite import traffic_words
+
+BACKENDS_HERE = [
+    b for b in ("table-py", "auto") + (
+        ("table-numpy",) if numpy_available() else ()
+    )
+]
+
+
+@pytest.fixture(autouse=True)
+def _skip_env_steered_auto(request):
+    # REPRO_BACKEND steers `auto` (the backend-matrix CI legs force it
+    # per backend); when it lands on a serving substrate with no
+    # in-process tables the population scorer rightly refuses — skip
+    # the auto leg rather than fight the environment.
+    backend = getattr(request, "param", None)
+    if "backend" in getattr(request, "fixturenames", ()):
+        backend = request.getfixturevalue("backend")
+    if backend == "auto":
+        from repro.exec.registry import TABLE_KERNELS, resolve
+
+        resolved = resolve("auto", streams=12)
+        if resolved not in TABLE_KERNELS:
+            pytest.skip(
+                f"auto resolves to {resolved!r} here (REPRO_BACKEND), "
+                "which has no in-process table kernel"
+            )
+
+
+def scalar_scores(candidates, traces):
+    """The reference: per-candidate, per-trace run_word matching."""
+    total = sum(len(outs) for _, outs in traces)
+    scores = []
+    for candidate in candidates:
+        compiled = CompiledFSM.from_fsm(candidate, backend="python")
+        matched = 0
+        for word, outs in traces:
+            try:
+                run = compiled.run_word(word)
+            except Exception:
+                continue
+            matched += sum(
+                1 for got, want in zip(run.outputs, outs) if got == want
+            )
+        scores.append(matched / total if total else 1.0)
+    return scores
+
+
+def make_traces(machine, n=12, length=8, seed=0):
+    words = traffic_words(machine, n, length, seed=seed)
+    # Ragged lanes, like real trace sets.
+    words = [w[: 1 + (i * 5) % length] for i, w in enumerate(words)]
+    return [(w, machine.run(w)) for w in words]
+
+
+@pytest.mark.parametrize("backend", BACKENDS_HERE)
+class TestScores:
+    def test_matches_the_scalar_reference(self, backend):
+        machine = ones_detector()
+        traces = make_traces(machine)
+        candidates = [machine] + [
+            mutate_target(machine, 1 + i % 2, seed=i) for i in range(6)
+        ]
+        got = evaluate_population(candidates, traces, backend=backend)
+        assert got == pytest.approx(scalar_scores(candidates, traces))
+
+    def test_true_machine_scores_one(self, backend):
+        machine = sequence_detector("1011")
+        traces = make_traces(machine, seed=3)
+        (score,) = evaluate_population([machine], traces, backend=backend)
+        assert score == 1.0
+
+    def test_random_population_ranked_sanely(self, backend):
+        machine = ones_detector()
+        traces = make_traces(machine, n=16, seed=7)
+        rivals = [
+            random_fsm(n_states=2, n_inputs=2, n_outputs=2, seed=s)
+            for s in range(4)
+        ]
+        scores = evaluate_population(
+            [machine] + rivals, traces, backend=backend
+        )
+        assert all(0.0 <= s <= 1.0 for s in scores)
+        assert scores[0] == max(scores) == 1.0
+
+    def test_foreign_alphabet_candidate_scores_zero(self, backend):
+        # A candidate that cannot even encode the traces falls back to
+        # the per-stream path and scores 0 — it never crashes the batch.
+        machine = ones_detector()
+        traces = make_traces(machine, seed=1)
+        foreign = random_fsm(
+            n_states=3, n_inputs=3, n_outputs=2, seed=9
+        )
+        if set(machine.inputs) <= set(foreign.inputs):
+            pytest.skip("random alphabet happens to cover the traces")
+        scores = evaluate_population(
+            [machine, foreign], traces, backend=backend
+        )
+        assert scores[0] == 1.0 and scores[1] == 0.0
+
+
+class TestContract:
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError, match="trace"):
+            evaluate_population([ones_detector()], [])
+
+    def test_non_table_backend_rejected(self):
+        with pytest.raises(ValueError, match="in-process table backend"):
+            evaluate_population(
+                [ones_detector()],
+                make_traces(ones_detector()),
+                backend="cycle",
+            )
+
+    def test_empty_population_is_empty(self):
+        traces = make_traces(ones_detector())
+        assert evaluate_population([], traces, backend="table-py") == []
+
+    def test_api_facade_round_trips(self):
+        machine = ones_detector()
+        traces = make_traces(machine, seed=5)
+        candidates = [machine, mutate_target(machine, 1, seed=2)]
+        via_core = evaluate_population(
+            candidates, traces, backend="table-py"
+        )
+        via_api = api.evaluate_population(
+            candidates, traces, options=api.Options(backend="table-py")
+        )
+        assert via_api == pytest.approx(via_core)
+
+    def test_importable_from_the_top_level(self):
+        import repro
+
+        assert repro.evaluate_population is api.evaluate_population

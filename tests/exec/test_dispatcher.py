@@ -20,9 +20,9 @@ from repro.workloads.library import fig6_m, fig6_m_prime, ones_detector
 
 
 def _auto_table():
-    # evaluated inside tests, after clean_env normalised the process
-    # environment (numpy availability is a dispatch-time property)
-    return "table-numpy" if numpy_available() else "table-py"
+    # single-stream auto always serves on the pure-Python loop (the
+    # numpy kernel only wins when many streams amortize it)
+    return "table-py"
 
 
 @pytest.fixture(autouse=True)

@@ -19,8 +19,10 @@ from repro.exec import (
     resolve,
     resolve_tables,
     specs,
+    stream_threshold,
 )
 from repro.exec import registry as registry_module
+from repro.exec.registry import STREAM_THRESHOLD_DEFAULT
 
 
 @pytest.fixture(autouse=True)
@@ -28,6 +30,7 @@ def clean_env(monkeypatch):
     monkeypatch.delenv("REPRO_BACKEND", raising=False)
     monkeypatch.delenv("REPRO_DISABLE_NUMPY", raising=False)
     monkeypatch.delenv("REPRO_DISABLE_SHM", raising=False)
+    monkeypatch.delenv("REPRO_STREAM_THRESHOLD", raising=False)
 
 
 class TestRegistry:
@@ -109,10 +112,36 @@ class TestCanonical:
 
 
 class TestResolve:
-    def test_auto_prefers_numpy_tables_when_available(self):
+    def test_auto_single_stream_prefers_python_tables(self):
+        # One sequential stream runs fastest in the pure-Python loop;
+        # numpy only wins once many streams amortize the lane kernel.
+        assert resolve() == "table-py"
+        assert resolve("auto") == "table-py"
+        assert resolve("auto", streams=stream_threshold() - 1) == "table-py"
+
+    def test_auto_wide_batches_prefer_numpy_when_available(self):
         expected = "table-numpy" if numpy_available() else "table-py"
-        assert resolve() == expected
-        assert resolve("auto") == expected
+        assert resolve("auto", streams=stream_threshold()) == expected
+        assert resolve(streams=4096) == expected
+
+    def test_stream_threshold_env_override(self, monkeypatch):
+        assert stream_threshold() == STREAM_THRESHOLD_DEFAULT
+        monkeypatch.setenv("REPRO_STREAM_THRESHOLD", "4")
+        assert stream_threshold() == 4
+        if numpy_available():
+            assert resolve("auto", streams=4) == "table-numpy"
+        assert resolve("auto", streams=3) == "table-py"
+        monkeypatch.setenv("REPRO_STREAM_THRESHOLD", "bogus")
+        with pytest.raises(ValueError, match="REPRO_STREAM_THRESHOLD"):
+            stream_threshold()
+        monkeypatch.setenv("REPRO_STREAM_THRESHOLD", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            stream_threshold()
+
+    def test_pin_and_env_ignore_stream_count(self, monkeypatch):
+        assert resolve("table-py", streams=4096) == "table-py"
+        monkeypatch.setenv("REPRO_BACKEND", "cycle")
+        assert resolve("auto", streams=4096) == "cycle"
 
     def test_explicit_pins(self):
         assert resolve("cycle") == "cycle"
@@ -147,11 +176,12 @@ class TestResolve:
         # the very next resolution.
         monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
         assert resolve("auto") == "table-py"
+        assert resolve("auto", streams=4096) == "table-py"
         with pytest.raises(BackendUnavailable, match="REPRO_DISABLE_NUMPY"):
             resolve("table-numpy")
         monkeypatch.delenv("REPRO_DISABLE_NUMPY")
         if numpy_available():
-            assert resolve("auto") == "table-numpy"
+            assert resolve("auto", streams=4096) == "table-numpy"
             assert resolve("table-numpy") == "table-numpy"
 
     def test_forced_unavailable_env_raises_too(self, monkeypatch):

@@ -1,0 +1,227 @@
+"""Fleet sessions and cross-session stream coalescing.
+
+``submit(key, word, session=...)`` names an independent state chain on
+the shard; a quiescent queue coalesces *across* sessions into one
+multi-stream kernel call.  The pool contract must hold regardless:
+per-session trace continuity, per-shard FIFO future order,
+backpressure, session pruning at migration commit, symbolic session
+state surviving quarantine — in thread AND process fleet modes, with
+the engine on and off.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import numpy_available
+from repro.fleet import FleetOverloaded, FSMFleet, MigrationScheduler
+from repro.workloads.library import ones_detector, sequence_detector
+from repro.workloads.suite import traffic_words
+
+MODES = ("thread", "process")
+
+ENGINE_MODES_HERE = [
+    m for m in ("off", "python", "auto")
+    if m != "numpy" or numpy_available()
+]
+
+
+def make_fleet(mode, machine=None, **kwargs):
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("queue_depth", 256)
+    return FSMFleet(machine or ones_detector(), fleet_mode=mode, **kwargs)
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestSessionChains:
+    def test_sessions_are_independent_streams(self, mode):
+        machine = ones_detector()
+        with make_fleet(mode, machine) as fleet:
+            chains = {name: [] for name in ("a", "b", "c")}
+            for round_ in range(6):
+                for name in chains:
+                    word = traffic_words(
+                        machine, 1, 7, seed=hash(name) % 1000 + round_
+                    )[0]
+                    got = fleet.submit(0, word, session=name).result(
+                        timeout=10
+                    )
+                    chains[name].extend(word)
+                    # Each session continues its OWN chain, unaffected
+                    # by the interleaved batches of the other sessions.
+                    assert got == machine.run(chains[name])[-len(word):]
+
+    def test_datapath_lane_unaffected_by_sessions(self, mode):
+        machine = ones_detector()
+        with make_fleet(mode, machine, n_workers=1) as fleet:
+            served = []
+            for key, word in enumerate(traffic_words(machine, 8, 6, seed=2)):
+                fleet.submit(key, word, session="s").result(timeout=10)
+                got = fleet.submit(key, word).result(timeout=10)
+                served.extend(word)
+                assert got == machine.run(served)[-len(word):]
+
+    def test_fifo_completion_order_with_mixed_sessions(self, mode):
+        machine = ones_detector()
+        with make_fleet(mode, machine, n_workers=1) as fleet:
+            completions = []
+            lock = threading.Lock()
+            futures = []
+            words = traffic_words(machine, 24, 5, seed=4)
+            for index, word in enumerate(words):
+                session = ("x", "y", None)[index % 3]
+                future = fleet.submit(index, word, session=session)
+
+                def on_done(_f, index=index):
+                    with lock:
+                        completions.append(index)
+
+                future.add_done_callback(on_done)
+                futures.append(future)
+            for future in futures:
+                assert future.result(timeout=10) is not None
+            assert completions == sorted(completions)
+
+    def test_backpressure_counts_session_batches(self, mode):
+        with make_fleet(mode, n_workers=1, queue_depth=2) as fleet:
+            with pytest.raises(FleetOverloaded):
+                for i in range(200):
+                    fleet.submit(0, ["1"], session=i)
+
+
+@pytest.mark.parametrize("engine", ENGINE_MODES_HERE)
+class TestSessionsAcrossEngineModes:
+    def test_chains_identical_with_engine_on_and_off(self, engine):
+        machine = sequence_detector("1011")
+        with FSMFleet(
+            machine, n_workers=1, queue_depth=256, engine=engine
+        ) as fleet:
+            chain = []
+            for round_ in range(10):
+                word = traffic_words(machine, 1, 9, seed=round_)[0]
+                got = fleet.submit(0, word, session="s").result(timeout=10)
+                chain.extend(word)
+                assert got == machine.run(chain)[-len(word):]
+
+    def test_sessions_survive_quarantine(self, engine):
+        # Session state is symbolic, so a re-seeded datapath (same
+        # machine) picks every chain up exactly where it stopped.
+        machine = sequence_detector("1011")
+        with FSMFleet(machine, n_workers=1, engine=engine) as fleet:
+            chain = list("1011")
+            assert fleet.submit("k", chain[:], session="s").result(
+                timeout=10
+            ) == machine.run(chain)
+            fleet.inject_fault(0, kind="erase", seed=1).result(10)
+            for key in range(80):
+                word = traffic_words(machine, 1, 8, seed=100 + key)[0]
+                try:
+                    fleet.submit("k", word).result(timeout=10)
+                except Exception:
+                    break  # the erased entry was hit; shard re-seeded
+            word = list("1011")
+            got = fleet.submit("k", word, session="s").result(timeout=10)
+            chain.extend(word)
+            assert got == machine.run(chain)[-len(word):]
+
+
+class TestSessionsUnderMigration:
+    def test_rollout_prunes_vanished_session_states(self):
+        source = sequence_detector("1011")
+        target = sequence_detector("0110")
+        fleet = FSMFleet(
+            source, n_workers=2, family=[target], queue_depth=256,
+            engine="auto",
+        )
+        try:
+            common = [i for i in source.inputs if i in set(target.inputs)]
+            chains = {}
+            for name in ("a", "b"):
+                word = traffic_words(source, 1, 8, seed=ord(name))[0]
+                fleet.submit(0, word, session=name).result(timeout=10)
+                chains[name] = list(word)
+
+            holder = {}
+
+            def rollout():
+                holder["report"] = MigrationScheduler(
+                    fleet, stall_budget=12
+                ).rollout(target)
+
+            thread = threading.Thread(target=rollout)
+            thread.start()
+            # Keep session traffic flowing during the rollout; every
+            # batch must come back (zero downtime).
+            for index in range(30):
+                word = traffic_words(
+                    source, 1, 6, seed=index, inputs=common
+                )[0]
+                name = ("a", "b")[index % 2]
+                assert fleet.submit(
+                    0, word, session=name
+                ).result(timeout=10) is not None
+            thread.join(timeout=60)
+            report = holder["report"]
+            assert report.verified and report.zero_downtime
+            assert fleet.machine == target
+
+            # After commit a session whose parked state vanished from
+            # the target restarts from the new reset state; one whose
+            # state survived would continue.  Either way the chain the
+            # fleet serves now is the *target's*.
+            word = traffic_words(target, 1, 8, seed=99)[0]
+            got = fleet.submit(0, word, session="fresh").result(timeout=10)
+            assert got == target.run(word)
+        finally:
+            fleet.close()
+
+
+class TestCoalescingAcrossSessions:
+    def test_blocked_worker_coalesces_sessions_into_one_stream_run(self):
+        # Stall the single worker so distinct sessions pile up, then
+        # release: the drain serves them as one multi-lane stream batch
+        # (visible as an ``exec.stream_batch`` journal event with more
+        # than one lane) while every future resolves with its session's
+        # own outputs.
+        from concurrent.futures import Future
+
+        from repro import obs
+        from repro.fleet.worker import _Fault
+        from repro.obs import journal as _journal
+
+        machine = ones_detector()
+        obs.configure(journal=True)
+        fleet = FSMFleet(
+            machine, n_workers=1, queue_depth=256, engine="python"
+        )
+        try:
+            gate = threading.Event()
+            entered = threading.Event()
+
+            def blocker(_hw):
+                entered.set()
+                gate.wait(timeout=30)
+                return None
+
+            fleet.shards[0].queue.put(_Fault(inject=blocker, future=Future()))
+            assert entered.wait(timeout=10)
+            futures = []
+            words = {}
+            for i in range(12):
+                word = traffic_words(machine, 1, 6, seed=i)[0]
+                words[i] = word
+                futures.append(fleet.submit(0, word, session=i))
+            gate.set()
+            for i, future in enumerate(futures):
+                assert future.result(timeout=10) == machine.run(words[i])
+            assert fleet.shards[0].stats.batches_ok >= 12
+            lanes = [
+                event.fields["streams"]
+                for event in _journal.JOURNAL.events(
+                    type=_journal.EXEC_STREAM_BATCH
+                )
+            ]
+            assert lanes and max(lanes) > 1  # sessions shared one run
+        finally:
+            fleet.close()
+            obs.configure()
