@@ -1,0 +1,228 @@
+"""Async ingestion plane benchmark: connection scaling + ring vs pipe.
+
+Measures two things and records them as the ``"aio"`` section of
+``BENCH_fleet_throughput.json`` (merged into the existing document so
+``make bench-fleet`` results survive):
+
+* **connection scaling** — one :class:`repro.aio.IngestServer` on one
+  event loop, serving 1 / 8 / 32 concurrent frame-protocol
+  connections.  The plane's claim is that connections cost pending
+  futures, not threads: frames/sec should hold (or grow with request
+  overlap) as connections multiply, and the loop must never refuse a
+  connection.
+* **ring vs pipe round-trip latency** — the same worker session serving
+  the same small ``serve`` frames through the shared-memory frame ring
+  (the hot path) and through pipe+pickle (``REPRO_DISABLE_RING=1``,
+  the fallback and the pre-ring baseline).  The gate asserts the ring
+  at or below ``RING_GATE_RATIO`` of the pipe's median when the host
+  has the CPUs for the ring's spin phase to make sense; on smaller
+  hosts the JSON records the measurement and the reason the gate was
+  skipped, exactly like the process-scaling gate next to it.
+
+Run with ``make bench-aio``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.aio import IngestServer
+from repro.aio.frames import read_frame, write_frame
+from repro.fleet import FSMFleet
+from repro.procfleet import ControlBlock, ShmTableBackend
+from repro.procfleet.session import WorkerSession
+from repro.workloads.suite import suite_pair, traffic_words
+
+WORKLOAD = "ctrl/pattern-1011-to-0110"
+CONNECTION_COUNTS = (1, 8, 32)
+FRAMES_PER_CONNECTION = 40
+BATCH = 24
+SEED = 0
+
+#: Ring-vs-pipe measurement: per-request round-trips of one small
+#: batch — the frame class the ring exists for.
+LATENCY_REQUESTS = 400
+LATENCY_BATCH = 16
+RING_GATE_RATIO = 0.7
+#: The ring's spin phase needs the parent and the worker on their own
+#: cores; below this the measurement gates on the host, not the code.
+RING_GATE_CPUS = 4
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# -- connection scaling ----------------------------------------------------
+
+async def _drive_connection(address, key, words) -> None:
+    reader, writer = await asyncio.open_connection(*address)
+    try:
+        for index, word in enumerate(words):
+            await write_frame(writer, {
+                "op": "submit", "id": index, "key": key,
+                "symbols": list(word),
+            })
+            reply = await read_frame(reader)
+            assert reply["ok"] and reply["id"] == index, reply
+    finally:
+        writer.close()
+
+
+def _run_connections(n_connections: int) -> dict:
+    source, _target = suite_pair(WORKLOAD)
+    words = traffic_words(
+        source, FRAMES_PER_CONNECTION, BATCH, seed=SEED
+    )
+    fleet = FSMFleet(
+        source,
+        n_workers=4,
+        queue_depth=max(64, 2 * n_connections),
+        name=f"bench-aio-{n_connections}c",
+    )
+
+    async def run() -> float:
+        async with IngestServer(fleet) as server:
+            started = time.perf_counter()
+            await asyncio.gather(*[
+                _drive_connection(server.address, f"conn-{i}", words)
+                for i in range(n_connections)
+            ])
+            return time.perf_counter() - started
+
+    elapsed = asyncio.run(run())
+    totals = fleet.totals()
+    fleet.close()
+    frames = n_connections * FRAMES_PER_CONNECTION
+    assert totals.batches_ok >= frames
+    return {
+        "connections": n_connections,
+        "frames_per_connection": FRAMES_PER_CONNECTION,
+        "batch": BATCH,
+        "elapsed_s": round(elapsed, 4),
+        "frames_per_sec": round(frames / elapsed, 1),
+        "steps_per_sec": round(frames * BATCH / elapsed, 1),
+    }
+
+
+# -- ring vs pipe latency --------------------------------------------------
+
+def _run_latency(disable_ring: bool) -> dict:
+    source, _target = suite_pair(WORKLOAD)
+    words = traffic_words(source, LATENCY_REQUESTS, LATENCY_BATCH, seed=SEED)
+    if disable_ring:
+        os.environ["REPRO_DISABLE_RING"] = "1"
+    else:
+        os.environ.pop("REPRO_DISABLE_RING", None)
+    ctl = ControlBlock.create(1)
+    session = WorkerSession(ctl, slot=0, label="bench")
+    try:
+        backend = ShmTableBackend(source, session)
+        backend.run_batch(list(words[0]))  # warm: seed, attach, spawn
+        samples = []
+        for word in words:
+            started = time.perf_counter()
+            backend.run_batch(list(word))
+            samples.append(time.perf_counter() - started)
+        transport = "pipe" if disable_ring else "ring"
+        expected = (0, LATENCY_REQUESTS + 1) if disable_ring else \
+            (LATENCY_REQUESTS + 1, 0)
+        assert (session.ring_requests, session.pipe_requests) == expected, (
+            transport, session.ring_requests, session.pipe_requests
+        )
+    finally:
+        session.close()
+        ctl.close()
+        os.environ.pop("REPRO_DISABLE_RING", None)
+    return {
+        "transport": transport,
+        "requests": LATENCY_REQUESTS,
+        "batch": LATENCY_BATCH,
+        "p50_us": round(statistics.median(samples) * 1e6, 1),
+        "p90_us": round(
+            statistics.quantiles(samples, n=10)[-1] * 1e6, 1
+        ),
+        "mean_us": round(statistics.fmean(samples) * 1e6, 1),
+    }
+
+
+def main() -> int:
+    connections = [_run_connections(n) for n in CONNECTION_COUNTS]
+    ring = _run_latency(disable_ring=False)
+    pipe = _run_latency(disable_ring=True)
+    ratio = round(ring["p50_us"] / pipe["p50_us"], 3)
+
+    cpus = _cpus()
+    gated = cpus >= RING_GATE_CPUS
+    section = {
+        "note": (
+            "asyncio ingestion plane: frame-protocol connections on one "
+            "event loop in front of a thread fleet, and the procfleet "
+            "request transport measured ring vs pipe on one session"
+        ),
+        "connection_scaling": connections,
+        "ring_vs_pipe": {
+            "ring": ring,
+            "pipe": pipe,
+            "ring_over_pipe_p50": ratio,
+            "cpus": cpus,
+            "gate": {
+                "target": RING_GATE_RATIO,
+                "asserted": gated,
+                **(
+                    {}
+                    if gated
+                    else {
+                        "skip_reason": (
+                            f"host exposes {cpus} CPU(s); the ring's "
+                            "spin phase needs the parent and worker on "
+                            f"their own cores (>= {RING_GATE_CPUS}) for "
+                            "latency to be a property of the transport"
+                        )
+                    }
+                ),
+            },
+        },
+    }
+
+    out = pathlib.Path(__file__).resolve().parent.parent / (
+        "BENCH_fleet_throughput.json"
+    )
+    document = json.loads(out.read_text()) if out.exists() else {}
+    document["aio"] = section
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    print(json.dumps(section, indent=2))
+
+    slowest = min(row["frames_per_sec"] for row in connections)
+    ok = slowest > 0 and all(
+        row["frames_per_sec"] > 0 for row in connections
+    )
+    if gated:
+        ok = ok and ratio <= RING_GATE_RATIO
+        ring_verdict = f"{ratio}x pipe p50 (target <= {RING_GATE_RATIO})"
+    else:
+        ring_verdict = (
+            f"{ratio}x pipe p50 (gate skipped: {cpus} CPU(s) < "
+            f"{RING_GATE_CPUS})"
+        )
+    print(
+        f"\nconnection scaling {CONNECTION_COUNTS[0]}->"
+        f"{CONNECTION_COUNTS[-1]}: "
+        f"{connections[0]['frames_per_sec']} -> "
+        f"{connections[-1]['frames_per_sec']} frames/sec; "
+        f"ring latency {ring_verdict}: {'OK' if ok else 'FAILED'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

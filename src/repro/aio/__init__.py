@@ -1,0 +1,49 @@
+"""The asyncio ingestion plane in front of the serving fleet.
+
+The fleet's native call is blocking: ``submit()`` hands back a
+``concurrent.futures.Future`` and every waiting caller parks an OS
+thread in ``result()``.  That model caps connection counts long before
+the shard workers do.  This package puts an event loop in front of both
+fleet modes (thread and process) without touching the serving planes:
+
+* :mod:`~repro.aio.bridge` — ``submit_async``: the completion-callback
+  seam between shard worker threads and the event loop.  One queued
+  batch costs one asyncio future, not one thread; cancelling the
+  awaitable cancels the queued batch (the shard worker skips it and
+  frees the slot); and under saturation admission is *awaited* —
+  the submitter parks on a wakeup that completion callbacks pulse —
+  instead of ``FleetOverloaded`` raising immediately;
+* :mod:`~repro.aio.frames` — the length-prefixed JSON frame protocol
+  (4-byte big-endian length + payload) the ingestion server speaks;
+* :mod:`~repro.aio.server` — :class:`IngestServer`, an
+  ``asyncio.start_server`` front-end: one process holds the client
+  connections while the fleet's workers step, every request riding
+  ``submit_async``;
+* :mod:`~repro.aio.obs` — :class:`AsyncObsServer`: ``/metrics``,
+  ``/healthz`` and ``/journal`` served from the same event loop (same
+  routes and payloads as :class:`repro.obs.server.ObsServer`).
+
+Trace propagation is free: :mod:`repro.obs.context` rides contextvars,
+which asyncio tasks inherit, so a span opened in a client coroutine is
+the ancestor of the shard worker's serve span with no extra plumbing.
+
+The usual front door is :meth:`repro.fleet.FSMFleet.submit_async` or a
+:class:`repro.api.FleetClient` from ``api.serve()``; the CLI launches
+the socket server with ``repro serve``.
+"""
+
+from .bridge import AdmissionTimeout, submit_async
+from .frames import FrameError, MAX_FRAME, decode_frame, encode_frame
+from .obs import AsyncObsServer
+from .server import IngestServer
+
+__all__ = [
+    "AdmissionTimeout",
+    "AsyncObsServer",
+    "FrameError",
+    "IngestServer",
+    "MAX_FRAME",
+    "decode_frame",
+    "encode_frame",
+    "submit_async",
+]

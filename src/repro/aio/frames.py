@@ -1,0 +1,94 @@
+"""The ingestion wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Both directions speak the same framing; requests
+and replies are JSON objects:
+
+    {"op": "submit", "key": "user-1", "symbols": ["1", "0"],
+     "session": "cart", "id": 7}
+    {"ok": true, "outputs": ["0", "1"], "id": 7}
+
+The ``id`` field, when present, is echoed verbatim so clients matching
+replies to requests over one connection need no ordering assumptions
+beyond the server's (FIFO per connection).  Errors come back in-band:
+
+    {"ok": false, "error": "FleetOverloaded", "message": "..."}
+
+JSON over a binary length prefix is deliberate: the frame boundary is
+decided before parsing (no streaming JSON), any language speaks it in
+ten lines, and the payloads — symbol words — are small; the shm ring
+(:mod:`repro.procfleet.ring`) already covers the case where framing
+cost matters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Optional
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Upper bound on one frame's payload; a peer announcing more is
+#: protocol-broken (or hostile) and the connection is dropped.
+MAX_FRAME = 4 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """The peer violated the framing (oversized or unparseable frame)."""
+
+
+def encode_frame(payload: Any) -> bytes:
+    """``payload`` (any JSON-representable object) as one wire frame."""
+    body = json.dumps(payload, separators=(",", ":"), default=str).encode()
+    if len(body) > MAX_FRAME:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Any:
+    """Parse one frame payload (the bytes after the length prefix)."""
+    try:
+        return json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"unparseable frame payload: {exc}") from exc
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
+    """The next frame from ``reader``; ``None`` on a clean EOF.
+
+    A connection closed mid-frame raises
+    ``asyncio.IncompleteReadError`` (the caller treats it as a dropped
+    peer), an oversized announcement raises :class:`FrameError`.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:  # clean EOF between frames
+            return None
+        raise
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(
+            f"peer announced a {length}-byte frame (max {MAX_FRAME})"
+        )
+    body = await reader.readexactly(length)
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Any) -> None:
+    """Encode and send one frame, honouring transport backpressure."""
+    writer.write(encode_frame(payload))
+    await writer.drain()

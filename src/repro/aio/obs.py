@@ -1,0 +1,129 @@
+"""The observability endpoint on the ingestion event loop.
+
+:class:`AsyncObsServer` serves the exact obs surface of
+:class:`repro.obs.server.ObsServer` — ``/metrics``, ``/healthz``,
+``/journal``, same payloads, same status semantics — but from
+``asyncio.start_server`` on the caller's loop instead of a thread pool.
+Rendering is shared (:func:`repro.obs.server.render_route`), so the two
+transports cannot drift; only the HTTP plumbing differs, and it is
+deliberately minimal: GET only, one response per parsed request,
+``Connection: close``.  Operators scrape this; browsers that want
+keep-alive can talk to the threaded server instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from http import HTTPStatus
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..obs.server import render_route
+
+__all__ = ["AsyncObsServer"]
+
+#: Bound on one request head (request line + headers); an operator
+#: surface needs no more, and it caps a slow-loris allocation.
+_MAX_HEAD = 16 * 1024
+
+
+def _http_response(status: int, content_type: str, body: bytes) -> bytes:
+    reason = HTTPStatus(status).phrase
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode() + body
+
+
+class AsyncObsServer:
+    """``/metrics`` + ``/healthz`` + ``/journal`` on an event loop."""
+
+    def __init__(
+        self,
+        fleet: Any = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.fleet = fleet
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> "AsyncObsServer":
+        """Bind and start serving; ``OSError`` propagates on bind
+        failure (the CLI maps it to exit status 2)."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "start() first"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "AsyncObsServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        try:
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            writer.write(
+                _http_response(
+                    400, "text/plain", b"malformed request line\n"
+                )
+            )
+            await _flush_close(writer)
+            return
+        if len(head) > _MAX_HEAD or method != "GET":
+            status = 431 if len(head) > _MAX_HEAD else 405
+            writer.write(
+                _http_response(status, "text/plain", b"GET only\n")
+            )
+            await _flush_close(writer)
+            return
+        parsed = urlparse(target)
+        route = parsed.path.rstrip("/") or "/"
+        status, content_type, body = render_route(
+            route, parse_qs(parsed.query), fleet=self.fleet
+        )
+        writer.write(_http_response(status, content_type, body))
+        await _flush_close(writer)
+
+
+async def _flush_close(writer: asyncio.StreamWriter) -> None:
+    try:
+        await writer.drain()
+    except ConnectionError:
+        pass
+    writer.close()

@@ -59,6 +59,15 @@ METHODS = ("jsr", "ea", "greedy", "tsp", "optimal")
 #: Engine modes accepted by :class:`Options` (see ``repro.engine``).
 ENGINE_MODES = ("auto", "numpy", "python", "off")
 
+#: Fleet serving substrates accepted by :class:`Options` (see
+#: ``repro.fleet`` / ``repro.procfleet``).
+FLEET_MODES = ("thread", "process")
+
+#: Async admission policies accepted by :class:`Options` (see
+#: ``repro.aio``): ``"wait"`` awaits a queue slot under saturation,
+#: ``"reject"`` raises ``FleetOverloaded`` like the sync path.
+INGEST_MODES = ("wait", "reject")
+
 
 @dataclass(frozen=True, init=False)
 class Options:
@@ -87,6 +96,16 @@ class Options:
     ``extra_states``
         W-method bound on implementation state growth for
         :func:`verify`.
+    ``fleet_mode``
+        Serving substrate for :func:`serve` (one of
+        :data:`FLEET_MODES`): ``"thread"`` shards in-process,
+        ``"process"`` shards into worker processes serving
+        shared-memory tables.
+    ``ingest``
+        Async admission policy for :func:`serve`'s client (one of
+        :data:`INGEST_MODES`): under saturation, ``submit_async``
+        either awaits a queue slot (``"wait"``, default) or raises
+        ``FleetOverloaded`` (``"reject"``).
 
     Frozen, keyword-only (``Options(method="ea")``; positional arguments
     raise ``TypeError``), validated on construction.
@@ -99,6 +118,8 @@ class Options:
     engine: str
     backend: Optional[str]
     extra_states: int
+    fleet_mode: str
+    ingest: str
 
     def __init__(
         self,
@@ -110,6 +131,8 @@ class Options:
         engine: str = "auto",
         backend: Optional[str] = None,
         extra_states: int = 0,
+        fleet_mode: str = "thread",
+        ingest: str = "wait",
     ):
         if method not in METHODS:
             raise ValueError(
@@ -130,6 +153,18 @@ class Options:
             backend = canonical(backend)  # ValueError on unknown names
         if extra_states < 0:
             raise ValueError("extra_states must be non-negative")
+        if fleet_mode not in FLEET_MODES:
+            raise ValueError(
+                f"unknown fleet_mode {fleet_mode!r}; expected one of "
+                f"{FLEET_MODES}"
+            )
+        if ingest not in INGEST_MODES:
+            raise ValueError(
+                f"unknown ingest mode {ingest!r}; expected one of "
+                f"{INGEST_MODES}"
+            )
+        object.__setattr__(self, "fleet_mode", fleet_mode)
+        object.__setattr__(self, "ingest", ingest)
         object.__setattr__(self, "method", method)
         object.__setattr__(self, "opt_level", opt_level)
         object.__setattr__(self, "seed", int(seed))
@@ -301,17 +336,27 @@ def serve(
     options: Optional[Options] = None,
     **fleet_kwargs,
 ):
-    """A running serving fleet for ``machine`` (and its future family).
+    """A running serving fleet for ``machine``, behind its client handle.
 
-    ``options`` supplies the engine mode and the opt level for migration
-    plans; everything else (queue depth, stall budget, link latency …)
-    passes through to :class:`repro.fleet.FSMFleet` unchanged.  Close
-    the returned fleet (or use it as a context manager) when done.
+    Returns a context-managed :class:`repro.fleet.FleetClient` — the
+    serving surface (sync ``submit``, async ``submit_async``, stream
+    sessions, ``migrate_live``, ``health``) over the fleet that
+    ``options.fleet_mode`` selects (``"thread"`` or ``"process"``).
+    ``options`` also supplies the engine mode, the async admission
+    policy (``ingest``) and the opt level for migration plans;
+    everything else (queue depth, stall budget, link latency …) passes
+    through to :class:`repro.fleet.FSMFleet` unchanged.  Close the
+    returned client (or use it as a context manager) when done.
+
+    Raw-fleet attribute access on the handle keeps working behind a
+    ``DeprecationWarning``; ``client.fleet`` is the undeprecated
+    escape hatch.
     """
     opts = _options(options)
-    from .fleet import FSMFleet
+    from .fleet import FleetClient, FSMFleet
 
-    return FSMFleet(
+    fleet_kwargs.setdefault("fleet_mode", opts.fleet_mode)
+    fleet = FSMFleet(
         machine,
         n_workers=n_workers,
         family=family,
@@ -319,6 +364,7 @@ def serve(
         engine=opts.execution,
         **fleet_kwargs,
     )
+    return FleetClient(fleet, ingest=opts.ingest)
 
 
 def obs_server(

@@ -252,21 +252,26 @@ def cmd_fleet(args) -> int:
         )
 
     try:
-        fleet = api.serve(
+        client = api.serve(
             source,
             family=[target],
             n_workers=args.workers,
             options=Options(
-                opt_level=_opt_level(args), engine=args.engine
+                opt_level=_opt_level(args),
+                engine=args.engine,
+                fleet_mode=args.mode,
             ),
             queue_depth=args.queue_depth,
             stall_budget=args.stall_budget,
             link_latency_s=args.link_latency_ms / 1000.0,
             name=f"fleet/{args.workload}",
-            fleet_mode=args.mode,
         )
     except (EngineError, ValueError) as exc:
         raise CliError(str(exc)) from None
+    # Pool-level machinery (the scheduler drives shards directly, fault
+    # injection pokes a datapath) goes through the undeprecated escape
+    # hatch; everything client-shaped below uses the handle.
+    fleet = client.fleet
     scheduler = MigrationScheduler(fleet, stall_budget=args.stall_budget)
     words = traffic_words(
         source, args.requests, args.batch, seed=args.seed, inputs=common
@@ -293,7 +298,7 @@ def cmd_fleet(args) -> int:
             fleet.inject_fault(0, kind="erase", seed=args.seed)
         while True:
             try:
-                futures.append(fleet.submit(index, word))
+                futures.append(client.submit(index, word))
                 break
             except FleetOverloaded:
                 retries += 1
@@ -301,7 +306,7 @@ def cmd_fleet(args) -> int:
     if args.requests <= migration_at:
         migration_thread.start()
     migration_thread.join()
-    fleet.drain()
+    client.drain()
     elapsed = time.perf_counter() - started
 
     failed = 0
@@ -311,23 +316,23 @@ def cmd_fleet(args) -> int:
         except Exception:
             failed += 1
     if "error" in rollout:
-        fleet.close()
+        client.close()
         raise CliError(f"rollout failed: {rollout['error']}")
     report = rollout["report"]
-    totals = fleet.totals()
+    totals = client.totals()
     steps = totals.symbols_served
-    for index, probe in fleet.probes().items():
+    for index, probe in client.probes().items():
         publish(probe, shard=str(index))
-    fleet.close()
+    client.close()
 
     rows = [
         {"fleet": "workers", "value": args.workers},
-        {"fleet": "mode", "value": fleet.fleet_mode},
+        {"fleet": "mode", "value": client.fleet_mode},
         {"fleet": "requests served", "value": totals.batches_ok},
         {"fleet": "requests failed", "value": failed},
         {"fleet": "symbols stepped", "value": steps},
         {"fleet": "steps/sec", "value": round(steps / max(elapsed, 1e-9))},
-        {"fleet": "engine mode", "value": fleet.engine},
+        {"fleet": "engine mode", "value": client.engine},
         {"fleet": "engine symbols (compiled)",
          "value": totals.engine_symbols},
         {"fleet": "engine fallbacks", "value": totals.engine_fallbacks},
@@ -351,6 +356,69 @@ def cmd_fleet(args) -> int:
     if not ok:
         print("FLEET SCENARIO FAILED", file=sys.stderr)
     return 0 if ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Serve a fleet over the asyncio ingestion plane (``repro.aio``)."""
+    import asyncio
+
+    from .aio import IngestServer
+    from .engine import EngineError
+    from .workloads.suite import suite_pair
+
+    try:
+        source, _target = suite_pair(args.workload)
+    except KeyError as exc:
+        raise CliError(str(exc.args[0])) from None
+    try:
+        client = api.serve(
+            source,
+            n_workers=args.workers,
+            options=Options(
+                engine=args.engine,
+                fleet_mode=args.mode,
+                ingest=args.ingest,
+            ),
+            name=f"serve/{args.workload}",
+        )
+    except (EngineError, ValueError) as exc:
+        raise CliError(str(exc)) from None
+
+    async def run() -> None:
+        server = IngestServer(
+            client.fleet,
+            host=args.host,
+            port=args.port,
+            ingest=args.ingest,
+            obs_port=args.obs_port,
+        )
+        try:
+            await server.start()
+        except OSError as exc:
+            raise CliError(f"cannot bind: {exc}") from None
+        try:
+            host, port = server.address
+            print(f"ingest: listening on {host}:{port} "
+                  f"(mode={args.mode}, workers={args.workers}, "
+                  f"ingest={args.ingest})")
+            if server.obs is not None:
+                print(f"obs: {server.obs.url} "
+                      "(/metrics /healthz /journal)")
+            sys.stdout.flush()
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    return 0
 
 
 def _fetch_json(url: str):
@@ -789,6 +857,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_opt_level(p)
     add_trace_out(p)
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a fleet over the asyncio ingestion socket "
+             "(frame protocol; see docs/fleet.md)",
+    )
+    p.add_argument("--workload", default="ctrl/pattern-1011-to-0110",
+                   help="suite pair whose source machine the fleet serves")
+    p.add_argument("--workers", type=int, default=4,
+                   help="shards (threads or worker processes)")
+    p.add_argument("--mode", choices=("thread", "process"),
+                   default="thread",
+                   help="shard serving substrate (thread pool, or worker "
+                        "processes over the shared-memory ring)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for the ingestion socket")
+    p.add_argument("--port", type=int, default=0,
+                   help="ingestion port (0 = ephemeral, printed on start)")
+    p.add_argument("--obs-port", type=int, default=None,
+                   help="also serve /metrics, /healthz and /journal on "
+                        "this port, on the same event loop")
+    p.add_argument("--ingest", choices=("wait", "reject"), default="wait",
+                   help="admission under saturation: await a free slot, "
+                        "or reject in-band immediately")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="serve for this many seconds then exit "
+                        "(0 = run until interrupted)")
+    add_engine(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("dot", help="emit Graphviz DOT")
     p.add_argument("machine")

@@ -3,10 +3,15 @@
 The serving layer over the paper's datapath: a sharded pool of
 cycle-accurate machines behind worker threads (:mod:`.pool`), a rolling
 migration scheduler that reconfigures the fleet gradually under live
-traffic (:mod:`.migration`), and a thread-safe plan cache so shards
-never duplicate synthesis work (:mod:`.plancache`).
+traffic (:mod:`.migration`), a thread-safe plan cache so shards
+never duplicate synthesis work (:mod:`.plancache`), and the
+:class:`FleetClient` serving handle (:mod:`.client`) that
+:func:`repro.api.serve` hands out — sync ``submit``, async
+``submit_async``, stream sessions, live migration and health on one
+context-managed surface.
 """
 
+from .client import FleetClient, StreamSession
 from .migration import (
     InfeasiblePlanError,
     MigrationScheduler,
@@ -20,6 +25,7 @@ from .worker import MigrationJob, ShardStats, ShardWorker
 
 __all__ = [
     "FSMFleet",
+    "FleetClient",
     "FleetClosed",
     "FleetError",
     "FleetOverloaded",
@@ -32,5 +38,6 @@ __all__ = [
     "ShardRollout",
     "ShardStats",
     "ShardWorker",
+    "StreamSession",
     "order_chunks",
 ]

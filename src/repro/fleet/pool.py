@@ -254,6 +254,38 @@ class FSMFleet:
             raise FleetOverloaded(shard.index, shard.queue.maxsize) from None
         return future
 
+    def submit_async(
+        self,
+        shard_key: Hashable,
+        symbols: Sequence[Input],
+        session: Optional[Hashable] = None,
+        *,
+        ingest: str = "wait",
+        admission_timeout_s: Optional[float] = None,
+    ):
+        """Awaitable counterpart of :meth:`submit` (asyncio ingestion).
+
+        Returns a coroutine that resolves to the output word; it must
+        be awaited on a running event loop.  Completion crosses from
+        the shard worker thread to the loop through a loop-aware
+        callback (no thread blocks per request), cancelling the
+        awaitable cancels the queued batch (its slot is skipped by the
+        worker), and under saturation ``ingest="wait"`` (default)
+        *awaits* admission instead of raising
+        :class:`FleetOverloaded` — pass ``ingest="reject"`` for the
+        sync ``submit`` semantics.  See :mod:`repro.aio`.
+        """
+        from ..aio.bridge import submit_async as _submit_async
+
+        return _submit_async(
+            self,
+            shard_key,
+            symbols,
+            session=session,
+            ingest=ingest,
+            admission_timeout_s=admission_timeout_s,
+        )
+
     # ------------------------------------------------------------------
     def migrate(self, target: FSM, stall_budget: Optional[int] = None):
         """Roll the fleet to ``target`` (see ``MigrationScheduler``)."""
@@ -329,6 +361,7 @@ class FSMFleet:
             total.batches_failed += stats.batches_failed
             total.symbols_served += stats.symbols_served
             total.rejected += stats.rejected
+            total.cancelled += stats.cancelled
             total.incidents += stats.incidents
             total.migrations_done += stats.migrations_done
             total.migration_cycles += stats.migration_cycles

@@ -67,6 +67,7 @@ class ShardStats:
     batches_failed: int = 0
     symbols_served: int = 0
     rejected: int = 0
+    cancelled: int = 0
     incidents: int = 0
     migrations_done: int = 0
     migration_cycles: int = 0
@@ -389,6 +390,15 @@ class ShardWorker(threading.Thread):
         replays the batches per-symbol from the exact same state, so
         fault behaviour and quarantine semantics are unchanged.
         """
+        # Lock every batch into RUNNING before any symbol steps: a
+        # future cancelled while queued is skipped here (its queue slot
+        # is freed, nothing executes, no output is lost — the caller
+        # asked for exactly that), and from this point on cancel()
+        # returns False so a late cancellation can never race the
+        # worker's set_result.
+        batches = self._admit_running(batches)
+        if not batches:
+            return
         # Re-activate the submitting thread's trace context (the first
         # batch's — one coalesced run is one serve) so the serve span
         # and every journal event join the client's request tree.
@@ -401,6 +411,20 @@ class ShardWorker(threading.Thread):
         finally:
             if token is not None:
                 _context.detach(token)
+
+    def _admit_running(self, batches: List[_Batch]) -> List[_Batch]:
+        """Transition each batch's future to RUNNING; drop cancelled ones."""
+        live = [
+            b for b in batches if b.future.set_running_or_notify_cancel()
+        ]
+        skipped = len(batches) - len(live)
+        if skipped:
+            self.stats.cancelled += skipped
+            _instruments.FLEET_CANCELLED.inc(skipped, shard=self.label)
+            _journal.JOURNAL.record(
+                _journal.FLEET_CANCELLED, shard=self.label, count=skipped
+            )
+        return live
 
     def _serve_run_traced(self, batches: List[_Batch], sp) -> None:
         # One lane per distinct session in this coalesced run (the

@@ -156,6 +156,31 @@ PROCFLEET_WORKER_CRASHES = REGISTRY.counter(
     "error type.",
 )
 
+# -- asyncio ingestion plane ------------------------------------------
+FLEET_CANCELLED = REGISTRY.counter(
+    "repro_fleet_cancelled_total",
+    "Queued batches skipped because their future was cancelled before "
+    "serving started (the queue slot is freed, no symbols step).",
+)
+AIO_SUBMITS = REGISTRY.counter(
+    "repro_aio_submits_total",
+    "Batches submitted through the asyncio bridge, by outcome "
+    "(ok / error / cancelled).",
+)
+AIO_ADMISSION_WAITS = REGISTRY.counter(
+    "repro_aio_admission_waits_total",
+    "Saturation encounters where an async submitter awaited a queue "
+    "slot instead of receiving FleetOverloaded.",
+)
+AIO_FRAMES = REGISTRY.counter(
+    "repro_aio_frames_total",
+    "Frames served by the asyncio ingestion server, by op.",
+)
+AIO_CONNECTIONS = REGISTRY.counter(
+    "repro_aio_connections_total",
+    "Client connections accepted by the asyncio ingestion server.",
+)
+
 # -- batch execution engine -------------------------------------------
 ENGINE_COMPILES = REGISTRY.counter(
     "repro_engine_compiles_total",

@@ -39,7 +39,84 @@ from . import journal as _journal
 from .journal import Journal
 from .metrics import REGISTRY, MetricsRegistry
 
-__all__ = ["ObsServer"]
+__all__ = ["ObsServer", "render_route"]
+
+#: The routes both obs servers (threaded and asyncio) expose.
+ROUTES = ("/metrics", "/healthz", "/journal")
+
+
+def _json_body(payload: Any) -> bytes:
+    return json.dumps(payload, indent=2, sort_keys=True).encode()
+
+
+def render_route(
+    route: str,
+    params: "dict[str, list[str]]",
+    *,
+    fleet: Any = None,
+    journal: Optional[Journal] = None,
+    registry: Optional[MetricsRegistry] = None,
+    thresholds: Optional[_health.Thresholds] = None,
+) -> "tuple[int, str, bytes]":
+    """``(status, content type, body)`` for one observability route.
+
+    The single source of truth for the obs surface: the threaded
+    :class:`ObsServer` and the asyncio endpoint
+    (:class:`repro.aio.AsyncObsServer`) both render through here, so
+    the two transports can never drift apart in payload or status
+    semantics.
+    """
+    journal = journal if journal is not None else _journal.JOURNAL
+    registry = registry if registry is not None else REGISTRY
+    _instruments.OBS_HTTP_REQUESTS.inc(route=route)
+    if route == "/metrics":
+        return (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus().encode(),
+        )
+    if route == "/healthz":
+        report = _health.check(
+            fleet=fleet,
+            journal=journal,
+            registry=registry,
+            thresholds=thresholds or _health.Thresholds(),
+        )
+        return (
+            report.http_status,
+            "application/json",
+            _json_body(report.to_dict()),
+        )
+    if route == "/journal":
+        try:
+            limit = int(params.get("limit", ["100"])[0])
+        except ValueError:
+            return (
+                400,
+                "application/json",
+                _json_body({"error": "limit must be an int"}),
+            )
+        events = journal.events(
+            type=params.get("type", [None])[0],
+            shard=params.get("shard", [None])[0],
+            limit=limit,
+        )
+        return (
+            200,
+            "application/json",
+            _json_body(
+                {
+                    "events": [e.to_dict() for e in events],
+                    "dropped": journal.dropped,
+                    "next_seq": journal.next_seq,
+                }
+            ),
+        )
+    return (
+        404,
+        "application/json",
+        _json_body({"error": f"no route {route!r}", "routes": list(ROUTES)}),
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -60,56 +137,19 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: Any) -> None:
-        body = json.dumps(payload, indent=2, sort_keys=True).encode()
-        self._send(status, body, "application/json")
-
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
         obs: "ObsServer" = self.server  # type: ignore[assignment]
-        obs._count(route)
-        if route == "/metrics":
-            body = obs.registry.render_prometheus().encode()
-            self._send(
-                200, body, "text/plain; version=0.0.4; charset=utf-8"
-            )
-        elif route == "/healthz":
-            report = _health.check(
-                fleet=obs.fleet,
-                journal=obs.journal,
-                registry=obs.registry,
-                thresholds=obs.thresholds,
-            )
-            self._send_json(report.http_status, report.to_dict())
-        elif route == "/journal":
-            params = parse_qs(parsed.query)
-            try:
-                limit = int(params.get("limit", ["100"])[0])
-            except ValueError:
-                self._send_json(400, {"error": "limit must be an int"})
-                return
-            type_filter = params.get("type", [None])[0]
-            shard_filter = params.get("shard", [None])[0]
-            events = obs.journal.events(
-                type=type_filter, shard=shard_filter, limit=limit
-            )
-            self._send_json(
-                200,
-                {
-                    "events": [e.to_dict() for e in events],
-                    "dropped": obs.journal.dropped,
-                    "next_seq": obs.journal.next_seq,
-                },
-            )
-        else:
-            self._send_json(
-                404,
-                {
-                    "error": f"no route {route!r}",
-                    "routes": ["/metrics", "/healthz", "/journal"],
-                },
-            )
+        status, content_type, body = render_route(
+            route,
+            parse_qs(parsed.query),
+            fleet=obs.fleet,
+            journal=obs.journal,
+            registry=obs.registry,
+            thresholds=obs.thresholds,
+        )
+        self._send(status, body, content_type)
 
 
 class ObsServer(ThreadingHTTPServer):
@@ -132,9 +172,6 @@ class ObsServer(ThreadingHTTPServer):
         self.registry = registry if registry is not None else REGISTRY
         self.thresholds = thresholds or _health.Thresholds()
         self._thread: Optional[threading.Thread] = None
-
-    def _count(self, route: str) -> None:
-        _instruments.OBS_HTTP_REQUESTS.inc(route=route)
 
     @property
     def port(self) -> int:

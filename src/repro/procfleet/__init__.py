@@ -19,6 +19,11 @@ breaks that ceiling with worker *processes*:
 * :mod:`~repro.procfleet.session` — the parent-side lifetime of one
   worker process: publish/retire segments, synchronous request/reply
   over a pipe, crash detection + respawn;
+* :mod:`~repro.procfleet.ring` — a fixed-slot shared-memory ring
+  (seqlock-stamped request/reply slots) that carries small ``serve``
+  frames without the ~100-200µs pipe+pickle syscall floor; oversized,
+  stream and control frames fall back to the pipe, and crash/wedge
+  detection is unchanged (``REPRO_DISABLE_RING`` reverts to pure pipe);
 * :mod:`~repro.procfleet.backend` — :class:`ShmTableBackend`, the
   ``table-shm`` :class:`~repro.exec.ExecutionBackend`: the parent keeps
   the canonical datapath and commits worker results back through
@@ -38,17 +43,20 @@ replays cycle-accurately in the parent and a fresh process is spawned.
 
 from .backend import ShmTableBackend, shm_available, shm_unavailable_reason
 from .pool import ProcessFleet
+from .ring import FrameRing, ring_enabled
 from .segments import ControlBlock, SegmentOwner, encode_segment
 from .session import WorkerCrashed, WorkerSession
 
 __all__ = [
     "ControlBlock",
+    "FrameRing",
     "ProcessFleet",
     "SegmentOwner",
     "ShmTableBackend",
     "WorkerCrashed",
     "WorkerSession",
     "encode_segment",
+    "ring_enabled",
     "shm_available",
     "shm_unavailable_reason",
 ]

@@ -28,14 +28,20 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
 from typing import Callable, Optional
 
 from ..exec.protocol import TableMiss
 from ..obs import instruments as _instruments
 from ..obs import journal as _journal
+from .ring import FrameRing, RingClosed, RingTimeout, ring_enabled
 from .segments import ControlBlock, SegmentOwner, encode_segment
 from .worker import worker_main
+
+#: Ring reply marker: the real reply was too large for a slot and
+#: follows on the pipe.
+_PIPE_OVERFLOW = ("pipe-overflow",)
 
 __all__ = ["WorkerCrashed", "WorkerSession", "default_start_method"]
 
@@ -94,8 +100,11 @@ class WorkerSession:
         self._lock = threading.RLock()
         self._proc = None
         self._conn = None
+        self._ring: Optional[FrameRing] = None
         self._segment: Optional[str] = None
         self._closed = False
+        self.ring_requests = 0
+        self.pipe_requests = 0
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -113,9 +122,19 @@ class WorkerSession:
             if self.alive():
                 return
             parent_conn, child_conn = self._mp.Pipe(duplex=True)
+            # A fresh ring per spawn: positions restart at zero on both
+            # sides, so a respawned worker can never observe a stamp
+            # left by its predecessor mid-crash.
+            if self._ring is not None:
+                self._ring.close()
+                self._ring = None
+            if ring_enabled():
+                self._ring = FrameRing.create()
+            ring_name = self._ring.name if self._ring is not None else None
             proc = self._mp.Process(
                 target=worker_main,
-                args=(child_conn, self.ctl.name, self.slot, self.label),
+                args=(child_conn, self.ctl.name, self.slot, self.label,
+                      ring_name),
                 name=f"procfleet-worker-{self.label}",
                 daemon=True,
             )
@@ -186,6 +205,10 @@ class WorkerSession:
             # and reported before the respawn.
             conn = self._conn
             try:
+                reply = self._ring_request(frame)
+                if reply is not None:
+                    return reply
+                self.pipe_requests += 1
                 conn.send(frame)
                 if not conn.poll(self.request_timeout_s):
                     raise EOFError(
@@ -193,7 +216,7 @@ class WorkerSession:
                     )
                 return conn.recv()
             except (EOFError, BrokenPipeError, ConnectionResetError,
-                    OSError) as exc:
+                    OSError, RingClosed, RingTimeout) as exc:
                 self._handle_crash(exc)
                 raise WorkerCrashed(
                     f"worker process of shard {self.label} died "
@@ -201,12 +224,46 @@ class WorkerSession:
                     "replays cycle-accurately in the parent"
                 ) from exc
 
+    def _ring_request(self, frame: tuple) -> Optional[tuple]:
+        """Attempt the round-trip on the shm ring; ``None`` = use pipe.
+
+        Only small ``serve`` frames ride the ring — control frames and
+        stream frames keep the pipe, as does any frame whose pickled
+        form outgrows a slot.  A worker death or wedge mid-wait raises
+        :class:`RingClosed`/:class:`RingTimeout`, which the caller maps
+        onto the exact pipe-era crash path.
+        """
+        ring = self._ring
+        if ring is None or frame[0] != "serve":
+            return None
+        payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+        if not ring.send_request(payload):
+            return None  # oversized (or lane jammed): pipe fallback
+        self.ring_requests += 1
+        proc = self._proc
+        raw = ring.recv_reply(
+            self.request_timeout_s,
+            alive=(proc.is_alive if proc is not None else None),
+        )
+        reply = pickle.loads(raw)
+        if reply == _PIPE_OVERFLOW:
+            # Reply outgrew its slot; the worker shipped it on the pipe.
+            if not self._conn.poll(self.request_timeout_s):
+                raise EOFError(
+                    f"no overflow reply within {self.request_timeout_s}s"
+                )
+            reply = self._conn.recv()
+        return reply
+
     def _handle_crash(self, exc: BaseException) -> None:
         proc, self._proc = self._proc, None
         conn, self._conn = self._conn, None
+        ring, self._ring = self._ring, None
         pid = proc.pid if proc is not None else None
         if conn is not None:
             conn.close()
+        if ring is not None:
+            ring.close()
         if proc is not None:
             if proc.is_alive():  # wedged, not dead: put it down
                 proc.kill()
@@ -235,6 +292,7 @@ class WorkerSession:
             self._closed = True
             proc, self._proc = self._proc, None
             conn, self._conn = self._conn, None
+            ring, self._ring = self._ring, None
         if conn is not None:
             try:
                 conn.send(("stop",))
@@ -248,6 +306,8 @@ class WorkerSession:
             if proc.is_alive():  # pragma: no cover - stop not honoured
                 proc.kill()
                 proc.join(timeout=10.0)
+        if ring is not None:
+            ring.close()
         self._segment = None
         self.owner.close()
 

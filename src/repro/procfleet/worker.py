@@ -28,14 +28,28 @@ this worker's pid — for the parent to absorb into its own recorders.
 from __future__ import annotations
 
 import os
+import pickle
 from typing import Any, Dict, Optional, Tuple
 
 from ..obs import context as _context
 from ..obs import journal as _journal
 from ..obs import tracing as _tracing
+from .ring import FrameRing
 from .segments import ControlBlock, attach_segment, decode_segment
 
 __all__ = ["worker_main"]
+
+#: Sent on the ring when the real reply outgrew a slot and follows on
+#: the pipe (must match the parent session's marker).
+_PIPE_OVERFLOW = ("pipe-overflow",)
+
+#: Idle escalation for the multiplexed (ring + pipe) wait: busy polls,
+#: then pipe-polls with a growing timeout.  The cap bounds both worker
+#: idle CPU and the worst-case pickup latency of a ring frame arriving
+#: after a long lull.
+_IDLE_SPINS = 2000
+_IDLE_POLL_S = 0.0002
+_IDLE_POLL_MAX_S = 0.001
 
 
 class _AttachedView:
@@ -261,7 +275,65 @@ def _serve_streams(
     return view, ("ok", results, view.epoch, events, spans, pid)
 
 
-def worker_main(conn, ctl_name: str, slot: int, label: str) -> None:
+def _next_frame(conn, ring) -> Tuple[Optional[tuple], bool]:
+    """``(frame, arrived_via_ring)``; ``(None, False)`` on pipe EOF.
+
+    Without a ring this is the classic blocking ``conn.recv()``.  With
+    one, both transports are multiplexed: a busy-poll phase keeps
+    back-to-back ring round-trips at memory latency, then the wait
+    degrades into ``conn.poll`` with a growing timeout — the worker
+    sleeps *in* the pipe wait, so pipe frames still wake it instantly
+    and only a post-lull ring frame pays the (bounded) poll interval.
+    """
+    if ring is None:
+        try:
+            return conn.recv(), False
+        except (EOFError, OSError):
+            return None, False
+    idle = 0
+    poll_s = 0.0
+    while True:
+        raw = ring.try_recv_request()
+        if raw is not None:
+            return pickle.loads(raw), True
+        try:
+            if conn.poll(poll_s):
+                return conn.recv(), False
+        except (EOFError, OSError):
+            return None, False
+        idle += 1
+        if idle >= _IDLE_SPINS:
+            poll_s = _IDLE_POLL_S if poll_s == 0.0 else min(
+                poll_s * 2, _IDLE_POLL_MAX_S
+            )
+
+
+def _send_reply(conn, ring, via_ring: bool, reply: tuple) -> bool:
+    """Ship ``reply`` on the transport the request arrived on.
+
+    A ring reply that outgrows its slot is replaced by the overflow
+    marker and shipped whole on the pipe — the parent is already
+    waiting on the ring, sees the marker, and turns to the pipe.
+    Returns ``False`` when the parent is gone (time to exit).
+    """
+    if via_ring:
+        raw = pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+        if ring.send_reply(raw):
+            return True
+        ring.send_reply(
+            pickle.dumps(_PIPE_OVERFLOW, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+    try:
+        conn.send(reply)
+        return True
+    except (BrokenPipeError, OSError):
+        return False
+
+
+def worker_main(
+    conn, ctl_name: str, slot: int, label: str,
+    ring_name: Optional[str] = None,
+) -> None:
     """Entry point of one worker process (runs until stop/EOF)."""
     # Reset any observability state inherited across a fork: the
     # worker's recorders collect per-request deltas shipped back in the
@@ -272,12 +344,12 @@ def worker_main(conn, ctl_name: str, slot: int, label: str) -> None:
     with _tracing.TRACER._lock:
         _tracing.TRACER.spans.clear()
     ctl = ControlBlock.attach(ctl_name)
+    ring = FrameRing.attach(ring_name) if ring_name else None
     view: Optional[_AttachedView] = None
     try:
         while True:
-            try:
-                frame = conn.recv()
-            except (EOFError, OSError):
+            frame, via_ring = _next_frame(conn, ring)
+            if frame is None:
                 break
             kind = frame[0]
             if kind == "stop":
@@ -300,12 +372,12 @@ def worker_main(conn, ctl_name: str, slot: int, label: str) -> None:
                              os.getpid())
             except Exception as exc:  # never let one request kill us
                 reply = ("err", f"{type(exc).__name__}: {exc}", os.getpid())
-            try:
-                conn.send(reply)
-            except (BrokenPipeError, OSError):
+            if not _send_reply(conn, ring, via_ring, reply):
                 break
     finally:
         if view is not None:
             view.close()
+        if ring is not None:
+            ring.close()
         ctl.close()
         conn.close()

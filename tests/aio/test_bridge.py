@@ -1,0 +1,310 @@
+"""The asyncio bridge: loop-aware completion, cancellation, admission.
+
+The contracts under test are the three promises of
+:func:`repro.aio.bridge.submit_async` (see its module docstring):
+
+* completion crosses from the shard worker to the event loop without a
+  blocked thread, in both fleet modes;
+* cancelling the awaitable frees the queue slot — a batch cancelled
+  while provably queued is skipped without a symbol stepping;
+* admission under saturation is awaited (``ingest="wait"``), not
+  raised, with ``AdmissionTimeout`` bounding the wait.
+"""
+
+import asyncio
+import os
+import signal
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.aio import AdmissionTimeout, submit_async
+from repro.aio.bridge import ADMISSION_POLL_S
+from repro.fleet import FleetOverloaded, FSMFleet
+from repro.fleet.worker import _Fault
+from repro.workloads.library import ones_detector
+from repro.workloads.suite import traffic_words
+
+MODES = ("thread", "process")
+
+
+def _fleet(mode, **kwargs):
+    kwargs.setdefault("n_workers", 2)
+    return FSMFleet(ones_detector(), fleet_mode=mode, **kwargs)
+
+
+def _stall_shard(fleet, shard=0):
+    """Park shard ``shard``'s worker thread on an event; returns the
+    release event once the worker is provably inside the blocker."""
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def blocker(_hw):
+        entered.set()
+        gate.wait(timeout=30)
+        return None
+
+    fleet.shards[shard].queue.put(_Fault(inject=blocker, future=Future()))
+    assert entered.wait(timeout=10)
+    return gate
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_submit_async_matches_reference_run(self, mode):
+        machine = ones_detector()
+        words = traffic_words(machine, 8, 6, seed=1)
+
+        async def run(fleet):
+            outputs = []
+            for word in words:
+                outputs.extend(await submit_async(fleet, "conn", word))
+            return outputs
+
+        with _fleet(mode) as fleet:
+            got = asyncio.run(run(fleet))
+        flat = [s for word in words for s in word]
+        assert got == machine.run(flat)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_concurrent_submitters_one_loop(self, mode):
+        machine = ones_detector()
+        words = traffic_words(machine, 12, 5, seed=2)
+
+        async def run(fleet):
+            # One coroutine per key: all in flight on one loop at once.
+            return await asyncio.gather(*[
+                submit_async(fleet, key, word)
+                for key, word in enumerate(words)
+            ])
+
+        with _fleet(mode) as fleet:
+            per_key = asyncio.run(run(fleet))
+        # Cheap invariant (exact per-shard replay is test_pool's job):
+        # every batch resolved to the right length and alphabet.
+        for word, outputs in zip(words, per_key):
+            assert len(outputs) == len(word)
+            assert set(outputs) <= set(machine.outputs)
+
+    def test_fleet_method_delegates(self):
+        machine = ones_detector()
+
+        async def run(fleet):
+            return await fleet.submit_async("k", list("0110"))
+
+        with _fleet("thread") as fleet:
+            got = asyncio.run(run(fleet))
+        assert got == machine.run(list("0110"))
+
+    def test_errors_cross_the_bridge(self):
+        async def run(fleet):
+            with pytest.raises(ValueError):
+                await submit_async(fleet, "k", list("xx"))
+
+        with _fleet("thread") as fleet:
+            asyncio.run(run(fleet))
+
+    def test_session_lanes_are_independent(self):
+        machine = ones_detector()
+        word = list("10110")
+
+        async def run(fleet):
+            a = await submit_async(fleet, "k", word, session="a")
+            b = await submit_async(fleet, "k", word, session="b")
+            return a, b
+
+        with _fleet("thread", n_workers=1) as fleet:
+            a, b = asyncio.run(run(fleet))
+        # Both sessions start at reset: identical words, identical runs.
+        assert a == b == machine.run(word)
+
+
+class TestCancellation:
+    def test_cancelled_while_queued_frees_the_slot(self):
+        fleet = _fleet("thread", n_workers=1, queue_depth=8)
+        try:
+            gate = _stall_shard(fleet)
+
+            async def run():
+                task = asyncio.ensure_future(
+                    submit_async(fleet, "k", list("0110"))
+                )
+                await asyncio.sleep(0.05)  # batch is queued behind the stall
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                gate.set()
+                # The slot drained without serving: a fresh submit works
+                # and the skipped batch stepped no symbols.
+                return await submit_async(fleet, "k2", list("1"))
+
+            got = asyncio.run(run())
+            fleet.drain()
+            assert got == ones_detector().run(list("1"))
+            assert fleet.totals().cancelled == 1
+        finally:
+            fleet.close()
+
+    def test_cancel_after_serve_is_a_noop(self):
+        fleet = _fleet("thread", n_workers=1)
+        try:
+            async def run():
+                task = asyncio.ensure_future(
+                    submit_async(fleet, "k", list("0110"))
+                )
+                await task  # already resolved: nothing left to cancel
+                assert not task.cancel()
+                return task.result()
+
+            assert asyncio.run(run()) == ones_detector().run(list("0110"))
+            assert fleet.totals().cancelled == 0
+        finally:
+            fleet.close()
+
+
+class TestAdmission:
+    def test_wait_mode_awaits_instead_of_raising(self):
+        fleet = _fleet("thread", n_workers=1, queue_depth=2)
+        try:
+            gate = _stall_shard(fleet)
+            # Saturate the queue through the sync path.
+            backlog = [fleet.submit("k", ["1"]) for _ in range(2)]
+            with pytest.raises(FleetOverloaded):
+                fleet.submit("k", ["1"])
+
+            async def run():
+                task = asyncio.ensure_future(
+                    submit_async(fleet, "k", list("11"))
+                )
+                # The submitter parks instead of raising...
+                await asyncio.sleep(ADMISSION_POLL_S * 3)
+                assert not task.done()
+                gate.set()  # ...and resumes when slots free.
+                return await task
+
+            outputs = asyncio.run(run())
+            assert len(outputs) == 2
+            for future in backlog:
+                future.result(timeout=10)
+        finally:
+            fleet.close()
+
+    def test_reject_mode_keeps_sync_semantics(self):
+        fleet = _fleet("thread", n_workers=1, queue_depth=2)
+        try:
+            gate = _stall_shard(fleet)
+            for _ in range(2):
+                fleet.submit("k", ["1"])
+
+            async def run():
+                with pytest.raises(FleetOverloaded):
+                    await submit_async(fleet, "k", ["1"], ingest="reject")
+
+            asyncio.run(run())
+            gate.set()
+        finally:
+            fleet.close()
+
+    def test_admission_timeout_bounds_the_wait(self):
+        fleet = _fleet("thread", n_workers=1, queue_depth=2)
+        try:
+            gate = _stall_shard(fleet)
+            for _ in range(2):
+                fleet.submit("k", ["1"])
+
+            async def run():
+                with pytest.raises(AdmissionTimeout) as excinfo:
+                    await submit_async(
+                        fleet, "k", ["1"], admission_timeout_s=0.05
+                    )
+                assert excinfo.value.shard == 0
+
+            asyncio.run(run())
+            gate.set()
+        finally:
+            fleet.close()
+
+    def test_unknown_ingest_mode_rejected(self):
+        async def run(fleet):
+            with pytest.raises(ValueError):
+                await submit_async(fleet, "k", ["1"], ingest="bogus")
+
+        with _fleet("thread") as fleet:
+            asyncio.run(run(fleet))
+
+
+class TestTracePropagation:
+    def setup_method(self):
+        from repro import obs
+        obs.configure(tracing=True)
+
+    def teardown_method(self):
+        from repro import obs
+        obs.configure()
+
+    def test_coroutine_trace_reaches_worker_and_dispatcher(self):
+        from repro.obs.tracing import TRACER, span
+
+        async def run(fleet):
+            with span("client.request"):
+                return await submit_async(fleet, "k", list("0110"))
+
+        with _fleet("thread", n_workers=1) as fleet:
+            got = asyncio.run(run(fleet))
+        assert got == ones_detector().run(list("0110"))
+
+        spans = list(TRACER.spans)
+        by_name = {s.name: s for s in spans}
+        client = by_name["client.request"]
+        serve = by_name["fleet.serve"]
+        dispatch = by_name["exec.dispatch"]
+        # One connected tree: coroutine -> shard worker -> dispatcher.
+        assert serve.trace_id == client.trace_id
+        assert serve.parent == client.index
+        assert dispatch.trace_id == client.trace_id
+        assert dispatch.parent == serve.index
+
+
+class TestCrashRecovery:
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="needs /dev/shm"
+    )
+    def test_sigkill_loses_no_awaitables(self):
+        """SIGKILL a worker mid-traffic: every awaitable resolves."""
+        machine = ones_detector()
+        words = traffic_words(machine, 24, 6, seed=5)
+        fleet = _fleet("process", n_workers=2, queue_depth=64)
+        try:
+            shard = fleet.shard_for("conn")
+            session = fleet._sessions[shard]
+            # Warm the shard so the victim is a live, seeded worker
+            # process actually serving this key's traffic.
+            fleet.submit("conn", ["1"]).result(timeout=30)
+            assert session.ring_requests + session.pipe_requests >= 1
+
+            async def run():
+                # All traffic on one key -> one shard -> one victim
+                # process, killed while its backlog is in flight.
+                tasks = []
+                for index, word in enumerate(words):
+                    tasks.append(asyncio.ensure_future(
+                        submit_async(fleet, "conn", word)
+                    ))
+                    if index == 4:
+                        os.kill(session.pid, signal.SIGKILL)
+                    await asyncio.sleep(0)
+                return await asyncio.wait_for(
+                    asyncio.gather(*tasks, return_exceptions=True), 60
+                )
+
+            results = asyncio.run(run())
+            # Zero lost or stuck awaitables: everything resolved, and
+            # the crash surfaced as replayed results, not exceptions.
+            assert len(results) == len(words)
+            for word, outputs in zip(words, results):
+                assert not isinstance(outputs, BaseException), outputs
+                assert len(outputs) == len(word)
+            assert session.restarts >= 1
+        finally:
+            fleet.close()

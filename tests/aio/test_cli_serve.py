@@ -1,0 +1,82 @@
+"""The ``repro serve`` subcommand: bind, serve frames, exit codes."""
+
+import asyncio
+import os
+import re
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestServeCommand:
+    def test_serves_for_duration_then_exits_zero(self, capsys):
+        code = main([
+            "serve", "--duration", "0.2", "--workers", "1",
+            "--obs-port", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ingest: listening on 127.0.0.1:" in out
+        assert "obs: http://127.0.0.1:" in out
+
+    def test_bind_failure_exits_two(self, capsys):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        try:
+            port = blocker.getsockname()[1]
+            code = main([
+                "serve", "--port", str(port), "--duration", "0.2",
+                "--workers", "1",
+            ])
+        finally:
+            blocker.close()
+        assert code == 2
+        assert "error: cannot bind" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_two(self, capsys):
+        code = main(["serve", "--workload", "no/such-pair",
+                     "--duration", "0.1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_end_to_end_over_the_socket(self):
+        """Launch the real process, speak the frame protocol to it."""
+        from repro.aio.frames import read_frame, write_frame
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--duration", "20", "--workers", "1"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+            assert match, banner
+            host, port = match.group(1), int(match.group(2))
+
+            async def run():
+                reader, writer = await asyncio.open_connection(host, port)
+                await write_frame(writer, {
+                    "op": "submit", "id": 1, "key": "c",
+                    "symbols": ["1", "0", "1", "1"],
+                })
+                reply = await read_frame(reader)
+                writer.close()
+                return reply
+
+            reply = asyncio.run(run())
+            assert reply["ok"] is True
+            assert reply["id"] == 1
+            assert len(reply["outputs"]) == 4
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

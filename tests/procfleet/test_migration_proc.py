@@ -76,33 +76,46 @@ class TestProcessRollout:
             assert timeline.zero_downtime
 
             # Post-cutover traffic served in the worker processes
-            # against the target's tables.  One batch through every
-            # shard: the republish is lazy, on each shard's next serve.
-            key = 0
-            shards_hit = set()
-            while len(shards_hit) < fleet.n_workers:
-                shard = fleet.shard_for(f"post-{key}")
-                if shard not in shards_hit:
-                    got = fleet.submit(
-                        f"post-{key}", list("0110")
-                    ).result(timeout=30)
-                    assert got == target.run(list("0110"))
-                    shards_hit.add(shard)
-                key += 1
+            # against the target's tables.  The publish of the
+            # migrated tables is lazy, on each shard's next
+            # *worker-bound* serve — and a shard whose whole
+            # pre-migration backlog landed in the cycle-fallback
+            # window publishes for the first time only now — so drive
+            # every shard until the latest publish it journaled
+            # carries the migrated hardware's table_version (bounded;
+            # each batch must still answer with target behaviour).
+            def _published():
+                per_shard = {}
+                for event in JOURNAL.events():
+                    if event.type == PROCFLEET_PUBLISH:
+                        per_shard.setdefault(event.shard, []).append(
+                            event.fields
+                        )
+                return per_shard
 
-            # Cutover published fresh tables: at least two epochs per
-            # shard (initial publish + post-migration publish).
-            publishes = [
-                e for e in JOURNAL.events() if e.type == PROCFLEET_PUBLISH
-            ]
-            per_shard = {}
-            for event in publishes:
-                per_shard.setdefault(event.shard, []).append(
-                    event.fields["epoch"]
+            def _current(per_shard):
+                return set(per_shard) == {"0", "1"} and all(
+                    per_shard[str(index)][-1]["table_version"]
+                    == shard.hardware.table_version
+                    for index, shard in enumerate(fleet.shards)
                 )
-            assert set(per_shard) == {"0", "1"}
-            for shard, epochs in per_shard.items():
-                assert len(epochs) >= 2, (shard, epochs)
+
+            session_lanes = {shard: [] for shard in range(fleet.n_workers)}
+            for key in range(64):
+                if _current(_published()):
+                    break
+                shard = fleet.shard_for(f"post-{key}")
+                lane = session_lanes[shard]
+                lane.extend("0110")
+                got = fleet.submit(
+                    f"post-{key}", list("0110")
+                ).result(timeout=30)
+                assert got == target.run(lane)[-4:]
+
+            per_shard = _published()
+            assert _current(per_shard), per_shard
+            for shard, publishes in per_shard.items():
+                epochs = [p["epoch"] for p in publishes]
                 assert epochs == sorted(epochs)
 
             pids = {
