@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-obs bench-engine bench-fleet bench-aio bench-passes soak-fleet examples results clean
+.PHONY: install test bench bench-obs bench-engine bench-fleet bench-replica bench-aio bench-passes soak-fleet examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ bench-engine:
 
 bench-fleet:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py
+
+bench-replica:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_replica.py
 
 bench-aio:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_aio.py

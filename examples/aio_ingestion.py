@@ -13,7 +13,9 @@ Walks the ingestion stack end to end:
 4. roll the whole fleet to a new machine with ``migrate_live`` and keep
    serving,
 5. speak the length-prefixed frame protocol to a live ``IngestServer``
-   socket: ping, submit, health.
+   socket: ping, submit, health,
+6. trip an admission deadline against a saturated shard — the in-band
+   ``AdmissionTimeout`` error frame names the shard that was full.
 
 Run: ``python examples/aio_ingestion.py``
 """
@@ -94,6 +96,45 @@ async def socket_demo(client):
             writer.close()
 
 
+async def admission_demo(client):
+    """Saturate a deliberately slow single shard, then submit over the
+    wire with an admission deadline: the in-band error names the
+    saturated shard, so a client can back off or re-key without parsing
+    the message text."""
+    async with IngestServer(client.fleet, "127.0.0.1", 0) as server:
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for attempt in range(20):
+                fillers = [
+                    asyncio.ensure_future(
+                        client.submit_async("slow", list("10" * 100))
+                    )
+                    for _ in range(16)
+                ]
+                # The worker is mid link round-trip; parked fillers
+                # refill every freed slot, so the queue stays full.
+                await asyncio.sleep(0.03)
+                await write_frame(
+                    writer,
+                    {
+                        "op": "submit",
+                        "id": 10 + attempt,
+                        "key": "slow",
+                        "symbols": list("10"),
+                        "admission_timeout_s": 0.001,
+                    },
+                )
+                reply = await read_frame(reader)
+                await asyncio.gather(*fillers)
+                if not reply["ok"] and reply["error"] == "AdmissionTimeout":
+                    assert "shard" in reply  # the saturated shard, in-band
+                    return reply["shard"]
+        finally:
+            writer.close()
+    raise AssertionError("admission never timed out")
+
+
 def main():
     source = sequence_detector("1011")
     target = sequence_detector("0110")
@@ -130,6 +171,18 @@ def main():
         # 4. the socket front door speaks the frame protocol
         outputs, status = asyncio.run(socket_demo(client))
         print(f"wire submit     : {outputs} (health: {status})")
+
+    # 5. admission deadlines surface in-band, naming the saturated
+    #    shard (a slow single-shard fleet makes the timeout certain)
+    with api.serve(
+        source,
+        n_workers=1,
+        queue_depth=2,
+        link_latency_s=0.05,
+        options=api.Options(ingest="wait"),
+    ) as slow_client:
+        shard = asyncio.run(admission_demo(slow_client))
+        print(f"admission miss  : AdmissionTimeout on shard {shard}")
 
 
 if __name__ == "__main__":

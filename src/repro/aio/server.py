@@ -181,15 +181,23 @@ class IngestServer:
                 tuple(symbols),
                 session=frame.get("session"),
                 ingest=frame.get("ingest", self.ingest),
+                admission_timeout_s=frame.get("admission_timeout_s"),
             )
         except asyncio.CancelledError:
             raise
         except Exception as exc:
-            # In-band failure: overload (reject mode), alphabet errors,
-            # a closed fleet — the connection keeps serving.
-            return {
+            # In-band failure: overload (reject mode), admission
+            # timeout, alphabet errors, a closed fleet — the connection
+            # keeps serving.  Saturation errors carry the shard id so
+            # the client can back off or re-key without parsing the
+            # message text.
+            payload = {
                 "ok": False,
                 "error": type(exc).__name__,
                 "message": str(exc),
             }
+            shard = getattr(exc, "shard", None)
+            if shard is not None:
+                payload["shard"] = shard
+            return payload
         return {"ok": True, "outputs": list(outputs)}

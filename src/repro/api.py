@@ -106,6 +106,13 @@ class Options:
         :data:`INGEST_MODES`): under saturation, ``submit_async``
         either awaits a queue slot (``"wait"``, default) or raises
         ``FleetOverloaded`` (``"reject"``).
+    ``replicas``
+        Replicas per shard for :func:`serve` (default 1).  Values above
+        one turn every shard into a replica *group* — N replicas
+        applying one command log with majority-quorum commits (see
+        :mod:`repro.replica`); pass a full
+        :class:`~repro.replica.ReplicaConfig` via the fleet's
+        ``replication`` keyword for a non-majority quorum.
 
     Frozen, keyword-only (``Options(method="ea")``; positional arguments
     raise ``TypeError``), validated on construction.
@@ -120,6 +127,7 @@ class Options:
     extra_states: int
     fleet_mode: str
     ingest: str
+    replicas: int
 
     def __init__(
         self,
@@ -133,6 +141,7 @@ class Options:
         extra_states: int = 0,
         fleet_mode: str = "thread",
         ingest: str = "wait",
+        replicas: int = 1,
     ):
         if method not in METHODS:
             raise ValueError(
@@ -163,8 +172,11 @@ class Options:
                 f"unknown ingest mode {ingest!r}; expected one of "
                 f"{INGEST_MODES}"
             )
+        if int(replicas) < 1:
+            raise ValueError("replicas must be at least 1")
         object.__setattr__(self, "fleet_mode", fleet_mode)
         object.__setattr__(self, "ingest", ingest)
+        object.__setattr__(self, "replicas", int(replicas))
         object.__setattr__(self, "method", method)
         object.__setattr__(self, "opt_level", opt_level)
         object.__setattr__(self, "seed", int(seed))
@@ -356,6 +368,10 @@ def serve(
     from .fleet import FleetClient, FSMFleet
 
     fleet_kwargs.setdefault("fleet_mode", opts.fleet_mode)
+    if opts.replicas > 1 and "replication" not in fleet_kwargs:
+        from .replica import ReplicaConfig
+
+        fleet_kwargs["replication"] = ReplicaConfig(n=opts.replicas)
     fleet = FSMFleet(
         machine,
         n_workers=n_workers,

@@ -260,6 +260,7 @@ def cmd_fleet(args) -> int:
                 opt_level=_opt_level(args),
                 engine=args.engine,
                 fleet_mode=args.mode,
+                replicas=args.replicas,
             ),
             queue_depth=args.queue_depth,
             stall_budget=args.stall_budget,
@@ -323,11 +324,23 @@ def cmd_fleet(args) -> int:
     steps = totals.symbols_served
     for index, probe in client.probes().items():
         publish(probe, shard=str(index))
+    replica_report = client.replicas() if args.replicas > 1 else {}
     client.close()
 
     rows = [
         {"fleet": "workers", "value": args.workers},
         {"fleet": "mode", "value": client.fleet_mode},
+    ]
+    if args.replicas > 1:
+        groups = replica_report.values()
+        rows += [
+            {"fleet": "replicas per shard", "value": args.replicas},
+            {"fleet": "replicas in sync",
+             "value": sum(g.in_sync for g in groups)},
+            {"fleet": "quorum held",
+             "value": all(g.quorum_ok for g in groups)},
+        ]
+    rows += [
         {"fleet": "requests served", "value": totals.batches_ok},
         {"fleet": "requests failed", "value": failed},
         {"fleet": "symbols stepped", "value": steps},
@@ -378,6 +391,7 @@ def cmd_serve(args) -> int:
                 engine=args.engine,
                 fleet_mode=args.mode,
                 ingest=args.ingest,
+                replicas=args.replicas,
             ),
             name=f"serve/{args.workload}",
         )
@@ -688,6 +702,14 @@ def cmd_backends(args) -> int:
     print()
     for spec in specs():
         print(f"{spec.name}: {spec.summary}")
+    from .exec import killswitch
+
+    engaged = killswitch.active()
+    if engaged:
+        print()
+        print("kill switches engaged:")
+        for env, reason in engaged.items():
+            print(f"  {env}: {reason}")
     preference = args.backend if args.backend is not None else args.engine
     try:
         opts = Options(
@@ -830,6 +852,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suite pair to serve/migrate (see `repro suite`)")
     p.add_argument("--workers", type=int, default=4,
                    help="shards (= worker threads = datapath replicas)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replicas per shard (>1 turns every shard into "
+                        "a replica group with majority-quorum commits; "
+                        "see repro.replica)")
     p.add_argument("--mode", choices=("thread", "process"),
                    default="thread",
                    help="shard serving substrate: in-process threads, or "
@@ -867,6 +893,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suite pair whose source machine the fleet serves")
     p.add_argument("--workers", type=int, default=4,
                    help="shards (threads or worker processes)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replicas per shard (>1 serves each shard from "
+                        "a replica group; see repro.replica)")
     p.add_argument("--mode", choices=("thread", "process"),
                    default="thread",
                    help="shard serving substrate (thread pool, or worker "

@@ -22,6 +22,7 @@ See ``docs/architecture.md`` for where this layer sits
 (core → hw → exec → engine/fleet → api/cli).
 """
 
+from . import killswitch
 from .backends import CycleBackend, TableBackend, compile_tables
 from .batching import map_batch, run_streams
 from .dispatcher import DEFAULT_COALESCE, Decision, Dispatcher
@@ -63,6 +64,7 @@ __all__ = [
     "canonical",
     "compile_tables",
     "get",
+    "killswitch",
     "map_batch",
     "names",
     "register",

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..engine.compiled import numpy_available
+from . import killswitch
 from .protocol import BackendUnavailable, Capabilities
 
 __all__ = [
@@ -258,9 +259,7 @@ def _register_builtins() -> None:
     def _numpy_reason() -> Optional[str]:
         if numpy_available():
             return None
-        if os.environ.get("REPRO_DISABLE_NUMPY"):
-            return "numpy disabled via REPRO_DISABLE_NUMPY"
-        return (
+        return killswitch.NUMPY.reason() or (
             "numpy is not installed "
             "(install the 'fast' extra: pip install repro[fast])"
         )

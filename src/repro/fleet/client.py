@@ -19,6 +19,9 @@ footing:
     The zero-downtime rolling migration, previously ``fleet.migrate``.
 ``health()``
     The :mod:`repro.obs.health` report for this fleet.
+``replicas()`` / ``replace_replica(shard, replica)``
+    The replica-group surface (:mod:`repro.replica`): per-shard group
+    status, and membership-logged replacement of one replica.
 
 Everything else the old raw-fleet surface exposed keeps working
 through a ``DeprecationWarning`` shim (attribute access forwards to
@@ -48,6 +51,7 @@ _FIRST_CLASS = frozenset(
         "engine",
         "fleet_mode",
         "n_workers",
+        "replication",
     }
 )
 
@@ -144,6 +148,17 @@ class FleetClient:
     def health(self) -> "_health.HealthReport":
         """The current health assessment of this fleet."""
         return _health.check(fleet=self._fleet)
+
+    # -- replica groups -------------------------------------------------
+    def replicas(self):
+        """Per-shard :class:`~repro.replica.ReplicaGroupStatus` (empty
+        when the fleet was built without ``replication``)."""
+        return self._fleet.replicas()
+
+    def replace_replica(self, shard: int, replica: str):
+        """Tear down and respawn one replica of a shard's group; returns
+        a future of the group's post-change status."""
+        return self._fleet.replace_replica(shard, replica)
 
     # -- lifecycle ------------------------------------------------------
     def drain(self) -> None:

@@ -38,7 +38,14 @@ from ..obs import instruments as _instruments
 from ..obs import journal as _journal
 from ..obs.probes import ProbeReport
 from .plancache import PlanCache
-from .worker import _STOP, _Batch, _Fault, ShardStats, ShardWorker
+from .worker import (
+    _STOP,
+    _Batch,
+    _Fault,
+    _Membership,
+    ShardStats,
+    ShardWorker,
+)
 
 
 class FleetError(RuntimeError):
@@ -109,6 +116,14 @@ class FSMFleet:
         shard's table serving runs in a worker *process* against
         shared-memory tables, so pure-Python throughput scales past the
         GIL (see ``docs/fleet.md``).
+    replication:
+        A :class:`~repro.replica.ReplicaConfig` turning every shard
+        into a replica *group*: N replicas applying one ordered command
+        log, quorum-gated commits, membership changes and divergence
+        healing (see ``docs/fleet.md`` and :mod:`repro.replica`).
+        ``None`` (default) keeps the classic one-replica shard with
+        zero hot-path overhead; ``REPRO_DISABLE_REPLICATION`` collapses
+        a configured group to n=1 at runtime.
     """
 
     #: The serving mode this class implements (subclasses override).
@@ -145,6 +160,7 @@ class FSMFleet:
         opt_level: "str | int | None" = None,
         engine: str = "auto",
         fleet_mode: str = "thread",
+        replication=None,
     ):
         if n_workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -154,6 +170,10 @@ class FSMFleet:
         self.machine = machine
         self.engine = engine
         self.stall_budget = stall_budget
+        #: The per-shard replica-group configuration (a
+        #: :class:`~repro.replica.ReplicaConfig`), or ``None`` for the
+        #: classic one-replica-per-shard fleet.
+        self.replication = replication
         self.plan_cache = plan_cache or PlanCache(opt_level=opt_level)
         superset = plan_supersets([machine, *family])
         self.shards: List[ShardWorker] = self._build_shards(
@@ -168,6 +188,7 @@ class FSMFleet:
                 trace_max_entries=trace_max_entries,
                 fleet_name=name,
                 engine=engine,
+                replication=replication,
             ),
         )
         self._closed = False
@@ -315,6 +336,62 @@ class FSMFleet:
         future: Future = Future()
         self.shards[shard].queue.put(_Fault(inject=inject, future=future))
         return future
+
+    # -- replica groups -------------------------------------------------
+    def replicas(self) -> Dict[int, object]:
+        """Per-shard replica-group status (empty without replication).
+
+        Reads the groups directly — no queue round-trip — so health
+        checks and dashboards can poll from any thread.
+        """
+        out: Dict[int, object] = {}
+        for shard in self.shards:
+            group = shard.replica_group
+            if group is not None:
+                out[shard.index] = group.status()
+        return out
+
+    def membership(
+        self, shard: int, op: str, replica: Optional[str] = None
+    ) -> Future:
+        """Schedule a membership change on one shard's replica group.
+
+        ``op`` is ``"add"`` / ``"remove"`` / ``"replace"``.  The change
+        is applied by the shard's own thread between batches — a logged
+        command like every other — so no future is ever in flight on a
+        replica being swapped.  The returned future resolves with the
+        group's post-change status.
+        """
+        if self._closed:
+            raise FleetClosed(f"{self.name} is closed")
+        future: Future = Future()
+        self.shards[shard].queue.put(
+            _Membership(op=op, replica=replica, future=future)
+        )
+        return future
+
+    def replace_replica(
+        self, shard: int, replica: str
+    ) -> Future:
+        """Replace one named replica of a shard's group (a fresh
+        replica takes the slot and catches up from the latest
+        snapshot).  Sugar over :meth:`membership`."""
+        return self.membership(shard, "replace", replica)
+
+    def check_divergence(
+        self, heal: bool = True
+    ) -> Dict[int, Dict[str, bool]]:
+        """Fingerprint-sweep every replica group (and heal by default).
+
+        Returns ``{shard: {replica: diverged}}``; empty without
+        replication.
+        """
+        out: Dict[int, Dict[str, bool]] = {}
+        for shard in self.shards:
+            group = shard.replica_group
+            if group is not None:
+                out[shard.index] = group.check_divergence(heal=heal)
+        return out
 
     # ------------------------------------------------------------------
     def drain(self) -> None:

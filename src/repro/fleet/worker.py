@@ -104,6 +104,20 @@ class _Fault:
 
 
 @dataclass
+class _Membership:
+    """Control item: change the shard's replica-group membership.
+
+    Applied by the shard's own thread between batches, so membership
+    entries serialise with every other log entry and no future is ever
+    in flight on a replica being swapped out.
+    """
+
+    op: str
+    replica: Optional[str]
+    future: Future
+
+
+@dataclass
 class MigrationJob:
     """One shard's share of a rolling migration."""
 
@@ -132,6 +146,7 @@ class ShardWorker(threading.Thread):
         trace_max_entries: int = 256,
         fleet_name: str = "fleet",
         engine: str = "auto",
+        replication=None,
     ):
         super().__init__(name=f"{fleet_name}-shard-{index}", daemon=True)
         # Validates the mode and fails fast on an impossible request
@@ -151,6 +166,10 @@ class ShardWorker(threading.Thread):
         self.stats = ShardStats()
         self.serving_inputs = frozenset(machine.inputs)
         self.hardware = self._build_hardware(machine)
+        #: The shard's replica group (None: classic single-replica
+        #: shard, zero hot-path overhead).  Built after the leader
+        #: datapath exists — followers replicate it.
+        self.replica_group = self._make_replica_group(replication)
         #: Per-session state chains (session key -> current state).
         #: Only the worker thread touches this.  Session states are
         #: symbolic, so they survive quarantine (the rebuilt datapath
@@ -189,6 +208,18 @@ class ShardWorker(threading.Thread):
         return Dispatcher(
             engine, coalesce_limit=_MAX_COALESCE, shard=str(index)
         )
+
+    def _make_replica_group(self, replication):
+        """The shard's replica group for ``replication`` (a
+        :class:`~repro.replica.ReplicaConfig`), or ``None`` when the
+        shard runs unreplicated.  The process-mode shard overrides this
+        to adapt its worker-process group instead of building follower
+        datapaths."""
+        if replication is None:
+            return None
+        from ..replica.group import ReplicaGroup
+
+        return ReplicaGroup(self, replication)
 
     def shutdown(self) -> None:
         """Release per-shard resources after the thread has exited
@@ -293,8 +324,16 @@ class ShardWorker(threading.Thread):
             _journal.JOURNAL.record(
                 _journal.MIGRATION_CHUNK, shard=self.label, cycles=used
             )
+            if used and self.replica_group is not None:
+                # The same chunks in the same gap on every replica:
+                # one identical one-write-per-cycle sequence group-wide.
+                self.replica_group.on_chunk(job, used)
         if migrator.done:
             verified = self.hardware.realises(job.target)
+            if self.replica_group is not None:
+                # Before the machine swap: a follower that never saw a
+                # chunk gap still migrates from the correct source.
+                verified = self.replica_group.on_commit(job, verified)
             job.verified = verified
             self.machine = job.target
             self.serving_inputs = frozenset(job.target.inputs)
@@ -342,6 +381,10 @@ class ShardWorker(threading.Thread):
         )
         self.hardware = self._build_hardware(self.machine)
         self.dispatcher.invalidate(reason="replaced")
+        if self.replica_group is not None:
+            # The whole group re-seeds together: followers replicate
+            # the leader, and the leader just restarted from reset.
+            self.replica_group.on_reseed(self.machine)
         _journal.JOURNAL.record(
             _journal.FLEET_RESEED,
             shard=self.label,
@@ -471,6 +514,11 @@ class ShardWorker(threading.Thread):
             for batch in batches:
                 self._serve(batch)
             return
+        if self.replica_group is not None:
+            # Committed: the run is a log entry every replica applies.
+            self.replica_group.on_serve(
+                run.final_state, len(symbols), run.visits
+            )
         if self.link_latency_s:
             # One device round-trip for the whole coalesced run — the
             # latency amortisation batching exists for.
@@ -545,6 +593,10 @@ class ShardWorker(threading.Thread):
         for key, run in zip(keys, runs):
             if key is None:
                 hw.commit_engine_run(run.final_state, len(run), run.visits)
+                if self.replica_group is not None:
+                    self.replica_group.on_serve(
+                        run.final_state, len(run), run.visits
+                    )
             else:
                 self._sessions[key] = run.final_state
         if self.link_latency_s:
@@ -621,6 +673,10 @@ class ShardWorker(threading.Thread):
             batch.future.set_exception(exc)
             self._quarantine(exc)
             return
+        if self.replica_group is not None:
+            self.replica_group.on_serve(
+                self.hardware.state, len(batch.symbols), None
+            )
         if self.link_latency_s:
             time.sleep(self.link_latency_s)
         downtime_delta = self._downtime() - downtime_before
@@ -656,10 +712,16 @@ class ShardWorker(threading.Thread):
         clocks the real netlist, so an injected fault raises out and
         quarantines exactly as on the datapath lane.
         """
-        backend = self.dispatcher.cycle_backend(self.hardware)
-        start = self._sessions.get(
-            batch.session, self.hardware.reset_state
-        )
+        hw = self.hardware
+        if self.replica_group is not None:
+            # Pure queries route to any in-sync replica (leader
+            # included, rotating) — followers carry read traffic, not
+            # just the write stream.
+            replica_hw = self.replica_group.read_hardware()
+            if replica_hw is not None:
+                hw = replica_hw
+        backend = self.dispatcher.cycle_backend(hw)
+        start = self._sessions.get(batch.session, hw.reset_state)
         started = time.perf_counter()
         downtime_before = self._downtime()
         try:
@@ -707,7 +769,27 @@ class ShardWorker(threading.Thread):
             self._stopping.set()
         elif isinstance(item, _Fault):
             try:
-                item.future.set_result(item.inject(self.hardware))
+                result = item.inject(self.hardware)
+            except Exception as exc:
+                item.future.set_exception(exc)
+                return
+            if self.replica_group is not None:
+                # The identically-seeded injector on every replica: a
+                # logged erase is one radiation event the whole group
+                # observed, not N independent ones.
+                self.replica_group.on_fault(item.inject)
+            item.future.set_result(result)
+        elif isinstance(item, _Membership):
+            if self.replica_group is None:
+                item.future.set_exception(RuntimeError(
+                    f"shard {self.index} has no replica group "
+                    f"(fleet built without replication)"
+                ))
+                return
+            try:
+                item.future.set_result(
+                    self.replica_group.membership(item.op, item.replica)
+                )
             except Exception as exc:
                 item.future.set_exception(exc)
 

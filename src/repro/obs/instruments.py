@@ -156,6 +156,41 @@ PROCFLEET_WORKER_CRASHES = REGISTRY.counter(
     "error type.",
 )
 
+# -- replica groups (replicated shard logs) ----------------------------
+REPLICA_LOG_APPENDS = REGISTRY.counter(
+    "repro_replica_log_appends_total",
+    "Command entries appended to replicated shard logs, by shard and "
+    "kind (serve / ram_write / erase / retarget / membership).",
+)
+REPLICA_LOG_COMMITS = REGISTRY.counter(
+    "repro_replica_log_commits_total",
+    "Log entries committed (applied on a quorum of replicas), by shard.",
+)
+REPLICA_FAILOVERS = REGISTRY.counter(
+    "repro_replica_failovers_total",
+    "Serves rerouted from a dead replica to an in-sync peer, by shard.",
+)
+REPLICA_CATCH_UPS = REGISTRY.counter(
+    "repro_replica_catch_ups_total",
+    "Replicas caught up from the latest snapshot (fresh spawn, crash "
+    "respawn or divergence heal), by shard.",
+)
+REPLICA_DIVERGENCE = REGISTRY.counter(
+    "repro_replica_divergence_total",
+    "Replica table fingerprints that disagreed with the group's, by "
+    "shard and replica.",
+)
+REPLICA_MEMBERSHIP_CHANGES = REGISTRY.counter(
+    "repro_replica_membership_changes_total",
+    "Replica-group membership changes (add / remove / replace), by "
+    "shard and kind.",
+)
+REPLICA_LAG = REGISTRY.gauge(
+    "repro_replica_lag_entries",
+    "Log entries between the group commit index and the slowest "
+    "in-sync replica's applied index, by shard.",
+)
+
 # -- asyncio ingestion plane ------------------------------------------
 FLEET_CANCELLED = REGISTRY.counter(
     "repro_fleet_cancelled_total",

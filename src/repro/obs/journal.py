@@ -91,6 +91,12 @@ PROCFLEET_WORKER_BATCH = "procfleet.worker.batch"
 PROCFLEET_EPOCH_SKEW = "procfleet.epoch_skew"
 PROCFLEET_WORKER_CRASH = "procfleet.worker.crash"
 PROCFLEET_WORKER_SPAWN = "procfleet.worker.spawn"
+REPLICA_APPEND = "replica.append"
+REPLICA_COMMIT = "replica.commit"
+REPLICA_CATCH_UP = "replica.catch_up"
+REPLICA_DIVERGED = "replica.diverged"
+REPLICA_FAILOVER = "replica.failover"
+REPLICA_MEMBERSHIP = "replica.membership"
 
 #: type -> (description, field names) — the journal's whole vocabulary.
 EVENT_TYPES: Dict[str, Any] = {
@@ -190,6 +196,30 @@ EVENT_TYPES: Dict[str, Any] = {
     PROCFLEET_WORKER_SPAWN: (
         "a worker process was spawned (startup or reseed)",
         ("pid", "start_method"),
+    ),
+    REPLICA_APPEND: (
+        "one command entry was appended to a shard's replicated log",
+        ("index", "kind"),
+    ),
+    REPLICA_COMMIT: (
+        "a log entry reached quorum and was committed",
+        ("index", "kind", "quorum"),
+    ),
+    REPLICA_CATCH_UP: (
+        "a lagging or fresh replica caught up from the latest snapshot",
+        ("replica", "via", "epoch", "table_version"),
+    ),
+    REPLICA_DIVERGED: (
+        "a replica's table fingerprint disagreed with the group's",
+        ("replica", "expected", "actual"),
+    ),
+    REPLICA_FAILOVER: (
+        "a serve failed over from a dead replica to an in-sync peer",
+        ("replica", "to", "error"),
+    ),
+    REPLICA_MEMBERSHIP: (
+        "a replica group changed membership under a joint quorum",
+        ("kind", "replica", "n", "quorum", "joint_quorum"),
     ),
 }
 

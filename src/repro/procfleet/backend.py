@@ -41,6 +41,7 @@ from typing import Optional, Sequence
 
 from ..core.fsm import FSM, Input, Output, State
 from ..engine.compiled import CompiledFSM, WordRun
+from ..exec import killswitch as _killswitch
 from ..exec.protocol import (
     Capabilities,
     ExecSnapshot,
@@ -64,14 +65,14 @@ __all__ = [
 
 #: Kill-switch mirroring ``REPRO_DISABLE_NUMPY``: forces the backend
 #: unavailable (exit 2 on a forced pick) without uninstalling anything.
-ENV_DISABLE = "REPRO_DISABLE_SHM"
+#: Registered in :mod:`repro.exec.killswitch`; kept as a module constant
+#: because tests and docs name it here.
+ENV_DISABLE = _killswitch.SHM.env
 
 
 def shm_available() -> bool:
     """Whether the shared-memory process backend can run here."""
-    import os
-
-    if os.environ.get(ENV_DISABLE):
+    if _killswitch.SHM.disabled():
         return False
     try:
         from multiprocessing import shared_memory  # noqa: F401
@@ -81,13 +82,11 @@ def shm_available() -> bool:
 
 
 def shm_unavailable_reason() -> Optional[str]:
-    import os
-
     if shm_available():
         return None
-    if os.environ.get(ENV_DISABLE):
-        return "shared memory disabled via REPRO_DISABLE_SHM"
-    return "multiprocessing.shared_memory is not available on this platform"
+    return _killswitch.SHM.reason() or (
+        "multiprocessing.shared_memory is not available on this platform"
+    )
 
 
 class ShmTableBackend:

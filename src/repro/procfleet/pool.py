@@ -66,6 +66,18 @@ class ProcShardWorker(ShardWorker):
         super().__init__(index, machine, **kwargs)
         session.on_incident = self._worker_incident
 
+    def _make_replica_group(self, replication):
+        # Process-mode replication lives in the transport: the session
+        # *is* a ProcReplicaGroup, and the shard thread only needs the
+        # hook adapter that records the command log over it.
+        if replication is None:
+            return None
+        from ..replica.procgroup import ProcReplicaGroup, ProcReplicaView
+
+        if isinstance(self._session, ProcReplicaGroup):
+            return ProcReplicaView(self._session)
+        return None
+
     def _make_dispatcher(self, engine: str, index: int) -> Dispatcher:
         return Dispatcher(
             engine,
@@ -141,16 +153,35 @@ class ProcessFleet(FSMFleet):
     def _build_shards(
         self, n_workers: int, shard_kwargs: Dict
     ) -> List[ShardWorker]:
-        self._ctl = ControlBlock.create(n_workers)
+        replication = shard_kwargs.get("replication")
+        if replication is not None:
+            from ..replica.procgroup import ProcReplicaGroup
+
+            # One spare slot per group so membership("add") has a slot
+            # to land on (the block is immutable after creation).
+            slots_per = replication.effective().n + 1
+            self._ctl = ControlBlock.create(n_workers * slots_per)
+        else:
+            slots_per = 1
+            self._ctl = ControlBlock.create(n_workers)
         shards: List[ShardWorker] = []
         try:
             for index in range(n_workers):
-                session = WorkerSession(
-                    self._ctl,
-                    slot=index,
-                    label=str(index),
-                    start_method=self._start_method,
-                )
+                if replication is not None:
+                    session = ProcReplicaGroup(
+                        self._ctl,
+                        range(index * slots_per, (index + 1) * slots_per),
+                        str(index),
+                        replication,
+                        start_method=self._start_method,
+                    )
+                else:
+                    session = WorkerSession(
+                        self._ctl,
+                        slot=index,
+                        label=str(index),
+                        start_method=self._start_method,
+                    )
                 self._sessions.append(session)
                 session.start()
                 shards.append(
@@ -181,3 +212,13 @@ class ProcessFleet(FSMFleet):
             for shard in self.shards
             if isinstance(shard, ProcShardWorker)
         }
+
+    def replica_pids(self) -> Dict[int, Dict[str, Optional[int]]]:
+        """Live pid per replica per shard (empty without replication)."""
+        pids: Dict[int, Dict[str, Optional[int]]] = {}
+        for shard in self.shards:
+            view = getattr(shard, "replica_group", None)
+            group = getattr(view, "group", None)
+            if group is not None:
+                pids[shard.index] = group.replica_pids()
+        return pids

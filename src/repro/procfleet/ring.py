@@ -52,6 +52,7 @@ from typing import Callable, Optional
 
 from multiprocessing import shared_memory
 
+from ..exec import killswitch as _killswitch
 from .segments import attach_segment
 
 __all__ = [
@@ -62,8 +63,9 @@ __all__ = [
 ]
 
 #: Kill-switch mirroring ``REPRO_DISABLE_SHM``: sessions fall back to
-#: pure pipe framing without any other behaviour change.
-ENV_DISABLE = "REPRO_DISABLE_RING"
+#: pure pipe framing without any other behaviour change.  Registered in
+#: :mod:`repro.exec.killswitch`; the constant stays for call sites.
+ENV_DISABLE = _killswitch.RING.env
 
 _MAGIC = b"RRNG"
 _FORMAT = 1
@@ -86,7 +88,7 @@ _ALIVE_EVERY = 2048
 
 def ring_enabled() -> bool:
     """Whether sessions should create rings (env kill-switch honoured)."""
-    return not os.environ.get(ENV_DISABLE)
+    return not _killswitch.RING.disabled()
 
 
 class RingTimeout(Exception):

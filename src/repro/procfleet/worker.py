@@ -275,6 +275,53 @@ def _serve_streams(
     return view, ("ok", results, view.epoch, events, spans, pid)
 
 
+def _fingerprint(
+    ctl: ControlBlock,
+    slot: int,
+    view: Optional[_AttachedView],
+    label: str,
+) -> Tuple[Optional[_AttachedView], tuple]:
+    """Answer a divergence probe: the CRC of this worker's *local*
+    decoded tables (attaching the published segment first, so a fresh
+    replica's probe doubles as its snapshot catch-up)."""
+    from ..replica.fingerprint import table_fingerprint
+
+    view, miss = _attach(ctl, slot, view, label)
+    if miss is not None or view is None:
+        return view, ("fingerprint", None, 0, os.getpid())
+    return view, (
+        "fingerprint",
+        table_fingerprint(view.compiled),
+        view.epoch,
+        os.getpid(),
+    )
+
+
+def _corrupt(
+    ctl: ControlBlock,
+    slot: int,
+    view: Optional[_AttachedView],
+    label: str,
+    frame: tuple,
+) -> Tuple[Optional[_AttachedView], tuple]:
+    """Fault-injection hook for the replica fault suite: flip one entry
+    of this worker's local table copy.  The shared segment is untouched
+    — this is the single-replica upset that fingerprint sweeps exist to
+    detect and a republish heals."""
+    view, miss = _attach(ctl, slot, view, label)
+    if miss is not None or view is None:
+        return view, ("err", miss or "nothing attached", os.getpid())
+    table = view.compiled.next_table
+    index = frame[1] % len(table)
+    # Stay in range so the corrupted replica still *serves* (wrongly):
+    # silent wrong answers, not crashes, are what divergence detection
+    # is for.
+    table[index] = (table[index] + 1) % max(
+        1, view.compiled.n_states
+    )
+    return view, ("corrupted", index, os.getpid())
+
+
 def _next_frame(conn, ring) -> Tuple[Optional[tuple], bool]:
     """``(frame, arrived_via_ring)``; ``(None, False)`` on pipe EOF.
 
@@ -367,6 +414,10 @@ def worker_main(
                     view, reply = _serve_streams(
                         ctl, slot, view, label, frame
                     )
+                elif kind == "fingerprint":
+                    view, reply = _fingerprint(ctl, slot, view, label)
+                elif kind == "corrupt":
+                    view, reply = _corrupt(ctl, slot, view, label, frame)
                 else:
                     reply = ("err", f"unknown frame kind {kind!r}",
                              os.getpid())

@@ -1,0 +1,66 @@
+"""Table fingerprints: cheap divergence detection across replicas.
+
+Every replica of a group must hold byte-identical dense tables — the
+committed log makes that an invariant, and the fingerprint makes it a
+*checkable* one.  The fingerprint is a CRC-32 over the table dims, the
+flat next-state and output tables, the reset state and the source
+table version, computed from plain ints and strings only (no numpy, no
+pickle), so a worker process can answer a ``fingerprint`` probe frame
+with the same number the parent computes over its own
+:class:`~repro.engine.compiled.CompiledFSM` — any disagreement means
+the replica's local copy of the tables diverged (bit rot, a torn
+decode, an injected corruption) and it must be healed by snapshot
+catch-up (re-attaching the group's published segment).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional, Sequence
+
+__all__ = ["fingerprint_tables", "table_fingerprint"]
+
+
+def fingerprint_tables(
+    n_inputs: int,
+    n_states: int,
+    next_table: Sequence[int],
+    out_table: Sequence[int],
+    reset_state: object,
+    table_version: Optional[int] = None,
+) -> int:
+    """CRC-32 over the raw table content (order-sensitive, stdlib)."""
+    crc = zlib.crc32(
+        struct.pack(
+            "<III",
+            n_inputs,
+            n_states,
+            0 if table_version is None else int(table_version) & 0xFFFFFFFF,
+        )
+    )
+    crc = zlib.crc32(repr(reset_state).encode("utf-8"), crc)
+    for table in (next_table, out_table):
+        crc = zlib.crc32(
+            struct.pack(f"<{len(table)}i", *table), crc
+        )
+    return crc & 0xFFFFFFFF
+
+
+def table_fingerprint(compiled) -> int:
+    """Fingerprint a :class:`~repro.engine.compiled.CompiledFSM`.
+
+    Works on any object exposing the compiled-table surface
+    (``n_inputs`` / ``n_states`` / flat ``next_table`` / ``out_table``
+    / ``reset_state`` / ``source_version``) — in particular the
+    worker-side rebuild, whose tables are decoded copies of the
+    parent's segment.
+    """
+    return fingerprint_tables(
+        compiled.n_inputs,
+        compiled.n_states,
+        compiled.next_table,
+        compiled.out_table,
+        compiled.reset_state,
+        getattr(compiled, "source_version", None),
+    )

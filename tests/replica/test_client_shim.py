@@ -1,0 +1,143 @@
+"""The FleetClient deprecation shim: old surface warns, new is silent.
+
+The client facade keeps every old raw-fleet attribute working through
+a ``DeprecationWarning`` pass-through while the supported surface —
+the serving verbs, the replica-group verbs, the first-class metadata
+attributes and the ``client.fleet`` escape hatch — stays warning-free.
+These tests pin that boundary exactly: one warning per deprecated
+access, zero anywhere else.
+"""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.fleet import FSMFleet
+from repro.fleet.client import FleetClient
+from repro.replica import ReplicaConfig
+from repro.workloads.library import sequence_detector
+
+
+@pytest.fixture
+def client():
+    handle = api.serve(
+        sequence_detector("1011"),
+        n_workers=2,
+        options=api.Options(replicas=3),
+    )
+    with handle:
+        yield handle
+
+
+def _one_warning(record):
+    assert len(record) == 1, [str(w.message) for w in record]
+    assert issubclass(record[0].category, DeprecationWarning)
+
+
+class TestDeprecatedPassThrough:
+    #: The old raw-fleet surface reachable through the shim: every one
+    #: must forward correctly and warn exactly once per access.
+    DEPRECATED = [
+        "shards",
+        "shard_for",
+        "migrate",
+        "inject_fault",
+        "membership",
+        "check_divergence",
+        "stall_budget",
+        "plan_cache",
+    ]
+
+    @pytest.mark.parametrize("name", DEPRECATED)
+    def test_warns_exactly_once_and_forwards(self, client, name):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            value = getattr(client, name)
+        _one_warning(record)
+        assert str(record[0].message).startswith(
+            f"FleetClient.{name} is a deprecated pass-through"
+        )
+        # The shim forwards the *same* object the fleet exposes.
+        expected = getattr(client.fleet, name)
+        if callable(value):
+            assert getattr(value, "__self__", None) is client.fleet
+        else:
+            assert value == expected
+
+    def test_deprecated_call_still_works(self, client):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            shard = client.shard_for(0)
+        _one_warning(record)
+        assert shard in range(2)
+
+    def test_unknown_attribute_raises_without_warning(self, client):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            with pytest.raises(AttributeError):
+                client.no_such_surface
+        assert record == []
+
+
+class TestWarningFreeSurface:
+    def test_fleet_escape_hatch_is_silent(self, client):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("error", DeprecationWarning)
+            assert isinstance(client.fleet, FSMFleet)
+        assert record == []
+
+    def test_first_class_attributes_are_silent(self, client):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("error", DeprecationWarning)
+            assert client.machine.name == "detect_1011"
+            assert client.name
+            assert client.engine
+            assert client.fleet_mode == "thread"
+            assert client.n_workers == 2
+            assert client.replication is not None
+        assert record == []
+
+    def test_serving_verbs_are_silent(self, client):
+        machine = sequence_detector("1011")
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("error", DeprecationWarning)
+            out = client.submit(0, list("1011")).result(timeout=30)
+            assert out == machine.run(list("1011"))
+            lane = client.stream_session(0, session="shim")
+            assert lane.submit(list("10")).result(timeout=30)
+            client.drain()
+            assert client.health().status in ("ok", "degraded")
+            assert client.stats() and client.totals().batches_ok
+        assert record == []
+
+    def test_replica_verbs_are_silent(self, client):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("error", DeprecationWarning)
+            groups = client.replicas()
+            assert set(groups) == {0, 1}
+            assert all(g.n == 3 for g in groups.values())
+            status = client.replace_replica(0, "r1").result(timeout=30)
+            assert status.in_sync == 3
+        assert record == []
+
+
+class TestShimMechanics:
+    def test_client_does_not_leak_private_fleet_attrs_with_warning(self):
+        pool = FSMFleet(sequence_detector("1011"), n_workers=1)
+        client = FleetClient(pool)
+        try:
+            with warnings.catch_warnings(record=True) as record:
+                warnings.simplefilter("always")
+                assert client._closed is False  # private: no warning
+            assert record == []
+        finally:
+            client.close()
+
+    def test_replication_none_without_replicas(self):
+        with api.serve(sequence_detector("1011"), n_workers=1) as client:
+            with warnings.catch_warnings(record=True) as record:
+                warnings.simplefilter("error", DeprecationWarning)
+                assert client.replication is None
+                assert client.replicas() == {}
+            assert record == []

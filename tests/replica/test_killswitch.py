@@ -1,0 +1,97 @@
+"""The replication killswitch: one env var collapses every group.
+
+``REPRO_DISABLE_REPLICATION`` is the operational big red button: a
+fleet *configured* for N replicas builds single-replica groups in both
+serving modes, with the log/serving contract otherwise intact — flip
+the switch, restart the fleet, and the replication plane is gone
+without touching a line of configuration.
+"""
+
+import os
+
+import pytest
+
+from repro.exec import killswitch
+from repro.fleet import FSMFleet
+from repro.replica import ReplicaConfig
+from repro.workloads.library import sequence_detector
+
+
+@pytest.fixture
+def machine():
+    return sequence_detector("1011")
+
+
+class TestSwitchSurface:
+    def test_replication_switch_is_registered(self):
+        assert killswitch.REPLICATION in killswitch.SWITCHES
+        assert killswitch.REPLICATION.env == "REPRO_DISABLE_REPLICATION"
+
+    def test_disabled_reads_the_env_live(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISABLE_REPLICATION", raising=False)
+        assert not killswitch.REPLICATION.disabled()
+        monkeypatch.setenv("REPRO_DISABLE_REPLICATION", "1")
+        assert killswitch.REPLICATION.disabled()
+
+    def test_active_lists_the_flipped_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_REPLICATION", "1")
+        assert "REPRO_DISABLE_REPLICATION" in killswitch.active()
+
+
+class TestThreadModeCollapse:
+    def test_configured_group_collapses_to_one_replica(
+        self, machine, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DISABLE_REPLICATION", "1")
+        pool = FSMFleet(
+            machine, n_workers=2, replication=ReplicaConfig(n=3)
+        )
+        try:
+            for status in pool.replicas().values():
+                assert status.n == 1
+                assert status.quorum == 1
+                assert status.quorum_ok
+            # Serving still works on the collapsed group.
+            out = pool.submit(0, list("1011")).result(timeout=30)
+            assert out == machine.run(list("1011"))
+        finally:
+            pool.close()
+
+    def test_without_the_switch_the_group_is_full_size(
+        self, machine, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_DISABLE_REPLICATION", raising=False)
+        pool = FSMFleet(
+            machine, n_workers=1, replication=ReplicaConfig(n=3)
+        )
+        try:
+            assert pool.replicas()[0].n == 3
+        finally:
+            pool.close()
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"),
+    reason="no /dev/shm for the process fleet's shared-memory tables",
+)
+class TestProcessModeCollapse:
+    def test_one_worker_process_per_shard_under_the_switch(
+        self, machine, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DISABLE_REPLICATION", "1")
+        pool = FSMFleet(
+            machine,
+            n_workers=2,
+            fleet_mode="process",
+            replication=ReplicaConfig(n=3),
+        )
+        try:
+            for pids in pool.replica_pids().values():
+                assert list(pids) == ["r0"]
+            for status in pool.replicas().values():
+                assert status.n == 1
+                assert status.quorum_ok
+            out = pool.submit(0, list("1011")).result(timeout=30)
+            assert out == machine.run(list("1011"))
+        finally:
+            pool.close()
